@@ -1,0 +1,80 @@
+// Command mi-bench regenerates the tables and figures of the paper's
+// evaluation (Section 5 and Table 2) on the simulated substrate.
+//
+// Usage:
+//
+//	mi-bench -all            # everything
+//	mi-bench -fig9           # runtime comparison SoftBound vs Low-Fat
+//	mi-bench -fig10 -fig11   # optimization/metadata breakdowns
+//	mi-bench -fig12 -fig13   # pipeline extension points
+//	mi-bench -table2         # unsafe dereference percentages
+//	mi-bench -elim           # Section 5.3 check elimination statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		fig9   = flag.Bool("fig9", false, "Figure 9: SB vs LF runtime")
+		fig10  = flag.Bool("fig10", false, "Figure 10: SoftBound breakdown")
+		fig11  = flag.Bool("fig11", false, "Figure 11: Low-Fat breakdown")
+		fig12  = flag.Bool("fig12", false, "Figure 12: SoftBound extension points")
+		fig13  = flag.Bool("fig13", false, "Figure 13: Low-Fat extension points")
+		table2 = flag.Bool("table2", false, "Table 2: unsafe dereferences")
+		elim   = flag.Bool("elim", false, "Section 5.3: check elimination")
+		ablate = flag.Bool("ablation", false, "ablation: Low-Fat escape-check elimination (beyond the paper)")
+	)
+	flag.Parse()
+
+	if !(*all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *table2 || *elim || *ablate) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := harness.NewRunner()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mi-bench: %v\n", err)
+		os.Exit(1)
+	}
+	figure := func(enabled bool, gen func() (*harness.Figure, error)) {
+		if !enabled && !*all {
+			return
+		}
+		fig, err := gen()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(fig.Render())
+	}
+
+	if *table2 || *all {
+		rows, err := r.Table2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderTable2(rows))
+	}
+	figure(*fig9, r.Figure9)
+	figure(*fig10, r.Figure10)
+	figure(*fig11, r.Figure11)
+	figure(*fig12, r.Figure12)
+	figure(*fig13, r.Figure13)
+	figure(*ablate, r.AblationInvariantElim)
+	if *elim || *all {
+		for _, mech := range []core.Mech{core.MechSoftBound, core.MechLowFat} {
+			rows, err := r.EliminationStats(mech)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(harness.RenderElimination(rows))
+		}
+	}
+}

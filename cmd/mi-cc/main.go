@@ -1,0 +1,169 @@
+// Command mi-cc compiles C source files with the MemInstrument framework
+// and executes the result on the simulated machine. Its flags mirror the
+// artifact's compiler plugin options (Appendix A.6 of the paper).
+//
+// Usage:
+//
+//	mi-cc [flags] file.c [file2.c ...]
+//
+//	-mi-config=softbound|lowfat|none   instrumentation mechanism
+//	-mi-mode=full|geninvariants        check placement mode
+//	-mi-opt-dominance                  dominance-based check elimination
+//	-mi-sb-size-zero-wide-upper        wide bounds for size-zero globals
+//	-mi-sb-inttoptr-wide-bounds        wide bounds for int-to-pointer casts
+//	-mi-lf-transform-common-to-weak-linkage
+//	-mi-ep=early|scalarlate|vectorizerstart   pipeline extension point
+//	-O                                 optimization level (0 or 3)
+//	-emit-ir                           print the final IR instead of running
+//	-stats                             print instrumentation and run stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		config     = flag.String("mi-config", "none", "softbound, lowfat or none")
+		mode       = flag.String("mi-mode", "full", "full or geninvariants")
+		optDom     = flag.Bool("mi-opt-dominance", false, "dominance-based check elimination")
+		sbSizeZero = flag.Bool("mi-sb-size-zero-wide-upper", true, "wide bounds for size-zero globals")
+		sbIntToPtr = flag.Bool("mi-sb-inttoptr-wide-bounds", true, "wide bounds for inttoptr casts")
+		lfCommon   = flag.Bool("mi-lf-transform-common-to-weak-linkage", true, "place common globals low-fat")
+		epName     = flag.String("mi-ep", "vectorizerstart", "early, scalarlate or vectorizerstart")
+		optLevel   = flag.Int("O", 3, "optimization level (0 or 3)")
+		emitIR     = flag.Bool("emit-ir", false, "print final IR instead of executing")
+		stats      = flag.Bool("stats", false, "print statistics")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "mi-cc: no input files")
+		os.Exit(2)
+	}
+
+	var m *ir.Module
+	if flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".ll") {
+		// Textual IR input (the format of -emit-ir / ir.FormatModule).
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		m, err = ir.ParseModule(string(data))
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var sources []cc.Source
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			sources = append(sources, cc.Source{Name: path, Code: string(data)})
+		}
+		var err error
+		m, err = cc.Compile("a.out", sources...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var ep opt.ExtPoint
+	switch *epName {
+	case "early":
+		ep = opt.EPModuleOptimizerEarly
+	case "scalarlate":
+		ep = opt.EPScalarOptimizerLate
+	case "vectorizerstart":
+		ep = opt.EPVectorizerStart
+	default:
+		fatal(fmt.Errorf("unknown extension point %q", *epName))
+	}
+
+	cfg := core.Config{
+		OptDominance:            *optDom,
+		SBSizeZeroWideUpper:     *sbSizeZero,
+		SBIntToPtrWideBounds:    *sbIntToPtr,
+		LFTransformCommonToWeak: *lfCommon,
+	}
+	switch *mode {
+	case "full":
+		cfg.Mode = core.ModeFull
+	case "geninvariants":
+		cfg.Mode = core.ModeGenInvariants
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var hook func(*ir.Module)
+	var istats *core.Stats
+	vopts := vm.Options{}
+	switch *config {
+	case "none":
+	case "softbound":
+		cfg.Mechanism = core.MechSoftBound
+		vopts.Mechanism = vm.MechSoftBound
+		hook = makeHook(cfg, &istats)
+	case "lowfat":
+		cfg.Mechanism = core.MechLowFat
+		vopts.Mechanism = vm.MechLowFat
+		vopts.LowFatHeap = true
+		vopts.LowFatStack = true
+		vopts.LowFatGlobals = true
+		hook = makeHook(cfg, &istats)
+	default:
+		fatal(fmt.Errorf("unknown config %q", *config))
+	}
+
+	opt.RunPipeline(m, ep, hook, opt.PipelineOptions{Level: *optLevel})
+
+	if *emitIR {
+		fmt.Print(ir.FormatModule(m))
+		return
+	}
+
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		fatal(err)
+	}
+	code, err := machine.Run()
+	fmt.Print(machine.Output())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-cc: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		s := machine.Stats
+		fmt.Fprintf(os.Stderr, "instrs=%d cost=%d loads=%d stores=%d checks=%d wide=%d (%.2f%%) metaLoads=%d metaStores=%d shadowOps=%d\n",
+			s.Instrs, s.Cost, s.Loads, s.Stores, s.Checks, s.WideChecks, s.UnsafePercent(), s.MetaLoads, s.MetaStores, s.ShadowOps)
+		if istats != nil {
+			fmt.Fprintf(os.Stderr, "instrumented funcs=%d derefTargets=%d checksPlaced=%d eliminated=%d invariants=%d metadataStores=%d\n",
+				istats.Functions, istats.DerefTargets, istats.ChecksPlaced, istats.ChecksEliminated, istats.InvariantChecks, istats.MetadataStores)
+		}
+	}
+	os.Exit(int(code))
+}
+
+func makeHook(cfg core.Config, out **core.Stats) func(*ir.Module) {
+	return func(m *ir.Module) {
+		s, err := core.Instrument(m, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		*out = s
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mi-cc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Extlib reproduces Section 4.3 of the paper: linking instrumented code
+// against an uninstrumented library.
+//
+// A library function returns a pointer to library-owned storage. SoftBound
+// assumes the returned pointer's bounds are on the shadow stack — but the
+// uninstrumented callee never wrote them, so the caller picks up STALE
+// bounds from an earlier call and reports a spurious violation. The paper's
+// fix is a wrapper that knows the real bounds and records them; with the
+// wrapper in place the program runs. Low-Fat Pointers need no wrappers: the
+// library storage lies outside the low-fat regions, so accesses through it
+// get wide bounds — unprotected, but not rejected.
+//
+//	go run ./examples/extlib
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+const program = `
+/* ---- uninstrumented library (think: a proprietary .so) ---- */
+char lib_buffer[64];
+
+char *lib_get_buffer() {
+    return lib_buffer;
+}
+
+/* ---- wrapper (the paper's fix): instrumented code that knows the real
+ * bounds of the returned storage ---- */
+char *lib_get_buffer_wrapped() {
+    char *p = lib_get_buffer();
+    return lib_buffer + (p - lib_buffer); /* bounds derive from the global */
+}
+
+/* ---- instrumented application ---- */
+int tiny[2];
+
+int *get_tiny() {
+    return tiny;
+}
+
+int use_library(int wrapped) {
+    char *buf;
+    int i;
+    int *t = get_tiny(); /* leaves the bounds of "tiny" in the return slot */
+    if (wrapped) {
+        buf = lib_get_buffer_wrapped();
+    } else {
+        buf = lib_get_buffer();
+    }
+    for (i = 0; i < 64; i++) {
+        buf[i] = (char)(i + t[0]);
+    }
+    return buf[63];
+}
+
+int main() {
+    printf("wrote, last byte = %d\n", use_library(USE_WRAPPER));
+    return 0;
+}`
+
+func main() {
+	fmt.Println("== SoftBound, library call without wrapper ==")
+	run(core.MechSoftBound, false)
+
+	fmt.Println("\n== SoftBound, with the wrapper (the paper's fix) ==")
+	run(core.MechSoftBound, true)
+
+	fmt.Println("\n== Low-Fat Pointers, no wrapper needed ==")
+	run(core.MechLowFat, false)
+}
+
+func run(mech core.Mech, wrapped bool) {
+	define := "#define USE_WRAPPER 0\n"
+	if wrapped {
+		define = "#define USE_WRAPPER 1\n"
+	}
+	m, err := cc.Compile("extlib", cc.Source{Name: "extlib.c", Code: define + program})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Mark the library parts as uninstrumented / library-owned.
+	m.Func("lib_get_buffer").IgnoreInstrumentation = true
+	m.Global("lib_buffer").ExternalLib = true
+
+	cfg := core.PaperSoftBound()
+	vopts := vm.Options{Mechanism: vm.MechSoftBound}
+	if mech == core.MechLowFat {
+		cfg = core.PaperLowFat()
+		vopts = vm.Options{Mechanism: vm.MechLowFat, LowFatHeap: true, LowFatStack: true, LowFatGlobals: true}
+	}
+	hook := func(mod *ir.Module) {
+		if _, err := core.Instrument(mod, cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	opt.RunPipeline(m, opt.EPVectorizerStart, hook, opt.PipelineOptions{Level: 3})
+
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, rerr := machine.Run()
+	fmt.Print(machine.Output())
+	switch {
+	case rerr != nil:
+		fmt.Printf("-> SPURIOUS report (the program has no bug): %v\n", rerr)
+	case mech == core.MechLowFat:
+		fmt.Printf("-> ran fine; %d of %d checks used wide bounds (unprotected library storage)\n",
+			machine.Stats.WideChecks, machine.Stats.Checks)
+	default:
+		fmt.Println("-> ran fine")
+	}
+}

@@ -1,0 +1,44 @@
+// Package analysis provides control-flow analyses over the IR: reverse
+// post-order, dominator trees (Cooper–Harvey–Kennedy) and natural-loop
+// detection. The instrumentation framework uses dominance both to place
+// witnesses and for the dominance-based redundant-check elimination the paper
+// evaluates in Section 5.3; the optimizer uses loops for LICM.
+package analysis
+
+import "repro/internal/ir"
+
+// ReversePostOrder returns the blocks of f reachable from the entry in
+// reverse post-order. Unreachable blocks are omitted.
+func ReversePostOrder(f *ir.Func) []*ir.Block {
+	if f.Entry() == nil {
+		return nil
+	}
+	var post []*ir.Block
+	visited := make(map[*ir.Block]bool, len(f.Blocks))
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b] = true
+		for _, s := range b.Succs() {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Predecessors computes the predecessor map for all reachable blocks.
+func Predecessors(f *ir.Func) map[*ir.Block][]*ir.Block {
+	preds := make(map[*ir.Block][]*ir.Block, len(f.Blocks))
+	for _, b := range ReversePostOrder(f) {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import "repro/internal/ir"
+
+// DomTree is the dominator tree of a function, built with the
+// Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast Dominance
+// Algorithm"). It answers block- and instruction-level dominance queries.
+type DomTree struct {
+	fn    *ir.Func
+	rpo   []*ir.Block
+	index map[*ir.Block]int // position in rpo
+	idom  []int             // immediate dominator, by rpo index; idom[0] == 0
+	// instrPos caches the position of each instruction inside its block for
+	// same-block dominance queries.
+	instrPos map[*ir.Instr]int
+	children map[*ir.Block][]*ir.Block
+}
+
+// NewDomTree computes the dominator tree of f. Unreachable blocks are not in
+// the tree; queries involving them return false.
+func NewDomTree(f *ir.Func) *DomTree {
+	rpo := ReversePostOrder(f)
+	dt := &DomTree{
+		fn:    f,
+		rpo:   rpo,
+		index: make(map[*ir.Block]int, len(rpo)),
+		idom:  make([]int, len(rpo)),
+	}
+	for i, b := range rpo {
+		dt.index[b] = i
+	}
+	if len(rpo) == 0 {
+		return dt
+	}
+
+	preds := Predecessors(f)
+	const undef = -1
+	for i := range dt.idom {
+		dt.idom[i] = undef
+	}
+	dt.idom[0] = 0
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < len(rpo); i++ {
+			b := rpo[i]
+			newIdom := undef
+			for _, p := range preds[b] {
+				pi, ok := dt.index[p]
+				if !ok || dt.idom[pi] == undef {
+					continue
+				}
+				if newIdom == undef {
+					newIdom = pi
+				} else {
+					newIdom = dt.intersect(pi, newIdom)
+				}
+			}
+			if newIdom != undef && dt.idom[i] != newIdom {
+				dt.idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	dt.children = make(map[*ir.Block][]*ir.Block)
+	for i := 1; i < len(rpo); i++ {
+		if dt.idom[i] != undef {
+			p := rpo[dt.idom[i]]
+			dt.children[p] = append(dt.children[p], rpo[i])
+		}
+	}
+
+	dt.instrPos = make(map[*ir.Instr]int, f.NumInstrs())
+	for _, b := range rpo {
+		for pos, in := range b.Instrs {
+			dt.instrPos[in] = pos
+		}
+	}
+	return dt
+}
+
+func (dt *DomTree) intersect(a, b int) int {
+	for a != b {
+		for a > b {
+			a = dt.idom[a]
+		}
+		for b > a {
+			b = dt.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b, or nil for the entry block and
+// unreachable blocks.
+func (dt *DomTree) IDom(b *ir.Block) *ir.Block {
+	i, ok := dt.index[b]
+	if !ok || i == 0 {
+		return nil
+	}
+	return dt.rpo[dt.idom[i]]
+}
+
+// Children returns the blocks immediately dominated by b.
+func (dt *DomTree) Children(b *ir.Block) []*ir.Block { return dt.children[b] }
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (dt *DomTree) Dominates(a, b *ir.Block) bool {
+	ai, aok := dt.index[a]
+	bi, bok := dt.index[b]
+	if !aok || !bok {
+		return false
+	}
+	for bi > ai {
+		bi = dt.idom[bi]
+	}
+	return bi == ai
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (dt *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && dt.Dominates(a, b)
+}
+
+// InstrDominates reports whether instruction a dominates instruction b: a
+// strictly precedes b in the same block, or a's block strictly dominates b's.
+// An instruction does not dominate itself.
+func (dt *DomTree) InstrDominates(a, b *ir.Instr) bool {
+	if a == b {
+		return false
+	}
+	if a.Block == b.Block {
+		return dt.instrPos[a] < dt.instrPos[b]
+	}
+	return dt.StrictlyDominates(a.Block, b.Block)
+}
+
+// ValueDominates reports whether the definition of value v dominates
+// instruction user. Constants, parameters, globals and functions dominate
+// everything; instruction definitions follow InstrDominates.
+func (dt *DomTree) ValueDominates(v ir.Value, user *ir.Instr) bool {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	return dt.InstrDominates(in, user)
+}
+
+// Blocks returns the reachable blocks in reverse post-order.
+func (dt *DomTree) Blocks() []*ir.Block { return dt.rpo }
+
+// DominanceFrontiers computes the dominance frontier of every reachable
+// block (Cooper–Harvey–Kennedy): DF(a) contains b iff a dominates a
+// predecessor of b but not b strictly. mem2reg places phis at iterated
+// frontiers of store blocks.
+func (dt *DomTree) DominanceFrontiers() map[*ir.Block][]*ir.Block {
+	df := make(map[*ir.Block][]*ir.Block, len(dt.rpo))
+	preds := Predecessors(dt.fn)
+	for _, b := range dt.rpo {
+		ps := preds[b]
+		if len(ps) < 2 {
+			continue
+		}
+		bi := dt.index[b]
+		for _, p := range ps {
+			pi, ok := dt.index[p]
+			if !ok {
+				continue
+			}
+			runner := pi
+			for runner != dt.idom[bi] {
+				rb := dt.rpo[runner]
+				df[rb] = append(df[rb], b)
+				runner = dt.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+// VerifySSA checks that every instruction operand's definition dominates its
+// use (phi uses are checked against the incoming edge's terminator). It
+// returns the first violating instruction, or nil.
+func VerifySSA(f *ir.Func) *ir.Instr {
+	dt := NewDomTree(f)
+	for _, b := range dt.rpo {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for i, op := range in.Operands {
+					def, ok := op.(*ir.Instr)
+					if !ok {
+						continue
+					}
+					pred := in.PhiBlocks[i]
+					term := pred.Terminator()
+					if term == nil || (!dt.InstrDominates(def, term) && def != term) {
+						return in
+					}
+				}
+				continue
+			}
+			for _, op := range in.Operands {
+				if !dt.ValueDominates(op, in) {
+					return in
+				}
+			}
+		}
+	}
+	return nil
+}

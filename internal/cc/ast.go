@@ -1,0 +1,213 @@
+package cc
+
+// The AST is deliberately lightweight: semantic analysis happens during code
+// generation, which annotates nothing back into the tree.
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	V        int64
+	Unsigned bool
+	Long     bool
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ S string }
+
+// Ident is a name reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is a prefix or postfix unary operation. Op is one of
+// "-", "+", "!", "~", "*", "&", "++", "--"; Postfix distinguishes x++ from
+// ++x.
+type Unary struct {
+	Op      string
+	X       Expr
+	Postfix bool
+}
+
+// Binary is a binary operation (arithmetic, relational, logical, comma).
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Assign is an assignment; Op is "=" or a compound operator like "+=".
+type Assign struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Cond is the ?: operator.
+type Cond struct{ C, T, F Expr }
+
+// Call is a function call by name (function pointers are unsupported).
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Index is array subscripting x[i].
+type Index struct{ X, I Expr }
+
+// Member is struct member access; Arrow distinguishes p->f from s.f.
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Line  int
+}
+
+// CastExpr is an explicit cast.
+type CastExpr struct {
+	Ty *CType
+	X  Expr
+}
+
+// SizeofType is sizeof(type).
+type SizeofType struct{ Ty *CType }
+
+// SizeofExpr is sizeof expr.
+type SizeofExpr struct{ X Expr }
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StrLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*CastExpr) exprNode()   {}
+func (*SizeofType) exprNode() {}
+func (*SizeofExpr) exprNode() {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a compound statement; items are statements and local
+// declarations.
+type Block struct{ Items []Stmt }
+
+// DeclStmt declares local variables.
+type DeclStmt struct{ Vars []*VarDecl }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else Stmt
+}
+
+// WhileStmt is a while loop; DoWhile marks do { } while().
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ForStmt is a for loop. Init may be a DeclStmt or ExprStmt (or nil).
+type ForStmt struct {
+	Init       Stmt
+	Cond, Post Expr
+	Body       Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct{ X Expr }
+
+// BreakStmt breaks out of the innermost loop or switch.
+type BreakStmt struct{}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{}
+
+// SwitchStmt is a switch with constant case labels. Fallthrough between
+// cases is supported.
+type SwitchStmt struct {
+	X     Expr
+	Cases []SwitchCase
+}
+
+// SwitchCase is one case (or default) label group with its statements.
+type SwitchCase struct {
+	// Values holds the constant case values of the group.
+	Values []int64
+	// Default marks a group carrying the default label.
+	Default bool
+	Body    []Stmt
+}
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*SwitchStmt) stmtNode()   {}
+
+// VarDecl declares one variable (global or local).
+type VarDecl struct {
+	Name   string
+	Ty     *CType
+	Init   InitVal // nil when absent
+	Extern bool
+	Static bool
+	Line   int
+}
+
+// InitVal is an initializer: a single expression or a brace list.
+type InitVal interface{ initNode() }
+
+// InitExpr wraps an expression initializer.
+type InitExpr struct{ X Expr }
+
+// InitList is a brace-enclosed initializer list.
+type InitList struct{ Items []InitVal }
+
+func (*InitExpr) initNode() {}
+func (*InitList) initNode() {}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Name string
+	Ty   *CType
+}
+
+// FuncDecl is a function declaration or definition.
+type FuncDecl struct {
+	Name     string
+	Ret      *CType
+	Params   []ParamDecl
+	Variadic bool
+	Body     *Block // nil for declarations
+	Static   bool
+	Line     int
+}
+
+// Unit is one parsed translation unit.
+type Unit struct {
+	File    string
+	Vars    []*VarDecl
+	Funcs   []*FuncDecl
+	Structs map[string]*StructInfo
+}

@@ -1,0 +1,408 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// ----- lexer -----
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	return lex("t.c", src, map[string][]Token{})
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexAll(t, `int x = 0x1F + 'a'; // comment
+/* block
+   comment */ float f = 1.5e2;`)
+	var kinds []TokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	if texts[0] != "int" || kinds[0] != TokKeyword {
+		t.Errorf("first token %q kind %d", texts[0], kinds[0])
+	}
+	// 0x1F
+	if toks[3].Kind != TokIntLit || toks[3].IntVal != 0x1F {
+		t.Errorf("hex literal: %+v", toks[3])
+	}
+	// 'a'
+	if toks[5].Kind != TokCharLit || toks[5].IntVal != 'a' {
+		t.Errorf("char literal: %+v", toks[5])
+	}
+	// 1.5e2
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == TokFloatLit && tk.FloatVal == 150 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("float literal 1.5e2 not lexed")
+	}
+}
+
+func TestLexMultiCharOperators(t *testing.T) {
+	toks := lexAll(t, `a <<= b >>= c && d || e -> f ++ -- == != <= >= += ...`)
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<<=", ">>=", "&&", "||", "->", "++", "--", "==", "!=", "<=", ">=", "+=", "..."}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := lexAll(t, `"a\nb\t\"q\"\\"`)
+	if toks[0].Kind != TokStrLit || toks[0].Text != "a\nb\t\"q\"\\" {
+		t.Errorf("string = %q", toks[0].Text)
+	}
+}
+
+func TestPreprocessorDefines(t *testing.T) {
+	macros := map[string][]Token{}
+	toks := lex("t.c", "#define N 4\n#define M (N + 1)\n#include <stdio.h>\nint a[M];", macros)
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tk.Text)
+	}
+	joined := strings.Join(texts, " ")
+	// M expands to ( N + 1 ) and N to 4 inside it.
+	if !strings.Contains(joined, "( 4 + 1 )") {
+		t.Errorf("macro expansion: %q", joined)
+	}
+	if strings.Contains(joined, "include") {
+		t.Error("#include line not skipped")
+	}
+}
+
+func TestLexSuffixes(t *testing.T) {
+	toks := lexAll(t, "10u 10l 10ul 3.5f")
+	if !toks[0].Unsigned || toks[0].Long {
+		t.Error("10u misclassified")
+	}
+	if !toks[1].Long || toks[1].Unsigned {
+		t.Error("10l misclassified")
+	}
+	if !toks[2].Long || !toks[2].Unsigned {
+		t.Error("10ul misclassified")
+	}
+	if toks[3].Kind != TokFloatLit {
+		t.Error("3.5f not a float literal")
+	}
+}
+
+// ----- parser / sema errors -----
+
+func compileErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Compile("t", Source{Name: "t.c", Code: src})
+	return err
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semicolon":    `int main() { int x = 1 return x; }`,
+		"undefined variable":   `int main() { return y; }`,
+		"undefined function":   `int main() { return f(); }`,
+		"goto unsupported":     `int main() { goto l; l: return 0; }`,
+		"typedef unsupported":  `typedef int myint; int main() { return 0; }`,
+		"union unsupported":    `union u { int a; }; int main() { return 0; }`,
+		"bad member":           `struct s { int a; }; int main() { struct s v; return v.b; }`,
+		"arg count mismatch":   `int f(int a) { return a; } int main() { return f(1, 2); }`,
+		"sizeless local array": `int main() { int a[]; return 0; }`,
+		"conflicting redef":    `int f() { return 1; } int f() { return 2; }`,
+	}
+	for name, src := range cases {
+		if err := compileErr(t, src); err == nil {
+			t.Errorf("%s: no error reported", name)
+		}
+	}
+}
+
+func TestConstExprEvaluation(t *testing.T) {
+	m, err := Compile("t", Source{Name: "t.c", Code: `
+enum { A = 2, B, C = A * 10 + B };
+int arr[C - 20];
+int main() { return sizeof(arr) / sizeof(int); }`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Global("arr")
+	if g == nil || g.ValueTy.Len != 3 { // C = 23, 23-20 = 3
+		t.Fatalf("arr type = %v", g.ValueTy)
+	}
+}
+
+func TestArrayLengthInference(t *testing.T) {
+	m, err := Compile("t", Source{Name: "t.c", Code: `
+int a[] = {1, 2, 3, 4, 5};
+char s[] = "hello";
+int main() { return 0; }`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Global("a").ValueTy.Len != 5 {
+		t.Errorf("a length = %d", m.Global("a").ValueTy.Len)
+	}
+	if m.Global("s").ValueTy.Len != 6 { // includes NUL
+		t.Errorf("s length = %d", m.Global("s").ValueTy.Len)
+	}
+}
+
+func TestLinkageClassification(t *testing.T) {
+	m, err := Compile("t", Source{Name: "t.c", Code: `
+int tentative;        /* common linkage */
+int defined = 4;      /* external linkage */
+int main() { return tentative + defined; }`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Global("tentative").Linkage != ir.CommonLinkage {
+		t.Error("tentative definition not common")
+	}
+	if m.Global("defined").Linkage != ir.ExternalLinkage {
+		t.Error("initialized definition not external")
+	}
+}
+
+func TestSizeZeroExternMarking(t *testing.T) {
+	m, err := Compile("t",
+		Source{Name: "a.c", Code: `extern short buf[]; short probe() { return buf[0]; }`},
+		Source{Name: "b.c", Code: `short buf[32]; short probe(); int main() { return probe(); }`},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Global("buf")
+	if !g.SizeZeroDecl {
+		t.Error("size-zero extern declaration not recorded")
+	}
+	if g.ValueTy.Len != 32 {
+		t.Errorf("definition length lost: %d", g.ValueTy.Len)
+	}
+}
+
+func TestStructSharingAcrossUnits(t *testing.T) {
+	m, err := Compile("t",
+		Source{Name: "a.c", Code: `
+struct pair { int a; int b; };
+int sum(struct pair *p) { return p->a + p->b; }`},
+		Source{Name: "b.c", Code: `
+struct pair { int a; int b; };
+int sum(struct pair *p);
+int main() {
+    struct pair v;
+    v.a = 3; v.b = 4;
+    printf("%d\n", sum(&v));
+    return 0;
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeofSemantics(t *testing.T) {
+	out := runProgramForTest(t, `
+struct mix { char c; long l; int i; };
+int main() {
+    int arr[12];
+    struct mix m;
+    int *p = &arr[0];
+    printf("%lu %lu %lu %lu %lu\n",
+        sizeof(int), sizeof(arr), sizeof(struct mix), sizeof(p), sizeof(*p));
+    printf("%lu %lu\n", sizeof m, sizeof(arr) / sizeof(arr[0]));
+    return 0;
+}`)
+	if out != "4 48 24 8 4\n24 12\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestTernaryAndComma(t *testing.T) {
+	out := runProgramForTest(t, `
+int main() {
+    int a = 5, b = 9;
+    int max = a > b ? a : b;
+    int i, s;
+    for (i = 0, s = 0; i < 4; i++, s += 2) {}
+    printf("%d %d %d\n", max, i, s);
+    return 0;
+}`)
+	if out != "9 4 8\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	out := runProgramForTest(t, `
+int main() {
+    int x = 5;
+    int a = x++;
+    int b = ++x;
+    int arr[3];
+    int *p = arr;
+    arr[0] = 10; arr[1] = 20; arr[2] = 30;
+    int c = *p++;
+    int d = *++p;
+    printf("%d %d %d %d %d\n", a, b, x, c, d);
+    return 0;
+}`)
+	if out != "5 7 7 10 30\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	out := runProgramForTest(t, `
+int grid[3][4];
+int main() {
+    int i, j, s = 0;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            grid[i][j] = i * 10 + j;
+    for (i = 0; i < 3; i++) s += grid[i][3];
+    printf("%d %d\n", s, grid[2][1]);
+    return 0;
+}`)
+	if out != "39 21\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestDoWhileAndBreakContinue(t *testing.T) {
+	out := runProgramForTest(t, `
+int main() {
+    int i = 0, s = 0;
+    do { s += i; i++; } while (i < 5);
+    while (1) {
+        i++;
+        if (i < 8) continue;
+        break;
+    }
+    printf("%d %d\n", s, i);
+    return 0;
+}`)
+	if out != "10 8\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCharSignednessAndPromotion(t *testing.T) {
+	out := runProgramForTest(t, `
+int main() {
+    char sc = (char)200;        /* -56 as signed char */
+    unsigned char uc = 200;
+    printf("%d %d %d\n", sc, uc, sc + uc);
+    short sh = -1;
+    unsigned short us = (unsigned short)sh;
+    printf("%d %u\n", sh, us);
+    return 0;
+}`)
+	if out != "-56 200 144\n-1 65535\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestPointerCastsRoundTrip(t *testing.T) {
+	out := runProgramForTest(t, `
+int main() {
+    int x = 77;
+    long addr = (long)&x;
+    int *p = (int *)addr;
+    void *v = p;
+    int *q = (int *)v;
+    printf("%d %d\n", *p, *q);
+    return 0;
+}`)
+	if out != "77 77\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+// Property: the front end compiles arithmetic expressions whose value
+// matches direct evaluation.
+func TestExprValueProperty(t *testing.T) {
+	f := func(a, b int16, pick uint8) bool {
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		op := ops[int(pick)%len(ops)]
+		src := "int main() { int a = " + itoa(int64(a)) + "; int b = " + itoa(int64(b)) +
+			"; printf(\"%d\", a " + op + " b); return 0; }"
+		got := runProgramForTest(t, src)
+		var want int64
+		x, y := int64(a), int64(b)
+		switch op {
+		case "+":
+			want = x + y
+		case "-":
+			want = x - y
+		case "*":
+			want = x * y
+		case "&":
+			want = x & y
+		case "|":
+			want = x | y
+		case "^":
+			want = x ^ y
+		}
+		return got == itoa(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	neg := v < 0
+	if v == 0 {
+		return "0"
+	}
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	var b []byte
+	for u > 0 {
+		b = append([]byte{byte('0' + u%10)}, b...)
+		u /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// runProgramForTest compiles and runs a program on the VM (in-package
+// variant of the helper in run_test.go).
+func runProgramForTest(t *testing.T, src string) string {
+	t.Helper()
+	m, err := Compile("t", Source{Name: "t.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	if _, err := machine.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return machine.Output()
+}

@@ -1,0 +1,402 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// cval is a typed rvalue during code generation.
+type cval struct {
+	v  ir.Value
+	ty *CType
+}
+
+// localVar is a block-scoped variable backed by an alloca.
+type localVar struct {
+	addr ir.Value
+	ty   *CType
+}
+
+// funcSig is the C-level signature of a function.
+type funcSig struct {
+	ret      *CType
+	params   []*CType
+	variadic bool
+}
+
+// codegen lowers one program (several units) into one IR module. Locals are
+// allocas with loads/stores — the -O0 shape clang produces, which mem2reg
+// later promotes; this is essential for the extension-point experiments
+// (Section 5.5).
+type codegen struct {
+	mod    *ir.Module
+	sigs   map[string]*funcSig
+	gtypes map[string]*CType
+	strs   map[string]*ir.Global
+	strSeq int
+
+	// Per-function state.
+	fn     *ir.Func
+	bld    *ir.Builder
+	scopes []map[string]*localVar
+	retTy  *CType
+	breaks []*ir.Block
+	conts  []*ir.Block
+	blkSeq int
+}
+
+func (cg *codegen) pushScope() { cg.scopes = append(cg.scopes, map[string]*localVar{}) }
+func (cg *codegen) popScope()  { cg.scopes = cg.scopes[:len(cg.scopes)-1] }
+
+func (cg *codegen) lookupLocal(name string) *localVar {
+	for i := len(cg.scopes) - 1; i >= 0; i-- {
+		if lv, ok := cg.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) newBlock(hint string) *ir.Block {
+	cg.blkSeq++
+	return cg.fn.NewBlock(fmt.Sprintf("%s.%d", hint, cg.blkSeq))
+}
+
+// terminated reports whether the current block already has a terminator.
+func (cg *codegen) terminated() bool {
+	return cg.bld.Block() != nil && cg.bld.Block().Terminator() != nil
+}
+
+// ensureBlock guarantees an unterminated insertion block, creating a fresh
+// (unreachable) one for code after return/break/continue; SimplifyCFG
+// removes it later.
+func (cg *codegen) ensureBlock() {
+	if cg.terminated() {
+		cg.bld.SetBlock(cg.newBlock("dead"))
+	}
+}
+
+// emitFunc generates the body of one function.
+func (cg *codegen) emitFunc(fd *FuncDecl) {
+	f := cg.mod.Func(fd.Name)
+	cg.fn = f
+	cg.bld = ir.NewBuilder(f)
+	cg.retTy = fd.Ret
+	cg.scopes = nil
+	cg.blkSeq = 0
+	cg.pushScope()
+
+	entry := f.NewBlock("entry")
+	cg.bld.SetBlock(entry)
+
+	// Parameters are spilled to allocas (clang -O0 style).
+	for i, pd := range fd.Params {
+		al := cg.bld.Alloca(pd.Ty.IR())
+		cg.bld.Store(f.Params[i], al)
+		cg.scopes[0][pd.Name] = &localVar{addr: al, ty: pd.Ty}
+	}
+
+	cg.emitBlockStmt(fd.Body)
+
+	if !cg.terminated() {
+		cg.emitDefaultReturn()
+	}
+	cg.popScope()
+}
+
+func (cg *codegen) emitDefaultReturn() {
+	switch {
+	case cg.retTy.Kind == CVoid:
+		cg.bld.Ret(nil)
+	case cg.retTy.isPtr():
+		cg.bld.Ret(ir.NewNull(cg.retTy.IR()))
+	case cg.retTy.Kind == CFloat:
+		cg.bld.Ret(ir.NewFloat(cg.retTy.IR(), 0))
+	default:
+		cg.bld.Ret(ir.NewInt(cg.retTy.IR(), 0))
+	}
+}
+
+// ----- statements -----
+
+func (cg *codegen) emitStmt(s Stmt) {
+	cg.ensureBlock()
+	switch st := s.(type) {
+	case *Block:
+		cg.pushScope()
+		cg.emitBlockStmt(st)
+		cg.popScope()
+	case *DeclStmt:
+		for _, vd := range st.Vars {
+			cg.emitLocalDecl(vd)
+		}
+	case *ExprStmt:
+		cg.emitExpr(st.X)
+	case *IfStmt:
+		cg.emitIf(st)
+	case *WhileStmt:
+		cg.emitWhile(st)
+	case *ForStmt:
+		cg.emitFor(st)
+	case *ReturnStmt:
+		cg.emitReturn(st)
+	case *BreakStmt:
+		cg.bld.Br(cg.breaks[len(cg.breaks)-1])
+	case *ContinueStmt:
+		cg.bld.Br(cg.conts[len(cg.conts)-1])
+	case *SwitchStmt:
+		cg.emitSwitch(st)
+	default:
+		panic(errf("cc: unhandled statement %T", s))
+	}
+}
+
+func (cg *codegen) emitBlockStmt(b *Block) {
+	for _, item := range b.Items {
+		cg.emitStmt(item)
+	}
+}
+
+func (cg *codegen) emitLocalDecl(vd *VarDecl) {
+	if vd.Ty.Kind == CArray && vd.Ty.Len == 0 {
+		panic(errf("cc: local array %q has no size", vd.Name))
+	}
+	if vd.Static {
+		panic(errf("cc: static locals are not supported (variable %q)", vd.Name))
+	}
+	al := cg.bld.Alloca(vd.Ty.IR())
+	lv := &localVar{addr: al, ty: vd.Ty}
+	cg.scopes[len(cg.scopes)-1][vd.Name] = lv
+	if vd.Init != nil {
+		cg.emitLocalInit(al, vd.Ty, vd.Init)
+	}
+}
+
+// emitLocalInit initializes a local variable element-wise.
+func (cg *codegen) emitLocalInit(addr ir.Value, ty *CType, init InitVal) {
+	switch iv := init.(type) {
+	case *InitExpr:
+		if s, ok := iv.X.(*StrLit); ok && ty.Kind == CArray {
+			cg.emitStringCopy(addr, ty, s.S)
+			return
+		}
+		v := cg.convert(cg.emitExpr(iv.X), ty, "initializer")
+		cg.bld.Store(v.v, addr)
+	case *InitList:
+		switch ty.Kind {
+		case CArray:
+			for i, item := range iv.Items {
+				if i >= ty.Len {
+					panic(errf("cc: too many initializers"))
+				}
+				ea := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I64, int64(i)))
+				cg.emitLocalInit(ea, ty.Elem, item)
+			}
+			// Zero the tail to match C semantics for partial lists.
+			for i := len(iv.Items); i < ty.Len; i++ {
+				ea := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I64, int64(i)))
+				cg.emitZeroInit(ea, ty.Elem)
+			}
+		case CStruct:
+			for i, item := range iv.Items {
+				if i >= len(ty.Struct.Fields) {
+					panic(errf("cc: too many initializers"))
+				}
+				fa := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I32, int64(i)))
+				cg.emitLocalInit(fa, ty.Struct.Fields[i].Type, item)
+			}
+			for i := len(iv.Items); i < len(ty.Struct.Fields); i++ {
+				fa := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I32, int64(i)))
+				cg.emitZeroInit(fa, ty.Struct.Fields[i].Type)
+			}
+		default:
+			if len(iv.Items) != 1 {
+				panic(errf("cc: scalar initializer list with %d items", len(iv.Items)))
+			}
+			cg.emitLocalInit(addr, ty, iv.Items[0])
+		}
+	}
+}
+
+func (cg *codegen) emitZeroInit(addr ir.Value, ty *CType) {
+	switch ty.Kind {
+	case CArray:
+		for i := 0; i < ty.Len; i++ {
+			ea := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I64, int64(i)))
+			cg.emitZeroInit(ea, ty.Elem)
+		}
+	case CStruct:
+		for i, f := range ty.Struct.Fields {
+			fa := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I32, int64(i)))
+			cg.emitZeroInit(fa, f.Type)
+		}
+	case CPtr:
+		cg.bld.Store(ir.NewNull(ty.IR()), addr)
+	case CFloat:
+		cg.bld.Store(ir.NewFloat(ty.IR(), 0), addr)
+	default:
+		cg.bld.Store(ir.NewInt(ty.IR(), 0), addr)
+	}
+}
+
+// emitStringCopy initializes a char-array local from a string literal via
+// the string's global storage and memcpy.
+func (cg *codegen) emitStringCopy(addr ir.Value, ty *CType, s string) {
+	g := cg.stringGlobal(s)
+	n := len(s) + 1
+	if n > ty.Len {
+		n = ty.Len
+	}
+	memcpy := cg.libcFunc("memcpy")
+	dst := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I64, 0))
+	src := cg.bld.GEP(g, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I64, 0))
+	cg.bld.Call(memcpy, dst, src, ir.NewInt(ir.I64, int64(n)))
+}
+
+func (cg *codegen) emitIf(st *IfStmt) {
+	thenB := cg.newBlock("if.then")
+	endB := cg.newBlock("if.end")
+	elseB := endB
+	if st.Else != nil {
+		elseB = cg.newBlock("if.else")
+	}
+	cg.emitBranchCond(st.Cond, thenB, elseB)
+
+	cg.bld.SetBlock(thenB)
+	cg.emitStmt(st.Then)
+	if !cg.terminated() {
+		cg.bld.Br(endB)
+	}
+	if st.Else != nil {
+		cg.bld.SetBlock(elseB)
+		cg.emitStmt(st.Else)
+		if !cg.terminated() {
+			cg.bld.Br(endB)
+		}
+	}
+	cg.bld.SetBlock(endB)
+}
+
+func (cg *codegen) emitWhile(st *WhileStmt) {
+	condB := cg.newBlock("loop.cond")
+	bodyB := cg.newBlock("loop.body")
+	endB := cg.newBlock("loop.end")
+
+	if st.DoWhile {
+		cg.bld.Br(bodyB)
+	} else {
+		cg.bld.Br(condB)
+	}
+
+	cg.bld.SetBlock(condB)
+	cg.emitBranchCond(st.Cond, bodyB, endB)
+
+	cg.bld.SetBlock(bodyB)
+	cg.breaks = append(cg.breaks, endB)
+	cg.conts = append(cg.conts, condB)
+	cg.emitStmt(st.Body)
+	cg.breaks = cg.breaks[:len(cg.breaks)-1]
+	cg.conts = cg.conts[:len(cg.conts)-1]
+	if !cg.terminated() {
+		cg.bld.Br(condB)
+	}
+	cg.bld.SetBlock(endB)
+}
+
+func (cg *codegen) emitFor(st *ForStmt) {
+	cg.pushScope()
+	if st.Init != nil {
+		cg.emitStmt(st.Init)
+	}
+	condB := cg.newBlock("for.cond")
+	bodyB := cg.newBlock("for.body")
+	postB := cg.newBlock("for.post")
+	endB := cg.newBlock("for.end")
+
+	cg.bld.Br(condB)
+	cg.bld.SetBlock(condB)
+	if st.Cond != nil {
+		cg.emitBranchCond(st.Cond, bodyB, endB)
+	} else {
+		cg.bld.Br(bodyB)
+	}
+
+	cg.bld.SetBlock(bodyB)
+	cg.breaks = append(cg.breaks, endB)
+	cg.conts = append(cg.conts, postB)
+	cg.emitStmt(st.Body)
+	cg.breaks = cg.breaks[:len(cg.breaks)-1]
+	cg.conts = cg.conts[:len(cg.conts)-1]
+	if !cg.terminated() {
+		cg.bld.Br(postB)
+	}
+
+	cg.bld.SetBlock(postB)
+	if st.Post != nil {
+		cg.emitExpr(st.Post)
+	}
+	cg.bld.Br(condB)
+
+	cg.bld.SetBlock(endB)
+	cg.popScope()
+}
+
+func (cg *codegen) emitReturn(st *ReturnStmt) {
+	if st.X == nil {
+		if cg.retTy.Kind != CVoid {
+			cg.emitDefaultReturn()
+			return
+		}
+		cg.bld.Ret(nil)
+		return
+	}
+	v := cg.convert(cg.emitExpr(st.X), cg.retTy, "return")
+	cg.bld.Ret(v.v)
+}
+
+func (cg *codegen) emitSwitch(st *SwitchStmt) {
+	x := cg.emitExpr(st.X)
+	x = cg.promoteInt(x)
+	endB := cg.newBlock("sw.end")
+
+	// One body block per case group; fallthrough chains them.
+	bodies := make([]*ir.Block, len(st.Cases))
+	for i := range st.Cases {
+		bodies[i] = cg.newBlock("sw.case")
+	}
+	defaultB := endB
+	for i, c := range st.Cases {
+		if c.Default {
+			defaultB = bodies[i]
+		}
+	}
+
+	// Dispatch chain.
+	for i, c := range st.Cases {
+		for _, v := range c.Values {
+			cmp := cg.bld.ICmp(ir.PredEQ, x.v, ir.NewInt(x.ty.IR(), v))
+			nextTest := cg.newBlock("sw.test")
+			cg.bld.CondBr(cmp, bodies[i], nextTest)
+			cg.bld.SetBlock(nextTest)
+		}
+	}
+	cg.bld.Br(defaultB)
+
+	cg.breaks = append(cg.breaks, endB)
+	for i, c := range st.Cases {
+		cg.bld.SetBlock(bodies[i])
+		for _, s := range c.Body {
+			cg.emitStmt(s)
+		}
+		if !cg.terminated() {
+			if i+1 < len(st.Cases) {
+				cg.bld.Br(bodies[i+1]) // fallthrough
+			} else {
+				cg.bld.Br(endB)
+			}
+		}
+	}
+	cg.breaks = cg.breaks[:len(cg.breaks)-1]
+	cg.bld.SetBlock(endB)
+}

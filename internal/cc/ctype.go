@@ -1,0 +1,196 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CTypeKind classifies C-level types.
+type CTypeKind int
+
+// C type kinds.
+const (
+	CVoid CTypeKind = iota
+	CInt
+	CFloat
+	CPtr
+	CArray
+	CStruct
+)
+
+// CType is a C type. Unlike ir.Type it tracks signedness, which drives the
+// choice of sdiv/udiv, sext/zext and signed/unsigned comparisons during code
+// generation (the IR, like LLVM's, is signless).
+type CType struct {
+	Kind   CTypeKind
+	Bits   int
+	Signed bool
+	Elem   *CType
+	Len    int
+	Struct *StructInfo
+}
+
+// StructInfo describes a struct type; struct types are nominal (two structs
+// are identical only if they share the StructInfo).
+type StructInfo struct {
+	Name     string
+	Fields   []Field
+	Complete bool
+	irType   *ir.Type
+}
+
+// Field is a struct member.
+type Field struct {
+	Name string
+	Type *CType
+}
+
+// Interned basic C types.
+var (
+	cVoid    = &CType{Kind: CVoid}
+	cChar    = &CType{Kind: CInt, Bits: 8, Signed: true}
+	cUChar   = &CType{Kind: CInt, Bits: 8}
+	cShort   = &CType{Kind: CInt, Bits: 16, Signed: true}
+	cUShort  = &CType{Kind: CInt, Bits: 16}
+	cIntT    = &CType{Kind: CInt, Bits: 32, Signed: true}
+	cUInt    = &CType{Kind: CInt, Bits: 32}
+	cLong    = &CType{Kind: CInt, Bits: 64, Signed: true}
+	cULong   = &CType{Kind: CInt, Bits: 64}
+	cFloatT  = &CType{Kind: CFloat, Bits: 32}
+	cDoubleT = &CType{Kind: CFloat, Bits: 64}
+)
+
+func ptrTo(t *CType) *CType { return &CType{Kind: CPtr, Elem: t} }
+
+func arrayOf(n int, t *CType) *CType { return &CType{Kind: CArray, Len: n, Elem: t} }
+
+// isInteger reports whether t is an integer type.
+func (t *CType) isInteger() bool { return t.Kind == CInt }
+
+// isArith reports whether t is an arithmetic (integer or float) type.
+func (t *CType) isArith() bool { return t.Kind == CInt || t.Kind == CFloat }
+
+// isPtr reports whether t is a pointer type.
+func (t *CType) isPtr() bool { return t.Kind == CPtr }
+
+// isScalar reports whether t is usable in a boolean context.
+func (t *CType) isScalar() bool { return t.isArith() || t.isPtr() }
+
+// size returns the size in bytes (using the IR's layout rules).
+func (t *CType) size() int { return t.IR().Size() }
+
+// same reports structural/nominal type identity.
+func (t *CType) same(u *CType) bool {
+	if t == u {
+		return true
+	}
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case CVoid:
+		return true
+	case CInt:
+		return t.Bits == u.Bits && t.Signed == u.Signed
+	case CFloat:
+		return t.Bits == u.Bits
+	case CPtr:
+		return t.Elem.same(u.Elem)
+	case CArray:
+		return t.Len == u.Len && t.Elem.same(u.Elem)
+	case CStruct:
+		return t.Struct == u.Struct
+	}
+	return false
+}
+
+// IR lowers the C type to its IR representation. void* lowers to i8*.
+func (t *CType) IR() *ir.Type {
+	switch t.Kind {
+	case CVoid:
+		return ir.Void
+	case CInt:
+		return ir.IntType(t.Bits)
+	case CFloat:
+		if t.Bits == 32 {
+			return ir.F32
+		}
+		return ir.F64
+	case CPtr:
+		if t.Elem.Kind == CVoid {
+			return ir.PointerTo(ir.I8)
+		}
+		return ir.PointerTo(t.Elem.IR())
+	case CArray:
+		return ir.ArrayOf(t.Len, t.Elem.IR())
+	case CStruct:
+		if t.Struct.irType == nil {
+			// Build (and cache) the IR struct; recursion through pointers
+			// is fine because pointer lowering does not need field layout.
+			fields := make([]*ir.Type, len(t.Struct.Fields))
+			st := ir.StructOf(t.Struct.Name)
+			t.Struct.irType = st
+			for i, f := range t.Struct.Fields {
+				fields[i] = f.Type.IR()
+			}
+			st.Fields = fields
+		}
+		return t.Struct.irType
+	}
+	panic(errf("cc: cannot lower type %s", t))
+}
+
+// String renders the type for diagnostics.
+func (t *CType) String() string {
+	switch t.Kind {
+	case CVoid:
+		return "void"
+	case CInt:
+		sign := ""
+		if !t.Signed {
+			sign = "unsigned "
+		}
+		switch t.Bits {
+		case 8:
+			return sign + "char"
+		case 16:
+			return sign + "short"
+		case 32:
+			return sign + "int"
+		case 64:
+			return sign + "long"
+		}
+	case CFloat:
+		if t.Bits == 32 {
+			return "float"
+		}
+		return "double"
+	case CPtr:
+		return t.Elem.String() + "*"
+	case CArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case CStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "?"
+}
+
+// fieldIndex returns the index of a struct member, or -1.
+func (t *CType) fieldIndex(name string) int {
+	for i, f := range t.Struct.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// decay converts array types to pointer-to-element (array decay in rvalue
+// contexts).
+func decay(t *CType) *CType {
+	if t.Kind == CArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}

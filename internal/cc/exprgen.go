@@ -1,0 +1,825 @@
+package cc
+
+import (
+	"repro/internal/ir"
+)
+
+// ----- expressions -----
+
+// emitExpr generates code for an expression and returns its rvalue. Array
+// values decay to pointers to their first element.
+func (cg *codegen) emitExpr(e Expr) cval {
+	switch x := e.(type) {
+	case *IntLit:
+		ty := cIntT
+		if x.Long || x.V > 0x7FFFFFFF || x.V < -0x80000000 {
+			ty = cLong
+		}
+		if x.Unsigned {
+			if ty == cLong {
+				ty = cULong
+			} else {
+				ty = cUInt
+			}
+		}
+		return cval{v: ir.NewInt(ty.IR(), x.V), ty: ty}
+
+	case *FloatLit:
+		return cval{v: ir.NewFloat(ir.F64, x.V), ty: cDoubleT}
+
+	case *StrLit:
+		g := cg.stringGlobal(x.S)
+		p := cg.bld.GEP(g, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I64, 0))
+		return cval{v: p, ty: ptrTo(cChar)}
+
+	case *Ident:
+		addr, ty := cg.emitAddr(e)
+		return cg.loadValue(addr, ty, x.Line)
+
+	case *Index, *Member:
+		addr, ty := cg.emitAddr(e)
+		return cg.loadValue(addr, ty, 0)
+
+	case *Unary:
+		return cg.emitUnary(x)
+
+	case *Binary:
+		return cg.emitBinary(x)
+
+	case *Assign:
+		return cg.emitAssign(x)
+
+	case *Cond:
+		return cg.emitCondExpr(x)
+
+	case *Call:
+		return cg.emitCall(x)
+
+	case *CastExpr:
+		v := cg.emitExpr(x.X)
+		if x.Ty.Kind == CVoid {
+			return cval{v: nil, ty: cVoid}
+		}
+		return cg.convert(v, x.Ty, "cast")
+
+	case *SizeofType:
+		return cval{v: ir.NewInt(ir.I64, int64(x.Ty.size())), ty: cULong}
+
+	case *SizeofExpr:
+		ty := cg.typeOf(x.X)
+		return cval{v: ir.NewInt(ir.I64, int64(ty.size())), ty: cULong}
+
+	case *preEvaluated:
+		return x.v
+	}
+	panic(errf("cc: unhandled expression %T", e))
+}
+
+// loadValue loads an rvalue from an address, decaying arrays.
+func (cg *codegen) loadValue(addr ir.Value, ty *CType, line int) cval {
+	switch ty.Kind {
+	case CArray:
+		p := cg.bld.GEP(addr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I64, 0))
+		return cval{v: p, ty: ptrTo(ty.Elem)}
+	case CStruct:
+		// Struct rvalues only occur as intermediates of member access,
+		// which goes through emitAddr; anything else is unsupported.
+		panic(errf("cc: struct values are not supported (line %d); use pointers", line))
+	default:
+		return cval{v: cg.bld.Load(addr), ty: ty}
+	}
+}
+
+// emitAddr generates the address of an lvalue and returns it with the
+// pointee's C type.
+func (cg *codegen) emitAddr(e Expr) (ir.Value, *CType) {
+	switch x := e.(type) {
+	case *Ident:
+		if lv := cg.lookupLocal(x.Name); lv != nil {
+			return lv.addr, lv.ty
+		}
+		if g := cg.mod.Global(x.Name); g != nil {
+			return g, cg.gtypes[x.Name]
+		}
+		panic(errf("cc: line %d: undefined variable %q", x.Line, x.Name))
+
+	case *Unary:
+		if x.Op == "*" {
+			p := cg.emitExpr(x.X)
+			if !p.ty.isPtr() {
+				panic(errf("cc: dereference of non-pointer %s", p.ty))
+			}
+			return p.v, p.ty.Elem
+		}
+
+	case *Index:
+		base := cg.emitExpr(x.X) // arrays decay here
+		if !base.ty.isPtr() {
+			panic(errf("cc: subscript of non-pointer %s", base.ty))
+		}
+		idx := cg.toI64(cg.emitExpr(x.I))
+		elem := base.ty.Elem
+		if elem.Kind == CArray {
+			// Pointer to array: index the array dimension.
+			a := cg.bld.GEP(base.v, idx.v)
+			return a, elem
+		}
+		a := cg.bld.GEP(base.v, idx.v)
+		return a, elem
+
+	case *Member:
+		var saddr ir.Value
+		var sty *CType
+		if x.Arrow {
+			p := cg.emitExpr(x.X)
+			if !p.ty.isPtr() || p.ty.Elem.Kind != CStruct {
+				panic(errf("cc: line %d: -> on non-struct-pointer %s", x.Line, p.ty))
+			}
+			saddr, sty = p.v, p.ty.Elem
+		} else {
+			saddr, sty = cg.emitAddr(x.X)
+			if sty.Kind != CStruct {
+				panic(errf("cc: line %d: . on non-struct %s", x.Line, sty))
+			}
+		}
+		fi := sty.fieldIndex(x.Name)
+		if fi < 0 {
+			panic(errf("cc: line %d: struct %s has no member %q", x.Line, sty.Struct.Name, x.Name))
+		}
+		fa := cg.bld.GEP(saddr, ir.NewInt(ir.I64, 0), ir.NewInt(ir.I32, int64(fi)))
+		return fa, sty.Struct.Fields[fi].Type
+	}
+	panic(errf("cc: expression is not an lvalue (%T)", e))
+}
+
+// ----- unary -----
+
+func (cg *codegen) emitUnary(x *Unary) cval {
+	switch x.Op {
+	case "+":
+		return cg.promoteInt(cg.emitExpr(x.X))
+	case "-":
+		v := cg.promoteInt(cg.emitExpr(x.X))
+		if v.ty.Kind == CFloat {
+			zero := ir.NewFloat(v.ty.IR(), 0)
+			return cval{v: cg.bld.Binary(ir.OpFSub, zero, v.v), ty: v.ty}
+		}
+		zero := ir.NewInt(v.ty.IR(), 0)
+		return cval{v: cg.bld.Sub(zero, v.v), ty: v.ty}
+	case "~":
+		v := cg.promoteInt(cg.emitExpr(x.X))
+		return cval{v: cg.bld.Binary(ir.OpXor, v.v, ir.NewInt(v.ty.IR(), -1)), ty: v.ty}
+	case "!":
+		c := cg.condI1(x.X)
+		inv := cg.bld.Binary(ir.OpXor, c, ir.NewBool(true))
+		return cval{v: cg.bld.Cast(ir.OpZExt, inv, ir.I32), ty: cIntT}
+	case "*":
+		addr, ty := cg.emitAddr(x)
+		return cg.loadValue(addr, ty, 0)
+	case "&":
+		addr, ty := cg.emitAddr(x.X)
+		return cval{v: addr, ty: ptrTo(ty)}
+	case "++", "--":
+		return cg.emitIncDec(x)
+	}
+	panic(errf("cc: unhandled unary %q", x.Op))
+}
+
+func (cg *codegen) emitIncDec(x *Unary) cval {
+	addr, ty := cg.emitAddr(x.X)
+	old := cg.loadValue(addr, ty, 0)
+	var nv cval
+	switch {
+	case ty.isPtr():
+		step := int64(1)
+		if x.Op == "--" {
+			step = -1
+		}
+		nv = cval{v: cg.bld.GEP(old.v, ir.NewInt(ir.I64, step)), ty: ty}
+	case ty.Kind == CFloat:
+		one := ir.NewFloat(ty.IR(), 1)
+		op := ir.OpFAdd
+		if x.Op == "--" {
+			op = ir.OpFSub
+		}
+		nv = cval{v: cg.bld.Binary(op, old.v, one), ty: ty}
+	default:
+		one := ir.NewInt(ty.IR(), 1)
+		op := ir.OpAdd
+		if x.Op == "--" {
+			op = ir.OpSub
+		}
+		nv = cval{v: cg.bld.Binary(op, old.v, one), ty: ty}
+	}
+	cg.bld.Store(nv.v, addr)
+	if x.Postfix {
+		return old
+	}
+	return nv
+}
+
+// ----- binary -----
+
+func (cg *codegen) emitBinary(x *Binary) cval {
+	switch x.Op {
+	case ",":
+		cg.emitExpr(x.X)
+		return cg.emitExpr(x.Y)
+	case "&&", "||":
+		return cg.emitLogical(x)
+	case "==", "!=", "<", "<=", ">", ">=":
+		c := cg.emitComparison(x)
+		return cval{v: cg.bld.Cast(ir.OpZExt, c, ir.I32), ty: cIntT}
+	}
+
+	a := cg.emitExpr(x.X)
+	b := cg.emitExpr(x.Y)
+
+	// Pointer arithmetic.
+	if x.Op == "+" || x.Op == "-" {
+		if a.ty.isPtr() && b.ty.isInteger() {
+			idx := cg.toI64(b)
+			if x.Op == "-" {
+				idx = cval{v: cg.bld.Sub(ir.NewInt(ir.I64, 0), idx.v), ty: cLong}
+			}
+			return cval{v: cg.bld.GEP(a.v, idx.v), ty: a.ty}
+		}
+		if x.Op == "+" && a.ty.isInteger() && b.ty.isPtr() {
+			idx := cg.toI64(a)
+			return cval{v: cg.bld.GEP(b.v, idx.v), ty: b.ty}
+		}
+		if x.Op == "-" && a.ty.isPtr() && b.ty.isPtr() {
+			ai := cg.bld.PtrToInt(a.v)
+			bi := cg.bld.PtrToInt(b.v)
+			diff := cg.bld.Sub(ai, bi)
+			size := int64(a.ty.Elem.size())
+			if size > 1 {
+				diff = cg.bld.Binary(ir.OpSDiv, diff, ir.NewInt(ir.I64, size))
+			}
+			return cval{v: diff, ty: cLong}
+		}
+	}
+
+	if x.Op == "<<" || x.Op == ">>" {
+		a = cg.promoteInt(a)
+		bb := cg.convert(b, a.ty, "shift amount")
+		op := ir.OpShl
+		if x.Op == ">>" {
+			if a.ty.Signed {
+				op = ir.OpAShr
+			} else {
+				op = ir.OpLShr
+			}
+		}
+		return cval{v: cg.bld.Binary(op, a.v, bb.v), ty: a.ty}
+	}
+
+	a, b = cg.usualArith(a, b, x.Line)
+	ty := a.ty
+	var op ir.Op
+	switch x.Op {
+	case "+":
+		op = ir.OpAdd
+		if ty.Kind == CFloat {
+			op = ir.OpFAdd
+		}
+	case "-":
+		op = ir.OpSub
+		if ty.Kind == CFloat {
+			op = ir.OpFSub
+		}
+	case "*":
+		op = ir.OpMul
+		if ty.Kind == CFloat {
+			op = ir.OpFMul
+		}
+	case "/":
+		switch {
+		case ty.Kind == CFloat:
+			op = ir.OpFDiv
+		case ty.Signed:
+			op = ir.OpSDiv
+		default:
+			op = ir.OpUDiv
+		}
+	case "%":
+		if ty.Kind == CFloat {
+			panic(errf("cc: line %d: %% on floating operands", x.Line))
+		}
+		if ty.Signed {
+			op = ir.OpSRem
+		} else {
+			op = ir.OpURem
+		}
+	case "&":
+		op = ir.OpAnd
+	case "|":
+		op = ir.OpOr
+	case "^":
+		op = ir.OpXor
+	default:
+		panic(errf("cc: unhandled binary %q", x.Op))
+	}
+	return cval{v: cg.bld.Binary(op, a.v, b.v), ty: ty}
+}
+
+// emitComparison emits a comparison producing an i1.
+func (cg *codegen) emitComparison(x *Binary) ir.Value {
+	a := cg.emitExpr(x.X)
+	b := cg.emitExpr(x.Y)
+
+	if a.ty.isPtr() || b.ty.isPtr() {
+		// Normalize both sides to the pointer type.
+		pt := a.ty
+		if !pt.isPtr() {
+			pt = b.ty
+		}
+		a = cg.convert(a, pt, "pointer comparison")
+		b = cg.convert(b, pt, "pointer comparison")
+		return cg.bld.ICmp(ptrPred(x.Op), a.v, b.v)
+	}
+
+	a, b = cg.usualArith(a, b, x.Line)
+	if a.ty.Kind == CFloat {
+		return cg.bld.FCmp(floatPred(x.Op), a.v, b.v)
+	}
+	return cg.bld.ICmp(intPred(x.Op, a.ty.Signed), a.v, b.v)
+}
+
+func intPred(op string, signed bool) ir.Pred {
+	switch op {
+	case "==":
+		return ir.PredEQ
+	case "!=":
+		return ir.PredNE
+	case "<":
+		if signed {
+			return ir.PredSLT
+		}
+		return ir.PredULT
+	case "<=":
+		if signed {
+			return ir.PredSLE
+		}
+		return ir.PredULE
+	case ">":
+		if signed {
+			return ir.PredSGT
+		}
+		return ir.PredUGT
+	case ">=":
+		if signed {
+			return ir.PredSGE
+		}
+		return ir.PredUGE
+	}
+	panic("cc: bad comparison " + op)
+}
+
+func ptrPred(op string) ir.Pred {
+	return intPred(op, false)
+}
+
+func floatPred(op string) ir.Pred {
+	switch op {
+	case "==":
+		return ir.PredOEQ
+	case "!=":
+		return ir.PredONE
+	case "<":
+		return ir.PredOLT
+	case "<=":
+		return ir.PredOLE
+	case ">":
+		return ir.PredOGT
+	case ">=":
+		return ir.PredOGE
+	}
+	panic("cc: bad comparison " + op)
+}
+
+// emitLogical lowers && and || with short-circuit control flow and a phi.
+func (cg *codegen) emitLogical(x *Binary) cval {
+	rhsB := cg.newBlock("land.rhs")
+	endB := cg.newBlock("land.end")
+
+	c1 := cg.condI1(x.X)
+	firstB := cg.bld.Block()
+	var shortVal *ir.ConstInt
+	if x.Op == "&&" {
+		cg.bld.CondBr(c1, rhsB, endB)
+		shortVal = ir.NewBool(false)
+	} else {
+		cg.bld.CondBr(c1, endB, rhsB)
+		shortVal = ir.NewBool(true)
+	}
+
+	cg.bld.SetBlock(rhsB)
+	c2 := cg.condI1(x.Y)
+	rhsEnd := cg.bld.Block()
+	cg.bld.Br(endB)
+
+	cg.bld.SetBlock(endB)
+	phi := cg.bld.Phi(ir.I1)
+	phi.AddPhiIncoming(shortVal, firstB)
+	phi.AddPhiIncoming(c2, rhsEnd)
+	return cval{v: cg.bld.Cast(ir.OpZExt, phi, ir.I32), ty: cIntT}
+}
+
+// emitCondExpr lowers ?: with control flow and a phi.
+func (cg *codegen) emitCondExpr(x *Cond) cval {
+	thenB := cg.newBlock("cond.t")
+	elseB := cg.newBlock("cond.f")
+	endB := cg.newBlock("cond.end")
+	cg.emitBranchCond(x.C, thenB, elseB)
+
+	cg.bld.SetBlock(thenB)
+	tv := cg.emitExpr(x.T)
+	tvBlk := cg.bld.Block() // arm emission may have opened new blocks
+	cg.bld.SetBlock(elseB)
+	fv := cg.emitExpr(x.F)
+	fvBlk := cg.bld.Block()
+
+	common := cg.commonCondType(tv.ty, fv.ty)
+	cg.bld.SetBlock(tvBlk)
+	tv = cg.convert(tv, common, "conditional")
+	thenEnd := cg.bld.Block()
+	cg.bld.Br(endB)
+	cg.bld.SetBlock(fvBlk)
+	fv = cg.convert(fv, common, "conditional")
+	elseEnd := cg.bld.Block()
+	cg.bld.Br(endB)
+
+	cg.bld.SetBlock(endB)
+	if common.Kind == CVoid {
+		return cval{ty: cVoid}
+	}
+	phi := cg.bld.Phi(common.IR())
+	phi.AddPhiIncoming(tv.v, thenEnd)
+	phi.AddPhiIncoming(fv.v, elseEnd)
+	return cval{v: phi, ty: common}
+}
+
+func (cg *codegen) commonCondType(t, f *CType) *CType {
+	if t.Kind == CVoid || f.Kind == CVoid {
+		return cVoid
+	}
+	if t.isPtr() && f.isPtr() {
+		return t
+	}
+	if t.isPtr() {
+		return t
+	}
+	if f.isPtr() {
+		return f
+	}
+	if t.Kind == CFloat || f.Kind == CFloat {
+		if t.Kind == CFloat && t.Bits == 64 || f.Kind == CFloat && f.Bits == 64 {
+			return cDoubleT
+		}
+		return cFloatT
+	}
+	// Integer common type via the usual rules.
+	return commonIntType(promotedType(t), promotedType(f))
+}
+
+// ----- assignment -----
+
+func (cg *codegen) emitAssign(x *Assign) cval {
+	addr, lty := cg.emitAddr(x.L)
+	if x.Op == "=" {
+		r := cg.convert(cg.emitExpr(x.R), lty, "assignment")
+		cg.bld.Store(r.v, addr)
+		return r
+	}
+	// Compound assignment.
+	old := cg.loadValue(addr, lty, x.Line)
+	op := x.Op[:len(x.Op)-1]
+	var nv cval
+	if lty.isPtr() && (op == "+" || op == "-") {
+		idx := cg.toI64(cg.emitExpr(x.R))
+		if op == "-" {
+			idx = cval{v: cg.bld.Sub(ir.NewInt(ir.I64, 0), idx.v), ty: cLong}
+		}
+		nv = cval{v: cg.bld.GEP(old.v, idx.v), ty: lty}
+	} else {
+		bin := &Binary{Op: op, X: &preEvaluated{old}, Y: x.R, Line: x.Line}
+		nv = cg.convert(cg.emitBinary(bin), lty, "compound assignment")
+	}
+	cg.bld.Store(nv.v, addr)
+	return nv
+}
+
+// preEvaluated wraps an already-computed value so compound assignments can
+// reuse the generic binary emitter without re-evaluating the lvalue.
+type preEvaluated struct{ v cval }
+
+func (*preEvaluated) exprNode() {}
+
+// ----- calls -----
+
+func (cg *codegen) emitCall(x *Call) cval {
+	sig := cg.sigs[x.Name]
+	if sig == nil {
+		sig = libcSigs[x.Name]
+		if sig == nil {
+			panic(errf("cc: line %d: call to undefined function %q", x.Line, x.Name))
+		}
+	}
+	f := cg.libcOrUserFunc(x.Name, sig)
+	if len(x.Args) < len(sig.params) || (!sig.variadic && len(x.Args) != len(sig.params)) {
+		panic(errf("cc: line %d: call to %q with %d args, want %d", x.Line, x.Name, len(x.Args), len(sig.params)))
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		v := cg.emitExpr(a)
+		if i < len(sig.params) {
+			v = cg.convert(v, sig.params[i], "argument")
+		} else {
+			v = cg.promoteVararg(v)
+		}
+		args[i] = v.v
+	}
+	ret := cg.bld.Call(f, args...)
+	if sig.ret.Kind == CVoid {
+		return cval{ty: cVoid}
+	}
+	return cval{v: ret, ty: sig.ret}
+}
+
+// promoteVararg applies the default argument promotions for variadic calls.
+func (cg *codegen) promoteVararg(v cval) cval {
+	switch {
+	case v.ty.Kind == CFloat && v.ty.Bits == 32:
+		return cg.convert(v, cDoubleT, "vararg")
+	case v.ty.isInteger() && v.ty.Bits < 32:
+		return cg.convert(v, cIntT, "vararg")
+	}
+	return v
+}
+
+// ----- conditions -----
+
+// condI1 evaluates an expression as an i1 truth value.
+func (cg *codegen) condI1(e Expr) ir.Value {
+	if b, ok := e.(*Binary); ok {
+		switch b.Op {
+		case "==", "!=", "<", "<=", ">", ">=":
+			return cg.emitComparison(b)
+		}
+	}
+	v := cg.emitExpr(e)
+	switch {
+	case v.ty.isPtr():
+		return cg.bld.ICmp(ir.PredNE, v.v, ir.NewNull(v.ty.IR()))
+	case v.ty.Kind == CFloat:
+		return cg.bld.FCmp(ir.PredONE, v.v, ir.NewFloat(v.ty.IR(), 0))
+	case v.ty.isInteger():
+		return cg.bld.ICmp(ir.PredNE, v.v, ir.NewInt(v.ty.IR(), 0))
+	}
+	panic(errf("cc: expression of type %s is not a condition", v.ty))
+}
+
+// emitBranchCond lowers a condition directly into control flow,
+// short-circuiting && and ||.
+func (cg *codegen) emitBranchCond(e Expr, t, f *ir.Block) {
+	if b, ok := e.(*Binary); ok {
+		switch b.Op {
+		case "&&":
+			mid := cg.newBlock("and.rhs")
+			cg.emitBranchCond(b.X, mid, f)
+			cg.bld.SetBlock(mid)
+			cg.emitBranchCond(b.Y, t, f)
+			return
+		case "||":
+			mid := cg.newBlock("or.rhs")
+			cg.emitBranchCond(b.X, t, mid)
+			cg.bld.SetBlock(mid)
+			cg.emitBranchCond(b.Y, t, f)
+			return
+		}
+	}
+	if u, ok := e.(*Unary); ok && u.Op == "!" {
+		cg.emitBranchCond(u.X, f, t)
+		return
+	}
+	cg.bld.CondBr(cg.condI1(e), t, f)
+}
+
+// ----- conversions -----
+
+// toI64 converts an integer value to i64 following its signedness.
+func (cg *codegen) toI64(v cval) cval {
+	if !v.ty.isInteger() {
+		panic(errf("cc: index/size of non-integer type %s", v.ty))
+	}
+	return cg.convert(v, cLong, "index")
+}
+
+// promoteInt applies the integer promotions (types smaller than int promote
+// to int); floats pass through.
+func (cg *codegen) promoteInt(v cval) cval {
+	if v.ty.isInteger() && v.ty.Bits < 32 {
+		return cg.convert(v, cIntT, "promotion")
+	}
+	return v
+}
+
+func promotedType(t *CType) *CType {
+	if t.isInteger() && t.Bits < 32 {
+		return cIntT
+	}
+	return t
+}
+
+func commonIntType(a, b *CType) *CType {
+	if a.same(b) {
+		return a
+	}
+	if a.Bits != b.Bits {
+		if a.Bits > b.Bits {
+			return a
+		}
+		return b
+	}
+	// Same width, different signedness: unsigned wins.
+	if !a.Signed {
+		return a
+	}
+	return b
+}
+
+// usualArith applies the usual arithmetic conversions to both operands.
+func (cg *codegen) usualArith(a, b cval, line int) (cval, cval) {
+	if !a.ty.isArith() || !b.ty.isArith() {
+		panic(errf("cc: line %d: arithmetic on %s and %s", line, a.ty, b.ty))
+	}
+	if a.ty.Kind == CFloat || b.ty.Kind == CFloat {
+		common := cFloatT
+		if a.ty.Kind == CFloat && a.ty.Bits == 64 || b.ty.Kind == CFloat && b.ty.Bits == 64 {
+			common = cDoubleT
+		}
+		return cg.convert(a, common, "arith"), cg.convert(b, common, "arith")
+	}
+	a = cg.promoteInt(a)
+	b = cg.promoteInt(b)
+	common := commonIntType(a.ty, b.ty)
+	return cg.convert(a, common, "arith"), cg.convert(b, common, "arith")
+}
+
+// convert coerces v to type "to", inserting the appropriate cast
+// instructions.
+func (cg *codegen) convert(v cval, to *CType, ctx string) cval {
+	from := v.ty
+	if from.same(to) {
+		return v
+	}
+	switch {
+	case from.isInteger() && to.isInteger():
+		if from.Bits == to.Bits {
+			return cval{v: v.v, ty: to} // signedness reinterpretation
+		}
+		if from.Bits > to.Bits {
+			return cval{v: cg.bld.Cast(ir.OpTrunc, v.v, to.IR()), ty: to}
+		}
+		op := ir.OpZExt
+		if from.Signed {
+			op = ir.OpSExt
+		}
+		return cval{v: cg.bld.Cast(op, v.v, to.IR()), ty: to}
+
+	case from.isInteger() && to.Kind == CFloat:
+		// Unsigned-to-float uses the signed conversion; exact for values
+		// below 2^63, which covers the workloads.
+		wide := v
+		if from.Bits < 64 && !from.Signed {
+			wide = cg.convert(v, cULong, ctx)
+		}
+		return cval{v: cg.bld.Cast(ir.OpSIToFP, wide.v, to.IR()), ty: to}
+
+	case from.Kind == CFloat && to.isInteger():
+		return cval{v: cg.bld.Cast(ir.OpFPToSI, v.v, to.IR()), ty: to}
+
+	case from.Kind == CFloat && to.Kind == CFloat:
+		op := ir.OpFPExt
+		if from.Bits > to.Bits {
+			op = ir.OpFPTrunc
+		}
+		return cval{v: cg.bld.Cast(op, v.v, to.IR()), ty: to}
+
+	case from.isPtr() && to.isPtr():
+		if from.IR().Equal(to.IR()) {
+			return cval{v: v.v, ty: to}
+		}
+		return cval{v: cg.bld.Bitcast(v.v, to.IR()), ty: to}
+
+	case from.isInteger() && to.isPtr():
+		if c, ok := v.v.(*ir.ConstInt); ok && c.Unsigned() == 0 {
+			return cval{v: ir.NewNull(to.IR()), ty: to}
+		}
+		wide := cg.convert(v, cLong, ctx)
+		return cval{v: cg.bld.IntToPtr(wide.v, to.IR()), ty: to}
+
+	case from.isPtr() && to.isInteger():
+		i := cg.bld.PtrToInt(v.v)
+		return cg.convert(cval{v: i, ty: cULong}, to, ctx)
+	}
+	panic(errf("cc: cannot convert %s to %s in %s", from, to, ctx))
+}
+
+// ----- type inference for sizeof -----
+
+// typeOf computes the type of an expression without emitting code. It
+// mirrors the typing rules of emitExpr for the constructs sizeof is applied
+// to in practice.
+func (cg *codegen) typeOf(e Expr) *CType {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.Long {
+			return cLong
+		}
+		return cIntT
+	case *FloatLit:
+		return cDoubleT
+	case *StrLit:
+		return arrayOf(len(x.S)+1, cChar)
+	case *Ident:
+		if lv := cg.lookupLocal(x.Name); lv != nil {
+			return lv.ty
+		}
+		if t, ok := cg.gtypes[x.Name]; ok {
+			return t
+		}
+		panic(errf("cc: line %d: undefined variable %q", x.Line, x.Name))
+	case *Unary:
+		switch x.Op {
+		case "*":
+			t := decay(cg.typeOf(x.X))
+			if !t.isPtr() {
+				panic(errf("cc: dereference of non-pointer in sizeof"))
+			}
+			return t.Elem
+		case "&":
+			return ptrTo(cg.typeOf(x.X))
+		case "!":
+			return cIntT
+		default:
+			return promotedType(cg.typeOf(x.X))
+		}
+	case *Index:
+		t := decay(cg.typeOf(x.X))
+		if !t.isPtr() {
+			panic(errf("cc: subscript of non-pointer in sizeof"))
+		}
+		return t.Elem
+	case *Member:
+		var sty *CType
+		if x.Arrow {
+			t := decay(cg.typeOf(x.X))
+			sty = t.Elem
+		} else {
+			sty = cg.typeOf(x.X)
+		}
+		fi := sty.fieldIndex(x.Name)
+		if fi < 0 {
+			panic(errf("cc: struct %s has no member %q", sty.Struct.Name, x.Name))
+		}
+		return sty.Struct.Fields[fi].Type
+	case *CastExpr:
+		return x.Ty
+	case *Call:
+		if sig := cg.sigs[x.Name]; sig != nil {
+			return sig.ret
+		}
+		if sig := libcSigs[x.Name]; sig != nil {
+			return sig.ret
+		}
+		panic(errf("cc: call to undefined function %q in sizeof", x.Name))
+	case *SizeofType, *SizeofExpr:
+		return cULong
+	case *Binary:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return cIntT
+		}
+		a := decay(cg.typeOf(x.X))
+		b := decay(cg.typeOf(x.Y))
+		if a.isPtr() && b.isPtr() {
+			return cLong
+		}
+		if a.isPtr() {
+			return a
+		}
+		if b.isPtr() {
+			return b
+		}
+		return cg.commonCondType(a, b)
+	case *Cond:
+		return cg.commonCondType(decay(cg.typeOf(x.T)), decay(cg.typeOf(x.F)))
+	case *Assign:
+		return cg.typeOf(x.L)
+	case *preEvaluated:
+		return x.v.ty
+	}
+	panic(errf("cc: cannot type expression %T", e))
+}

@@ -1,0 +1,340 @@
+package cc
+
+// Expression parsing: standard C precedence via recursive descent.
+
+// parseExpr parses a full expression including the comma operator.
+func (p *parser) parseExpr() Expr {
+	x := p.parseAssignExpr()
+	for p.isPunct(",") {
+		line := p.next().Line
+		y := p.parseAssignExpr()
+		x = &Binary{Op: ",", X: x, Y: y, Line: line}
+	}
+	return x
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) parseAssignExpr() Expr {
+	x := p.parseCondExpr()
+	t := p.cur()
+	if t.Kind == TokPunct && assignOps[t.Text] {
+		p.next()
+		r := p.parseAssignExpr()
+		return &Assign{Op: t.Text, L: x, R: r, Line: t.Line}
+	}
+	return x
+}
+
+func (p *parser) parseCondExpr() Expr {
+	c := p.parseBinaryExpr(0)
+	if p.accept("?") {
+		t := p.parseExpr()
+		p.expect(":")
+		f := p.parseCondExpr()
+		return &Cond{C: c, T: t, F: f}
+	}
+	return c
+}
+
+// binPrec returns the precedence of a binary operator (higher binds
+// tighter), or -1.
+func binPrec(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "|":
+		return 3
+	case "^":
+		return 4
+	case "&":
+		return 5
+	case "==", "!=":
+		return 6
+	case "<", ">", "<=", ">=":
+		return 7
+	case "<<", ">>":
+		return 8
+	case "+", "-":
+		return 9
+	case "*", "/", "%":
+		return 10
+	}
+	return -1
+}
+
+func (p *parser) parseBinaryExpr(minPrec int) Expr {
+	x := p.parseUnaryExpr()
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return x
+		}
+		prec := binPrec(t.Text)
+		if prec < 0 || prec < minPrec {
+			return x
+		}
+		p.next()
+		y := p.parseBinaryExpr(prec + 1)
+		x = &Binary{Op: t.Text, X: x, Y: y, Line: t.Line}
+	}
+}
+
+func (p *parser) parseUnaryExpr() Expr {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "+", "!", "~", "*", "&":
+			p.next()
+			return &Unary{Op: t.Text, X: p.parseUnaryExpr()}
+		case "++", "--":
+			p.next()
+			return &Unary{Op: t.Text, X: p.parseUnaryExpr()}
+		case "(":
+			// Cast or parenthesized expression.
+			if p.peekIsType() {
+				p.next() // (
+				ty := p.parseTypeName()
+				p.expect(")")
+				return &CastExpr{Ty: ty, X: p.parseUnaryExpr()}
+			}
+		}
+	}
+	if t.Kind == TokKeyword && t.Text == "sizeof" {
+		p.next()
+		if p.isPunct("(") && p.peekIsType() {
+			p.next()
+			ty := p.parseTypeName()
+			p.expect(")")
+			return &SizeofType{Ty: ty}
+		}
+		return &SizeofExpr{X: p.parseUnaryExpr()}
+	}
+	return p.parsePostfixExpr()
+}
+
+// peekIsType reports whether the token after the current "(" begins a type
+// name.
+func (p *parser) peekIsType() bool {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "void", "char", "short", "int", "long", "float", "double",
+		"signed", "unsigned", "struct", "enum", "const":
+		return true
+	}
+	return false
+}
+
+// parseTypeName parses an abstract type name (for casts and sizeof).
+func (p *parser) parseTypeName() *CType {
+	specs := p.parseDeclSpecs()
+	ty := specs.base
+	for p.accept("*") {
+		for p.isKeyword("const") || p.isKeyword("volatile") {
+			p.next()
+		}
+		ty = ptrTo(ty)
+	}
+	// Abstract array declarators like (int[4]) are rare; support [N].
+	ty = p.parseArraySuffixes(ty)
+	return ty
+}
+
+func (p *parser) parsePostfixExpr() Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return x
+		}
+		switch t.Text {
+		case "[":
+			p.next()
+			i := p.parseExpr()
+			p.expect("]")
+			x = &Index{X: x, I: i}
+		case ".":
+			p.next()
+			name := p.expectIdent()
+			x = &Member{X: x, Name: name.Text, Line: name.Line}
+		case "->":
+			p.next()
+			name := p.expectIdent()
+			x = &Member{X: x, Name: name.Text, Arrow: true, Line: name.Line}
+		case "++", "--":
+			p.next()
+			x = &Unary{Op: t.Text, X: x, Postfix: true}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimaryExpr() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{V: t.IntVal, Unsigned: t.Unsigned, Long: t.Long}
+	case TokCharLit:
+		p.next()
+		return &IntLit{V: t.IntVal}
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{V: t.FloatVal}
+	case TokStrLit:
+		p.next()
+		s := t.Text
+		// Adjacent string literals concatenate.
+		for p.cur().Kind == TokStrLit {
+			s += p.next().Text
+		}
+		return &StrLit{S: s}
+	case TokIdent:
+		p.next()
+		if v, ok := p.consts[t.Text]; ok {
+			return &IntLit{V: v}
+		}
+		if p.isPunct("(") {
+			p.next()
+			call := &Call{Name: t.Text, Line: t.Line}
+			if !p.accept(")") {
+				for {
+					call.Args = append(call.Args, p.parseAssignExpr())
+					if p.accept(",") {
+						continue
+					}
+					p.expect(")")
+					break
+				}
+			}
+			return call
+		}
+		return &Ident{Name: t.Text, Line: t.Line}
+	case TokPunct:
+		if t.Text == "(" {
+			p.next()
+			x := p.parseExpr()
+			p.expect(")")
+			return x
+		}
+	}
+	panic(errf("%s: unexpected token %q in expression", t.Pos(), t.Text))
+}
+
+// parseConstExpr parses and evaluates an integer constant expression (array
+// sizes, enum values, case labels).
+func (p *parser) parseConstExpr() int64 {
+	x := p.parseCondExpr()
+	v, ok := evalConst(x)
+	if !ok {
+		panic(errf("%s: expression is not an integer constant", p.cur().Pos()))
+	}
+	return v
+}
+
+// evalConst evaluates a constant integer expression.
+func evalConst(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.V, true
+	case *SizeofType:
+		return int64(x.Ty.size()), true
+	case *CastExpr:
+		if x.Ty.isInteger() {
+			v, ok := evalConst(x.X)
+			return v, ok
+		}
+	case *Unary:
+		v, ok := evalConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case "-":
+			return -v, true
+		case "+":
+			return v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *Cond:
+		c, ok := evalConst(x.C)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return evalConst(x.T)
+		}
+		return evalConst(x.F)
+	case *Binary:
+		a, ok1 := evalConst(x.X)
+		b, ok2 := evalConst(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "/":
+			if b != 0 {
+				return a / b, true
+			}
+		case "%":
+			if b != 0 {
+				return a % b, true
+			}
+		case "<<":
+			return a << uint(b&63), true
+		case ">>":
+			return a >> uint(b&63), true
+		case "&":
+			return a & b, true
+		case "|":
+			return a | b, true
+		case "^":
+			return a ^ b, true
+		case "==":
+			return b2i(a == b), true
+		case "!=":
+			return b2i(a != b), true
+		case "<":
+			return b2i(a < b), true
+		case "<=":
+			return b2i(a <= b), true
+		case ">":
+			return b2i(a > b), true
+		case ">=":
+			return b2i(a >= b), true
+		case "&&":
+			return b2i(a != 0 && b != 0), true
+		case "||":
+			return b2i(a != 0 || b != 0), true
+		}
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

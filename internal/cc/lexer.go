@@ -1,0 +1,323 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// compileError is the internal panic type for front-end diagnostics; the
+// public API converts it to an error.
+type compileError struct{ msg string }
+
+func (e compileError) Error() string { return e.msg }
+
+func errf(format string, args ...any) compileError {
+	return compileError{msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer tokenizes one source file after macro-expanding it.
+type lexer struct {
+	file   string
+	src    string
+	pos    int
+	line   int
+	macros map[string][]Token
+	toks   []Token
+}
+
+// lex runs the miniature preprocessor and the tokenizer, returning the token
+// stream. Object-like #define macros are substituted (nested expansion up to
+// a fixed depth); all other preprocessor lines are ignored, so sources can
+// carry ordinary #include lines.
+func lex(file, src string, macros map[string][]Token) []Token {
+	lx := &lexer{file: file, src: src, line: 1, macros: macros}
+	lx.run()
+	return lx.toks
+}
+
+func (lx *lexer) run() {
+	for {
+		lx.skipSpaceAndComments()
+		if lx.pos >= len(lx.src) {
+			lx.emit(Token{Kind: TokEOF})
+			return
+		}
+		c := lx.src[lx.pos]
+		switch {
+		case c == '#' && lx.atLineStart():
+			lx.preprocessorLine()
+		case isIdentStart(c):
+			lx.lexIdent()
+		case c >= '0' && c <= '9':
+			lx.lexNumber()
+		case c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
+			lx.lexNumber()
+		case c == '\'':
+			lx.lexChar()
+		case c == '"':
+			lx.lexString()
+		default:
+			lx.lexPunct()
+		}
+	}
+}
+
+func (lx *lexer) atLineStart() bool {
+	for i := lx.pos - 1; i >= 0; i-- {
+		switch lx.src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (lx *lexer) emit(t Token) {
+	t.Line = lx.line
+	t.File = lx.file
+	lx.toks = append(lx.toks, t)
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			lx.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+// preprocessorLine handles a # line: #define registers an object-like macro,
+// everything else is skipped.
+func (lx *lexer) preprocessorLine() {
+	start := lx.pos
+	end := strings.IndexByte(lx.src[start:], '\n')
+	var lineText string
+	if end < 0 {
+		lineText = lx.src[start:]
+		lx.pos = len(lx.src)
+	} else {
+		lineText = lx.src[start : start+end]
+		lx.pos = start + end // newline handled by skipSpace
+	}
+	fields := strings.Fields(strings.TrimPrefix(lineText, "#"))
+	if len(fields) >= 2 && fields[0] == "define" {
+		name := fields[1]
+		if i := strings.IndexByte(name, '('); i >= 0 {
+			return // function-like macros are not supported; ignore
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(lineText, "#")), "define"))
+		body = strings.TrimSpace(strings.TrimPrefix(body, name))
+		sub := &lexer{file: lx.file, src: body, line: lx.line, macros: lx.macros}
+		sub.run()
+		toks := sub.toks
+		if len(toks) > 0 && toks[len(toks)-1].Kind == TokEOF {
+			toks = toks[:len(toks)-1]
+		}
+		lx.macros[name] = toks
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (lx *lexer) lexIdent() {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentCont(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	name := lx.src[start:lx.pos]
+	if body, ok := lx.macros[name]; ok {
+		for _, t := range body {
+			lx.emit(t)
+		}
+		return
+	}
+	if name == "NULL" {
+		// Built-in NULL: an integer literal 0 with pointer conversion in
+		// the type checker.
+		lx.emit(Token{Kind: TokIntLit, Text: "0", IntVal: 0})
+		return
+	}
+	if keywords[name] {
+		lx.emit(Token{Kind: TokKeyword, Text: name})
+		return
+	}
+	lx.emit(Token{Kind: TokIdent, Text: name})
+}
+
+func (lx *lexer) lexNumber() {
+	start := lx.pos
+	isFloat := false
+	isHex := false
+	if strings.HasPrefix(lx.src[lx.pos:], "0x") || strings.HasPrefix(lx.src[lx.pos:], "0X") {
+		isHex = true
+		lx.pos += 2
+	}
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c >= '0' && c <= '9' || (isHex && (c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F')) {
+			lx.pos++
+			continue
+		}
+		if !isHex && c == '.' {
+			isFloat = true
+			lx.pos++
+			continue
+		}
+		if !isHex && (c == 'e' || c == 'E') {
+			isFloat = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+			continue
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	// Suffixes.
+	unsigned, long := false, false
+	for lx.pos < len(lx.src) {
+		switch lx.src[lx.pos] {
+		case 'u', 'U':
+			unsigned = true
+			lx.pos++
+			continue
+		case 'l', 'L':
+			long = true
+			lx.pos++
+			continue
+		case 'f', 'F':
+			if isFloat {
+				lx.pos++
+				continue
+			}
+		}
+		break
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			panic(errf("%s:%d: bad float literal %q", lx.file, lx.line, text))
+		}
+		lx.emit(Token{Kind: TokFloatLit, Text: text, FloatVal: f})
+		return
+	}
+	v, err := strconv.ParseUint(text, 0, 64)
+	if err != nil {
+		panic(errf("%s:%d: bad integer literal %q", lx.file, lx.line, text))
+	}
+	lx.emit(Token{Kind: TokIntLit, Text: text, IntVal: int64(v), Unsigned: unsigned, Long: long})
+}
+
+func (lx *lexer) lexChar() {
+	lx.pos++ // opening quote
+	var v int64
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '\\' {
+		lx.pos++
+		v = int64(unescape(lx.src[lx.pos]))
+		lx.pos++
+	} else {
+		v = int64(lx.src[lx.pos])
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) || lx.src[lx.pos] != '\'' {
+		panic(errf("%s:%d: unterminated character literal", lx.file, lx.line))
+	}
+	lx.pos++
+	lx.emit(Token{Kind: TokCharLit, IntVal: v})
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	}
+	return c
+}
+
+func (lx *lexer) lexString() {
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+		c := lx.src[lx.pos]
+		if c == '\\' {
+			lx.pos++
+			sb.WriteByte(unescape(lx.src[lx.pos]))
+			lx.pos++
+			continue
+		}
+		if c == '\n' {
+			panic(errf("%s:%d: unterminated string literal", lx.file, lx.line))
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		panic(errf("%s:%d: unterminated string literal", lx.file, lx.line))
+	}
+	lx.pos++
+	lx.emit(Token{Kind: TokStrLit, Text: sb.String()})
+}
+
+func (lx *lexer) lexPunct() {
+	rest := lx.src[lx.pos:]
+	for _, p := range threeCharPunct {
+		if strings.HasPrefix(rest, p) {
+			lx.pos += 3
+			lx.emit(Token{Kind: TokPunct, Text: p})
+			return
+		}
+	}
+	for _, p := range twoCharPunct {
+		if strings.HasPrefix(rest, p) {
+			lx.pos += 2
+			lx.emit(Token{Kind: TokPunct, Text: p})
+			return
+		}
+	}
+	lx.emit(Token{Kind: TokPunct, Text: string(rest[0])})
+	lx.pos++
+}

@@ -1,0 +1,534 @@
+package cc
+
+import "fmt"
+
+// parser is a recursive-descent parser for the supported C subset.
+type parser struct {
+	toks []Token
+	pos  int
+	file string
+	// structs and consts (enum members) are shared across the translation
+	// units of one program, standing in for common headers.
+	structs map[string]*StructInfo
+	consts  map[string]int64
+	anonSeq *int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[p.pos+1] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) Token {
+	if !p.isPunct(s) && !p.isKeyword(s) {
+		panic(errf("%s: expected %q, found %q", p.cur().Pos(), s, p.cur().Text))
+	}
+	return p.next()
+}
+
+func (p *parser) expectIdent() Token {
+	if p.cur().Kind != TokIdent {
+		panic(errf("%s: expected identifier, found %q", p.cur().Pos(), p.cur().Text))
+	}
+	return p.next()
+}
+
+// isTypeStart reports whether the current token can begin a type.
+func (p *parser) isTypeStart() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "void", "char", "short", "int", "long", "float", "double",
+		"signed", "unsigned", "struct", "enum", "union", "const",
+		"volatile", "register", "static", "extern":
+		return true
+	}
+	return false
+}
+
+// parseUnit parses a whole translation unit.
+func (p *parser) parseUnit() *Unit {
+	u := &Unit{File: p.file, Structs: p.structs}
+	for p.cur().Kind != TokEOF {
+		if p.accept(";") {
+			continue
+		}
+		p.parseTopLevel(u)
+	}
+	return u
+}
+
+func (p *parser) parseTopLevel(u *Unit) {
+	specs := p.parseDeclSpecs()
+	if p.accept(";") {
+		return // pure type/enum definition
+	}
+	// First declarator.
+	name, ty := p.parseDeclarator(specs.base)
+	if p.isPunct("(") && ty.Kind != CArray {
+		fd := p.parseFuncRest(name, ty, specs)
+		u.Funcs = append(u.Funcs, fd)
+		return
+	}
+	// Variable declaration(s).
+	for {
+		ty = p.parseArraySuffixes(ty)
+		vd := &VarDecl{Name: name, Ty: ty, Extern: specs.extern, Static: specs.static, Line: p.cur().Line}
+		if p.accept("=") {
+			vd.Init = p.parseInitVal()
+		}
+		u.Vars = append(u.Vars, vd)
+		if p.accept(",") {
+			name, ty = p.parseDeclarator(specs.base)
+			continue
+		}
+		p.expect(";")
+		return
+	}
+}
+
+// declSpecs aggregates declaration specifiers.
+type declSpecs struct {
+	base   *CType
+	extern bool
+	static bool
+}
+
+func (p *parser) parseDeclSpecs() declSpecs {
+	var ds declSpecs
+	sawUnsigned, sawSigned := false, false
+	longs := 0
+	var baseKw string
+	for {
+		t := p.cur()
+		if t.Kind != TokKeyword {
+			break
+		}
+		switch t.Text {
+		case "extern":
+			ds.extern = true
+			p.next()
+		case "static":
+			ds.static = true
+			p.next()
+		case "const", "volatile", "register":
+			p.next()
+		case "typedef":
+			panic(errf("%s: typedef is not supported", t.Pos()))
+		case "union":
+			panic(errf("%s: unions are not supported", t.Pos()))
+		case "unsigned":
+			sawUnsigned = true
+			p.next()
+		case "signed":
+			sawSigned = true
+			p.next()
+		case "long":
+			longs++
+			p.next()
+		case "void", "char", "short", "int", "float", "double":
+			if baseKw != "" && !(baseKw == "int" && t.Text == "int") {
+				panic(errf("%s: conflicting type specifiers", t.Pos()))
+			}
+			baseKw = t.Text
+			p.next()
+		case "struct":
+			p.next()
+			ds.base = p.parseStructType()
+			return ds
+		case "enum":
+			p.next()
+			ds.base = p.parseEnumType()
+			return ds
+		default:
+			goto done
+		}
+	}
+done:
+	_ = sawSigned
+	switch {
+	case baseKw == "void":
+		ds.base = cVoid
+	case baseKw == "char":
+		if sawUnsigned {
+			ds.base = cUChar
+		} else {
+			ds.base = cChar
+		}
+	case baseKw == "short":
+		if sawUnsigned {
+			ds.base = cUShort
+		} else {
+			ds.base = cShort
+		}
+	case baseKw == "float":
+		ds.base = cFloatT
+	case baseKw == "double":
+		ds.base = cDoubleT
+	case longs > 0:
+		if sawUnsigned {
+			ds.base = cULong
+		} else {
+			ds.base = cLong
+		}
+	case baseKw == "int", baseKw == "" && (sawUnsigned || sawSigned):
+		if sawUnsigned {
+			ds.base = cUInt
+		} else {
+			ds.base = cIntT
+		}
+	case baseKw == "":
+		panic(errf("%s: expected type specifier, found %q", p.cur().Pos(), p.cur().Text))
+	}
+	return ds
+}
+
+func (p *parser) parseStructType() *CType {
+	var name string
+	if p.cur().Kind == TokIdent {
+		name = p.next().Text
+	} else {
+		*p.anonSeq++
+		name = fmt.Sprintf("anon.%d", *p.anonSeq)
+	}
+	info := p.structs[name]
+	if info == nil {
+		info = &StructInfo{Name: name}
+		p.structs[name] = info
+	}
+	if p.accept("{") {
+		if info.Complete {
+			// Redefinition across files with identical body is common when
+			// sources share a "header"; accept silently by resetting.
+			info.Fields = nil
+			info.irType = nil
+		}
+		for !p.accept("}") {
+			specs := p.parseDeclSpecs()
+			for {
+				fname, fty := p.parseDeclarator(specs.base)
+				fty = p.parseArraySuffixes(fty)
+				info.Fields = append(info.Fields, Field{Name: fname, Type: fty})
+				if !p.accept(",") {
+					break
+				}
+			}
+			p.expect(";")
+		}
+		info.Complete = true
+	}
+	return &CType{Kind: CStruct, Struct: info}
+}
+
+func (p *parser) parseEnumType() *CType {
+	if p.cur().Kind == TokIdent {
+		p.next() // tag (ignored; enums are just int constants)
+	}
+	if p.accept("{") {
+		next := int64(0)
+		for !p.accept("}") {
+			name := p.expectIdent().Text
+			if p.accept("=") {
+				next = p.parseConstExpr()
+			}
+			p.consts[name] = next
+			next++
+			if !p.accept(",") {
+				p.expect("}")
+				break
+			}
+		}
+	}
+	return cIntT
+}
+
+// parseDeclarator parses pointer stars and the declared name. Array
+// suffixes are parsed separately (parseArraySuffixes) because function
+// declarators intervene.
+func (p *parser) parseDeclarator(base *CType) (string, *CType) {
+	ty := base
+	for p.accept("*") {
+		for p.isKeyword("const") || p.isKeyword("volatile") {
+			p.next()
+		}
+		ty = ptrTo(ty)
+	}
+	name := p.expectIdent().Text
+	return name, ty
+}
+
+// parseArraySuffixes parses [N] suffixes; an empty [] yields length 0,
+// which callers interpret as a size-zero declaration (extern arrays,
+// Section 4.3) or as an error for definitions.
+func (p *parser) parseArraySuffixes(ty *CType) *CType {
+	var dims []int
+	for p.accept("[") {
+		if p.accept("]") {
+			dims = append(dims, 0)
+			continue
+		}
+		n := p.parseConstExpr()
+		p.expect("]")
+		dims = append(dims, int(n))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		ty = arrayOf(dims[i], ty)
+	}
+	return ty
+}
+
+func (p *parser) parseFuncRest(name string, ret *CType, specs declSpecs) *FuncDecl {
+	fd := &FuncDecl{Name: name, Ret: ret, Static: specs.static, Line: p.cur().Line}
+	p.expect("(")
+	if p.accept(")") {
+		// K&R-style empty parameter list.
+	} else if p.isKeyword("void") && p.peek().Kind == TokPunct && p.peek().Text == ")" {
+		p.next()
+		p.next()
+	} else {
+		for {
+			if p.accept("...") {
+				fd.Variadic = true
+				p.expect(")")
+				break
+			}
+			ps := p.parseDeclSpecs()
+			pty := ps.base
+			for p.accept("*") {
+				for p.isKeyword("const") || p.isKeyword("volatile") {
+					p.next()
+				}
+				pty = ptrTo(pty)
+			}
+			pname := ""
+			if p.cur().Kind == TokIdent {
+				pname = p.next().Text
+			}
+			pty = p.parseArraySuffixes(pty)
+			pty = decay(pty) // array parameters decay to pointers
+			fd.Params = append(fd.Params, ParamDecl{Name: pname, Ty: pty})
+			if p.accept(",") {
+				continue
+			}
+			p.expect(")")
+			break
+		}
+	}
+	if p.isPunct("{") {
+		fd.Body = p.parseBlock()
+	} else {
+		p.expect(";")
+	}
+	return fd
+}
+
+func (p *parser) parseInitVal() InitVal {
+	if p.accept("{") {
+		il := &InitList{}
+		for !p.accept("}") {
+			il.Items = append(il.Items, p.parseInitVal())
+			if !p.accept(",") {
+				p.expect("}")
+				break
+			}
+		}
+		return il
+	}
+	return &InitExpr{X: p.parseAssignExpr()}
+}
+
+// ----- statements -----
+
+func (p *parser) parseBlock() *Block {
+	p.expect("{")
+	b := &Block{}
+	for !p.accept("}") {
+		b.Items = append(b.Items, p.parseBlockItem())
+	}
+	return b
+}
+
+func (p *parser) parseBlockItem() Stmt {
+	if p.isTypeStart() {
+		return p.parseLocalDecl()
+	}
+	return p.parseStmt()
+}
+
+func (p *parser) parseLocalDecl() Stmt {
+	specs := p.parseDeclSpecs()
+	ds := &DeclStmt{}
+	if p.accept(";") {
+		return ds // bare struct/enum definition at block scope
+	}
+	for {
+		name, ty := p.parseDeclarator(specs.base)
+		ty = p.parseArraySuffixes(ty)
+		vd := &VarDecl{Name: name, Ty: ty, Extern: specs.extern, Static: specs.static, Line: p.cur().Line}
+		if p.accept("=") {
+			vd.Init = p.parseInitVal()
+		}
+		ds.Vars = append(ds.Vars, vd)
+		if p.accept(",") {
+			continue
+		}
+		p.expect(";")
+		return ds
+	}
+}
+
+func (p *parser) parseStmt() Stmt {
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.accept(";"):
+		return &Block{}
+	case p.isKeyword("if"):
+		p.next()
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		st := &IfStmt{Cond: cond, Then: p.parseStmt()}
+		if p.accept("else") {
+			st.Else = p.parseStmt()
+		}
+		return st
+	case p.isKeyword("while"):
+		p.next()
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		return &WhileStmt{Cond: cond, Body: p.parseStmt()}
+	case p.isKeyword("do"):
+		p.next()
+		body := p.parseStmt()
+		p.expect("while")
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		p.expect(";")
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true}
+	case p.isKeyword("for"):
+		p.next()
+		p.expect("(")
+		st := &ForStmt{}
+		if !p.isPunct(";") {
+			if p.isTypeStart() {
+				st.Init = p.parseLocalDecl()
+			} else {
+				st.Init = &ExprStmt{X: p.parseExpr()}
+				p.expect(";")
+			}
+		} else {
+			p.expect(";")
+		}
+		if !p.isPunct(";") {
+			st.Cond = p.parseExpr()
+		}
+		p.expect(";")
+		if !p.isPunct(")") {
+			st.Post = p.parseExpr()
+		}
+		p.expect(")")
+		st.Body = p.parseStmt()
+		return st
+	case p.isKeyword("return"):
+		p.next()
+		st := &ReturnStmt{}
+		if !p.isPunct(";") {
+			st.X = p.parseExpr()
+		}
+		p.expect(";")
+		return st
+	case p.isKeyword("break"):
+		p.next()
+		p.expect(";")
+		return &BreakStmt{}
+	case p.isKeyword("continue"):
+		p.next()
+		p.expect(";")
+		return &ContinueStmt{}
+	case p.isKeyword("switch"):
+		return p.parseSwitch()
+	case p.isKeyword("goto"):
+		panic(errf("%s: goto is not supported", p.cur().Pos()))
+	default:
+		x := p.parseExpr()
+		p.expect(";")
+		return &ExprStmt{X: x}
+	}
+}
+
+func (p *parser) parseSwitch() Stmt {
+	p.expect("switch")
+	p.expect("(")
+	x := p.parseExpr()
+	p.expect(")")
+	p.expect("{")
+	st := &SwitchStmt{X: x}
+	var cur *SwitchCase
+	flush := func() {
+		if cur != nil {
+			st.Cases = append(st.Cases, *cur)
+			cur = nil
+		}
+	}
+	for !p.accept("}") {
+		switch {
+		case p.isKeyword("case"):
+			if cur != nil && len(cur.Body) > 0 {
+				flush()
+			}
+			p.next()
+			v := p.parseConstExpr()
+			p.expect(":")
+			if cur == nil {
+				cur = &SwitchCase{}
+			}
+			cur.Values = append(cur.Values, v)
+		case p.isKeyword("default"):
+			if cur != nil && len(cur.Body) > 0 {
+				flush()
+			}
+			p.next()
+			p.expect(":")
+			if cur == nil {
+				cur = &SwitchCase{}
+			}
+			cur.Default = true
+		default:
+			if cur == nil {
+				panic(errf("%s: statement before first case label", p.cur().Pos()))
+			}
+			cur.Body = append(cur.Body, p.parseBlockItem())
+		}
+	}
+	flush()
+	return st
+}

@@ -1,0 +1,390 @@
+package cc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// runProgram compiles and executes a program on the plain VM, returning its
+// output.
+func runProgram(t *testing.T, src string) string {
+	t.Helper()
+	m, err := cc.Compile("test", cc.Source{Name: "test.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	code, err := machine.Run()
+	if err != nil {
+		t.Fatalf("run: %v\noutput so far: %s", err, machine.Output())
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, output: %s", code, machine.Output())
+	}
+	return machine.Output()
+}
+
+func TestHelloWorld(t *testing.T) {
+	out := runProgram(t, `
+int main() {
+    printf("hello %s %d\n", "world", 42);
+    return 0;
+}`)
+	if out != "hello world 42\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	out := runProgram(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    int i;
+    long sum = 0;
+    for (i = 0; i < 10; i++) {
+        sum += fib(i);
+    }
+    printf("%ld\n", sum);
+    printf("%d %d %d\n", 7 / 2, 7 % 2, -7 / 2);
+    printf("%u\n", (unsigned int)-1);
+    unsigned char c = 200;
+    c += 100;
+    printf("%d\n", c);
+    return 0;
+}`)
+	want := "88\n3 1 -3\n4294967295\n44\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	out := runProgram(t, `
+int g[5] = {10, 20, 30, 40, 50};
+int main() {
+    int local[4];
+    int *p = g;
+    int i, sum = 0;
+    for (i = 0; i < 4; i++) local[i] = i * i;
+    for (i = 0; i < 5; i++) sum += p[i];
+    printf("%d %d %d\n", sum, local[3], *(g + 2));
+    int *q = &g[4];
+    printf("%ld\n", q - p);
+    return 0;
+}`)
+	want := "150 9 30\n4\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestStructsAndMalloc(t *testing.T) {
+	out := runProgram(t, `
+struct node {
+    int value;
+    struct node *next;
+};
+int main() {
+    struct node *head = NULL;
+    int i;
+    for (i = 0; i < 5; i++) {
+        struct node *n = (struct node *)malloc(sizeof(struct node));
+        n->value = i * 10;
+        n->next = head;
+        head = n;
+    }
+    int sum = 0;
+    struct node *cur = head;
+    while (cur) {
+        sum += cur->value;
+        cur = cur->next;
+    }
+    printf("sum=%d\n", sum);
+    while (head) {
+        struct node *next = head->next;
+        free(head);
+        head = next;
+    }
+    return 0;
+}`)
+	if out != "sum=100\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestStringsAndSwitch(t *testing.T) {
+	out := runProgram(t, `
+int classify(char c) {
+    switch (c) {
+    case 'a': case 'e': case 'i': case 'o': case 'u':
+        return 1;
+    case ' ':
+        return 2;
+    default:
+        return 0;
+    }
+}
+int main() {
+    char buf[32];
+    strcpy(buf, "hello world");
+    int vowels = 0, spaces = 0, other = 0;
+    unsigned long i;
+    for (i = 0; i < strlen(buf); i++) {
+        switch (classify(buf[i])) {
+        case 1: vowels++; break;
+        case 2: spaces++; break;
+        default: other++; break;
+        }
+    }
+    printf("%d %d %d %lu\n", vowels, spaces, other, strlen(buf));
+    return 0;
+}`)
+	if out != "3 1 7 11\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFloatsAndMath(t *testing.T) {
+	out := runProgram(t, `
+int main() {
+    double x = 2.0;
+    double y = sqrt(x) * sqrt(x);
+    float f = 1.5f;
+    f = f * 2.0f;
+    printf("%.3f %.1f %d\n", y, (double)f, (int)3.99);
+    return 0;
+}`)
+	if out != "2.000 3.0 3\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestDefineAndEnum(t *testing.T) {
+	out := runProgram(t, `
+#include <stdio.h>
+#define N 6
+#define DOUBLE_N (N * 2)
+enum { RED, GREEN = 5, BLUE };
+int main() {
+    int a[N];
+    int i;
+    for (i = 0; i < N; i++) a[i] = i;
+    printf("%d %d %d %d\n", a[N-1], DOUBLE_N, GREEN, BLUE);
+    return 0;
+}`)
+	if out != "5 12 5 6\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMultiUnitLinking(t *testing.T) {
+	m, err := cc.Compile("prog",
+		cc.Source{Name: "a.c", Code: `
+extern int table[];
+int lookup(int i) { return table[i]; }
+`},
+		cc.Source{Name: "b.c", Code: `
+int table[4] = {1, 2, 3, 4};
+int lookup(int i);
+int main() { printf("%d\n", lookup(2)); return 0; }
+`})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	g := m.Global("table")
+	if g == nil || !g.SizeZeroDecl {
+		t.Fatalf("expected table to be marked SizeZeroDecl")
+	}
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	if _, err := machine.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if machine.Output() != "3\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+// instrumentAndRun compiles, optimizes with the instrumentation hook at
+// VectorizerStart, and runs under the given mechanism.
+func instrumentAndRun(t *testing.T, src string, cfg core.Config) (*vm.VM, error) {
+	t.Helper()
+	m, err := cc.Compile("test", cc.Source{Name: "test.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var istats *core.Stats
+	opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+		s, ierr := core.Instrument(mod, cfg)
+		if ierr != nil {
+			t.Fatalf("instrument: %v", ierr)
+		}
+		istats = s
+	}, opt.PipelineOptions{Level: 3})
+	if istats == nil || istats.Functions == 0 {
+		t.Fatalf("nothing instrumented")
+	}
+	vopts := vm.Options{}
+	if cfg.Mechanism == core.MechSoftBound {
+		vopts.Mechanism = vm.MechSoftBound
+	} else {
+		vopts.Mechanism = vm.MechLowFat
+		vopts.LowFatHeap = true
+		vopts.LowFatStack = true
+		vopts.LowFatGlobals = true
+	}
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	_, rerr := machine.Run()
+	return machine, rerr
+}
+
+const okProgram = `
+int data[16];
+int main() {
+    int i;
+    int *heap = (int *)malloc(16 * sizeof(int));
+    for (i = 0; i < 16; i++) { data[i] = i; heap[i] = i * 2; }
+    int sum = 0;
+    for (i = 0; i < 16; i++) sum += data[i] + heap[i];
+    printf("%d\n", sum);
+    free(heap);
+    return 0;
+}`
+
+const oobHeapWrite = `
+int main() {
+    int i;
+    int *heap = (int *)malloc(16 * sizeof(int));
+    for (i = 0; i <= 16; i++) heap[i] = i; /* one past the end */
+    printf("%d\n", heap[3]);
+    free(heap);
+    return 0;
+}`
+
+func TestInstrumentedCleanRun(t *testing.T) {
+	for _, cfg := range []core.Config{core.PaperSoftBound(), core.PaperLowFat()} {
+		machine, err := instrumentAndRun(t, okProgram, cfg)
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", cfg.Mechanism, err)
+			continue
+		}
+		if machine.Output() != "360\n" {
+			t.Errorf("%s: output = %q", cfg.Mechanism, machine.Output())
+		}
+		if machine.Stats.Checks == 0 {
+			t.Errorf("%s: no checks executed", cfg.Mechanism)
+		}
+	}
+}
+
+func TestInstrumentedCatchesHeapOverflow(t *testing.T) {
+	// SoftBound uses the exact allocation bounds and reports the
+	// one-past-the-end write.
+	_, err := instrumentAndRun(t, oobHeapWrite, core.PaperSoftBound())
+	if err == nil {
+		t.Fatalf("softbound: heap overflow not detected")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("softbound: unexpected error: %v", err)
+	}
+}
+
+func TestLowFatPaddingHidesSmallOverflow(t *testing.T) {
+	// Low-Fat Pointers pad the 64-byte allocation to the next power-of-two
+	// slot; the write one past the end lands in the padding and is NOT
+	// reported (Section 4: "accesses to the padding will not be
+	// detected"). The program finishes normally.
+	machine, err := instrumentAndRun(t, oobHeapWrite, core.PaperLowFat())
+	if err != nil {
+		t.Fatalf("lowfat: expected the padding to hide the overflow, got %v", err)
+	}
+	if machine.Output() != "3\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+func TestLowFatCatchesLargeOverflow(t *testing.T) {
+	// An overflow past the padded slot (64 requested -> 128-byte slot) is
+	// detected.
+	src := `
+int main() {
+    int i;
+    int *heap = (int *)malloc(16 * sizeof(int));
+    for (i = 0; i < 40; i++) heap[i] = i;
+    return 0;
+}`
+	_, err := instrumentAndRun(t, src, core.PaperLowFat())
+	if err == nil {
+		t.Fatalf("lowfat: large heap overflow not detected")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("lowfat: unexpected error: %v", err)
+	}
+}
+
+func TestBaselineMissesOverflow(t *testing.T) {
+	// Without instrumentation the out-of-bounds write lands in the
+	// allocator's padding and the program runs to completion — the C
+	// status quo the paper's introduction laments.
+	out := runProgram(t, oobHeapWrite)
+	if out != "3\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+// TestIRTextRoundTripExecutes prints a fully optimized and instrumented
+// module to its textual form, parses it back, and executes the parsed copy —
+// the strongest exercise of the ir printer/parser pair.
+func TestIRTextRoundTripExecutes(t *testing.T) {
+	m, err := cc.Compile("rt", cc.Source{Name: "rt.c", Code: okProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.PaperSoftBound()
+	cfg.OptDominance = true
+	opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+		if _, ierr := core.Instrument(mod, cfg); ierr != nil {
+			t.Fatal(ierr)
+		}
+	}, opt.PipelineOptions{Level: 3})
+
+	text := ir.FormatModule(m)
+	m2, err := ir.ParseModule(text)
+	if err != nil {
+		t.Fatalf("parse of printed module failed: %v", err)
+	}
+	if ir.FormatModule(m2) != text {
+		t.Error("round trip not stable")
+	}
+
+	run := func(mod *ir.Module) string {
+		machine, err := vm.New(mod, vm.Options{Mechanism: vm.MechSoftBound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, rerr := machine.Run(); rerr != nil {
+			t.Fatalf("run: %v", rerr)
+		}
+		return machine.Output()
+	}
+	if out1, out2 := run(m), run(m2); out1 != out2 {
+		t.Errorf("parsed module behaves differently: %q vs %q", out1, out2)
+	}
+}

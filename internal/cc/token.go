@@ -1,0 +1,75 @@
+// Package cc is a C-subset compiler front end: lexer, parser, semantic
+// analysis and SSA code generation targeting internal/ir. It plays the role
+// clang plays in the paper's setup (Figure 8): benchmark programs and
+// usability case studies are written in C-like source, so the semantic gaps
+// between C and the IR that Section 4 analyzes (integer/pointer casts,
+// byte-wise pointer copies, size-zero extern arrays, out-of-bounds pointer
+// arithmetic) arise organically.
+//
+// Supported subset: the integer and floating types of C (with signedness),
+// pointers, multi-dimensional arrays, structs, enums, global and local
+// variables with initializers, all C operators including assignment
+// operators and ?:, control flow (if/else, while, do-while, for, switch,
+// break, continue, return), sizeof, casts, string literals, variadic calls
+// to the built-in C library, and a miniature preprocessor (object-like
+// #define, other # lines ignored). Not supported: function pointers, unions,
+// bitfields, goto, varargs definitions, typedef.
+package cc
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStrLit
+	TokPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	// Text is the token spelling (for punctuation, the operator itself).
+	Text string
+	// IntVal/FloatVal hold literal values.
+	IntVal   int64
+	FloatVal float64
+	// Unsigned marks integer literals with a U suffix.
+	Unsigned bool
+	// Long marks integer literals with an L suffix.
+	Long bool
+	// Line/File locate the token for diagnostics.
+	Line int
+	File string
+}
+
+// Pos renders the token position.
+func (t Token) Pos() string { return fmt.Sprintf("%s:%d", t.File, t.Line) }
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"struct": true, "enum": true, "union": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "sizeof": true,
+	"extern": true, "static": true, "const": true, "register": true,
+	"volatile": true, "goto": true, "typedef": true,
+}
+
+// twoCharPunct and threeCharPunct list multi-character operators, longest
+// match first.
+var threeCharPunct = []string{"<<=", ">>=", "..."}
+
+var twoCharPunct = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"->", "++", "--",
+}

@@ -1,0 +1,149 @@
+// Package core implements the MemInstrument instrumentation framework — the
+// paper's primary contribution. The framework abstracts the tasks every
+// pointer-tracking memory-safety instrumentation shares (Table 1):
+//
+//   - discovering instrumentation targets: dereferences that need checks and
+//     program points where a mechanism's invariant must be established;
+//   - propagating witnesses (the values carrying a pointer's bounds) through
+//     phi, select, gep and casts, and deriving them from allocations or from
+//     the mechanism's invariant at loads, calls and function entries;
+//   - approach-independent check optimizations, such as the dominance-based
+//     redundant-check elimination of Section 5.3.
+//
+// Two mechanisms are provided: SoftBound (disjoint metadata; Section 3.2)
+// and Low-Fat Pointers (pointer-derived bounds; Section 3.3). New mechanisms
+// implement the mechanism interface in witness.go.
+package core
+
+// Mech selects the instrumentation mechanism (-mi-config in the artifact).
+type Mech int
+
+// The implemented mechanisms.
+const (
+	// MechSoftBound selects SoftBound (-mi-config=softbound).
+	MechSoftBound Mech = iota
+	// MechLowFat selects Low-Fat Pointers (-mi-config=lowfat).
+	MechLowFat
+)
+
+// String returns the artifact's configuration name.
+func (m Mech) String() string {
+	if m == MechLowFat {
+		return "lowfat"
+	}
+	return "softbound"
+}
+
+// Mode selects how much instrumentation is generated (-mi-mode).
+type Mode int
+
+// Modes.
+const (
+	// ModeFull places dereference checks and establishes invariants.
+	ModeFull Mode = iota
+	// ModeGenInvariants establishes the mechanism's invariants and
+	// propagates witnesses, but places no dereference checks — the
+	// "metadata" configuration of Figures 10 and 11, used to attribute
+	// overhead to metadata maintenance (Section 5.4).
+	ModeGenInvariants
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == ModeGenInvariants {
+		return "geninvariants"
+	}
+	return "full"
+}
+
+// Config mirrors the artifact's command-line flags (Appendix A.6).
+type Config struct {
+	// Mechanism is the instrumentation approach.
+	Mechanism Mech
+	// Mode selects full checking or invariant generation only.
+	Mode Mode
+	// OptDominance enables the dominance-based check elimination
+	// (-mi-opt-dominance): a check is removed when the same pointer is
+	// checked with at least the same width at a dominating location.
+	OptDominance bool
+	// OptDominanceInvariants extends the dominance elimination to
+	// invariant (escape) checks: a Low-Fat escape check is redundant when
+	// the same pointer VALUE was already escape-checked at a dominating
+	// location, because the check depends only on the value. This is an
+	// extension in the spirit of the paper's conclusion ("we see the
+	// potential for further check optimizations here"); it is off in all
+	// paper-reproducing configurations and evaluated as an ablation.
+	OptDominanceInvariants bool
+
+	// SBSizeZeroWideUpper (-mi-sb-size-zero-wide-upper) makes SoftBound
+	// use wide bounds for globals declared without size information;
+	// otherwise it uses NULL bounds, which reject every access
+	// (Section 4.3).
+	SBSizeZeroWideUpper bool
+	// SBIntToPtrWideBounds (-mi-sb-inttoptr-wide-bounds) makes SoftBound
+	// use wide bounds for pointers cast from integers; otherwise NULL
+	// bounds (Section 4.4).
+	SBIntToPtrWideBounds bool
+
+	// LFTransformCommonToWeak (-mi-lf-transform-common-to-weak-linkage)
+	// rewrites common-linkage globals to weak definitions so they can be
+	// placed in low-fat sections. Without it, tentative C definitions stay
+	// outside the low-fat regions and their accesses get wide bounds.
+	LFTransformCommonToWeak bool
+}
+
+// PaperSoftBound returns the SoftBound configuration used for the paper's
+// runtime evaluation (Appendix A.6), minus the mode/optimization axes that
+// the experiments vary.
+func PaperSoftBound() Config {
+	return Config{
+		Mechanism:            MechSoftBound,
+		SBSizeZeroWideUpper:  true,
+		SBIntToPtrWideBounds: true,
+	}
+}
+
+// PaperLowFat returns the Low-Fat Pointers configuration used for the
+// paper's runtime evaluation (Appendix A.6).
+func PaperLowFat() Config {
+	return Config{
+		Mechanism:               MechLowFat,
+		LFTransformCommonToWeak: true,
+	}
+}
+
+// Stats reports what the instrumentation did, feeding the evaluation
+// (Sections 4.6 and 5.3).
+type Stats struct {
+	// Functions is the number of instrumented function definitions.
+	Functions int
+	// DerefTargets is the number of dereference check targets discovered
+	// before any elimination.
+	DerefTargets int
+	// ChecksEliminated counts targets removed by the dominance filter.
+	ChecksEliminated int
+	// InvariantsEliminated counts invariant targets removed by the
+	// extended dominance filter (OptDominanceInvariants).
+	InvariantsEliminated int
+	// ChecksPlaced counts dereference checks actually inserted.
+	ChecksPlaced int
+	// InvariantChecks counts Low-Fat escape checks inserted.
+	InvariantChecks int
+	// MetadataStores counts SoftBound trie-store calls inserted.
+	MetadataStores int
+	// ShadowFrames counts instrumented call sites with shadow-stack
+	// frames.
+	ShadowFrames int
+	// WitnessPhis and WitnessSelects count propagation instructions.
+	WitnessPhis    int
+	WitnessSelects int
+}
+
+// EliminationRate returns the fraction of dereference targets removed by the
+// dominance optimization, in percent.
+func (s *Stats) EliminationRate() float64 {
+	if s.DerefTargets == 0 {
+		return 0
+	}
+	return 100 * float64(s.ChecksEliminated) / float64(s.DerefTargets)
+}

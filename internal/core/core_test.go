@@ -1,0 +1,538 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/rt"
+	"repro/internal/vm"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func countCalls(m *ir.Module, name string) int {
+	n := 0
+	m.Definitions(func(f *ir.Func) {
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Op == ir.OpCall {
+				if c := in.Callee(); c != nil && c.Name == name {
+					n++
+				}
+			}
+			return true
+		})
+	})
+	return n
+}
+
+func TestDiscoverITargets(t *testing.T) {
+	m := compile(t, `
+int g[4];
+int *mk() { return g; }
+void sink(int *p) {}
+int main() {
+    int *p = mk();
+    g[0] = 1;          /* store check */
+    int x = g[1];      /* load check */
+    sink(p);           /* call with pointer arg */
+    long l = (long)p;  /* ptrtoint */
+    return x + (int)l;
+}`)
+	f := m.Func("main")
+	targets := core.DiscoverITargets(f)
+	var checks, calls, p2i int
+	for _, tg := range targets {
+		switch tg.Kind {
+		case core.CheckTarget:
+			checks++
+			if tg.Width == 0 {
+				t.Error("check target with zero width")
+			}
+		case core.InvariantCall:
+			calls++
+		case core.InvariantPtrToInt:
+			p2i++
+		}
+	}
+	// Unoptimized code has alloca spills; at minimum the two global
+	// accesses plus spill traffic are check targets.
+	if checks < 2 {
+		t.Errorf("found %d check targets", checks)
+	}
+	if calls < 2 { // mk() returns a pointer; sink takes one
+		t.Errorf("found %d call targets, want >= 2", calls)
+	}
+	if p2i != 1 {
+		t.Errorf("found %d ptrtoint targets, want 1", p2i)
+	}
+	// Pointer stores (spilling p) must yield InvariantStore targets.
+	var stores int
+	for _, tg := range targets {
+		if tg.Kind == core.InvariantStore {
+			stores++
+		}
+	}
+	if stores == 0 {
+		t.Error("no pointer-store invariant targets")
+	}
+}
+
+func TestDiscoverSkipsAllocAndIntrinsicCalls(t *testing.T) {
+	m := compile(t, `
+int main() {
+    int *p = (int *)malloc(8);
+    free(p);
+    return 0;
+}`)
+	f := m.Func("main")
+	for _, tg := range core.DiscoverITargets(f) {
+		if tg.Kind != core.InvariantCall {
+			continue
+		}
+		callee := tg.Instr.Callee()
+		if callee.Name == "malloc" {
+			t.Error("malloc treated as a protocol call")
+		}
+	}
+}
+
+func TestFilterDominated(t *testing.T) {
+	// Two accesses to the same location in one block: the second check is
+	// dominated and removable; the narrower dominating width must NOT
+	// shadow a wider dominated one.
+	m := ir.NewModule("t")
+	g8 := m.NewGlobal("g", ir.I64, nil)
+	f := m.NewFunc("f", ir.FuncOf(ir.Void))
+	b := ir.NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	g32 := b.Bitcast(g8, ir.PointerTo(ir.I32))
+	b.Load(g32) // width 4
+	b.Load(g32) // width 4: dominated
+	b.Load(g8)  // width 8 through a different pointer value: kept
+	b.Load(g32) // width 4: dominated
+	b.Ret(nil)
+
+	targets := core.DiscoverITargets(f)
+	filtered, removed := core.FilterDominated(f, targets)
+	if removed != 2 {
+		t.Errorf("removed %d checks, want 2", removed)
+	}
+	var counts int
+	for _, tg := range filtered {
+		if tg.Kind == core.CheckTarget {
+			counts++
+		}
+	}
+	if counts != 2 {
+		t.Errorf("%d checks remain, want 2", counts)
+	}
+}
+
+func TestFilterDominatedWidths(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", ir.I64, nil)
+	f := m.NewFunc("f", ir.FuncOf(ir.Void))
+	b := ir.NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	g32 := b.Bitcast(g, ir.PointerTo(ir.I32))
+	b.Load(g32) // width 4 first
+	b.Load(g32) // width 4, dominated -> removed
+	b.Ret(nil)
+	_, removed := core.FilterDominated(f, core.DiscoverITargets(f))
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+
+	// Reversed widths via i64 load after i32 load on *different* SSA
+	// values must not remove anything.
+	m2 := ir.NewModule("t2")
+	g2 := m2.NewGlobal("g", ir.I64, nil)
+	f2 := m2.NewFunc("f", ir.FuncOf(ir.Void))
+	b2 := ir.NewBuilder(f2)
+	blk2 := f2.NewBlock("entry")
+	b2.SetBlock(blk2)
+	n32 := b2.Bitcast(g2, ir.PointerTo(ir.I32))
+	b2.Load(n32)
+	b2.Load(g2)
+	b2.Ret(nil)
+	_, removed2 := core.FilterDominated(f2, core.DiscoverITargets(f2))
+	if removed2 != 0 {
+		t.Errorf("removed %d checks across distinct pointers", removed2)
+	}
+}
+
+func TestInstrumentSoftBoundPlacesRuntimeCalls(t *testing.T) {
+	m := compile(t, `
+int g[8];
+int take(int *p) { return p[1]; }
+int main() {
+    int *h = (int *)malloc(32);
+    h[0] = g[0];
+    int r = take(h);
+    free(h);
+    return r;
+}`)
+	stats, err := core.Instrument(m, core.PaperSoftBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ChecksPlaced == 0 || stats.MetadataStores == 0 || stats.ShadowFrames == 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+	if countCalls(m, rt.SBCheck) != stats.ChecksPlaced {
+		t.Error("check call count mismatch")
+	}
+	if countCalls(m, rt.SBSSAlloc) != countCalls(m, rt.SBSSPop) {
+		t.Error("unbalanced shadow-stack frames")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrumentLowFatPlacesRuntimeCalls(t *testing.T) {
+	m := compile(t, `
+int g[8];
+void sink(int *p) {}
+int *pass(int *p) { return p; }
+int main() {
+    int *h = (int *)malloc(32);
+    h[0] = g[0];
+    sink(pass(h));
+    free(h);
+    return 0;
+}`)
+	stats, err := core.Instrument(m, core.PaperLowFat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ChecksPlaced == 0 || stats.InvariantChecks == 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+	if countCalls(m, rt.LFCheck) != stats.ChecksPlaced {
+		t.Error("check call count mismatch")
+	}
+	if countCalls(m, rt.LFCheckInv) != stats.InvariantChecks {
+		t.Error("invariant call count mismatch")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenInvariantsModePlacesNoChecks(t *testing.T) {
+	src := `
+int main() {
+    int *h = (int *)malloc(32);
+    h[0] = 1;
+    int *k = h;
+    h[1] = k[0];
+    free(h);
+    return 0;
+}`
+	for _, mech := range []core.Mech{core.MechSoftBound, core.MechLowFat} {
+		m := compile(t, src)
+		cfg := core.PaperSoftBound()
+		if mech == core.MechLowFat {
+			cfg = core.PaperLowFat()
+		}
+		cfg.Mode = core.ModeGenInvariants
+		stats, err := core.Instrument(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.ChecksPlaced != 0 {
+			t.Errorf("%s: %d deref checks placed in geninvariants mode", mech, stats.ChecksPlaced)
+		}
+		if countCalls(m, rt.SBCheck)+countCalls(m, rt.LFCheck) != 0 {
+			t.Errorf("%s: deref check calls present", mech)
+		}
+	}
+}
+
+func TestWitnessPhiMirroring(t *testing.T) {
+	// A pointer phi requires witness phis (Table 1): two for SoftBound,
+	// one for Low-Fat Pointers.
+	src := `
+int a[4];
+int b[8];
+int main() {
+    int *p;
+    int c = a[0];
+    if (c) { p = a; } else { p = b; }
+    return p[1];
+}`
+	m := compile(t, src)
+	// Promote the locals so p becomes a phi.
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	stats, err := core.Instrument(m, core.PaperSoftBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WitnessPhis == 0 {
+		t.Error("no witness phis created for the pointer phi")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := compile(t, src)
+	opt.RunSequence(m2, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	stats2, err := core.Instrument(m2, core.PaperLowFat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.WitnessPhis == 0 {
+		t.Error("no witness phis for lowfat")
+	}
+}
+
+func TestCommonToWeakTransform(t *testing.T) {
+	m := compile(t, `
+int tentative[64];
+int main() { return tentative[0]; }`)
+	g := m.Global("tentative")
+	if g.Linkage != ir.CommonLinkage {
+		t.Fatal("precondition: tentative must be common")
+	}
+	cfg := core.PaperLowFat() // has the transform enabled
+	if _, err := core.Instrument(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if g.Linkage != ir.WeakLinkage {
+		t.Error("common linkage not transformed to weak")
+	}
+
+	m2 := compile(t, `
+int tentative[64];
+int main() { return tentative[0]; }`)
+	cfg2 := core.PaperLowFat()
+	cfg2.LFTransformCommonToWeak = false
+	if _, err := core.Instrument(m2, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Global("tentative").Linkage != ir.CommonLinkage {
+		t.Error("linkage transformed despite disabled flag")
+	}
+}
+
+// runInstrumented instruments at VectorizerStart and runs.
+func runInstrumented(t *testing.T, src string, cfg core.Config, vopts vm.Options) (*vm.VM, error) {
+	t.Helper()
+	m := compile(t, src)
+	opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+		if _, err := core.Instrument(mod, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}, opt.PipelineOptions{Level: 3})
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := machine.Run()
+	return machine, rerr
+}
+
+func TestSizeZeroConfigAxis(t *testing.T) {
+	// With wide upper bounds the access is allowed (and counted wide);
+	// with NULL bounds every access to the size-zero global is rejected —
+	// the "overly restrictive" option of Section 4.3.
+	srcs := []cc.Source{
+		{Name: "a.c", Code: `extern int data[]; int peek(int i) { return data[i]; }`},
+		{Name: "b.c", Code: `int data[16]; int peek(int i); int main() { return peek(3); }`},
+	}
+	build := func(cfg core.Config) (*vm.VM, error) {
+		m, err := cc.Compile("t", srcs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+			if _, err := core.Instrument(mod, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}, opt.PipelineOptions{Level: 3})
+		machine, err := vm.New(m, vm.Options{Mechanism: vm.MechSoftBound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := machine.Run()
+		return machine, rerr
+	}
+
+	wide := core.PaperSoftBound() // SBSizeZeroWideUpper = true
+	machine, err := build(wide)
+	if err != nil {
+		t.Errorf("wide bounds: unexpected error %v", err)
+	} else if machine.Stats.WideChecks == 0 {
+		t.Error("wide bounds: no wide checks counted")
+	}
+
+	null := core.PaperSoftBound()
+	null.SBSizeZeroWideUpper = false
+	if _, err := build(null); err == nil {
+		t.Error("NULL bounds: access to size-zero global not rejected")
+	}
+}
+
+func TestIntToPtrConfigAxis(t *testing.T) {
+	src := `
+int main() {
+    int x = 9;
+    long addr = (long)&x;
+    int *p = (int *)addr;
+    return *p - 9;
+}`
+	wide := core.PaperSoftBound() // SBIntToPtrWideBounds = true
+	machine, err := runInstrumented(t, src, wide, vm.Options{Mechanism: vm.MechSoftBound})
+	if err != nil {
+		t.Errorf("wide: unexpected error %v", err)
+	} else if machine.Stats.WideChecks == 0 {
+		t.Error("wide: inttoptr access not counted wide")
+	}
+
+	null := core.PaperSoftBound()
+	null.SBIntToPtrWideBounds = false
+	_, err = runInstrumented(t, src, null, vm.Options{Mechanism: vm.MechSoftBound})
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Errorf("null: expected violation, got %v", err)
+	}
+}
+
+func TestInstrumentIdempotence(t *testing.T) {
+	m := compile(t, `int g; int main() { g = 1; return g; }`)
+	if _, err := core.Instrument(m, core.PaperSoftBound()); err != nil {
+		t.Fatal(err)
+	}
+	first := countCalls(m, rt.SBCheck)
+	// A second Instrument call must not double-instrument.
+	if _, err := core.Instrument(m, core.PaperSoftBound()); err != nil {
+		t.Fatal(err)
+	}
+	if got := countCalls(m, rt.SBCheck); got != first {
+		t.Errorf("re-instrumentation changed check count: %d -> %d", first, got)
+	}
+}
+
+func TestEliminationRateStat(t *testing.T) {
+	m := compile(t, `
+long g;
+int main() {
+    g = 1;
+    g = g + 1;
+    g = g + 2;
+    return (int)g;
+}`)
+	cfg := core.PaperSoftBound()
+	cfg.OptDominance = true
+	stats, err := core.Instrument(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ChecksEliminated == 0 {
+		t.Error("no dominated checks eliminated")
+	}
+	if stats.EliminationRate() <= 0 || stats.EliminationRate() > 100 {
+		t.Errorf("elimination rate %f out of range", stats.EliminationRate())
+	}
+}
+
+func TestFilterDominatedInvariants(t *testing.T) {
+	// Storing the same pointer value twice: the second Low-Fat escape
+	// check is redundant (value-idempotent).
+	src := `
+int *slot1;
+int *slot2;
+int arr[4];
+int main() {
+    int *p = arr;
+    slot1 = p;
+    slot2 = p;
+    return 0;
+}`
+	m := compile(t, src)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	cfg := core.PaperLowFat()
+	cfg.OptDominanceInvariants = true
+	stats, err := core.Instrument(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InvariantsEliminated == 0 {
+		t.Error("no dominated invariant checks eliminated")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantFilterDisabledForSoftBound(t *testing.T) {
+	// SoftBound metadata stores are location-keyed: the filter must not
+	// touch them even when requested.
+	src := `
+int *slot1;
+int *slot2;
+int arr[4];
+int main() {
+    int *p = arr;
+    slot1 = p;
+    slot2 = p;
+    return 0;
+}`
+	m := compile(t, src)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	cfg := core.PaperSoftBound()
+	cfg.OptDominanceInvariants = true
+	stats, err := core.Instrument(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InvariantsEliminated != 0 {
+		t.Error("softbound metadata stores were eliminated (unsound)")
+	}
+	if stats.MetadataStores < 2 {
+		t.Errorf("expected both metadata stores, got %d", stats.MetadataStores)
+	}
+}
+
+func TestInvariantFilterPreservesDetection(t *testing.T) {
+	// Even with the filter on, the FIRST escape of an out-of-bounds
+	// pointer is still checked.
+	src := `
+int *slot1;
+int *slot2;
+int arr[4];
+int main() {
+    int *oob = arr + 24;
+    slot1 = oob;
+    slot2 = oob;
+    return 0;
+}`
+	m := compile(t, src)
+	cfg := core.PaperLowFat()
+	cfg.OptDominanceInvariants = true
+	opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+		if _, err := core.Instrument(mod, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}, opt.PipelineOptions{Level: 3})
+	machine, err := vm.New(m, lfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := machine.Run(); rerr == nil {
+		t.Error("escaping out-of-bounds pointer not detected with invariant filter on")
+	}
+}

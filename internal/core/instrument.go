@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Instrument applies the configured memory-safety instrumentation to every
+// function definition in the module (in place) and returns statistics. The
+// framework performs the shared tasks — target discovery, witness
+// propagation, check-redundancy filtering — and delegates the
+// approach-specific code generation to the mechanism (Section 3.1).
+//
+// The function is the MemInstrument "module pass"; to reproduce the paper's
+// pipeline experiments, pass it as the hook of opt.RunPipeline at the
+// desired extension point.
+func Instrument(m *ir.Module, cfg Config) (*Stats, error) {
+	stats := &Stats{}
+	var mech mechanism
+	switch cfg.Mechanism {
+	case MechSoftBound:
+		mech = newSBMech(m, &cfg, stats)
+	case MechLowFat:
+		mech = newLFMech(m, &cfg, stats)
+	default:
+		return nil, fmt.Errorf("core: unknown mechanism %d", cfg.Mechanism)
+	}
+
+	if cfg.Mechanism == MechLowFat && cfg.LFTransformCommonToWeak {
+		for _, g := range m.Globals {
+			if g.Linkage == ir.CommonLinkage {
+				g.Linkage = ir.WeakLinkage
+			}
+		}
+	}
+
+	var fns []*ir.Func
+	m.Definitions(func(f *ir.Func) {
+		if !f.IgnoreInstrumentation && !f.Instrumented {
+			fns = append(fns, f)
+		}
+	})
+
+	for _, f := range fns {
+		if err := instrumentFunc(f, &cfg, mech, stats); err != nil {
+			return stats, fmt.Errorf("core: instrumenting @%s: %w", f.Name, err)
+		}
+		f.Instrumented = true
+		stats.Functions++
+	}
+
+	if err := ir.VerifyModule(m); err != nil {
+		return stats, fmt.Errorf("core: instrumented module is malformed: %w", err)
+	}
+	return stats, nil
+}
+
+func instrumentFunc(f *ir.Func, cfg *Config, mech mechanism, stats *Stats) error {
+	targets := DiscoverITargets(f)
+	for _, t := range targets {
+		if t.Kind == CheckTarget {
+			stats.DerefTargets++
+		}
+	}
+	if cfg.OptDominance {
+		var n int
+		targets, n = FilterDominated(f, targets)
+		stats.ChecksEliminated += n
+	}
+	// The invariant filter only applies to mechanisms whose invariant
+	// establishment is a value-idempotent check (Low-Fat Pointers);
+	// SoftBound's metadata stores are keyed by location and must all stay.
+	if cfg.OptDominanceInvariants && cfg.Mechanism == MechLowFat {
+		var n int
+		targets, n = FilterDominatedInvariants(f, targets)
+		stats.InvariantsEliminated += n
+	}
+
+	fi := newFuncInstrumenter(cfg, mech, f, stats)
+
+	// Phase 1: call sites, in program order, so witnesses for call results
+	// are registered (and frame management is placed) before anything asks
+	// for them.
+	for _, t := range targets {
+		if t.Kind == InvariantCall {
+			mech.instrumentCall(fi, t.Instr)
+		}
+	}
+
+	// Phase 2: dereference checks (suppressed in invariant-only mode).
+	if cfg.Mode == ModeFull {
+		for _, t := range targets {
+			if t.Kind == CheckTarget {
+				mech.placeCheck(fi, t)
+			}
+		}
+	}
+
+	// Phase 3: remaining invariants.
+	for _, t := range targets {
+		switch t.Kind {
+		case InvariantStore:
+			mech.establishStore(fi, t)
+		case InvariantReturn:
+			mech.establishReturn(fi, t)
+		case InvariantPtrToInt:
+			mech.establishPtrToInt(fi, t)
+		}
+	}
+	return nil
+}

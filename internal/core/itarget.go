@@ -1,0 +1,215 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// ITargetKind classifies instrumentation targets (Table 1).
+type ITargetKind int
+
+// Target kinds.
+const (
+	// CheckTarget marks a dereference that needs an in-bounds check.
+	CheckTarget ITargetKind = iota
+	// InvariantStore marks a store of a pointer value to memory: SoftBound
+	// records metadata, Low-Fat Pointers check the escaping value.
+	InvariantStore
+	// InvariantReturn marks a return of a pointer value.
+	InvariantReturn
+	// InvariantCall marks a call with pointer arguments or a pointer
+	// result.
+	InvariantCall
+	// InvariantPtrToInt marks a pointer-to-integer cast; Low-Fat Pointers
+	// check the value so the re-materialized pointer can be trusted
+	// (Section 4.4).
+	InvariantPtrToInt
+)
+
+// ITarget is one instrumentation target: a code location plus the pointer
+// the mechanism must act on.
+type ITarget struct {
+	Kind ITargetKind
+	// Instr is the anchoring instruction (the access, store, call, ret or
+	// cast).
+	Instr *ir.Instr
+	// Ptr is the relevant pointer value: the accessed pointer for checks,
+	// the escaping value for stores/returns/casts. For InvariantCall the
+	// pointer arguments are taken from the call directly.
+	Ptr ir.Value
+	// Width is the access width in bytes for CheckTarget.
+	Width int
+}
+
+// DiscoverITargets scans a function and returns its instrumentation targets
+// in program order. Calls to runtime intrinsics and to functions excluded
+// from instrumentation are not treated as call targets.
+func DiscoverITargets(f *ir.Func) []ITarget {
+	var targets []ITarget
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				targets = append(targets, ITarget{
+					Kind:  CheckTarget,
+					Instr: in,
+					Ptr:   in.AccessedPointer(),
+					Width: in.AccessWidth(),
+				})
+				if in.Op == ir.OpStore && in.StoredValue().Type().IsPointer() {
+					targets = append(targets, ITarget{
+						Kind:  InvariantStore,
+						Instr: in,
+						Ptr:   in.StoredValue(),
+					})
+				}
+			case ir.OpRet:
+				if len(in.Operands) == 1 && in.Operands[0].Type().IsPointer() {
+					targets = append(targets, ITarget{
+						Kind:  InvariantReturn,
+						Instr: in,
+						Ptr:   in.Operands[0],
+					})
+				}
+			case ir.OpCall:
+				callee := in.Callee()
+				// Runtime intrinsics and allocation functions are not call
+				// targets; calls to uninstrumented (library) functions ARE:
+				// the caller cannot know the callee ignores the protocol —
+				// which is exactly how stale shadow-stack bounds arise
+				// (Section 4.3).
+				if callee == nil || rt.IsIntrinsic(callee.Name) || isAllocFn(callee.Name) {
+					continue
+				}
+				if callHasPointers(in) {
+					targets = append(targets, ITarget{Kind: InvariantCall, Instr: in})
+				}
+			case ir.OpPtrToInt:
+				targets = append(targets, ITarget{
+					Kind:  InvariantPtrToInt,
+					Instr: in,
+					Ptr:   in.Operands[0],
+				})
+			}
+		}
+	}
+	return targets
+}
+
+// isAllocFn reports whether name is an allocation function whose result
+// bounds derive from its size argument rather than from the shadow stack.
+func isAllocFn(name string) bool {
+	switch name {
+	case "malloc", "calloc", "realloc":
+		return true
+	}
+	return false
+}
+
+func callHasPointers(call *ir.Instr) bool {
+	if call.Ty.IsPointer() {
+		return true
+	}
+	for _, a := range call.Args() {
+		if a.Type().IsPointer() {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterDominated implements the dominance-based check elimination of
+// Section 5.3: a CheckTarget is redundant if another CheckTarget on the same
+// pointer with at least the same width dominates it. Non-check targets pass
+// through unchanged. It returns the surviving targets and the number of
+// eliminated checks.
+func FilterDominated(f *ir.Func, targets []ITarget) ([]ITarget, int) {
+	dt := analysis.NewDomTree(f)
+
+	// Group check targets by pointer identity to keep the pairwise
+	// comparison cheap.
+	group := make(map[ir.Value][]int)
+	for i, t := range targets {
+		if t.Kind == CheckTarget {
+			group[t.Ptr] = append(group[t.Ptr], i)
+		}
+	}
+	eliminated := make(map[int]bool)
+	for _, idxs := range group {
+		for _, i := range idxs {
+			if eliminated[i] {
+				continue
+			}
+			for _, j := range idxs {
+				if i == j || eliminated[j] {
+					continue
+				}
+				ti, tj := targets[i], targets[j]
+				if ti.Width >= tj.Width && dt.InstrDominates(ti.Instr, tj.Instr) {
+					eliminated[j] = true
+				}
+			}
+		}
+	}
+	if len(eliminated) == 0 {
+		return targets, 0
+	}
+	out := targets[:0]
+	for i, t := range targets {
+		if !eliminated[i] {
+			out = append(out, t)
+		}
+	}
+	return out, len(eliminated)
+}
+
+// FilterDominatedInvariants removes InvariantStore, InvariantReturn and
+// InvariantPtrToInt targets whose pointer value was already covered by a
+// dominating invariant target on the same value. The Low-Fat escape check
+// depends only on the pointer value (Figure 5 with width 1), so checking the
+// same SSA value twice is redundant; SoftBound's corresponding actions
+// (metadata stores keyed by *location*) are NOT value-idempotent, so this
+// filter must only run for mechanisms whose establishment is a pure check.
+// Call targets are left alone: their per-argument handling lives in the
+// mechanism.
+//
+// This optimization is not part of any paper configuration; it explores the
+// "further check optimizations" the paper's conclusion calls for, and the
+// ablation benchmarks quantify it.
+func FilterDominatedInvariants(f *ir.Func, targets []ITarget) ([]ITarget, int) {
+	dt := analysis.NewDomTree(f)
+	group := make(map[ir.Value][]int)
+	for i, t := range targets {
+		switch t.Kind {
+		case InvariantStore, InvariantReturn, InvariantPtrToInt:
+			group[t.Ptr] = append(group[t.Ptr], i)
+		}
+	}
+	eliminated := make(map[int]bool)
+	for _, idxs := range group {
+		for _, i := range idxs {
+			if eliminated[i] {
+				continue
+			}
+			for _, j := range idxs {
+				if i == j || eliminated[j] {
+					continue
+				}
+				if dt.InstrDominates(targets[i].Instr, targets[j].Instr) {
+					eliminated[j] = true
+				}
+			}
+		}
+	}
+	if len(eliminated) == 0 {
+		return targets, 0
+	}
+	out := targets[:0]
+	for i, t := range targets {
+		if !eliminated[i] {
+			out = append(out, t)
+		}
+	}
+	return out, len(eliminated)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// lfMech implements the Low-Fat Pointers instrumentation (Section 3.3): a
+// witness is the base pointer of the allocation, derived from the pointer
+// value itself for pointers covered by the in-bounds invariant; the
+// invariant is established by checking pointers whenever they escape the
+// function (stores, calls, returns) or are cast to integers.
+type lfMech struct {
+	cfg   *Config
+	stats *Stats
+
+	base, check, checkInv *ir.Func
+	null                  ir.Value
+}
+
+func newLFMech(m *ir.Module, cfg *Config, stats *Stats) *lfMech {
+	return &lfMech{
+		cfg:      cfg,
+		stats:    stats,
+		base:     rt.Declare(m, rt.LFBase),
+		check:    rt.Declare(m, rt.LFCheck),
+		checkInv: rt.Declare(m, rt.LFCheckInv),
+		null:     ir.NewNull(witnessComponentType()),
+	}
+}
+
+func (l *lfMech) name() string    { return "lowfat" }
+func (l *lfMech) components() int { return 1 }
+
+// deriveBase inserts a base recomputation from the pointer value, relying on
+// the invariant that the value is in bounds.
+func (l *lfMech) deriveBase(b *ir.Builder, ptr ir.Value) witness {
+	c := b.Call(l.base, ptr)
+	c.Tag = "witness"
+	return w1(c)
+}
+
+// allocaWitness: with the stack mirror, the alloca's result is the
+// allocation base itself — no code needed.
+func (l *lfMech) allocaWitness(b *ir.Builder, al *ir.Instr) witness { return w1(al) }
+
+// globalWitness: the global's address is the base. Globals that could not be
+// placed into low-fat sections (common linkage without the transformation,
+// or external-library storage) decode to region 0 and get wide bounds at
+// runtime — no compile-time special case is needed.
+func (l *lfMech) globalWitness(b *ir.Builder, g *ir.Global) witness { return w1(g) }
+
+// allocCallWitness: the low-fat malloc returns the allocation base.
+func (l *lfMech) allocCallWitness(b *ir.Builder, call *ir.Instr) witness { return w1(call) }
+
+// loadWitness: pointers loaded from memory are in bounds by the invariant;
+// recompute the base from the value.
+func (l *lfMech) loadWitness(b *ir.Builder, ld *ir.Instr) witness {
+	return l.deriveBase(b, ld)
+}
+
+// paramWitness: incoming pointers are in bounds by the invariant.
+func (l *lfMech) paramWitness(b *ir.Builder, p *ir.Param, ptrIdx int) witness {
+	return l.deriveBase(b, p)
+}
+
+// intToPtrWitness: the integer is trusted to be an in-bounds pointer (the
+// value was checked when it was cast away, but nothing protects it in
+// between — the gap discussed in Section 4.4).
+func (l *lfMech) intToPtrWitness(b *ir.Builder, in *ir.Instr) witness {
+	return l.deriveBase(b, in)
+}
+
+func (l *lfMech) nullWitness() witness { return w1(l.null) }
+
+// callRetWitness: returned pointers are in bounds by the invariant.
+func (l *lfMech) callRetWitness(b *ir.Builder, call *ir.Instr) witness {
+	return l.deriveBase(b, call)
+}
+
+// instrumentCall establishes the invariant for pointers passed to the
+// callee: each escaping pointer argument is checked to be in bounds
+// (Table 1). This is the check that fires on out-of-bounds pointer
+// arithmetic escaping into calls — valid C programs can be rejected here
+// (Section 4.2).
+func (l *lfMech) instrumentCall(fi *funcInstrumenter, call *ir.Instr) {
+	for _, a := range call.Args() {
+		if !a.Type().IsPointer() {
+			continue
+		}
+		w := fi.getWitness(a)
+		fi.bld.SetBefore(call)
+		c := fi.bld.Call(l.checkInv, a, w.vals[0])
+		c.Tag = "invariant"
+		l.stats.InvariantChecks++
+	}
+	if call.Ty.IsPointer() {
+		fi.bld.SetAfter(call)
+		fi.retWitness[call] = l.deriveBase(fi.bld, call)
+		fi.cache[call] = fi.retWitness[call]
+	}
+}
+
+// placeCheck inserts the dereference check of Figure 5 before the access.
+func (l *lfMech) placeCheck(fi *funcInstrumenter, t ITarget) {
+	w := fi.getWitness(t.Ptr)
+	fi.bld.SetBefore(t.Instr)
+	c := fi.bld.Call(l.check, t.Ptr, ir.NewInt(ir.I64, int64(t.Width)), w.vals[0])
+	c.Tag = "check"
+	l.stats.ChecksPlaced++
+}
+
+// establishStore checks the escaping pointer value before it is written to
+// memory.
+func (l *lfMech) establishStore(fi *funcInstrumenter, t ITarget) {
+	w := fi.getWitness(t.Ptr)
+	fi.bld.SetBefore(t.Instr)
+	c := fi.bld.Call(l.checkInv, t.Ptr, w.vals[0])
+	c.Tag = "invariant"
+	l.stats.InvariantChecks++
+}
+
+// establishReturn checks the returned pointer.
+func (l *lfMech) establishReturn(fi *funcInstrumenter, t ITarget) {
+	w := fi.getWitness(t.Ptr)
+	fi.bld.SetBefore(t.Instr)
+	c := fi.bld.Call(l.checkInv, t.Ptr, w.vals[0])
+	c.Tag = "invariant"
+	l.stats.InvariantChecks++
+}
+
+// establishPtrToInt checks the pointer before its value disappears into an
+// integer (Section 4.4).
+func (l *lfMech) establishPtrToInt(fi *funcInstrumenter, t ITarget) {
+	w := fi.getWitness(t.Ptr)
+	fi.bld.SetBefore(t.Instr)
+	c := fi.bld.Call(l.checkInv, t.Ptr, w.vals[0])
+	c.Tag = "invariant"
+	l.stats.InvariantChecks++
+}

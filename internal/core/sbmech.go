@@ -1,0 +1,223 @@
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// sbMech implements the SoftBound instrumentation (Section 3.2): witnesses
+// are (base, bound) pairs propagated alongside pointers, stored to a
+// metadata trie when pointers escape to memory, and communicated across
+// calls via a shadow stack.
+type sbMech struct {
+	cfg   *Config
+	stats *Stats
+
+	loadBase, loadBound, storeMD, check         *ir.Func
+	ssAlloc, ssSetArg, ssArgBase, ssArgBound    *ir.Func
+	ssSetRet, ssRetBase, ssRetBound, ssPop      *ir.Func
+	wideBase, wideBound, nullBase, nullBoundVal ir.Value
+}
+
+func newSBMech(m *ir.Module, cfg *Config, stats *Stats) *sbMech {
+	vp := witnessComponentType()
+	return &sbMech{
+		cfg:        cfg,
+		stats:      stats,
+		loadBase:   rt.Declare(m, rt.SBLoadBase),
+		loadBound:  rt.Declare(m, rt.SBLoadBound),
+		storeMD:    rt.Declare(m, rt.SBStoreMD),
+		check:      rt.Declare(m, rt.SBCheck),
+		ssAlloc:    rt.Declare(m, rt.SBSSAlloc),
+		ssSetArg:   rt.Declare(m, rt.SBSSSetArg),
+		ssArgBase:  rt.Declare(m, rt.SBSSArgBase),
+		ssArgBound: rt.Declare(m, rt.SBSSArgBound),
+		ssSetRet:   rt.Declare(m, rt.SBSSSetRet),
+		ssRetBase:  rt.Declare(m, rt.SBSSRetBase),
+		ssRetBound: rt.Declare(m, rt.SBSSRetBound),
+		ssPop:      rt.Declare(m, rt.SBSSPop),
+
+		wideBase:     ir.NewNull(vp),
+		wideBound:    ir.NewConstPtr(vp, ^uint64(0)),
+		nullBase:     ir.NewNull(vp),
+		nullBoundVal: ir.NewNull(vp),
+	}
+}
+
+func (s *sbMech) name() string    { return "softbound" }
+func (s *sbMech) components() int { return 2 }
+
+func (s *sbMech) wide() witness { return w2(s.wideBase, s.wideBound) }
+
+// boundsFromSize builds (ptr, ptr+size) with size given as an i64 value.
+func (s *sbMech) boundsFromSize(b *ir.Builder, ptr ir.Value, size ir.Value) witness {
+	p8 := b.Bitcast(ptr, witnessComponentType())
+	p8.Tag = "witness"
+	bound := b.GEP(p8, size)
+	bound.Tag = "witness"
+	return w2(p8, bound)
+}
+
+// toI64 widens an integer value to i64 if needed.
+func toI64(b *ir.Builder, v ir.Value, tag string) ir.Value {
+	if v.Type().Equal(ir.I64) {
+		return v
+	}
+	c := b.Cast(ir.OpZExt, v, ir.I64)
+	c.Tag = tag
+	return c
+}
+
+func (s *sbMech) allocaWitness(b *ir.Builder, al *ir.Instr) witness {
+	elemSize := int64(al.AllocTy.Size())
+	if len(al.Operands) == 0 {
+		return s.boundsFromSize(b, al, ir.NewInt(ir.I64, elemSize))
+	}
+	cnt := toI64(b, al.Operands[0], "witness")
+	size := b.Mul(cnt, ir.NewInt(ir.I64, elemSize))
+	size.Tag = "witness"
+	return s.boundsFromSize(b, al, size)
+}
+
+func (s *sbMech) globalWitness(b *ir.Builder, g *ir.Global) witness {
+	if g.SizeZeroDecl {
+		// Separate compilation hid the array's size (Section 4.3). The
+		// configuration decides between wide bounds (access never
+		// reported) and NULL bounds (every access reported).
+		if s.cfg.SBSizeZeroWideUpper {
+			return s.wide()
+		}
+		return w2(s.nullBase, s.nullBoundVal)
+	}
+	return s.boundsFromSize(b, g, ir.NewInt(ir.I64, int64(g.ValueTy.Size())))
+}
+
+func (s *sbMech) allocCallWitness(b *ir.Builder, call *ir.Instr) witness {
+	args := call.Args()
+	var size ir.Value
+	switch call.Callee().Name {
+	case "malloc":
+		size = toI64(b, args[0], "witness")
+	case "calloc":
+		n := toI64(b, args[0], "witness")
+		e := toI64(b, args[1], "witness")
+		m := b.Mul(n, e)
+		m.Tag = "witness"
+		size = m
+	case "realloc":
+		size = toI64(b, args[1], "witness")
+	default:
+		return s.wide()
+	}
+	return s.boundsFromSize(b, call, size)
+}
+
+func (s *sbMech) loadWitness(b *ir.Builder, ld *ir.Instr) witness {
+	loc := ld.Operands[0]
+	base := b.Call(s.loadBase, loc)
+	base.Tag = "witness"
+	bound := b.Call(s.loadBound, loc)
+	bound.Tag = "witness"
+	return w2(base, bound)
+}
+
+func (s *sbMech) paramWitness(b *ir.Builder, p *ir.Param, ptrIdx int) witness {
+	idx := ir.NewInt(ir.I64, int64(ptrIdx))
+	base := b.Call(s.ssArgBase, idx)
+	base.Tag = "witness"
+	bound := b.Call(s.ssArgBound, idx)
+	bound.Tag = "witness"
+	return w2(base, bound)
+}
+
+func (s *sbMech) intToPtrWitness(b *ir.Builder, in *ir.Instr) witness {
+	if s.cfg.SBIntToPtrWideBounds {
+		return s.wide()
+	}
+	return w2(s.nullBase, s.nullBoundVal)
+}
+
+func (s *sbMech) nullWitness() witness { return w2(s.nullBase, s.nullBoundVal) }
+
+func (s *sbMech) callRetWitness(b *ir.Builder, call *ir.Instr) witness {
+	base := b.Call(s.ssRetBase)
+	base.Tag = "witness"
+	bound := b.Call(s.ssRetBound)
+	bound.Tag = "witness"
+	return w2(base, bound)
+}
+
+// instrumentCall wraps a call site with the shadow-stack protocol: the
+// caller allocates a frame, records the bounds of pointer arguments, and
+// after the call reads the returned pointer's bounds before releasing the
+// frame.
+func (s *sbMech) instrumentCall(fi *funcInstrumenter, call *ir.Instr) {
+	b := fi.bld
+
+	// Bounds of pointer arguments (materialized at their defs).
+	type argW struct {
+		idx int
+		w   witness
+	}
+	var argWs []argW
+	ptrIdx := 0
+	for _, a := range call.Args() {
+		if !a.Type().IsPointer() {
+			continue
+		}
+		ptrIdx++
+		argWs = append(argWs, argW{idx: ptrIdx, w: fi.getWitness(a)})
+	}
+
+	b.SetBefore(call)
+	al := b.Call(s.ssAlloc, ir.NewInt(ir.I64, int64(ptrIdx)))
+	al.Tag = "invariant"
+	for _, aw := range argWs {
+		c := b.Call(s.ssSetArg, ir.NewInt(ir.I64, int64(aw.idx)), aw.w.vals[0], aw.w.vals[1])
+		c.Tag = "invariant"
+	}
+
+	b.SetAfter(call)
+	if call.Ty.IsPointer() {
+		base := b.Call(s.ssRetBase)
+		base.Tag = "witness"
+		bound := b.Call(s.ssRetBound)
+		bound.Tag = "witness"
+		fi.retWitness[call] = w2(base, bound)
+		fi.cache[call] = fi.retWitness[call]
+	}
+	pop := b.Call(s.ssPop)
+	pop.Tag = "invariant"
+	s.stats.ShadowFrames++
+}
+
+// placeCheck inserts the dereference check of Figure 2 before the access.
+func (s *sbMech) placeCheck(fi *funcInstrumenter, t ITarget) {
+	w := fi.getWitness(t.Ptr)
+	fi.bld.SetBefore(t.Instr)
+	c := fi.bld.Call(s.check, t.Ptr, ir.NewInt(ir.I64, int64(t.Width)), w.vals[0], w.vals[1])
+	c.Tag = "check"
+	s.stats.ChecksPlaced++
+}
+
+// establishStore records metadata for a pointer stored to memory (Table 1).
+func (s *sbMech) establishStore(fi *funcInstrumenter, t ITarget) {
+	w := fi.getWitness(t.Ptr)
+	fi.bld.SetAfter(t.Instr)
+	c := fi.bld.Call(s.storeMD, t.Instr.Operands[1], w.vals[0], w.vals[1])
+	c.Tag = "invariant"
+	s.stats.MetadataStores++
+}
+
+// establishReturn records the returned pointer's bounds on the shadow stack.
+func (s *sbMech) establishReturn(fi *funcInstrumenter, t ITarget) {
+	w := fi.getWitness(t.Ptr)
+	fi.bld.SetBefore(t.Instr)
+	c := fi.bld.Call(s.ssSetRet, w.vals[0], w.vals[1])
+	c.Tag = "invariant"
+}
+
+// establishPtrToInt does nothing for SoftBound: casting a pointer to an
+// integer loses the metadata association; the cast back is handled by
+// intToPtrWitness.
+func (s *sbMech) establishPtrToInt(fi *funcInstrumenter, t ITarget) {}

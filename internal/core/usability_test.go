@@ -1,0 +1,417 @@
+package core_test
+
+// This file reproduces the usability case studies of Section 4 of the
+// paper: valid C programs that one instrumentation rejects (spurious
+// reports) and buggy programs whose errors one instrumentation misses.
+// Each test documents which paper section it reproduces.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+func sbOptions() vm.Options {
+	return vm.Options{Mechanism: vm.MechSoftBound}
+}
+
+func lfOptions() vm.Options {
+	return vm.Options{Mechanism: vm.MechLowFat, LowFatHeap: true, LowFatStack: true, LowFatGlobals: true}
+}
+
+func runCase(t *testing.T, src string, mech core.Mech, popts opt.PipelineOptions) (*vm.VM, error) {
+	t.Helper()
+	m := compile(t, src)
+	cfg := core.PaperSoftBound()
+	vopts := sbOptions()
+	if mech == core.MechLowFat {
+		cfg = core.PaperLowFat()
+		vopts = lfOptions()
+	}
+	cfg.OptDominance = true
+	opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+		if _, err := core.Instrument(mod, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}, popts)
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := machine.Run()
+	return machine, rerr
+}
+
+func o3() opt.PipelineOptions { return opt.PipelineOptions{Level: 3} }
+
+// Section 4.2: out-of-bounds pointer arithmetic. 73% of C programmers
+// believe a pointer may go out of bounds as long as it is brought back
+// before the dereference (Memarian et al.). SoftBound only checks
+// dereferences and accepts the program; Low-Fat Pointers must establish
+// their in-bounds invariant when the pointer escapes into the call and
+// report a spurious violation.
+const oobArithmeticProg = `
+int data[8];
+
+/* The never-taken recursive guard keeps the function out of line, like the
+ * translation-unit boundary in the original benchmarks. */
+int peek(int *p, int adjust) {
+    if (p == (int *)0) return peek(p, adjust);
+    return p[adjust];    /* brought back in bounds before the access */
+}
+
+int main() {
+    int *oob = data + 24;           /* far past the end: UB in C, but common */
+    printf("%d\n", peek(oob, -20)); /* accesses data[4]: fine */
+    return 0;
+}`
+
+func TestOOBPointerArithmeticSoftBoundAccepts(t *testing.T) {
+	machine, err := runCase(t, oobArithmeticProg, core.MechSoftBound, o3())
+	if err != nil {
+		t.Fatalf("SoftBound rejected out-of-bounds arithmetic (it must not): %v", err)
+	}
+	if machine.Output() != "0\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+func TestOOBPointerArithmeticLowFatRejects(t *testing.T) {
+	_, err := runCase(t, oobArithmeticProg, core.MechLowFat, o3())
+	if err == nil {
+		t.Fatal("Low-Fat Pointers accepted an escaping out-of-bounds pointer (Section 4.2 says it must not)")
+	}
+	if !strings.Contains(err.Error(), "invariant") {
+		t.Errorf("expected an invariant (escape) violation, got: %v", err)
+	}
+}
+
+// Section 4.2 footnote 3: one-past-the-end pointers are legal C and must
+// survive escapes under both mechanisms (allocations are padded by one
+// byte).
+func TestOnePastTheEndIsAccepted(t *testing.T) {
+	src := `
+long sum_range(long *begin, long *end) {
+    long s = 0;
+    while (begin < end) { s += *begin; begin++; }
+    return s;
+}
+int main() {
+    long *a = (long *)malloc(7 * sizeof(long));
+    int i;
+    for (i = 0; i < 7; i++) a[i] = i;
+    printf("%ld\n", sum_range(a, a + 7)); /* a+7 is one past the end */
+    free(a);
+    return 0;
+}`
+	for _, mech := range []core.Mech{core.MechSoftBound, core.MechLowFat} {
+		machine, err := runCase(t, src, mech, o3())
+		if err != nil {
+			t.Errorf("%v: one-past-the-end pointer rejected: %v", mech, err)
+			continue
+		}
+		if machine.Output() != "21\n" {
+			t.Errorf("%v: output = %q", mech, machine.Output())
+		}
+	}
+}
+
+// Section 4.4 / Figure 7: pointer values that travel through memory as
+// integers leave SoftBound's metadata stale. The faithful translation works;
+// the obfuscated one produces a spurious report. Low-Fat Pointers are
+// unaffected either way.
+const swapProg = `
+double *slots[4];
+void swap_slots(int i, int j) {
+    double *t = slots[i];
+    slots[i] = slots[j];
+    slots[j] = t;
+}
+int main() {
+    double *a = (double *)malloc(4 * sizeof(double));
+    double *b = (double *)malloc(16 * sizeof(double));
+    int i, x, y;
+    for (i = 0; i < 16; i++) b[i] = 100.0 + i;
+    for (i = 0; i < 4; i++) a[i] = 1.0 + i;
+    slots[0] = a;
+    slots[1] = b;
+    srand(3);
+    x = rand() % 2;
+    y = 1 - x;
+    swap_slots(x, y);
+    if (slots[0][0] > 50.0) {
+        printf("%g\n", slots[0][10]);
+    } else {
+        printf("%g\n", slots[1][10]);
+    }
+    return 0;
+}`
+
+func TestSwapObfuscationBreaksSoftBound(t *testing.T) {
+	// Faithful translation: fine.
+	if _, err := runCase(t, swapProg, core.MechSoftBound, o3()); err != nil {
+		t.Fatalf("faithful translation rejected: %v", err)
+	}
+	// LLVM-12-style i64 pointer stores: spurious violation.
+	obf := o3()
+	obf.ObfuscatePtrStores = true
+	_, err := runCase(t, swapProg, core.MechSoftBound, obf)
+	if err == nil {
+		t.Fatal("stale metadata did not produce the Figure 7 spurious report")
+	}
+	if !strings.Contains(err.Error(), "softbound") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSwapObfuscationLowFatUnaffected(t *testing.T) {
+	obf := o3()
+	obf.ObfuscatePtrStores = true
+	machine, err := runCase(t, swapProg, core.MechLowFat, obf)
+	if err != nil {
+		t.Fatalf("lowfat rejected the obfuscated swap: %v", err)
+	}
+	if machine.Output() != "110\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+// Section 4.5: byte-wise copying of a struct containing pointers. The
+// pointer is never stored as a pointer, so SoftBound's metadata for the
+// destination is missing and the later dereference is (spuriously)
+// rejected. Low-Fat Pointers re-derive bounds from the copied value and
+// accept the program. This is the 300.twolf issue the paper fixed with
+// memcpy (Section 5.1.2).
+const byteWiseCopyProg = `
+struct holder {
+    int tag;
+    int *payload;
+};
+
+int main() {
+    struct holder src;
+    struct holder dst;
+    char *from;
+    char *to;
+    unsigned long k;
+    int arr[6];
+    int i;
+    for (i = 0; i < 6; i++) arr[i] = i * 3;
+    src.tag = 1;
+    src.payload = arr;
+    from = (char *)&src;
+    to = (char *)&dst;
+    for (k = 0; k < sizeof(struct holder); k++) {
+        to[k] = from[k];          /* byte-wise struct copy */
+    }
+    printf("%d\n", dst.payload[2]);
+    return 0;
+}`
+
+func TestByteWiseCopyBreaksSoftBound(t *testing.T) {
+	_, err := runCase(t, byteWiseCopyProg, core.MechSoftBound, o3())
+	if err == nil {
+		t.Fatal("byte-wise pointer copy did not break SoftBound's metadata (Section 4.5 says it must)")
+	}
+}
+
+func TestByteWiseCopyLowFatFine(t *testing.T) {
+	machine, err := runCase(t, byteWiseCopyProg, core.MechLowFat, o3())
+	if err != nil {
+		t.Fatalf("lowfat rejected the byte-wise copy: %v", err)
+	}
+	if machine.Output() != "6\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+// Section 4.5 remedy: the same copy through memcpy keeps SoftBound's
+// metadata coherent (the wrapper's copy_metadata, Figure 6).
+func TestMemcpyKeepsSoftBoundMetadata(t *testing.T) {
+	src := strings.Replace(byteWiseCopyProg,
+		`for (k = 0; k < sizeof(struct holder); k++) {
+        to[k] = from[k];          /* byte-wise struct copy */
+    }`,
+		`memcpy(to, from, sizeof(struct holder));`, 1)
+	machine, err := runCase(t, src, core.MechSoftBound, o3())
+	if err != nil {
+		t.Fatalf("memcpy'd struct copy rejected: %v", err)
+	}
+	if machine.Output() != "6\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+// Section 5.1.1: pseudo-base-one arrays (the perl/254.gap pattern): a
+// pointer placed one element BEFORE an array so that indexing starts at 1.
+// Escaping that pointer violates the Low-Fat invariant.
+const baseOneProg = `
+double storage[10];
+
+double get(double *base1, int i) {
+    if (base1 == (double *)0) return get(base1, i); /* keep out of line */
+    return base1[i];   /* i in 1..10 lands inside storage */
+}
+
+int main() {
+    double *base1 = storage - 1;   /* one BEFORE the start: UB */
+    int i;
+    double s = 0.0;
+    for (i = 0; i < 10; i++) storage[i] = (double)i;
+    for (i = 1; i <= 10; i++) s += get(base1, i);
+    printf("%.0f\n", s);
+    return 0;
+}`
+
+func TestPseudoBaseOneArrayLowFatRejects(t *testing.T) {
+	_, err := runCase(t, baseOneProg, core.MechLowFat, o3())
+	if err == nil {
+		t.Fatal("lowfat accepted a pseudo-base-one array (the perl/gap failure of Section 5.1.1)")
+	}
+}
+
+func TestPseudoBaseOneArraySoftBoundAccepts(t *testing.T) {
+	machine, err := runCase(t, baseOneProg, core.MechSoftBound, o3())
+	if err != nil {
+		t.Fatalf("softbound rejected the pseudo-base-one array: %v", err)
+	}
+	if machine.Output() != "45\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+// Section 5.1.2: the original 181.mcf stores a pointer in a struct member
+// of integer type. The store does not update SoftBound's metadata; under
+// the paper's wide-inttoptr configuration the later accesses run with wide
+// bounds (silently unprotected). Low-Fat Pointers re-derive the base from
+// the value and keep full protection.
+const mcfIntFieldProg = `
+struct arc {
+    long cost;
+    long head_as_int;   /* actually holds a struct arc* */
+};
+
+int main() {
+    struct arc *a = (struct arc *)malloc(sizeof(struct arc));
+    struct arc *b = (struct arc *)malloc(sizeof(struct arc));
+    b->cost = 77;
+    a->head_as_int = (long)b;
+    {
+        struct arc *h = (struct arc *)a->head_as_int;
+        printf("%ld\n", h->cost);
+    }
+    free(a);
+    free(b);
+    return 0;
+}`
+
+func TestIntFieldPointerSoftBoundLosesProtection(t *testing.T) {
+	machine, err := runCase(t, mcfIntFieldProg, core.MechSoftBound, o3())
+	if err != nil {
+		t.Fatalf("wide-inttoptr config must accept the program: %v", err)
+	}
+	if machine.Stats.WideChecks == 0 {
+		t.Error("accesses through the integer field were not wide (protection silently lost)")
+	}
+}
+
+func TestIntFieldPointerLowFatKeepsProtection(t *testing.T) {
+	machine, err := runCase(t, mcfIntFieldProg, core.MechLowFat, o3())
+	if err != nil {
+		t.Fatalf("lowfat rejected the program: %v", err)
+	}
+	if machine.Stats.WideChecks != 0 {
+		t.Error("lowfat used wide bounds despite pointer-derived bases")
+	}
+	if machine.Output() != "77\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+// Appendix B: intra-object overflows. Neither mechanism (as configured in
+// the paper: no bounds narrowing) detects an overflow from one struct
+// member into the next — the witness covers the whole allocation.
+const intraObjectProg = `
+struct simple_pair {
+    int x[2];
+    int y;
+};
+
+int main() {
+    struct simple_pair p;
+    p.y = 99;
+    p.x[2] = 7;   /* overflows x into y: stays inside the struct */
+    printf("%d\n", p.y);
+    return 0;
+}`
+
+func TestIntraObjectOverflowUndetected(t *testing.T) {
+	for _, mech := range []core.Mech{core.MechSoftBound, core.MechLowFat} {
+		machine, err := runCase(t, intraObjectProg, mech, o3())
+		if err != nil {
+			t.Errorf("%v: intra-object overflow reported (Appendix B: it is not detectable without narrowing): %v", mech, err)
+			continue
+		}
+		if machine.Output() != "7\n" {
+			t.Errorf("%v: output = %q (the overflow must clobber y)", mech, machine.Output())
+		}
+	}
+}
+
+// Section 4: the headline guarantee difference. SoftBound detects an
+// overflow into the allocator padding; Low-Fat Pointers cannot (padded
+// allocation), but both stop the access from reaching ANOTHER allocation.
+func TestPaddingBlindSpotContrast(t *testing.T) {
+	src := `
+int main() {
+    char *p = (char *)malloc(20);  /* 20 -> 32-byte low-fat slot */
+    p[24] = 1;                     /* in padding: lowfat misses, softbound reports */
+    free(p);
+    return 0;
+}`
+	if _, err := runCase(t, src, core.MechSoftBound, o3()); err == nil {
+		t.Error("softbound missed the padding overflow")
+	}
+	if _, err := runCase(t, src, core.MechLowFat, o3()); err != nil {
+		t.Errorf("lowfat reported a padding access (it cannot): %v", err)
+	}
+
+	farther := `
+int main() {
+    char *p = (char *)malloc(20);
+    p[40] = 1;                     /* beyond the 32-byte slot */
+    free(p);
+    return 0;
+}`
+	if _, err := runCase(t, farther, core.MechLowFat, o3()); err == nil {
+		t.Error("lowfat missed an overflow beyond the slot")
+	}
+}
+
+// Section 4.6: a Low-Fat region running dry is handled by falling back to
+// the standard allocator; the program still runs, just unprotected there.
+func TestLowFatOversizeFallbackRuns(t *testing.T) {
+	src := `
+int main() {
+    /* Larger than the 1 GiB maximum region size: standard allocator. */
+    char *big = (char *)malloc(1100000000);
+    big[1099999999] = 42;      /* in bounds; checked wide */
+    printf("%d\n", big[1099999999]);
+    free(big);
+    return 0;
+}`
+	machine, err := runCase(t, src, core.MechLowFat, o3())
+	if err != nil {
+		t.Fatalf("oversized allocation failed: %v", err)
+	}
+	if machine.Stats.WideChecks == 0 {
+		t.Error("accesses to the fallback allocation were not wide")
+	}
+	if machine.Output() != "42\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// witness carries the values that describe a pointer's allocation bounds at
+// runtime. SoftBound uses two components (base, bound); Low-Fat Pointers use
+// one (the allocation base). Components are pointer-typed ir.Values.
+type witness struct {
+	vals [2]ir.Value
+	n    int
+}
+
+func w1(base ir.Value) witness { return witness{vals: [2]ir.Value{base}, n: 1} }
+
+func w2(base, bound ir.Value) witness { return witness{vals: [2]ir.Value{base, bound}, n: 2} }
+
+// mechanism is the per-approach strategy the generic witness propagation
+// calls into. It creates witnesses at pointer sources (allocations) and at
+// the points where the approach relies on its invariant (loads of pointers,
+// call results, function arguments, integer-to-pointer casts; Table 1).
+//
+// All methods receive a builder whose insertion point is already set to the
+// place where witness code may be inserted.
+type mechanism interface {
+	name() string
+	// components is 1 for Low-Fat Pointers, 2 for SoftBound.
+	components() int
+
+	// allocaWitness creates the witness for a stack allocation; the
+	// builder inserts after the alloca.
+	allocaWitness(b *ir.Builder, al *ir.Instr) witness
+	// globalWitness creates the witness for a global; the builder inserts
+	// at the function entry.
+	globalWitness(b *ir.Builder, g *ir.Global) witness
+	// allocCallWitness creates the witness for a malloc-like call result;
+	// the builder inserts after the call.
+	allocCallWitness(b *ir.Builder, call *ir.Instr) witness
+	// loadWitness creates the witness for a pointer loaded from memory;
+	// the builder inserts after the load.
+	loadWitness(b *ir.Builder, ld *ir.Instr) witness
+	// paramWitness creates the witness for a pointer parameter; the
+	// builder inserts at the function entry. ptrIdx is the 1-based index
+	// among the function's pointer parameters.
+	paramWitness(b *ir.Builder, p *ir.Param, ptrIdx int) witness
+	// intToPtrWitness creates the witness for a pointer cast from an
+	// integer; the builder inserts after the cast.
+	intToPtrWitness(b *ir.Builder, in *ir.Instr) witness
+	// nullWitness is the witness for null/undef pointers.
+	nullWitness() witness
+	// callRetWitness creates the witness for a non-allocation call result.
+	// It is invoked by the call protocol, which guarantees the insertion
+	// point is after the call and before any frame teardown.
+	callRetWitness(b *ir.Builder, call *ir.Instr) witness
+
+	// instrumentCall applies the mechanism's call-site handling
+	// (shadow-stack protocol for SoftBound; argument escape checks for
+	// Low-Fat Pointers) and registers the call-result witness.
+	instrumentCall(fi *funcInstrumenter, call *ir.Instr)
+	// placeCheck inserts a dereference check for a CheckTarget.
+	placeCheck(fi *funcInstrumenter, t ITarget)
+	// establishStore handles a pointer store (metadata store / escape
+	// check).
+	establishStore(fi *funcInstrumenter, t ITarget)
+	// establishReturn handles a pointer return.
+	establishReturn(fi *funcInstrumenter, t ITarget)
+	// establishPtrToInt handles a pointer-to-integer cast.
+	establishPtrToInt(fi *funcInstrumenter, t ITarget)
+}
+
+// funcInstrumenter instruments one function with one mechanism.
+type funcInstrumenter struct {
+	cfg   *Config
+	mech  mechanism
+	fn    *ir.Func
+	bld   *ir.Builder
+	cache map[ir.Value]witness
+	stats *Stats
+	// ptrParamIdx maps a pointer param to its 1-based pointer-arg index.
+	ptrParamIdx map[*ir.Param]int
+	// retWitness holds pre-materialized witnesses for call results,
+	// populated by the call protocol before witness resolution runs.
+	retWitness map[*ir.Instr]witness
+}
+
+func newFuncInstrumenter(cfg *Config, mech mechanism, f *ir.Func, stats *Stats) *funcInstrumenter {
+	fi := &funcInstrumenter{
+		cfg:         cfg,
+		mech:        mech,
+		fn:          f,
+		bld:         ir.NewBuilder(f),
+		cache:       make(map[ir.Value]witness),
+		stats:       stats,
+		ptrParamIdx: make(map[*ir.Param]int),
+		retWitness:  make(map[*ir.Instr]witness),
+	}
+	idx := 0
+	for _, p := range f.Params {
+		if p.Ty.IsPointer() {
+			idx++
+			fi.ptrParamIdx[p] = idx
+		}
+	}
+	return fi
+}
+
+// entryPoint positions the builder at the start of the entry block (after
+// any phis, of which the entry has none).
+func (fi *funcInstrumenter) entryPoint() {
+	entry := fi.fn.Entry()
+	if first := entry.FirstNonPhi(); first != nil {
+		fi.bld.SetBefore(first)
+	} else {
+		fi.bld.SetBlock(entry)
+	}
+}
+
+// getWitness returns (materializing if needed) the witness for a pointer
+// value. Witness code is inserted at the definition of the value, so the
+// returned components dominate every use of the pointer.
+func (fi *funcInstrumenter) getWitness(v ir.Value) witness {
+	if w, ok := fi.cache[v]; ok {
+		return w
+	}
+	w := fi.buildWitness(v)
+	fi.cache[v] = w
+	return w
+}
+
+func (fi *funcInstrumenter) buildWitness(v ir.Value) witness {
+	switch x := v.(type) {
+	case *ir.ConstNull, *ir.Undef:
+		return fi.mech.nullWitness()
+	case *ir.ConstPtr:
+		return fi.mech.nullWitness()
+	case *ir.Global:
+		fi.entryPoint()
+		return fi.mech.globalWitness(fi.bld, x)
+	case *ir.Func:
+		return fi.mech.nullWitness()
+	case *ir.Param:
+		fi.entryPoint()
+		return fi.mech.paramWitness(fi.bld, x, fi.ptrParamIdx[x])
+	case *ir.Instr:
+		return fi.buildInstrWitness(x)
+	}
+	panic(fmt.Sprintf("core: no witness strategy for %T", v))
+}
+
+func (fi *funcInstrumenter) buildInstrWitness(in *ir.Instr) witness {
+	switch in.Op {
+	case ir.OpAlloca:
+		fi.bld.SetAfter(in)
+		return fi.mech.allocaWitness(fi.bld, in)
+
+	case ir.OpGEP:
+		// Pointer arithmetic inherits the source pointer's witness.
+		return fi.getWitness(in.Operands[0])
+
+	case ir.OpBitcast:
+		return fi.getWitness(in.Operands[0])
+
+	case ir.OpSelect:
+		// Pre-register a placeholder to terminate cycles (selects cannot
+		// be cyclic, but keep the pattern uniform), then mirror the select
+		// for each witness component (Table 1).
+		wt := fi.getWitness(in.Operands[1])
+		wf := fi.getWitness(in.Operands[2])
+		fi.bld.SetBefore(in)
+		var out witness
+		out.n = fi.mech.components()
+		for c := 0; c < out.n; c++ {
+			sel := fi.bld.Select(in.Operands[0], wt.vals[c], wf.vals[c])
+			sel.Tag = "witness"
+			out.vals[c] = sel
+		}
+		fi.stats.WitnessSelects++
+		return out
+
+	case ir.OpPhi:
+		// Create the witness phis up front and memoize them so recursive
+		// lookups through loops terminate; fill incomings afterwards.
+		fi.bld.SetBlock(in.Block)
+		var out witness
+		out.n = fi.mech.components()
+		phis := make([]*ir.Instr, out.n)
+		for c := 0; c < out.n; c++ {
+			phi := fi.bld.Phi(witnessComponentType())
+			phi.Tag = "witness"
+			phis[c] = phi
+			out.vals[c] = phi
+		}
+		fi.cache[in] = out
+		for i, inc := range in.Operands {
+			wInc := fi.getWitness(inc)
+			for c := 0; c < out.n; c++ {
+				phis[c].AddPhiIncoming(wInc.vals[c], in.PhiBlocks[i])
+			}
+		}
+		fi.stats.WitnessPhis++
+		return out
+
+	case ir.OpCall:
+		if w, ok := fi.retWitness[in]; ok {
+			return w
+		}
+		callee := in.Callee()
+		if callee != nil && isAllocFn(callee.Name) {
+			fi.bld.SetAfter(in)
+			return fi.mech.allocCallWitness(fi.bld, in)
+		}
+		// A call result without a protocol-produced witness: the call was
+		// not an invariant target (e.g. mechanisms' own intrinsics); fall
+		// back to the invariant witness right after the call.
+		fi.bld.SetAfter(in)
+		return fi.mech.callRetWitness(fi.bld, in)
+
+	case ir.OpLoad:
+		fi.bld.SetAfter(in)
+		return fi.mech.loadWitness(fi.bld, in)
+
+	case ir.OpIntToPtr:
+		fi.bld.SetAfter(in)
+		return fi.mech.intToPtrWitness(fi.bld, in)
+	}
+	panic(fmt.Sprintf("core: no witness strategy for instruction %s", ir.FormatInstr(in)))
+}
+
+// witnessComponentType is the type of witness component values.
+func witnessComponentType() *ir.Type { return ir.PointerTo(ir.I8) }

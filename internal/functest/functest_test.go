@@ -1,0 +1,78 @@
+package functest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSuiteMatrix runs the whole generated suite under both mechanisms and
+// validates every outcome against the documented guarantees — the
+// reproduction of the artifact's functional test battery (Appendix A.5).
+func TestSuiteMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long functional suite")
+	}
+	cases := Generate()
+	if len(cases) < 200 {
+		t.Fatalf("suite has only %d cases, want >= 200", len(cases))
+	}
+	var ran, detected int
+	for i := range cases {
+		c := &cases[i]
+		for _, mech := range []core.Mech{core.MechSoftBound, core.MechLowFat} {
+			out, err := Run(c, mech)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", c.Name(), mech, err)
+			}
+			ran++
+			want := c.ExpectDetected(mech)
+			if out.Detected != want {
+				t.Errorf("%s under %s: detected=%t, want %t (err: %v)",
+					c.Name(), mech, out.Detected, want, out.Err)
+			}
+			if out.Detected {
+				detected++
+			}
+			if !out.Detected && out.Err != nil {
+				t.Errorf("%s under %s: crashed without detection: %v", c.Name(), mech, out.Err)
+			}
+		}
+	}
+	t.Logf("ran %d executions, %d detections", ran, detected)
+}
+
+func TestExpectations(t *testing.T) {
+	// Spot-check the expectation model itself.
+	inBounds := Case{Kind: Heap, Elem: ElemTypes[1], Count: 16, Index: 7}
+	if inBounds.ExpectDetected(core.MechSoftBound) || inBounds.ExpectDetected(core.MechLowFat) {
+		t.Error("in-bounds access expected detected")
+	}
+	onePast := Case{Kind: Heap, Elem: ElemTypes[1], Count: 16, Index: 16}
+	if !onePast.ExpectDetected(core.MechSoftBound) {
+		t.Error("softbound must detect one-past-the-end")
+	}
+	// 16 ints = 64 bytes -> 128-byte slot: index 16 (offset 64) is padding.
+	if onePast.ExpectDetected(core.MechLowFat) {
+		t.Error("lowfat cannot detect a padding access")
+	}
+	farPast := Case{Kind: Heap, Elem: ElemTypes[1], Count: 16, Index: 41}
+	if !farPast.ExpectDetected(core.MechLowFat) {
+		t.Error("lowfat must detect an access beyond the slot")
+	}
+	before := Case{Kind: Stack, Elem: ElemTypes[0], Count: 5, Index: -1}
+	if !before.ExpectDetected(core.MechSoftBound) || !before.ExpectDetected(core.MechLowFat) {
+		t.Error("underflow must be detected by both")
+	}
+}
+
+func TestCaseNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Generate() {
+		n := c.Name()
+		if seen[n] {
+			t.Fatalf("duplicate case name %s", n)
+		}
+		seen[n] = true
+	}
+}

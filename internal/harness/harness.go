@@ -1,0 +1,222 @@
+// Package harness drives the paper's experiments: it compiles each
+// benchmark once, instruments clones of it under the configurations a table
+// or figure requires, executes them on the VM, and reports overheads
+// normalized to the -O3 baseline — the same normalization the paper uses
+// ("1x" in Figures 9-13).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+// RunConfig describes one execution configuration of a benchmark.
+type RunConfig struct {
+	// Label names the configuration in reports.
+	Label string
+	// Instrument enables memory-safety instrumentation; when false the
+	// run is the plain -O3 baseline.
+	Instrument bool
+	// Core is the instrumentation configuration (mechanism, mode, flags).
+	Core core.Config
+	// EP is the pipeline extension point for the instrumentation hook.
+	EP opt.ExtPoint
+	// OptLevel is the optimization level (3 for all paper experiments).
+	OptLevel int
+}
+
+// BaselineConfig is the uninstrumented -O3 reference.
+func BaselineConfig() RunConfig {
+	return RunConfig{Label: "baseline", OptLevel: 3}
+}
+
+// PaperConfig returns the configuration used for Figure 9: the paper's
+// mechanism flags, full mode, dominance optimization on, instrumented at
+// VectorizerStart.
+func PaperConfig(mech core.Mech) RunConfig {
+	cfg := core.PaperSoftBound()
+	if mech == core.MechLowFat {
+		cfg = core.PaperLowFat()
+	}
+	cfg.OptDominance = true
+	return RunConfig{
+		Label:      mech.String(),
+		Instrument: true,
+		Core:       cfg,
+		EP:         opt.EPVectorizerStart,
+		OptLevel:   3,
+	}
+}
+
+// Result is the outcome of one benchmark execution.
+type Result struct {
+	Bench  string
+	Config RunConfig
+	// Output is the program output (used to cross-check against the
+	// baseline: instrumentation must not change program behaviour).
+	Output string
+	// Stats are the VM execution statistics; Stats.Cost is the dynamic
+	// cost that stands in for execution time.
+	Stats vm.Stats
+	// InstrStats reports what the instrumentation did (nil for baseline).
+	InstrStats *core.Stats
+	// PipeStats reports compiler-side check elimination.
+	PipeStats opt.PipelineStats
+	// Err is non-nil if the run failed (e.g. a reported violation).
+	Err error
+}
+
+// Runner caches compiled benchmark modules and execution results, so that
+// figures sharing configurations (e.g. the baseline) reuse runs.
+type Runner struct {
+	mu      sync.Mutex
+	modules map[string]*ir.Module
+	cache   map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{
+		modules: make(map[string]*ir.Module),
+		cache:   make(map[string]*cacheEntry),
+	}
+}
+
+// configKey identifies a configuration for result caching.
+func configKey(cfg RunConfig) string {
+	return fmt.Sprintf("i=%t|m=%d|mode=%d|dom=%t|szw=%t|i2pw=%t|c2w=%t|ep=%d|O=%d",
+		cfg.Instrument, cfg.Core.Mechanism, cfg.Core.Mode, cfg.Core.OptDominance,
+		cfg.Core.SBSizeZeroWideUpper, cfg.Core.SBIntToPtrWideBounds,
+		cfg.Core.LFTransformCommonToWeak, cfg.EP, cfg.OptLevel)
+}
+
+// module returns a fresh clone of the benchmark's compiled module.
+func (r *Runner) module(b *spec.Benchmark) (*ir.Module, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.modules[b.Name]
+	if !ok {
+		var err error
+		m, err = b.Compile()
+		if err != nil {
+			return nil, err
+		}
+		r.modules[b.Name] = m
+	}
+	return ir.CloneModule(m), nil
+}
+
+// Run executes one benchmark under one configuration, caching the result.
+func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
+	key := b.Name + "|" + configKey(cfg)
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg) })
+	return e.res, e.err
+}
+
+func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
+	m, err := r.module(b)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Bench: b.Name, Config: cfg}
+
+	var hook func(*ir.Module)
+	if cfg.Instrument {
+		hook = func(mod *ir.Module) {
+			s, ierr := core.Instrument(mod, cfg.Core)
+			if ierr != nil {
+				err = fmt.Errorf("instrumenting %s: %w", b.Name, ierr)
+				return
+			}
+			res.InstrStats = s
+		}
+	}
+	popts := opt.PipelineOptions{Level: cfg.OptLevel, Stats: &res.PipeStats}
+	opt.RunPipeline(m, cfg.EP, hook, popts)
+	if err != nil {
+		return nil, err
+	}
+
+	vopts := vm.Options{}
+	if cfg.Instrument {
+		switch cfg.Core.Mechanism {
+		case core.MechSoftBound:
+			vopts.Mechanism = vm.MechSoftBound
+		case core.MechLowFat:
+			vopts.Mechanism = vm.MechLowFat
+			vopts.LowFatHeap = true
+			vopts.LowFatStack = true
+			vopts.LowFatGlobals = true
+		}
+	}
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		return nil, err
+	}
+	code, rerr := machine.Run()
+	res.Output = machine.Output()
+	res.Stats = machine.Stats
+	if rerr != nil {
+		res.Err = rerr
+	} else if code != 0 {
+		res.Err = fmt.Errorf("%s exited with code %d", b.Name, code)
+	}
+	return res, nil
+}
+
+// Overhead runs baseline and cfg and returns cost(cfg)/cost(baseline),
+// verifying that the instrumented program produced the same output.
+func (r *Runner) Overhead(b *spec.Benchmark, cfg RunConfig) (float64, *Result, error) {
+	base, err := r.Run(b, BaselineConfig())
+	if err != nil {
+		return 0, nil, err
+	}
+	if base.Err != nil {
+		return 0, base, fmt.Errorf("baseline %s failed: %w", b.Name, base.Err)
+	}
+	res, err := r.Run(b, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	if res.Err != nil {
+		return 0, res, fmt.Errorf("%s under %s failed: %w", b.Name, cfg.Label, res.Err)
+	}
+	if res.Output != base.Output {
+		return 0, res, fmt.Errorf("%s under %s changed program output:\nbaseline: %sinstrumented: %s",
+			b.Name, cfg.Label, base.Output, res.Output)
+	}
+	return float64(res.Stats.Cost) / float64(base.Stats.Cost), res, nil
+}
+
+// GeoMean returns the geometric mean of the values (the paper reports mean
+// slowdowns as geometric means over the benchmarks).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

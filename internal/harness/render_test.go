@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		Title:      "Test Figure",
+		Benchmarks: []string{"alpha", "beta"},
+		Series: []Series{
+			{Label: "sb", Values: []float64{1.5, 2.0}},
+			{Label: "lf", Values: []float64{1.25, 1.75}},
+		},
+		Notes: []string{"a note"},
+	}
+	out := fig.Render()
+	for _, want := range []string{"Test Figure", "alpha", "beta", "1.50x", "2.00x", "geomean", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	// Geomean of {1.5, 2.0} is sqrt(3) = 1.73.
+	if !strings.Contains(out, "1.73x") {
+		t.Errorf("geomean wrong:\n%s", out)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		want float64
+	}{
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{3}, 3},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		got := GeoMean(c.vals)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("GeoMean(%v) = %f, want %f", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestRenderTable2Formatting(t *testing.T) {
+	rows := []Table2Row{
+		{Bench: "164gzip", SB: 61.71, LF: 0, LFZero: true, SizeZeroArrays: true},
+		{Bench: "179art", SB: 0, LF: 0, SBZero: true, LFZero: true},
+	}
+	out := RenderTable2(rows)
+	for _, want := range []string{"164gzip [sz]", "61.71", "0.00*", "179art"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Non-zero-but-rounding row must NOT get an asterisk.
+	if strings.Contains(out, "61.71*") {
+		t.Error("asterisk on nonzero cell")
+	}
+}
+
+func TestConfigKeyDistinguishesConfigs(t *testing.T) {
+	a := BaselineConfig()
+	b := PaperConfig(0)
+	c := PaperConfig(0)
+	c.Core.Mode = 1
+	keys := map[string]bool{}
+	for _, cfg := range []RunConfig{a, b, c} {
+		k := configKey(cfg)
+		if keys[k] {
+			t.Errorf("duplicate config key %q", k)
+		}
+		keys[k] = true
+	}
+}

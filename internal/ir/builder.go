@@ -1,0 +1,218 @@
+package ir
+
+import "fmt"
+
+// Builder constructs instructions at an insertion point. A zero Builder is
+// not usable; obtain one with NewBuilder.
+type Builder struct {
+	fn  *Func
+	blk *Block
+	// before, when non-nil, makes the builder insert before this
+	// instruction instead of appending to blk.
+	before *Instr
+}
+
+// NewBuilder returns a builder for the function, without an insertion point.
+func NewBuilder(f *Func) *Builder {
+	return &Builder{fn: f}
+}
+
+// SetBlock directs subsequent instructions to the end of block b.
+func (bld *Builder) SetBlock(b *Block) {
+	bld.blk = b
+	bld.before = nil
+}
+
+// SetBefore directs subsequent instructions to be inserted immediately
+// before instruction pos.
+func (bld *Builder) SetBefore(pos *Instr) {
+	bld.blk = pos.Block
+	bld.before = pos
+}
+
+// SetAfter directs subsequent instructions to be inserted immediately after
+// instruction pos (in emission order: consecutive emits stay in order).
+func (bld *Builder) SetAfter(pos *Instr) {
+	bld.blk = pos.Block
+	idx := pos.Block.indexOf(pos)
+	if idx+1 < len(pos.Block.Instrs) {
+		bld.before = pos.Block.Instrs[idx+1]
+	} else {
+		bld.before = nil
+	}
+}
+
+// Block returns the current insertion block.
+func (bld *Builder) Block() *Block { return bld.blk }
+
+// Func returns the function being built.
+func (bld *Builder) Func() *Func { return bld.fn }
+
+func (bld *Builder) emit(in *Instr) *Instr {
+	if bld.blk == nil {
+		panic("ir: builder has no insertion point")
+	}
+	in.id = bld.fn.allocID()
+	if in.Ty != Void && in.Name == "" {
+		// Derive the SSA name from the function-unique id so that
+		// instructions emitted by different builders (e.g. the front end
+		// and a later instrumentation pass) never collide.
+		in.Name = fmt.Sprintf("v%d", in.id)
+	}
+	if bld.before != nil {
+		bld.blk.InsertBefore(in, bld.before)
+	} else {
+		if t := bld.blk.Terminator(); t != nil {
+			bld.blk.InsertBefore(in, t)
+		} else {
+			bld.blk.Append(in)
+		}
+	}
+	return in
+}
+
+// Binary emits a binary arithmetic/bitwise operation.
+func (bld *Builder) Binary(op Op, a, b Value) *Instr {
+	return bld.emit(&Instr{Op: op, Ty: a.Type(), Operands: []Value{a, b}})
+}
+
+// Add emits an integer addition.
+func (bld *Builder) Add(a, b Value) *Instr { return bld.Binary(OpAdd, a, b) }
+
+// Sub emits an integer subtraction.
+func (bld *Builder) Sub(a, b Value) *Instr { return bld.Binary(OpSub, a, b) }
+
+// Mul emits an integer multiplication.
+func (bld *Builder) Mul(a, b Value) *Instr { return bld.Binary(OpMul, a, b) }
+
+// ICmp emits an integer (or pointer) comparison producing an i1.
+func (bld *Builder) ICmp(p Pred, a, b Value) *Instr {
+	return bld.emit(&Instr{Op: OpICmp, Ty: I1, Pred: p, Operands: []Value{a, b}})
+}
+
+// FCmp emits a float comparison producing an i1.
+func (bld *Builder) FCmp(p Pred, a, b Value) *Instr {
+	return bld.emit(&Instr{Op: OpFCmp, Ty: I1, Pred: p, Operands: []Value{a, b}})
+}
+
+// Cast emits a conversion to the given type.
+func (bld *Builder) Cast(op Op, v Value, to *Type) *Instr {
+	return bld.emit(&Instr{Op: op, Ty: to, Operands: []Value{v}})
+}
+
+// PtrToInt emits a pointer-to-integer cast (to i64).
+func (bld *Builder) PtrToInt(v Value) *Instr { return bld.Cast(OpPtrToInt, v, I64) }
+
+// IntToPtr emits an integer-to-pointer cast.
+func (bld *Builder) IntToPtr(v Value, to *Type) *Instr { return bld.Cast(OpIntToPtr, v, to) }
+
+// Bitcast emits a pointer bitcast.
+func (bld *Builder) Bitcast(v Value, to *Type) *Instr { return bld.Cast(OpBitcast, v, to) }
+
+// Alloca emits a stack allocation of one element of type ty.
+func (bld *Builder) Alloca(ty *Type) *Instr {
+	return bld.emit(&Instr{Op: OpAlloca, Ty: PointerTo(ty), AllocTy: ty})
+}
+
+// ArrayAlloca emits a stack allocation of count elements of type ty.
+func (bld *Builder) ArrayAlloca(ty *Type, count Value) *Instr {
+	return bld.emit(&Instr{Op: OpAlloca, Ty: PointerTo(ty), AllocTy: ty, Operands: []Value{count}})
+}
+
+// Load emits a load of the pointee of ptr.
+func (bld *Builder) Load(ptr Value) *Instr {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic("ir: load from non-pointer " + fmtValue(ptr))
+	}
+	return bld.emit(&Instr{Op: OpLoad, Ty: pt.Elem, Operands: []Value{ptr}})
+}
+
+// Store emits a store of v through ptr.
+func (bld *Builder) Store(v, ptr Value) *Instr {
+	if !ptr.Type().IsPointer() {
+		panic("ir: store to non-pointer " + fmtValue(ptr))
+	}
+	return bld.emit(&Instr{Op: OpStore, Ty: Void, Operands: []Value{v, ptr}})
+}
+
+// GEP emits a getelementptr: ptr must be a pointer; the first index scales by
+// the pointee size, later indices select array elements or struct fields
+// (struct field indices must be ConstInt). The result type follows the
+// indexing, wrapped in a pointer.
+func (bld *Builder) GEP(ptr Value, indices ...Value) *Instr {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic("ir: gep on non-pointer " + fmtValue(ptr))
+	}
+	srcTy := pt.Elem
+	resTy := srcTy
+	for _, idx := range indices[1:] {
+		switch resTy.Kind {
+		case ArrayKind:
+			resTy = resTy.Elem
+		case StructKind:
+			ci, ok := idx.(*ConstInt)
+			if !ok {
+				panic("ir: gep struct index must be constant")
+			}
+			resTy = resTy.Fields[ci.Signed()]
+		default:
+			panic("ir: gep indexes into non-aggregate " + resTy.String())
+		}
+	}
+	ops := append([]Value{ptr}, indices...)
+	return bld.emit(&Instr{Op: OpGEP, Ty: PointerTo(resTy), SrcTy: srcTy, Operands: ops})
+}
+
+// Phi emits an empty phi of the given type; incoming edges are added with
+// AddPhiIncoming. Phis are placed at the start of the insertion block.
+func (bld *Builder) Phi(ty *Type) *Instr {
+	in := &Instr{Op: OpPhi, Ty: ty}
+	in.id = bld.fn.allocID()
+	if in.Name == "" {
+		in.Name = fmt.Sprintf("v%d", in.id)
+	}
+	b := bld.blk
+	if first := b.FirstNonPhi(); first != nil {
+		b.InsertBefore(in, first)
+	} else {
+		b.Append(in)
+	}
+	return in
+}
+
+// Select emits a select between two values.
+func (bld *Builder) Select(cond, t, f Value) *Instr {
+	return bld.emit(&Instr{Op: OpSelect, Ty: t.Type(), Operands: []Value{cond, t, f}})
+}
+
+// Call emits a call to fn with the given arguments.
+func (bld *Builder) Call(fn *Func, args ...Value) *Instr {
+	ops := append([]Value{Value(fn)}, args...)
+	return bld.emit(&Instr{Op: OpCall, Ty: fn.Sig.Ret, Operands: ops})
+}
+
+// Ret emits a return, with v nil for void returns.
+func (bld *Builder) Ret(v Value) *Instr {
+	var ops []Value
+	if v != nil {
+		ops = []Value{v}
+	}
+	return bld.emit(&Instr{Op: OpRet, Ty: Void, Operands: ops})
+}
+
+// Br emits an unconditional branch.
+func (bld *Builder) Br(dst *Block) *Instr {
+	return bld.emit(&Instr{Op: OpBr, Ty: Void, Succs: []*Block{dst}})
+}
+
+// CondBr emits a conditional branch on an i1 condition.
+func (bld *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return bld.emit(&Instr{Op: OpCondBr, Ty: Void, Operands: []Value{cond}, Succs: []*Block{then, els}})
+}
+
+// Unreachable emits an unreachable terminator.
+func (bld *Builder) Unreachable() *Instr {
+	return bld.emit(&Instr{Op: OpUnreachable, Ty: Void})
+}

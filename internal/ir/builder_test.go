@@ -1,0 +1,238 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAbs constructs abs(x) with a diamond CFG and returns the module and
+// function.
+func buildAbs() (*Module, *Func) {
+	m := NewModule("t")
+	f := m.NewFunc("abs", FuncOf(I32, I32), "x")
+	b := NewBuilder(f)
+	entry := f.NewBlock("entry")
+	neg := f.NewBlock("neg")
+	end := f.NewBlock("end")
+
+	b.SetBlock(entry)
+	x := f.Params[0]
+	cmp := b.ICmp(PredSLT, x, NewInt(I32, 0))
+	b.CondBr(cmp, neg, end)
+
+	b.SetBlock(neg)
+	nx := b.Sub(NewInt(I32, 0), x)
+	b.Br(end)
+
+	b.SetBlock(end)
+	phi := b.Phi(I32)
+	phi.AddPhiIncoming(x, entry)
+	phi.AddPhiIncoming(nx, neg)
+	b.Ret(phi)
+	return m, f
+}
+
+func TestBuilderAndVerifier(t *testing.T) {
+	m, f := buildAbs()
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if f.NumInstrs() != 6 {
+		t.Errorf("NumInstrs = %d, want 6", f.NumInstrs())
+	}
+	if f.Entry().Name != "entry" {
+		t.Errorf("entry block = %q", f.Entry().Name)
+	}
+}
+
+func TestVerifierCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", FuncOf(Void))
+	b := NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	b.Alloca(I32) // no terminator
+	if err := VerifyFunc(f); err == nil {
+		t.Error("missing terminator not reported")
+	}
+}
+
+func TestVerifierCatchesTypeErrors(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", FuncOf(Void))
+	blk := f.NewBlock("entry")
+	bad := &Instr{Op: OpAdd, Ty: I32, Operands: []Value{NewInt(I32, 1), NewInt(I64, 2)}}
+	f.AdoptInstr(bad)
+	blk.Append(bad)
+	ret := &Instr{Op: OpRet, Ty: Void}
+	f.AdoptInstr(ret)
+	blk.Append(ret)
+	err := VerifyFunc(f)
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("type mismatch not reported: %v", err)
+	}
+}
+
+func TestVerifierCatchesPhiMismatch(t *testing.T) {
+	m, f := buildAbs()
+	// Remove one phi incoming: verifier must complain.
+	phi := f.Blocks[2].Phis()[0]
+	phi.Operands = phi.Operands[:1]
+	phi.PhiBlocks = phi.PhiBlocks[:1]
+	if err := VerifyModule(m); err == nil {
+		t.Error("phi/pred mismatch not reported")
+	}
+}
+
+func TestInsertBeforeAfterRemove(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", FuncOf(I32))
+	b := NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	a1 := b.Add(NewInt(I32, 1), NewInt(I32, 2))
+	b.Ret(a1)
+
+	b.SetBefore(a1)
+	a0 := b.Add(NewInt(I32, 0), NewInt(I32, 0))
+	if blk.Instrs[0] != a0 {
+		t.Error("SetBefore inserted in wrong position")
+	}
+	b.SetAfter(a0)
+	mid := b.Mul(a0, a0)
+	if blk.Instrs[1] != mid {
+		t.Error("SetAfter inserted in wrong position")
+	}
+	blk.Remove(mid)
+	if len(blk.Instrs) != 3 || blk.Instrs[1] != a1 {
+		t.Error("Remove broke ordering")
+	}
+}
+
+func TestBuilderEmitsBeforeTerminator(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", FuncOf(Void))
+	b := NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	b.Ret(nil)
+	// Emitting into a terminated block inserts before the terminator.
+	al := b.Alloca(I64)
+	if blk.Instrs[0] != al || blk.Terminator() == nil {
+		t.Error("emission after terminator not placed before it")
+	}
+}
+
+func TestReplaceAllUses(t *testing.T) {
+	m, f := buildAbs()
+	_ = m
+	x := f.Params[0]
+	n := ReplaceAllUses(f, x, NewInt(I32, 5))
+	if n != 3 { // icmp, sub, phi
+		t.Errorf("replaced %d uses, want 3", n)
+	}
+	f.Instrs(func(in *Instr) bool {
+		for _, op := range in.Operands {
+			if op == Value(x) {
+				t.Error("use of x survived")
+			}
+		}
+		return true
+	})
+}
+
+func TestComputeUsers(t *testing.T) {
+	_, f := buildAbs()
+	users := ComputeUsers(f)
+	x := f.Params[0]
+	if len(users[x]) != 3 {
+		t.Errorf("param has %d users, want 3", len(users[x]))
+	}
+	phi := f.Blocks[2].Phis()[0]
+	if len(users[phi]) != 1 {
+		t.Errorf("phi has %d users, want 1", len(users[phi]))
+	}
+}
+
+func TestPreds(t *testing.T) {
+	_, f := buildAbs()
+	end := f.Blocks[2]
+	preds := Preds(end)
+	if len(preds) != 2 {
+		t.Fatalf("end has %d preds, want 2", len(preds))
+	}
+}
+
+func TestCloneModule(t *testing.T) {
+	m, f := buildAbs()
+	g := m.NewGlobal("tab", ArrayOf(4, I32), ArrayInit{Elems: []Initializer{IntInit{V: 1}, IntInit{V: 2}}})
+	g.Linkage = CommonLinkage
+	m2 := CloneModule(m)
+	if err := VerifyModule(m2); err != nil {
+		t.Fatalf("cloned module malformed: %v", err)
+	}
+	f2 := m2.Func("abs")
+	if f2 == nil || f2 == f {
+		t.Fatal("clone did not produce a fresh function")
+	}
+	if f2.NumInstrs() != f.NumInstrs() {
+		t.Errorf("instr count %d != %d", f2.NumInstrs(), f.NumInstrs())
+	}
+	// Mutating the clone must not affect the original.
+	EraseInstr(f2, f2.Blocks[1].Instrs[0])
+	if f.NumInstrs() != 6 {
+		t.Error("mutating clone changed original")
+	}
+	g2 := m2.Global("tab")
+	if g2 == nil || g2 == g || g2.Linkage != CommonLinkage {
+		t.Error("global not cloned properly")
+	}
+}
+
+func TestFormatModuleRoundTrip(t *testing.T) {
+	m, _ := buildAbs()
+	out := FormatModule(m)
+	for _, want := range []string{"define i32 @abs(i32 %x)", "phi i32", "icmp slt", "ret i32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted module missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGEPResultTypes(t *testing.T) {
+	m := NewModule("t")
+	st := StructOf("pair", I32, PointerTo(I8))
+	g := m.NewGlobal("g", ArrayOf(4, st), nil)
+	f := m.NewFunc("f", FuncOf(Void))
+	b := NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	// gep [4 x pair]* g, 0, 2, 1 -> i8**
+	p := b.GEP(g, NewInt(I64, 0), NewInt(I64, 2), NewInt(I32, 1))
+	want := PointerTo(PointerTo(I8))
+	if !p.Type().Equal(want) {
+		t.Errorf("gep type = %s, want %s", p.Type(), want)
+	}
+	b.Ret(nil)
+	if err := VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m := NewModule("t")
+	sig := FuncOf(I32, I32)
+	d := m.NewDecl("ext", sig)
+	if !d.IsDecl() {
+		t.Error("decl not a declaration")
+	}
+	if m.EnsureDecl("ext", sig) != d {
+		t.Error("EnsureDecl did not reuse the declaration")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting EnsureDecl did not panic")
+		}
+	}()
+	m.EnsureDecl("ext", FuncOf(I64, I32))
+}

@@ -1,0 +1,164 @@
+package ir
+
+// Func is a function: a declaration (External) or a definition with blocks.
+// Functions are also values (their address can be taken; the type is a
+// pointer to the function type).
+type Func struct {
+	Name   string
+	Sig    *Type // FuncKind
+	Params []*Param
+	Blocks []*Block
+	Parent *Module
+
+	// External marks declarations without a body (library functions,
+	// runtime intrinsics). The VM dispatches calls to external functions
+	// by name.
+	External bool
+	// Pure marks external functions without observable side effects whose
+	// result depends only on program memory and arguments; DCE may remove
+	// unused calls to them. The metadata-load intrinsics of SoftBound are
+	// pure, its metadata stores and all checks are not — this is what lets
+	// the compiler delete unused bound loads (Section 5.4).
+	Pure bool
+	// Instrumented records that the memory-safety instrumentation has
+	// processed this function.
+	Instrumented bool
+	// IgnoreInstrumentation excludes the function from instrumentation
+	// (the analog of functions excluded via policies, e.g. inline asm or
+	// functions of uninstrumented libraries compiled into the module).
+	IgnoreInstrumentation bool
+
+	nextID int
+}
+
+// Type returns the pointer-to-function type of the function value.
+func (f *Func) Type() *Type { return PointerTo(f.Sig) }
+
+// Ref renders the function reference, e.g. "@main".
+func (f *Func) Ref() string { return "@" + f.Name }
+
+// IsDecl reports whether the function has no body.
+func (f *Func) IsDecl() bool { return f.External || len(f.Blocks) == 0 }
+
+// Entry returns the entry block, or nil for declarations.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock creates a new basic block appended to the function.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Name: f.uniqueName(name), Parent: f, id: f.nextID}
+	f.nextID++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// RemoveBlock deletes a block from the function. The block must have no
+// remaining users (phi references, branches).
+func (f *Func) RemoveBlock(b *Block) {
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// AdoptInstr assigns a fresh function-unique id to an instruction created
+// outside a Builder (e.g. cloned during inlining), and re-derives a unique
+// SSA name from the id so that clones never shadow their originals in the
+// textual form. It must be called before the instruction is inserted into
+// one of the function's blocks.
+func (f *Func) AdoptInstr(in *Instr) {
+	in.id = f.allocID()
+	if in.Name != "" {
+		dot := len(in.Name)
+		for i, r := range in.Name {
+			if r == '.' {
+				dot = i
+				break
+			}
+		}
+		in.Name = in.Name[:dot] + "." + itoa(in.id)
+	}
+}
+
+// MaxID returns an exclusive upper bound on the ids of the function's blocks
+// and instructions, usable to size dense side tables (e.g. the VM's register
+// file).
+func (f *Func) MaxID() int { return f.nextID }
+
+// allocID returns the next function-unique id for instruction numbering.
+func (f *Func) allocID() int {
+	id := f.nextID
+	f.nextID++
+	return id
+}
+
+func (f *Func) uniqueName(base string) string {
+	if base == "" {
+		base = "bb"
+	}
+	name := base
+	n := 0
+	for {
+		clash := false
+		for _, b := range f.Blocks {
+			if b.Name == name {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return name
+		}
+		n++
+		name = base + "." + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Instrs iterates over all instructions of the function in block order,
+// calling fn for each. Returning false stops the iteration.
+func (f *Func) Instrs(fn func(*Instr) bool) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !fn(in) {
+				return
+			}
+		}
+	}
+}
+
+// NumInstrs returns the static instruction count of the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}

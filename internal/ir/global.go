@@ -1,0 +1,103 @@
+package ir
+
+// Linkage describes how a global symbol binds at link time. The distinction
+// matters for Low-Fat Pointers: common symbols (tentative C definitions)
+// cannot be placed into low-fat sections without first being transformed to
+// weak definitions — the artifact's -mi-lf-transform-common-to-weak-linkage
+// flag (Appendix A.6).
+type Linkage int
+
+// Linkage kinds.
+const (
+	// ExternalLinkage is a regular defined symbol.
+	ExternalLinkage Linkage = iota
+	// CommonLinkage is a tentative definition (uninitialized C global).
+	CommonLinkage
+	// WeakLinkage is a weak definition (the target of the common-to-weak
+	// transformation).
+	WeakLinkage
+	// DeclarationLinkage marks an external declaration without storage in
+	// this module (e.g. an extern array, possibly without size).
+	DeclarationLinkage
+)
+
+// Global is a global variable. Its value is the *address* of the storage, so
+// the type of the global as an ir.Value is a pointer to ValueTy.
+type Global struct {
+	Name    string
+	ValueTy *Type
+	Init    Initializer
+	Linkage Linkage
+	// SizeZeroDecl marks an extern array declared without size information
+	// ("extern int a[];"). SoftBound cannot derive bounds for such
+	// declarations when translation units are compiled separately
+	// (Section 4.3); the instrumentation then uses NULL or wide bounds
+	// depending on configuration.
+	SizeZeroDecl bool
+	// ExternalLib marks storage that belongs to an uninstrumented library
+	// (e.g. stderr/stdout of the C standard library). Low-Fat Pointers
+	// place such globals outside the low-fat regions and assume wide
+	// bounds for accesses through them (Section 4.3).
+	ExternalLib bool
+	Parent      *Module
+}
+
+// Type returns the pointer type of the global value.
+func (g *Global) Type() *Type { return PointerTo(g.ValueTy) }
+
+// Ref renders the global reference, e.g. "@table".
+func (g *Global) Ref() string { return "@" + g.Name }
+
+// IsDefinition reports whether the module provides storage for the global.
+func (g *Global) IsDefinition() bool { return g.Linkage != DeclarationLinkage }
+
+// Initializer is a static initializer for a global.
+type Initializer interface {
+	isInit()
+}
+
+// ZeroInit zero-initializes the storage.
+type ZeroInit struct{}
+
+func (ZeroInit) isInit() {}
+
+// IntInit initializes an integer scalar.
+type IntInit struct{ V int64 }
+
+func (IntInit) isInit() {}
+
+// FloatInit initializes a floating-point scalar.
+type FloatInit struct{ V float64 }
+
+func (FloatInit) isInit() {}
+
+// BytesInit initializes a byte array (string literals).
+type BytesInit struct{ Data []byte }
+
+func (BytesInit) isInit() {}
+
+// ArrayInit initializes an array element-wise. Missing trailing elements are
+// zero-initialized.
+type ArrayInit struct{ Elems []Initializer }
+
+func (ArrayInit) isInit() {}
+
+// StructInit initializes a struct field-wise. Missing trailing fields are
+// zero-initialized.
+type StructInit struct{ Fields []Initializer }
+
+func (StructInit) isInit() {}
+
+// GlobalRefInit initializes a pointer with the address of another global
+// plus a byte offset.
+type GlobalRefInit struct {
+	G      *Global
+	Offset int64
+}
+
+func (GlobalRefInit) isInit() {}
+
+// FuncRefInit initializes a pointer with the address of a function.
+type FuncRefInit struct{ F *Func }
+
+func (FuncRefInit) isInit() {}

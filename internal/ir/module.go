@@ -1,0 +1,99 @@
+package ir
+
+import "fmt"
+
+// Module is a translation unit: globals and functions.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name}
+}
+
+// NewGlobal creates a global variable definition with the given value type
+// and appends it to the module. Duplicate names panic.
+func (m *Module) NewGlobal(name string, valueTy *Type, init Initializer) *Global {
+	if m.Global(name) != nil {
+		panic(fmt.Sprintf("ir: duplicate global @%s", name))
+	}
+	if init == nil {
+		init = ZeroInit{}
+	}
+	g := &Global{Name: name, ValueTy: valueTy, Init: init, Parent: m}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// Global looks up a global by name, returning nil if absent.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// NewFunc creates a function definition with the given signature and
+// parameter names, appending it to the module.
+func (m *Module) NewFunc(name string, sig *Type, paramNames ...string) *Func {
+	if sig.Kind != FuncKind {
+		panic("ir: NewFunc requires a function type")
+	}
+	if m.Func(name) != nil {
+		panic(fmt.Sprintf("ir: duplicate function @%s", name))
+	}
+	f := &Func{Name: name, Sig: sig, Parent: m}
+	for i, pt := range sig.Params {
+		pn := fmt.Sprintf("arg%d", i)
+		if i < len(paramNames) && paramNames[i] != "" {
+			pn = paramNames[i]
+		}
+		f.Params = append(f.Params, &Param{Name: pn, Ty: pt, Index: i, Parent: f})
+	}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// NewDecl creates an external function declaration.
+func (m *Module) NewDecl(name string, sig *Type) *Func {
+	f := m.NewFunc(name, sig)
+	f.External = true
+	return f
+}
+
+// Func looks up a function by name, returning nil if absent.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// EnsureDecl returns the function with the given name, creating an external
+// declaration with the signature if it does not exist yet. It panics if an
+// existing function's signature conflicts.
+func (m *Module) EnsureDecl(name string, sig *Type) *Func {
+	if f := m.Func(name); f != nil {
+		if !f.Sig.Equal(sig) {
+			panic(fmt.Sprintf("ir: conflicting signature for @%s: %s vs %s", name, f.Sig, sig))
+		}
+		return f
+	}
+	return m.NewDecl(name, sig)
+}
+
+// Definitions iterates over the functions that have a body.
+func (m *Module) Definitions(fn func(*Func)) {
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			fn(f)
+		}
+	}
+}

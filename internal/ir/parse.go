@@ -1,0 +1,919 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModule parses the textual form produced by FormatModule back into a
+// module. It accepts exactly the printer's output language (an LLVM-like
+// subset), making the two functions a round-tripping pair — useful for
+// writing IR test inputs directly and for external tooling.
+func ParseModule(text string) (m *Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(parseErr); ok {
+				m, err = nil, fmt.Errorf("ir: %s", string(pe))
+				return
+			}
+			panic(r)
+		}
+	}()
+	p := &moduleParser{
+		m:       NewModule("parsed"),
+		structs: map[string]*Type{},
+	}
+	p.lines = splitLines(text)
+	p.run()
+	if verr := VerifyModule(p.m); verr != nil {
+		return nil, fmt.Errorf("ir: parsed module is malformed: %w", verr)
+	}
+	return p.m, nil
+}
+
+type parseErr string
+
+func pfail(format string, args ...any) {
+	panic(parseErr(fmt.Sprintf(format, args...)))
+}
+
+func splitLines(text string) []string {
+	raw := strings.Split(text, "\n")
+	var out []string
+	for _, l := range raw {
+		out = append(out, l)
+	}
+	return out
+}
+
+type moduleParser struct {
+	m       *Module
+	structs map[string]*Type
+	lines   []string
+	pos     int
+}
+
+func (p *moduleParser) cur() (string, bool) {
+	for p.pos < len(p.lines) {
+		l := strings.TrimSpace(p.lines[p.pos])
+		if l == "" || (strings.HasPrefix(l, ";") && !strings.Contains(l, "= type")) {
+			p.pos++
+			continue
+		}
+		return l, true
+	}
+	return "", false
+}
+
+func (p *moduleParser) next() string {
+	l, ok := p.cur()
+	if !ok {
+		pfail("unexpected end of input")
+	}
+	p.pos++
+	return l
+}
+
+func (p *moduleParser) run() {
+	// First pass: register named struct types and module name.
+	for _, l := range p.lines {
+		l = strings.TrimSpace(l)
+		if strings.HasPrefix(l, "; module ") {
+			p.m.Name = strings.TrimPrefix(l, "; module ")
+		}
+		if strings.HasPrefix(l, "%") && strings.Contains(l, "= type ") {
+			name := strings.TrimPrefix(strings.SplitN(l, " ", 2)[0], "%")
+			p.structs[name] = &Type{Kind: StructKind, StructName: name}
+		}
+	}
+	// Second pass over struct bodies (they may reference each other).
+	for _, l := range p.lines {
+		l = strings.TrimSpace(l)
+		if strings.HasPrefix(l, "%") && strings.Contains(l, "= type ") {
+			name := strings.TrimPrefix(strings.SplitN(l, " ", 2)[0], "%")
+			body := l[strings.Index(l, "= type ")+len("= type "):]
+			st := p.structs[name]
+			fields, rest := p.parseStructBody(body)
+			if strings.TrimSpace(rest) != "" {
+				pfail("trailing text after struct type %%%s", name)
+			}
+			st.Fields = fields
+		}
+	}
+
+	// Pre-pass: declare all globals and function headers so bodies can
+	// reference them in any order.
+	type pendingFunc struct {
+		header string
+		body   []string
+	}
+	type pendingGlobal struct{ line string }
+	var funcs []pendingFunc
+	var globals []pendingGlobal
+
+	for {
+		l, ok := p.cur()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.Contains(l, "= type "):
+			p.pos++
+		case strings.HasPrefix(l, "@"):
+			globals = append(globals, pendingGlobal{line: p.next()})
+		case strings.HasPrefix(l, "declare "):
+			funcs = append(funcs, pendingFunc{header: p.next()})
+		case strings.HasPrefix(l, "define "):
+			pf := pendingFunc{header: p.next()}
+			for {
+				bl := p.next()
+				if bl == "}" {
+					break
+				}
+				pf.body = append(pf.body, bl)
+			}
+			funcs = append(funcs, pf)
+		default:
+			pfail("unexpected line: %s", l)
+		}
+	}
+
+	for _, g := range globals {
+		p.parseGlobalHeader(g.line)
+	}
+	var headers []*Func
+	for _, f := range funcs {
+		headers = append(headers, p.parseFuncHeader(f.header))
+	}
+	// Now resolve global initializers (which may reference later globals
+	// and functions) and bodies.
+	gi := 0
+	for _, g := range globals {
+		p.parseGlobalInit(p.m.Globals[gi], g.line)
+		gi++
+	}
+	for i, f := range funcs {
+		if len(f.body) > 0 {
+			p.parseFuncBody(headers[i], f.body)
+		}
+	}
+}
+
+// ----- types -----
+
+// parseType consumes a type from s and returns it with the remainder.
+func (p *moduleParser) parseType(s string) (*Type, string) {
+	s = strings.TrimLeft(s, " ")
+	var t *Type
+	switch {
+	case strings.HasPrefix(s, "void"):
+		t, s = Void, s[4:]
+	case strings.HasPrefix(s, "double"):
+		t, s = F64, s[6:]
+	case strings.HasPrefix(s, "float"):
+		t, s = F32, s[5:]
+	case strings.HasPrefix(s, "i"):
+		j := 1
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == 1 {
+			pfail("bad type at %q", s)
+		}
+		bits, _ := strconv.Atoi(s[1:j])
+		t, s = IntType(bits), s[j:]
+	case strings.HasPrefix(s, "["):
+		body := s[1:]
+		n := 0
+		body = strings.TrimLeft(body, " ")
+		j := 0
+		for j < len(body) && body[j] >= '0' && body[j] <= '9' {
+			n = n*10 + int(body[j]-'0')
+			j++
+		}
+		body = strings.TrimLeft(body[j:], " ")
+		if !strings.HasPrefix(body, "x ") {
+			pfail("bad array type at %q", s)
+		}
+		elem, rest := p.parseType(body[2:])
+		rest = strings.TrimLeft(rest, " ")
+		if !strings.HasPrefix(rest, "]") {
+			pfail("unterminated array type at %q", s)
+		}
+		t, s = ArrayOf(n, elem), rest[1:]
+	case strings.HasPrefix(s, "{"):
+		fields, rest := p.parseStructBody(s)
+		t, s = &Type{Kind: StructKind, Fields: fields}, rest
+	case strings.HasPrefix(s, "%"):
+		j := 1
+		for j < len(s) && isNameChar(s[j]) {
+			j++
+		}
+		st, ok := p.structs[s[1:j]]
+		if !ok {
+			pfail("unknown named type %%%s", s[1:j])
+		}
+		t, s = st, s[j:]
+	default:
+		pfail("cannot parse type at %q", s)
+	}
+	for strings.HasPrefix(s, "*") {
+		t = PointerTo(t)
+		s = s[1:]
+	}
+	return t, s
+}
+
+// parseStructBody parses "{ T, T }" returning fields and the remainder.
+func (p *moduleParser) parseStructBody(s string) ([]*Type, string) {
+	s = strings.TrimLeft(s, " ")
+	if !strings.HasPrefix(s, "{") {
+		pfail("expected '{' at %q", s)
+	}
+	s = strings.TrimLeft(s[1:], " ")
+	var fields []*Type
+	for !strings.HasPrefix(s, "}") {
+		var f *Type
+		f, s = p.parseType(s)
+		fields = append(fields, f)
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, ",") {
+			s = strings.TrimLeft(s[1:], " ")
+		}
+	}
+	return fields, s[1:]
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == '.' || c == '-' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// ----- globals -----
+
+// parseGlobalHeader creates the global with its type; the initializer is
+// resolved later (it may reference other globals).
+func (p *moduleParser) parseGlobalHeader(line string) {
+	rest := line
+	if !strings.HasPrefix(rest, "@") {
+		pfail("bad global line: %s", line)
+	}
+	j := 1
+	for j < len(rest) && isNameChar(rest[j]) {
+		j++
+	}
+	name := rest[1:j]
+	rest = strings.TrimLeft(rest[j:], " ")
+	if !strings.HasPrefix(rest, "=") {
+		pfail("bad global line: %s", line)
+	}
+	rest = strings.TrimLeft(rest[1:], " ")
+
+	linkage := ExternalLinkage
+	sizeZero, extLib := false, false
+	for {
+		switch {
+		case strings.HasPrefix(rest, "common "):
+			linkage, rest = CommonLinkage, rest[7:]
+		case strings.HasPrefix(rest, "weak "):
+			linkage, rest = WeakLinkage, rest[5:]
+		case strings.HasPrefix(rest, "external "):
+			linkage, rest = DeclarationLinkage, rest[9:]
+		case strings.HasPrefix(rest, "sizeless "):
+			sizeZero, rest = true, rest[9:]
+		case strings.HasPrefix(rest, "extlib "):
+			extLib, rest = true, rest[7:]
+		default:
+			goto done
+		}
+	}
+done:
+	if !strings.HasPrefix(rest, "global ") {
+		pfail("bad global line: %s", line)
+	}
+	rest = rest[len("global "):]
+	ty, _ := p.parseType(rest)
+	g := p.m.NewGlobal(name, ty, nil)
+	g.Linkage = linkage
+	g.SizeZeroDecl = sizeZero
+	g.ExternalLib = extLib
+}
+
+func (p *moduleParser) parseGlobalInit(g *Global, line string) {
+	idx := strings.Index(line, "global ")
+	rest := line[idx+len("global "):]
+	_, rest = p.parseType(rest)
+	rest = strings.TrimLeft(rest, " ")
+	init, rest := p.parseInit(rest)
+	if strings.TrimSpace(rest) != "" {
+		pfail("trailing text after global @%s", g.Name)
+	}
+	g.Init = init
+}
+
+func (p *moduleParser) parseInit(s string) (Initializer, string) {
+	s = strings.TrimLeft(s, " ")
+	switch {
+	case strings.HasPrefix(s, "zeroinitializer"):
+		return ZeroInit{}, s[len("zeroinitializer"):]
+	case strings.HasPrefix(s, "c\""):
+		// Go-quoted string (printed with %q).
+		end := 1
+		for end < len(s) {
+			end++
+			if s[end] == '\\' {
+				end++
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+		}
+		unq, err := strconv.Unquote(s[1 : end+1])
+		if err != nil {
+			pfail("bad byte string %q: %v", s[1:end+1], err)
+		}
+		return BytesInit{Data: []byte(unq)}, s[end+1:]
+	case strings.HasPrefix(s, "["):
+		s = s[1:]
+		var elems []Initializer
+		for {
+			s = strings.TrimLeft(s, " ")
+			if strings.HasPrefix(s, "]") {
+				return ArrayInit{Elems: elems}, s[1:]
+			}
+			var e Initializer
+			e, s = p.parseInit(s)
+			elems = append(elems, e)
+			s = strings.TrimLeft(s, " ")
+			if strings.HasPrefix(s, ",") {
+				s = s[1:]
+			}
+		}
+	case strings.HasPrefix(s, "{"):
+		s = s[1:]
+		var fields []Initializer
+		for {
+			s = strings.TrimLeft(s, " ")
+			if strings.HasPrefix(s, "}") {
+				return StructInit{Fields: fields}, s[1:]
+			}
+			var e Initializer
+			e, s = p.parseInit(s)
+			fields = append(fields, e)
+			s = strings.TrimLeft(s, " ")
+			if strings.HasPrefix(s, ",") {
+				s = s[1:]
+			}
+		}
+	case strings.HasPrefix(s, "@"):
+		j := 1
+		for j < len(s) && isNameChar(s[j]) {
+			j++
+		}
+		name := s[1:j]
+		rest := s[j:]
+		var off int64
+		if strings.HasPrefix(rest, "+") {
+			k := 1
+			for k < len(rest) && rest[k] >= '0' && rest[k] <= '9' {
+				k++
+			}
+			off, _ = strconv.ParseInt(rest[1:k], 10, 64)
+			rest = rest[k:]
+		}
+		if g := p.m.Global(name); g != nil {
+			return GlobalRefInit{G: g, Offset: off}, rest
+		}
+		if f := p.m.Func(name); f != nil {
+			return FuncRefInit{F: f}, rest
+		}
+		pfail("initializer references unknown symbol @%s", name)
+	default:
+		// Number: integer or float.
+		j := 0
+		isFloat := false
+		for j < len(s) {
+			c := s[j]
+			if c == '-' || c == '+' || c >= '0' && c <= '9' {
+				j++
+				continue
+			}
+			if c == '.' || c == 'e' || c == 'E' {
+				isFloat = true
+				j++
+				continue
+			}
+			break
+		}
+		if j == 0 {
+			pfail("cannot parse initializer at %q", s)
+		}
+		if isFloat {
+			f, err := strconv.ParseFloat(s[:j], 64)
+			if err != nil {
+				pfail("bad float %q", s[:j])
+			}
+			return FloatInit{V: f}, s[j:]
+		}
+		v, err := strconv.ParseInt(s[:j], 10, 64)
+		if err != nil {
+			pfail("bad integer %q", s[:j])
+		}
+		return IntInit{V: v}, s[j:]
+	}
+	panic("unreachable")
+}
+
+// ----- functions -----
+
+func (p *moduleParser) parseFuncHeader(line string) *Func {
+	isDecl := strings.HasPrefix(line, "declare ")
+	rest := strings.TrimPrefix(strings.TrimPrefix(line, "declare "), "define ")
+	ret, rest := p.parseType(rest)
+	rest = strings.TrimLeft(rest, " ")
+	if !strings.HasPrefix(rest, "@") {
+		pfail("bad function header: %s", line)
+	}
+	j := 1
+	for j < len(rest) && isNameChar(rest[j]) {
+		j++
+	}
+	name := rest[1:j]
+	rest = strings.TrimLeft(rest[j:], " ")
+	if !strings.HasPrefix(rest, "(") {
+		pfail("bad function header: %s", line)
+	}
+	rest = strings.TrimLeft(rest[1:], " ")
+
+	var ptypes []*Type
+	var pnames []string
+	variadic := false
+	for !strings.HasPrefix(rest, ")") {
+		if strings.HasPrefix(rest, "...") {
+			variadic = true
+			rest = strings.TrimLeft(rest[3:], " ")
+			break
+		}
+		var pt *Type
+		pt, rest = p.parseType(rest)
+		rest = strings.TrimLeft(rest, " ")
+		if !strings.HasPrefix(rest, "%") {
+			pfail("missing parameter name in: %s", line)
+		}
+		k := 1
+		for k < len(rest) && isNameChar(rest[k]) {
+			k++
+		}
+		ptypes = append(ptypes, pt)
+		pnames = append(pnames, rest[1:k])
+		rest = strings.TrimLeft(rest[k:], " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = strings.TrimLeft(rest[1:], " ")
+		}
+	}
+	rest = strings.TrimLeft(strings.TrimPrefix(rest, ")"), " ")
+
+	sig := FuncOf(ret, ptypes...)
+	sig.Variadic = variadic
+	f := p.m.NewFunc(name, sig, pnames...)
+	f.External = isDecl
+	for {
+		switch {
+		case strings.HasPrefix(rest, "pure"):
+			f.Pure, rest = true, strings.TrimLeft(rest[4:], " ")
+		case strings.HasPrefix(rest, "nosanitize"):
+			f.IgnoreInstrumentation, rest = true, strings.TrimLeft(rest[10:], " ")
+		case strings.HasPrefix(rest, "instrumented"):
+			f.Instrumented, rest = true, strings.TrimLeft(rest[12:], " ")
+		default:
+			return f
+		}
+	}
+}
+
+// funcParser resolves names inside one function body.
+type funcParser struct {
+	p      *moduleParser
+	f      *Func
+	blocks map[string]*Block
+	values map[string]Value
+	// fixups defer operand resolution until all instructions exist.
+	fixups []func()
+}
+
+func (p *moduleParser) parseFuncBody(f *Func, lines []string) {
+	fp := &funcParser{p: p, f: f, blocks: map[string]*Block{}, values: map[string]Value{}}
+	for _, param := range f.Params {
+		fp.values[param.Name] = param
+	}
+	// Pass 1: create blocks.
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		if strings.HasSuffix(t, ":") && !strings.HasPrefix(l, " ") {
+			name := strings.TrimSuffix(t, ":")
+			b := f.NewBlock(name)
+			b.Name = name
+			fp.blocks[name] = b
+		}
+	}
+	// Pass 2: parse instructions into their blocks.
+	var cur *Block
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		if strings.HasSuffix(t, ":") && !strings.HasPrefix(l, " ") {
+			cur = fp.blocks[strings.TrimSuffix(t, ":")]
+			continue
+		}
+		if cur == nil {
+			pfail("@%s: instruction before first block: %s", f.Name, t)
+		}
+		fp.parseInstr(cur, t)
+	}
+	for _, fix := range fp.fixups {
+		fix()
+	}
+}
+
+// ref resolves a %name value reference lazily via fixups.
+func (fp *funcParser) resolveLater(name string, set func(Value)) {
+	fp.fixups = append(fp.fixups, func() {
+		v, ok := fp.values[name]
+		if !ok {
+			pfail("@%s: unknown value %%%s", fp.f.Name, name)
+		}
+		set(v)
+	})
+}
+
+// operand parses one operand of a known type, returning either an immediate
+// Value (constants, globals) or scheduling a fixup for %refs.
+func (fp *funcParser) operand(s string, ty *Type, set func(Value)) string {
+	s = strings.TrimLeft(s, " ")
+	switch {
+	case strings.HasPrefix(s, "%"):
+		j := 1
+		for j < len(s) && isNameChar(s[j]) {
+			j++
+		}
+		fp.resolveLater(s[1:j], set)
+		return s[j:]
+	case strings.HasPrefix(s, "@"):
+		j := 1
+		for j < len(s) && isNameChar(s[j]) {
+			j++
+		}
+		name := s[1:j]
+		if g := fp.p.m.Global(name); g != nil {
+			set(g)
+		} else if f := fp.p.m.Func(name); f != nil {
+			set(f)
+		} else {
+			pfail("unknown symbol @%s", name)
+		}
+		return s[j:]
+	case strings.HasPrefix(s, "null"):
+		set(NewNull(ty))
+		return s[4:]
+	case strings.HasPrefix(s, "undef"):
+		set(NewUndef(ty))
+		return s[5:]
+	case strings.HasPrefix(s, "inttoptr("):
+		end := strings.Index(s, ")")
+		v, err := strconv.ParseUint(strings.TrimPrefix(s[9:end], "0x"), 16, 64)
+		if err != nil {
+			pfail("bad constant pointer %q", s[:end+1])
+		}
+		set(NewConstPtr(ty, v))
+		return s[end+1:]
+	case strings.HasPrefix(s, "+inf"):
+		pfail("infinite float constants are not supported in parsing")
+		return s
+	default:
+		j := 0
+		isFloat := false
+		for j < len(s) {
+			c := s[j]
+			if c == '-' || c == '+' && j == 0 || c >= '0' && c <= '9' {
+				j++
+				continue
+			}
+			if c == '.' || c == 'e' || c == 'E' || c == '+' && j > 0 && (s[j-1] == 'e' || s[j-1] == 'E') {
+				isFloat = true
+				j++
+				continue
+			}
+			break
+		}
+		if j == 0 {
+			pfail("cannot parse operand at %q", s)
+		}
+		if ty.IsFloat() || isFloat {
+			fv, err := strconv.ParseFloat(s[:j], 64)
+			if err != nil {
+				pfail("bad float operand %q", s[:j])
+			}
+			set(NewFloat(ty, fv))
+			return s[j:]
+		}
+		iv, err := strconv.ParseInt(s[:j], 10, 64)
+		if err != nil {
+			pfail("bad integer operand %q", s[:j])
+		}
+		set(NewInt(ty, iv))
+		return s[j:]
+	}
+}
+
+var opByName = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "sdiv": OpSDiv, "udiv": OpUDiv,
+	"srem": OpSRem, "urem": OpURem, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"shl": OpShl, "lshr": OpLShr, "ashr": OpAShr,
+	"fadd": OpFAdd, "fsub": OpFSub, "fmul": OpFMul, "fdiv": OpFDiv,
+}
+
+var castByName = map[string]Op{
+	"trunc": OpTrunc, "zext": OpZExt, "sext": OpSExt,
+	"fptrunc": OpFPTrunc, "fpext": OpFPExt, "fptosi": OpFPToSI, "sitofp": OpSIToFP,
+	"ptrtoint": OpPtrToInt, "inttoptr": OpIntToPtr, "bitcast": OpBitcast,
+}
+
+var predByName = func() map[string]Pred {
+	m := map[string]Pred{}
+	for p, n := range predNames {
+		m[n] = p
+	}
+	return m
+}()
+
+func (fp *funcParser) parseInstr(b *Block, line string) {
+	tag := ""
+	if i := strings.Index(line, "; !mi."); i >= 0 {
+		tag = strings.TrimSpace(line[i+len("; !mi."):])
+		line = strings.TrimSpace(line[:i])
+	}
+	name := ""
+	rest := line
+	if strings.HasPrefix(rest, "%") {
+		eq := strings.Index(rest, " = ")
+		if eq < 0 {
+			pfail("bad instruction: %s", line)
+		}
+		name = rest[1:eq]
+		rest = rest[eq+3:]
+	}
+
+	word := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		word = rest[:sp]
+		rest = strings.TrimLeft(rest[sp+1:], " ")
+	} else {
+		rest = ""
+	}
+
+	in := &Instr{Name: name, Ty: Void, Tag: tag}
+	fp.f.AdoptInstr(in)
+	in.Name = name // AdoptInstr renames; keep the parsed name verbatim
+	b.Append(in)
+	if name != "" {
+		fp.values[name] = in
+	}
+	addOp := func() func(Value) {
+		idx := len(in.Operands)
+		in.Operands = append(in.Operands, nil)
+		return func(v Value) { in.Operands[idx] = v }
+	}
+	blockRef := func(s string) (*Block, string) {
+		s = strings.TrimLeft(s, " ")
+		if !strings.HasPrefix(s, "label %") {
+			pfail("expected label in: %s", line)
+		}
+		s = s[len("label %"):]
+		j := 0
+		for j < len(s) && isNameChar(s[j]) {
+			j++
+		}
+		blk, ok := fp.blocks[s[:j]]
+		if !ok {
+			pfail("unknown block %%%s", s[:j])
+		}
+		return blk, s[j:]
+	}
+
+	if op, ok := opByName[word]; ok {
+		in.Op = op
+		var ty *Type
+		ty, rest = fp.p.parseType(rest)
+		in.Ty = ty
+		rest = fp.operand(rest, ty, addOp())
+		rest = strings.TrimLeft(rest, " ")
+		rest = strings.TrimPrefix(rest, ",")
+		fp.operand(rest, ty, addOp())
+		return
+	}
+	if op, ok := castByName[word]; ok {
+		in.Op = op
+		var srcTy *Type
+		srcTy, rest = fp.p.parseType(rest)
+		rest = fp.operand(rest, srcTy, addOp())
+		rest = strings.TrimLeft(rest, " ")
+		if !strings.HasPrefix(rest, "to ") {
+			pfail("cast without 'to': %s", line)
+		}
+		in.Ty, _ = fp.p.parseType(rest[3:])
+		return
+	}
+
+	switch word {
+	case "icmp", "fcmp":
+		in.Op = OpICmp
+		if word == "fcmp" {
+			in.Op = OpFCmp
+		}
+		sp := strings.IndexByte(rest, ' ')
+		pred, ok := predByName[rest[:sp]]
+		if !ok {
+			pfail("bad predicate in: %s", line)
+		}
+		in.Pred = pred
+		in.Ty = I1
+		var ty *Type
+		ty, rest = fp.p.parseType(rest[sp+1:])
+		rest = fp.operand(rest, ty, addOp())
+		rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+		fp.operand(rest, ty, addOp())
+	case "load":
+		in.Op = OpLoad
+		var ty *Type
+		ty, rest = fp.p.parseType(rest)
+		in.Ty = ty
+		rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+		var pty *Type
+		pty, rest = fp.p.parseType(rest)
+		fp.operand(rest, pty, addOp())
+	case "store":
+		in.Op = OpStore
+		var vty *Type
+		vty, rest = fp.p.parseType(rest)
+		rest = fp.operand(rest, vty, addOp())
+		rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+		var pty *Type
+		pty, rest = fp.p.parseType(rest)
+		fp.operand(rest, pty, addOp())
+	case "alloca":
+		in.Op = OpAlloca
+		var ty *Type
+		ty, rest = fp.p.parseType(rest)
+		in.AllocTy = ty
+		in.Ty = PointerTo(ty)
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			var cty *Type
+			cty, rest = fp.p.parseType(rest[1:])
+			fp.operand(rest, cty, addOp())
+		}
+	case "getelementptr":
+		in.Op = OpGEP
+		var srcTy *Type
+		srcTy, rest = fp.p.parseType(rest)
+		in.SrcTy = srcTy
+		rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+		var pty *Type
+		pty, rest = fp.p.parseType(rest)
+		rest = fp.operand(rest, pty, addOp())
+		resTy := srcTy
+		first := true
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if !strings.HasPrefix(rest, ",") {
+				break
+			}
+			var ity *Type
+			ity, rest = fp.p.parseType(rest[1:])
+			idxSlot := addOp()
+			var idxVal Value
+			rest = fp.operand(rest, ity, func(v Value) { idxVal = v; idxSlot(v) })
+			if !first {
+				switch resTy.Kind {
+				case ArrayKind:
+					resTy = resTy.Elem
+				case StructKind:
+					ci, ok := idxVal.(*ConstInt)
+					if !ok {
+						pfail("non-constant struct index in: %s", line)
+					}
+					resTy = resTy.Fields[ci.Signed()]
+				default:
+					pfail("gep indexes into scalar in: %s", line)
+				}
+			}
+			first = false
+		}
+		in.Ty = PointerTo(resTy)
+	case "phi":
+		in.Op = OpPhi
+		var ty *Type
+		ty, rest = fp.p.parseType(rest)
+		in.Ty = ty
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if !strings.HasPrefix(rest, "[") {
+				break
+			}
+			rest = fp.operand(rest[1:], ty, addOp())
+			rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+			rest = strings.TrimLeft(rest, " ")
+			if !strings.HasPrefix(rest, "%") {
+				pfail("bad phi incoming block in: %s", line)
+			}
+			j := 1
+			for j < len(rest) && isNameChar(rest[j]) {
+				j++
+			}
+			blk, ok := fp.blocks[rest[1:j]]
+			if !ok {
+				pfail("unknown block %%%s", rest[1:j])
+			}
+			in.PhiBlocks = append(in.PhiBlocks, blk)
+			rest = strings.TrimLeft(rest[j:], " ")
+			rest = strings.TrimPrefix(rest, "]")
+			rest = strings.TrimLeft(rest, " ")
+			rest = strings.TrimPrefix(rest, ",")
+		}
+	case "select":
+		in.Op = OpSelect
+		var cty *Type
+		cty, rest = fp.p.parseType(rest)
+		rest = fp.operand(rest, cty, addOp())
+		rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+		var aty *Type
+		aty, rest = fp.p.parseType(rest)
+		in.Ty = aty
+		rest = fp.operand(rest, aty, addOp())
+		rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+		var bty *Type
+		bty, rest = fp.p.parseType(rest)
+		fp.operand(rest, bty, addOp())
+	case "call":
+		in.Op = OpCall
+		var rty *Type
+		rty, rest = fp.p.parseType(rest)
+		in.Ty = rty
+		rest = strings.TrimLeft(rest, " ")
+		if !strings.HasPrefix(rest, "@") {
+			pfail("indirect call in: %s", line)
+		}
+		j := 1
+		for j < len(rest) && isNameChar(rest[j]) {
+			j++
+		}
+		callee := fp.p.m.Func(rest[1:j])
+		if callee == nil {
+			pfail("unknown callee @%s", rest[1:j])
+		}
+		in.Operands = append(in.Operands, callee)
+		rest = strings.TrimLeft(rest[j:], " ")
+		rest = strings.TrimPrefix(rest, "(")
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ")") || rest == "" {
+				break
+			}
+			var aty *Type
+			aty, rest = fp.p.parseType(rest)
+			rest = fp.operand(rest, aty, addOp())
+			rest = strings.TrimLeft(rest, " ")
+			rest = strings.TrimPrefix(rest, ",")
+		}
+	case "ret":
+		in.Op = OpRet
+		if strings.TrimSpace(rest) == "void" {
+			return
+		}
+		var ty *Type
+		ty, rest = fp.p.parseType(rest)
+		fp.operand(rest, ty, addOp())
+	case "br":
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "label ") {
+			in.Op = OpBr
+			blk, _ := blockRef(rest)
+			in.Succs = []*Block{blk}
+			return
+		}
+		in.Op = OpCondBr
+		var cty *Type
+		cty, rest = fp.p.parseType(rest)
+		rest = fp.operand(rest, cty, addOp())
+		rest = strings.TrimPrefix(strings.TrimLeft(rest, " "), ",")
+		thenB, rest2 := blockRef(rest)
+		rest2 = strings.TrimPrefix(strings.TrimLeft(rest2, " "), ",")
+		elseB, _ := blockRef(rest2)
+		in.Succs = []*Block{thenB, elseB}
+	case "unreachable":
+		in.Op = OpUnreachable
+	default:
+		pfail("unknown instruction %q in: %s", word, line)
+	}
+}

@@ -1,0 +1,210 @@
+package ir
+
+import "testing"
+
+func TestParseSimpleModule(t *testing.T) {
+	src := `; module demo
+@counter = global i64 7
+define i64 @bump(i64 %by) {
+entry:
+  %v0 = load i64, i64* @counter
+  %v1 = add i64 %v0, %by
+  store i64 %v1, i64* @counter
+  ret i64 %v1
+}
+`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "demo" {
+		t.Errorf("module name %q", m.Name)
+	}
+	g := m.Global("counter")
+	if g == nil || !g.ValueTy.Equal(I64) {
+		t.Fatal("global missing or mistyped")
+	}
+	if ii, ok := g.Init.(IntInit); !ok || ii.V != 7 {
+		t.Errorf("initializer = %#v", g.Init)
+	}
+	f := m.Func("bump")
+	if f == nil || f.NumInstrs() != 4 {
+		t.Fatalf("function wrong: %v", f)
+	}
+}
+
+func TestParseControlFlowAndPhis(t *testing.T) {
+	src := `; module cf
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  br i1 %c, label %then, label %else
+then:
+  br label %end
+else:
+  br label %end
+end:
+  %m = phi i32 [ %a, %then ], [ %b, %else ]
+  ret i32 %m
+}
+`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("max")
+	phi := f.Blocks[3].Phis()[0]
+	if len(phi.Operands) != 2 {
+		t.Fatalf("phi has %d incomings", len(phi.Operands))
+	}
+}
+
+func TestParseRejectsMalformedInput(t *testing.T) {
+	bad := []string{
+		"define i32 @f() {\nentry:\n  ret i32 %missing\n}",
+		"define i32 @f() {\nentry:\n  %v = bogus i32 1, 2\n  ret i32 %v\n}",
+		"@g = global", // truncated
+		"define i32 @f() {\nentry:\n  br label %nowhere\n}",
+	}
+	for i, src := range bad {
+		if _, err := ParseModule("; module m\n" + src + "\n"); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+// roundTrip asserts FormatModule(ParseModule(FormatModule(m))) is stable.
+func roundTrip(t *testing.T, m *Module) {
+	t.Helper()
+	text1 := FormatModule(m)
+	m2, err := ParseModule(text1)
+	if err != nil {
+		t.Fatalf("parse failed: %v\n%s", err, text1)
+	}
+	text2 := FormatModule(m2)
+	if text1 != text2 {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestRoundTripBuiltModule(t *testing.T) {
+	m, _ := buildAbs()
+	st := StructOf("pair", I32, PointerTo(I8))
+	m.NewGlobal("tab", ArrayOf(3, st), ArrayInit{Elems: []Initializer{
+		StructInit{Fields: []Initializer{IntInit{V: 4}, ZeroInit{}}},
+	}})
+	m.NewGlobal("msg", ArrayOf(6, I8), BytesInit{Data: []byte("hi\n\x00!\x00")})
+	g2 := m.NewGlobal("ref", PointerTo(I8), GlobalRefInit{G: m.Global("msg"), Offset: 2})
+	g2.Linkage = WeakLinkage
+	roundTrip(t, m)
+}
+
+func TestRoundTripAllInstructionKinds(t *testing.T) {
+	m := NewModule("kinds")
+	ext := m.NewDecl("ext", VarargFuncOf(I32, PointerTo(I8)))
+	ext.Pure = true
+	g := m.NewGlobal("buf", ArrayOf(16, F64), nil)
+
+	f := m.NewFunc("kitchen", FuncOf(F64, I32, PointerTo(F64)), "n", "p")
+	b := NewBuilder(f)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+
+	b.SetBlock(entry)
+	al := b.Alloca(I64)
+	arr := b.ArrayAlloca(I32, f.Params[0])
+	b.Store(NewInt(I64, 5), al)
+	ld := b.Load(al)
+	tr := b.Cast(OpTrunc, ld, I32)
+	sx := b.Cast(OpSExt, tr, I64)
+	ip := b.IntToPtr(sx, PointerTo(I8))
+	pi := b.PtrToInt(ip)
+	bc := b.Bitcast(f.Params[1], PointerTo(I8))
+	_ = bc
+	gp := b.GEP(g, NewInt(I64, 0), NewInt(I64, 3))
+	fl := b.Load(gp)
+	fa := b.Binary(OpFAdd, fl, NewFloat(F64, 1.5))
+	cmp := b.FCmp(PredOLT, fa, NewFloat(F64, 100))
+	sel := b.Select(cmp, fa, NewFloat(F64, 0))
+	cl := b.Call(ext, ip)
+	_ = cl
+	_ = pi
+	_ = arr
+	b.CondBr(cmp, loop, exit)
+
+	b.SetBlock(loop)
+	ph := b.Phi(I32)
+	nxt := b.Add(ph, NewInt(I32, 1))
+	lc := b.ICmp(PredSLT, nxt, f.Params[0])
+	b.CondBr(lc, loop, exit)
+	ph.AddPhiIncoming(NewInt(I32, 0), entry)
+	ph.AddPhiIncoming(nxt, loop)
+
+	b.SetBlock(exit)
+	b.Ret(sel)
+
+	if err := VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m)
+}
+
+func TestRoundTripPreservesAttributes(t *testing.T) {
+	m := NewModule("attrs")
+	d := m.NewDecl("helper", FuncOf(PointerTo(I8), I64))
+	d.Pure = true
+	d.IgnoreInstrumentation = true
+	f := m.NewFunc("main", FuncOf(I32))
+	f.Instrumented = true
+	b := NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	c := b.Call(d, NewInt(I64, 1))
+	c.Tag = "witness"
+	b.Ret(NewInt(I32, 0))
+
+	text := FormatModule(m)
+	m2, err := ParseModule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := m2.Func("helper")
+	if !d2.Pure || !d2.IgnoreInstrumentation {
+		t.Error("declaration attributes lost")
+	}
+	if !m2.Func("main").Instrumented {
+		t.Error("instrumented flag lost")
+	}
+	var tagged *Instr
+	m2.Func("main").Instrs(func(in *Instr) bool {
+		if in.Op == OpCall {
+			tagged = in
+		}
+		return true
+	})
+	if tagged == nil || tagged.Tag != "witness" {
+		t.Error("instruction tag lost")
+	}
+	roundTrip(t, m)
+}
+
+func TestRoundTripGlobalAttributes(t *testing.T) {
+	m := NewModule("gattrs")
+	g := m.NewGlobal("work", ArrayOf(8, I16), nil)
+	g.Linkage = CommonLinkage
+	g.SizeZeroDecl = true
+	g2 := m.NewGlobal("libbuf", ArrayOf(4, I8), nil)
+	g2.ExternalLib = true
+	text := FormatModule(m)
+	m2, err := ParseModule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Global("work").Linkage != CommonLinkage || !m2.Global("work").SizeZeroDecl {
+		t.Error("global attributes lost")
+	}
+	if !m2.Global("libbuf").ExternalLib {
+		t.Error("extlib attribute lost")
+	}
+	roundTrip(t, m)
+}

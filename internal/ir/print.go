@@ -1,0 +1,237 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatModule renders the whole module in an LLVM-like textual form.
+// ParseModule parses it back; FormatModule(ParseModule(s)) is stable.
+func FormatModule(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, st := range namedStructs(m) {
+		parts := make([]string, len(st.Fields))
+		for i, f := range st.Fields {
+			parts[i] = f.String()
+		}
+		fmt.Fprintf(&sb, "%%%s = type { %s }\n", st.StructName, strings.Join(parts, ", "))
+	}
+	for _, g := range m.Globals {
+		sb.WriteString(formatGlobal(g))
+		sb.WriteByte('\n')
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(FormatFunc(f))
+	}
+	return sb.String()
+}
+
+// namedStructs collects the named struct types referenced anywhere in the
+// module, in deterministic first-use order.
+func namedStructs(m *Module) []*Type {
+	var out []*Type
+	seen := map[string]bool{}
+	var visit func(t *Type)
+	visit = func(t *Type) {
+		if t == nil {
+			return
+		}
+		switch t.Kind {
+		case PointerKind, ArrayKind:
+			visit(t.Elem)
+		case StructKind:
+			if t.StructName != "" {
+				if seen[t.StructName] {
+					return
+				}
+				seen[t.StructName] = true
+				out = append(out, t)
+			}
+			for _, f := range t.Fields {
+				visit(f)
+			}
+		case FuncKind:
+			visit(t.Ret)
+			for _, p := range t.Params {
+				visit(p)
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		visit(g.ValueTy)
+	}
+	for _, f := range m.Funcs {
+		visit(f.Sig)
+		f.Instrs(func(in *Instr) bool {
+			visit(in.Ty)
+			visit(in.AllocTy)
+			visit(in.SrcTy)
+			for _, op := range in.Operands {
+				visit(op.Type())
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func formatGlobal(g *Global) string {
+	attrs := ""
+	switch g.Linkage {
+	case CommonLinkage:
+		attrs = " common"
+	case WeakLinkage:
+		attrs = " weak"
+	case DeclarationLinkage:
+		attrs = " external"
+	}
+	if g.SizeZeroDecl {
+		attrs += " sizeless"
+	}
+	if g.ExternalLib {
+		attrs += " extlib"
+	}
+	return fmt.Sprintf("@%s =%s global %s %s", g.Name, attrs, g.ValueTy, formatInit(g.Init))
+}
+
+func formatInit(init Initializer) string {
+	switch v := init.(type) {
+	case nil, ZeroInit:
+		return "zeroinitializer"
+	case IntInit:
+		return fmt.Sprintf("%d", v.V)
+	case FloatInit:
+		return fmt.Sprintf("%g", v.V)
+	case BytesInit:
+		return fmt.Sprintf("c%q", string(v.Data))
+	case ArrayInit:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = formatInit(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case StructInit:
+		parts := make([]string, len(v.Fields))
+		for i, e := range v.Fields {
+			parts[i] = formatInit(e)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case GlobalRefInit:
+		if v.Offset != 0 {
+			return fmt.Sprintf("@%s+%d", v.G.Name, v.Offset)
+		}
+		return "@" + v.G.Name
+	case FuncRefInit:
+		return "@" + v.F.Name
+	}
+	return "?"
+}
+
+// FormatFunc renders one function.
+func FormatFunc(f *Func) string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.Ty, p.Name)
+	}
+	if f.Sig.Variadic {
+		params = append(params, "...")
+	}
+	attrs := ""
+	if f.Pure {
+		attrs += " pure"
+	}
+	if f.IgnoreInstrumentation {
+		attrs += " nosanitize"
+	}
+	if f.Instrumented {
+		attrs += " instrumented"
+	}
+	if f.IsDecl() {
+		fmt.Fprintf(&sb, "declare %s @%s(%s)%s\n", f.Sig.Ret, f.Name, strings.Join(params, ", "), attrs)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "define %s @%s(%s)%s {\n", f.Sig.Ret, f.Name, strings.Join(params, ", "), attrs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", FormatInstr(in))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// FormatInstr renders a single instruction.
+func FormatInstr(in *Instr) string {
+	var sb strings.Builder
+	if in.Ty != Void {
+		fmt.Fprintf(&sb, "%%%s = ", in.Name)
+	}
+	switch in.Op {
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s %s, %s", in.Op, in.Pred, in.Operands[0].Type(), in.Operands[0].Ref(), in.Operands[1].Ref())
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s %s", in.Ty, in.Operands[0].Type(), in.Operands[0].Ref())
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s %s, %s %s", in.Operands[0].Type(), in.Operands[0].Ref(), in.Operands[1].Type(), in.Operands[1].Ref())
+	case OpAlloca:
+		if len(in.Operands) > 0 {
+			fmt.Fprintf(&sb, "alloca %s, %s %s", in.AllocTy, in.Operands[0].Type(), in.Operands[0].Ref())
+		} else {
+			fmt.Fprintf(&sb, "alloca %s", in.AllocTy)
+		}
+	case OpGEP:
+		fmt.Fprintf(&sb, "getelementptr %s, %s %s", in.SrcTy, in.Operands[0].Type(), in.Operands[0].Ref())
+		for _, idx := range in.Operands[1:] {
+			fmt.Fprintf(&sb, ", %s %s", idx.Type(), idx.Ref())
+		}
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Ty)
+		for i, v := range in.Operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[ %s, %%%s ]", v.Ref(), in.PhiBlocks[i].Name)
+		}
+	case OpSelect:
+		fmt.Fprintf(&sb, "select i1 %s, %s %s, %s %s", in.Operands[0].Ref(), in.Operands[1].Type(), in.Operands[1].Ref(), in.Operands[2].Type(), in.Operands[2].Ref())
+	case OpCall:
+		callee := in.Operands[0]
+		var args []string
+		for _, a := range in.Operands[1:] {
+			args = append(args, fmt.Sprintf("%s %s", a.Type(), a.Ref()))
+		}
+		fmt.Fprintf(&sb, "call %s %s(%s)", in.Ty, callee.Ref(), strings.Join(args, ", "))
+	case OpRet:
+		if len(in.Operands) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s %s", in.Operands[0].Type(), in.Operands[0].Ref())
+		}
+	case OpBr:
+		fmt.Fprintf(&sb, "br label %%%s", in.Succs[0].Name)
+	case OpCondBr:
+		fmt.Fprintf(&sb, "br i1 %s, label %%%s, label %%%s", in.Operands[0].Ref(), in.Succs[0].Name, in.Succs[1].Name)
+	case OpUnreachable:
+		sb.WriteString("unreachable")
+	default:
+		if in.IsCast() {
+			fmt.Fprintf(&sb, "%s %s %s to %s", in.Op, in.Operands[0].Type(), in.Operands[0].Ref(), in.Ty)
+		} else {
+			// Binary operations.
+			fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Ty, in.Operands[0].Ref(), in.Operands[1].Ref())
+		}
+	}
+	if in.Tag != "" {
+		fmt.Fprintf(&sb, " ; !mi.%s", in.Tag)
+	}
+	return sb.String()
+}

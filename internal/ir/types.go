@@ -1,0 +1,286 @@
+// Package ir implements a typed SSA intermediate representation modelled on
+// LLVM IR (as of LLVM 12, which the paper's MemInstrument framework targets).
+//
+// The instruction set covers exactly the shapes the instrumentation framework
+// in internal/core relies on (Table 1 of the paper): memory accesses (load,
+// store), allocations (alloca, globals, calls to malloc-like functions),
+// pointer propagation (phi, select, gep, bitcast), pointer escapes (store of a
+// pointer, call arguments, return values), and the integer/pointer casts
+// (inttoptr, ptrtoint) whose interaction with memory-safety instrumentations
+// the paper analyzes in Section 4.4.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates the kinds of IR types.
+type TypeKind int
+
+// The type kinds of the IR. They mirror the LLVM type system restricted to
+// what a C frontend for the paper's benchmarks needs.
+const (
+	VoidKind TypeKind = iota
+	IntKind
+	FloatKind
+	PointerKind
+	ArrayKind
+	StructKind
+	FuncKind
+)
+
+// Type describes an IR type. Types are structural: two types are
+// interchangeable iff they have the same shape. The package interns the
+// common scalar types; composite types are created with ArrayOf, StructOf,
+// PointerTo and FuncOf.
+type Type struct {
+	Kind TypeKind
+	// Bits is the width of an IntKind or FloatKind type (1, 8, 16, 32, 64
+	// for integers; 32 or 64 for floats).
+	Bits int
+	// Elem is the element type of a pointer or array.
+	Elem *Type
+	// Len is the number of elements of an array.
+	Len int
+	// Fields are the member types of a struct.
+	Fields []*Type
+	// StructName optionally names a struct type (for printing only).
+	StructName string
+	// Params and Ret describe a function type.
+	Params []*Type
+	Ret    *Type
+	// Variadic marks a function type that accepts extra arguments.
+	Variadic bool
+}
+
+// Interned scalar types.
+var (
+	Void = &Type{Kind: VoidKind}
+	I1   = &Type{Kind: IntKind, Bits: 1}
+	I8   = &Type{Kind: IntKind, Bits: 8}
+	I16  = &Type{Kind: IntKind, Bits: 16}
+	I32  = &Type{Kind: IntKind, Bits: 32}
+	I64  = &Type{Kind: IntKind, Bits: 64}
+	F32  = &Type{Kind: FloatKind, Bits: 32}
+	F64  = &Type{Kind: FloatKind, Bits: 64}
+)
+
+// IntType returns the interned integer type of the given bit width.
+// It panics on widths other than 1, 8, 16, 32 and 64.
+func IntType(bits int) *Type {
+	switch bits {
+	case 1:
+		return I1
+	case 8:
+		return I8
+	case 16:
+		return I16
+	case 32:
+		return I32
+	case 64:
+		return I64
+	}
+	panic(fmt.Sprintf("ir: unsupported integer width %d", bits))
+}
+
+// PointerTo returns a pointer type with the given pointee type.
+func PointerTo(elem *Type) *Type {
+	return &Type{Kind: PointerKind, Elem: elem}
+}
+
+// ArrayOf returns an array type with n elements of type elem.
+func ArrayOf(n int, elem *Type) *Type {
+	return &Type{Kind: ArrayKind, Len: n, Elem: elem}
+}
+
+// StructOf returns a struct type with the given field types.
+func StructOf(name string, fields ...*Type) *Type {
+	return &Type{Kind: StructKind, StructName: name, Fields: fields}
+}
+
+// FuncOf returns a function type.
+func FuncOf(ret *Type, params ...*Type) *Type {
+	return &Type{Kind: FuncKind, Ret: ret, Params: params}
+}
+
+// VarargFuncOf returns a variadic function type.
+func VarargFuncOf(ret *Type, params ...*Type) *Type {
+	return &Type{Kind: FuncKind, Ret: ret, Params: params, Variadic: true}
+}
+
+// IsInt reports whether t is an integer type.
+func (t *Type) IsInt() bool { return t.Kind == IntKind }
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == FloatKind }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t.Kind == PointerKind }
+
+// IsAggregate reports whether t is an array or struct type.
+func (t *Type) IsAggregate() bool { return t.Kind == ArrayKind || t.Kind == StructKind }
+
+// Equal reports whether t and u are structurally identical.
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case VoidKind:
+		return true
+	case IntKind, FloatKind:
+		return t.Bits == u.Bits
+	case PointerKind:
+		return t.Elem.Equal(u.Elem)
+	case ArrayKind:
+		return t.Len == u.Len && t.Elem.Equal(u.Elem)
+	case StructKind:
+		if len(t.Fields) != len(u.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if !t.Fields[i].Equal(u.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case FuncKind:
+		if !t.Ret.Equal(u.Ret) || len(t.Params) != len(u.Params) || t.Variadic != u.Variadic {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(u.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// PtrSize is the size of a pointer in bytes on the simulated target
+// (an LP64 machine, like the x86-64 systems evaluated in the paper).
+const PtrSize = 8
+
+// Size returns the size of the type in bytes, including struct padding,
+// using natural alignment (the layout rules of a typical LP64 C ABI).
+func (t *Type) Size() int {
+	switch t.Kind {
+	case VoidKind:
+		return 0
+	case IntKind:
+		if t.Bits == 1 {
+			return 1
+		}
+		return t.Bits / 8
+	case FloatKind:
+		return t.Bits / 8
+	case PointerKind, FuncKind:
+		return PtrSize
+	case ArrayKind:
+		return t.Len * t.Elem.Size()
+	case StructKind:
+		size := 0
+		maxAlign := 1
+		for _, f := range t.Fields {
+			a := f.Align()
+			if a > maxAlign {
+				maxAlign = a
+			}
+			size = alignUp(size, a) + f.Size()
+		}
+		return alignUp(size, maxAlign)
+	}
+	return 0
+}
+
+// Align returns the natural alignment of the type in bytes.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case VoidKind:
+		return 1
+	case IntKind:
+		if t.Bits == 1 {
+			return 1
+		}
+		return t.Bits / 8
+	case FloatKind:
+		return t.Bits / 8
+	case PointerKind, FuncKind:
+		return PtrSize
+	case ArrayKind:
+		return t.Elem.Align()
+	case StructKind:
+		a := 1
+		for _, f := range t.Fields {
+			if fa := f.Align(); fa > a {
+				a = fa
+			}
+		}
+		return a
+	}
+	return 1
+}
+
+// FieldOffset returns the byte offset of struct field i, accounting for
+// padding inserted by natural alignment. It panics if t is not a struct.
+func (t *Type) FieldOffset(i int) int {
+	if t.Kind != StructKind {
+		panic("ir: FieldOffset on non-struct type")
+	}
+	off := 0
+	for j := 0; j < i; j++ {
+		off = alignUp(off, t.Fields[j].Align()) + t.Fields[j].Size()
+	}
+	return alignUp(off, t.Fields[i].Align())
+}
+
+func alignUp(n, align int) int {
+	if align <= 1 {
+		return n
+	}
+	return (n + align - 1) / align * align
+}
+
+// String renders the type in an LLVM-like syntax, e.g. "i32", "double",
+// "[10 x i8]", "%pair = { i32, i32 }" (structs print their body inline).
+func (t *Type) String() string {
+	switch t.Kind {
+	case VoidKind:
+		return "void"
+	case IntKind:
+		return fmt.Sprintf("i%d", t.Bits)
+	case FloatKind:
+		if t.Bits == 32 {
+			return "float"
+		}
+		return "double"
+	case PointerKind:
+		return t.Elem.String() + "*"
+	case ArrayKind:
+		return fmt.Sprintf("[%d x %s]", t.Len, t.Elem)
+	case StructKind:
+		if t.StructName != "" {
+			return "%" + t.StructName
+		}
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.String()
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	case FuncKind:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		if t.Variadic {
+			parts = append(parts, "...")
+		}
+		return fmt.Sprintf("%s (%s)", t.Ret, strings.Join(parts, ", "))
+	}
+	return "?"
+}

@@ -1,0 +1,187 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		size int
+	}{
+		{I1, 1}, {I8, 1}, {I16, 2}, {I32, 4}, {I64, 8},
+		{F32, 4}, {F64, 8},
+		{PointerTo(I32), 8},
+		{ArrayOf(10, I32), 40},
+		{ArrayOf(3, ArrayOf(4, I8)), 12},
+		{Void, 0},
+	}
+	for _, c := range cases {
+		if got := c.ty.Size(); got != c.size {
+			t.Errorf("%s.Size() = %d, want %d", c.ty, got, c.size)
+		}
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	// struct { char; int; char; long } -> offsets 0, 4, 8, 16; size 24.
+	st := StructOf("s", I8, I32, I8, I64)
+	wantOffsets := []int{0, 4, 8, 16}
+	for i, w := range wantOffsets {
+		if got := st.FieldOffset(i); got != w {
+			t.Errorf("field %d offset = %d, want %d", i, got, w)
+		}
+	}
+	if st.Size() != 24 {
+		t.Errorf("size = %d, want 24", st.Size())
+	}
+	if st.Align() != 8 {
+		t.Errorf("align = %d, want 8", st.Align())
+	}
+}
+
+func TestStructTailPadding(t *testing.T) {
+	// struct { long; char } -> size 16 (tail padding to alignment).
+	st := StructOf("s", I64, I8)
+	if st.Size() != 16 {
+		t.Errorf("size = %d, want 16", st.Size())
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	inner := StructOf("inner", I32, I32)
+	outer := StructOf("outer", I8, inner, I8)
+	if got := outer.FieldOffset(1); got != 4 {
+		t.Errorf("inner offset = %d, want 4", got)
+	}
+	if outer.Size() != 16 {
+		t.Errorf("size = %d, want 16", outer.Size())
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PointerTo(I32).Equal(PointerTo(I32)) {
+		t.Error("identical pointer types not equal")
+	}
+	if PointerTo(I32).Equal(PointerTo(I64)) {
+		t.Error("different pointer types equal")
+	}
+	if !ArrayOf(4, I8).Equal(ArrayOf(4, I8)) {
+		t.Error("identical arrays not equal")
+	}
+	if ArrayOf(4, I8).Equal(ArrayOf(5, I8)) {
+		t.Error("different-length arrays equal")
+	}
+	a := StructOf("a", I32)
+	b := StructOf("b", I32)
+	if !a.Equal(b) {
+		t.Error("structurally identical structs not equal")
+	}
+	f1 := FuncOf(I32, I64)
+	f2 := FuncOf(I32, I64)
+	f3 := VarargFuncOf(I32, I64)
+	if !f1.Equal(f2) || f1.Equal(f3) {
+		t.Error("function type equality broken")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]*Type{
+		"i32":         I32,
+		"double":      F64,
+		"float":       F32,
+		"i8*":         PointerTo(I8),
+		"[4 x i64]":   ArrayOf(4, I64),
+		"void":        Void,
+		"i32 (i8*)":   FuncOf(I32, PointerTo(I8)),
+		"{ i32, i8 }": {Kind: StructKind, Fields: []*Type{I32, I8}},
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConstIntSignedness(t *testing.T) {
+	c := NewInt(I8, -1)
+	if c.Unsigned() != 0xFF {
+		t.Errorf("Unsigned() = %#x, want 0xff", c.Unsigned())
+	}
+	if c.Signed() != -1 {
+		t.Errorf("Signed() = %d, want -1", c.Signed())
+	}
+	c2 := NewInt(I32, -5)
+	if c2.Signed() != -5 || c2.Unsigned() != 0xFFFFFFFB {
+		t.Errorf("i32 -5: signed %d unsigned %#x", c2.Signed(), c2.Unsigned())
+	}
+}
+
+// Property: sign-extension round trips through truncation for in-range
+// values at every width.
+func TestConstIntRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		for _, ty := range []*Type{I8, I16, I32, I64} {
+			c := NewInt(ty, v)
+			// Re-creating from the signed interpretation must be stable.
+			c2 := NewInt(ty, c.Signed())
+			if c.Unsigned() != c2.Unsigned() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: struct field offsets are monotonically increasing, aligned, and
+// within the struct size.
+func TestStructOffsetsProperty(t *testing.T) {
+	scalars := []*Type{I8, I16, I32, I64, F32, F64, PointerTo(I8)}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 || len(picks) > 12 {
+			return true
+		}
+		fields := make([]*Type, len(picks))
+		for i, p := range picks {
+			fields[i] = scalars[int(p)%len(scalars)]
+		}
+		st := StructOf("q", fields...)
+		prevEnd := 0
+		for i, fld := range fields {
+			off := st.FieldOffset(i)
+			if off < prevEnd {
+				return false
+			}
+			if off%fld.Align() != 0 {
+				return false
+			}
+			prevEnd = off + fld.Size()
+		}
+		return prevEnd <= st.Size() && st.Size()%st.Align() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameValue(t *testing.T) {
+	if !SameValue(NewInt(I32, 7), NewInt(I32, 7)) {
+		t.Error("equal constants not same")
+	}
+	if SameValue(NewInt(I32, 7), NewInt(I64, 7)) {
+		t.Error("different-typed constants same")
+	}
+	if !SameValue(NewNull(PointerTo(I8)), NewNull(PointerTo(I32))) {
+		t.Error("null constants not same")
+	}
+	if !SameValue(NewConstPtr(PointerTo(I8), 42), NewConstPtr(PointerTo(I8), 42)) {
+		t.Error("equal const pointers not same")
+	}
+	if SameValue(NewConstPtr(PointerTo(I8), 42), NewConstPtr(PointerTo(I8), 43)) {
+		t.Error("different const pointers same")
+	}
+}

@@ -1,0 +1,62 @@
+package ir
+
+// Users maps each value to the instructions of one function that use it as an
+// operand. It is a snapshot: mutations to the function invalidate it.
+type Users map[Value][]*Instr
+
+// ComputeUsers scans the function and returns the use map.
+func ComputeUsers(f *Func) Users {
+	u := make(Users)
+	f.Instrs(func(in *Instr) bool {
+		for _, op := range in.Operands {
+			u[op] = append(u[op], in)
+		}
+		return true
+	})
+	return u
+}
+
+// HasUses reports whether v has at least one user in the snapshot.
+func (u Users) HasUses(v Value) bool { return len(u[v]) > 0 }
+
+// ReplaceAllUses rewrites every operand occurrence of old within f to new.
+// It returns the number of replaced operand slots.
+func ReplaceAllUses(f *Func, old, new Value) int {
+	n := 0
+	f.Instrs(func(in *Instr) bool {
+		for i, op := range in.Operands {
+			if op == old {
+				in.Operands[i] = new
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// EraseInstr removes in from its block after replacing all remaining uses of
+// its result with undef. Prefer replacing uses with a meaningful value first.
+func EraseInstr(f *Func, in *Instr) {
+	if in.Ty != Void {
+		ReplaceAllUses(f, in, NewUndef(in.Ty))
+	}
+	if in.Block != nil {
+		in.Block.Remove(in)
+	}
+}
+
+// Preds returns the predecessor blocks of b within its function, in
+// deterministic function block order.
+func Preds(b *Block) []*Block {
+	var preds []*Block
+	for _, p := range b.Parent.Blocks {
+		for _, s := range p.Succs() {
+			if s == b {
+				preds = append(preds, p)
+				break
+			}
+		}
+	}
+	return preds
+}

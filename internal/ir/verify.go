@@ -1,0 +1,213 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyModule checks structural well-formedness of every function in the
+// module and returns all problems found, joined into one error (nil if the
+// module is well-formed).
+func VerifyModule(m *Module) error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// VerifyFunc checks structural well-formedness of one function: block
+// termination, phi placement and incoming-edge consistency, operand typing,
+// and that instruction operands are defined in the same function.
+func VerifyFunc(f *Func) error {
+	if f.IsDecl() {
+		return nil
+	}
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("@%s: %s", f.Name, fmt.Sprintf(format, args...)))
+	}
+
+	defined := make(map[*Instr]bool)
+	blockSet := make(map[*Block]bool)
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+		for _, in := range b.Instrs {
+			defined[in] = true
+		}
+	}
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			bad("block %%%s is empty", b.Name)
+			continue
+		}
+		if b.Terminator() == nil {
+			bad("block %%%s lacks a terminator", b.Name)
+		}
+		seenNonPhi := false
+		for i, in := range b.Instrs {
+			if in.Block != b {
+				bad("instruction %s has wrong Block backlink", FormatInstr(in))
+			}
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				bad("block %%%s has terminator %s mid-block", b.Name, FormatInstr(in))
+			}
+			if in.Op == OpPhi {
+				if seenNonPhi {
+					bad("phi %s not at start of block %%%s", in.Ref(), b.Name)
+				}
+			} else {
+				seenNonPhi = true
+			}
+			for _, s := range in.Succs {
+				if !blockSet[s] {
+					bad("%s targets foreign block %%%s", FormatInstr(in), s.Name)
+				}
+			}
+			for _, op := range in.Operands {
+				switch v := op.(type) {
+				case nil:
+					bad("%s has nil operand", FormatInstr(in))
+				case *Instr:
+					if !defined[v] {
+						bad("%s uses undefined instruction %s", FormatInstr(in), v.Ref())
+					}
+				case *Param:
+					if v.Parent != f {
+						bad("%s uses foreign parameter %s", FormatInstr(in), v.Ref())
+					}
+				}
+			}
+			if err := checkInstrTypes(in); err != nil {
+				bad("%s: %v", FormatInstr(in), err)
+			}
+		}
+		// Phi incoming blocks must exactly match the predecessors.
+		preds := Preds(b)
+		for _, phi := range b.Phis() {
+			if len(phi.Operands) != len(preds) {
+				bad("phi %s in %%%s has %d incoming, block has %d preds", phi.Ref(), b.Name, len(phi.Operands), len(preds))
+				continue
+			}
+			for _, p := range preds {
+				if phi.PhiIncomingFor(p) == nil {
+					bad("phi %s misses incoming for pred %%%s", phi.Ref(), p.Name)
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func checkInstrTypes(in *Instr) error {
+	switch {
+	case in.IsBinaryOp():
+		a, b := in.Operands[0].Type(), in.Operands[1].Type()
+		if !a.Equal(b) {
+			return fmt.Errorf("binary operand type mismatch %s vs %s", a, b)
+		}
+		if !a.Equal(in.Ty) {
+			return fmt.Errorf("binary result type %s differs from operand type %s", in.Ty, a)
+		}
+	case in.Op == OpICmp:
+		a, b := in.Operands[0].Type(), in.Operands[1].Type()
+		if !a.Equal(b) {
+			return fmt.Errorf("icmp operand type mismatch %s vs %s", a, b)
+		}
+	case in.Op == OpLoad:
+		pt := in.Operands[0].Type()
+		if !pt.IsPointer() {
+			return fmt.Errorf("load from non-pointer %s", pt)
+		}
+		if !pt.Elem.Equal(in.Ty) {
+			return fmt.Errorf("load type %s mismatches pointee %s", in.Ty, pt.Elem)
+		}
+	case in.Op == OpStore:
+		pt := in.Operands[1].Type()
+		if !pt.IsPointer() {
+			return fmt.Errorf("store to non-pointer %s", pt)
+		}
+		if !pt.Elem.Equal(in.Operands[0].Type()) {
+			return fmt.Errorf("store value type %s mismatches pointee %s", in.Operands[0].Type(), pt.Elem)
+		}
+	case in.Op == OpGEP:
+		if !in.Operands[0].Type().IsPointer() {
+			return fmt.Errorf("gep on non-pointer")
+		}
+		for _, idx := range in.Operands[1:] {
+			if !idx.Type().IsInt() {
+				return fmt.Errorf("gep index of non-integer type %s", idx.Type())
+			}
+		}
+	case in.Op == OpSelect:
+		if !in.Operands[0].Type().Equal(I1) {
+			return fmt.Errorf("select condition is %s, want i1", in.Operands[0].Type())
+		}
+		if !in.Operands[1].Type().Equal(in.Operands[2].Type()) {
+			return fmt.Errorf("select arm type mismatch")
+		}
+	case in.Op == OpCondBr:
+		if !in.Operands[0].Type().Equal(I1) {
+			return fmt.Errorf("condbr condition is %s, want i1", in.Operands[0].Type())
+		}
+		if len(in.Succs) != 2 {
+			return fmt.Errorf("condbr with %d successors", len(in.Succs))
+		}
+	case in.Op == OpBr:
+		if len(in.Succs) != 1 {
+			return fmt.Errorf("br with %d successors", len(in.Succs))
+		}
+	case in.Op == OpCall:
+		f := in.Callee()
+		if f == nil {
+			return fmt.Errorf("indirect calls are not supported")
+		}
+		args := in.Args()
+		if len(args) < len(f.Sig.Params) || (!f.Sig.Variadic && len(args) != len(f.Sig.Params)) {
+			return fmt.Errorf("call to @%s with %d args, want %d", f.Name, len(args), len(f.Sig.Params))
+		}
+		for i, p := range f.Sig.Params {
+			at := args[i].Type()
+			// Pointer arguments accept any pointer type (C-style implicit
+			// compatibility; the frontend inserts bitcasts where it
+			// matters, but library declarations use i8*).
+			if p.IsPointer() && at.IsPointer() {
+				continue
+			}
+			if !at.Equal(p) {
+				return fmt.Errorf("call to @%s arg %d has type %s, want %s", f.Name, i, at, p)
+			}
+		}
+	case in.Op == OpRet:
+		sig := in.Block.Parent.Sig
+		if sig.Ret == Void {
+			if len(in.Operands) != 0 {
+				return fmt.Errorf("ret with value in void function")
+			}
+		} else {
+			if len(in.Operands) != 1 {
+				return fmt.Errorf("ret without value in non-void function")
+			}
+			rt := in.Operands[0].Type()
+			if !rt.Equal(sig.Ret) && !(rt.IsPointer() && sig.Ret.IsPointer()) {
+				return fmt.Errorf("ret type %s, want %s", rt, sig.Ret)
+			}
+		}
+	case in.Op == OpIntToPtr:
+		if !in.Operands[0].Type().IsInt() || !in.Ty.IsPointer() {
+			return fmt.Errorf("inttoptr types %s -> %s", in.Operands[0].Type(), in.Ty)
+		}
+	case in.Op == OpPtrToInt:
+		if !in.Operands[0].Type().IsPointer() || !in.Ty.IsInt() {
+			return fmt.Errorf("ptrtoint types %s -> %s", in.Operands[0].Type(), in.Ty)
+		}
+	case in.Op == OpBitcast:
+		if !in.Operands[0].Type().IsPointer() || !in.Ty.IsPointer() {
+			return fmt.Errorf("bitcast supports only pointer-to-pointer casts")
+		}
+	}
+	return nil
+}

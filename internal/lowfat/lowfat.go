@@ -1,0 +1,258 @@
+// Package lowfat implements the Low-Fat Pointers address-space scheme of
+// Duck and Yap (CC'16, NDSS'17) as evaluated by the paper: the virtual
+// address space is partitioned into regions dedicated to one power-of-two
+// allocation size each, so that a pointer's value alone determines the base
+// and size of the object it points into (Figures 3–5 of the paper).
+//
+// Pointer layout (Figure 4):
+//
+//	| region index (29 bits) | object id | object offset |
+//	                          \----- 35 bits together ----/
+//
+// Region i (1-based) spans [i<<35, (i+1)<<35) and holds objects of
+// size 16<<(i-1) bytes, from 2^4 = 16 B (region 1) to 2^30 = 1 GiB
+// (region 27). Masking away log2(size) low bits of a pointer yields the
+// object base. Addresses outside regions 1..27 are not low-fat; accesses
+// through them are checked with wide bounds, i.e. effectively unchecked
+// (Section 4.6).
+package lowfat
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// RegionBits is the width of the per-region address range (32 GiB).
+	RegionBits = 35
+	// NumRegions is the number of low-fat size regions.
+	NumRegions = 27
+	// MinSize is the smallest low-fat allocation size (region 1).
+	MinSize = 16
+	// MaxSize is the largest low-fat allocation size (region 27, 1 GiB).
+	// Allocations larger than this fall back to the standard allocator and
+	// are unprotected — the cause of 429.mcf's unchecked accesses in
+	// Table 2 of the paper.
+	MaxSize = 1 << 30
+)
+
+// RegionIndex returns the region index encoded in a pointer value (the top
+// 29 bits; Figure 4).
+func RegionIndex(ptr uint64) uint64 { return ptr >> RegionBits }
+
+// IsLowFat reports whether ptr lies inside a low-fat region.
+func IsLowFat(ptr uint64) bool {
+	idx := RegionIndex(ptr)
+	return idx >= 1 && idx <= NumRegions
+}
+
+// AllocSize returns the object size of the region with the given index. For
+// indices outside 1..NumRegions it returns the wide-bound sentinel ^uint64(0):
+// the check degenerates to "allow everything", mirroring how the
+// implementation handles non-low-fat pointers (Section 4.3).
+func AllocSize(regionIdx uint64) uint64 {
+	if regionIdx < 1 || regionIdx > NumRegions {
+		return ^uint64(0)
+	}
+	return MinSize << (regionIdx - 1)
+}
+
+// Base recovers the allocation base from a pointer value by masking away the
+// offset bits. For non-low-fat pointers it returns 0 (wide base).
+func Base(ptr uint64) uint64 {
+	size := AllocSize(RegionIndex(ptr))
+	if size == ^uint64(0) {
+		return 0
+	}
+	return ptr &^ (size - 1)
+}
+
+// RegionForSize returns the index of the region whose object size is the
+// smallest power of two >= size, or 0 if size exceeds MaxSize. Allocations
+// are padded by one byte so that one-past-the-end pointers still decode to
+// the same object (footnote 3 of the paper); callers pass the raw requested
+// size and RegionForSize accounts for the padding byte.
+func RegionForSize(size uint64) uint64 {
+	padded := size + 1
+	if padded < MinSize {
+		padded = MinSize
+	}
+	if padded > MaxSize {
+		return 0
+	}
+	log := bits.Len64(padded - 1) // ceil(log2(padded))
+	idx := uint64(log) - 3        // log2(16)=4 -> region 1
+	if idx < 1 {
+		idx = 1
+	}
+	return idx
+}
+
+// RegionStart returns the first address of region idx.
+func RegionStart(idx uint64) uint64 { return idx << RegionBits }
+
+// Check validates an access of width bytes at ptr against the low-fat bounds
+// derived from the witness base pointer (Figure 5 of the paper):
+//
+//	offset = ptr - base
+//	ok     = offset <= allocSize - width
+//
+// The comparison is unsigned, so an underflow (ptr below base) fails too.
+// For non-low-fat bases the check passes unconditionally (wide bounds); the
+// second result reports whether the check was wide.
+func Check(ptr, width, base uint64) (ok, wide bool) {
+	size := AllocSize(RegionIndex(base))
+	if size == ^uint64(0) {
+		return true, true
+	}
+	if width == 0 {
+		width = 1
+	}
+	return ptr-base <= size-width, false
+}
+
+type region struct {
+	// Heap allocations bump up from the region start; the stack mirror
+	// bumps down from the region end. The two meet only under absurd
+	// memory pressure, in which case allocation falls back to the
+	// standard allocator (producing unprotected pointers, Section 4.6).
+	next      uint64
+	stackNext uint64
+	free      []uint64
+	end       uint64
+}
+
+// FallbackAllocator abstracts the standard allocator used for allocations
+// the low-fat scheme cannot serve.
+type FallbackAllocator interface {
+	Alloc(size uint64) (uint64, error)
+	Free(addr uint64) error
+}
+
+// Allocator is the low-fat memory allocator: one bump+free-list allocator
+// per size region, with a standard-allocator fallback for oversized requests.
+type Allocator struct {
+	regions  [NumRegions + 1]region
+	fallback FallbackAllocator
+	// Stats
+	LowFatAllocs   uint64
+	FallbackAllocs uint64
+}
+
+// NewAllocator returns a low-fat allocator using fallback for oversized
+// allocations.
+func NewAllocator(fallback FallbackAllocator) *Allocator {
+	a := &Allocator{fallback: fallback}
+	for i := uint64(1); i <= NumRegions; i++ {
+		a.regions[i].next = RegionStart(i)
+		a.regions[i].end = RegionStart(i + 1)
+		a.regions[i].stackNext = RegionStart(i + 1)
+	}
+	return a
+}
+
+// Alloc reserves size bytes. The second result reports whether the
+// allocation is low-fat (in a region, size- and alignment-guaranteed) or a
+// fallback allocation with no low-fat protection.
+func (a *Allocator) Alloc(size uint64) (addr uint64, lowFat bool, err error) {
+	idx := RegionForSize(size)
+	if idx == 0 {
+		p, err := a.fallback.Alloc(size)
+		if err != nil {
+			return 0, false, err
+		}
+		a.FallbackAllocs++
+		return p, false, nil
+	}
+	r := &a.regions[idx]
+	if n := len(r.free); n > 0 {
+		addr = r.free[n-1]
+		r.free = r.free[:n-1]
+		a.LowFatAllocs++
+		return addr, true, nil
+	}
+	slot := AllocSize(idx)
+	if r.next+slot > r.stackNext {
+		// Region exhausted: resort to the standard allocator, producing a
+		// non-low-fat (unprotected) pointer, exactly as described in
+		// Section 4.6.
+		p, err := a.fallback.Alloc(size)
+		if err != nil {
+			return 0, false, err
+		}
+		a.FallbackAllocs++
+		return p, false, nil
+	}
+	addr = r.next
+	r.next += slot
+	a.LowFatAllocs++
+	return addr, true, nil
+}
+
+// Free releases an allocation made by Alloc.
+func (a *Allocator) Free(addr uint64) error {
+	if !IsLowFat(addr) {
+		return a.fallback.Free(addr)
+	}
+	idx := RegionIndex(addr)
+	if Base(addr) != addr {
+		return fmt.Errorf("lowfat: free of interior pointer %#x", addr)
+	}
+	a.regions[idx].free = append(a.regions[idx].free, addr)
+	return nil
+}
+
+// Mark is a stack-frame checkpoint for stack mirroring: alloca'd memory is
+// carved from the top end of the low-fat regions and released wholesale when
+// the frame returns (the "mirror, replace" strategy of Table 1 for stack
+// protection, following Duck, Yap and Cavallaro, NDSS'17).
+type Mark struct {
+	stackNext [NumRegions + 1]uint64
+}
+
+// Checkpoint captures the stack-mirror frontiers for later release.
+func (a *Allocator) Checkpoint() Mark {
+	var m Mark
+	for i := 1; i <= NumRegions; i++ {
+		m.stackNext[i] = a.regions[i].stackNext
+	}
+	return m
+}
+
+// StackAlloc reserves size bytes from the stack-mirror side of the proper
+// region. The second result reports whether the allocation is low-fat;
+// oversized stack objects fall back to the standard allocator (and are
+// released on Release via the pending list kept by the caller).
+func (a *Allocator) StackAlloc(size uint64) (addr uint64, lowFat bool, err error) {
+	idx := RegionForSize(size)
+	if idx == 0 {
+		p, err := a.fallback.Alloc(size)
+		if err != nil {
+			return 0, false, err
+		}
+		a.FallbackAllocs++
+		return p, false, nil
+	}
+	r := &a.regions[idx]
+	slot := AllocSize(idx)
+	next := r.stackNext - slot
+	if next < r.next || next >= r.stackNext {
+		p, err := a.fallback.Alloc(size)
+		if err != nil {
+			return 0, false, err
+		}
+		a.FallbackAllocs++
+		return p, false, nil
+	}
+	r.stackNext = next
+	a.LowFatAllocs++
+	return next, true, nil
+}
+
+// Release rolls the stack-mirror frontiers back to the checkpoint, freeing
+// every stack allocation made since. Heap-side state is untouched.
+func (a *Allocator) Release(m Mark) {
+	for i := 1; i <= NumRegions; i++ {
+		a.regions[i].stackNext = m.stackNext[i]
+	}
+}

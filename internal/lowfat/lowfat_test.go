@@ -1,0 +1,231 @@
+package lowfat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestRegionEncoding(t *testing.T) {
+	// Region 1 holds 16-byte objects, region 27 holds 1 GiB objects.
+	if AllocSize(1) != 16 {
+		t.Errorf("AllocSize(1) = %d", AllocSize(1))
+	}
+	if AllocSize(27) != 1<<30 {
+		t.Errorf("AllocSize(27) = %d", AllocSize(27))
+	}
+	if AllocSize(0) != ^uint64(0) || AllocSize(28) != ^uint64(0) {
+		t.Error("out-of-range regions must be wide")
+	}
+	ptr := RegionStart(3) + 100
+	if RegionIndex(ptr) != 3 {
+		t.Errorf("RegionIndex = %d", RegionIndex(ptr))
+	}
+	if !IsLowFat(ptr) {
+		t.Error("in-region pointer not low-fat")
+	}
+	if IsLowFat(0) || IsLowFat(mem.HeapBase) || IsLowFat(mem.GlobalsBase) {
+		t.Error("non-region addresses reported low-fat")
+	}
+}
+
+func TestBaseRecovery(t *testing.T) {
+	// A pointer into the middle of a 64-byte object decodes to its base
+	// (Figure 4: mask away the offset bits).
+	base := RegionStart(3) + 5*64 // region 3 = 64-byte objects
+	for off := uint64(0); off < 64; off++ {
+		if got := Base(base + off); got != base {
+			t.Fatalf("Base(%#x) = %#x, want %#x", base+off, got, base)
+		}
+	}
+	if Base(mem.HeapBase) != 0 {
+		t.Error("non-low-fat base must be 0 (wide)")
+	}
+}
+
+func TestRegionForSize(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want uint64
+	}{
+		{1, 1},          // tiny -> 16 B region
+		{15, 1},         // 15+1 = 16 fits region 1
+		{16, 2},         // padding byte forces the 32 B region
+		{31, 2},         // 32 exactly
+		{100, 4},        // -> 128 B
+		{1 << 20, 18},   // 1 MiB + pad -> 2 MiB region
+		{1<<30 - 1, 27}, // just fits the largest region
+		{1 << 30, 0},    // 1 GiB + pad exceeds it: fallback
+		{1 << 31, 0},
+	}
+	for _, c := range cases {
+		if got := RegionForSize(c.size); got != c.want {
+			t.Errorf("RegionForSize(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestCheckSemantics(t *testing.T) {
+	base := RegionStart(3) + 64 // 64-byte object
+	// In-bounds accesses of various widths.
+	if ok, wide := Check(base, 8, base); !ok || wide {
+		t.Error("base access rejected")
+	}
+	if ok, _ := Check(base+56, 8, base); !ok {
+		t.Error("last full word rejected")
+	}
+	if ok, _ := Check(base+57, 8, base); ok {
+		t.Error("access crossing the object end accepted")
+	}
+	if ok, _ := Check(base+64, 1, base); ok {
+		t.Error("one-past-the-end access accepted")
+	}
+	// Underflow: pointer below base.
+	if ok, _ := Check(base-1, 1, base); ok {
+		t.Error("underflow accepted")
+	}
+	// Wide base: everything passes, reported as wide.
+	if ok, wide := Check(0x123456, 8, 0); !ok || !wide {
+		t.Error("wide check must pass and report wide")
+	}
+}
+
+// Property: Base is idempotent and never exceeds the pointer; a pointer and
+// its base always share a region.
+func TestBaseProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		ptr := raw % (RegionStart(NumRegions + 1))
+		b := Base(ptr)
+		if b == 0 {
+			return !IsLowFat(ptr) || ptr == 0
+		}
+		return b <= ptr && Base(b) == b && RegionIndex(b) == RegionIndex(ptr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for every low-fat allocation, the allocator returns a
+// slot-aligned pointer whose decoded size covers the request plus the
+// padding byte.
+func TestAllocatorProperty(t *testing.T) {
+	std := mem.NewStdAllocator(mem.HeapBase, mem.HeapLimit)
+	a := NewAllocator(std)
+	f := func(szRaw uint32) bool {
+		size := uint64(szRaw%100000) + 1
+		p, lowFat, err := a.Alloc(size)
+		if err != nil {
+			return false
+		}
+		if !lowFat {
+			return size+1 > MaxSize || !IsLowFat(p)
+		}
+		slot := AllocSize(RegionIndex(p))
+		return Base(p) == p && slot >= size+1 && p%slot == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorReuseAndFree(t *testing.T) {
+	std := mem.NewStdAllocator(mem.HeapBase, mem.HeapLimit)
+	a := NewAllocator(std)
+	p1, lf, err := a.Alloc(50)
+	if err != nil || !lf {
+		t.Fatalf("alloc: %v", err)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, _, _ := a.Alloc(50)
+	if p2 != p1 {
+		t.Errorf("freed slot not reused: %#x vs %#x", p2, p1)
+	}
+	if err := a.Free(p2 + 8); err == nil {
+		t.Error("interior free not rejected")
+	}
+}
+
+func TestOversizedFallback(t *testing.T) {
+	std := mem.NewStdAllocator(mem.HeapBase, mem.HeapLimit)
+	a := NewAllocator(std)
+	// The 429.mcf case: an allocation beyond the largest region size.
+	p, lowFat, err := a.Alloc(1_181_116_006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowFat || IsLowFat(p) {
+		t.Error("oversized allocation must fall back to the standard allocator")
+	}
+	if ok, wide := Check(p+12345, 8, Base(p)); !ok || !wide {
+		t.Error("accesses through the fallback allocation must be wide")
+	}
+	if a.FallbackAllocs != 1 {
+		t.Errorf("FallbackAllocs = %d", a.FallbackAllocs)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackMirror(t *testing.T) {
+	std := mem.NewStdAllocator(mem.HeapBase, mem.HeapLimit)
+	a := NewAllocator(std)
+	mark := a.Checkpoint()
+	p1, lf1, _ := a.StackAlloc(40)
+	p2, lf2, _ := a.StackAlloc(40)
+	if !lf1 || !lf2 {
+		t.Fatal("stack allocations not low-fat")
+	}
+	if p1 == p2 {
+		t.Error("stack allocations overlap")
+	}
+	if Base(p1) != p1 || Base(p2) != p2 {
+		t.Error("stack allocations not slot-aligned")
+	}
+	a.Release(mark)
+	p3, _, _ := a.StackAlloc(40)
+	if p3 != p1 {
+		t.Errorf("release did not roll back the frontier: %#x vs %#x", p3, p1)
+	}
+	// Heap allocations are unaffected by stack release.
+	h1, _, _ := a.Alloc(40)
+	mark2 := a.Checkpoint()
+	_, _, _ = a.StackAlloc(40)
+	a.Release(mark2)
+	h2, _, _ := a.Alloc(40)
+	if h1 == h2 {
+		t.Error("heap allocation reused despite being live")
+	}
+}
+
+// Property: interleaved heap and stack allocations in the same region never
+// overlap.
+func TestHeapStackDisjointProperty(t *testing.T) {
+	std := mem.NewStdAllocator(mem.HeapBase, mem.HeapLimit)
+	a := NewAllocator(std)
+	f := func(stack bool, szRaw uint16) bool {
+		size := uint64(szRaw%200) + 1
+		var p uint64
+		var lf bool
+		var err error
+		if stack {
+			p, lf, err = a.StackAlloc(size)
+		} else {
+			p, lf, err = a.Alloc(size)
+		}
+		if err != nil || !lf {
+			return false
+		}
+		idx := RegionIndex(p)
+		// All heap slots below the stack frontier; all stack slots at or
+		// above it.
+		return p >= RegionStart(idx) && p < RegionStart(idx+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

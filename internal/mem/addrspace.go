@@ -1,0 +1,222 @@
+// Package mem simulates the 64-bit virtual address space that the programs
+// under test execute in. The space is sparse: pages materialize on first
+// access, so the 32-GiB low-fat regions of internal/lowfat (Figure 3 of the
+// paper) cost only what the program actually touches.
+//
+// Like a real C execution environment, the space does not police accesses by
+// itself — an out-of-bounds pointer silently reads or writes whatever is at
+// the target address. Detecting such accesses is exactly the job of the
+// memory-safety instrumentations built on top. The only hardware-like trap is
+// the unmapped null page.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageBits is the log2 of the page size.
+const PageBits = 16
+
+// PageSize is the size of one page in bytes (64 KiB).
+const PageSize = 1 << PageBits
+
+// NullGuardSize is the size of the unmapped region at address zero; accesses
+// below it fault like a hardware null-pointer dereference.
+const NullGuardSize = 1 << 20
+
+// Fault describes a hardware-level memory fault (null dereference). It is
+// distinct from an instrumentation-reported safety violation: faults happen
+// with or without instrumentation.
+type Fault struct {
+	Addr uint64
+	Op   string // "load" or "store"
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("segmentation fault: %s at address %#x", f.Op, f.Addr)
+}
+
+type page struct {
+	data [PageSize]byte
+}
+
+// AddrSpace is a sparse simulated address space.
+type AddrSpace struct {
+	pages map[uint64]*page
+	// BytesMapped counts materialized memory for statistics.
+	BytesMapped uint64
+}
+
+// NewAddrSpace returns an empty address space.
+func NewAddrSpace() *AddrSpace {
+	return &AddrSpace{pages: make(map[uint64]*page)}
+}
+
+func (as *AddrSpace) pageFor(addr uint64) *page {
+	pn := addr >> PageBits
+	p := as.pages[pn]
+	if p == nil {
+		p = &page{}
+		as.pages[pn] = p
+		as.BytesMapped += PageSize
+	}
+	return p
+}
+
+func (as *AddrSpace) check(addr uint64, width int, op string) error {
+	if addr < NullGuardSize {
+		return &Fault{Addr: addr, Op: op}
+	}
+	if width < 0 || addr+uint64(width) < addr {
+		return &Fault{Addr: addr, Op: op}
+	}
+	return nil
+}
+
+// Load reads width bytes (1, 2, 4 or 8) at addr as a little-endian unsigned
+// integer.
+func (as *AddrSpace) Load(addr uint64, width int) (uint64, error) {
+	if err := as.check(addr, width, "load"); err != nil {
+		return 0, err
+	}
+	off := addr & (PageSize - 1)
+	if off+uint64(width) <= PageSize {
+		p := as.pageFor(addr)
+		switch width {
+		case 1:
+			return uint64(p.data[off]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p.data[off:])), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p.data[off:])), nil
+		case 8:
+			return binary.LittleEndian.Uint64(p.data[off:]), nil
+		}
+	}
+	// Page-straddling access: assemble byte-wise.
+	var buf [8]byte
+	if err := as.ReadBytes(addr, buf[:width]); err != nil {
+		return 0, err
+	}
+	switch width {
+	case 1:
+		return uint64(buf[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	return 0, fmt.Errorf("mem: unsupported load width %d", width)
+}
+
+// Store writes width bytes (1, 2, 4 or 8) of val at addr, little-endian.
+func (as *AddrSpace) Store(addr uint64, width int, val uint64) error {
+	if err := as.check(addr, width, "store"); err != nil {
+		return err
+	}
+	off := addr & (PageSize - 1)
+	if off+uint64(width) <= PageSize {
+		p := as.pageFor(addr)
+		switch width {
+		case 1:
+			p.data[off] = byte(val)
+			return nil
+		case 2:
+			binary.LittleEndian.PutUint16(p.data[off:], uint16(val))
+			return nil
+		case 4:
+			binary.LittleEndian.PutUint32(p.data[off:], uint32(val))
+			return nil
+		case 8:
+			binary.LittleEndian.PutUint64(p.data[off:], val)
+			return nil
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	return as.WriteBytes(addr, buf[:width])
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (as *AddrSpace) ReadBytes(addr uint64, dst []byte) error {
+	if err := as.check(addr, len(dst), "load"); err != nil {
+		return err
+	}
+	for len(dst) > 0 {
+		p := as.pageFor(addr)
+		off := addr & (PageSize - 1)
+		n := copy(dst, p.data[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteBytes copies src into the space starting at addr.
+func (as *AddrSpace) WriteBytes(addr uint64, src []byte) error {
+	if err := as.check(addr, len(src), "store"); err != nil {
+		return err
+	}
+	for len(src) > 0 {
+		p := as.pageFor(addr)
+		off := addr & (PageSize - 1)
+		n := copy(p.data[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Memset fills n bytes at addr with b.
+func (as *AddrSpace) Memset(addr uint64, b byte, n uint64) error {
+	if err := as.check(addr, int(n), "store"); err != nil {
+		return err
+	}
+	for n > 0 {
+		p := as.pageFor(addr)
+		off := addr & (PageSize - 1)
+		chunk := PageSize - off
+		if chunk > n {
+			chunk = n
+		}
+		d := p.data[off : off+chunk]
+		for i := range d {
+			d[i] = b
+		}
+		addr += chunk
+		n -= chunk
+	}
+	return nil
+}
+
+// Memmove copies n bytes from src to dst, handling overlap like C memmove.
+func (as *AddrSpace) Memmove(dst, src, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	buf := make([]byte, n)
+	if err := as.ReadBytes(src, buf); err != nil {
+		return err
+	}
+	return as.WriteBytes(dst, buf)
+}
+
+// ReadCString reads a NUL-terminated string at addr (capped at 1 MiB).
+func (as *AddrSpace) ReadCString(addr uint64) (string, error) {
+	var out []byte
+	for i := 0; i < 1<<20; i++ {
+		b, err := as.Load(addr+uint64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(b))
+	}
+	return "", fmt.Errorf("mem: unterminated string at %#x", addr)
+}

@@ -1,0 +1,243 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreWidths(t *testing.T) {
+	as := NewAddrSpace()
+	base := uint64(0x10000000)
+	for _, w := range []int{1, 2, 4, 8} {
+		val := uint64(0x1122334455667788) & (1<<(8*w) - 1)
+		if w == 8 {
+			val = 0x1122334455667788
+		}
+		if err := as.Store(base, w, 0x1122334455667788); err != nil {
+			t.Fatal(err)
+		}
+		got, err := as.Load(base, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != val {
+			t.Errorf("width %d: got %#x, want %#x", w, got, val)
+		}
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	as := NewAddrSpace()
+	base := uint64(0x20000000)
+	if err := as.Store(base, 4, 0x04030201); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		b, err := as.Load(base+i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != i+1 {
+			t.Errorf("byte %d = %d, want %d", i, b, i+1)
+		}
+	}
+}
+
+func TestNullPageFaults(t *testing.T) {
+	as := NewAddrSpace()
+	if _, err := as.Load(0, 8); err == nil {
+		t.Error("null load did not fault")
+	}
+	if err := as.Store(8, 4, 1); err == nil {
+		t.Error("near-null store did not fault")
+	}
+	var f *Fault
+	_, err := as.Load(16, 1)
+	if fe, ok := err.(*Fault); ok {
+		f = fe
+	}
+	if f == nil || f.Addr != 16 || f.Op != "load" {
+		t.Errorf("fault details wrong: %v", err)
+	}
+}
+
+func TestPageStraddlingAccess(t *testing.T) {
+	as := NewAddrSpace()
+	addr := uint64(0x10000000 + PageSize - 3) // 8-byte access crosses a page boundary
+	if err := as.Store(addr, 8, 0xDEADBEEFCAFEBABE); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.Load(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xDEADBEEFCAFEBABE {
+		t.Errorf("straddling load = %#x", got)
+	}
+}
+
+func TestBytesAndMemset(t *testing.T) {
+	as := NewAddrSpace()
+	base := uint64(0x30000000)
+	data := []byte("hello, memory safety")
+	if err := as.WriteBytes(base, data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	if err := as.ReadBytes(base, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, out) {
+		t.Errorf("round trip: %q", out)
+	}
+	if err := as.Memset(base, 'x', 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.ReadBytes(base, out); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "xxxxx, memory safety" {
+		t.Errorf("after memset: %q", out)
+	}
+}
+
+func TestMemmoveOverlap(t *testing.T) {
+	as := NewAddrSpace()
+	base := uint64(0x40000000)
+	if err := as.WriteBytes(base, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Memmove(base+2, base, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 8)
+	_ = as.ReadBytes(base, out)
+	if string(out) != "ababcdef" {
+		t.Errorf("overlap memmove: %q", out)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	as := NewAddrSpace()
+	base := uint64(0x50000000)
+	_ = as.WriteBytes(base, append([]byte("hi"), 0))
+	s, err := as.ReadCString(base)
+	if err != nil || s != "hi" {
+		t.Errorf("ReadCString = %q, %v", s, err)
+	}
+}
+
+// Property: store-then-load returns the truncated value for every width.
+func TestLoadStoreProperty(t *testing.T) {
+	as := NewAddrSpace()
+	f := func(off uint32, val uint64, wsel uint8) bool {
+		w := []int{1, 2, 4, 8}[wsel%4]
+		addr := 0x6000_0000 + uint64(off)
+		if err := as.Store(addr, w, val); err != nil {
+			return false
+		}
+		got, err := as.Load(addr, w)
+		if err != nil {
+			return false
+		}
+		want := val
+		if w < 8 {
+			want = val & (1<<(8*w) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdAllocator(t *testing.T) {
+	a := NewStdAllocator(HeapBase, HeapLimit)
+	p1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("overlapping allocations")
+	}
+	if p1%16 != 0 || p2%16 != 0 {
+		t.Error("allocations not 16-aligned")
+	}
+	if s, ok := a.SizeOf(p1); !ok || s != 100 {
+		t.Errorf("SizeOf = %d, %t", s, ok)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); err == nil {
+		t.Error("double free not reported")
+	}
+	// Freed block is reused for an equal-sized request.
+	p3, _ := a.Alloc(100)
+	if p3 != p1 {
+		t.Errorf("free block not reused: %#x vs %#x", p3, p1)
+	}
+}
+
+func TestStdAllocatorAccounting(t *testing.T) {
+	a := NewStdAllocator(HeapBase, HeapLimit)
+	p1, _ := a.Alloc(1000)
+	p2, _ := a.Alloc(500)
+	if a.Allocated != 1500 {
+		t.Errorf("Allocated = %d", a.Allocated)
+	}
+	_ = a.Free(p1)
+	if a.Allocated != 500 || a.Peak != 1500 {
+		t.Errorf("Allocated = %d Peak = %d", a.Allocated, a.Peak)
+	}
+	base, size, ok := a.FindAllocation(p2 + 10)
+	if !ok || base != p2 || size != 500 {
+		t.Errorf("FindAllocation = %#x, %d, %t", base, size, ok)
+	}
+	if _, _, ok := a.FindAllocation(p1 + 10); ok {
+		t.Error("FindAllocation found a freed block")
+	}
+}
+
+func TestStdAllocatorExhaustion(t *testing.T) {
+	a := NewStdAllocator(HeapBase, HeapBase+4096)
+	if _, err := a.Alloc(8192); err == nil {
+		t.Error("over-limit allocation succeeded")
+	}
+}
+
+// Property: live allocations never overlap.
+func TestAllocatorNoOverlapProperty(t *testing.T) {
+	a := NewStdAllocator(HeapBase, HeapLimit)
+	type block struct{ base, size uint64 }
+	var live []block
+	f := func(sz uint16, freeIdx uint8) bool {
+		size := uint64(sz%2048 + 1)
+		p, err := a.Alloc(size)
+		if err != nil {
+			return false
+		}
+		for _, b := range live {
+			if p < b.base+b.size && b.base < p+size {
+				return false // overlap
+			}
+		}
+		live = append(live, block{p, size})
+		if len(live) > 4 && freeIdx%3 == 0 {
+			i := int(freeIdx) % len(live)
+			if err := a.Free(live[i].base); err != nil {
+				return false
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

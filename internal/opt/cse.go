@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// CSE performs dominator-scoped common-subexpression elimination over pure
+// instructions (arithmetic, comparisons, casts, geps, selects). Calls are
+// never merged — even pure runtime calls read state that may change between
+// call sites (e.g. the SoftBound shadow stack).
+type CSE struct{}
+
+// Name returns the pass name.
+func (CSE) Name() string { return "cse" }
+
+// Run executes the pass.
+func (CSE) Run(f *ir.Func) bool {
+	if f.Entry() == nil {
+		return false
+	}
+	dt := analysis.NewDomTree(f)
+	changed := false
+
+	var walk func(b *ir.Block, table map[string]*ir.Instr)
+	walk = func(b *ir.Block, table map[string]*ir.Instr) {
+		var added []string
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			key, ok := cseKey(in)
+			if !ok {
+				continue
+			}
+			if prev, have := table[key]; have {
+				ir.ReplaceAllUses(f, in, prev)
+				b.Remove(in)
+				changed = true
+				continue
+			}
+			table[key] = in
+			added = append(added, key)
+		}
+		for _, c := range dt.Children(b) {
+			walk(c, table)
+		}
+		for _, k := range added {
+			delete(table, k)
+		}
+	}
+	walk(f.Entry(), make(map[string]*ir.Instr))
+	return changed
+}
+
+// cseKey builds a structural key for pure, CSE-able instructions.
+func cseKey(in *ir.Instr) (string, bool) {
+	switch {
+	case in.IsBinaryOp(), in.Op == ir.OpICmp, in.Op == ir.OpFCmp,
+		in.Op == ir.OpGEP, in.Op == ir.OpSelect:
+	case in.IsCast():
+	default:
+		return "", false
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d/%s", in.Op, in.Pred, in.Ty)
+	if in.SrcTy != nil {
+		sb.WriteString(in.SrcTy.String())
+	}
+	for _, op := range in.Operands {
+		sb.WriteByte('|')
+		sb.WriteString(valueKey(op))
+	}
+	return sb.String(), true
+}
+
+func valueKey(v ir.Value) string {
+	switch x := v.(type) {
+	case *ir.Instr:
+		return fmt.Sprintf("i%p", x)
+	case *ir.Param:
+		return fmt.Sprintf("p%d", x.Index)
+	case *ir.ConstInt:
+		return fmt.Sprintf("c%s#%d", x.Ty, x.Unsigned())
+	case *ir.ConstFloat:
+		return fmt.Sprintf("f%s#%x", x.Ty, x.V)
+	case *ir.ConstNull:
+		return "null"
+	case *ir.ConstPtr:
+		return fmt.Sprintf("cp#%x", x.Addr)
+	case *ir.Undef:
+		return fmt.Sprintf("u%p", x)
+	case *ir.Global:
+		return "g" + x.Name
+	case *ir.Func:
+		return "@" + x.Name
+	}
+	return "?"
+}

@@ -1,0 +1,44 @@
+package opt
+
+import "repro/internal/ir"
+
+// DCE removes instructions whose results are unused and that have no side
+// effects, including unused allocas and unused calls to pure functions
+// (e.g. SoftBound metadata loads). Checks and metadata stores are calls to
+// non-pure functions and are never removed.
+type DCE struct{}
+
+// Name returns the pass name.
+func (DCE) Name() string { return "dce" }
+
+// Run executes the pass.
+func (DCE) Run(f *ir.Func) bool {
+	changed := false
+	for {
+		users := ir.ComputeUsers(f)
+		var dead []*ir.Instr
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.IsTerminator() {
+				return true
+			}
+			if users.HasUses(in) {
+				return true
+			}
+			if in.Op == ir.OpAlloca {
+				dead = append(dead, in)
+				return true
+			}
+			if !in.HasSideEffects() {
+				dead = append(dead, in)
+			}
+			return true
+		})
+		if len(dead) == 0 {
+			return changed
+		}
+		for _, in := range dead {
+			in.Block.Remove(in)
+		}
+		changed = true
+	}
+}

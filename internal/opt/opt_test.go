@@ -1,0 +1,695 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// compile builds a module from C source (unoptimized).
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+// runModule executes a module and returns its output.
+func runModule(t *testing.T, m *ir.Module) string {
+	t.Helper()
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, ir.FormatModule(m))
+	}
+	return machine.Output()
+}
+
+// countOps counts instructions with the given opcode across the module.
+func countOps(m *ir.Module, op ir.Op) int {
+	n := 0
+	m.Definitions(func(f *ir.Func) {
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Op == op {
+				n++
+			}
+			return true
+		})
+	})
+	return n
+}
+
+// verifyAll fails the test if any function is malformed or violates SSA.
+func verifyAll(t *testing.T, m *ir.Module) {
+	t.Helper()
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+const testProg = `
+int tab[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+
+int mul3(int x) { return x * 3; }
+
+int compute(int n) {
+    int sum = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        sum += tab[i & 7] * 2 + mul3(i);
+    }
+    return sum;
+}
+
+int main() {
+    printf("%d\n", compute(50));
+    return 0;
+}`
+
+func TestPipelinePreservesSemantics(t *testing.T) {
+	m0 := compile(t, testProg)
+	out0 := runModule(t, m0)
+
+	m3 := compile(t, testProg)
+	opt.RunPipeline(m3, opt.EPVectorizerStart, nil, opt.PipelineOptions{Level: 3})
+	verifyAll(t, m3)
+	out3 := runModule(t, m3)
+	if out0 != out3 {
+		t.Errorf("O0 output %q != O3 output %q", out0, out3)
+	}
+}
+
+func TestMem2RegPromotesLocals(t *testing.T) {
+	m := compile(t, `
+int f(int a, int b) {
+    int x = a + b;
+    int y = x * 2;
+    if (y > 10) { y = y - a; }
+    return y;
+}
+int main() { printf("%d\n", f(3, 4)); return 0; }`)
+	before := countOps(m, ir.OpAlloca)
+	if before == 0 {
+		t.Fatal("expected allocas in unoptimized code")
+	}
+	out0 := runModule(t, m)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	verifyAll(t, m)
+	if got := countOps(m, ir.OpAlloca); got != 0 {
+		t.Errorf("%d allocas survive mem2reg", got)
+	}
+	if countOps(m, ir.OpPhi) == 0 {
+		t.Error("mem2reg placed no phis for the diamond")
+	}
+	if out := runModule(t, m); out != out0 {
+		t.Errorf("mem2reg changed output: %q vs %q", out, out0)
+	}
+}
+
+func TestMem2RegSkipsEscapingAllocas(t *testing.T) {
+	m := compile(t, `
+void set(int *p) { *p = 42; }
+int main() {
+    int x = 0;
+    set(&x);
+    printf("%d\n", x);
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	verifyAll(t, m)
+	if countOps(m, ir.OpAlloca) == 0 {
+		t.Error("escaping alloca was wrongly promoted")
+	}
+	if out := runModule(t, m); out != "42\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.FuncOf(ir.I32))
+	b := ir.NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	v := b.Add(ir.NewInt(ir.I32, 2), ir.NewInt(ir.I32, 3))
+	w := b.Mul(v, ir.NewInt(ir.I32, 4))
+	b.Ret(w)
+	opt.RunToFixpoint(m, 3, opt.ConstFold{}, opt.DCE{})
+	verifyAll(t, m)
+	ret := f.Entry().Terminator()
+	c, ok := ret.Operands[0].(*ir.ConstInt)
+	if !ok || c.Signed() != 20 {
+		t.Errorf("not folded to 20: %s", ir.FormatInstr(ret))
+	}
+	if f.NumInstrs() != 1 {
+		t.Errorf("%d instructions remain, want 1", f.NumInstrs())
+	}
+}
+
+func TestConstFoldBranch(t *testing.T) {
+	m := compile(t, `
+int main() {
+    if (1 + 1 == 2) { printf("yes\n"); } else { printf("no\n"); }
+    return 0;
+}`)
+	opt.RunPipeline(m, opt.EPVectorizerStart, nil, opt.PipelineOptions{Level: 3})
+	verifyAll(t, m)
+	if countOps(m, ir.OpCondBr) != 0 {
+		t.Error("constant branch not folded")
+	}
+	if out := runModule(t, m); out != "yes\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestDCERemovesDeadPureCalls(t *testing.T) {
+	m := compile(t, `int main() { return 0; }`)
+	pure := m.NewDecl("pure_fn", ir.FuncOf(ir.I32))
+	pure.Pure = true
+	effectful := m.NewDecl("effect_fn", ir.FuncOf(ir.I32))
+	f := m.Func("main")
+	b := ir.NewBuilder(f)
+	b.SetBefore(f.Entry().Terminator())
+	b.Call(pure)
+	b.Call(effectful)
+	opt.DCE{}.Run(f)
+	verifyAll(t, m)
+	if countOps(m, ir.OpCall) != 1 {
+		t.Errorf("want only the effectful call to survive, have %d calls", countOps(m, ir.OpCall))
+	}
+}
+
+func TestCSE(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.FuncOf(ir.I32, ir.I32), "x")
+	b := ir.NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	x := f.Params[0]
+	a1 := b.Add(x, ir.NewInt(ir.I32, 1))
+	a2 := b.Add(x, ir.NewInt(ir.I32, 1)) // duplicate
+	s := b.Add(a1, a2)
+	b.Ret(s)
+	opt.CSE{}.Run(f)
+	verifyAll(t, m)
+	adds := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			adds++
+		}
+		return true
+	})
+	if adds != 2 { // a1 and s remain
+		t.Errorf("%d adds remain, want 2", adds)
+	}
+}
+
+func TestCSEDominanceScoped(t *testing.T) {
+	// An expression in one branch must not be CSE'd with the same
+	// expression in the sibling branch.
+	m := compile(t, `
+int f(int x, int c) {
+    int r;
+    if (c) { r = x * 7; } else { r = x * 7; }
+    return r;
+}
+int main() { printf("%d %d\n", f(3, 1), f(4, 0)); return 0; }`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	before := countOps(m, ir.OpMul)
+	opt.CSE{}.Run(m.Func("f"))
+	verifyAll(t, m)
+	if got := countOps(m, ir.OpMul); got != before {
+		t.Errorf("CSE across sibling branches: %d muls, want %d", got, before)
+	}
+	if out := runModule(t, m); out != "21 28\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLoadElimForwarding(t *testing.T) {
+	m := compile(t, `
+int g;
+int main() {
+    int *p = &g;
+    *p = 5;
+    printf("%d\n", *p + *p);
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.LoadElim{}, opt.DCE{})
+	verifyAll(t, m)
+	if got := countOps(m, ir.OpLoad); got != 0 {
+		t.Errorf("%d loads survive store-to-load forwarding", got)
+	}
+	if out := runModule(t, m); out != "10\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLoadElimBlockedByCalls(t *testing.T) {
+	m := compile(t, `
+int g;
+void opaque(void) {}
+int main() {
+    g = 5;
+    opaque();
+    printf("%d\n", g);
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.LoadElim{})
+	verifyAll(t, m)
+	if countOps(m, ir.OpLoad) == 0 {
+		t.Error("load forwarded across an opaque call")
+	}
+}
+
+func TestLoadElimAliasRefinement(t *testing.T) {
+	// Stores to a distinct global must not kill knowledge about another.
+	m := compile(t, `
+int a;
+int b;
+int main() {
+    a = 1;
+    b = 2;
+    printf("%d\n", a + b);
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.LoadElim{}, opt.DCE{})
+	verifyAll(t, m)
+	if got := countOps(m, ir.OpLoad); got != 0 {
+		t.Errorf("%d loads survive despite distinct globals", got)
+	}
+	if out := runModule(t, m); out != "3\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSimplifyCFGMergesChains(t *testing.T) {
+	m := compile(t, `
+int main() {
+    int x = 1;
+    x = x + 1;
+    { x = x + 2; }
+    { { x = x + 3; } }
+    printf("%d\n", x);
+    return 0;
+}`)
+	opt.RunPipeline(m, opt.EPVectorizerStart, nil, opt.PipelineOptions{Level: 3})
+	verifyAll(t, m)
+	f := m.Func("main")
+	if len(f.Blocks) != 1 {
+		t.Errorf("main has %d blocks after simplification, want 1", len(f.Blocks))
+	}
+	if out := runModule(t, m); out != "7\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLICMHoistsInvariants(t *testing.T) {
+	m := compile(t, `
+int main() {
+    int i, n = 100;
+    long sum = 0;
+    int a = 7, b = 9;
+    for (i = 0; i < n; i++) {
+        sum += (long)(a * b) + i;
+    }
+    printf("%ld\n", sum);
+    return 0;
+}`)
+	out0 := runModule(t, m)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.ConstFold{}, opt.LICM{})
+	verifyAll(t, m)
+	if out := runModule(t, m); out != out0 {
+		t.Errorf("LICM changed output: %q vs %q", out, out0)
+	}
+}
+
+func TestLICMHoistsLoadsFromReadOnlyLoops(t *testing.T) {
+	m := compile(t, `
+double *rows[4];
+double f() {
+    double s = 0.0;
+    int i;
+    for (i = 0; i < 100; i++) {
+        s += rows[2][i % 8];
+    }
+    return s;
+}
+int main() {
+    int i;
+    rows[2] = (double *)malloc(8 * sizeof(double));
+    for (i = 0; i < 8; i++) rows[2][i] = 1.0;
+    printf("%.0f\n", f());
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.ConstFold{}, opt.CSE{}, opt.LICM{})
+	verifyAll(t, m)
+	// The load of rows[2] must have been hoisted out of the loop in f.
+	f := m.Func("f")
+	var loopLoads int
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpLoad && in.Ty.IsPointer() {
+				// Pointer load still inside a block that participates in
+				// the loop (has a phi or is dominated by the header).
+				if len(blk.Phis()) > 0 {
+					loopLoads++
+				}
+			}
+		}
+	}
+	if loopLoads != 0 {
+		t.Errorf("pointer load not hoisted out of the read-only loop")
+	}
+	if out := runModule(t, m); out != "100\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLICMDoesNotHoistPastChecks(t *testing.T) {
+	// A loop containing a call (e.g. an inserted check) must keep its
+	// loads inside.
+	m := compile(t, `
+int *data;
+void check_stub(void) {}
+int main() {
+    int i;
+    long s = 0;
+    data = (int *)malloc(8 * sizeof(int));
+    for (i = 0; i < 8; i++) data[i] = i;
+    for (i = 0; i < 100; i++) {
+        check_stub();
+        s += data[i % 8];
+    }
+    printf("%ld\n", s);
+    return 0;
+}`)
+	// Prevent inlining of the stub from removing the call.
+	m.Func("check_stub").IgnoreInstrumentation = true
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.LICM{})
+	verifyAll(t, m)
+	f := m.Func("main")
+	hoistedPtrLoad := false
+	// data's pointer load must still be inside the second loop (a block
+	// with phis or reachable from it), not in the entry.
+	for _, in := range f.Entry().Instrs {
+		if in.Op == ir.OpLoad && in.Ty.IsPointer() {
+			hoistedPtrLoad = true
+		}
+	}
+	if hoistedPtrLoad {
+		t.Error("load hoisted past a call that may abort")
+	}
+}
+
+func TestInline(t *testing.T) {
+	m := compile(t, `
+int add3(int a, int b, int c) { return a + b + c; }
+int main() {
+    printf("%d\n", add3(1, 2, 3) + add3(4, 5, 6));
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	inl := &opt.Inline{}
+	inl.RunModule(m)
+	verifyAll(t, m)
+	if inl.Inlined != 2 {
+		t.Errorf("inlined %d calls, want 2", inl.Inlined)
+	}
+	if got := countOps(m, ir.OpCall); got != 1 { // only printf remains
+		t.Errorf("%d calls remain, want 1", got)
+	}
+	if out := runModule(t, m); out != "21\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestInlineSkipsRecursion(t *testing.T) {
+	m := compile(t, `
+int fac(int n) { return n <= 1 ? 1 : n * fac(n - 1); }
+int main() { printf("%d\n", fac(5)); return 0; }`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	inl := &opt.Inline{}
+	inl.RunModule(m)
+	verifyAll(t, m)
+	if out := runModule(t, m); out != "120\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestInlineMovesAllocasToEntry(t *testing.T) {
+	m := compile(t, `
+int worker(int seed) {
+    int buf[4];
+    int i, s = 0;
+    for (i = 0; i < 4; i++) buf[i] = seed + i;
+    for (i = 0; i < 4; i++) s += buf[i];
+    return s;
+}
+int main() {
+    int i;
+    long total = 0;
+    for (i = 0; i < 1000; i++) total += worker(i);
+    printf("%ld\n", total);
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	inl := &opt.Inline{Threshold: 500}
+	inl.RunModule(m)
+	verifyAll(t, m)
+	f := m.Func("main")
+	// Every remaining alloca must live in the entry block; otherwise the
+	// 1000-iteration loop would overflow the simulated stack.
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAlloca && in.Block != f.Entry() {
+			t.Errorf("alloca outside entry after inlining")
+		}
+		return true
+	})
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Run(); err != nil {
+		t.Fatalf("run after inlining: %v", err)
+	}
+	if machine.Output() != "2004000\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+func TestUnrollFullyUnrollsSmallLoop(t *testing.T) {
+	m := compile(t, `
+int main() {
+    int a[4];
+    int i, s = 0;
+    for (i = 0; i < 4; i++) a[i] = i * i;
+    for (i = 0; i < 4; i++) s += a[i];
+    printf("%d\n", s);
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.ConstFold{})
+	u := &opt.Unroll{}
+	u.Run(m.Func("main"))
+	verifyAll(t, m)
+	if u.Unrolled == 0 {
+		t.Error("no loop unrolled")
+	}
+	if out := runModule(t, m); out != "14\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestUnrollSkipsLoopsWithCalls(t *testing.T) {
+	m := compile(t, `
+void opaque(void) {}
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 4; i++) { opaque(); s += i; }
+    printf("%d\n", s);
+    return 0;
+}`)
+	m.Func("opaque").IgnoreInstrumentation = true
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{}, opt.ConstFold{})
+	u := &opt.Unroll{}
+	u.Run(m.Func("main"))
+	if u.Unrolled != 0 {
+		t.Error("loop with a call was unrolled")
+	}
+}
+
+func TestCheckCSERemovesDominatedDuplicates(t *testing.T) {
+	m := compile(t, `int main() { return 0; }`)
+	f := m.Func("main")
+	chk := m.NewDecl("mi_sb_check", ir.FuncOf(ir.Void, ir.PointerTo(ir.I8), ir.I64, ir.PointerTo(ir.I8), ir.PointerTo(ir.I8)))
+	g := m.NewGlobal("g", ir.I64, nil)
+	b := ir.NewBuilder(f)
+	b.SetBefore(f.Entry().Terminator())
+	args := []ir.Value{g, ir.NewInt(ir.I64, 8), g, g}
+	b.Call(chk, args...)
+	b.Call(chk, args...)                                           // identical: removable
+	b.Call(chk, g, ir.NewInt(ir.I64, 4), ir.Value(g), ir.Value(g)) // different width: kept
+	ccse := &opt.CheckCSE{}
+	ccse.Run(f)
+	verifyAll(t, m)
+	if ccse.Removed != 1 {
+		t.Errorf("removed %d checks, want 1", ccse.Removed)
+	}
+	if got := countOps(m, ir.OpCall); got != 2 {
+		t.Errorf("%d calls remain, want 2", got)
+	}
+}
+
+func TestPtrObfuscateRewritesSwap(t *testing.T) {
+	m := compile(t, `
+double *slots[2];
+void swap(int i, int j) {
+    double *t = slots[i];
+    slots[i] = slots[j];
+    slots[j] = t;
+}
+int main() {
+    double a = 1.0, b = 2.0;
+    slots[0] = &a;
+    slots[1] = &b;
+    swap(0, 1);
+    printf("%g\n", *slots[0]);
+    return 0;
+}`)
+	opt.RunSequence(m, opt.SimplifyCFG{}, opt.Mem2Reg{})
+	po := &opt.PtrObfuscate{}
+	opt.RunOnModule(m, po)
+	verifyAll(t, m)
+	if po.Rewritten == 0 {
+		t.Fatal("no pointer load/store pair rewritten")
+	}
+	// Pointer-typed stores in swap must be gone, replaced by i64 stores.
+	swapFn := m.Func("swap")
+	swapFn.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpStore && in.StoredValue().Type().IsPointer() {
+			t.Errorf("pointer store survived: %s", ir.FormatInstr(in))
+		}
+		return true
+	})
+	// Semantics must be unchanged.
+	if out := runModule(t, m); out != "2\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+// TestPipelineO0VsO3OnAllExamples compiles a set of tricky programs at O0
+// and O3 and requires identical output — the optimizer's end-to-end
+// correctness property.
+func TestPipelineO0VsO3(t *testing.T) {
+	progs := []string{
+		// Short-circuit evaluation with side effects.
+		`int n; int bump() { n++; return n; }
+		 int main() { int r = (n > 0) && bump(); printf("%d %d\n", r, n); return 0; }`,
+		// Pointer arithmetic and comparisons.
+		`int main() {
+		    int a[10]; int *p = a, *q = &a[10]; int c = 0;
+		    while (p < q) { *p = c++; p++; }
+		    printf("%d %ld\n", a[9], (long)(q - a));
+		    return 0; }`,
+		// Nested loops with break/continue.
+		`int main() {
+		    int i, j, s = 0;
+		    for (i = 0; i < 10; i++) {
+		        for (j = 0; j < 10; j++) {
+		            if (j == 5) break;
+		            if ((i + j) % 3 == 0) continue;
+		            s += i * j;
+		        }
+		    }
+		    printf("%d\n", s); return 0; }`,
+		// Switch with fallthrough.
+		`int main() {
+		    int i, s = 0;
+		    for (i = 0; i < 8; i++) {
+		        switch (i % 4) {
+		        case 0: s += 1;
+		        case 1: s += 10; break;
+		        case 2: s += 100; break;
+		        default: s += 1000;
+		        }
+		    }
+		    printf("%d\n", s); return 0; }`,
+		// Recursion plus globals.
+		`int depth;
+		 int collatz(long n) { depth++; if (n == 1) return 0; return 1 + collatz(n % 2 ? 3 * n + 1 : n / 2); }
+		 int main() { printf("%d %d\n", collatz(27), depth); return 0; }`,
+		// Floats and conversions.
+		`int main() {
+		    float f = 0.0f; double d = 0.0; int i;
+		    for (i = 0; i < 100; i++) { f += 0.5f; d += (double)f / 8.0; }
+		    printf("%.2f %.2f %d\n", (double)f, d, (int)d); return 0; }`,
+	}
+	for i, src := range progs {
+		m0 := compile(t, src)
+		out0 := runModule(t, m0)
+		m3 := compile(t, src)
+		opt.RunPipeline(m3, opt.EPVectorizerStart, nil, opt.PipelineOptions{Level: 3})
+		verifyAll(t, m3)
+		out3 := runModule(t, m3)
+		if out0 != out3 {
+			t.Errorf("program %d: O0 %q != O3 %q", i, out0, out3)
+		}
+	}
+}
+
+// TestPipelineObfuscationPreservesSemantics checks that the Figure 7
+// transformation, while fatal for SoftBound's metadata, is semantics-
+// preserving for the program itself.
+func TestPipelineObfuscationPreservesSemantics(t *testing.T) {
+	src := `
+int *cells[4];
+int main() {
+    int a = 5, b = 6;
+    int *t;
+    cells[0] = &a; cells[1] = &b;
+    t = cells[0];
+    cells[0] = cells[1];
+    cells[1] = t;
+    printf("%d %d\n", *cells[0], *cells[1]);
+    return 0;
+}`
+	m := compile(t, src)
+	out0 := runModule(t, m)
+	m2 := compile(t, src)
+	opt.RunPipeline(m2, opt.EPVectorizerStart, nil, opt.PipelineOptions{Level: 3, ObfuscatePtrStores: true})
+	verifyAll(t, m2)
+	if out := runModule(t, m2); out != out0 {
+		t.Errorf("obfuscation changed semantics: %q vs %q", out, out0)
+	}
+}
+
+func TestExtPointNames(t *testing.T) {
+	names := map[opt.ExtPoint]string{
+		opt.EPModuleOptimizerEarly: "ModuleOptimizerEarly",
+		opt.EPScalarOptimizerLate:  "ScalarOptimizerLate",
+		opt.EPVectorizerStart:      "VectorizerStart",
+	}
+	for ep, want := range names {
+		if ep.String() != want {
+			t.Errorf("%d.String() = %q", ep, ep.String())
+		}
+	}
+}
+
+func TestHookRunsAtRequestedPoint(t *testing.T) {
+	for _, ep := range []opt.ExtPoint{opt.EPModuleOptimizerEarly, opt.EPScalarOptimizerLate, opt.EPVectorizerStart} {
+		m := compile(t, `int main() { return 0; }`)
+		ran := 0
+		opt.RunPipeline(m, ep, func(*ir.Module) { ran++ }, opt.PipelineOptions{Level: 3})
+		if ran != 1 {
+			t.Errorf("%s: hook ran %d times", ep, ran)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package opt implements the optimization pipeline the instrumented code
+// passes through. It stands in for the LLVM -O pipeline of the paper's setup
+// (Figure 8): a sequence of scalar optimizations with three extension points
+// (ModuleOptimizerEarly, ScalarOptimizerLate, VectorizerStart) at which the
+// MemInstrument pass can be inserted, followed by a link-time cleanup stage.
+//
+// Two properties of the pipeline matter for the paper's results and are
+// modelled faithfully:
+//
+//  1. Optimizations run *after* the instrumentation hook see the inserted
+//     code. Checks and metadata stores have side effects and survive; unused
+//     metadata loads are pure and are removed by DCE, which is why the
+//     metadata-only configuration underestimates propagation cost
+//     (Section 5.4). The cleanup stage also removes checks that are
+//     literally redundant with a dominating identical check — the reason
+//     the explicit dominance optimization has only minor runtime impact
+//     (Section 5.3).
+//
+//  2. Optimizations running *before* the hook reduce the number of memory
+//     accesses (mem2reg, store-to-load forwarding, LICM, CSE), so later
+//     extension points see fewer accesses and place fewer checks
+//     (Section 5.5). Conversely, checks inserted early block those
+//     optimizations, because the compiler cannot prove the potential abort
+//     is not executed.
+package opt
+
+import "repro/internal/ir"
+
+// FuncPass transforms one function and reports whether it changed anything.
+type FuncPass interface {
+	Name() string
+	Run(f *ir.Func) bool
+}
+
+// RunOnModule applies a function pass to every definition in the module.
+func RunOnModule(m *ir.Module, p FuncPass) bool {
+	changed := false
+	m.Definitions(func(f *ir.Func) {
+		if p.Run(f) {
+			changed = true
+		}
+	})
+	return changed
+}
+
+// RunSequence applies passes in order to the module.
+func RunSequence(m *ir.Module, passes ...FuncPass) {
+	for _, p := range passes {
+		RunOnModule(m, p)
+	}
+}
+
+// RunToFixpoint applies the pass sequence repeatedly until no pass changes
+// anything (bounded by maxIter rounds).
+func RunToFixpoint(m *ir.Module, maxIter int, passes ...FuncPass) {
+	for i := 0; i < maxIter; i++ {
+		changed := false
+		for _, p := range passes {
+			if RunOnModule(m, p) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

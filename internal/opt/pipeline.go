@@ -1,0 +1,127 @@
+package opt
+
+import "repro/internal/ir"
+
+// ExtPoint names a compiler-pipeline extension point at which the
+// instrumentation hook runs (Figure 8 of the paper; the artifact selects
+// them in RegisterPasses.cpp).
+type ExtPoint int
+
+// The three extension points evaluated in Section 5.5.
+const (
+	// EPModuleOptimizerEarly instruments before the main optimizations.
+	EPModuleOptimizerEarly ExtPoint = iota
+	// EPScalarOptimizerLate instruments after the scalar optimizations.
+	EPScalarOptimizerLate
+	// EPVectorizerStart instruments just before vectorization (the last
+	// point before codegen; the configuration used for Figures 9-11).
+	EPVectorizerStart
+)
+
+// String returns the extension-point name as used in the artifact.
+func (ep ExtPoint) String() string {
+	switch ep {
+	case EPModuleOptimizerEarly:
+		return "ModuleOptimizerEarly"
+	case EPScalarOptimizerLate:
+		return "ScalarOptimizerLate"
+	case EPVectorizerStart:
+		return "VectorizerStart"
+	}
+	return "?"
+}
+
+// PipelineOptions configure the optimization pipeline.
+type PipelineOptions struct {
+	// Level 0 disables all optimizations (the hook still runs); levels
+	// 1..3 run the full pipeline (the distinction mirrors -O0 vs -O3; the
+	// pipeline does not further differentiate 1..3).
+	Level int
+	// ObfuscatePtrStores enables the PtrObfuscate pass in the late scalar
+	// phase, reproducing the LLVM 12 behaviour of Figure 7.
+	ObfuscatePtrStores bool
+	// Stats, when non-nil, receives pipeline statistics.
+	Stats *PipelineStats
+}
+
+// PipelineStats reports what the pipeline did.
+type PipelineStats struct {
+	// ChecksRemovedByCompiler counts instrumentation checks deleted by the
+	// compiler's own redundancy elimination (CheckCSE), as opposed to the
+	// framework's dominance filter.
+	ChecksRemovedByCompiler int
+}
+
+// RunPipeline optimizes the module, invoking hook (if non-nil) at the given
+// extension point. The stages mirror the paper's setup (LLVM 12 legacy pass
+// manager, Figure 8):
+//
+//	per-function early simplification (SROA/mem2reg, early folding) —
+//	    LLVM runs this function pass manager before any module pass, so
+//	    even EP_ModuleOptimizerEarly sees promoted scalars
+//	[EP ModuleOptimizerEarly]
+//	module optimizations: folding, CSE, store-to-load forwarding, LICM
+//	[EP ScalarOptimizerLate]
+//	late scalar optimizations (optionally incl. pointer-store obfuscation)
+//	[EP VectorizerStart]
+//	(vectorization - not modelled) and link-time cleanup: folding, CSE,
+//	check-redundancy elimination, DCE, simplifycfg
+//
+// Instrumentation inserted at an early point is optimized by everything
+// after it; checks survive (they have side effects), but they also block
+// store-to-load forwarding and access CSE around them (a call that may
+// abort kills the tracked memory state), which is what makes early
+// instrumentation slow (Section 5.5).
+func RunPipeline(m *ir.Module, ep ExtPoint, hook func(*ir.Module), o PipelineOptions) {
+	runHook := func(p ExtPoint) {
+		if hook != nil && ep == p {
+			hook(m)
+		}
+	}
+
+	if o.Level > 0 {
+		// Function-level early simplification (SROA/EarlyCSE analog).
+		RunSequence(m, SimplifyCFG{}, Mem2Reg{}, ConstFold{}, DCE{})
+	}
+
+	runHook(EPModuleOptimizerEarly)
+
+	if o.Level > 0 {
+		// Module optimizations: the inliner runs first (as in LLVM's
+		// module pass manager), then scalar cleanup over the flattened
+		// code.
+		inl := &Inline{}
+		inl.RunModule(m)
+		RunSequence(m, Mem2Reg{})
+		RunToFixpoint(m, 4, ConstFold{}, CSE{}, LoadElim{}, DCE{}, SimplifyCFG{})
+		RunSequence(m, LICM{}, ConstFold{}, CSE{}, LoadElim{}, DCE{})
+		// Loop unrolling plus the cleanup that merges the unrolled
+		// accesses. An instrumented loop body contains check calls and is
+		// not unrolled (Section 5.5).
+		RunSequence(m, &Unroll{}, SimplifyCFG{})
+		RunToFixpoint(m, 3, ConstFold{}, CSE{}, LoadElim{}, DCE{}, SimplifyCFG{})
+		RunSequence(m, LICM{}, ConstFold{}, CSE{}, DCE{})
+	}
+
+	runHook(EPScalarOptimizerLate)
+
+	if o.Level > 0 {
+		if o.ObfuscatePtrStores {
+			RunSequence(m, &PtrObfuscate{})
+		}
+		RunToFixpoint(m, 3, ConstFold{}, CSE{}, LoadElim{}, DCE{})
+		RunSequence(m, SimplifyCFG{})
+	}
+
+	runHook(EPVectorizerStart)
+
+	// Link-time cleanup stage (the paper links with LTO enabled).
+	if o.Level > 0 {
+		ccse := &CheckCSE{}
+		RunToFixpoint(m, 3, ConstFold{}, CSE{}, ccse, DCE{})
+		RunSequence(m, SimplifyCFG{})
+		if o.Stats != nil {
+			o.Stats.ChecksRemovedByCompiler += ccse.Removed
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package opt
+
+import "repro/internal/ir"
+
+// PtrObfuscate models the LLVM 12 translation shown in Figure 7 of the
+// paper: a load of a pointer value that is immediately stored back to memory
+// is rewritten to go through i64 — the pointer locations are bitcast to
+// i64*, the value travels as an integer.
+//
+// The transformation is semantics-preserving for the program, but it is
+// devastating for memory-safety instrumentations (Section 4.4): SoftBound
+// only updates its metadata trie at *pointer-typed* stores, so the integer
+// store leaves the bounds for the destination slot stale — a later load of
+// the pointer picks up wrong bounds, producing spurious violations (or
+// missed ones). Low-Fat Pointers lose their escape check at the store but
+// re-derive the base from the value on the later load, so nothing breaks as
+// long as the value itself was in bounds.
+//
+// The pass is not part of the default -O3 pipeline; the swapbug example and
+// the usability test suite enable it explicitly to reproduce the paper's
+// case study.
+type PtrObfuscate struct {
+	// Rewritten counts transformed load/store pairs.
+	Rewritten int
+}
+
+// Name returns the pass name.
+func (*PtrObfuscate) Name() string { return "ptrobfuscate" }
+
+// Run executes the pass.
+func (p *PtrObfuscate) Run(f *ir.Func) bool {
+	changed := false
+	users := ir.ComputeUsers(f)
+	i64ptr := ir.PointerTo(ir.I64)
+	bld := ir.NewBuilder(f)
+
+	// Collect candidates first; the rewrite mutates the blocks.
+	var candidates []*ir.Instr
+	f.Instrs(func(ld *ir.Instr) bool {
+		if ld.Op != ir.OpLoad || !ld.Ty.IsPointer() {
+			return true
+		}
+		uses := users[ld]
+		if len(uses) == 0 {
+			return true
+		}
+		// All uses must be stores of the loaded value (not through it).
+		for _, u := range uses {
+			if u.Op != ir.OpStore || u.StoredValue() != ld {
+				return true
+			}
+		}
+		candidates = append(candidates, ld)
+		return true
+	})
+
+	for _, ld := range candidates {
+		// Rewrite: load i64 from a bitcast source, store i64 to bitcast
+		// destinations.
+		bld.SetBefore(ld)
+		srcCast := bld.Bitcast(ld.Operands[0], i64ptr)
+		intLoad := bld.Load(srcCast)
+		for _, st := range users[ld] {
+			bld.SetBefore(st)
+			dstCast := bld.Bitcast(st.Operands[1], i64ptr)
+			bld.Store(intLoad, dstCast)
+			st.Block.Remove(st)
+		}
+		ld.Block.Remove(ld)
+		p.Rewritten++
+		changed = true
+	}
+	return changed
+}

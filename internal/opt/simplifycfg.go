@@ -1,0 +1,155 @@
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// SimplifyCFG removes unreachable blocks, merges blocks with a single
+// unconditional-branch predecessor, and threads branches through empty
+// forwarding blocks.
+type SimplifyCFG struct{}
+
+// Name returns the pass name.
+func (SimplifyCFG) Name() string { return "simplifycfg" }
+
+// Run executes the pass.
+func (SimplifyCFG) Run(f *ir.Func) bool {
+	if f.Entry() == nil {
+		return false
+	}
+	changed := false
+	for {
+		c := removeUnreachable(f)
+		c = mergeBlocks(f) || c
+		c = threadEmptyBlocks(f) || c
+		if !c {
+			return changed
+		}
+		changed = true
+	}
+}
+
+func removeUnreachable(f *ir.Func) bool {
+	reachable := make(map[*ir.Block]bool)
+	for _, b := range analysis.ReversePostOrder(f) {
+		reachable[b] = true
+	}
+	var dead []*ir.Block
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			dead = append(dead, b)
+		}
+	}
+	if len(dead) == 0 {
+		return false
+	}
+	for _, b := range dead {
+		// Remove phi edges from dead predecessors.
+		for _, s := range b.Succs() {
+			if reachable[s] {
+				removePhiEdge(s, b)
+			}
+		}
+	}
+	for _, b := range dead {
+		f.RemoveBlock(b)
+	}
+	return true
+}
+
+// mergeBlocks merges b into its single predecessor p when p ends in an
+// unconditional branch to b and b is p's only successor target.
+func mergeBlocks(f *ir.Func) bool {
+	changed := false
+	for {
+		merged := false
+		for _, b := range f.Blocks {
+			if b == f.Entry() {
+				continue
+			}
+			preds := ir.Preds(b)
+			if len(preds) != 1 {
+				continue
+			}
+			p := preds[0]
+			t := p.Terminator()
+			if t == nil || t.Op != ir.OpBr || t.Succs[0] != b {
+				continue
+			}
+			if len(b.Phis()) > 0 {
+				// Single-pred phis are trivial; fold them first.
+				for _, phi := range b.Phis() {
+					ir.ReplaceAllUses(f, phi, phi.Operands[0])
+					b.Remove(phi)
+				}
+			}
+			// Splice b's instructions after removing p's branch.
+			p.Remove(t)
+			for _, in := range b.Instrs {
+				in.Block = p
+				p.Instrs = append(p.Instrs, in)
+			}
+			b.Instrs = nil
+			// Phis in b's successors must refer to p now.
+			for _, s := range p.Succs() {
+				for _, phi := range s.Phis() {
+					for i, pb := range phi.PhiBlocks {
+						if pb == b {
+							phi.PhiBlocks[i] = p
+						}
+					}
+				}
+			}
+			f.RemoveBlock(b)
+			merged = true
+			changed = true
+			break
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+// threadEmptyBlocks redirects branches that target a block containing only
+// an unconditional branch, when the final target has no phis that would need
+// disambiguation.
+func threadEmptyBlocks(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if b == f.Entry() || len(b.Instrs) != 1 {
+			continue
+		}
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		target := t.Succs[0]
+		if target == b || len(target.Phis()) > 0 {
+			continue
+		}
+		for _, p := range ir.Preds(b) {
+			pt := p.Terminator()
+			already := false
+			for _, s := range pt.Succs {
+				if s == target {
+					already = true
+				}
+			}
+			if already {
+				continue // avoid creating duplicate edges into phi-less blocks is fine, but keep it simple
+			}
+			for i, s := range pt.Succs {
+				if s == b {
+					pt.Succs[i] = target
+					changed = true
+				}
+			}
+		}
+	}
+	if changed {
+		removeUnreachable(f)
+	}
+	return changed
+}

@@ -1,0 +1,323 @@
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Unroll fully unrolls innermost counted loops with a small constant trip
+// count and a straight-line body. Together with the block merging of
+// SimplifyCFG and the store-to-load forwarding of LoadElim, unrolling is a
+// major reducer of memory accesses in the -O3 pipeline — and exactly the
+// kind of loop transformation that inserted safety checks block (the check
+// call sits in the body, so LoadElim cannot merge the unrolled accesses and
+// the check count stays multiplied): Section 5.5's extension-point gap is
+// largely made of this effect.
+type Unroll struct {
+	// MaxTrip bounds the constant trip count (default 16).
+	MaxTrip int
+	// MaxGrowth bounds body-instructions * trip count (default 320).
+	MaxGrowth int
+	// Unrolled counts the loops removed.
+	Unrolled int
+}
+
+// Name returns the pass name.
+func (*Unroll) Name() string { return "unroll" }
+
+// Run executes the pass.
+func (p *Unroll) Run(f *ir.Func) bool {
+	if p.MaxTrip == 0 {
+		p.MaxTrip = 24
+	}
+	if p.MaxGrowth == 0 {
+		p.MaxGrowth = 480
+	}
+	changed := false
+	// Unrolling invalidates the loop analysis; iterate a few rounds so
+	// newly-innermost loops get a chance too.
+	for round := 0; round < 3; round++ {
+		dt := analysis.NewDomTree(f)
+		li := analysis.FindLoops(f, dt)
+		done := false
+		for _, loop := range li.Loops {
+			if p.tryUnroll(f, loop) {
+				changed = true
+				done = true
+				break // analyses are stale; restart
+			}
+		}
+		if !done {
+			return changed
+		}
+	}
+	return changed
+}
+
+// loopShape captures the recognized counted-loop pattern:
+//
+//	pre:    ... br header
+//	header: i = phi [init, pre] [next, latch]; (phis...)
+//	        c = icmp pred i, limit
+//	        br c, body1, exit      (or inverted)
+//	body1 -> body2 -> ... -> latch -> header   (linear chain)
+type loopShape struct {
+	pre, header, exit *ir.Block
+	chain             []*ir.Block // body blocks in order, last is the latch
+	condPhi           *ir.Instr
+	trip              int
+}
+
+func (p *Unroll) tryUnroll(f *ir.Func, loop *analysis.Loop) bool {
+	shape, ok := p.matchLoop(loop)
+	if !ok {
+		return false
+	}
+	size := 0
+	for _, b := range shape.chain {
+		size += len(b.Instrs)
+		for _, in := range b.Instrs {
+			// Unrolling loops with calls multiplies code size for little
+			// gain; LLVM's heuristics behave the same. This also means an
+			// instrumented loop (whose body contains check calls) stays
+			// rolled — part of the Section 5.5 effect.
+			if in.Op == ir.OpCall {
+				return false
+			}
+		}
+	}
+	size += len(shape.header.Instrs)
+	if size*shape.trip > p.MaxGrowth {
+		return false
+	}
+	p.expand(f, shape)
+	p.Unrolled++
+	return true
+}
+
+// matchLoop recognizes the counted-loop pattern and computes the trip count.
+func (p *Unroll) matchLoop(loop *analysis.Loop) (*loopShape, bool) {
+	h := loop.Header
+	term := h.Terminator()
+	if term == nil || term.Op != ir.OpCondBr {
+		return nil, false
+	}
+	cond, ok := term.Operands[0].(*ir.Instr)
+	if !ok || cond.Op != ir.OpICmp || cond.Block != h {
+		return nil, false
+	}
+	var bodyFirst, exit *ir.Block
+	if loop.Contains(term.Succs[0]) && !loop.Contains(term.Succs[1]) {
+		bodyFirst, exit = term.Succs[0], term.Succs[1]
+	} else if loop.Contains(term.Succs[1]) && !loop.Contains(term.Succs[0]) {
+		// Inverted: loop continues when the condition is false. Supported
+		// by evaluating the negated predicate during trip counting.
+		bodyFirst, exit = term.Succs[1], term.Succs[0]
+	} else {
+		return nil, false
+	}
+	if exit == h || len(exit.Phis()) > 0 {
+		return nil, false
+	}
+
+	// The body must be a linear chain back to the header.
+	var chain []*ir.Block
+	cur := bodyFirst
+	for {
+		if cur == h || !loop.Contains(cur) || len(cur.Phis()) > 0 {
+			return nil, false
+		}
+		chain = append(chain, cur)
+		t := cur.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			return nil, false
+		}
+		next := t.Succs[0]
+		if next == h {
+			break
+		}
+		cur = next
+		if len(chain) > 8 {
+			return nil, false
+		}
+	}
+	latch := chain[len(chain)-1]
+
+	// Preheader: unique predecessor outside the loop.
+	var pre *ir.Block
+	for _, pb := range ir.Preds(h) {
+		if loop.Contains(pb) {
+			if pb != latch {
+				return nil, false // multiple latches
+			}
+			continue
+		}
+		if pre != nil {
+			return nil, false
+		}
+		pre = pb
+	}
+	if pre == nil {
+		return nil, false
+	}
+
+	// The condition compares a header phi against a constant; the phi
+	// advances by a constant each iteration.
+	phi, ok := cond.Operands[0].(*ir.Instr)
+	limit, lok := cond.Operands[1].(*ir.ConstInt)
+	if !ok || !lok || phi.Op != ir.OpPhi || phi.Block != h {
+		return nil, false
+	}
+	init, iok := phi.PhiIncomingFor(pre).(*ir.ConstInt)
+	next, nok := phi.PhiIncomingFor(latch).(*ir.Instr)
+	if !iok || !nok || next.Op != ir.OpAdd && next.Op != ir.OpSub {
+		return nil, false
+	}
+	var step *ir.ConstInt
+	if next.Operands[0] == phi {
+		step, ok = next.Operands[1].(*ir.ConstInt)
+	} else if next.Operands[1] == phi && next.Op == ir.OpAdd {
+		step, ok = next.Operands[0].(*ir.ConstInt)
+	} else {
+		return nil, false
+	}
+	if !ok || step.Unsigned() == 0 {
+		return nil, false
+	}
+
+	// Simulate to find the constant trip count.
+	bits := phi.Ty.Bits
+	stepV := step.Signed()
+	if next.Op == ir.OpSub {
+		stepV = -stepV
+	}
+	continueWhen := true
+	if bodyFirst == term.Succs[1] {
+		continueWhen = false
+	}
+	_ = bits
+	v := ir.NewInt(phi.Ty, init.Signed())
+	trips := 0
+	for trips <= p.MaxTrip {
+		taken := evalIntPred(cond.Pred, v, limit)
+		if taken != continueWhen {
+			break
+		}
+		trips++
+		v = ir.NewInt(phi.Ty, v.Signed()+stepV)
+	}
+	if trips == 0 || trips > p.MaxTrip {
+		return nil, false
+	}
+
+	// All header phis must have incomings exactly from pre and latch.
+	for _, ph := range h.Phis() {
+		if len(ph.Operands) != 2 || ph.PhiIncomingFor(pre) == nil || ph.PhiIncomingFor(latch) == nil {
+			return nil, false
+		}
+	}
+
+	return &loopShape{pre: pre, header: h, exit: exit, chain: chain, condPhi: phi, trip: trips}, true
+}
+
+// expand replaces the loop with trip straight-line copies of
+// header-tail + body chain.
+func (p *Unroll) expand(f *ir.Func, s *loopShape) {
+	phis := s.header.Phis()
+	latch := s.chain[len(s.chain)-1]
+
+	// cur maps each header phi (and loop instruction of the current
+	// iteration) to its value in the iteration being emitted.
+	cur := make(map[ir.Value]ir.Value)
+	for _, ph := range phis {
+		cur[ph] = ph.PhiIncomingFor(s.pre)
+	}
+
+	mapVal := func(v ir.Value) ir.Value {
+		if nv, ok := cur[v]; ok {
+			return nv
+		}
+		return v
+	}
+
+	// Emission target: start in the preheader (replacing its branch), and
+	// append everything into one long block, finally branching to exit.
+	emitB := s.pre
+	emitB.Remove(emitB.Terminator())
+
+	cloneInto := func(src *ir.Block) {
+		for _, in := range src.Instrs {
+			if in.Op == ir.OpPhi {
+				continue
+			}
+			if in.IsTerminator() {
+				continue
+			}
+			ni := &ir.Instr{
+				Op: in.Op, Ty: in.Ty, Pred: in.Pred, AllocTy: in.AllocTy,
+				SrcTy: in.SrcTy, Name: in.Name, Tag: in.Tag,
+			}
+			f.AdoptInstr(ni)
+			for _, op := range in.Operands {
+				ni.Operands = append(ni.Operands, mapVal(op))
+			}
+			emitB.Append(ni)
+			cur[in] = ni
+		}
+	}
+
+	for it := 0; it < s.trip; it++ {
+		// Header tail (address computations etc. between phis and the
+		// terminator; the icmp itself becomes dead and DCE removes it).
+		cloneInto(s.header)
+		for _, b := range s.chain {
+			cloneInto(b)
+		}
+		// Advance phi values to the latch incomings of this iteration.
+		nextVals := make([]ir.Value, len(phis))
+		for i, ph := range phis {
+			nextVals[i] = mapVal(ph.PhiIncomingFor(latch))
+		}
+		for i, ph := range phis {
+			cur[ph] = nextVals[i]
+		}
+	}
+
+	// Final header-tail evaluation feeds exit users of header phis and of
+	// header-tail instructions (the header executes once more to decide
+	// exit; its non-phi values may be used in the exit block).
+	cloneInto(s.header)
+
+	br := &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Succs: []*ir.Block{s.exit}}
+	f.AdoptInstr(br)
+	emitB.Append(br)
+
+	// Replace external uses of loop values with their final copies.
+	inLoop := make(map[*ir.Instr]bool)
+	for _, b := range append([]*ir.Block{s.header}, s.chain...) {
+		for _, in := range b.Instrs {
+			inLoop[in] = true
+		}
+	}
+	f.Instrs(func(user *ir.Instr) bool {
+		if inLoop[user] {
+			return true
+		}
+		for i, op := range user.Operands {
+			def, ok := op.(*ir.Instr)
+			if !ok || !inLoop[def] {
+				continue
+			}
+			if fin, ok := cur[def]; ok {
+				user.Operands[i] = fin
+			}
+		}
+		return true
+	})
+
+	// Delete the old loop blocks.
+	for _, b := range append([]*ir.Block{s.header}, s.chain...) {
+		b.Instrs = nil
+		f.RemoveBlock(b)
+	}
+}

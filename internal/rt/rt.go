@@ -1,0 +1,100 @@
+// Package rt names the runtime intrinsics that the instrumentation framework
+// (internal/core) inserts and the VM (internal/vm) implements. Keeping the
+// contract in one place mirrors how MemInstrument links instrumented code
+// against its runtime library (Figure 8 of the paper).
+package rt
+
+import "repro/internal/ir"
+
+// SoftBound runtime intrinsics.
+const (
+	// SBLoadBase / SBLoadBound load the bounds recorded for a pointer
+	// stored at the given location from the metadata trie. They are pure:
+	// unused metadata loads may be optimized away, which is why the
+	// metadata-only configuration underapproximates propagation cost
+	// (Section 5.4).
+	SBLoadBase  = "mi_sb_load_base"
+	SBLoadBound = "mi_sb_load_bound"
+	// SBStoreMD records bounds for a pointer stored at a location.
+	SBStoreMD = "mi_sb_store_md"
+	// SBCheck validates an access: ptr >= base && ptr+width <= bound
+	// (Figure 2).
+	SBCheck = "mi_sb_check"
+	// Shadow-stack operations (Section 3.2): a frame carries the bounds of
+	// pointer arguments and of the returned pointer.
+	SBSSAlloc    = "mi_sb_ss_alloc"
+	SBSSSetArg   = "mi_sb_ss_setarg"
+	SBSSArgBase  = "mi_sb_ss_arg_base"
+	SBSSArgBound = "mi_sb_ss_arg_bound"
+	SBSSSetRet   = "mi_sb_ss_setret"
+	SBSSRetBase  = "mi_sb_ss_ret_base"
+	SBSSRetBound = "mi_sb_ss_ret_bound"
+	SBSSPop      = "mi_sb_ss_pop"
+)
+
+// Low-Fat Pointers runtime intrinsics.
+const (
+	// LFBase recovers the allocation base from a pointer value (Figure 4).
+	LFBase = "mi_lf_base"
+	// LFCheck validates an access of the given width against the witness
+	// base (Figure 5).
+	LFCheck = "mi_lf_check"
+	// LFCheckInv is the invariant check applied to pointers escaping via
+	// stores, calls and returns (Table 1, bottom right).
+	LFCheckInv = "mi_lf_check_inv"
+)
+
+// VoidPtr is the generic pointer type used in intrinsic signatures.
+var VoidPtr = ir.PointerTo(ir.I8)
+
+// Declare ensures the intrinsic declaration exists in the module and returns
+// it. Pure intrinsics are marked Pure so that dead-code elimination may
+// remove unused metadata loads, but never checks or metadata stores.
+func Declare(m *ir.Module, name string) *ir.Func {
+	var sig *ir.Type
+	pure := false
+	switch name {
+	case SBLoadBase, SBLoadBound:
+		sig, pure = ir.FuncOf(VoidPtr, VoidPtr), true
+	case SBStoreMD:
+		sig = ir.FuncOf(ir.Void, VoidPtr, VoidPtr, VoidPtr)
+	case SBCheck:
+		sig = ir.FuncOf(ir.Void, VoidPtr, ir.I64, VoidPtr, VoidPtr)
+	case SBSSAlloc:
+		sig = ir.FuncOf(ir.Void, ir.I64)
+	case SBSSSetArg:
+		sig = ir.FuncOf(ir.Void, ir.I64, VoidPtr, VoidPtr)
+	case SBSSArgBase, SBSSArgBound:
+		sig, pure = ir.FuncOf(VoidPtr, ir.I64), true
+	case SBSSSetRet:
+		sig = ir.FuncOf(ir.Void, VoidPtr, VoidPtr)
+	case SBSSRetBase, SBSSRetBound:
+		sig, pure = ir.FuncOf(VoidPtr), true
+	case SBSSPop:
+		sig = ir.FuncOf(ir.Void)
+	case LFBase:
+		sig, pure = ir.FuncOf(VoidPtr, VoidPtr), true
+	case LFCheck:
+		sig = ir.FuncOf(ir.Void, VoidPtr, ir.I64, VoidPtr)
+	case LFCheckInv:
+		sig = ir.FuncOf(ir.Void, VoidPtr, VoidPtr)
+	default:
+		panic("rt: unknown intrinsic " + name)
+	}
+	f := m.EnsureDecl(name, sig)
+	f.Pure = pure
+	f.IgnoreInstrumentation = true
+	return f
+}
+
+// IsIntrinsic reports whether name is one of the runtime intrinsics.
+func IsIntrinsic(name string) bool {
+	switch name {
+	case SBLoadBase, SBLoadBound, SBStoreMD, SBCheck,
+		SBSSAlloc, SBSSSetArg, SBSSArgBase, SBSSArgBound,
+		SBSSSetRet, SBSSRetBase, SBSSRetBound, SBSSPop,
+		LFBase, LFCheck, LFCheckInv:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestDeclareCreatesExpectedSignatures(t *testing.T) {
+	m := ir.NewModule("t")
+	cases := []struct {
+		name   string
+		params int
+		retPtr bool
+		pure   bool
+	}{
+		{SBLoadBase, 1, true, true},
+		{SBLoadBound, 1, true, true},
+		{SBStoreMD, 3, false, false},
+		{SBCheck, 4, false, false},
+		{SBSSAlloc, 1, false, false},
+		{SBSSSetArg, 3, false, false},
+		{SBSSArgBase, 1, true, true},
+		{SBSSArgBound, 1, true, true},
+		{SBSSSetRet, 2, false, false},
+		{SBSSRetBase, 0, true, true},
+		{SBSSRetBound, 0, true, true},
+		{SBSSPop, 0, false, false},
+		{LFBase, 1, true, true},
+		{LFCheck, 3, false, false},
+		{LFCheckInv, 2, false, false},
+	}
+	for _, c := range cases {
+		f := Declare(m, c.name)
+		if f == nil || !f.External {
+			t.Errorf("%s: not an external declaration", c.name)
+			continue
+		}
+		if len(f.Sig.Params) != c.params {
+			t.Errorf("%s: %d params, want %d", c.name, len(f.Sig.Params), c.params)
+		}
+		if got := f.Sig.Ret.IsPointer(); got != c.retPtr {
+			t.Errorf("%s: pointer result = %t, want %t", c.name, got, c.retPtr)
+		}
+		if f.Pure != c.pure {
+			t.Errorf("%s: Pure = %t, want %t", c.name, f.Pure, c.pure)
+		}
+		if !f.IgnoreInstrumentation {
+			t.Errorf("%s: intrinsic must be excluded from instrumentation", c.name)
+		}
+		if !IsIntrinsic(c.name) {
+			t.Errorf("IsIntrinsic(%s) = false", c.name)
+		}
+	}
+	if IsIntrinsic("malloc") || IsIntrinsic("anything") {
+		t.Error("IsIntrinsic too permissive")
+	}
+}
+
+func TestDeclareIsIdempotent(t *testing.T) {
+	m := ir.NewModule("t")
+	a := Declare(m, SBCheck)
+	b := Declare(m, SBCheck)
+	if a != b {
+		t.Error("second Declare created a new function")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown intrinsic did not panic")
+		}
+	}()
+	Declare(m, "mi_unknown")
+}

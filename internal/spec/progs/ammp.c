@@ -1,0 +1,106 @@
+/* 188.ammp stand-in: molecular dynamics — atoms in linked structs, pairwise
+ * short-range force computation with a neighbour list, double precision.
+ * A small amount of state lives in library-owned storage ("vendor_units",
+ * marked external by the harness): Low-Fat Pointers give those accesses wide
+ * bounds (0.24% in Table 2), SoftBound stays precise. */
+
+#include <stdio.h>
+
+#define NATOMS 220
+#define NEIGHBORS 12
+#define STEPS 30
+
+struct atom {
+    double x, y, z;
+    double fx, fy, fz;
+    double q;
+    struct atom *next;
+    int serial;
+};
+
+struct atom *atoms;
+int neighbor[NATOMS][NEIGHBORS];
+
+/* Unit-conversion constants owned by an uninstrumented physics library. */
+double vendor_units[16];
+
+void setup(void) {
+    int i, j;
+    unsigned int s = 31337u;
+    atoms = (struct atom *)malloc(NATOMS * sizeof(struct atom));
+    for (i = 0; i < NATOMS; i++) {
+        s = s * 1103515245u + 12345u;
+        atoms[i].x = (double)((s >> 16) & 1023) * 0.05;
+        s = s * 1103515245u + 12345u;
+        atoms[i].y = (double)((s >> 16) & 1023) * 0.05;
+        s = s * 1103515245u + 12345u;
+        atoms[i].z = (double)((s >> 16) & 1023) * 0.05;
+        atoms[i].q = ((i & 1) ? 1.0 : -1.0) * 0.4;
+        atoms[i].fx = 0.0;
+        atoms[i].fy = 0.0;
+        atoms[i].fz = 0.0;
+        atoms[i].serial = i;
+        atoms[i].next = (i + 1 < NATOMS) ? &atoms[i + 1] : NULL;
+        for (j = 0; j < NEIGHBORS; j++) {
+            s = s * 1103515245u + 12345u;
+            neighbor[i][j] = (int)((s >> 16) % NATOMS);
+        }
+    }
+    for (i = 0; i < 16; i++) vendor_units[i] = 1.0 + (double)i * 0.125;
+}
+
+void forces(void) {
+    int i, j;
+    for (i = 0; i < NATOMS; i++) {
+        struct atom *a = &atoms[i];
+        double fx = 0.0, fy = 0.0, fz = 0.0;
+        for (j = 0; j < NEIGHBORS; j++) {
+            struct atom *b = &atoms[neighbor[i][j]];
+            double dx = a->x - b->x;
+            double dy = a->y - b->y;
+            double dz = a->z - b->z;
+            double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+            double inv = a->q * b->q / (r2 * r2);
+            fx += dx * inv;
+            fy += dy * inv;
+            fz += dz * inv;
+        }
+        /* Occasional unit conversion through the vendor library's table
+         * (library-owned storage, wide bounds for Low-Fat Pointers). */
+        if ((i & 3) == 0) {
+            double conv = vendor_units[i & 15];
+            fx *= conv;
+            fy *= conv;
+            fz *= conv;
+        }
+        a->fx = fx;
+        a->fy = fy;
+        a->fz = fz;
+    }
+}
+
+void integrate(double dt) {
+    struct atom *a = atoms;
+    while (a != NULL) {
+        a->x += a->fx * dt;
+        a->y += a->fy * dt;
+        a->z += a->fz * dt;
+        a = a->next;
+    }
+}
+
+int main() {
+    int t, i;
+    double energy = 0.0;
+    setup();
+    for (t = 0; t < STEPS; t++) {
+        forces();
+        integrate(0.002);
+    }
+    for (i = 0; i < NATOMS; i++) {
+        energy += atoms[i].x + atoms[i].y + atoms[i].z;
+    }
+    printf("ammp: energy=%.5f serial=%d\n", energy, atoms[NATOMS - 1].serial);
+    free(atoms);
+    return 0;
+}

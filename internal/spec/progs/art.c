@@ -1,0 +1,98 @@
+/* 179.art stand-in: Adaptive Resonance Theory neural network for image
+ * recognition — double-precision weight matrices scanned repeatedly, the
+ * classic clean float workload. No unsafe features: both instrumentations
+ * keep every access fully checked (Table 2: 0.00%* / 0.00%). */
+
+#include <stdio.h>
+
+#define F1_SIZE 400
+#define F2_SIZE 24
+#define SCANS 40
+
+double f1_activation[F1_SIZE];
+double bus[F2_SIZE][F1_SIZE];  /* bottom-up weights */
+double tds[F2_SIZE][F1_SIZE];  /* top-down weights */
+double f2_out[F2_SIZE];
+
+void init_weights(void) {
+    int i, j;
+    unsigned int s = 12345u;
+    for (i = 0; i < F2_SIZE; i++) {
+        for (j = 0; j < F1_SIZE; j++) {
+            s = s * 1103515245u + 12345u;
+            bus[i][j] = (double)((s >> 16) & 1023) / 1024.0;
+            tds[i][j] = bus[i][j] * 0.5;
+        }
+    }
+}
+
+void load_input(int scan) {
+    int i;
+    unsigned int s = (unsigned int)(scan * 2654435761u + 7u);
+    for (i = 0; i < F1_SIZE; i++) {
+        s = s * 1103515245u + 12345u;
+        f1_activation[i] = (double)((s >> 16) & 255) / 256.0;
+    }
+}
+
+int find_winner(void) {
+    int i, j, winner = 0;
+    double best = -1.0;
+    for (i = 0; i < F2_SIZE; i++) {
+        double sum = 0.0;
+        for (j = 0; j < F1_SIZE; j++) {
+            sum += bus[i][j] * f1_activation[j];
+        }
+        f2_out[i] = sum;
+        if (sum > best) {
+            best = sum;
+            winner = i;
+        }
+    }
+    return winner;
+}
+
+double match_degree(int winner) {
+    int j;
+    double num = 0.0, den = 1e-9;
+    for (j = 0; j < F1_SIZE; j++) {
+        double t = tds[winner][j] * f1_activation[j];
+        num += t;
+        den += f1_activation[j];
+    }
+    return num / den;
+}
+
+void learn(int winner) {
+    int j;
+    double m = match_degree(winner);
+    for (j = 0; j < F1_SIZE; j++) {
+        tds[winner][j] = 0.8 * tds[winner][j] + 0.2 * f1_activation[j];
+        bus[winner][j] = tds[winner][j] / (0.5 + m * 0.01);
+    }
+}
+
+int main() {
+    int scan;
+    long histogram[F2_SIZE];
+    double vigilance_sum = 0.0;
+    int i;
+    for (i = 0; i < F2_SIZE; i++) histogram[i] = 0;
+    init_weights();
+    for (scan = 0; scan < SCANS; scan++) {
+        int winner;
+        load_input(scan);
+        winner = find_winner();
+        vigilance_sum += match_degree(winner);
+        if (match_degree(winner) > 0.3) {
+            learn(winner);
+        }
+        histogram[winner]++;
+    }
+    {
+        long spread = 0;
+        for (i = 0; i < F2_SIZE; i++) spread += histogram[i] * (long)(i + 1);
+        printf("art: vigilance=%.4f spread=%ld\n", vigilance_sum, spread);
+    }
+    return 0;
+}

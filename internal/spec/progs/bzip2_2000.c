@@ -1,0 +1,110 @@
+/* 256.bzip2 stand-in: block-sorting compression front end — suffix-style
+ * sorting, move-to-front and run-length coding over a block buffer. The
+ * sorting inner loops touch the same buffer locations repeatedly inside one
+ * basic block, which is why the dominance-based check elimination removes
+ * around half of this benchmark's checks (Section 5.3 reports up to 50%). */
+
+#include <stdio.h>
+
+#define BLOCK 9000
+#define RADIX 256
+
+unsigned char block[BLOCK + 64];
+int ptr_arr[BLOCK];
+int ftab[RADIX + 1];
+unsigned char mtf_table[RADIX];
+
+void fill_block(void) {
+    int i;
+    unsigned int s = 616u;
+    for (i = 0; i < BLOCK; i++) {
+        s = s * 1103515245u + 12345u;
+        if ((s >> 29) < 3 && i > 64) {
+            block[i] = block[i - 33];
+        } else {
+            block[i] = (unsigned char)('a' + ((s >> 16) % 16));
+        }
+    }
+    for (i = BLOCK; i < BLOCK + 64; i++) block[i] = 0;
+}
+
+/* Bucket sort on the first byte, then insertion-sort small buckets by
+ * comparing suffixes. Each comparison re-reads block[a+k] and block[b+k] in
+ * the same basic block — dominated checks galore. */
+void sort_block(void) {
+    int i, b;
+    for (i = 0; i <= RADIX; i++) ftab[i] = 0;
+    for (i = 0; i < BLOCK; i++) ftab[block[i] + 1]++;
+    for (i = 1; i <= RADIX; i++) ftab[i] += ftab[i - 1];
+    for (i = 0; i < BLOCK; i++) {
+        int c = block[i];
+        ptr_arr[ftab[c]] = i;
+        ftab[c]++;
+    }
+    /* Restore ftab starts. */
+    for (i = RADIX; i > 0; i--) ftab[i] = ftab[i - 1];
+    ftab[0] = 0;
+
+    for (b = 0; b < RADIX; b++) {
+        int lo = ftab[b], hi = (b + 1 <= RADIX) ? ftab[b + 1] : BLOCK;
+        int j, k;
+        if (hi - lo > 400) { hi = lo + 400; } /* cap pathological buckets */
+        for (j = lo + 1; j < hi; j++) {
+            int v = ptr_arr[j];
+            k = j - 1;
+            while (k >= lo) {
+                int a = ptr_arr[k];
+                int depth = 0;
+                int cmp = 0;
+                while (depth < 24) {
+                    int ca = block[a + depth];
+                    int cb = block[v + depth];
+                    if (ca != cb) { cmp = ca - cb; break; }
+                    depth++;
+                }
+                if (cmp <= 0) break;
+                ptr_arr[k + 1] = a;
+                k--;
+            }
+            ptr_arr[k + 1] = v;
+        }
+    }
+}
+
+long mtf_and_rle(void) {
+    int i;
+    long out = 0;
+    int run = 0;
+    for (i = 0; i < RADIX; i++) mtf_table[i] = (unsigned char)i;
+    for (i = 0; i < BLOCK; i++) {
+        unsigned char c = block[ptr_arr[i] % BLOCK];
+        int j = 0;
+        while (mtf_table[j] != c) j++;
+        /* Move to front. */
+        while (j > 0) {
+            mtf_table[j] = mtf_table[j - 1];
+            j--;
+        }
+        mtf_table[0] = c;
+        if (c == mtf_table[0] && i > 0 && block[ptr_arr[i] % BLOCK] == block[ptr_arr[i - 1] % BLOCK]) {
+            run++;
+        } else {
+            out += run > 3 ? 2 : run;
+            run = 0;
+            out++;
+        }
+    }
+    return out + run;
+}
+
+int main() {
+    long out;
+    long check = 0;
+    int i;
+    fill_block();
+    sort_block();
+    out = mtf_and_rle();
+    for (i = 0; i < BLOCK; i += 97) check += ptr_arr[i] * (long)(i % 7 + 1);
+    printf("bzip2: out=%ld check=%ld first=%d\n", out, check, ptr_arr[0]);
+    return 0;
+}

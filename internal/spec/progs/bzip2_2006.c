@@ -1,0 +1,96 @@
+/* 401.bzip2 stand-in: the CPU2006 variant of block compression — Huffman
+ * cost modelling over grouped symbol frequencies plus run-length encoding.
+ * A clean benchmark: 0.00%* unsafe dereferences for SoftBound and 0.00 for
+ * Low-Fat Pointers in Table 2. */
+
+#include <stdio.h>
+
+#define DATA 30000
+#define SYMS 258
+#define GROUPS 6
+#define ROUNDS 3
+
+unsigned char data[DATA];
+int freq[GROUPS][SYMS];
+unsigned char len_table[GROUPS][SYMS];
+int rfreq[SYMS];
+
+void gen_data(int round) {
+    int i;
+    unsigned int s = (unsigned int)(round * 2654435761u + 13u);
+    for (i = 0; i < DATA; i++) {
+        s = s * 1103515245u + 12345u;
+        if ((s >> 28) < 9 && i > 8) {
+            data[i] = data[i - 5];
+        } else {
+            data[i] = (unsigned char)((s >> 16) & 63);
+        }
+    }
+}
+
+long rle_pass(void) {
+    int i = 0;
+    long out = 0;
+    for (i = 0; i < SYMS; i++) rfreq[i] = 0;
+    i = 0;
+    while (i < DATA) {
+        int run = 1;
+        while (i + run < DATA && data[i + run] == data[i] && run < 255) run++;
+        if (run >= 4) {
+            rfreq[data[i]] += 4;
+            rfreq[256] += 1; /* run marker */
+            out += 5;
+        } else {
+            rfreq[data[i]] += run;
+            out += run;
+        }
+        i += run;
+    }
+    return out;
+}
+
+void assign_lengths(void) {
+    int g, s;
+    for (g = 0; g < GROUPS; g++) {
+        for (s = 0; s < SYMS; s++) {
+            int f = rfreq[s] + g * 3;
+            int bits = 1;
+            while (f > 0) { f >>= 2; bits++; }
+            len_table[g][s] = (unsigned char)(16 - (bits > 15 ? 15 : bits));
+            freq[g][s] = 0;
+        }
+    }
+}
+
+long code_cost(void) {
+    long cost = 0;
+    int i, g;
+    int group = 0;
+    for (i = 0; i < DATA; i += 50) {
+        int end = i + 50 < DATA ? i + 50 : DATA;
+        long best = 1 << 30;
+        int bestg = 0, j;
+        for (g = 0; g < GROUPS; g++) {
+            long c = 0;
+            for (j = i; j < end; j++) c += len_table[g][data[j]];
+            if (c < best) { best = c; bestg = g; }
+        }
+        group = bestg;
+        for (j = i; j < end; j++) freq[group][data[j]]++;
+        cost += best;
+    }
+    return cost;
+}
+
+int main() {
+    int round;
+    long total = 0;
+    for (round = 0; round < ROUNDS; round++) {
+        gen_data(round);
+        total += rle_pass();
+        assign_lengths();
+        total += code_cost();
+    }
+    printf("bzip2_06: total=%ld marker=%d\n", total, rfreq[256]);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/* 186.crafty stand-in: bitboard chess move generation — 64-bit integer
+ * manipulation against fixed-size global lookup tables. Nearly every checked
+ * access has a global-allocation witness that both approaches derive for
+ * free, so the benchmark isolates pure check cost; the SoftBound check
+ * (Figure 2) needs fewer instructions than the Low-Fat check (Figure 5),
+ * which is why SoftBound outperforms Low-Fat Pointers here (Section 5.2). */
+
+#include <stdio.h>
+
+#define POSITIONS 60
+#define PLY 3
+
+unsigned long knight_attacks[64];
+unsigned long king_attacks[64];
+unsigned long file_mask[8];
+unsigned long rank_mask[8];
+int center_bonus[64];
+int popcount_table[65536];
+
+int popcnt(unsigned long b) {
+    return popcount_table[b & 0xffff] +
+           popcount_table[(b >> 16) & 0xffff] +
+           popcount_table[(b >> 32) & 0xffff] +
+           popcount_table[(b >> 48) & 0xffff];
+}
+
+void init_tables(void) {
+    int sq, i;
+    for (i = 0; i < 65536; i++) {
+        int c = 0, v = i;
+        while (v) { c += v & 1; v >>= 1; }
+        popcount_table[i] = c;
+    }
+    for (i = 0; i < 8; i++) {
+        file_mask[i] = 0x0101010101010101ul << i;
+        rank_mask[i] = 0xfful << (i * 8);
+    }
+    for (sq = 0; sq < 64; sq++) {
+        int r = sq / 8, f = sq % 8;
+        unsigned long n = 0, k = 0;
+        int dr, df;
+        for (dr = -2; dr <= 2; dr++) {
+            for (df = -2; df <= 2; df++) {
+                int rr = r + dr, ff = f + df;
+                if (rr < 0 || rr > 7 || ff < 0 || ff > 7) continue;
+                if (dr * dr + df * df == 5) n |= 1ul << (rr * 8 + ff);
+                if (dr >= -1 && dr <= 1 && df >= -1 && df <= 1 && (dr || df))
+                    k |= 1ul << (rr * 8 + ff);
+            }
+        }
+        knight_attacks[sq] = n;
+        king_attacks[sq] = k;
+        center_bonus[sq] = 8 - (abs(2 * r - 7) + abs(2 * f - 7)) / 2;
+    }
+}
+
+int evaluate(unsigned long own, unsigned long enemy) {
+    int score = 0, sq;
+    unsigned long b = own;
+    while (b) {
+        sq = popcnt((b & (0ul - b)) - 1ul); /* index of lowest set bit */
+        score += center_bonus[sq];
+        score += popcnt(knight_attacks[sq] & ~own) * 2;
+        score += popcnt(king_attacks[sq] & enemy) * 3;
+        score -= popcnt(file_mask[sq % 8] & enemy);
+        b &= b - 1ul;
+    }
+    return score;
+}
+
+int search(unsigned long own, unsigned long enemy, int depth) {
+    int best = -32768, moves = 0, sq;
+    unsigned long b;
+    if (depth == 0) return evaluate(own, enemy);
+    b = own;
+    while (b && moves < 6) {
+        unsigned long from = b & (0ul - b);
+        unsigned long targets;
+        sq = popcnt(from - 1ul);
+        targets = knight_attacks[sq] & ~own;
+        while (targets && moves < 6) {
+            unsigned long to = targets & (0ul - targets);
+            int v = -search((enemy & ~to), (own & ~from) | to, depth - 1);
+            if (v > best) best = v;
+            moves++;
+            targets &= targets - 1ul;
+        }
+        b &= b - 1ul;
+    }
+    if (moves == 0) return evaluate(own, enemy);
+    return best;
+}
+
+int main() {
+    int pos;
+    long total = 0;
+    unsigned int s = 20251u;
+    init_tables();
+    for (pos = 0; pos < POSITIONS; pos++) {
+        unsigned long own, enemy;
+        s = s * 1103515245u + 12345u;
+        own = ((unsigned long)s << 32) | (s * 2654435761u);
+        s = s * 1103515245u + 12345u;
+        enemy = (((unsigned long)s << 32) | (s * 40503u)) & ~own;
+        own &= 0x00fffffffffff00ul;
+        enemy &= 0x00fffffffffff00ul & ~own;
+        total += search(own, enemy, PLY);
+    }
+    printf("crafty: total=%ld\n", total);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/* 183.equake stand-in: earthquake wave propagation — sparse matrix-vector
+ * products over a 3D structure accessed through pointer-to-pointer arrays
+ * (disp[i][j] is a double*). The hot loop LOADS POINTERS FROM MEMORY on
+ * every iteration: SoftBound must look up bounds in its metadata trie for
+ * each loaded pointer, while Low-Fat Pointers just recompute the base from
+ * the value — this benchmark is where SoftBound loses most clearly in
+ * Figure 9 of the paper. */
+
+#include <stdio.h>
+
+#define NODES 600
+#define DEGREE 9
+#define TIMESTEPS 45
+
+/* K[i] -> array of row pointers; each row is a double[DEGREE]. */
+double **K;
+int **col_index;
+double *disp;
+double *disp_new;
+double *vel;
+
+void setup(void) {
+    int i, j;
+    unsigned int s = 4242u;
+    K = (double **)malloc(NODES * sizeof(double *));
+    col_index = (int **)malloc(NODES * sizeof(int *));
+    disp = (double *)malloc(NODES * sizeof(double));
+    disp_new = (double *)malloc(NODES * sizeof(double));
+    vel = (double *)malloc(NODES * sizeof(double));
+    for (i = 0; i < NODES; i++) {
+        K[i] = (double *)malloc(DEGREE * sizeof(double));
+        col_index[i] = (int *)malloc(DEGREE * sizeof(int));
+        for (j = 0; j < DEGREE; j++) {
+            s = s * 1103515245u + 12345u;
+            K[i][j] = ((double)((s >> 16) & 255) - 128.0) / 2048.0;
+            s = s * 1103515245u + 12345u;
+            col_index[i][j] = (int)((s >> 16) % NODES);
+        }
+        disp[i] = (double)(i % 17) * 0.01;
+        disp_new[i] = 0.0;
+        vel[i] = 0.0;
+    }
+}
+
+/* One simulation step: y = K * x, then integrate. The inner loop loads the
+ * row pointers K[i] and col_index[i] from memory each iteration. */
+void smvp_step(double dt) {
+    int i, j;
+    for (i = 0; i < NODES; i++) {
+        double *row = K[i];
+        int *cols = col_index[i];
+        double sum = 0.0;
+        for (j = 0; j < DEGREE; j++) {
+            sum += row[j] * disp[cols[j]];
+        }
+        vel[i] = vel[i] * 0.98 + sum * dt;
+        disp_new[i] = disp[i] + vel[i] * dt;
+    }
+    /* Swap displacement vectors (pointer values travel through memory). */
+    {
+        double *tmp = disp;
+        disp = disp_new;
+        disp_new = tmp;
+    }
+}
+
+int main() {
+    int t, i;
+    double energy = 0.0;
+    setup();
+    for (t = 0; t < TIMESTEPS; t++) {
+        smvp_step(0.04);
+    }
+    for (i = 0; i < NODES; i++) energy += disp[i] * disp[i] + vel[i] * vel[i];
+    printf("equake: energy=%.6f disp0=%.6f\n", energy, disp[0]);
+    return 0;
+}

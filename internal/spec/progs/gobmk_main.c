@@ -1,0 +1,108 @@
+/* 445.gobmk stand-in: Go board pattern matching and liberty counting —
+ * flood fills over a board array plus pattern-table scans. The influence
+ * cache is declared here as a size-zero extern (defined in gobmk_tables.c)
+ * and consulted on a minority of moves: SoftBound checks those accesses
+ * with wide bounds (0.66% in Table 2). */
+
+#include <stdio.h>
+
+#define BOARD 19
+#define SQ (BOARD * BOARD)
+#define GAMES 3
+#define MOVES_PER_GAME 260
+
+extern float influence_cache[];
+void influence_reset(void);
+
+int board[SQ];
+int marks[SQ];
+int stack_arr[SQ];
+unsigned int rng;
+
+int trand(int mod) {
+    rng = rng * 1103515245u + 12345u;
+    return (int)((rng >> 16) % (unsigned int)mod);
+}
+
+int count_liberties(int start, int color) {
+    int sp = 0, libs = 0, i;
+    for (i = 0; i < SQ; i++) marks[i] = 0;
+    stack_arr[sp] = start;
+    sp++;
+    marks[start] = 1;
+    while (sp > 0) {
+        int pos, r, c;
+        sp--;
+        pos = stack_arr[sp];
+        r = pos / BOARD;
+        c = pos % BOARD;
+        {
+            int dr[4];
+            int dc[4];
+            int d;
+            dr[0] = 1; dr[1] = -1; dr[2] = 0; dr[3] = 0;
+            dc[0] = 0; dc[1] = 0; dc[2] = 1; dc[3] = -1;
+            for (d = 0; d < 4; d++) {
+                int nr = r + dr[d], nc = c + dc[d], np;
+                if (nr < 0 || nr >= BOARD || nc < 0 || nc >= BOARD) continue;
+                np = nr * BOARD + nc;
+                if (marks[np]) continue;
+                marks[np] = 1;
+                if (board[np] == 0) {
+                    libs++;
+                } else if (board[np] == color) {
+                    stack_arr[sp] = np;
+                    sp++;
+                }
+            }
+        }
+    }
+    return libs;
+}
+
+int play_game(int game) {
+    int m, score = 0;
+    int i;
+    rng = (unsigned int)(game * 2654435761u + 445u);
+    for (i = 0; i < SQ; i++) board[i] = 0;
+    for (m = 0; m < MOVES_PER_GAME; m++) {
+        int color = (m & 1) + 1;
+        int pos = trand(SQ);
+        int tries = 0;
+        while (board[pos] != 0 && tries < 8) {
+            pos = trand(SQ);
+            tries++;
+        }
+        if (board[pos] != 0) continue;
+        board[pos] = color;
+        {
+            int libs = count_liberties(pos, color);
+            if (libs == 0) {
+                board[pos] = 0; /* suicide, undo */
+                continue;
+            }
+            score += (color == 1) ? libs : -libs;
+            /* Influence cache consultation on tactical moves only. */
+            if (libs <= 2) {
+                int k;
+                float inf = 0.0f;
+                for (k = 0; k < 12; k++) {
+                    inf += influence_cache[(pos + k * 37) % SQ];
+                }
+                if (inf > 0.5f) score += 1;
+            }
+        }
+    }
+    return score;
+}
+
+int main() {
+    int g;
+    long total = 0;
+    influence_reset();
+    for (g = 0; g < GAMES; g++) {
+        total += play_game(g);
+    }
+    printf("gobmk: total=%ld corner=%d\n", total, board[0]);
+    return 0;
+}

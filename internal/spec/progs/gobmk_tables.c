@@ -1,0 +1,13 @@
+/* 445.gobmk stand-in, translation unit 2: the influence cache that the main
+ * unit declares without size information. */
+
+#define SQ (19 * 19)
+
+float influence_cache[SQ];
+
+void influence_reset(void) {
+    int i;
+    for (i = 0; i < SQ; i++) {
+        influence_cache[i] = (float)((i * 31) % 100) * 0.01f;
+    }
+}

@@ -1,0 +1,131 @@
+/* 164.gzip stand-in: LZ77-style compression over a deterministic input.
+ * The work arrays live in gzip_tables.c and are declared here WITHOUT size
+ * information ("extern unsigned char window[];"), as the original gzip
+ * sources do. When compiled separately, SoftBound cannot derive bounds for
+ * them and (with -mi-sb-size-zero-wide-upper) uses wide bounds — Table 2 of
+ * the paper reports 61.71% unsafe dereferences for this benchmark. Low-Fat
+ * Pointers place the defining unit's arrays into low-fat sections and keep
+ * full protection. */
+
+#include <stdio.h>
+
+#define WSIZE 32768
+#define WMASK (WSIZE - 1)
+#define HASH_SIZE 8192
+#define HASH_MASK (HASH_SIZE - 1)
+#define MIN_MATCH 3
+#define MAX_MATCH 64
+#define INPUT_ROUNDS 2
+
+extern unsigned char window[];
+extern unsigned short prev[];
+extern int head[];
+extern unsigned int crc_table[];
+void init_crc_table(void);
+
+unsigned int crc;
+long total_in;
+long total_out;
+
+/* Staging input and token output buffers: regular sized globals, fully
+ * protected by both approaches (unlike the size-zero-declared work arrays
+ * above). */
+unsigned char inbuf[WSIZE];
+unsigned char outbuf[WSIZE];
+long outpos;
+
+int hash3(int pos) {
+    int h = window[pos & WMASK];
+    h = ((h << 5) ^ window[(pos + 1) & WMASK]) & HASH_MASK;
+    h = ((h << 5) ^ window[(pos + 2) & WMASK]) & HASH_MASK;
+    return h;
+}
+
+void fill_window(unsigned int seed, int n) {
+    int i;
+    unsigned int state = seed;
+    for (i = 0; i < n; i++) {
+        state = state * 1103515245u + 12345u;
+        /* Mix in runs so the matcher actually finds matches. */
+        if ((state >> 28) < 6 && i > 256) {
+            inbuf[i & WMASK] = inbuf[(i - 200) & WMASK];
+        } else {
+            inbuf[i & WMASK] = (unsigned char)((state >> 16) & 0x3f);
+        }
+    }
+    for (i = 0; i < n; i++) {
+        window[i & WMASK] = inbuf[i & WMASK];
+    }
+}
+
+void emit_token(unsigned char tag, unsigned char payload) {
+    outbuf[outpos & WMASK] = tag;
+    outbuf[(outpos + 1) & WMASK] = payload;
+    outpos += 2;
+}
+
+int longest_match(int pos, int chain_head, int *match_start) {
+    int best = MIN_MATCH - 1;
+    int cur = chain_head;
+    int chain = 24;
+    while (cur > 0 && chain-- > 0) {
+        int len = 0;
+        while (len < MAX_MATCH &&
+               window[(cur + len) & WMASK] == window[(pos + len) & WMASK]) {
+            len++;
+        }
+        if (len > best) {
+            best = len;
+            *match_start = cur;
+            if (len >= MAX_MATCH) break;
+        }
+        cur = prev[cur & WMASK];
+    }
+    return best;
+}
+
+int deflate_block(int n) {
+    int pos = 0;
+    int literals = 0;
+    int matches = 0;
+    while (pos < n - MAX_MATCH) {
+        int h = hash3(pos);
+        int cand = head[h];
+        prev[pos & WMASK] = (unsigned short)(cand > 0 ? cand : 0);
+        head[h] = pos;
+        if (cand > 0 && pos - cand < WSIZE - MAX_MATCH) {
+            int start = 0;
+            int len = longest_match(pos, cand, &start);
+            if (len >= MIN_MATCH) {
+                matches++;
+                total_out += 3;
+                emit_token(255, (unsigned char)len);
+                crc = crc_table[(crc ^ (unsigned int)len) & 0xff] ^ (crc >> 8);
+                pos += len;
+                continue;
+            }
+        }
+        literals++;
+        total_out += 1;
+        emit_token(0, window[pos & WMASK]);
+        crc = crc_table[(crc ^ window[pos & WMASK]) & 0xff] ^ (crc >> 8);
+        pos++;
+    }
+    total_in += pos;
+    return matches * 65536 + literals;
+}
+
+int main() {
+    int round;
+    long checksum = 0;
+    init_crc_table();
+    crc = 0xffffffffu;
+    for (round = 0; round < INPUT_ROUNDS; round++) {
+        int i;
+        for (i = 0; i < HASH_SIZE; i++) head[i] = 0;
+        fill_window((unsigned int)(round * 2654435761u + 1u), WSIZE);
+        checksum += deflate_block(WSIZE);
+    }
+    printf("gzip: in=%ld out=%ld crc=%u check=%ld\n", total_in, total_out, crc, checksum);
+    return 0;
+}

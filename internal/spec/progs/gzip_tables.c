@@ -1,0 +1,30 @@
+/* 164.gzip stand-in, translation unit 2: definitions of the work arrays.
+ * The companion unit declares these arrays as size-zero externs, the
+ * pattern that deprives SoftBound of bounds information (Section 4.3 of
+ * the paper). */
+
+#define WSIZE 32768
+#define HASH_SIZE 8192
+
+unsigned char window[WSIZE];
+unsigned short prev[WSIZE];
+int head[HASH_SIZE];
+
+/* CRC table: a regular sized global, initialized at startup. */
+unsigned int crc_table[256];
+
+void init_crc_table(void) {
+    unsigned int c;
+    int n, k;
+    for (n = 0; n < 256; n++) {
+        c = (unsigned int)n;
+        for (k = 0; k < 8; k++) {
+            if (c & 1) {
+                c = 0xedb88320u ^ (c >> 1);
+            } else {
+                c = c >> 1;
+            }
+        }
+        crc_table[n] = c;
+    }
+}

@@ -1,0 +1,103 @@
+/* 464.h264ref stand-in: video encoding — motion estimation over macroblock
+ * rows with a picture structure built of row-pointer arrays. Every frame
+ * rebuilds the row-pointer tables (many pointer STORES to memory), so
+ * SoftBound spends a large share of its overhead maintaining the metadata
+ * trie — 464.h264ref is one of the two benchmarks where Figure 10 shows
+ * invariants dominating. Clean in Table 2 (0.00%* / 0.00). */
+
+#include <stdio.h>
+
+#define W 96
+#define H 64
+#define BLK 8
+#define FRAMES 2
+#define SEARCH 6
+
+unsigned char frame_data[2][H][W];
+unsigned char *cur_rows[H];
+unsigned char *ref_rows[H];
+
+void gen_frame(int f, int t) {
+    int x, y;
+    unsigned int s = (unsigned int)(t * 2654435761u + 464u);
+    for (y = 0; y < H; y++) {
+        for (x = 0; x < W; x++) {
+            int base = (x + t * 3) & 63;
+            s = s * 1103515245u + 12345u;
+            frame_data[f][y][x] = (unsigned char)(base + ((s >> 20) & 15));
+        }
+    }
+}
+
+/* Rebuild the row-pointer tables: H pointer stores per frame per table. */
+void setup_rows(int cur, int ref) {
+    int y;
+    for (y = 0; y < H; y++) {
+        cur_rows[y] = &frame_data[cur][y][0];
+        ref_rows[y] = &frame_data[ref][y][0];
+    }
+}
+
+/* Per-candidate line cache, re-pointed before every SAD computation the way
+ * the reference encoder repopulates its UMV line pointers. The 2*BLK pointer
+ * stores per candidate are what make SoftBound's metadata maintenance (and
+ * Low-Fat's escape checks) dominate this benchmark's overhead (Figures 10
+ * and 11 of the paper). */
+unsigned char *line_cache[2 * BLK];
+
+void point_lines(int cy, int ry) {
+    int dy;
+    for (dy = 0; dy < BLK; dy++) {
+        line_cache[dy] = cur_rows[cy + dy];
+        line_cache[BLK + dy] = ref_rows[ry + dy];
+    }
+}
+
+int sad_block(int cx, int rx) {
+    int dx, dy, sad = 0;
+    for (dy = 0; dy < BLK; dy++) {
+        unsigned char *c = line_cache[dy];
+        unsigned char *r = line_cache[BLK + dy];
+        for (dx = 0; dx < BLK; dx++) {
+            int d = (int)c[cx + dx] - (int)r[rx + dx];
+            sad += d < 0 ? -d : d;
+        }
+    }
+    return sad;
+}
+
+long motion_estimate(void) {
+    int bx, by;
+    long total = 0;
+    for (by = 0; by + BLK <= H; by += BLK) {
+        for (bx = 0; bx + BLK <= W; bx += BLK) {
+            int best = 1 << 30;
+            int mx, my;
+            for (my = -SEARCH; my <= SEARCH; my += 2) {
+                for (mx = -SEARCH; mx <= SEARCH; mx += 2) {
+                    int rx = bx + mx, ry = by + my;
+                    int sad;
+                    if (rx < 0 || ry < 0 || rx + BLK > W || ry + BLK > H) continue;
+                    point_lines(by, ry);
+                    sad = sad_block(bx, rx);
+                    if (sad < best) best = sad;
+                }
+            }
+            total += best;
+        }
+    }
+    return total;
+}
+
+int main() {
+    int t;
+    long bits = 0;
+    gen_frame(0, 0);
+    for (t = 1; t <= FRAMES; t++) {
+        gen_frame(t & 1, t);
+        setup_rows(t & 1, (t + 1) & 1);
+        bits += motion_estimate();
+    }
+    printf("h264ref: bits=%ld probe=%d\n", bits, (int)cur_rows[1][2]);
+    return 0;
+}

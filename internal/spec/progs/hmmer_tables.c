@@ -1,0 +1,7 @@
+/* 456.hmmer stand-in, translation unit 2: null-model table declared
+ * size-zero in the main unit. */
+
+int null_model[20] = {
+    1, -2, 3, -1, 2, 0, -3, 1, 2, -1,
+    0, 3, -2, 1, -1, 2, 0, -2, 1, 3,
+};

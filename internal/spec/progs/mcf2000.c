@@ -1,0 +1,125 @@
+/* 181.mcf stand-in: minimum-cost-flow-style network traversal over node and
+ * arc structs. The original stores a pointer in a struct member of integer
+ * type; Section 5.1.2 of the paper describes fixing the member to a proper
+ * pointer type so SoftBound's metadata stays coherent. This is the FIXED
+ * version (the broken pattern lives in the usability test suite). Both
+ * columns of Table 2 are 0.00 for this benchmark. */
+
+#include <stdio.h>
+
+#define NNODES 1200
+#define NARCS 7000
+#define ITERATIONS 30
+
+struct node {
+    long potential;
+    int depth;
+    struct node *parent;
+    struct arc *basic_arc;   /* was "long basic_arc" in the original */
+    struct arc *first_out;
+};
+
+struct arc {
+    long cost;
+    long flow;
+    struct node *tail;
+    struct node *head;
+    struct arc *next_out;
+};
+
+struct node *nodes;
+struct arc *arcs;
+
+void build_network(void) {
+    int i;
+    unsigned int s = 777u;
+    nodes = (struct node *)malloc(NNODES * sizeof(struct node));
+    arcs = (struct arc *)malloc(NARCS * sizeof(struct arc));
+    for (i = 0; i < NNODES; i++) {
+        nodes[i].potential = 0;
+        nodes[i].depth = 0;
+        nodes[i].parent = NULL;
+        nodes[i].basic_arc = NULL;
+        nodes[i].first_out = NULL;
+    }
+    for (i = 0; i < NARCS; i++) {
+        int t, h;
+        s = s * 1103515245u + 12345u;
+        t = (int)((s >> 16) % NNODES);
+        s = s * 1103515245u + 12345u;
+        h = (int)((s >> 16) % NNODES);
+        if (h == t) h = (h + 1) % NNODES;
+        arcs[i].cost = (long)((s >> 8) & 1023) - 512;
+        arcs[i].flow = 0;
+        arcs[i].tail = &nodes[t];
+        arcs[i].head = &nodes[h];
+        arcs[i].next_out = nodes[t].first_out;
+        nodes[t].first_out = &arcs[i];
+    }
+}
+
+/* Price out all arcs against node potentials; pick the most negative. */
+struct arc *find_entering(void) {
+    int i;
+    long best = -1;
+    struct arc *entering = NULL;
+    for (i = 0; i < NARCS; i++) {
+        struct arc *a = &arcs[i];
+        long reduced = a->cost + a->tail->potential - a->head->potential;
+        if (reduced < 0) {
+            long mag = -reduced;
+            if (mag > best) {
+                best = mag;
+                entering = a;
+            }
+        }
+    }
+    return entering;
+}
+
+/* Push flow along the entering arc and update tree potentials by walking
+ * parent chains. */
+void pivot(struct arc *enter, int round) {
+    struct node *n = enter->head;
+    int hops = 0;
+    enter->flow += 1;
+    enter->head->parent = enter->tail;
+    enter->head->basic_arc = enter;
+    while (n != NULL && hops < 64) {
+        n->potential += enter->cost / (hops + 1);
+        n->depth = hops;
+        n = n->parent;
+        hops++;
+        if (n == enter->head) break; /* cycle guard */
+    }
+    /* Re-price the outgoing arcs of the entering arc's tail. */
+    {
+        struct arc *a = enter->tail->first_out;
+        while (a != NULL) {
+            a->cost += (round & 3) - 1;
+            a = a->next_out;
+        }
+    }
+}
+
+int main() {
+    int it;
+    long checksum = 0;
+    build_network();
+    for (it = 0; it < ITERATIONS; it++) {
+        struct arc *enter = find_entering();
+        if (enter == NULL) break;
+        pivot(enter, it);
+        checksum += enter->cost;
+    }
+    {
+        int i;
+        long flowsum = 0, potsum = 0;
+        for (i = 0; i < NARCS; i++) flowsum += arcs[i].flow;
+        for (i = 0; i < NNODES; i++) potsum += nodes[i].potential;
+        printf("mcf2000: flow=%ld pot=%ld check=%ld\n", flowsum, potsum, checksum);
+    }
+    free(nodes);
+    free(arcs);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/* 429.mcf stand-in: the CPU2006 vehicle-scheduling variant, whose defining
+ * property for this paper is ONE ALLOCATION LARGER THAN THE LARGEST LOW-FAT
+ * REGION SIZE (1 GiB): the arc array below is ~1.1 GiB, so the low-fat
+ * malloc falls back to the standard allocator and every access through it
+ * is checked with wide bounds — Table 2 attributes ~54% unsafe dereferences
+ * to exactly this allocation (Section 4.6). SoftBound keeps precise bounds
+ * (0.00%*). The program only touches a window of the giant array, the way
+ * the real benchmark's working set is a fraction of its address space. */
+
+#include <stdio.h>
+
+#define ARC_BYTES 1181116006   /* ~1.1 GiB, beyond the 1 GiB max region */
+#define ARCS_USED 26000
+#define NNODES 900
+#define PASSES 7
+
+struct arc6 {
+    long cost;
+    long flow;
+    int tail;
+    int head;
+    int ident;
+    int pad;
+};
+
+struct arc6 *arcs;
+long node_potential[NNODES];
+int node_depth[NNODES];
+
+void build(void) {
+    int i;
+    unsigned int s = 2006u;
+    arcs = (struct arc6 *)malloc(ARC_BYTES);
+    for (i = 0; i < ARCS_USED; i++) {
+        s = s * 1103515245u + 12345u;
+        arcs[i].tail = (int)((s >> 16) % NNODES);
+        s = s * 1103515245u + 12345u;
+        arcs[i].head = (int)((s >> 16) % NNODES);
+        arcs[i].cost = (long)((s >> 8) & 2047) - 1024;
+        arcs[i].flow = 0;
+        arcs[i].ident = i;
+        arcs[i].pad = 0;
+    }
+    for (i = 0; i < NNODES; i++) {
+        node_potential[i] = 0;
+        node_depth[i] = 0;
+    }
+}
+
+long price_out(void) {
+    int i;
+    long pushed = 0;
+    for (i = 0; i < ARCS_USED; i++) {
+        struct arc6 *a = &arcs[i];
+        long red = a->cost + node_potential[a->tail] - node_potential[a->head];
+        if (red < 0) {
+            a->flow += 1;
+            node_potential[a->head] += red / 2 - 1;
+            node_depth[a->head] = node_depth[a->tail] + 1;
+            pushed++;
+        }
+    }
+    return pushed;
+}
+
+int main() {
+    int p, i;
+    long pushed = 0, flowsum = 0;
+    build();
+    for (p = 0; p < PASSES; p++) {
+        pushed += price_out();
+    }
+    for (i = 0; i < ARCS_USED; i++) flowsum += arcs[i].flow;
+    printf("mcf2006: pushed=%ld flow=%ld pot0=%ld\n", pushed, flowsum, node_potential[0]);
+    free(arcs);
+    return 0;
+}

@@ -1,0 +1,126 @@
+/* 177.mesa stand-in: software rasterization of shaded triangles into a
+ * framebuffer, with per-vertex transformation — the float-heavy, mostly
+ * array-based access profile of Mesa's software renderer.
+ *
+ * The "GL dispatch table" global is marked as external-library storage by
+ * the harness: Mesa applications poke at driver-owned state the same way
+ * programs use stdout/stderr (Section 4.3). Low-Fat Pointers give such
+ * storage wide bounds (1.57% of checks in Table 2); SoftBound knows its
+ * bounds from the declaration and stays fully precise (0.00%*). */
+
+#include <stdio.h>
+
+#define W 128
+#define H 96
+#define NTRI 90
+#define FRAMES 1
+
+float framebuffer[W * H];
+float depthbuffer[W * H];
+
+/* Driver-owned state (uninstrumented library storage). */
+int gl_dispatch_table[256];
+
+/* Texture memory: a regular application global. */
+float texture[1024];
+
+struct vertex {
+    float x, y, z;
+    float shade;
+};
+
+struct vertex verts[NTRI * 3];
+
+float fmin3(float a, float b, float c) {
+    float m = a;
+    if (b < m) m = b;
+    if (c < m) m = c;
+    return m;
+}
+
+float fmax3(float a, float b, float c) {
+    float m = a;
+    if (b > m) m = b;
+    if (c > m) m = c;
+    return m;
+}
+
+void gen_vertices(int frame) {
+    int i;
+    unsigned int s = (unsigned int)(frame * 2246822519u + 3u);
+    for (i = 0; i < NTRI * 3; i++) {
+        s = s * 1103515245u + 12345u;
+        verts[i].x = (float)((s >> 16) % W);
+        s = s * 1103515245u + 12345u;
+        verts[i].y = (float)((s >> 16) % H);
+        s = s * 1103515245u + 12345u;
+        verts[i].z = (float)((s >> 16) & 1023) * 0.001f;
+        verts[i].shade = 0.25f + (float)(i % 7) * 0.1f;
+        /* Occasional dispatch-table consultation, like state queries. */
+        if ((i & 31) == 0) {
+            gl_dispatch_table[(i >> 5) & 255] = (int)s;
+        }
+    }
+}
+
+int edge(float ax, float ay, float bx, float by, float px, float py) {
+    float v = (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+    return v >= 0.0f;
+}
+
+int raster_triangle(struct vertex *a, struct vertex *b, struct vertex *c) {
+    int x0 = (int)fmin3(a->x, b->x, c->x);
+    int y0 = (int)fmin3(a->y, b->y, c->y);
+    int x1 = (int)fmax3(a->x, b->x, c->x);
+    int y1 = (int)fmax3(a->y, b->y, c->y);
+    int x, y, filled = 0;
+    if (x0 < 0) x0 = 0;
+    if (y0 < 0) y0 = 0;
+    if (x1 >= W) x1 = W - 1;
+    if (y1 >= H) y1 = H - 1;
+    for (y = y0; y <= y1; y++) {
+        /* Per-scanline scissor/state consultation in driver-owned storage
+         * (wide bounds for Low-Fat Pointers, Section 4.3). */
+        int scissor = gl_dispatch_table[y & 255];
+        if (scissor == 0x7fffffff) continue;
+        for (x = x0; x <= x1; x++) {
+            float px = (float)x + 0.5f;
+            float py = (float)y + 0.5f;
+            if (edge(a->x, a->y, b->x, b->y, px, py) &&
+                edge(b->x, b->y, c->x, c->y, px, py) &&
+                edge(c->x, c->y, a->x, a->y, px, py)) {
+                float z = (a->z + b->z + c->z) * 0.3333f;
+                int idx = y * W + x;
+                if (z < depthbuffer[idx]) {
+                    float tex = texture[(x * 7 + y * 13) & 1023];
+                    depthbuffer[idx] = z;
+                    framebuffer[idx] = a->shade * (0.5f + tex);
+                    filled++;
+                }
+            }
+        }
+    }
+    /* State update through the driver table. */
+    gl_dispatch_table[filled & 255] += 1;
+    return filled;
+}
+
+int main() {
+    int frame, i;
+    long pixels = 0;
+    double sum = 0.0;
+    for (i = 0; i < 1024; i++) texture[i] = (float)((i * 97) & 255) / 256.0f;
+    for (frame = 0; frame < FRAMES; frame++) {
+        for (i = 0; i < W * H; i++) {
+            framebuffer[i] = 0.0f;
+            depthbuffer[i] = 1.0e9f;
+        }
+        gen_vertices(frame);
+        for (i = 0; i < NTRI; i++) {
+            pixels += raster_triangle(&verts[i * 3], &verts[i * 3 + 1], &verts[i * 3 + 2]);
+        }
+    }
+    for (i = 0; i < W * H; i++) sum += (double)framebuffer[i];
+    printf("mesa: pixels=%ld sum=%.2f state=%d\n", pixels, sum, gl_dispatch_table[0]);
+    return 0;
+}

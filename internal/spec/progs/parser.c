@@ -1,0 +1,115 @@
+/* 197.parser stand-in: link-grammar-style dictionary parsing — hash table
+ * and linked lists built from a custom pool allocator, with many pointers
+ * stored into memory. Two paper-relevant features:
+ *
+ *   - The pool is carved out of library-owned storage ("dict_pool", marked
+ *     external by the harness), so Low-Fat Pointers use wide bounds for
+ *     accesses through it (7.14% in Table 2).
+ *   - One alignment fixup casts a pointer through long and back; with
+ *     -mi-sb-inttoptr-wide-bounds SoftBound gives such pointers wide bounds
+ *     (0.27% in Table 2; Section 4.4).
+ *
+ * The heavy pointer-store traffic makes SoftBound's metadata maintenance a
+ * large share of its overhead here (Figure 10 of the paper). */
+
+#include <stdio.h>
+
+#define POOL_SIZE 262144
+#define HASH_SIZE 4096
+#define WORDS 2600
+#define LOOKUPS 9000
+
+/* Storage owned by the (uninstrumented) dictionary library. */
+char dict_pool[POOL_SIZE];
+long pool_used;
+
+struct entry {
+    char word[20];
+    int count;
+    struct entry *next;
+};
+
+struct entry *hash_table[HASH_SIZE];
+
+char *pool_alloc(long n) {
+    char *p = dict_pool + pool_used;
+    pool_used += (n + 7) & ~7l;
+    if (pool_used > POOL_SIZE) {
+        printf("parser: pool exhausted\n");
+        exit(1);
+    }
+    return p;
+}
+
+/* Occasional pool audit: reconstructs a pool pointer through a long, the
+ * integer-to-pointer round trip of Section 4.4. With the paper's
+ * -mi-sb-inttoptr-wide-bounds configuration SoftBound checks these reads
+ * with wide bounds (the 0.27% of Table 2). */
+long pool_audit(void) {
+    long addr = (long)dict_pool;
+    char *p;
+    long sum = 0;
+    int i;
+    addr = (addr + 63) & ~63l;
+    p = (char *)addr;
+    for (i = 0; i < 256; i++) sum += p[i];
+    return sum;
+}
+
+void make_word(char *buf, unsigned int seed) {
+    int len = 3 + (int)(seed % 9);
+    int i;
+    unsigned int s = seed;
+    for (i = 0; i < len; i++) {
+        s = s * 1103515245u + 12345u;
+        buf[i] = (char)('a' + (s >> 16) % 26);
+    }
+    buf[len] = 0;
+}
+
+unsigned int hash_word(char *w) {
+    unsigned int h = 5381;
+    while (*w) {
+        h = h * 33 + (unsigned int)*w;
+        w++;
+    }
+    return h;
+}
+
+struct entry *lookup(char *w, int insert) {
+    unsigned int h = hash_word(w) & (HASH_SIZE - 1);
+    struct entry *e = hash_table[h];
+    while (e != NULL) {
+        if (strcmp(e->word, w) == 0) return e;
+        e = e->next;
+    }
+    if (!insert) return NULL;
+    e = (struct entry *)pool_alloc((long)sizeof(struct entry));
+    strcpy(e->word, w);
+    e->count = 0;
+    e->next = hash_table[h];
+    hash_table[h] = e;
+    return e;
+}
+
+int main() {
+    int i;
+    long hits = 0, total = 0, audits = 0;
+    char buf[24];
+    for (i = 0; i < WORDS; i++) {
+        make_word(buf, (unsigned int)(i * 2654435761u + 99u));
+        lookup(buf, 1)->count++;
+        if ((i & 1023) == 1023) audits += pool_audit();
+    }
+    for (i = 0; i < LOOKUPS; i++) {
+        struct entry *e;
+        make_word(buf, (unsigned int)((i % (WORDS * 2)) * 2654435761u + 99u));
+        e = lookup(buf, 0);
+        if (e != NULL) {
+            hits++;
+            total += e->count;
+        }
+    }
+    printf("parser: hits=%ld total=%ld used=%ld audits=%ld\n", hits, total, pool_used, audits);
+    return 0;
+}

@@ -1,0 +1,114 @@
+/* 458.sjeng stand-in: mailbox chess search — 0x88-style board scanning,
+ * piece-square evaluation and a small alpha-beta. The opening book hash
+ * (defined in sjeng_tables.c) is declared size-zero here and probed a
+ * handful of times at the root: nonzero but rounding-to-0.00% unsafe
+ * dereferences for SoftBound (Table 2 prints 458.sjeng bold with 0.00). */
+
+#include <stdio.h>
+
+#define POSITIONS 26
+#define DEPTH 3
+
+extern unsigned int book_hash[];
+
+int board[128];
+int piece_value[7];
+int pst[7][128];
+unsigned int rng;
+
+int trand(int mod) {
+    rng = rng * 1103515245u + 12345u;
+    return (int)((rng >> 16) % (unsigned int)mod);
+}
+
+void setup_tables(void) {
+    int p, sq;
+    piece_value[0] = 0;
+    piece_value[1] = 100;
+    piece_value[2] = 300;
+    piece_value[3] = 310;
+    piece_value[4] = 500;
+    piece_value[5] = 900;
+    piece_value[6] = 10000;
+    for (p = 0; p < 7; p++) {
+        for (sq = 0; sq < 128; sq++) {
+            int r = sq >> 4, f = sq & 7;
+            pst[p][sq] = (7 - abs(2 * r - 7)) + (7 - abs(2 * f - 7)) + p;
+        }
+    }
+}
+
+void setup_board(int n) {
+    int sq, placed = 0;
+    rng = (unsigned int)(n * 2654435761u + 458u);
+    for (sq = 0; sq < 128; sq++) board[sq] = 0;
+    while (placed < 18) {
+        int s = trand(128);
+        if ((s & 0x88) || board[s] != 0) continue;
+        board[s] = (trand(6) + 1) * (placed & 1 ? 1 : -1);
+        placed++;
+    }
+}
+
+int evaluate(int side) {
+    int sq, score = 0;
+    for (sq = 0; sq < 128; sq++) {
+        int p;
+        if (sq & 0x88) continue;
+        p = board[sq];
+        if (p == 0) continue;
+        if (p > 0) {
+            score += piece_value[p] + pst[p][sq];
+        } else {
+            score -= piece_value[-p] + pst[-p][sq];
+        }
+    }
+    return side > 0 ? score : -score;
+}
+
+int search(int side, int depth, int alpha, int beta) {
+    int sq, tried = 0;
+    if (depth == 0) return evaluate(side);
+    for (sq = 0; sq < 128 && tried < 5; sq++) {
+        int p, dir, to, cap, v;
+        if (sq & 0x88) continue;
+        p = board[sq];
+        if (p == 0 || (p > 0) != (side > 0)) continue;
+        dir = (p > 0) ? 16 : -16;
+        to = sq + dir;
+        if (to & 0x88) continue;
+        if (to < 0 || to >= 128) continue;
+        cap = board[to];
+        if (cap != 0 && (cap > 0) == (side > 0)) continue;
+        board[to] = p;
+        board[sq] = 0;
+        v = -search(-side, depth - 1, -beta, -alpha);
+        board[sq] = p;
+        board[to] = cap;
+        tried++;
+        if (v > alpha) {
+            alpha = v;
+            if (alpha >= beta) break;
+        }
+    }
+    if (tried == 0) return evaluate(side);
+    return alpha;
+}
+
+int main() {
+    int n;
+    long total = 0;
+    setup_tables();
+    for (n = 0; n < POSITIONS; n++) {
+        setup_board(n);
+        /* Root book probe: the only accesses through the size-zero
+         * declaration. */
+        if (book_hash[(unsigned int)n & 15] % 7 == 0) {
+            total += 5;
+            continue;
+        }
+        total += search(1, DEPTH, -100000, 100000);
+    }
+    printf("sjeng: total=%ld\n", total);
+    return 0;
+}

@@ -1,0 +1,10 @@
+/* 458.sjeng stand-in, translation unit 2: opening-book hash declared
+ * size-zero in the main unit. Statically initialized, so the only dynamic
+ * accesses are the rare root probes. */
+
+unsigned int book_hash[16] = {
+    0x9e3779b9u, 0x7f4a7c15u, 0x85ebca6bu, 0xc2b2ae35u,
+    0x27d4eb2fu, 0x165667b1u, 0xd3a2646cu, 0xfd7046c5u,
+    0xb55a4f09u, 0x8f462907u, 0x2545f491u, 0x4f6cdd1du,
+    0x69c2f211u, 0x39ab5c41u, 0x1b873593u, 0xcc9e2d51u,
+};

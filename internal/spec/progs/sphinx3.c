@@ -1,0 +1,108 @@
+/* 482.sphinx3 stand-in: speech decoding — Gaussian mixture scoring of
+ * feature frames against a senone codebook plus a Viterbi-ish token pass.
+ * Float-heavy with indirection through senone index arrays; clean in
+ * Table 2 (0.00%* / 0.00). */
+
+#include <stdio.h>
+
+#define FRAMES 50
+#define FEAT 13
+#define SENONES 120
+#define MIX 4
+#define TOKENS 64
+
+float means[SENONES][MIX][FEAT];
+float vars_inv[SENONES][MIX][FEAT];
+float feat[FEAT];
+float senone_score[SENONES];
+int token_state[TOKENS];
+float token_score[TOKENS];
+int transitions[TOKENS][3];
+
+void setup(void) {
+    int s, m, f, t;
+    unsigned int r = 482u;
+    for (s = 0; s < SENONES; s++) {
+        for (m = 0; m < MIX; m++) {
+            for (f = 0; f < FEAT; f++) {
+                r = r * 1103515245u + 12345u;
+                means[s][m][f] = (float)((r >> 16) & 255) / 64.0f - 2.0f;
+                vars_inv[s][m][f] = 0.5f + (float)((r >> 24) & 3) * 0.25f;
+            }
+        }
+    }
+    for (t = 0; t < TOKENS; t++) {
+        token_state[t] = t % SENONES;
+        token_score[t] = 0.0f;
+        for (m = 0; m < 3; m++) {
+            r = r * 1103515245u + 12345u;
+            transitions[t][m] = (int)((r >> 16) % TOKENS);
+        }
+    }
+}
+
+void gen_feat(int frame) {
+    int f;
+    unsigned int r = (unsigned int)(frame * 2654435761u + 31u);
+    for (f = 0; f < FEAT; f++) {
+        r = r * 1103515245u + 12345u;
+        feat[f] = (float)((r >> 16) & 255) / 64.0f - 2.0f;
+    }
+}
+
+void score_senones(void) {
+    int s, m, f;
+    for (s = 0; s < SENONES; s++) {
+        float best = -1.0e30f;
+        for (m = 0; m < MIX; m++) {
+            float d = 0.0f;
+            for (f = 0; f < FEAT; f++) {
+                float diff = feat[f] - means[s][m][f];
+                d -= diff * diff * vars_inv[s][m][f];
+            }
+            if (d > best) best = d;
+        }
+        senone_score[s] = best;
+    }
+}
+
+void token_pass(void) {
+    int t, j;
+    float new_score[TOKENS];
+    int new_state[TOKENS];
+    for (t = 0; t < TOKENS; t++) {
+        new_score[t] = -1.0e30f;
+        new_state[t] = token_state[t];
+    }
+    for (t = 0; t < TOKENS; t++) {
+        float base = token_score[t] + senone_score[token_state[t]];
+        for (j = 0; j < 3; j++) {
+            int dst = transitions[t][j];
+            float sc = base - (float)j * 0.5f;
+            if (sc > new_score[dst]) {
+                new_score[dst] = sc;
+                new_state[dst] = (token_state[t] + j + 1) % SENONES;
+            }
+        }
+    }
+    for (t = 0; t < TOKENS; t++) {
+        token_score[t] = new_score[t] * 0.999f;
+        token_state[t] = new_state[t];
+    }
+}
+
+int main() {
+    int frame, t;
+    float best = -1.0e30f;
+    setup();
+    for (frame = 0; frame < FRAMES; frame++) {
+        gen_feat(frame);
+        score_senones();
+        token_pass();
+    }
+    for (t = 0; t < TOKENS; t++) {
+        if (token_score[t] > best) best = token_score[t];
+    }
+    printf("sphinx3: best=%.3f state=%d\n", best, token_state[0]);
+    return 0;
+}

@@ -1,0 +1,128 @@
+package spec_test
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+// TestBenchmarksRunClean compiles and executes every benchmark without
+// instrumentation and checks it completes successfully and deterministically.
+func TestBenchmarksRunClean(t *testing.T) {
+	for _, b := range spec.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			machine, err := vm.New(m, vm.Options{})
+			if err != nil {
+				t.Fatalf("vm: %v", err)
+			}
+			code, err := machine.Run()
+			if err != nil {
+				t.Fatalf("run: %v (output: %s)", err, machine.Output())
+			}
+			if code != 0 {
+				t.Fatalf("exit code %d (output: %s)", code, machine.Output())
+			}
+			out1 := machine.Output()
+			if out1 == "" {
+				t.Fatalf("benchmark produced no output")
+			}
+			if b.Expect != "" && out1 != b.Expect {
+				t.Errorf("output = %q, want %q", out1, b.Expect)
+			}
+			t.Logf("instrs=%d cost=%d output=%s", machine.Stats.Instrs, machine.Stats.Cost, out1)
+		})
+	}
+}
+
+// TestByName checks benchmark lookup by full and short names.
+func TestByName(t *testing.T) {
+	if spec.ByName("164gzip") == nil || spec.ByName("gzip") == nil {
+		t.Error("lookup by name failed")
+	}
+	if spec.ByName("nope") != nil {
+		t.Error("lookup of unknown benchmark succeeded")
+	}
+}
+
+// TestSuiteComposition pins the benchmark list to the paper's 20 programs.
+func TestSuiteComposition(t *testing.T) {
+	all := spec.All()
+	if len(all) != 20 {
+		t.Fatalf("%d benchmarks, want 20", len(all))
+	}
+	counts := map[string]int{}
+	for _, b := range all {
+		counts[b.Suite]++
+	}
+	if counts["cpu2000"] != 10 || counts["cpu2006"] != 10 {
+		t.Errorf("suite split %v, want 10/10", counts)
+	}
+}
+
+// TestFeatureAnnotations verifies that the paper-relevant source features
+// are present in the right benchmarks.
+func TestFeatureAnnotations(t *testing.T) {
+	sizeZero := map[string]bool{
+		"164gzip": true, "433milc": true, "445gobmk": true,
+		"456hmmer": true, "458sjeng": true,
+	}
+	extLib := map[string]bool{
+		"177mesa": true, "188ammp": true, "197parser": true, "300twolf": true,
+	}
+	for _, b := range spec.All() {
+		m, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		var hasSizeZero, hasExtLib bool
+		for _, g := range m.Globals {
+			if g.SizeZeroDecl {
+				hasSizeZero = true
+			}
+			if g.ExternalLib {
+				hasExtLib = true
+			}
+		}
+		if hasSizeZero != sizeZero[b.Name] {
+			t.Errorf("%s: size-zero arrays = %t, want %t", b.Name, hasSizeZero, sizeZero[b.Name])
+		}
+		if hasExtLib != extLib[b.Name] {
+			t.Errorf("%s: extlib globals = %t, want %t", b.Name, hasExtLib, extLib[b.Name])
+		}
+	}
+}
+
+// TestDeterministicOutput runs each benchmark twice and requires identical
+// output (the whole evaluation depends on it).
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	for _, b := range []string{"181mcf", "462libquantum", "197parser"} {
+		bench := spec.ByName(b)
+		var outs [2]string
+		for i := 0; i < 2; i++ {
+			m, err := bench.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine, err := vm.New(m, vm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := machine.Run(); err != nil {
+				t.Fatal(err)
+			}
+			outs[i] = machine.Output()
+		}
+		if outs[0] != outs[1] {
+			t.Errorf("%s: nondeterministic output", b)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package vm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// buildBinopFunc creates f(a, b) = a OP b over the given integer type.
+func buildBinopFunc(op ir.Op, ty *ir.Type) *ir.Module {
+	m := ir.NewModule("arith")
+	f := m.NewFunc("f", ir.FuncOf(ty, ty, ty), "a", "b")
+	b := ir.NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	r := b.Binary(op, f.Params[0], f.Params[1])
+	b.Ret(r)
+	return m
+}
+
+// TestIntegerBinopsMatchGoProperty executes every integer binop on random
+// operands at widths 8/32/64 and compares against Go's two's-complement
+// arithmetic on the corresponding fixed-width type.
+func TestIntegerBinopsMatchGoProperty(t *testing.T) {
+	type oracle func(a, b uint64, bits int) (uint64, bool) // result, defined
+	mask := func(v uint64, bits int) uint64 {
+		if bits >= 64 {
+			return v
+		}
+		return v & (1<<uint(bits) - 1)
+	}
+	sext := func(v uint64, bits int) int64 {
+		v = mask(v, bits)
+		if bits < 64 && v&(1<<uint(bits-1)) != 0 {
+			v |= ^uint64(0) << uint(bits)
+		}
+		return int64(v)
+	}
+	oracles := map[ir.Op]oracle{
+		ir.OpAdd: func(a, b uint64, bits int) (uint64, bool) { return mask(a+b, bits), true },
+		ir.OpSub: func(a, b uint64, bits int) (uint64, bool) { return mask(a-b, bits), true },
+		ir.OpMul: func(a, b uint64, bits int) (uint64, bool) { return mask(a*b, bits), true },
+		ir.OpAnd: func(a, b uint64, bits int) (uint64, bool) { return mask(a&b, bits), true },
+		ir.OpOr:  func(a, b uint64, bits int) (uint64, bool) { return mask(a|b, bits), true },
+		ir.OpXor: func(a, b uint64, bits int) (uint64, bool) { return mask(a^b, bits), true },
+		ir.OpShl: func(a, b uint64, bits int) (uint64, bool) {
+			return mask(a<<(b&uint64(bits-1)), bits), true
+		},
+		ir.OpLShr: func(a, b uint64, bits int) (uint64, bool) {
+			return mask(mask(a, bits)>>(b&uint64(bits-1)), bits), true
+		},
+		ir.OpAShr: func(a, b uint64, bits int) (uint64, bool) {
+			return mask(uint64(sext(a, bits)>>(b&uint64(bits-1))), bits), true
+		},
+		ir.OpSDiv: func(a, b uint64, bits int) (uint64, bool) {
+			if sext(b, bits) == 0 {
+				return 0, false
+			}
+			return mask(uint64(sext(a, bits)/sext(b, bits)), bits), true
+		},
+		ir.OpSRem: func(a, b uint64, bits int) (uint64, bool) {
+			if sext(b, bits) == 0 {
+				return 0, false
+			}
+			return mask(uint64(sext(a, bits)%sext(b, bits)), bits), true
+		},
+		ir.OpUDiv: func(a, b uint64, bits int) (uint64, bool) {
+			if mask(b, bits) == 0 {
+				return 0, false
+			}
+			return mask(a, bits) / mask(b, bits), true
+		},
+		ir.OpURem: func(a, b uint64, bits int) (uint64, bool) {
+			if mask(b, bits) == 0 {
+				return 0, false
+			}
+			return mask(a, bits) % mask(b, bits), true
+		},
+	}
+
+	for op, orc := range oracles {
+		op, orc := op, orc
+		for _, ty := range []*ir.Type{ir.I8, ir.I32, ir.I64} {
+			ty := ty
+			m := buildBinopFunc(op, ty)
+			prop := func(a, b uint64) bool {
+				machine, err := vm.New(ir.CloneModule(m), vm.Options{})
+				if err != nil {
+					return false
+				}
+				want, defined := orc(a, b, ty.Bits)
+				got, rerr := machine.CallByName("f", a, b)
+				if !defined {
+					return rerr != nil // division by zero must trap
+				}
+				if rerr != nil {
+					return false
+				}
+				// The VM stores results truncated to the type width.
+				return got == want
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Errorf("%s/%s: %v", op, ty, err)
+			}
+		}
+	}
+}
+
+// TestICmpMatchesGoProperty validates all predicates against Go comparisons.
+func TestICmpMatchesGoProperty(t *testing.T) {
+	preds := []ir.Pred{
+		ir.PredEQ, ir.PredNE,
+		ir.PredSLT, ir.PredSLE, ir.PredSGT, ir.PredSGE,
+		ir.PredULT, ir.PredULE, ir.PredUGT, ir.PredUGE,
+	}
+	for _, pred := range preds {
+		pred := pred
+		m := ir.NewModule("cmp")
+		f := m.NewFunc("f", ir.FuncOf(ir.I32, ir.I32, ir.I32), "a", "b")
+		b := ir.NewBuilder(f)
+		b.SetBlock(f.NewBlock("entry"))
+		c := b.ICmp(pred, f.Params[0], f.Params[1])
+		z := b.Cast(ir.OpZExt, c, ir.I32)
+		b.Ret(z)
+
+		prop := func(x, y int32) bool {
+			machine, err := vm.New(ir.CloneModule(m), vm.Options{})
+			if err != nil {
+				return false
+			}
+			got, rerr := machine.CallByName("f", uint64(uint32(x)), uint64(uint32(y)))
+			if rerr != nil {
+				return false
+			}
+			var want bool
+			ux, uy := uint32(x), uint32(y)
+			switch pred {
+			case ir.PredEQ:
+				want = x == y
+			case ir.PredNE:
+				want = x != y
+			case ir.PredSLT:
+				want = x < y
+			case ir.PredSLE:
+				want = x <= y
+			case ir.PredSGT:
+				want = x > y
+			case ir.PredSGE:
+				want = x >= y
+			case ir.PredULT:
+				want = ux < uy
+			case ir.PredULE:
+				want = ux <= uy
+			case ir.PredUGT:
+				want = ux > uy
+			case ir.PredUGE:
+				want = ux >= uy
+			}
+			return (got == 1) == want
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("pred %s: %v", pred, err)
+		}
+	}
+}

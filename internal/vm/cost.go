@@ -1,0 +1,127 @@
+package vm
+
+import "repro/internal/ir"
+
+// CostModel assigns an abstract cost to every executed operation. The
+// absolute unit is arbitrary; figures report ratios of instrumented to
+// baseline cost, mirroring how the paper normalizes execution time to the
+// clang -O3 binary. Weights approximate x86-64 latencies: one unit per simple
+// ALU operation, memory operations several units, division far more.
+type CostModel struct {
+	ALU    uint64
+	Mul    uint64
+	Div    uint64
+	FAdd   uint64
+	FMul   uint64
+	FDiv   uint64
+	Cmp    uint64
+	Branch uint64
+	Load   uint64
+	Store  uint64
+	Call   uint64
+	Ret    uint64
+	Select uint64
+	Cast   uint64
+	Alloca uint64
+
+	// Instrumentation runtime operations. The values reflect the
+	// instruction sequences of the real runtimes:
+	//
+	//   SBCheck:    Figure 2 — two comparisons, an or, a branch.
+	//   LFBase:     mask computation from the pointer value — shift,
+	//               table load, mask.
+	//   LFCheck:    Figure 5 — region index shift, size-table load,
+	//               subtractions, comparison, branch.
+	//   SBMetaLoad: half of a trie lookup (base or bound) — the pair
+	//               costs two dependent loads plus index arithmetic.
+	//   SBMetaStore: trie store of a (base, bound) pair.
+	//   SBShadowOp: one shadow-stack slot access.
+	SBCheck     uint64
+	LFBase      uint64
+	LFCheck     uint64
+	SBMetaLoad  uint64
+	SBMetaStore uint64
+	SBShadowOp  uint64
+
+	// MallocBase is the fixed cost of an allocator call; MallocPerKiB adds
+	// cost proportional to the allocation size (page provisioning).
+	MallocBase   uint64
+	MallocPerKiB uint64
+	// MemPerByte is the per-byte cost of bulk memory intrinsics
+	// (memcpy/memset/strcpy...), approximating 8-byte-wide copy loops.
+	MemPerByte uint64
+}
+
+// DefaultCostModel returns the calibrated cost model used by all
+// experiments.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		ALU: 1, Mul: 3, Div: 22,
+		FAdd: 2, FMul: 3, FDiv: 14,
+		Cmp: 1, Branch: 1,
+		Load: 2, Store: 2,
+		Call: 4, Ret: 2, Select: 1, Cast: 1, Alloca: 2,
+
+		SBCheck:     3,
+		LFBase:      3,
+		LFCheck:     5,
+		SBMetaLoad:  6,
+		SBMetaStore: 11,
+		SBShadowOp:  4,
+
+		MallocBase: 40, MallocPerKiB: 2,
+		MemPerByte: 1,
+	}
+}
+
+// instrCost returns the cost of executing one regular IR instruction.
+// Runtime-intrinsic calls are charged by their handlers instead of the
+// generic call cost.
+func (c *CostModel) instrCost(in *ir.Instr) uint64 {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+		return c.ALU
+	case ir.OpMul:
+		return c.Mul
+	case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+		return c.Div
+	case ir.OpFAdd, ir.OpFSub:
+		return c.FAdd
+	case ir.OpFMul:
+		return c.FMul
+	case ir.OpFDiv:
+		return c.FDiv
+	case ir.OpICmp, ir.OpFCmp:
+		return c.Cmp
+	case ir.OpLoad:
+		return c.Load
+	case ir.OpStore:
+		return c.Store
+	case ir.OpBr, ir.OpCondBr:
+		return c.Branch
+	case ir.OpRet:
+		return c.Ret
+	case ir.OpSelect:
+		return c.Select
+	case ir.OpAlloca:
+		return c.Alloca
+	case ir.OpGEP:
+		// Address arithmetic: one multiply-add per index, usually folded
+		// into addressing modes; charge one ALU op per index.
+		n := len(in.Operands) - 1
+		if n < 1 {
+			n = 1
+		}
+		return uint64(n) * c.ALU
+	case ir.OpPhi:
+		return 0 // resolved on edges; register-allocated in real code
+	default:
+		if in.IsCast() {
+			if in.Op == ir.OpBitcast {
+				return 0 // no machine code
+			}
+			return c.Cast
+		}
+		return c.ALU
+	}
+}

@@ -1,0 +1,134 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lowfat"
+	"repro/internal/rt"
+	"repro/internal/softbound"
+)
+
+// registerMIRuntime installs the handlers for the instrumentation runtime
+// intrinsics of internal/rt. Handlers charge the cost of the instruction
+// sequence a real runtime executes (see CostModel) rather than a generic
+// call cost.
+func registerMIRuntime(v *VM) {
+	// --- SoftBound ---
+	v.RegisterExternal(rt.SBLoadBase, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.MetaLoads++
+		vm.Stats.Cost += vm.cost.SBMetaLoad
+		b, _ := vm.Trie.Lookup(args[0])
+		return b.Base, nil
+	})
+	v.RegisterExternal(rt.SBLoadBound, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.MetaLoads++
+		vm.Stats.Cost += vm.cost.SBMetaLoad
+		b, _ := vm.Trie.Lookup(args[0])
+		return b.Bound, nil
+	})
+	v.RegisterExternal(rt.SBStoreMD, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.MetaStores++
+		vm.Stats.Cost += vm.cost.SBMetaStore
+		vm.Trie.Store(args[0], softbound.Bounds{Base: args[1], Bound: args[2]})
+		return 0, nil
+	})
+	v.RegisterExternal(rt.SBCheck, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		ptr, width, base, bound := args[0], args[1], args[2], args[3]
+		vm.Stats.Checks++
+		vm.Stats.Cost += vm.cost.SBCheck
+		b := softbound.Bounds{Base: base, Bound: bound}
+		if b.IsWide() {
+			vm.Stats.WideChecks++
+			return 0, nil
+		}
+		if !b.Check(ptr, width) {
+			return 0, &ViolationError{Mechanism: "softbound", Kind: "deref", Ptr: ptr,
+				Detail: fmt.Sprintf("access of %d bytes outside bounds [%#x, %#x)", width, base, bound)}
+		}
+		return 0, nil
+	})
+	v.RegisterExternal(rt.SBSSAlloc, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		vm.Shadow.AllocateFrame(int(args[0]))
+		return 0, nil
+	})
+	v.RegisterExternal(rt.SBSSSetArg, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		vm.Shadow.SetArg(int(args[0]), softbound.Bounds{Base: args[1], Bound: args[2]})
+		return 0, nil
+	})
+	v.RegisterExternal(rt.SBSSArgBase, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		return vm.Shadow.Arg(int(args[0])).Base, nil
+	})
+	v.RegisterExternal(rt.SBSSArgBound, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		return vm.Shadow.Arg(int(args[0])).Bound, nil
+	})
+	v.RegisterExternal(rt.SBSSSetRet, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		vm.Shadow.SetRet(softbound.Bounds{Base: args[0], Bound: args[1]})
+		return 0, nil
+	})
+	v.RegisterExternal(rt.SBSSRetBase, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		return vm.Shadow.Ret().Base, nil
+	})
+	v.RegisterExternal(rt.SBSSRetBound, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		return vm.Shadow.Ret().Bound, nil
+	})
+	v.RegisterExternal(rt.SBSSPop, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.ShadowOps++
+		vm.Stats.Cost += vm.cost.SBShadowOp
+		vm.Shadow.PopFrame()
+		return 0, nil
+	})
+
+	// --- Low-Fat Pointers ---
+	v.RegisterExternal(rt.LFBase, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		vm.Stats.Cost += vm.cost.LFBase
+		return lowfat.Base(args[0]), nil
+	})
+	v.RegisterExternal(rt.LFCheck, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		ptr, width, base := args[0], args[1], args[2]
+		vm.Stats.Checks++
+		vm.Stats.Cost += vm.cost.LFCheck
+		ok, wide := lowfat.Check(ptr, width, base)
+		if wide {
+			vm.Stats.WideChecks++
+			return 0, nil
+		}
+		if !ok {
+			return 0, &ViolationError{Mechanism: "lowfat", Kind: "deref", Ptr: ptr,
+				Detail: fmt.Sprintf("access of %d bytes outside object at base %#x (size %d)", width, base, lowfat.AllocSize(lowfat.RegionIndex(base)))}
+		}
+		return 0, nil
+	})
+	v.RegisterExternal(rt.LFCheckInv, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+		ptr, base := args[0], args[1]
+		vm.Stats.InvariantChecks++
+		vm.Stats.Cost += vm.cost.LFCheck
+		ok, wide := lowfat.Check(ptr, 1, base)
+		if wide {
+			return 0, nil
+		}
+		if !ok {
+			// The escape check fails for out-of-bounds pointers that are
+			// merely passed around — the usability problem of Section 4.2:
+			// programmers expect out-of-bounds *arithmetic* to be fine as
+			// long as the pointer is brought back in bounds before use.
+			return 0, &ViolationError{Mechanism: "lowfat", Kind: "invariant", Ptr: ptr,
+				Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))}
+		}
+		return 0, nil
+	})
+}

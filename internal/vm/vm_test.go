@@ -1,0 +1,378 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+func compileAndRun(t *testing.T, src string, opts vm.Options) (*vm.VM, int32, error) {
+	t.Helper()
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	machine, err := vm.New(m, opts)
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	code, rerr := machine.Run()
+	return machine, code, rerr
+}
+
+func TestExitCode(t *testing.T) {
+	_, code, err := compileAndRun(t, `int main() { return 42; }`, vm.Options{})
+	if err != nil || code != 42 {
+		t.Errorf("code=%d err=%v", code, err)
+	}
+	_, code, err = compileAndRun(t, `int main() { exit(7); return 1; }`, vm.Options{})
+	if err != nil || code != 7 {
+		t.Errorf("exit(): code=%d err=%v", code, err)
+	}
+}
+
+func TestNullDereferenceFaults(t *testing.T) {
+	_, _, err := compileAndRun(t, `
+int main() {
+    int *p = NULL;
+    return *p;
+}`, vm.Options{})
+	if err == nil || !strings.Contains(err.Error(), "segmentation fault") {
+		t.Errorf("null deref: %v", err)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	_, _, err := compileAndRun(t, `
+int zero;
+int main() { return 5 / zero; }`, vm.Options{})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("div by zero: %v", err)
+	}
+}
+
+func TestAbortAndStepLimit(t *testing.T) {
+	_, _, err := compileAndRun(t, `int main() { abort(); return 0; }`, vm.Options{})
+	if err == nil || !strings.Contains(err.Error(), "abort") {
+		t.Errorf("abort: %v", err)
+	}
+	_, _, err = compileAndRun(t, `int main() { while (1) {} return 0; }`, vm.Options{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("step limit: %v", err)
+	}
+}
+
+func TestSignedUnsignedArithmetic(t *testing.T) {
+	machine, _, err := compileAndRun(t, `
+int main() {
+    int a = -7;
+    unsigned int b = 3;
+    printf("%d %d %d\n", a / 3, a % 3, a >> 1);
+    printf("%u\n", (unsigned int)a / b);
+    printf("%d\n", (int)((unsigned int)a >> 1));
+    long big = 1l << 40;
+    printf("%ld\n", big + 5);
+    return 0;
+}`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "-2 -1 -4\n1431655763\n2147483644\n1099511627781\n"
+	if machine.Output() != want {
+		t.Errorf("output = %q, want %q", machine.Output(), want)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	machine, _, err := compileAndRun(t, `
+struct pt { int x; int y; };
+int scalars[4] = {10, 20, 30};
+struct pt origin = {3, 4};
+char msg[] = "hey";
+char *ptr_to_msg = msg;
+double dval = 2.5;
+int main() {
+    printf("%d %d %d %d\n", scalars[0], scalars[2], scalars[3], origin.y);
+    printf("%s %c %.1f\n", ptr_to_msg, msg[1], dval);
+    return 0;
+}`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "10 30 0 4\nhey e 2.5\n"
+	if machine.Output() != want {
+		t.Errorf("output = %q, want %q", machine.Output(), want)
+	}
+}
+
+func TestLibcStringFunctions(t *testing.T) {
+	machine, _, err := compileAndRun(t, `
+int main() {
+    char a[32];
+    char b[32];
+    strcpy(a, "hello");
+    strcat(a, " world");
+    strncpy(b, a, 5);
+    b[5] = 0;
+    printf("%s|%s|%lu|%d|%d\n", a, b, strlen(a), strcmp(a, b) > 0, memcmp("abc", "abd", 3) < 0);
+    printf("%s\n", strchr(a, 'w'));
+    return 0;
+}`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "hello world|hello|11|1|1\nworld\n"
+	if machine.Output() != want {
+		t.Errorf("output = %q, want %q", machine.Output(), want)
+	}
+}
+
+func TestMallocFreeReallocCalloc(t *testing.T) {
+	machine, _, err := compileAndRun(t, `
+int main() {
+    int *a = (int *)calloc(8, sizeof(int));
+    int i, ok = 1;
+    for (i = 0; i < 8; i++) ok = ok && (a[i] == 0);
+    for (i = 0; i < 8; i++) a[i] = i;
+    a = (int *)realloc(a, 16 * sizeof(int));
+    for (i = 0; i < 8; i++) ok = ok && (a[i] == i);
+    free(a);
+    printf("%d\n", ok);
+    return 0;
+}`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machine.Output() != "1\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+func TestDoubleFreeReported(t *testing.T) {
+	_, _, err := compileAndRun(t, `
+int main() {
+    int *p = (int *)malloc(16);
+    free(p);
+    free(p);
+    return 0;
+}`, vm.Options{})
+	if err == nil || !strings.Contains(err.Error(), "invalid free") {
+		t.Errorf("double free: %v", err)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    long h = 0;
+    srand(99);
+    for (i = 0; i < 10; i++) h = h * 31 + rand() % 1000;
+    printf("%ld\n", h);
+    return 0;
+}`
+	m1, _, err := compileAndRun(t, src, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := compileAndRun(t, src, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Output() != m2.Output() {
+		t.Errorf("rand not deterministic: %q vs %q", m1.Output(), m2.Output())
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	machine, _, err := compileAndRun(t, `
+int main() {
+    printf("%.3f %.3f %.3f %.3f\n", sqrt(16.0), fabs(-2.5), pow(2.0, 10.0), floor(3.7));
+    return 0;
+}`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machine.Output() != "4.000 2.500 1024.000 3.000\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+func TestStackDiscipline(t *testing.T) {
+	// Deep-ish recursion with arrays must reuse stack space after return.
+	machine, _, err := compileAndRun(t, `
+int work(int depth) {
+    int buf[64];
+    int i;
+    for (i = 0; i < 64; i++) buf[i] = depth + i;
+    if (depth == 0) return buf[63];
+    return work(depth - 1) + buf[0];
+}
+int main() {
+    int r1 = work(100);
+    int r2 = work(100);
+    printf("%d %d\n", r1, r2);
+    return 0;
+}`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Fields(machine.Output())
+	if len(parts) != 2 || parts[0] != parts[1] {
+		t.Errorf("stack not reused deterministically: %q", machine.Output())
+	}
+}
+
+func TestCostAccountingMonotonic(t *testing.T) {
+	short, _, err := compileAndRun(t, `int main() { int i, s = 0; for (i = 0; i < 10; i++) s += i; return 0; }`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, _, err := compileAndRun(t, `int main() { int i, s = 0; for (i = 0; i < 10000; i++) s += i; return 0; }`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Stats.Cost <= short.Stats.Cost || long.Stats.Instrs <= short.Stats.Instrs {
+		t.Error("cost accounting not monotone in work")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	machine, _, err := compileAndRun(t, `
+int g[4];
+int main() {
+    g[0] = 1;
+    g[1] = g[0] + 1;
+    return 0;
+}`, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machine.Stats.Stores < 2 || machine.Stats.Loads < 1 {
+		t.Errorf("loads=%d stores=%d", machine.Stats.Loads, machine.Stats.Stores)
+	}
+	if machine.Stats.Checks != 0 {
+		t.Error("uninstrumented run executed checks")
+	}
+}
+
+func TestLowFatVMOptionsPlaceAllocations(t *testing.T) {
+	// The initializer gives g external (non-common) linkage, so it is
+	// eligible for low-fat placement without the common-to-weak transform.
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: `
+int g[100] = {1};
+int main() {
+    int local[4];
+    int *heap = (int *)malloc(100);
+    local[0] = 1;
+    g[0] = heap[0];
+    free(heap);
+    return g[0] + local[0];
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := vm.New(m, vm.Options{
+		Mechanism:  vm.MechLowFat,
+		LowFatHeap: true, LowFatStack: true, LowFatGlobals: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if machine.LF.LowFatAllocs == 0 {
+		t.Error("no low-fat allocations recorded")
+	}
+	gaddr := machine.GlobalAddr(m.Global("g"))
+	if gaddr < 1<<35 || gaddr >= 28<<35 {
+		t.Errorf("global not placed in a low-fat region (addr %#x)", gaddr)
+	}
+}
+
+// Property: printf of random ints matches Go's rendering of the same value.
+func TestPrintfIntProperty(t *testing.T) {
+	f := func(v int32) bool {
+		src := `int main() { printf("%d", ` + itoa(int64(v)) + `); return 0; }`
+		m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: src})
+		if err != nil {
+			return false
+		}
+		machine, err := vm.New(m, vm.Options{})
+		if err != nil {
+			return false
+		}
+		if _, err := machine.Run(); err != nil {
+			return false
+		}
+		return machine.Output() == itoa(int64(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var digits []byte
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		digits = append([]byte{byte('0' + u%10)}, digits...)
+		u /= 10
+	}
+	if neg {
+		return "-" + string(digits)
+	}
+	return string(digits)
+}
+
+func TestCallByName(t *testing.T) {
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: `
+int twice(int x) { return 2 * x; }
+int main() { return 0; }`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := machine.CallByName("twice", 21)
+	if err != nil || int32(r) != 42 {
+		t.Errorf("CallByName = %d, %v", r, err)
+	}
+	if _, err := machine.CallByName("nope"); err == nil {
+		t.Error("missing function not reported")
+	}
+}
+
+func TestConstPtrEvaluation(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", ir.FuncOf(ir.I32))
+	b := ir.NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	p := ir.NewConstPtr(ir.PointerTo(ir.I8), 0xABCDEF)
+	i := b.PtrToInt(p)
+	tr := b.Cast(ir.OpTrunc, i, ir.I32)
+	b.Ret(tr)
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := machine.Run()
+	if err != nil || code != 0xABCDEF {
+		t.Errorf("code=%#x err=%v", code, err)
+	}
+}

@@ -1,0 +1,130 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// The SoftBound library wrappers (Figure 6 of the paper) can check that the
+// accessed allocations are large enough. The paper disables these wrapper
+// checks for runtime comparability (Section 5.1.2); both behaviours are
+// covered here.
+
+const wrapperOverflowProg = `
+int main() {
+    char *dst = (char *)malloc(8);
+    char *src = (char *)malloc(64);
+    int i;
+    for (i = 0; i < 64; i++) src[i] = (char)i;
+    memcpy(dst, src, 32);          /* overflows dst inside the library */
+    printf("%d\n", dst[3]);
+    free(dst);
+    free(src);
+    return 0;
+}`
+
+func instrumentSB(t *testing.T, src string, vopts vm.Options) (*vm.VM, error) {
+	t.Helper()
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.PaperSoftBound()
+	cfg.OptDominance = true
+	opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+		if _, ierr := core.Instrument(mod, cfg); ierr != nil {
+			t.Fatal(ierr)
+		}
+	}, opt.PipelineOptions{Level: 3})
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := machine.Run()
+	return machine, rerr
+}
+
+func TestWrapperChecksCatchLibcOverflow(t *testing.T) {
+	opts := vm.Options{Mechanism: vm.MechSoftBound, SBCheckWrappers: true}
+	_, err := instrumentSB(t, wrapperOverflowProg, opts)
+	if err == nil {
+		t.Fatal("wrapper check missed the memcpy overflow")
+	}
+	if !strings.Contains(err.Error(), "wrapper") {
+		t.Errorf("expected a wrapper violation, got: %v", err)
+	}
+}
+
+func TestWrapperChecksDisabledByDefault(t *testing.T) {
+	// The paper's comparability configuration: wrappers maintain metadata
+	// but do not check (Section 5.1.2); the overflow inside the library
+	// goes unnoticed.
+	opts := vm.Options{Mechanism: vm.MechSoftBound}
+	machine, err := instrumentSB(t, wrapperOverflowProg, opts)
+	if err != nil {
+		t.Fatalf("disabled wrapper checks still reported: %v", err)
+	}
+	if machine.Output() != "3\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
+
+func TestWrapperCopiesMetadata(t *testing.T) {
+	// memcpy of a pointer-containing struct transports trie metadata
+	// (copy_metadata in Figure 6): the copied pointer stays dereferenceable
+	// with correct bounds.
+	src := `
+struct box { int *p; };
+int main() {
+    int payload[4];
+    struct box a;
+    struct box b;
+    payload[2] = 55;
+    a.p = payload;
+    memcpy(&b, &a, sizeof(struct box));
+    printf("%d\n", b.p[2]);
+    /* And the copied bounds are the REAL bounds: going past payload
+     * through the copy must still be caught. */
+    printf("%d\n", b.p[9]);
+    return 0;
+}`
+	_, err := instrumentSB(t, src, vm.Options{Mechanism: vm.MechSoftBound})
+	if err == nil {
+		t.Fatal("out-of-bounds access through copied pointer not caught")
+	}
+	if !strings.Contains(err.Error(), "deref") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestMemsetInvalidatesMetadata(t *testing.T) {
+	// Overwriting a stored pointer with memset destroys it; the metadata
+	// must not survive, so a later load+deref is rejected rather than
+	// silently allowed with stale bounds.
+	src := `
+int *slot;
+int main() {
+    int payload[4];
+    slot = payload;
+    memset(&slot, 0, sizeof(slot));
+    if (slot != (int *)0) {
+        printf("%d\n", slot[0]);
+    } else {
+        printf("null\n");
+    }
+    return 0;
+}`
+	machine, err := instrumentSB(t, src, vm.Options{Mechanism: vm.MechSoftBound})
+	if err != nil {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+	if machine.Output() != "null\n" {
+		t.Errorf("output = %q", machine.Output())
+	}
+}
