@@ -1,5 +1,6 @@
 // Command mi-bench regenerates the tables and figures of the paper's
-// evaluation (Section 5 and Table 2) on the simulated substrate.
+// evaluation (Section 5 and Table 2) on the simulated substrate, plus the
+// fault-injection detection matrix behind the security analysis (Section 6).
 //
 // Usage:
 //
@@ -9,6 +10,11 @@
 //	mi-bench -fig12 -fig13   # pipeline extension points
 //	mi-bench -table2         # unsafe dereference percentages
 //	mi-bench -elim           # Section 5.3 check elimination statistics
+//	mi-bench -faults         # fault-injection detection matrix
+//
+// Individual experiment failures never abort the run: affected cells are
+// annotated in place, all failures are summarized at the end, and the exit
+// status is nonzero when anything failed.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 )
 
@@ -31,50 +38,98 @@ func main() {
 		table2 = flag.Bool("table2", false, "Table 2: unsafe dereferences")
 		elim   = flag.Bool("elim", false, "Section 5.3: check elimination")
 		ablate = flag.Bool("ablation", false, "ablation: Low-Fat escape-check elimination (beyond the paper)")
+
+		faults       = flag.Bool("faults", false, "fault-injection campaign: detection matrix per mechanism")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for fault-site selection")
+		faultPerKind = flag.Int("fault-per-kind", 1, "faults planted per kind per benchmark")
+
+		vmMemBudget = flag.Uint64("vm-mem-budget", 1<<30, "per-variant VM memory budget in bytes (0 = unlimited)")
+		vmMaxSteps  = flag.Uint64("vm-max-steps", 1<<30, "per-variant VM step limit")
 	)
 	flag.Parse()
 
-	if !(*all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *table2 || *elim || *ablate) {
+	if !(*all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *table2 || *elim || *ablate || *faults) {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	r := harness.NewRunner()
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "mi-bench: %v\n", err)
-		os.Exit(1)
+	var failures []string
+	note := func(what string, msg string) {
+		failures = append(failures, what+": "+msg)
 	}
-	figure := func(enabled bool, gen func() (*harness.Figure, error)) {
+	figure := func(enabled bool, name string, gen func() (*harness.Figure, error)) {
 		if !enabled && !*all {
 			return
 		}
 		fig, err := gen()
 		if err != nil {
-			fail(err)
+			note(name, err.Error())
+			return
 		}
 		fmt.Println(fig.Render())
+		for _, f := range fig.Failures {
+			note(name, f)
+		}
 	}
 
 	if *table2 || *all {
 		rows, err := r.Table2()
 		if err != nil {
-			fail(err)
+			note("table2", err.Error())
+		} else {
+			fmt.Println(harness.RenderTable2(rows))
+			for _, row := range rows {
+				if row.Failed != "" {
+					note("table2", row.Bench+": "+row.Failed)
+				}
+			}
 		}
-		fmt.Println(harness.RenderTable2(rows))
 	}
-	figure(*fig9, r.Figure9)
-	figure(*fig10, r.Figure10)
-	figure(*fig11, r.Figure11)
-	figure(*fig12, r.Figure12)
-	figure(*fig13, r.Figure13)
-	figure(*ablate, r.AblationInvariantElim)
+	figure(*fig9, "fig9", r.Figure9)
+	figure(*fig10, "fig10", r.Figure10)
+	figure(*fig11, "fig11", r.Figure11)
+	figure(*fig12, "fig12", r.Figure12)
+	figure(*fig13, "fig13", r.Figure13)
+	figure(*ablate, "ablation", r.AblationInvariantElim)
 	if *elim || *all {
 		for _, mech := range []core.Mech{core.MechSoftBound, core.MechLowFat} {
 			rows, err := r.EliminationStats(mech)
 			if err != nil {
-				fail(err)
+				note("elim/"+mech.String(), err.Error())
+				continue
 			}
 			fmt.Println(harness.RenderElimination(rows))
+			for _, row := range rows {
+				if row.Failed != "" {
+					note("elim/"+mech.String(), row.Bench+": "+row.Failed)
+				}
+			}
 		}
+	}
+	if *faults || *all {
+		rep := faultinject.Run(faultinject.Options{
+			Seed:      *faultSeed,
+			PerKind:   *faultPerKind,
+			MaxSteps:  *vmMaxSteps,
+			MemBudget: *vmMemBudget,
+			NoBudget:  *vmMemBudget == 0,
+		})
+		fmt.Println(rep.Render())
+		for _, f := range rep.Failures {
+			note("faults", f)
+		}
+		for _, vr := range rep.Unexpected() {
+			note("faults", fmt.Sprintf("unexpected outcome: %s under %s: %s (expected %s)",
+				vr.Fault, vr.Mech, vr.Outcome, vr.Expect))
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "mi-bench: %d failure(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
 	}
 }

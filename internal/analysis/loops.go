@@ -7,6 +7,12 @@ import "repro/internal/ir"
 type Loop struct {
 	Header *ir.Block
 	Blocks map[*ir.Block]bool
+	// Body lists the loop's blocks in deterministic discovery order
+	// (header first). Passes that move or create instructions must
+	// iterate Body, not Blocks: ranging over the map lets Go's random
+	// iteration order leak into the output program (observed as hoisted
+	// instructions swapping places in LICM preheaders between runs).
+	Body []*ir.Block
 	// Parent is the innermost enclosing loop, if any.
 	Parent *Loop
 	// Depth is the nesting depth (1 for top-level loops).
@@ -54,7 +60,7 @@ func FindLoops(f *ir.Func, dt *DomTree) *LoopInfo {
 			// b -> s is a back edge; s is the header.
 			loop := li.ByHeader[s]
 			if loop == nil {
-				loop = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				loop = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}, Body: []*ir.Block{s}}
 				li.ByHeader[s] = loop
 				li.Loops = append(li.Loops, loop)
 			}
@@ -67,6 +73,7 @@ func FindLoops(f *ir.Func, dt *DomTree) *LoopInfo {
 					continue
 				}
 				loop.Blocks[x] = true
+				loop.Body = append(loop.Body, x)
 				work = append(work, preds[x]...)
 			}
 		}

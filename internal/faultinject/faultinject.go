@@ -1,0 +1,503 @@
+// Package faultinject plants spatial memory-safety faults into compiled
+// benchmark modules and replays the mutated variants under both
+// instrumentations. Each fault is seeded deterministically, tagged with its
+// ground truth (true violation or benign-but-suspicious), and paired with the
+// outcome each mechanism should produce according to the paper's security
+// analysis (Section 6): SoftBound misses pointer updates that travel through
+// integers, Low-Fat Pointers misses accesses that stay inside the allocation
+// padding.
+package faultinject
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lowfat"
+	"repro/internal/rt"
+)
+
+// Kind enumerates the fault classes the campaign can plant.
+type Kind int
+
+const (
+	// GEPOverflow plants a one-byte access one slot past the allocation:
+	// outside both the object and the low-fat padding. Every mechanism
+	// should catch it.
+	GEPOverflow Kind = iota
+	// GEPUnderflow plants a one-byte access just below the allocation base.
+	GEPUnderflow
+	// GEPPadding plants a one-byte access past the object but inside the
+	// low-fat slot padding: a true violation that Low-Fat Pointers provably
+	// cannot see (Section 6.2).
+	GEPPadding
+	// AllocShrink shrinks a constant malloc size by one and accesses the
+	// now-lost last byte. SoftBound's bounds follow the requested size;
+	// the low-fat slot usually does not shrink.
+	AllocShrink
+	// LibcallLen corrupts the constant length of a library call (memcpy,
+	// memmove, memset, strncpy) so it writes past the destination object.
+	// Only the SoftBound wrappers (Figure 6) can catch it.
+	LibcallLen
+	// ObfStaleUpdate stores a pointer properly once (metadata recorded),
+	// then re-stores a strayed copy through an integer type. SoftBound's
+	// metadata goes stale and the out-of-slot access passes its (wide)
+	// check; Low-Fat derives bounds from the value itself and catches it.
+	ObfStaleUpdate
+	// ObfBenignInt stores an in-bounds pointer only through an integer
+	// type, then dereferences the loaded copy in bounds. SoftBound finds
+	// no metadata for the slot and raises a false positive; the access is
+	// benign.
+	ObfBenignInt
+	// BytewiseCopy copies a properly-stored pointer byte-by-byte into a
+	// second slot and dereferences the copy in bounds. The trie metadata
+	// does not follow byte stores, so SoftBound raises a false positive.
+	BytewiseCopy
+	// CrashOperand plants (after instrumentation) a store whose operand
+	// the VM cannot evaluate. The variant must die with a structured
+	// RuntimeError, not take the campaign down. Test-only: not in
+	// DefaultKinds.
+	CrashOperand
+	// MemHog plants a memset of 2^40 bytes so the variant exceeds any
+	// reasonable VM memory budget. Test-only: not in DefaultKinds.
+	MemHog
+
+	numKinds
+)
+
+// String names the kind as it appears in reports.
+func (k Kind) String() string {
+	switch k {
+	case GEPOverflow:
+		return "gep-overflow"
+	case GEPUnderflow:
+		return "gep-underflow"
+	case GEPPadding:
+		return "gep-padding"
+	case AllocShrink:
+		return "alloc-shrink"
+	case LibcallLen:
+		return "libcall-len"
+	case ObfStaleUpdate:
+		return "obf-stale"
+	case ObfBenignInt:
+		return "obf-benign"
+	case BytewiseCopy:
+		return "bytewise-copy"
+	case CrashOperand:
+		return "crash-operand"
+	case MemHog:
+		return "mem-hog"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Benign reports whether the planted behaviour is legal C: the interesting
+// outcome is then a false positive, not a detection.
+func (k Kind) Benign() bool { return k == ObfBenignInt || k == BytewiseCopy }
+
+// postInstrument reports whether the fault is applied after instrumentation
+// (hostile variants that attack the harness, not the mechanisms).
+func (k Kind) postInstrument() bool { return k == CrashOperand }
+
+// DefaultKinds returns the fault classes of the standard campaign, in the
+// order they are planted and reported. The hostile harness-attack kinds
+// (CrashOperand, MemHog) are excluded; tests plant those explicitly.
+func DefaultKinds() []Kind {
+	return []Kind{
+		GEPOverflow, GEPUnderflow, GEPPadding, AllocShrink,
+		LibcallLen, ObfStaleUpdate, ObfBenignInt, BytewiseCopy,
+	}
+}
+
+// Category classifies injection sites by the program construct they anchor to.
+type Category int
+
+const (
+	// CatGEP anchors to a pointer arithmetic instruction whose base
+	// resolves to an allocation of statically known size.
+	CatGEP Category = iota
+	// CatAlloc anchors to a malloc call with a constant size.
+	CatAlloc
+	// CatLibcall anchors to a memcpy/memmove/memset/strncpy call with a
+	// constant length and a resolvable destination object.
+	CatLibcall
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatGEP:
+		return "gep"
+	case CatAlloc:
+		return "alloc"
+	case CatLibcall:
+		return "libcall"
+	}
+	return fmt.Sprintf("cat(%d)", int(c))
+}
+
+// SiteRef identifies an injection site across module clones: the ord-th site
+// of the category in the named function, counting in block/instruction order.
+// Re-enumerating a fresh clone of the same module yields the same refs, which
+// is what lets the campaign plan once and build each variant from scratch.
+type SiteRef struct {
+	Func string
+	Cat  Category
+	Ord  int
+}
+
+// String renders the ref, e.g. "quantum_new_matrix/gep#3".
+func (s SiteRef) String() string { return fmt.Sprintf("%s/%s#%d", s.Func, s.Cat, s.Ord) }
+
+// site is a resolved injection site in one particular module clone.
+type site struct {
+	ref     SiteRef
+	fn      *ir.Func
+	instr   *ir.Instr
+	base    ir.Value // allocation base (nil for CatAlloc: the call itself)
+	objSize uint64   // statically known object size in bytes
+	lenIdx  int      // CatLibcall: operand index of the length constant
+}
+
+// maxObjSize caps eligible objects so planted offsets stay modest.
+const maxObjSize = 1 << 20
+
+// libcallNames are the wrapped library calls whose last operand is a length.
+var libcallNames = map[string]bool{
+	"memcpy": true, "memmove": true, "memset": true, "strncpy": true,
+}
+
+// resolveBase walks a pointer value through bitcasts and pointer arithmetic
+// to an allocation whose size is statically known: a fixed-size alloca, a
+// defined non-library global, or a constant-size malloc/calloc. The returned
+// value dominates any instruction the chain's head dominates.
+func resolveBase(v ir.Value) (ir.Value, uint64, bool) {
+	for depth := 0; depth < 32; depth++ {
+		switch x := v.(type) {
+		case *ir.Global:
+			if x.ExternalLib || x.SizeZeroDecl || !x.IsDefinition() {
+				return nil, 0, false
+			}
+			sz := uint64(x.ValueTy.Size())
+			if sz == 0 {
+				return nil, 0, false
+			}
+			return x, sz, true
+		case *ir.Instr:
+			switch x.Op {
+			case ir.OpAlloca:
+				if len(x.Operands) != 0 { // array alloca: dynamic size
+					return nil, 0, false
+				}
+				sz := uint64(x.AllocTy.Size())
+				if sz == 0 {
+					return nil, 0, false
+				}
+				return x, sz, true
+			case ir.OpBitcast, ir.OpGEP:
+				v = x.Operands[0]
+				continue
+			case ir.OpCall:
+				sz, ok := constAllocSize(x)
+				if !ok {
+					return nil, 0, false
+				}
+				return x, sz, true
+			default:
+				return nil, 0, false
+			}
+		default:
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// constAllocSize returns the statically known size of a malloc/calloc call.
+func constAllocSize(call *ir.Instr) (uint64, bool) {
+	callee := call.Callee()
+	if callee == nil {
+		return 0, false
+	}
+	args := call.Args()
+	switch callee.Name {
+	case "malloc":
+		if len(args) == 1 {
+			if ci, ok := args[0].(*ir.ConstInt); ok && ci.Signed() > 0 {
+				return ci.Unsigned(), true
+			}
+		}
+	case "calloc":
+		if len(args) == 2 {
+			n, ok1 := args[0].(*ir.ConstInt)
+			e, ok2 := args[1].(*ir.ConstInt)
+			if ok1 && ok2 && n.Signed() > 0 && e.Signed() > 0 {
+				return n.Unsigned() * e.Unsigned(), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// usableSize accepts object sizes the payload builders can work with: ones
+// that fit a low-fat region (so slot arithmetic is meaningful) and stay small.
+func usableSize(sz uint64) bool {
+	return sz >= 1 && sz <= maxObjSize && lowfat.RegionForSize(sz) != 0
+}
+
+// enumerateSites walks the module in deterministic order (function, block,
+// instruction) and collects every eligible injection site. Running it on two
+// clones of the same module produces sites with identical refs.
+func enumerateSites(m *ir.Module) []*site {
+	var sites []*site
+	for _, fn := range m.Funcs {
+		if fn.External || fn.IgnoreInstrumentation {
+			continue
+		}
+		ord := map[Category]int{}
+		add := func(s *site, cat Category) {
+			s.ref = SiteRef{Func: fn.Name, Cat: cat, Ord: ord[cat]}
+			s.fn = fn
+			ord[cat]++
+			sites = append(sites, s)
+		}
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				switch in.Op {
+				case ir.OpGEP:
+					base, sz, ok := resolveBase(in.Operands[0])
+					if ok && usableSize(sz) {
+						add(&site{instr: in, base: base, objSize: sz}, CatGEP)
+					}
+				case ir.OpCall:
+					callee := in.Callee()
+					if callee == nil {
+						break
+					}
+					if sz, ok := constAllocSize(in); ok && callee.Name == "malloc" && sz >= 2 && usableSize(sz) {
+						add(&site{instr: in, base: in, objSize: sz}, CatAlloc)
+					}
+					if libcallNames[callee.Name] {
+						args := in.Args()
+						if len(args) == 0 {
+							break
+						}
+						n, isConst := args[len(args)-1].(*ir.ConstInt)
+						base, sz, ok := resolveBase(args[0])
+						if isConst && n.Signed() >= 1 && ok && usableSize(sz) {
+							add(&site{
+								instr: in, base: base, objSize: sz,
+								lenIdx: len(in.Operands) - 1,
+							}, CatLibcall)
+						}
+					}
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// findSite locates the site with the given ref among freshly enumerated ones.
+func findSite(sites []*site, ref SiteRef) *site {
+	for _, s := range sites {
+		if s.ref == ref {
+			return s
+		}
+	}
+	return nil
+}
+
+// category returns the site category a kind anchors to.
+func (k Kind) category() Category {
+	switch k {
+	case AllocShrink:
+		return CatAlloc
+	case LibcallLen:
+		return CatLibcall
+	}
+	return CatGEP
+}
+
+// eligible reports whether a fault of kind k can be planted at site s.
+func eligible(s *site, k Kind) bool {
+	if s.ref.Cat != k.category() {
+		return false
+	}
+	switch k {
+	case AllocShrink:
+		return s.objSize >= 2
+	case ObfStaleUpdate, ObfBenignInt, BytewiseCopy:
+		// The obfuscation payloads stash a full 8-byte pointer.
+		return slotFor(s.objSize) >= 8
+	}
+	return true
+}
+
+// slotFor returns the low-fat slot size backing an object of the given size.
+func slotFor(objSize uint64) uint64 {
+	return lowfat.AllocSize(lowfat.RegionForSize(objSize))
+}
+
+// Fault is one planted fault: a kind, an anchor site, and its ground truth.
+type Fault struct {
+	Bench string
+	Kind  Kind
+	Site  SiteRef
+	// ObjSize is the statically known size of the target object and Slot
+	// the low-fat slot backing it; together they define where the planted
+	// access lands relative to the paper's two bounds notions.
+	ObjSize uint64
+	Slot    uint64
+	// Benign records the ground truth: true means the planted behaviour
+	// is legal and any report is a false positive.
+	Benign bool
+}
+
+// String renders the fault for reports.
+func (f Fault) String() string {
+	truth := "violation"
+	if f.Benign {
+		truth = "benign"
+	}
+	return fmt.Sprintf("%s %s at %s (obj %d, slot %d, %s)",
+		f.Bench, f.Kind, f.Site, f.ObjSize, f.Slot, truth)
+}
+
+// makeFault records a fault of kind k anchored at site s.
+func makeFault(bench string, k Kind, s *site) Fault {
+	return Fault{
+		Bench:   bench,
+		Kind:    k,
+		Site:    s.ref,
+		ObjSize: s.objSize,
+		Slot:    slotFor(s.objSize),
+		Benign:  k.Benign(),
+	}
+}
+
+// bogusValue is an operand the VM cannot evaluate. CrashOperand plants it to
+// prove a malformed variant dies with a structured error instead of killing
+// the campaign.
+type bogusValue struct{}
+
+func (bogusValue) Type() *ir.Type { return ir.I64 }
+func (bogusValue) Ref() string    { return "<bogus>" }
+
+// applyFault mutates the module at site s according to the fault's kind.
+// Faults are planted before instrumentation (so the payload accesses are
+// checked like program code), except for the postInstrument kinds.
+func applyFault(s *site, f Fault) error {
+	bld := ir.NewBuilder(s.fn)
+	slot := int64(f.Slot)
+	switch f.Kind {
+	case GEPOverflow:
+		bld.SetBefore(s.instr)
+		plantDeref(bld, s.base, slot, 1)
+	case GEPUnderflow:
+		bld.SetBefore(s.instr)
+		plantDeref(bld, s.base, -1, 1)
+	case GEPPadding:
+		// objSize <= slot-1 always holds: the allocator pads by at least
+		// one byte (footnote 3), so this lands past the object but inside
+		// the slot — exactly the low-fat blind spot.
+		bld.SetBefore(s.instr)
+		plantDeref(bld, s.base, int64(f.ObjSize), 1)
+	case AllocShrink:
+		old, ok := s.instr.Operands[1].(*ir.ConstInt)
+		if !ok {
+			return fmt.Errorf("alloc-shrink site %s: size is not constant", s.ref)
+		}
+		s.instr.Operands[1] = ir.NewInt(old.Ty, old.Signed()-1)
+		bld.SetAfter(s.instr)
+		plantDeref(bld, s.instr, int64(f.ObjSize)-1, 1)
+	case LibcallLen:
+		old, ok := s.instr.Operands[s.lenIdx].(*ir.ConstInt)
+		if !ok {
+			return fmt.Errorf("libcall-len site %s: length is not constant", s.ref)
+		}
+		// Any length beyond the destination object spills; +64 makes the
+		// spill unambiguous regardless of the original length.
+		s.instr.Operands[s.lenIdx] = ir.NewInt(old.Ty, int64(f.ObjSize)+64)
+	case ObfStaleUpdate:
+		slotA := entryAlloca(bld, s.fn)
+		bld.SetBefore(s.instr)
+		b8 := bld.Bitcast(s.base, rt.VoidPtr)
+		pi := bld.PtrToInt(b8)
+		wp := bld.IntToPtr(pi, rt.VoidPtr)
+		bld.Store(wp, slotA) // proper pointer store: metadata recorded
+		pj := bld.Add(pi, ir.NewInt(ir.I64, slot-4))
+		ai := bld.Bitcast(slotA, ir.PointerTo(ir.I64))
+		bld.Store(pj, ai) // integer store: metadata now stale
+		q := bld.Load(slotA)
+		q64 := bld.Bitcast(q, ir.PointerTo(ir.I64))
+		x := bld.Load(q64) // 8 bytes at slot-4: crosses the slot end
+		bld.Store(x, q64)
+	case ObfBenignInt:
+		slotB := entryAlloca(bld, s.fn)
+		bld.SetBefore(s.instr)
+		b8 := bld.Bitcast(s.base, rt.VoidPtr)
+		pi := bld.PtrToInt(b8)
+		bi := bld.Bitcast(slotB, ir.PointerTo(ir.I64))
+		bld.Store(pi, bi) // only ever stored as an integer
+		q := bld.Load(slotB)
+		x := bld.Load(q) // one byte at the base: in bounds
+		bld.Store(x, q)
+	case BytewiseCopy:
+		slotA := entryAlloca(bld, s.fn)
+		slotB := entryAlloca(bld, s.fn)
+		bld.SetBefore(s.instr)
+		b8 := bld.Bitcast(s.base, rt.VoidPtr)
+		bld.Store(b8, slotA) // proper store: slotA has exact metadata
+		a8 := bld.Bitcast(slotA, rt.VoidPtr)
+		c8 := bld.Bitcast(slotB, rt.VoidPtr)
+		for i := int64(0); i < 8; i++ {
+			pa := bld.GEP(a8, ir.NewInt(ir.I64, i))
+			x := bld.Load(pa)
+			pb := bld.GEP(c8, ir.NewInt(ir.I64, i))
+			bld.Store(x, pb)
+		}
+		q := bld.Load(slotB)
+		x := bld.Load(q) // in bounds; the copy carried no metadata
+		bld.Store(x, q)
+	case CrashOperand:
+		bld.SetBefore(s.instr)
+		b8 := bld.Bitcast(s.base, rt.VoidPtr)
+		c64 := bld.Bitcast(b8, ir.PointerTo(ir.I64))
+		bld.Store(bogusValue{}, c64)
+	case MemHog:
+		memset := s.fn.Parent.Func("memset")
+		if memset == nil {
+			memset = s.fn.Parent.NewDecl("memset",
+				ir.FuncOf(rt.VoidPtr, rt.VoidPtr, ir.I32, ir.I64))
+		}
+		bld.SetBefore(s.instr)
+		b8 := bld.Bitcast(s.base, rt.VoidPtr)
+		bld.Call(memset, b8, ir.NewInt(ir.I32, 0), ir.NewInt(ir.I64, 1<<40))
+	default:
+		return fmt.Errorf("unknown fault kind %v", f.Kind)
+	}
+	return nil
+}
+
+// plantDeref inserts a memory-neutral access (load + store-back of the same
+// bytes) of the given width at base+off, built from a fresh bitcast/GEP chain
+// so the instrumentation derives the payload's witness from the true
+// allocation.
+func plantDeref(bld *ir.Builder, base ir.Value, off int64, width int) {
+	b8 := bld.Bitcast(base, rt.VoidPtr)
+	p := bld.GEP(b8, ir.NewInt(ir.I64, off))
+	var q ir.Value = p
+	if width == 8 {
+		q = bld.Bitcast(p, ir.PointerTo(ir.I64))
+	}
+	x := bld.Load(q)
+	bld.Store(x, q)
+}
+
+// entryAlloca creates a fresh pointer-sized stack slot in the entry block,
+// where it dominates every use and is allocated once per call.
+func entryAlloca(bld *ir.Builder, fn *ir.Func) *ir.Instr {
+	bld.SetBefore(fn.Entry().FirstNonPhi())
+	return bld.Alloca(rt.VoidPtr)
+}

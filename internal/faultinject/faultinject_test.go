@@ -1,0 +1,215 @@
+package faultinject
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/spec"
+)
+
+// fastBenches are small benchmarks that cover all three site categories
+// between them (300twolf is the only program with constant-length library
+// calls).
+func fastBenches(t *testing.T) []*spec.Benchmark {
+	t.Helper()
+	var out []*spec.Benchmark
+	for _, name := range []string{"462libquantum", "300twolf"} {
+		b := spec.ByName(name)
+		if b == nil {
+			t.Fatalf("benchmark %s missing", name)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestFaultMatrix replays the standard fault kinds under both mechanisms and
+// asserts the paper's security analysis (Section 6): everything detects plain
+// over/underflows; Low-Fat Pointers provably misses in-padding accesses and
+// shrunken allocations that stay in their slot; SoftBound misses accesses
+// through pointers whose metadata went stale after an integer-typed update,
+// and false-positives on benign integer-laundered or byte-copied pointers.
+func TestFaultMatrix(t *testing.T) {
+	rep := Run(Options{Seed: 1, Benches: fastBenches(t)})
+	if len(rep.Failures) != 0 {
+		t.Fatalf("campaign failures: %v", rep.Failures)
+	}
+	t.Logf("\n%s", rep.Render())
+
+	sb, lf := core.MechSoftBound, core.MechLowFat
+	type want struct {
+		mech    core.Mech
+		kind    Kind
+		outcome Outcome
+	}
+	// Every planted variant of these kinds must land in exactly this cell.
+	wants := []want{
+		{sb, GEPOverflow, OutDetected},
+		{lf, GEPOverflow, OutDetected},
+		{sb, GEPUnderflow, OutDetected},
+		{lf, GEPUnderflow, OutDetected},
+
+		// The low-fat padding blind spot: SoftBound sees it, Low-Fat cannot.
+		{sb, GEPPadding, OutDetected},
+		{lf, GEPPadding, OutMissed},
+		{sb, AllocShrink, OutDetected},
+		{lf, AllocShrink, OutMissed},
+
+		// Only the SoftBound wrappers see inside library calls.
+		{sb, LibcallLen, OutDetected},
+
+		// The SoftBound stale-metadata blind spot: the integer-typed
+		// pointer update leaves wide bounds behind; Low-Fat re-derives
+		// bounds from the pointer value and catches the stray access.
+		{sb, ObfStaleUpdate, OutMissed},
+		{lf, ObfStaleUpdate, OutDetected},
+
+		// Benign integer laundering: false positive for the trie, silent
+		// pass for value-derived bounds.
+		{sb, ObfBenignInt, OutFalsePos},
+		{lf, ObfBenignInt, OutPassed},
+		{sb, BytewiseCopy, OutFalsePos},
+		{lf, BytewiseCopy, OutPassed},
+	}
+	for _, w := range wants {
+		c := rep.Cell(w.mech, w.kind)
+		if c.Planted == 0 {
+			t.Errorf("%s/%s: no variants planted", w.mech, w.kind)
+			continue
+		}
+		var got int
+		switch w.outcome {
+		case OutDetected:
+			got = c.Detected
+		case OutMissed:
+			got = c.Missed
+		case OutFalsePos:
+			got = c.FalsePos
+		case OutPassed:
+			got = c.Passed
+		}
+		if got != c.Planted {
+			t.Errorf("%s/%s: want all %d variants %s, got cell %+v",
+				w.mech, w.kind, c.Planted, w.outcome, c)
+		}
+	}
+	// Both mechanisms' blind spots must actually have been exercised.
+	if c := rep.Cell(lf, GEPPadding); c.Missed == 0 {
+		t.Error("low-fat padding blind spot not exercised")
+	}
+	if c := rep.Cell(sb, ObfStaleUpdate); c.Missed == 0 {
+		t.Error("softbound stale-metadata blind spot not exercised")
+	}
+}
+
+// TestCampaignDeterministic runs the same seeded campaign twice; the VM, the
+// pipeline and the planner are all deterministic, so the full result lists
+// must be identical.
+func TestCampaignDeterministic(t *testing.T) {
+	b := spec.ByName("462libquantum")
+	opts := Options{Seed: 7, Benches: []*spec.Benchmark{b}}
+	r1 := Run(opts)
+	r2 := Run(opts)
+	if !reflect.DeepEqual(r1.Results, r2.Results) {
+		t.Errorf("same seed produced different results:\n%s\nvs\n%s", r1.Render(), r2.Render())
+	}
+	if len(r1.Results) == 0 {
+		t.Fatal("campaign planted nothing")
+	}
+}
+
+// TestVariantModuleDeterministic builds the same fault variant from two
+// independent compiles; the mutated, instrumented modules must be
+// byte-identical.
+func TestVariantModuleDeterministic(t *testing.T) {
+	b := spec.ByName("462libquantum")
+	rep := Run(Options{Seed: 3, Benches: []*spec.Benchmark{b}, Kinds: []Kind{GEPPadding, ObfStaleUpdate}})
+	if len(rep.Results) == 0 {
+		t.Fatal("no variants planted")
+	}
+	f := rep.Results[0].Fault
+	var texts []string
+	for i := 0; i < 2; i++ {
+		m, err := b.Compile()
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		variant, err := BuildVariant(m, f, core.MechSoftBound)
+		if err != nil {
+			t.Fatalf("build variant: %v", err)
+		}
+		texts = append(texts, ir.FormatModule(variant))
+	}
+	if texts[0] != texts[1] {
+		t.Error("same fault produced different variant modules")
+	}
+}
+
+// TestCampaignSurvivesHostileVariants plants variants that panic the VM
+// evaluator and blow through the memory budget; the campaign must complete
+// with those cells marked crashed and everything else intact.
+func TestCampaignSurvivesHostileVariants(t *testing.T) {
+	b := spec.ByName("462libquantum")
+	rep := Run(Options{
+		Seed:      1,
+		Benches:   []*spec.Benchmark{b},
+		Kinds:     []Kind{CrashOperand, MemHog, GEPPadding},
+		MemBudget: 1 << 22,
+	})
+	if len(rep.Failures) != 0 {
+		t.Fatalf("campaign failures: %v", rep.Failures)
+	}
+	t.Logf("\n%s", rep.Render())
+
+	for _, vr := range rep.Results {
+		switch vr.Fault.Kind {
+		case CrashOperand:
+			if vr.Outcome != OutCrashed {
+				t.Errorf("crash-operand under %s: outcome %s, want crashed", vr.Mech, vr.Outcome)
+			}
+			if !strings.Contains(vr.Detail, "cannot evaluate") {
+				t.Errorf("crash-operand under %s: detail %q lacks structured VM error", vr.Mech, vr.Detail)
+			}
+		case MemHog:
+			// SoftBound's wrappers flag the oversized memset before it
+			// runs; without them the write hits the memory budget.
+			switch vr.Mech {
+			case core.MechLowFat:
+				if vr.Outcome != OutCrashed || !strings.Contains(vr.Detail, "memory budget exceeded") {
+					t.Errorf("mem-hog under lowfat: got %s (%s), want budget crash", vr.Outcome, vr.Detail)
+				}
+			case core.MechSoftBound:
+				if vr.Outcome != OutDetected && vr.Outcome != OutCrashed {
+					t.Errorf("mem-hog under softbound: got %s (%s)", vr.Outcome, vr.Detail)
+				}
+			}
+		case GEPPadding:
+			// The healthy variant in the same campaign still classifies.
+			if vr.Outcome == OutCrashed {
+				t.Errorf("gep-padding under %s crashed: %s", vr.Mech, vr.Detail)
+			}
+		}
+	}
+	if got := len(rep.Results); got != 6 {
+		t.Errorf("want 6 variant results, got %d", got)
+	}
+}
+
+// TestSiteEnumerationSkipsUninstrumented makes sure payloads never land in
+// functions the instrumentation would skip (their accesses would be
+// unchecked, breaking every expectation).
+func TestSiteEnumerationSkipsUninstrumented(t *testing.T) {
+	b := spec.ByName("462libquantum")
+	m, err := b.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, s := range enumerateSites(m) {
+		if s.fn.External || s.fn.IgnoreInstrumentation {
+			t.Errorf("site %s anchors in uninstrumentable function", s.ref)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -18,15 +19,21 @@ type Series struct {
 }
 
 // Figure is a rendered experiment: per-benchmark values for several
-// configurations, plus the geometric mean the paper quotes.
+// configurations, plus the geometric mean the paper quotes. Cells whose run
+// failed hold NaN and are listed in Failures; the figure is still rendered
+// (partial results beat no results for a many-benchmark campaign).
 type Figure struct {
 	Title      string
 	Benchmarks []string
 	Series     []Series
 	Notes      []string
+	// Failures annotates cells that could not be measured, one
+	// "bench/config: cause" line each, sorted.
+	Failures []string
 }
 
 // Render formats the figure as an aligned text table with a geomean row.
+// Failed cells render as "fail" and are excluded from the geomean.
 func (f *Figure) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n", f.Title)
@@ -36,26 +43,37 @@ func (f *Figure) Render() string {
 		fmt.Fprintf(&sb, "%14s", s.Label)
 	}
 	sb.WriteByte('\n')
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return fmt.Sprintf("%14s", "fail")
+		}
+		return fmt.Sprintf("%13.2fx", v)
+	}
 	for i, b := range f.Benchmarks {
 		fmt.Fprintf(&sb, "%-16s", b)
 		for _, s := range f.Series {
-			fmt.Fprintf(&sb, "%13.2fx", s.Values[i])
+			sb.WriteString(cell(s.Values[i]))
 		}
 		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "%-16s", "geomean")
 	for _, s := range f.Series {
-		fmt.Fprintf(&sb, "%13.2fx", GeoMean(s.Values))
+		sb.WriteString(cell(GeoMean(s.Values)))
 	}
 	sb.WriteByte('\n')
 	for _, n := range f.Notes {
 		fmt.Fprintf(&sb, "note: %s\n", n)
 	}
+	for _, fl := range f.Failures {
+		fmt.Fprintf(&sb, "FAILED: %s\n", fl)
+	}
 	return sb.String()
 }
 
 // overheadMatrix runs every benchmark under each config and collects
-// overheads vs. the baseline, in parallel across benchmarks.
+// overheads vs. the baseline, in parallel across benchmarks. Failures mark
+// their cell NaN and are reported in Figure.Failures instead of aborting the
+// whole matrix.
 func (r *Runner) overheadMatrix(configs []RunConfig) (*Figure, error) {
 	benches := spec.All()
 	fig := &Figure{}
@@ -74,9 +92,8 @@ func (r *Runner) overheadMatrix(configs []RunConfig) (*Figure, error) {
 		}
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
+		wg sync.WaitGroup
+		mu sync.Mutex
 	)
 	sem := make(chan struct{}, 8)
 	for _, j := range jobs {
@@ -90,17 +107,16 @@ func (r *Runner) overheadMatrix(configs []RunConfig) (*Figure, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				errs = append(errs, err)
+				fig.Series[j.ci].Values[j.bi] = math.NaN()
+				fig.Failures = append(fig.Failures,
+					fmt.Sprintf("%s/%s: %v", benches[j.bi].Name, configs[j.ci].Label, err))
 				return
 			}
 			fig.Series[j.ci].Values[j.bi] = ov
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		sort.Slice(errs, func(i, k int) bool { return errs[i].Error() < errs[k].Error() })
-		return nil, errs[0]
-	}
+	sort.Strings(fig.Failures)
 	return fig, nil
 }
 
@@ -209,16 +225,18 @@ type Table2Row struct {
 	// SizeZeroArrays marks benchmarks containing size-zero array
 	// declarations (bold in the paper).
 	SizeZeroArrays bool
+	// Failed carries the cause when the row could not be measured.
+	Failed string
 }
 
-// Table2 reproduces the unsafe-dereference statistics of Table 2.
+// Table2 reproduces the unsafe-dereference statistics of Table 2. Rows whose
+// runs failed carry the cause in Failed instead of aborting the table.
 func (r *Runner) Table2() ([]Table2Row, error) {
 	benches := spec.All()
 	rows := make([]Table2Row, len(benches))
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
+		wg sync.WaitGroup
+		mu sync.Mutex
 	)
 	sem := make(chan struct{}, 8)
 	for i, b := range benches {
@@ -241,29 +259,23 @@ func (r *Runner) Table2() ([]Table2Row, error) {
 			_, lfRes, lfErr := r.Overhead(b, PaperConfig(core.MechLowFat))
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, err)
-				return
+			switch {
+			case err != nil:
+				row.Failed = err.Error()
+			case sbErr != nil:
+				row.Failed = sbErr.Error()
+			case lfErr != nil:
+				row.Failed = lfErr.Error()
+			default:
+				row.SB = sbRes.Stats.UnsafePercent()
+				row.LF = lfRes.Stats.UnsafePercent()
+				row.SBZero = sbRes.Stats.WideChecks == 0
+				row.LFZero = lfRes.Stats.WideChecks == 0
 			}
-			if sbErr != nil {
-				errs = append(errs, sbErr)
-				return
-			}
-			if lfErr != nil {
-				errs = append(errs, lfErr)
-				return
-			}
-			row.SB = sbRes.Stats.UnsafePercent()
-			row.LF = lfRes.Stats.UnsafePercent()
-			row.SBZero = sbRes.Stats.WideChecks == 0
-			row.LFZero = lfRes.Stats.WideChecks == 0
 			rows[i] = row
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
-	}
 	return rows, nil
 }
 
@@ -274,7 +286,17 @@ func RenderTable2(rows []Table2Row) string {
 	title := "Table 2: Unsafe dereferences in % (wide-bounds checks / all checks)"
 	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
 	fmt.Fprintf(&sb, "%-18s%10s%10s\n", "benchmark", "SB", "LF")
+	var failed []string
 	for _, r := range rows {
+		name := r.Bench
+		if r.SizeZeroArrays {
+			name += " [sz]"
+		}
+		if r.Failed != "" {
+			fmt.Fprintf(&sb, "%-18s%10s%10s\n", name, "fail", "fail")
+			failed = append(failed, r.Bench+": "+r.Failed)
+			continue
+		}
 		mark := func(v float64, zero bool) string {
 			s := fmt.Sprintf("%.2f", v)
 			if zero {
@@ -282,13 +304,12 @@ func RenderTable2(rows []Table2Row) string {
 			}
 			return s
 		}
-		name := r.Bench
-		if r.SizeZeroArrays {
-			name += " [sz]"
-		}
 		fmt.Fprintf(&sb, "%-18s%10s%10s\n", name, mark(r.SB, r.SBZero), mark(r.LF, r.LFZero))
 	}
 	sb.WriteString("[sz] = contains size-zero array declarations; * = zero wide checks\n")
+	for _, f := range failed {
+		fmt.Fprintf(&sb, "FAILED: %s\n", f)
+	}
 	return sb.String()
 }
 
@@ -307,6 +328,8 @@ type ElimRow struct {
 	CompilerRemoved int
 	// RuntimeDelta is overhead(unoptimized) - overhead(optimized).
 	RuntimeDelta float64
+	// Failed carries the cause when the row could not be measured.
+	Failed string
 }
 
 // Percent returns the eliminated fraction in percent.
@@ -318,14 +341,13 @@ func (e *ElimRow) Percent() float64 {
 }
 
 // EliminationStats measures the dominance check elimination per benchmark
-// for one mechanism.
+// for one mechanism. Failed rows carry the cause instead of aborting.
 func (r *Runner) EliminationStats(mech core.Mech) ([]ElimRow, error) {
 	benches := spec.All()
 	rows := make([]ElimRow, len(benches))
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
+		wg sync.WaitGroup
+		mu sync.Mutex
 	)
 	sem := make(chan struct{}, 8)
 	for i, b := range benches {
@@ -343,28 +365,22 @@ func (r *Runner) EliminationStats(mech core.Mech) ([]ElimRow, error) {
 			ovNoopt, _, err2 := r.Overhead(b, nooptCfg)
 			mu.Lock()
 			defer mu.Unlock()
-			if err1 != nil {
-				errs = append(errs, err1)
-				return
+			row := ElimRow{Bench: b.Name, Mech: mech.String()}
+			switch {
+			case err1 != nil:
+				row.Failed = err1.Error()
+			case err2 != nil:
+				row.Failed = err2.Error()
+			default:
+				row.StaticChecks = resOpt.InstrStats.DerefTargets
+				row.Eliminated = resOpt.InstrStats.ChecksEliminated
+				row.CompilerRemoved = resOpt.PipeStats.ChecksRemovedByCompiler
+				row.RuntimeDelta = ovNoopt - ovOpt
 			}
-			if err2 != nil {
-				errs = append(errs, err2)
-				return
-			}
-			rows[i] = ElimRow{
-				Bench:           b.Name,
-				Mech:            mech.String(),
-				StaticChecks:    resOpt.InstrStats.DerefTargets,
-				Eliminated:      resOpt.InstrStats.ChecksEliminated,
-				CompilerRemoved: resOpt.PipeStats.ChecksRemovedByCompiler,
-				RuntimeDelta:    ovNoopt - ovOpt,
-			}
+			rows[i] = row
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
-	}
 	return rows, nil
 }
 
@@ -374,11 +390,20 @@ func RenderElimination(rows []ElimRow) string {
 	title := "Section 5.3: dominance-based check elimination (" + rows[0].Mech + ")"
 	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
 	fmt.Fprintf(&sb, "%-16s%10s%12s%12s%14s\n", "benchmark", "targets", "eliminated", "(%)", "runtime delta")
+	var failed []string
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(&sb, "%-16s%10s%12s%12s%14s\n", r.Bench, "fail", "-", "-", "-")
+			failed = append(failed, r.Bench+": "+r.Failed)
+			continue
+		}
 		fmt.Fprintf(&sb, "%-16s%10d%12d%11.1f%%%13.3fx\n",
 			r.Bench, r.StaticChecks, r.Eliminated, r.Percent(), r.RuntimeDelta)
 	}
 	sb.WriteString("paper: 8%-50% of checks removed, minor runtime impact (compiler removes duplicates itself)\n")
+	for _, f := range failed {
+		fmt.Fprintf(&sb, "FAILED: %s\n", f)
+	}
 	return sb.String()
 }
 

@@ -133,12 +133,23 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 	return e.res, e.err
 }
 
-func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
+func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig) (res *Result, err error) {
+	// A panic anywhere in the pipeline, instrumentation or VM must not take
+	// down the whole campaign: it becomes this run's failure.
+	defer func() {
+		if p := recover(); p != nil {
+			if res == nil {
+				res = &Result{Bench: b.Name, Config: cfg}
+			}
+			res.Err = fmt.Errorf("%s under %s panicked: %v", b.Name, cfg.Label, p)
+			err = nil
+		}
+	}()
 	m, err := r.module(b)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Bench: b.Name, Config: cfg}
+	res = &Result{Bench: b.Name, Config: cfg}
 
 	var hook func(*ir.Module)
 	if cfg.Instrument {
@@ -205,18 +216,28 @@ func (r *Runner) Overhead(b *spec.Benchmark, cfg RunConfig) (float64, *Result, e
 		return 0, res, fmt.Errorf("%s under %s changed program output:\nbaseline: %sinstrumented: %s",
 			b.Name, cfg.Label, base.Output, res.Output)
 	}
+	// A zero-cost baseline would make the division produce +Inf/NaN and
+	// silently poison every geometric mean downstream.
+	if base.Stats.Cost == 0 {
+		return 0, res, fmt.Errorf("baseline %s has zero cost; overhead undefined", b.Name)
+	}
 	return float64(res.Stats.Cost) / float64(base.Stats.Cost), res, nil
 }
 
 // GeoMean returns the geometric mean of the values (the paper reports mean
-// slowdowns as geometric means over the benchmarks).
+// slowdowns as geometric means over the benchmarks). NaN values — failed
+// cells in a partial figure — are skipped rather than poisoning the mean.
 func GeoMean(vals []float64) float64 {
-	if len(vals) == 0 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, v := range vals {
-		sum += math.Log(v)
-	}
-	return math.Exp(sum / float64(len(vals)))
+	return math.Exp(sum / float64(n))
 }

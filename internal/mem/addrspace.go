@@ -38,6 +38,19 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("segmentation fault: %s at address %#x", f.Op, f.Addr)
 }
 
+// BudgetError reports that an access would materialize more memory than the
+// configured limit allows. It plays the role of the OOM killer: a runaway
+// program fails with a structured error instead of exhausting the host.
+type BudgetError struct {
+	Limit     uint64
+	Requested uint64
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("memory budget exceeded: %d bytes requested, limit %d", e.Requested, e.Limit)
+}
+
 type page struct {
 	data [PageSize]byte
 }
@@ -47,6 +60,9 @@ type AddrSpace struct {
 	pages map[uint64]*page
 	// BytesMapped counts materialized memory for statistics.
 	BytesMapped uint64
+	// Limit, when nonzero, caps BytesMapped: an access that would
+	// materialize a page beyond the limit fails with a BudgetError.
+	Limit uint64
 }
 
 // NewAddrSpace returns an empty address space.
@@ -54,15 +70,18 @@ func NewAddrSpace() *AddrSpace {
 	return &AddrSpace{pages: make(map[uint64]*page)}
 }
 
-func (as *AddrSpace) pageFor(addr uint64) *page {
+func (as *AddrSpace) pageFor(addr uint64) (*page, error) {
 	pn := addr >> PageBits
 	p := as.pages[pn]
 	if p == nil {
+		if as.Limit != 0 && as.BytesMapped+PageSize > as.Limit {
+			return nil, &BudgetError{Limit: as.Limit, Requested: as.BytesMapped + PageSize}
+		}
 		p = &page{}
 		as.pages[pn] = p
 		as.BytesMapped += PageSize
 	}
-	return p
+	return p, nil
 }
 
 func (as *AddrSpace) check(addr uint64, width int, op string) error {
@@ -83,7 +102,10 @@ func (as *AddrSpace) Load(addr uint64, width int) (uint64, error) {
 	}
 	off := addr & (PageSize - 1)
 	if off+uint64(width) <= PageSize {
-		p := as.pageFor(addr)
+		p, err := as.pageFor(addr)
+		if err != nil {
+			return 0, err
+		}
 		switch width {
 		case 1:
 			return uint64(p.data[off]), nil
@@ -120,7 +142,10 @@ func (as *AddrSpace) Store(addr uint64, width int, val uint64) error {
 	}
 	off := addr & (PageSize - 1)
 	if off+uint64(width) <= PageSize {
-		p := as.pageFor(addr)
+		p, err := as.pageFor(addr)
+		if err != nil {
+			return err
+		}
 		switch width {
 		case 1:
 			p.data[off] = byte(val)
@@ -147,7 +172,10 @@ func (as *AddrSpace) ReadBytes(addr uint64, dst []byte) error {
 		return err
 	}
 	for len(dst) > 0 {
-		p := as.pageFor(addr)
+		p, err := as.pageFor(addr)
+		if err != nil {
+			return err
+		}
 		off := addr & (PageSize - 1)
 		n := copy(dst, p.data[off:])
 		dst = dst[n:]
@@ -162,7 +190,10 @@ func (as *AddrSpace) WriteBytes(addr uint64, src []byte) error {
 		return err
 	}
 	for len(src) > 0 {
-		p := as.pageFor(addr)
+		p, err := as.pageFor(addr)
+		if err != nil {
+			return err
+		}
 		off := addr & (PageSize - 1)
 		n := copy(p.data[off:], src)
 		src = src[n:]
@@ -177,7 +208,10 @@ func (as *AddrSpace) Memset(addr uint64, b byte, n uint64) error {
 		return err
 	}
 	for n > 0 {
-		p := as.pageFor(addr)
+		p, err := as.pageFor(addr)
+		if err != nil {
+			return err
+		}
 		off := addr & (PageSize - 1)
 		chunk := PageSize - off
 		if chunk > n {
@@ -197,6 +231,11 @@ func (as *AddrSpace) Memset(addr uint64, b byte, n uint64) error {
 func (as *AddrSpace) Memmove(dst, src, n uint64) error {
 	if n == 0 {
 		return nil
+	}
+	// The staging buffer is host memory: check it against the budget before
+	// allocating, or a corrupted length reaches make() and OOMs the host.
+	if as.Limit != 0 && n > as.Limit {
+		return &BudgetError{Limit: as.Limit, Requested: n}
 	}
 	buf := make([]byte, n)
 	if err := as.ReadBytes(src, buf); err != nil {

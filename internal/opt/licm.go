@@ -41,7 +41,7 @@ func (LICM) Run(f *ir.Func) bool {
 		// can make its users invariant.
 		for {
 			hoisted := false
-			for b := range loop.Blocks {
+			for _, b := range loop.Body {
 				for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
 					if in.Op == ir.OpLoad {
 						if !loadsSafe || !speculatableAddress(in.Operands[0]) {

@@ -57,6 +57,9 @@ type frame struct {
 	// fallbackAllocas are oversized mirrored allocas that went to the
 	// standard allocator and must be freed on return.
 	fallbackAllocas []uint64
+	// curBlock/curInstr track the execution position for backtraces.
+	curBlock *ir.Block
+	curInstr *ir.Instr
 }
 
 // val evaluates an operand in the context of a frame.
@@ -81,7 +84,10 @@ func (v *VM) val(fr *frame, x ir.Value) uint64 {
 	case *ir.Func:
 		return v.funcAddrs[y]
 	}
-	panic(fmt.Sprintf("vm: cannot evaluate %T", x))
+	// Unknown value kinds indicate a malformed module. The panic is typed so
+	// that Run's recovery reports it as a structured error with the
+	// backtrace of the instruction that referenced the value.
+	panic(&RuntimeError{Msg: fmt.Sprintf("cannot evaluate operand of type %T", x), Trace: v.backtrace()})
 }
 
 // call runs a function to completion and returns its result.
@@ -102,7 +108,9 @@ func (v *VM) call(f *ir.Func, args []uint64) (uint64, error) {
 	if v.opts.LowFatStack {
 		fr.lfMark = v.LF.Checkpoint()
 	}
+	v.frames = append(v.frames, fr)
 	ret, err := v.exec(fr)
+	v.frames = v.frames[:len(v.frames)-1]
 	v.sp = fr.savedSP
 	if v.opts.LowFatStack {
 		v.LF.Release(fr.lfMark)
@@ -120,6 +128,7 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 	cm := v.cost
 
 	for {
+		fr.curBlock = block
 		// Phase 1: evaluate all phis of the block against prev
 		// simultaneously (classic parallel-copy semantics).
 		phis := block.Phis()
@@ -140,12 +149,16 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 		}
 
 		for _, in := range block.Instrs[len(phis):] {
+			fr.curInstr = in
 			v.steps++
 			if v.steps > v.maxSteps {
-				return 0, &RuntimeError{Msg: "step limit exceeded"}
+				return 0, &RuntimeError{Msg: "step limit exceeded", Trace: v.backtrace()}
 			}
 			v.Stats.Instrs++
 			v.Stats.Cost += cm.instrCost(in)
+			if v.opts.CoverInstrs != nil {
+				v.opts.CoverInstrs[in] = true
+			}
 
 			switch in.Op {
 			case ir.OpAdd:
@@ -158,7 +171,7 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 				a := signExtend(v.val(fr, in.Operands[0]), in.Ty.Bits)
 				b := signExtend(v.val(fr, in.Operands[1]), in.Ty.Bits)
 				if b == 0 {
-					return 0, &RuntimeError{Msg: "integer division by zero"}
+					return 0, &RuntimeError{Msg: "integer division by zero", Trace: v.backtrace()}
 				}
 				var r int64
 				if in.Op == ir.OpSDiv {
@@ -171,7 +184,7 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 				a := truncate(v.val(fr, in.Operands[0]), in.Ty.Bits)
 				b := truncate(v.val(fr, in.Operands[1]), in.Ty.Bits)
 				if b == 0 {
-					return 0, &RuntimeError{Msg: "integer division by zero"}
+					return 0, &RuntimeError{Msg: "integer division by zero", Trace: v.backtrace()}
 				}
 				var r uint64
 				if in.Op == ir.OpUDiv {
@@ -246,7 +259,7 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 				addr := v.val(fr, in.Operands[0])
 				width := in.Ty.Size()
 				if in.Ty.IsAggregate() {
-					return 0, &RuntimeError{Msg: "aggregate load not supported"}
+					return 0, &RuntimeError{Msg: "aggregate load not supported", Trace: v.backtrace()}
 				}
 				x, err := v.AS.Load(addr, width)
 				if err != nil {
@@ -260,7 +273,7 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 				addr := v.val(fr, in.Operands[1])
 				vt := in.Operands[0].Type()
 				if vt.IsAggregate() {
-					return 0, &RuntimeError{Msg: "aggregate store not supported"}
+					return 0, &RuntimeError{Msg: "aggregate store not supported", Trace: v.backtrace()}
 				}
 				if err := v.AS.Store(addr, vt.Size(), val); err != nil {
 					return 0, err
@@ -286,7 +299,7 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 			case ir.OpCall:
 				callee := in.Callee()
 				if callee == nil {
-					return 0, &RuntimeError{Msg: "indirect call not supported"}
+					return 0, &RuntimeError{Msg: "indirect call not supported", Trace: v.backtrace()}
 				}
 				args := in.Args()
 				argv := make([]uint64, len(args))
@@ -298,7 +311,7 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 				if callee.IsDecl() {
 					h, ok := v.externals[callee.Name]
 					if !ok {
-						return 0, &RuntimeError{Msg: "call to unknown external @" + callee.Name}
+						return 0, &RuntimeError{Msg: "call to unknown external @" + callee.Name, Trace: v.backtrace()}
 					}
 					ret, err = h(v, in, argv)
 				} else {
@@ -333,13 +346,13 @@ func (v *VM) exec(fr *frame) (uint64, error) {
 				goto nextBlock
 
 			case ir.OpUnreachable:
-				return 0, &RuntimeError{Msg: "reached unreachable in @" + fr.fn.Name}
+				return 0, &RuntimeError{Msg: "reached unreachable in @" + fr.fn.Name, Trace: v.backtrace()}
 
 			default:
-				return 0, &RuntimeError{Msg: "unsupported op " + in.Op.String()}
+				return 0, &RuntimeError{Msg: "unsupported op " + in.Op.String(), Trace: v.backtrace()}
 			}
 		}
-		return 0, &RuntimeError{Msg: "block %" + block.Name + " fell through without terminator"}
+		return 0, &RuntimeError{Msg: "block %" + block.Name + " fell through without terminator", Trace: v.backtrace()}
 
 	nextBlock:
 		continue
@@ -456,7 +469,7 @@ func (v *VM) execAlloca(fr *frame, in *ir.Instr) (uint64, error) {
 	}
 	nsp := (v.sp - size) &^ (align - 1)
 	if nsp < mem.StackLimit {
-		return 0, &RuntimeError{Msg: "stack overflow"}
+		return 0, &RuntimeError{Msg: "stack overflow", Trace: v.backtrace()}
 	}
 	v.sp = nsp
 	return nsp, nil

@@ -1,0 +1,132 @@
+package vm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+func compileModule(t *testing.T, src string) (*ir.Module, error) {
+	t.Helper()
+	return cc.Compile("t", cc.Source{Name: "t.c", Code: src})
+}
+
+// unknownValue is an operand kind the interpreter has no case for.
+type unknownValue struct{}
+
+func (unknownValue) Type() *ir.Type { return ir.I64 }
+func (unknownValue) Ref() string    { return "<unknown>" }
+
+// A module containing an operand the VM cannot evaluate must fail with a
+// structured RuntimeError carrying an IR-level backtrace — not a raw Go
+// panic that would take down a whole experiment campaign.
+func TestMalformedModuleYieldsErrorNotPanic(t *testing.T) {
+	m := ir.NewModule("malformed")
+	f := m.NewFunc("main", ir.FuncOf(ir.I32))
+	entry := f.NewBlock("entry")
+	bld := ir.NewBuilder(f)
+	bld.SetBlock(entry)
+	slot := bld.Alloca(ir.I64)
+	bld.Store(unknownValue{}, slot)
+	bld.Ret(ir.NewInt(ir.I32, 0))
+
+	machine, err := vm.New(m, vm.Options{})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	_, rerr := machine.Run() // must not panic
+	var re *vm.RuntimeError
+	if !errors.As(rerr, &re) {
+		t.Fatalf("want *vm.RuntimeError, got %T: %v", rerr, rerr)
+	}
+	if !strings.Contains(re.Msg, "cannot evaluate") {
+		t.Errorf("unexpected message: %q", re.Msg)
+	}
+	if len(re.Trace) == 0 {
+		t.Fatal("RuntimeError carries no backtrace")
+	}
+	if re.Trace[0].Func != "main" {
+		t.Errorf("innermost frame is %q, want main", re.Trace[0].Func)
+	}
+}
+
+// Runtime errors from ordinary traps carry the IR backtrace too.
+func TestRuntimeErrorBacktrace(t *testing.T) {
+	_, _, err := compileAndRun(t, `
+int zero;
+int helper(int x) { return x / zero; }
+int main() { return helper(8); }`, vm.Options{})
+	var re *vm.RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *vm.RuntimeError, got %T: %v", err, err)
+	}
+	if len(re.Trace) < 2 {
+		t.Fatalf("want at least 2 frames, got %v", re.Trace)
+	}
+	if re.Trace[0].Func != "helper" || re.Trace[len(re.Trace)-1].Func != "main" {
+		t.Errorf("unexpected trace order: %v", re.Trace)
+	}
+	if !strings.Contains(err.Error(), "at @helper") {
+		t.Errorf("rendered error lacks frame: %v", err)
+	}
+}
+
+// A program that materializes more memory than the budget allows fails with
+// a structured BudgetError instead of exhausting the host.
+func TestMemBudgetEnforced(t *testing.T) {
+	src := `
+int main() {
+    char *p = malloc(1 << 24);
+    long i;
+    for (i = 0; i < (1 << 24); i += 4096) p[i] = 1;
+    return p[0];
+}`
+	// Without a budget the program runs fine.
+	_, code, err := compileAndRun(t, src, vm.Options{})
+	if err != nil || code != 1 {
+		t.Fatalf("unbudgeted run: code=%d err=%v", code, err)
+	}
+	_, _, err = compileAndRun(t, src, vm.Options{MemBudget: 1 << 21})
+	var be *mem.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *mem.BudgetError, got %T: %v", err, err)
+	}
+	if be.Limit != 1<<21 {
+		t.Errorf("budget error limit = %d, want %d", be.Limit, 1<<21)
+	}
+}
+
+// Coverage tracking records executed instructions only.
+func TestCoverInstrs(t *testing.T) {
+	m, err := compileModule(t, `
+int g;
+int main() {
+    if (g) { g = 2; } else { g = 3; }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cover := make(map[*ir.Instr]bool)
+	machine, err := vm.New(m, vm.Options{CoverInstrs: cover})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	if _, rerr := machine.Run(); rerr != nil {
+		t.Fatalf("run: %v", rerr)
+	}
+	total := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			total += len(b.Instrs)
+		}
+	}
+	if len(cover) == 0 || len(cover) >= total {
+		t.Errorf("covered %d of %d instructions; the dead branch should be missing", len(cover), total)
+	}
+}

@@ -68,6 +68,14 @@ type Options struct {
 	Stdout io.Writer
 	// MaxSteps aborts runaway programs (0 means the default of 2^34).
 	MaxSteps uint64
+	// MemBudget, when nonzero, caps the bytes of address space the program
+	// may materialize; exceeding it fails the run with a mem.BudgetError
+	// instead of exhausting the host.
+	MemBudget uint64
+	// CoverInstrs, when non-nil, receives every executed instruction
+	// (coverage tracking for the fault-injection campaign). Sharing the map
+	// across concurrent VMs is the caller's problem.
+	CoverInstrs map[*ir.Instr]bool
 }
 
 // Stats aggregates dynamic execution statistics.
@@ -121,12 +129,42 @@ func (v *ViolationError) Error() string {
 	return fmt.Sprintf("%s: %s violation at pointer %#x: %s", v.Mechanism, v.Kind, v.Ptr, v.Detail)
 }
 
+// TraceFrame is one level of an IR-level backtrace: the function, block and
+// instruction that were executing when the error was raised.
+type TraceFrame struct {
+	Func  string
+	Block string
+	Instr string
+}
+
+// String formats the frame like a debugger line.
+func (t TraceFrame) String() string {
+	s := "@" + t.Func
+	if t.Block != "" {
+		s += " %" + t.Block
+	}
+	if t.Instr != "" {
+		s += ": " + t.Instr
+	}
+	return s
+}
+
 // RuntimeError is an internal execution error (unsupported operation,
-// division by zero, step limit).
-type RuntimeError struct{ Msg string }
+// division by zero, step limit). Trace, when present, is the IR-level
+// backtrace from the innermost frame outwards.
+type RuntimeError struct {
+	Msg   string
+	Trace []TraceFrame
+}
 
 // Error implements the error interface.
-func (e *RuntimeError) Error() string { return "vm: " + e.Msg }
+func (e *RuntimeError) Error() string {
+	s := "vm: " + e.Msg
+	for _, t := range e.Trace {
+		s += "\n\tat " + t.String()
+	}
+	return s
+}
 
 // exitSignal unwinds the interpreter on exit().
 type exitSignal struct{ code int32 }
@@ -158,6 +196,9 @@ type VM struct {
 	rng       uint64
 	steps     uint64
 	maxSteps  uint64
+	// frames is the active interpreter frame stack, innermost last; it
+	// exists purely to produce IR-level backtraces.
+	frames []*frame
 }
 
 // New creates a VM for the module with the given options and lays out the
@@ -184,6 +225,7 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	if v.maxSteps == 0 {
 		v.maxSteps = 1 << 34
 	}
+	v.AS.Limit = opts.MemBudget
 	v.LF = lowfat.NewAllocator(v.Std)
 	if opts.Mechanism == MechSoftBound {
 		v.Trie = softbound.NewTrie()
@@ -343,8 +385,11 @@ func (v *VM) writeInit(addr uint64, ty *ir.Type, init ir.Initializer) error {
 }
 
 // Run executes main() and returns its exit code. Violations, faults and
-// runtime errors are returned as errors.
-func (v *VM) Run() (int32, error) {
+// runtime errors are returned as errors; internal interpreter panics are
+// recovered into RuntimeErrors carrying an IR-level backtrace, so a
+// malformed module can never take down the embedding process.
+func (v *VM) Run() (code int32, err error) {
+	defer v.recoverPanic(&err)
 	mainFn := v.Mod.Func("main")
 	if mainFn == nil || mainFn.IsDecl() {
 		return 0, &RuntimeError{Msg: "no main function"}
@@ -362,14 +407,46 @@ func (v *VM) Run() (int32, error) {
 
 // CallByName invokes a defined function with the given raw argument values.
 // Intended for tests.
-func (v *VM) CallByName(name string, args ...uint64) (uint64, error) {
+func (v *VM) CallByName(name string, args ...uint64) (ret uint64, err error) {
+	defer v.recoverPanic(&err)
 	f := v.Mod.Func(name)
 	if f == nil {
 		return 0, &RuntimeError{Msg: "no function " + name}
 	}
-	ret, err := v.call(f, args)
+	ret, err = v.call(f, args)
 	if ex, ok := err.(exitSignal); ok {
 		return uint64(ex.code), nil
 	}
 	return ret, err
+}
+
+// recoverPanic converts an interpreter panic into a structured RuntimeError
+// with the current IR-level backtrace attached.
+func (v *VM) recoverPanic(err *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if re, ok := p.(*RuntimeError); ok {
+		*err = re
+		return
+	}
+	*err = &RuntimeError{Msg: fmt.Sprintf("internal panic: %v", p), Trace: v.backtrace()}
+}
+
+// backtrace captures the active frame stack, innermost first.
+func (v *VM) backtrace() []TraceFrame {
+	out := make([]TraceFrame, 0, len(v.frames))
+	for i := len(v.frames) - 1; i >= 0; i-- {
+		fr := v.frames[i]
+		t := TraceFrame{Func: fr.fn.Name}
+		if fr.curBlock != nil {
+			t.Block = fr.curBlock.Name
+		}
+		if fr.curInstr != nil {
+			t.Instr = ir.FormatInstr(fr.curInstr)
+		}
+		out = append(out, t)
+	}
+	return out
 }
