@@ -18,6 +18,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/bytecode"
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -260,6 +261,107 @@ func BenchmarkLowFatAlloc(b *testing.B) {
 		}
 		_ = a.Free(p)
 	}
+}
+
+// ----- Engine comparison: tree-walking vs register bytecode -----
+
+// engineCell is one prepared (benchmark, config) execution: module already
+// compiled, optimized and instrumented, so the benchmark times only what
+// the engines differ in — execution.
+type engineCell struct {
+	key  string
+	m    *ir.Module
+	opts vm.Options
+}
+
+func prepareEngineCells(b *testing.B, benches []*spec.Benchmark) []engineCell {
+	b.Helper()
+	configs := []harness.RunConfig{
+		harness.BaselineConfig(),
+		harness.PaperConfig(core.MechSoftBound),
+		harness.PaperConfig(core.MechLowFat),
+	}
+	var cells []engineCell
+	for _, sb := range benches {
+		src, err := sb.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range configs {
+			m := ir.CloneModule(src)
+			var hook func(*ir.Module)
+			if cfg.Instrument {
+				coreCfg := cfg.Core
+				hook = func(mod *ir.Module) {
+					if _, ierr := core.Instrument(mod, coreCfg); ierr != nil {
+						b.Fatal(ierr)
+					}
+				}
+			}
+			opt.RunPipeline(m, cfg.EP, hook, opt.PipelineOptions{Level: cfg.OptLevel})
+			vopts := vm.Options{}
+			if cfg.Instrument {
+				switch cfg.Core.Mechanism {
+				case core.MechSoftBound:
+					vopts.Mechanism = vm.MechSoftBound
+				case core.MechLowFat:
+					vopts.Mechanism = vm.MechLowFat
+					vopts.LowFatHeap = true
+					vopts.LowFatStack = true
+					vopts.LowFatGlobals = true
+				}
+			}
+			cells = append(cells, engineCell{key: sb.Name + "|" + cfg.Label, m: m, opts: vopts})
+		}
+	}
+	return cells
+}
+
+func runEngineCells(b *testing.B, kind bytecode.EngineKind, cells []engineCell) {
+	b.Helper()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		instrs = 0
+		for _, c := range cells {
+			machine, err := vm.New(c.m, c.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, rerr := bytecode.RunOn(kind, machine, c.key); rerr != nil {
+				b.Fatalf("%s: %v", c.key, rerr)
+			}
+			instrs += machine.Stats.Instrs
+		}
+	}
+	b.ReportMetric(float64(instrs), "sim_instrs")
+}
+
+// BenchmarkEngineCampaignTree/Bytecode execute the standard campaign — all
+// spec benchmarks under baseline, SoftBound and Low-Fat paper configs —
+// on each engine. Compare ns/op between the two (see BENCH_ENGINES.md).
+func BenchmarkEngineCampaignTree(b *testing.B) {
+	cells := prepareEngineCells(b, spec.All())
+	b.ResetTimer()
+	runEngineCells(b, bytecode.EngineTree, cells)
+}
+
+func BenchmarkEngineCampaignBytecode(b *testing.B) {
+	cells := prepareEngineCells(b, spec.All())
+	b.ResetTimer()
+	runEngineCells(b, bytecode.EngineBytecode, cells)
+}
+
+// BenchmarkEngineSmoke* are the single-benchmark variants CI runs.
+func BenchmarkEngineSmokeTree(b *testing.B) {
+	cells := prepareEngineCells(b, []*spec.Benchmark{spec.All()[0]})
+	b.ResetTimer()
+	runEngineCells(b, bytecode.EngineTree, cells)
+}
+
+func BenchmarkEngineSmokeBytecode(b *testing.B) {
+	cells := prepareEngineCells(b, []*spec.Benchmark{spec.All()[0]})
+	b.ResetTimer()
+	runEngineCells(b, bytecode.EngineBytecode, cells)
 }
 
 // ----- Toolchain microbenchmarks -----

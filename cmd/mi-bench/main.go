@@ -12,6 +12,11 @@
 //	mi-bench -elim           # Section 5.3 check elimination statistics
 //	mi-bench -faults         # fault-injection detection matrix
 //
+// Cross-cutting flags: -engine=tree|bytecode selects the execution engine
+// (default bytecode; tree is the reference interpreter), -j N caps
+// concurrent benchmark cells, -json FILE dumps per-cell instruction/check
+// counts and wall times, and -cpuprofile/-memprofile write pprof profiles.
+//
 // Individual experiment failures never abort the run: affected cells are
 // annotated in place, all failures are summarized at the end, and the exit
 // status is nonzero when anything failed.
@@ -21,7 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/harness"
@@ -45,15 +53,60 @@ func main() {
 
 		vmMemBudget = flag.Uint64("vm-mem-budget", 1<<30, "per-variant VM memory budget in bytes (0 = unlimited)")
 		vmMaxSteps  = flag.Uint64("vm-max-steps", 1<<30, "per-variant VM step limit")
+
+		engineName = flag.String("engine", "bytecode", "execution engine: tree (reference interpreter) or bytecode")
+		jobs       = flag.Int("j", 0, "max concurrent benchmark cells (0 = default of 8)")
+		jsonOut    = flag.String("json", "", "write per-benchmark counts and wall times to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	engine, err := bytecode.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if !(*all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *table2 || *elim || *ablate || *faults) {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// os.Exit skips defers, so profile teardown rides the exit path.
+	exit := func(code int) {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mi-bench: memprofile: %v\n", err)
+			} else {
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "mi-bench: memprofile: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		os.Exit(code)
+	}
+
 	r := harness.NewRunner()
+	r.SetEngine(engine)
+	r.SetParallelism(*jobs)
 	var failures []string
 	note := func(what string, msg string) {
 		failures = append(failures, what+": "+msg)
@@ -114,6 +167,8 @@ func main() {
 			MaxSteps:  *vmMaxSteps,
 			MemBudget: *vmMemBudget,
 			NoBudget:  *vmMemBudget == 0,
+			Parallel:  *jobs,
+			Engine:    engine,
 		})
 		fmt.Println(rep.Render())
 		for _, f := range rep.Failures {
@@ -125,11 +180,18 @@ func main() {
 		}
 	}
 
+	if *jsonOut != "" {
+		if err := r.WritePerfJSON(*jsonOut); err != nil {
+			note("json", err.Error())
+		}
+	}
+
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "mi-bench: %d failure(s):\n", len(failures))
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

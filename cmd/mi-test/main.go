@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/functest"
@@ -24,7 +25,14 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "print every case")
+	engineName := flag.String("engine", "bytecode", "execution engine: tree (reference interpreter) or bytecode")
 	flag.Parse()
+
+	engine, err := bytecode.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-test: %v\n", err)
+		os.Exit(2)
+	}
 
 	cases := functest.Generate()
 	mechs := []core.Mech{core.MechSoftBound, core.MechLowFat}
@@ -37,7 +45,7 @@ func main() {
 	for i := range cases {
 		c := &cases[i]
 		for _, mech := range mechs {
-			out, err := functest.Run(c, mech)
+			out, err := functest.RunEngine(c, mech, engine)
 			k := key(mech, c.Kind.String())
 			if matrix[k] == nil {
 				matrix[k] = &cell{}
@@ -76,7 +84,7 @@ func main() {
 	}
 	fmt.Printf("\n%d cases x %d mechanisms, %d mismatches\n", len(cases), len(mechs), failures)
 
-	failures += faultMatrix()
+	failures += faultMatrix(engine)
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -85,14 +93,14 @@ func main() {
 // faultMatrix runs a small fixed-seed fault-injection campaign and checks
 // the detection matrix against the paper's security analysis, including
 // both predicted blind spots. It returns the number of failures.
-func faultMatrix() int {
+func faultMatrix(engine bytecode.EngineKind) int {
 	var benches []*spec.Benchmark
 	for _, name := range []string{"462libquantum", "300twolf"} {
 		if b := spec.ByName(name); b != nil {
 			benches = append(benches, b)
 		}
 	}
-	rep := faultinject.Run(faultinject.Options{Seed: 1, Benches: benches})
+	rep := faultinject.Run(faultinject.Options{Seed: 1, Benches: benches, Engine: engine})
 	fmt.Printf("\nfault-injection matrix (seed %d):\n%s\n", rep.Seed, rep.Render())
 
 	failures := len(rep.Failures) + len(rep.Unexpected())

@@ -1,0 +1,336 @@
+// Package bytecode is the compiled execution engine: it lowers an ir.Module
+// to a flat, register-based bytecode and interprets it in a tight dispatch
+// loop. The tree-walking interpreter of internal/vm re-dispatches on operand
+// kinds (instruction result? constant? global?) for every operand of every
+// executed instruction; here that resolution happens once, at compile time:
+//
+//   - instruction results, parameters and constants become register slots
+//     (constants, globals and function addresses are materialized into a
+//     per-function constant pool bound at engine-creation time),
+//   - blocks become jump offsets,
+//   - phis become pre-resolved parallel-copy plans executed on edges,
+//   - runtime-intrinsic calls (mi_sb_check, mi_lf_check, ...) become fused
+//     opcodes, and a check that immediately guards a load or store fuses
+//     with the access into a single combined opcode,
+//   - the per-instruction cost of the vm.CostModel is baked into each op.
+//
+// The engine drives an ordinary *vm.VM for all runtime state — address
+// space, allocators, metadata trie, shadow stack, libc handlers, statistics
+// — so program-visible semantics, statistics and error classification are
+// identical to the reference interpreter by construction. A differential
+// test (diff_test.go) holds the two engines to byte-identical outputs and
+// statistics over every spec benchmark and the fault-injection matrix.
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// EngineKind selects the execution engine for code paths (harness,
+// fault-injection campaign, functional suite) that support both.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineTree is the tree-walking reference interpreter (internal/vm).
+	EngineTree EngineKind = iota
+	// EngineBytecode is the compiled register-bytecode engine.
+	EngineBytecode
+)
+
+// String names the engine.
+func (k EngineKind) String() string {
+	if k == EngineBytecode {
+		return "bytecode"
+	}
+	return "tree"
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "tree":
+		return EngineTree, nil
+	case "bytecode":
+		return EngineBytecode, nil
+	}
+	return EngineTree, fmt.Errorf("unknown engine %q (want tree or bytecode)", s)
+}
+
+// opcode enumerates the bytecode operations. Opcodes below opPhiCopy
+// correspond one-to-one to a counted IR instruction and share the step /
+// instruction-count / cost / coverage preamble; opPhiCopy and opErrRaw are
+// synthetic (edge copies, deferred compile diagnostics) and do their own
+// accounting.
+type opcode uint8
+
+const (
+	// Integer arithmetic: dst = (a OP b) & imm.
+	opAdd opcode = iota
+	opSub
+	opMul
+	opSDiv
+	opSRem
+	opUDiv
+	opURem
+	opAnd
+	opOr
+	opXor
+	opShl
+	opLShr
+	opAShr
+
+	// Float arithmetic on wbits-wide floats.
+	opFAdd
+	opFSub
+	opFMul
+	opFDiv
+
+	// Integer comparisons (predicate baked into the opcode, parallel to
+	// ir.PredEQ..PredUGE).
+	opEQ
+	opNE
+	opSLT
+	opSLE
+	opSGT
+	opSGE
+	opULT
+	opULE
+	opUGT
+	opUGE
+
+	// Ordered float comparisons (parallel to ir.PredOEQ..PredOGE).
+	opFOEQ
+	opFONE
+	opFOLT
+	opFOLE
+	opFOGT
+	opFOGE
+
+	// Conversions.
+	opTrunc  // dst = a & imm (also zext: imm is the source mask)
+	opSExt   // dst = sext(a, wbits) & imm
+	opFPCvt  // dst = floatBits(imm, bitsToFloat(wbits, a))
+	opFPToSI // dst = int64(bitsToFloat(wbits, a)) & imm
+	opSIToFP // dst = floatBits(imm, float64(sext(a, wbits)))
+	opMove   // dst = a (ptrtoint, inttoptr, bitcast)
+
+	// Memory.
+	opLoad   // dst = mem[a], wbits bytes
+	opStore  // mem[b] = a, wbits bytes
+	opAlloca // dst = alloca(imm * (a<0 ? 1 : regs[a])), align x
+	opGEP    // dst = a + plan geps[x]
+	opGEPDyn // dst via runtime type walk gepDyns[x]
+
+	opSelect // dst = a != 0 ? b : c
+
+	// Calls.
+	opCallInt // intCalls[x]
+	opCallExt // extCalls[x]
+
+	// Fused runtime intrinsics (replicating internal/vm's mirt.go handlers,
+	// charged the call-instruction cost plus the handler cost).
+	opSBLoadBase  // dst = trie[a].base
+	opSBLoadBound // dst = trie[a].bound
+	opSBStoreMD   // trie[a] = {b, c}
+	opSBCheck     // check(ptr=a, width=b, base=c, bound=d)
+	opSBSSAlloc
+	opSBSSSetArg
+	opSBSSArgBase
+	opSBSSArgBound
+	opSBSSSetRet
+	opSBSSRetBase
+	opSBSSRetBound
+	opSBSSPop
+	opLFBase     // dst = lowfat.Base(a)
+	opLFCheck    // check(ptr=a, width=b, base=c)
+	opLFCheckInv // invariant check(ptr=a, base=b)
+
+	// Fused check + access: the check above plus an immediately following
+	// load/store of the same pointer register, one dispatch. Counts as two
+	// instructions (aux[x] carries the access half's identity and cost).
+	opSBCheckLoad  // check(a,b,c,d), then dst = mem[a] (wbits bytes)
+	opSBCheckStore // check(a,b,c,d), then mem[a] = regs[dst]
+	opLFCheckLoad  // check(a,b,c), then dst = mem[a]
+	opLFCheckStore // check(a,b,c), then mem[a] = regs[dst]
+
+	// Control flow.
+	opBr     // pc = b
+	opCondBr // pc = a != 0 ? b : c
+	opRet    // return a < 0 ? 0 : regs[a]
+
+	// Counted runtime-error op: a lowering-time diagnosis (unsupported op,
+	// aggregate access, indirect call, unreachable) deferred to execution so
+	// unexecuted malformed code stays free, exactly like the reference
+	// interpreter.
+	opErrInstr
+
+	// --- uncounted ops below this point ---
+
+	// opPhiCopy performs the parallel copy phis[x] and jumps to b. It adds
+	// len(phis) to Stats.Instrs (as the reference interpreter does on block
+	// entry) but no steps or cost.
+	opPhiCopy
+	// opErrRaw raises errs[x] without instruction accounting (fell-through
+	// block, phi without incoming).
+	opErrRaw
+)
+
+// opUncountedStart splits counted from synthetic opcodes for the dispatch
+// preamble.
+const opUncountedStart = opPhiCopy
+
+// op is one bytecode operation. Field meaning is opcode-specific (see the
+// opcode comments); dst/a/b/c/d are register indices (-1 when absent), imm
+// carries masks and immediates, x indexes a per-function side table.
+type op struct {
+	imm   uint64
+	cost  uint64
+	dst   int32
+	a     int32
+	b     int32
+	c     int32
+	d     int32
+	x     int32
+	instr *ir.Instr
+	code  opcode
+	wbits uint8
+}
+
+type constKind uint8
+
+const (
+	constRaw constKind = iota
+	constGlobal
+	constFunc
+)
+
+// constEntry is one constant-pool slot. Globals and functions are
+// relocations: their addresses are resolved per VM when an Engine binds the
+// program.
+type constEntry struct {
+	kind constKind
+	val  uint64
+	g    *ir.Global
+	f    *ir.Func
+}
+
+// gepStep is one pre-resolved GEP index: either a constant byte offset
+// (reg < 0) or a register scaled by a constant element size.
+type gepStep struct {
+	reg   int32
+	sh    uint8 // sign-extension shift for the index register
+	off   int64
+	scale int64
+}
+
+type gepPlan struct{ steps []gepStep }
+
+// gepDynPlan is the slow-path GEP: a runtime type walk, used only when a
+// struct field index is not a compile-time constant (the reference
+// interpreter resolves it dynamically, so we must too).
+type gepDynPlan struct {
+	srcTy *ir.Type
+	idx   []dynIdx
+}
+
+type dynIdx struct {
+	reg int32
+	sh  uint8
+}
+
+// phiPlan is the parallel copy for one CFG edge: all sources are read
+// before any destination is written.
+type phiPlan struct{ srcs, dsts []int32 }
+
+type intCall struct {
+	callee *ir.Func
+	fn     *Fn
+	args   []int32
+}
+
+type extCall struct {
+	name  string
+	instr *ir.Instr
+	args  []int32
+}
+
+// fusedAux is the access half of a fused check+access op.
+type fusedAux struct {
+	in2   *ir.Instr
+	cost2 uint64
+}
+
+type errInfo struct {
+	msg   string
+	trace bool
+}
+
+// Fn is one compiled function.
+type Fn struct {
+	idx int
+	ir  *ir.Func
+	ops []op
+	// Register file layout: [0, nparams) parameters, then instruction
+	// results, then the constant pool at [constBase, nregs).
+	nparams   int
+	constBase int
+	nregs     int
+	consts    []constEntry
+
+	geps     []gepPlan
+	gepDyns  []gepDynPlan
+	phis     []phiPlan
+	intCalls []intCall
+	extCalls []extCall
+	aux      []fusedAux
+	errs     []errInfo
+}
+
+// Program is a compiled module. It is immutable after Compile and may be
+// shared by any number of Engines (each Engine binds its own per-VM state).
+type Program struct {
+	mod    *ir.Module
+	cm     vm.CostModel
+	fns    []*Fn
+	byFunc map[*ir.Func]*Fn
+	main   *Fn
+}
+
+// Module returns the module the program was compiled from. Bytecode
+// references the module's instruction and global objects, so an Engine may
+// only bind the program to a VM created for this exact module.
+func (p *Program) Module() *ir.Module { return p.mod }
+
+// NumOps returns the total op count across all functions (diagnostics).
+func (p *Program) NumOps() int {
+	n := 0
+	for _, fn := range p.fns {
+		n += len(fn.ops)
+	}
+	return n
+}
+
+// RunOn executes the VM's module under the selected engine. Under
+// EngineTree it is machine.Run(). Under EngineBytecode the module is
+// compiled (through the compiled-module cache when cacheKey is non-empty)
+// and executed by a fresh Engine bound to the VM.
+func RunOn(kind EngineKind, machine *vm.VM, cacheKey string) (int32, error) {
+	if kind != EngineBytecode {
+		return machine.Run()
+	}
+	var prog *Program
+	if cacheKey != "" {
+		prog = CompileCached(cacheKey, machine.Mod, machine.CostModel())
+	} else {
+		prog = Compile(machine.Mod, machine.CostModel())
+	}
+	eng, err := NewEngine(prog, machine)
+	if err != nil {
+		return 0, err
+	}
+	return eng.Run()
+}

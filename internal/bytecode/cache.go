@@ -1,0 +1,81 @@
+package bytecode
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// The compiled-module cache. Campaign code runs the same (benchmark, config)
+// module many times — once per figure that includes the cell, plus the fault
+// campaign's coverage pass — and compilation is pure, so programs are cached
+// under a caller-chosen key. A hit requires the same module *instance* and
+// cost model: the key alone is a claim, the identity check is the proof
+// (harness clones modules per config, and a re-instrumented clone under a
+// reused key must not resurrect stale bytecode).
+
+type cacheEntry struct {
+	mod  *ir.Module
+	cm   vm.CostModel
+	prog *Program
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = make(map[string]*cacheEntry)
+	hits    uint64
+	misses  uint64
+)
+
+// cacheLimit bounds retained programs; the whole campaign needs well under
+// this many (20 benchmarks x a dozen configs).
+const cacheLimit = 1024
+
+// CompileCached returns the compiled program for (key, mod, cm), compiling
+// and caching on miss. cm may be nil for the default model.
+func CompileCached(key string, mod *ir.Module, cm *vm.CostModel) *Program {
+	if cm == nil {
+		cm = vm.DefaultCostModel()
+	}
+	cacheMu.Lock()
+	if e, ok := cache[key]; ok && e.mod == mod && e.cm == *cm {
+		hits++
+		cacheMu.Unlock()
+		return e.prog
+	}
+	misses++
+	cacheMu.Unlock()
+
+	prog := Compile(mod, cm)
+
+	cacheMu.Lock()
+	if len(cache) >= cacheLimit {
+		// Arbitrary eviction; the cache is a campaign-scoped working set and
+		// overflowing it only costs recompiles.
+		for k := range cache {
+			delete(cache, k)
+			if len(cache) < cacheLimit {
+				break
+			}
+		}
+	}
+	cache[key] = &cacheEntry{mod: mod, cm: *cm, prog: prog}
+	cacheMu.Unlock()
+	return prog
+}
+
+// CacheStats reports cumulative hit/miss counts (tests, diagnostics).
+func CacheStats() (h, m uint64) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return hits, misses
+}
+
+// ClearCache empties the compiled-module cache (tests).
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = make(map[string]*cacheEntry)
+	hits, misses = 0, 0
+}

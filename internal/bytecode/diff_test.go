@@ -1,0 +1,247 @@
+package bytecode_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+// diffConfigs are the execution configurations the differential test sweeps:
+// the -O3 baseline and both instrumented paper configurations.
+func diffConfigs() []harness.RunConfig {
+	return []harness.RunConfig{
+		harness.BaselineConfig(),
+		harness.PaperConfig(core.MechSoftBound),
+		harness.PaperConfig(core.MechLowFat),
+	}
+}
+
+// prepare compiles and instruments one (benchmark, config) module.
+func prepare(t *testing.T, b *spec.Benchmark, cfg harness.RunConfig) (*ir.Module, vm.Options) {
+	t.Helper()
+	m, err := b.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", b.Name, err)
+	}
+	m = ir.CloneModule(m)
+	var hook func(*ir.Module)
+	if cfg.Instrument {
+		hook = func(mod *ir.Module) {
+			if _, ierr := core.Instrument(mod, cfg.Core); ierr != nil {
+				t.Fatalf("instrument %s: %v", b.Name, ierr)
+			}
+		}
+	}
+	opt.RunPipeline(m, cfg.EP, hook, opt.PipelineOptions{Level: cfg.OptLevel})
+	vopts := vm.Options{}
+	if cfg.Instrument {
+		switch cfg.Core.Mechanism {
+		case core.MechSoftBound:
+			vopts.Mechanism = vm.MechSoftBound
+		case core.MechLowFat:
+			vopts.Mechanism = vm.MechLowFat
+			vopts.LowFatHeap = true
+			vopts.LowFatStack = true
+			vopts.LowFatGlobals = true
+		}
+	}
+	return m, vopts
+}
+
+type runOutcome struct {
+	code   int32
+	output string
+	stats  vm.Stats
+	err    error
+}
+
+func runUnder(t *testing.T, kind bytecode.EngineKind, m *ir.Module, vopts vm.Options) runOutcome {
+	t.Helper()
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	code, rerr := bytecode.RunOn(kind, machine, "")
+	return runOutcome{code: code, output: machine.Output(), stats: machine.Stats, err: rerr}
+}
+
+// describeErr classifies an execution error for equivalence comparison:
+// violations must agree on every structured field, runtime errors on the
+// message (backtraces can differ in synthetic-frame detail).
+func describeErr(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var ve *vm.ViolationError
+	if errors.As(err, &ve) {
+		return fmt.Sprintf("violation|%s|%s|%#x|%s", ve.Mechanism, ve.Kind, ve.Ptr, ve.Detail)
+	}
+	var re *vm.RuntimeError
+	if errors.As(err, &re) {
+		return "runtime|" + re.Msg
+	}
+	return "error|" + err.Error()
+}
+
+// TestDifferentialSpec runs every spec benchmark under baseline, SoftBound
+// and Low-Fat configurations on both engines and requires identical exit
+// codes, outputs, error verdicts and full execution statistics.
+func TestDifferentialSpec(t *testing.T) {
+	for _, b := range spec.All() {
+		for _, cfg := range diffConfigs() {
+			t.Run(b.Name+"/"+cfg.Label, func(t *testing.T) {
+				m, vopts := prepare(t, b, cfg)
+				tree := runUnder(t, bytecode.EngineTree, m, vopts)
+				bc := runUnder(t, bytecode.EngineBytecode, m, vopts)
+				if tree.code != bc.code {
+					t.Errorf("exit code: tree=%d bytecode=%d", tree.code, bc.code)
+				}
+				if tree.output != bc.output {
+					t.Errorf("output differs:\ntree:     %q\nbytecode: %q", tree.output, bc.output)
+				}
+				if te, be := describeErr(tree.err), describeErr(bc.err); te != be {
+					t.Errorf("verdict: tree=%s bytecode=%s", te, be)
+				}
+				if tree.stats != bc.stats {
+					t.Errorf("stats differ:\ntree:     %+v\nbytecode: %+v", tree.stats, bc.stats)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialCoverage checks that the engines agree on which
+// instructions executed (the fault campaign's site-selection input).
+func TestDifferentialCoverage(t *testing.T) {
+	b := spec.All()[0]
+	cfg := harness.PaperConfig(core.MechSoftBound)
+	m, vopts := prepare(t, b, cfg)
+
+	coverOf := func(kind bytecode.EngineKind) map[*ir.Instr]bool {
+		o := vopts
+		o.CoverInstrs = make(map[*ir.Instr]bool)
+		machine, err := vm.New(m, o)
+		if err != nil {
+			t.Fatalf("vm.New: %v", err)
+		}
+		if _, rerr := bytecode.RunOn(kind, machine, ""); rerr != nil {
+			t.Fatalf("%v run: %v", kind, rerr)
+		}
+		return o.CoverInstrs
+	}
+	tree := coverOf(bytecode.EngineTree)
+	bc := coverOf(bytecode.EngineBytecode)
+	if len(tree) != len(bc) {
+		t.Fatalf("coverage size: tree=%d bytecode=%d", len(tree), len(bc))
+	}
+	for in := range tree {
+		if !bc[in] {
+			t.Errorf("instruction covered by tree only: %s", ir.FormatInstr(in))
+		}
+	}
+}
+
+// TestDifferentialFaultMatrix runs a fixed-seed slice of the fault-injection
+// campaign under both engines and requires identical per-variant outcomes.
+func TestDifferentialFaultMatrix(t *testing.T) {
+	benches := spec.All()[:2]
+	run := func(kind bytecode.EngineKind) *faultinject.Report {
+		return faultinject.Run(faultinject.Options{Seed: 7, Benches: benches, Engine: kind})
+	}
+	tree := run(bytecode.EngineTree)
+	bc := run(bytecode.EngineBytecode)
+	if len(tree.Results) != len(bc.Results) {
+		t.Fatalf("result count: tree=%d bytecode=%d", len(tree.Results), len(bc.Results))
+	}
+	for i := range tree.Results {
+		tr, br := tree.Results[i], bc.Results[i]
+		if tr.Fault.Kind != br.Fault.Kind || tr.Mech != br.Mech {
+			t.Fatalf("variant %d identity mismatch: tree=%v/%v bytecode=%v/%v",
+				i, tr.Fault.Kind, tr.Mech, br.Fault.Kind, br.Mech)
+		}
+		if tr.Outcome != br.Outcome {
+			t.Errorf("variant %d (%s, %v, %v): outcome tree=%v bytecode=%v",
+				i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, tr.Outcome, br.Outcome)
+		}
+	}
+}
+
+// TestBytecodeMaxSteps verifies the engine enforces the step budget with the
+// interpreter's exact error.
+func TestBytecodeMaxSteps(t *testing.T) {
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: `
+int main() {
+  long i = 0;
+  while (1) { i++; }
+  return (int)i;
+}
+`})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, kind := range []bytecode.EngineKind{bytecode.EngineTree, bytecode.EngineBytecode} {
+		machine, err := vm.New(m, vm.Options{MaxSteps: 10000})
+		if err != nil {
+			t.Fatalf("vm.New: %v", err)
+		}
+		code, rerr := bytecode.RunOn(kind, machine, "")
+		var re *vm.RuntimeError
+		if !errors.As(rerr, &re) || re.Msg != "step limit exceeded" {
+			t.Fatalf("%v: want step limit error, got code=%d err=%v", kind, code, rerr)
+		}
+		if machine.Stats.Instrs == 0 {
+			t.Fatalf("%v: no instructions accounted before the limit", kind)
+		}
+	}
+}
+
+// TestBytecodeMemBudget verifies the engine surfaces the address-space
+// budget error.
+func TestBytecodeMemBudget(t *testing.T) {
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: `
+int main() {
+  long i;
+  for (i = 0; i < 1024; i++) {
+    char *p = (char *)malloc(1 << 20);
+    long j;
+    for (j = 0; j < (1 << 20); j += 4096) p[j] = 1;
+  }
+  return 0;
+}
+`})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, kind := range []bytecode.EngineKind{bytecode.EngineTree, bytecode.EngineBytecode} {
+		machine, err := vm.New(m, vm.Options{MemBudget: 64 << 20})
+		if err != nil {
+			t.Fatalf("vm.New: %v", err)
+		}
+		_, rerr := bytecode.RunOn(kind, machine, "")
+		if rerr == nil {
+			t.Fatalf("%v: expected an error under a 64 MiB budget", kind)
+		}
+		if got := rerr.Error(); !contains(got, "memory budget exceeded") {
+			t.Fatalf("%v: want budget error, got %v", kind, rerr)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

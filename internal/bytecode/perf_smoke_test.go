@@ -1,0 +1,43 @@
+package bytecode_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+// TestEnginePerfSmoke is the CI perf guard: the bytecode engine exists to be
+// faster than the tree interpreter, so a run more than 10x slower on the
+// smoke benchmark means the dispatch loop regressed (e.g. per-step
+// allocation crept back in) and fails the build. The margin is wide enough
+// that CI noise cannot trip it — at parity the engine is ~7x *faster*.
+func TestEnginePerfSmoke(t *testing.T) {
+	b := spec.All()[0]
+	timeFor := func(kind bytecode.EngineKind) time.Duration {
+		var total time.Duration
+		for _, cfg := range diffConfigs() {
+			m, vopts := prepare(t, b, cfg)
+			machine, err := vm.New(m, vopts)
+			if err != nil {
+				t.Fatalf("vm.New: %v", err)
+			}
+			start := time.Now()
+			if _, rerr := bytecode.RunOn(kind, machine, ""); rerr != nil {
+				t.Fatalf("%v run: %v", kind, rerr)
+			}
+			total += time.Since(start)
+		}
+		return total
+	}
+	tree := timeFor(bytecode.EngineTree)
+	bc := timeFor(bytecode.EngineBytecode)
+	t.Logf("smoke %s: tree=%v bytecode=%v (%.2fx)", b.Name, tree, bc,
+		float64(tree)/float64(bc))
+	if bc > 10*tree {
+		t.Fatalf("bytecode engine >10x slower than tree on %s: tree=%v bytecode=%v",
+			b.Name, tree, bc)
+	}
+}

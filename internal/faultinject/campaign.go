@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/opt"
@@ -167,6 +168,9 @@ type Options struct {
 	NoBudget bool
 	// Parallel is the worker count (default GOMAXPROCS, capped at 8).
 	Parallel int
+	// Engine selects the execution engine for coverage and variant runs
+	// (default bytecode.EngineTree).
+	Engine bytecode.EngineKind
 }
 
 func (o Options) withDefaults() Options {
@@ -304,7 +308,7 @@ func planBench(b *spec.Benchmark, o Options) (*ir.Module, []Fault, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("coverage vm: %w", err)
 	}
-	code, err := machine.Run()
+	code, err := bytecode.RunOn(o.Engine, machine, "")
 	if err != nil {
 		return nil, nil, fmt.Errorf("coverage run: %w", err)
 	}
@@ -420,7 +424,7 @@ func runVariant(pristine *ir.Module, f Fault, mech core.Mech, o Options) (vr Var
 		vr.Detail = "vm: " + err.Error()
 		return
 	}
-	code, rerr := machine.Run()
+	code, rerr := bytecode.RunOn(o.Engine, machine, "")
 
 	var viol *vm.ViolationError
 	switch {

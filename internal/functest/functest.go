@@ -18,6 +18,7 @@ package functest
 import (
 	"fmt"
 
+	"repro/internal/bytecode"
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -174,8 +175,14 @@ type Outcome struct {
 	Err      error
 }
 
-// Run compiles, instruments and executes the case under the mechanism.
+// Run compiles, instruments and executes the case under the mechanism on
+// the reference tree interpreter.
 func Run(c *Case, mech core.Mech) (Outcome, error) {
+	return RunEngine(c, mech, bytecode.EngineTree)
+}
+
+// RunEngine is Run with an explicit execution engine.
+func RunEngine(c *Case, mech core.Mech, engine bytecode.EngineKind) (Outcome, error) {
 	m, err := cc.Compile(c.Name(), cc.Source{Name: "case.c", Code: c.Source()})
 	if err != nil {
 		return Outcome{}, fmt.Errorf("compile %s: %w", c.Name(), err)
@@ -198,7 +205,7 @@ func Run(c *Case, mech core.Mech) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	_, rerr := machine.Run()
+	_, rerr := bytecode.RunOn(engine, machine, "")
 	if rerr != nil {
 		if _, ok := rerr.(*vm.ViolationError); ok {
 			return Outcome{Detected: true, Err: rerr}, nil

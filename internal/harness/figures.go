@@ -95,7 +95,7 @@ func (r *Runner) overheadMatrix(configs []RunConfig) (*Figure, error) {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	sem := make(chan struct{}, 8)
+	sem := make(chan struct{}, r.parallelism())
 	for _, j := range jobs {
 		j := j
 		wg.Add(1)
@@ -238,7 +238,7 @@ func (r *Runner) Table2() ([]Table2Row, error) {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	sem := make(chan struct{}, 8)
+	sem := make(chan struct{}, r.parallelism())
 	for i, b := range benches {
 		i, b := i, b
 		wg.Add(1)
@@ -349,7 +349,7 @@ func (r *Runner) EliminationStats(mech core.Mech) ([]ElimRow, error) {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	sem := make(chan struct{}, 8)
+	sem := make(chan struct{}, r.parallelism())
 	for i, b := range benches {
 		i, b := i, b
 		wg.Add(1)

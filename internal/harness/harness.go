@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/opt"
@@ -69,6 +71,9 @@ type Result struct {
 	InstrStats *core.Stats
 	// PipeStats reports compiler-side check elimination.
 	PipeStats opt.PipelineStats
+	// Wall is the wall-clock duration of the VM run itself (excluding
+	// compilation and instrumentation).
+	Wall time.Duration
 	// Err is non-nil if the run failed (e.g. a reported violation).
 	Err error
 }
@@ -79,6 +84,8 @@ type Runner struct {
 	mu      sync.Mutex
 	modules map[string]*ir.Module
 	cache   map[string]*cacheEntry
+	engine  bytecode.EngineKind
+	par     int
 }
 
 type cacheEntry struct {
@@ -87,12 +94,45 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewRunner returns an empty runner.
+// NewRunner returns an empty runner using the tree engine (the reference
+// default; campaigns opt into bytecode via SetEngine).
 func NewRunner() *Runner {
 	return &Runner{
 		modules: make(map[string]*ir.Module),
 		cache:   make(map[string]*cacheEntry),
 	}
+}
+
+// SetEngine selects the execution engine for subsequent runs. Results are
+// cached per engine, so switching mid-campaign is safe (if pointless).
+func (r *Runner) SetEngine(k bytecode.EngineKind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.engine = k
+}
+
+// Engine returns the selected execution engine.
+func (r *Runner) Engine() bytecode.EngineKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engine
+}
+
+// SetParallelism caps concurrent benchmark cells in figure sweeps (default
+// 8; values below 1 reset to the default).
+func (r *Runner) SetParallelism(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.par = n
+}
+
+func (r *Runner) parallelism() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.par > 0 {
+		return r.par
+	}
+	return 8
 }
 
 // configKey identifies a configuration for result caching.
@@ -121,7 +161,10 @@ func (r *Runner) module(b *spec.Benchmark) (*ir.Module, error) {
 
 // Run executes one benchmark under one configuration, caching the result.
 func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
-	key := b.Name + "|" + configKey(cfg)
+	r.mu.Lock()
+	engine := r.engine
+	r.mu.Unlock()
+	key := b.Name + "|" + configKey(cfg) + "|" + engine.String()
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
@@ -129,11 +172,11 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg) })
+	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg, engine, key) })
 	return e.res, e.err
 }
 
-func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig) (res *Result, err error) {
+func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, key string) (res *Result, err error) {
 	// A panic anywhere in the pipeline, instrumentation or VM must not take
 	// down the whole campaign: it becomes this run's failure.
 	defer func() {
@@ -184,7 +227,9 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig) (res *Result, err
 	if err != nil {
 		return nil, err
 	}
-	code, rerr := machine.Run()
+	start := time.Now()
+	code, rerr := bytecode.RunOn(engine, machine, key)
+	res.Wall = time.Since(start)
 	res.Output = machine.Output()
 	res.Stats = machine.Stats
 	if rerr != nil {

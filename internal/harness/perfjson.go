@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+)
+
+// PerfRecord is one executed (benchmark, configuration) cell in the JSON
+// performance report: the dynamic instruction and check counts the paper's
+// overhead figures are built from, plus the wall-clock time of the run.
+type PerfRecord struct {
+	Bench      string  `json:"bench"`
+	Config     string  `json:"config"`
+	Key        string  `json:"key"`
+	Instrs     uint64  `json:"instrs"`
+	Cost       uint64  `json:"cost"`
+	Checks     uint64  `json:"checks"`
+	WideChecks uint64  `json:"wide_checks"`
+	Loads      uint64  `json:"loads"`
+	Stores     uint64  `json:"stores"`
+	WallMS     float64 `json:"wall_ms"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// PerfReport is the -json output of mi-bench: every cell the campaign
+// executed, in deterministic order.
+type PerfReport struct {
+	Engine  string       `json:"engine"`
+	Records []PerfRecord `json:"records"`
+}
+
+// PerfReport snapshots the runner's result cache. Cells still executing (or
+// never started) are absent; failed cells carry their error string.
+func (r *Runner) PerfReport() *PerfReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &PerfReport{Engine: r.engine.String(), Records: []PerfRecord{}}
+	for key, e := range r.cache {
+		res := e.res
+		if res == nil {
+			continue
+		}
+		rec := PerfRecord{
+			Bench:      res.Bench,
+			Config:     res.Config.Label,
+			Key:        key,
+			Instrs:     res.Stats.Instrs,
+			Cost:       res.Stats.Cost,
+			Checks:     res.Stats.Checks,
+			WideChecks: res.Stats.WideChecks,
+			Loads:      res.Stats.Loads,
+			Stores:     res.Stats.Stores,
+			WallMS:     float64(res.Wall.Microseconds()) / 1000.0,
+		}
+		if res.Err != nil {
+			rec.Err = res.Err.Error()
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	sort.Slice(rep.Records, func(i, j int) bool {
+		a, b := rep.Records[i], rep.Records[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.Key < b.Key
+	})
+	return rep
+}
+
+// WritePerfJSON writes the report to path as indented JSON.
+func (r *Runner) WritePerfJSON(path string) error {
+	data, err := json.MarshalIndent(r.PerfReport(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -94,6 +94,19 @@ func (as *AddrSpace) check(addr uint64, width int, op string) error {
 	return nil
 }
 
+// Page returns the backing byte array of the page containing addr,
+// materializing it (and charging it against Limit) like any access would.
+// It exists for execution engines that cache the current page to skip the
+// map lookup on consecutive accesses; callers must perform the same
+// null-guard and width checks Load/Store do before touching the bytes.
+func (as *AddrSpace) Page(addr uint64) (*[PageSize]byte, error) {
+	p, err := as.pageFor(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &p.data, nil
+}
+
 // Load reads width bytes (1, 2, 4 or 8) at addr as a little-endian unsigned
 // integer.
 func (as *AddrSpace) Load(addr uint64, width int) (uint64, error) {
