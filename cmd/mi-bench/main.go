@@ -17,6 +17,13 @@
 // concurrent benchmark cells, -json FILE dumps per-cell instruction/check
 // counts and wall times, and -cpuprofile/-memprofile write pprof profiles.
 //
+// Telemetry flags: -siteprofile collects per-check-site execution counters
+// (included in -json, rendered by -hotchecks or the mi-prof command),
+// -trace FILE writes a Chrome trace-event JSON of the compile/instrument/
+// optimize/execute pipeline (load it at ui.perfetto.dev), -top N bounds the
+// rendered hot-check table, and -progress streams per-cell completion lines
+// to stderr (serialized across -j workers).
+//
 // Individual experiment failures never abort the run: affected cells are
 // annotated in place, all failures are summarized at the end, and the exit
 // status is nonzero when anything failed.
@@ -33,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -59,6 +67,12 @@ func main() {
 		jsonOut    = flag.String("json", "", "write per-benchmark counts and wall times to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		siteProf  = flag.Bool("siteprofile", false, "collect per-check-site execution counters (adds site tables to -json)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the pipeline to this file")
+		hotChecks = flag.Bool("hotchecks", false, "render hot-check tables from the collected site profiles (implies -siteprofile)")
+		topN      = flag.Int("top", 10, "sites per (benchmark, config) cell in the -hotchecks table (0 = all)")
+		progress  = flag.Bool("progress", false, "stream per-cell completion lines to stderr (serialized across -j workers)")
 	)
 	flag.Parse()
 
@@ -107,6 +121,18 @@ func main() {
 	r := harness.NewRunner()
 	r.SetEngine(engine)
 	r.SetParallelism(*jobs)
+	if *hotChecks {
+		*siteProf = true
+	}
+	r.SetSiteProfile(*siteProf)
+	var trace *telemetry.Trace
+	if *traceOut != "" {
+		trace = telemetry.NewTrace()
+		r.SetTrace(trace)
+	}
+	if *progress {
+		r.SetProgress(os.Stderr)
+	}
 	var failures []string
 	note := func(what string, msg string) {
 		failures = append(failures, what+": "+msg)
@@ -180,9 +206,17 @@ func main() {
 		}
 	}
 
+	if *hotChecks {
+		fmt.Println(harness.RenderHotChecks(r.PerfReport(), *topN))
+	}
 	if *jsonOut != "" {
 		if err := r.WritePerfJSON(*jsonOut); err != nil {
 			note("json", err.Error())
+		}
+	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeJSON(*traceOut); err != nil {
+			note("trace", err.Error())
 		}
 	}
 

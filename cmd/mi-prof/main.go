@@ -1,0 +1,67 @@
+// Command mi-prof renders hot-check tables from a performance report
+// produced by mi-bench: which static check sites dominate the dynamic
+// instrumentation cost, attributed to their C source locations.
+//
+// Usage:
+//
+//	mi-bench -fig9 -siteprofile -json perf.json
+//	mi-prof perf.json                # top 10 sites per cell
+//	mi-prof -top 25 perf.json        # deeper tables
+//	mi-prof -bench gzip perf.json    # one benchmark only
+//
+// The input is the -json output of mi-bench; without -siteprofile the report
+// carries no site tables and mi-prof says so.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		topN   = flag.Int("top", 10, "sites per (benchmark, config) cell (0 = all)")
+		bench  = flag.String("bench", "", "restrict to one benchmark")
+		config = flag.String("config", "", "restrict to one configuration label")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mi-prof [flags] perf.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-prof: %v\n", err)
+		os.Exit(1)
+	}
+	var rep harness.PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "mi-prof: parsing %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+
+	if *bench != "" || *config != "" {
+		kept := rep.Records[:0]
+		for _, rec := range rep.Records {
+			if *bench != "" && rec.Bench != *bench {
+				continue
+			}
+			if *config != "" && rec.Config != *config {
+				continue
+			}
+			kept = append(kept, rec)
+		}
+		rep.Records = kept
+	}
+
+	fmt.Print(harness.RenderHotChecks(&rep, *topN))
+}

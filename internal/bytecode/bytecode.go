@@ -157,6 +157,20 @@ const (
 	opLFCheckLoad  // check(a,b,c), then dst = mem[a]
 	opLFCheckStore // check(a,b,c), then mem[a] = regs[dst]
 
+	// Site-profiling twins of the check/metadata opcodes above, selected at
+	// compile time when vm.Options.SiteProfile is on: identical semantics
+	// plus a per-site counter bump keyed by imm (the SiteID baked in from
+	// ir.Instr.Site). Keeping them separate opcodes keeps the non-profiling
+	// dispatch loop entirely untouched.
+	opSBStoreMDProf
+	opSBCheckProf
+	opLFCheckProf
+	opLFCheckInvProf
+	opSBCheckLoadProf
+	opSBCheckStoreProf
+	opLFCheckLoadProf
+	opLFCheckStoreProf
+
 	// Control flow.
 	opBr     // pc = b
 	opCondBr // pc = a != 0 ? b : c
@@ -295,6 +309,7 @@ type Fn struct {
 type Program struct {
 	mod    *ir.Module
 	cm     vm.CostModel
+	prof   bool
 	fns    []*Fn
 	byFunc map[*ir.Func]*Fn
 	main   *Fn
@@ -322,11 +337,17 @@ func RunOn(kind EngineKind, machine *vm.VM, cacheKey string) (int32, error) {
 	if kind != EngineBytecode {
 		return machine.Run()
 	}
+	prof := machine.Options().SiteProfile
 	var prog *Program
 	if cacheKey != "" {
-		prog = CompileCached(cacheKey, machine.Mod, machine.CostModel())
+		// Profiled and unprofiled compilations of the same module differ in
+		// their opcodes, so they must not share a cache slot.
+		if prof {
+			cacheKey += "|siteprofile"
+		}
+		prog = CompileCached(cacheKey, machine.Mod, machine.CostModel(), prof)
 	} else {
-		prog = Compile(machine.Mod, machine.CostModel())
+		prog = compileModule(machine.Mod, machine.CostModel(), prof)
 	}
 	eng, err := NewEngine(prog, machine)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 type cacheEntry struct {
 	mod  *ir.Module
 	cm   vm.CostModel
+	prof bool
 	prog *Program
 }
 
@@ -32,14 +33,15 @@ var (
 // this many (20 benchmarks x a dozen configs).
 const cacheLimit = 1024
 
-// CompileCached returns the compiled program for (key, mod, cm), compiling
-// and caching on miss. cm may be nil for the default model.
-func CompileCached(key string, mod *ir.Module, cm *vm.CostModel) *Program {
+// CompileCached returns the compiled program for (key, mod, cm, prof),
+// compiling and caching on miss. cm may be nil for the default model; prof
+// selects the site-profiling opcode variants.
+func CompileCached(key string, mod *ir.Module, cm *vm.CostModel, prof bool) *Program {
 	if cm == nil {
 		cm = vm.DefaultCostModel()
 	}
 	cacheMu.Lock()
-	if e, ok := cache[key]; ok && e.mod == mod && e.cm == *cm {
+	if e, ok := cache[key]; ok && e.mod == mod && e.cm == *cm && e.prof == prof {
 		hits++
 		cacheMu.Unlock()
 		return e.prog
@@ -47,7 +49,7 @@ func CompileCached(key string, mod *ir.Module, cm *vm.CostModel) *Program {
 	misses++
 	cacheMu.Unlock()
 
-	prog := Compile(mod, cm)
+	prog := compileModule(mod, cm, prof)
 
 	cacheMu.Lock()
 	if len(cache) >= cacheLimit {
@@ -60,7 +62,7 @@ func CompileCached(key string, mod *ir.Module, cm *vm.CostModel) *Program {
 			}
 		}
 	}
-	cache[key] = &cacheEntry{mod: mod, cm: *cm, prog: prog}
+	cache[key] = &cacheEntry{mod: mod, cm: *cm, prof: prof, prog: prog}
 	cacheMu.Unlock()
 	return prog
 }

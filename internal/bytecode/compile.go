@@ -14,15 +14,22 @@ import (
 // references the module's instruction, global and function objects, so it is
 // only valid for VMs created on this exact module (not a clone).
 func Compile(mod *ir.Module, cm *vm.CostModel) *Program {
+	return compileModule(mod, cm, false)
+}
+
+// compileModule is Compile plus the site-profiling axis: with prof set, check
+// and metadata intrinsics lower to their profiling twin opcodes (carrying the
+// SiteID in imm); everything else is identical.
+func compileModule(mod *ir.Module, cm *vm.CostModel, prof bool) *Program {
 	if cm == nil {
 		cm = vm.DefaultCostModel()
 	}
-	p := &Program{mod: mod, cm: *cm, byFunc: make(map[*ir.Func]*Fn)}
+	p := &Program{mod: mod, cm: *cm, prof: prof, byFunc: make(map[*ir.Func]*Fn)}
 	for _, f := range mod.Funcs {
 		if f.IsDecl() {
 			continue
 		}
-		fn := compileFunc(f, cm, len(p.fns))
+		fn := compileFunc(f, cm, len(p.fns), prof)
 		p.fns = append(p.fns, fn)
 		p.byFunc[f] = fn
 	}
@@ -87,6 +94,7 @@ type fixup struct {
 type fnc struct {
 	f         *ir.Func
 	cm        *vm.CostModel
+	prof      bool
 	fn        *Fn
 	instrReg  map[*ir.Instr]int32
 	rawReg    map[uint64]int32
@@ -97,10 +105,11 @@ type fnc struct {
 	stubs     map[[2]*ir.Block]int
 }
 
-func compileFunc(f *ir.Func, cm *vm.CostModel, idx int) *Fn {
+func compileFunc(f *ir.Func, cm *vm.CostModel, idx int, prof bool) *Fn {
 	c := &fnc{
 		f:         f,
 		cm:        cm,
+		prof:      prof,
 		fn:        &Fn{idx: idx, ir: f, nparams: len(f.Params)},
 		instrReg:  make(map[*ir.Instr]int32),
 		rawReg:    make(map[uint64]int32),
@@ -314,6 +323,7 @@ func (c *fnc) tryFuse(in, next *ir.Instr) bool {
 	o := op{
 		instr: in,
 		cost:  c.cm.InstrCost(in),
+		imm:   uint64(in.Site),
 		a:     ptr,
 		b:     c.regOf(args[1]),
 		c:     c.regOf(args[2]),
@@ -338,8 +348,35 @@ func (c *fnc) tryFuse(in, next *ir.Instr) bool {
 	if isLoad && o.dst < 0 {
 		return false
 	}
+	if c.prof {
+		o.code = profVariant(o.code)
+	}
 	c.push(o)
 	return true
+}
+
+// profVariant maps a check/metadata opcode to its site-profiling twin;
+// opcodes without one pass through unchanged.
+func profVariant(code opcode) opcode {
+	switch code {
+	case opSBStoreMD:
+		return opSBStoreMDProf
+	case opSBCheck:
+		return opSBCheckProf
+	case opLFCheck:
+		return opLFCheckProf
+	case opLFCheckInv:
+		return opLFCheckInvProf
+	case opSBCheckLoad:
+		return opSBCheckLoadProf
+	case opSBCheckStore:
+		return opSBCheckStoreProf
+	case opLFCheckLoad:
+		return opLFCheckLoadProf
+	case opLFCheckStore:
+		return opLFCheckStoreProf
+	}
+	return code
 }
 
 var binOps = map[ir.Op]opcode{
@@ -599,7 +636,9 @@ func (c *fnc) emitCall(in *ir.Instr, cost uint64, dst int32) {
 	// Runtime intrinsics lower to fused opcodes when the arity matches the
 	// registered handler's expectations; anything else goes through the
 	// generic external-call op (whose handler faults like the interpreter).
-	o := op{instr: in, cost: cost, dst: dst, a: -1, b: -1, c: -1, d: -1}
+	// imm carries the SiteID for the check/metadata intrinsics (unused by the
+	// shadow-stack and witness ops).
+	o := op{instr: in, cost: cost, imm: uint64(in.Site), dst: dst, a: -1, b: -1, c: -1, d: -1}
 	fused := true
 	switch {
 	case callee.Name == rt.SBLoadBase && len(regs) == 1:
@@ -636,6 +675,9 @@ func (c *fnc) emitCall(in *ir.Instr, cost uint64, dst int32) {
 		fused = false
 	}
 	if fused {
+		if c.prof {
+			o.code = profVariant(o.code)
+		}
 		c.push(o)
 		return
 	}

@@ -26,20 +26,24 @@ func diffConfigs() []harness.RunConfig {
 	}
 }
 
-// prepare compiles and instruments one (benchmark, config) module.
-func prepare(t *testing.T, b *spec.Benchmark, cfg harness.RunConfig) (*ir.Module, vm.Options) {
+// prepare compiles and instruments one (benchmark, config) module. The
+// returned stats are nil for uninstrumented configurations.
+func prepare(t *testing.T, b *spec.Benchmark, cfg harness.RunConfig) (*ir.Module, vm.Options, *core.Stats) {
 	t.Helper()
 	m, err := b.Compile()
 	if err != nil {
 		t.Fatalf("compile %s: %v", b.Name, err)
 	}
 	m = ir.CloneModule(m)
+	var stats *core.Stats
 	var hook func(*ir.Module)
 	if cfg.Instrument {
 		hook = func(mod *ir.Module) {
-			if _, ierr := core.Instrument(mod, cfg.Core); ierr != nil {
+			s, ierr := core.Instrument(mod, cfg.Core)
+			if ierr != nil {
 				t.Fatalf("instrument %s: %v", b.Name, ierr)
 			}
+			stats = s
 		}
 	}
 	opt.RunPipeline(m, cfg.EP, hook, opt.PipelineOptions{Level: cfg.OptLevel})
@@ -55,13 +59,14 @@ func prepare(t *testing.T, b *spec.Benchmark, cfg harness.RunConfig) (*ir.Module
 			vopts.LowFatGlobals = true
 		}
 	}
-	return m, vopts
+	return m, vopts, stats
 }
 
 type runOutcome struct {
 	code   int32
 	output string
 	stats  vm.Stats
+	sites  []vm.SiteCount
 	err    error
 }
 
@@ -72,7 +77,8 @@ func runUnder(t *testing.T, kind bytecode.EngineKind, m *ir.Module, vopts vm.Opt
 		t.Fatalf("vm.New: %v", err)
 	}
 	code, rerr := bytecode.RunOn(kind, machine, "")
-	return runOutcome{code: code, output: machine.Output(), stats: machine.Stats, err: rerr}
+	return runOutcome{code: code, output: machine.Output(), stats: machine.Stats,
+		sites: machine.SiteProfile(), err: rerr}
 }
 
 // describeErr classifies an execution error for equivalence comparison:
@@ -100,7 +106,7 @@ func TestDifferentialSpec(t *testing.T) {
 	for _, b := range spec.All() {
 		for _, cfg := range diffConfigs() {
 			t.Run(b.Name+"/"+cfg.Label, func(t *testing.T) {
-				m, vopts := prepare(t, b, cfg)
+				m, vopts, _ := prepare(t, b, cfg)
 				tree := runUnder(t, bytecode.EngineTree, m, vopts)
 				bc := runUnder(t, bytecode.EngineBytecode, m, vopts)
 				if tree.code != bc.code {
@@ -120,12 +126,87 @@ func TestDifferentialSpec(t *testing.T) {
 	}
 }
 
+// TestDifferentialSiteProfile runs every spec benchmark under both
+// instrumented configurations with site profiling enabled and requires:
+// (1) both engines produce identical per-site profiles, (2) the per-site
+// sums reproduce the aggregate statistics exactly, and (3) every site that
+// executed resolves to a C source location.
+func TestDifferentialSiteProfile(t *testing.T) {
+	for _, b := range spec.All() {
+		for _, cfg := range diffConfigs()[1:] {
+			t.Run(b.Name+"/"+cfg.Label, func(t *testing.T) {
+				m, vopts, stats := prepare(t, b, cfg)
+				if stats == nil || stats.Sites == nil {
+					t.Fatal("instrumentation produced no site table")
+				}
+				vopts.SiteProfile = true
+				tree := runUnder(t, bytecode.EngineTree, m, vopts)
+				bc := runUnder(t, bytecode.EngineBytecode, m, vopts)
+				if len(tree.sites) != len(bc.sites) {
+					t.Fatalf("profile length: tree=%d bytecode=%d", len(tree.sites), len(bc.sites))
+				}
+				for id := range tree.sites {
+					if tree.sites[id] != bc.sites[id] {
+						t.Errorf("site %d: tree=%+v bytecode=%+v", id, tree.sites[id], bc.sites[id])
+					}
+				}
+				cm := vm.DefaultCostModel()
+				var checks, wide, inv, meta uint64
+				for id := 1; id < len(tree.sites); id++ {
+					sc := tree.sites[id]
+					s := stats.Sites.Get(int32(id))
+					if s == nil {
+						t.Fatalf("site %d executed but is missing from the registry", id)
+					}
+					if sc.Execs > 0 && s.Loc.IsZero() {
+						t.Errorf("site %d (%s in %s) executed %d times but has no source location",
+							id, s.Kind, s.Func, sc.Execs)
+					}
+					var unit uint64
+					switch s.Kind {
+					case "check":
+						checks += sc.Execs
+						wide += sc.Wide
+						unit = cm.SBCheck
+						if s.Mech == "lowfat" {
+							unit = cm.LFCheck
+						}
+					case "invariant":
+						inv += sc.Execs
+						unit = cm.LFCheck
+					case "metastore":
+						meta += sc.Execs
+						unit = cm.SBMetaStore
+					}
+					if sc.Cost != sc.Execs*unit {
+						t.Errorf("site %d (%s): cost %d != execs %d x unit %d",
+							id, s.Kind, sc.Cost, sc.Execs, unit)
+					}
+				}
+				st := tree.stats
+				if checks != st.Checks || wide != st.WideChecks || inv != st.InvariantChecks {
+					t.Errorf("per-site sums diverge from aggregates:\n"+
+						"sums:       checks=%d wide=%d invariant=%d\n"+
+						"aggregates: checks=%d wide=%d invariant=%d",
+						checks, wide, inv, st.Checks, st.WideChecks, st.InvariantChecks)
+				}
+				// Metadata stores from the memcpy/memmove wrappers (the runtime's
+				// copy_metadata walk) have no static site, so the sited sum is a
+				// lower bound on the aggregate.
+				if meta > st.MetaStores {
+					t.Errorf("sited metastores %d exceed aggregate %d", meta, st.MetaStores)
+				}
+			})
+		}
+	}
+}
+
 // TestDifferentialCoverage checks that the engines agree on which
 // instructions executed (the fault campaign's site-selection input).
 func TestDifferentialCoverage(t *testing.T) {
 	b := spec.All()[0]
 	cfg := harness.PaperConfig(core.MechSoftBound)
-	m, vopts := prepare(t, b, cfg)
+	m, vopts, _ := prepare(t, b, cfg)
 
 	coverOf := func(kind bytecode.EngineKind) map[*ir.Instr]bool {
 		o := vopts

@@ -25,6 +25,9 @@ type Engine struct {
 	cm    *vm.CostModel
 	st    *vm.Stats
 	cover map[*ir.Instr]bool
+	// prof is the VM's per-site counter slice (indexed by SiteID), shared
+	// with the tree interpreter so both engines' profiles read identically.
+	prof []vm.SiteCount
 
 	lfStack  bool
 	steps    uint64
@@ -63,12 +66,16 @@ func NewEngine(p *Program, machine *vm.VM) (*Engine, error) {
 		return nil, fmt.Errorf("bytecode: cost model differs from the one the program was compiled with")
 	}
 	opts := machine.Options()
+	if p.prof != opts.SiteProfile {
+		return nil, fmt.Errorf("bytecode: program compiled with SiteProfile=%v but VM has SiteProfile=%v", p.prof, opts.SiteProfile)
+	}
 	e := &Engine{
 		vm:       machine,
 		p:        p,
 		cm:       machine.CostModel(),
 		st:       &machine.Stats,
 		cover:    opts.CoverInstrs,
+		prof:     machine.SiteProfile(),
 		lfStack:  opts.LowFatStack,
 		maxSteps: machine.StepLimit(),
 		consts:   make([][]uint64, len(p.fns)),
@@ -657,6 +664,85 @@ func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error)
 				st.Stores++
 			}
 
+		case opSBStoreMDProf:
+			st.MetaStores++
+			st.Cost += cm.SBMetaStore
+			e.bumpSite(o.imm, false, cm.SBMetaStore)
+			e.vm.Trie.Store(regs[o.a], softbound.Bounds{Base: regs[o.b], Bound: regs[o.c]})
+		case opSBCheckProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, err
+			}
+		case opLFCheckProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, err
+			}
+		case opLFCheckInvProf:
+			ptr, base := regs[o.a], regs[o.b]
+			st.InvariantChecks++
+			st.Cost += cm.LFCheck
+			e.bumpSite(o.imm, false, cm.LFCheck)
+			ok, wide := lowfat.Check(ptr, 1, base)
+			if !ok && !wide {
+				return 0, &vm.ViolationError{Mechanism: "lowfat", Kind: "invariant", Ptr: ptr,
+					Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))}
+			}
+
+		case opSBCheckLoadProf, opSBCheckStoreProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, err
+			}
+			aux := &fn.aux[o.x]
+			e.steps++
+			if e.steps > e.maxSteps {
+				return 0, e.rte(pc, aux.in2, "step limit exceeded")
+			}
+			st.Instrs++
+			st.Cost += aux.cost2
+			if cover != nil {
+				cover[aux.in2] = true
+			}
+			if o.code == opSBCheckLoadProf {
+				x, err := e.load(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, err
+				}
+				st.Loads++
+				regs[o.dst] = x
+			} else {
+				if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+					return 0, err
+				}
+				st.Stores++
+			}
+		case opLFCheckLoadProf, opLFCheckStoreProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, err
+			}
+			aux := &fn.aux[o.x]
+			e.steps++
+			if e.steps > e.maxSteps {
+				return 0, e.rte(pc, aux.in2, "step limit exceeded")
+			}
+			st.Instrs++
+			st.Cost += aux.cost2
+			if cover != nil {
+				cover[aux.in2] = true
+			}
+			if o.code == opLFCheckLoadProf {
+				x, err := e.load(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, err
+				}
+				st.Loads++
+				regs[o.dst] = x
+			} else {
+				if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+					return 0, err
+				}
+				st.Stores++
+			}
+
 		case opBr:
 			pc = int(o.b)
 			continue
@@ -714,6 +800,55 @@ func (e *Engine) sbCheck(st *vm.Stats, cm *vm.CostModel, ptr, width, base, bound
 	if !b.Check(ptr, width) {
 		return &vm.ViolationError{Mechanism: "softbound", Kind: "deref", Ptr: ptr,
 			Detail: fmt.Sprintf("access of %d bytes outside bounds [%#x, %#x)", width, base, bound)}
+	}
+	return nil
+}
+
+// bumpSite attributes one execution to site id in the shared per-site
+// profile. The profiling opcodes only exist in profiled programs, so e.prof
+// is non-nil whenever this runs; id 0 ("no site") is skipped.
+func (e *Engine) bumpSite(id uint64, wide bool, cost uint64) {
+	if id == 0 || id >= uint64(len(e.prof)) {
+		return
+	}
+	sc := &e.prof[id]
+	sc.Execs++
+	sc.Cost += cost
+	if wide {
+		sc.Wide++
+	}
+}
+
+// sbCheckProf is sbCheck plus the per-site counter bump.
+func (e *Engine) sbCheckProf(st *vm.Stats, cm *vm.CostModel, site, ptr, width, base, bound uint64) error {
+	st.Checks++
+	st.Cost += cm.SBCheck
+	b := softbound.Bounds{Base: base, Bound: bound}
+	e.bumpSite(site, b.IsWide(), cm.SBCheck)
+	if b.IsWide() {
+		st.WideChecks++
+		return nil
+	}
+	if !b.Check(ptr, width) {
+		return &vm.ViolationError{Mechanism: "softbound", Kind: "deref", Ptr: ptr,
+			Detail: fmt.Sprintf("access of %d bytes outside bounds [%#x, %#x)", width, base, bound)}
+	}
+	return nil
+}
+
+// lfCheckProf is lfCheck plus the per-site counter bump.
+func (e *Engine) lfCheckProf(st *vm.Stats, cm *vm.CostModel, site, ptr, width, base uint64) error {
+	st.Checks++
+	st.Cost += cm.LFCheck
+	ok, wide := lowfat.Check(ptr, width, base)
+	e.bumpSite(site, wide, cm.LFCheck)
+	if wide {
+		st.WideChecks++
+		return nil
+	}
+	if !ok {
+		return &vm.ViolationError{Mechanism: "lowfat", Kind: "deref", Ptr: ptr,
+			Detail: fmt.Sprintf("access of %d bytes outside object at base %#x (size %d)", width, base, lowfat.AllocSize(lowfat.RegionIndex(base)))}
 	}
 	return nil
 }

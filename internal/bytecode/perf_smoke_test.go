@@ -19,7 +19,7 @@ func TestEnginePerfSmoke(t *testing.T) {
 	timeFor := func(kind bytecode.EngineKind) time.Duration {
 		var total time.Duration
 		for _, cfg := range diffConfigs() {
-			m, vopts := prepare(t, b, cfg)
+			m, vopts, _ := prepare(t, b, cfg)
 			machine, err := vm.New(m, vopts)
 			if err != nil {
 				t.Fatalf("vm.New: %v", err)
@@ -39,5 +39,53 @@ func TestEnginePerfSmoke(t *testing.T) {
 	if bc > 10*tree {
 		t.Fatalf("bytecode engine >10x slower than tree on %s: tree=%v bytecode=%v",
 			b.Name, tree, bc)
+	}
+}
+
+// TestSiteProfileNeutrality is the CI telemetry guard: enabling -siteprofile
+// must not change any verdict, exit code, output or execution statistic, and
+// must not slow the smoke benchmark by more than 2x. Site bumps are a single
+// array increment on check opcodes only, so at parity the overhead is a few
+// percent; timing both modes back-to-back and taking the best of three keeps
+// scheduler noise out of the ratio.
+func TestSiteProfileNeutrality(t *testing.T) {
+	b := spec.All()[0]
+	for _, cfg := range diffConfigs() {
+		t.Run(cfg.Label, func(t *testing.T) {
+			m, vopts, _ := prepare(t, b, cfg)
+			timeRun := func(prof bool) (runOutcome, time.Duration) {
+				o := vopts
+				o.SiteProfile = prof
+				best := time.Duration(0)
+				var out runOutcome
+				for i := 0; i < 3; i++ {
+					start := time.Now()
+					out = runUnder(t, bytecode.EngineBytecode, m, o)
+					if d := time.Since(start); best == 0 || d < best {
+						best = d
+					}
+				}
+				return out, best
+			}
+			plain, plainT := timeRun(false)
+			prof, profT := timeRun(true)
+			if plain.code != prof.code {
+				t.Errorf("exit code changed: off=%d on=%d", plain.code, prof.code)
+			}
+			if plain.output != prof.output {
+				t.Errorf("output changed:\noff: %q\non:  %q", plain.output, prof.output)
+			}
+			if pe, oe := describeErr(plain.err), describeErr(prof.err); pe != oe {
+				t.Errorf("verdict changed: off=%s on=%s", pe, oe)
+			}
+			if plain.stats != prof.stats {
+				t.Errorf("stats changed:\noff: %+v\non:  %+v", plain.stats, prof.stats)
+			}
+			t.Logf("%s: off=%v on=%v (%.2fx)", cfg.Label, plainT, profT,
+				float64(profT)/float64(plainT))
+			if profT > 2*plainT {
+				t.Errorf("-siteprofile slowed the smoke bench >2x: off=%v on=%v", plainT, profT)
+			}
+		})
 	}
 }

@@ -23,6 +23,7 @@ type StrLit struct{ S string }
 type Ident struct {
 	Name string
 	Line int
+	Col  int
 }
 
 // Unary is a prefix or postfix unary operation. Op is one of
@@ -39,6 +40,7 @@ type Binary struct {
 	Op   string
 	X, Y Expr
 	Line int
+	Col  int
 }
 
 // Assign is an assignment; Op is "=" or a compound operator like "+=".
@@ -46,6 +48,7 @@ type Assign struct {
 	Op   string
 	L, R Expr
 	Line int
+	Col  int
 }
 
 // Cond is the ?: operator.
@@ -56,6 +59,7 @@ type Call struct {
 	Name string
 	Args []Expr
 	Line int
+	Col  int
 }
 
 // Index is array subscripting x[i].
@@ -67,6 +71,7 @@ type Member struct {
 	Name  string
 	Arrow bool
 	Line  int
+	Col   int
 }
 
 // CastExpr is an explicit cast.
@@ -173,6 +178,7 @@ type VarDecl struct {
 	Extern bool
 	Static bool
 	Line   int
+	Col    int
 }
 
 // InitVal is an initializer: a single expression or a brace list.
@@ -202,6 +208,7 @@ type FuncDecl struct {
 	Body     *Block // nil for declarations
 	Static   bool
 	Line     int
+	Col      int
 }
 
 // Unit is one parsed translation unit.

@@ -56,6 +56,7 @@ func Compile(name string, sources ...Source) (m *ir.Module, err error) {
 
 	// Generate all function bodies.
 	for _, u := range units {
+		cg.file = u.File
 		for _, fd := range u.Funcs {
 			if fd.Body != nil {
 				cg.emitFunc(fd)

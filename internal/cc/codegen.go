@@ -35,6 +35,9 @@ type codegen struct {
 	gtypes map[string]*CType
 	strs   map[string]*ir.Global
 	strSeq int
+	// file is the translation unit currently being lowered; combined with
+	// AST line/column info it becomes the ir.Loc provenance on instructions.
+	file string
 
 	// Per-function state.
 	fn     *ir.Func
@@ -44,6 +47,30 @@ type codegen struct {
 	breaks []*ir.Block
 	conts  []*ir.Block
 	blkSeq int
+}
+
+// setLoc updates the builder's sticky source location. Unpositioned AST
+// nodes (line 0) keep the enclosing position.
+func (cg *codegen) setLoc(line, col int) {
+	if line > 0 {
+		cg.bld.SetLoc(ir.Loc{File: cg.file, Line: int32(line), Col: int32(col)})
+	}
+}
+
+// noteExpr stamps the builder location from a positioned expression node.
+func (cg *codegen) noteExpr(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		cg.setLoc(x.Line, x.Col)
+	case *Binary:
+		cg.setLoc(x.Line, x.Col)
+	case *Assign:
+		cg.setLoc(x.Line, x.Col)
+	case *Call:
+		cg.setLoc(x.Line, x.Col)
+	case *Member:
+		cg.setLoc(x.Line, x.Col)
+	}
 }
 
 func (cg *codegen) pushScope() { cg.scopes = append(cg.scopes, map[string]*localVar{}) }
@@ -82,6 +109,9 @@ func (cg *codegen) emitFunc(fd *FuncDecl) {
 	f := cg.mod.Func(fd.Name)
 	cg.fn = f
 	cg.bld = ir.NewBuilder(f)
+	// Every instruction gets at least the function's own position, so all
+	// lowered code resolves to some C source location.
+	cg.setLoc(fd.Line, fd.Col)
 	cg.retTy = fd.Ret
 	cg.scopes = nil
 	cg.blkSeq = 0
@@ -159,6 +189,7 @@ func (cg *codegen) emitBlockStmt(b *Block) {
 }
 
 func (cg *codegen) emitLocalDecl(vd *VarDecl) {
+	cg.setLoc(vd.Line, vd.Col)
 	if vd.Ty.Kind == CArray && vd.Ty.Len == 0 {
 		panic(errf("cc: local array %q has no size", vd.Name))
 	}

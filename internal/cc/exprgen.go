@@ -9,6 +9,7 @@ import (
 // emitExpr generates code for an expression and returns its rvalue. Array
 // values decay to pointers to their first element.
 func (cg *codegen) emitExpr(e Expr) cval {
+	cg.noteExpr(e)
 	switch x := e.(type) {
 	case *IntLit:
 		ty := cIntT
@@ -93,6 +94,7 @@ func (cg *codegen) loadValue(addr ir.Value, ty *CType, line int) cval {
 // emitAddr generates the address of an lvalue and returns it with the
 // pointee's C type.
 func (cg *codegen) emitAddr(e Expr) (ir.Value, *CType) {
+	cg.noteExpr(e)
 	switch x := e.(type) {
 	case *Ident:
 		if lv := cg.lookupLocal(x.Name); lv != nil {

@@ -6,9 +6,9 @@ package cc
 func (p *parser) parseExpr() Expr {
 	x := p.parseAssignExpr()
 	for p.isPunct(",") {
-		line := p.next().Line
+		t := p.next()
 		y := p.parseAssignExpr()
-		x = &Binary{Op: ",", X: x, Y: y, Line: line}
+		x = &Binary{Op: ",", X: x, Y: y, Line: t.Line, Col: t.Col}
 	}
 	return x
 }
@@ -24,7 +24,7 @@ func (p *parser) parseAssignExpr() Expr {
 	if t.Kind == TokPunct && assignOps[t.Text] {
 		p.next()
 		r := p.parseAssignExpr()
-		return &Assign{Op: t.Text, L: x, R: r, Line: t.Line}
+		return &Assign{Op: t.Text, L: x, R: r, Line: t.Line, Col: t.Col}
 	}
 	return x
 }
@@ -81,7 +81,7 @@ func (p *parser) parseBinaryExpr(minPrec int) Expr {
 		}
 		p.next()
 		y := p.parseBinaryExpr(prec + 1)
-		x = &Binary{Op: t.Text, X: x, Y: y, Line: t.Line}
+		x = &Binary{Op: t.Text, X: x, Y: y, Line: t.Line, Col: t.Col}
 	}
 }
 
@@ -164,11 +164,11 @@ func (p *parser) parsePostfixExpr() Expr {
 		case ".":
 			p.next()
 			name := p.expectIdent()
-			x = &Member{X: x, Name: name.Text, Line: name.Line}
+			x = &Member{X: x, Name: name.Text, Line: name.Line, Col: name.Col}
 		case "->":
 			p.next()
 			name := p.expectIdent()
-			x = &Member{X: x, Name: name.Text, Arrow: true, Line: name.Line}
+			x = &Member{X: x, Name: name.Text, Arrow: true, Line: name.Line, Col: name.Col}
 		case "++", "--":
 			p.next()
 			x = &Unary{Op: t.Text, X: x, Postfix: true}
@@ -205,7 +205,7 @@ func (p *parser) parsePrimaryExpr() Expr {
 		}
 		if p.isPunct("(") {
 			p.next()
-			call := &Call{Name: t.Text, Line: t.Line}
+			call := &Call{Name: t.Text, Line: t.Line, Col: t.Col}
 			if !p.accept(")") {
 				for {
 					call.Args = append(call.Args, p.parseAssignExpr())
@@ -218,7 +218,7 @@ func (p *parser) parsePrimaryExpr() Expr {
 			}
 			return call
 		}
-		return &Ident{Name: t.Text, Line: t.Line}
+		return &Ident{Name: t.Text, Line: t.Line, Col: t.Col}
 	case TokPunct:
 		if t.Text == "(" {
 			p.next()

@@ -18,12 +18,16 @@ func errf(format string, args ...any) compileError {
 
 // lexer tokenizes one source file after macro-expanding it.
 type lexer struct {
-	file   string
-	src    string
-	pos    int
-	line   int
-	macros map[string][]Token
-	toks   []Token
+	file string
+	src  string
+	pos  int
+	line int
+	// lineStart is the offset of the current line's first byte; col is the
+	// 1-based column of the token currently being lexed.
+	lineStart int
+	col       int
+	macros    map[string][]Token
+	toks      []Token
 }
 
 // lex runs the miniature preprocessor and the tokenizer, returning the token
@@ -39,6 +43,7 @@ func lex(file, src string, macros map[string][]Token) []Token {
 func (lx *lexer) run() {
 	for {
 		lx.skipSpaceAndComments()
+		lx.col = lx.pos - lx.lineStart + 1
 		if lx.pos >= len(lx.src) {
 			lx.emit(Token{Kind: TokEOF})
 			return
@@ -78,7 +83,10 @@ func (lx *lexer) atLineStart() bool {
 }
 
 func (lx *lexer) emit(t Token) {
+	// Positions are always the use site: macro-body tokens re-emitted during
+	// expansion get the position of the macro reference, like real compilers.
 	t.Line = lx.line
+	t.Col = lx.col
 	t.File = lx.file
 	lx.toks = append(lx.toks, t)
 }
@@ -90,6 +98,7 @@ func (lx *lexer) skipSpaceAndComments() {
 		case c == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			lx.pos++
 		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
@@ -101,6 +110,7 @@ func (lx *lexer) skipSpaceAndComments() {
 			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
 				if lx.src[lx.pos] == '\n' {
 					lx.line++
+					lx.lineStart = lx.pos + 1
 				}
 				lx.pos++
 			}

@@ -99,7 +99,7 @@ func (p *parser) parseTopLevel(u *Unit) {
 	// Variable declaration(s).
 	for {
 		ty = p.parseArraySuffixes(ty)
-		vd := &VarDecl{Name: name, Ty: ty, Extern: specs.extern, Static: specs.static, Line: p.cur().Line}
+		vd := &VarDecl{Name: name, Ty: ty, Extern: specs.extern, Static: specs.static, Line: p.cur().Line, Col: p.cur().Col}
 		if p.accept("=") {
 			vd.Init = p.parseInitVal()
 		}
@@ -304,7 +304,7 @@ func (p *parser) parseArraySuffixes(ty *CType) *CType {
 }
 
 func (p *parser) parseFuncRest(name string, ret *CType, specs declSpecs) *FuncDecl {
-	fd := &FuncDecl{Name: name, Ret: ret, Static: specs.static, Line: p.cur().Line}
+	fd := &FuncDecl{Name: name, Ret: ret, Static: specs.static, Line: p.cur().Line, Col: p.cur().Col}
 	p.expect("(")
 	if p.accept(")") {
 		// K&R-style empty parameter list.
@@ -390,7 +390,7 @@ func (p *parser) parseLocalDecl() Stmt {
 	for {
 		name, ty := p.parseDeclarator(specs.base)
 		ty = p.parseArraySuffixes(ty)
-		vd := &VarDecl{Name: name, Ty: ty, Extern: specs.extern, Static: specs.static, Line: p.cur().Line}
+		vd := &VarDecl{Name: name, Ty: ty, Extern: specs.extern, Static: specs.static, Line: p.cur().Line, Col: p.cur().Col}
 		if p.accept("=") {
 			vd.Init = p.parseInitVal()
 		}

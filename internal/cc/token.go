@@ -45,8 +45,10 @@ type Token struct {
 	Unsigned bool
 	// Long marks integer literals with an L suffix.
 	Long bool
-	// Line/File locate the token for diagnostics.
+	// Line/Col/File locate the token for diagnostics and IR provenance.
+	// Col is 1-based; 0 means unknown.
 	Line int
+	Col  int
 	File string
 }
 

@@ -15,6 +15,8 @@
 // implement the mechanism interface in witness.go.
 package core
 
+import "repro/internal/telemetry"
+
 // Mech selects the instrumentation mechanism (-mi-config in the artifact).
 type Mech int
 
@@ -137,6 +139,10 @@ type Stats struct {
 	// WitnessPhis and WitnessSelects count propagation instructions.
 	WitnessPhis    int
 	WitnessSelects int
+	// Sites registers every placed check/metadata operation with a stable
+	// SiteID, mechanism, kind, width and source provenance; the engines
+	// count executions per site when vm.Options.SiteProfile is enabled.
+	Sites *telemetry.SiteTable
 }
 
 // EliminationRate returns the fraction of dereference targets removed by the

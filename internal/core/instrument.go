@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Instrument applies the configured memory-safety instrumentation to every
@@ -16,7 +17,7 @@ import (
 // pipeline experiments, pass it as the hook of opt.RunPipeline at the
 // desired extension point.
 func Instrument(m *ir.Module, cfg Config) (*Stats, error) {
-	stats := &Stats{}
+	stats := &Stats{Sites: &telemetry.SiteTable{}}
 	var mech mechanism
 	switch cfg.Mechanism {
 	case MechSoftBound:

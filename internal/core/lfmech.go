@@ -92,6 +92,7 @@ func (l *lfMech) instrumentCall(fi *funcInstrumenter, call *ir.Instr) {
 		fi.bld.SetBefore(call)
 		c := fi.bld.Call(l.checkInv, a, w.vals[0])
 		c.Tag = "invariant"
+		fi.site(c, "invariant", 0, call)
 		l.stats.InvariantChecks++
 	}
 	if call.Ty.IsPointer() {
@@ -107,6 +108,7 @@ func (l *lfMech) placeCheck(fi *funcInstrumenter, t ITarget) {
 	fi.bld.SetBefore(t.Instr)
 	c := fi.bld.Call(l.check, t.Ptr, ir.NewInt(ir.I64, int64(t.Width)), w.vals[0])
 	c.Tag = "check"
+	fi.site(c, "check", t.Width, t.Instr)
 	l.stats.ChecksPlaced++
 }
 
@@ -117,6 +119,7 @@ func (l *lfMech) establishStore(fi *funcInstrumenter, t ITarget) {
 	fi.bld.SetBefore(t.Instr)
 	c := fi.bld.Call(l.checkInv, t.Ptr, w.vals[0])
 	c.Tag = "invariant"
+	fi.site(c, "invariant", 0, t.Instr)
 	l.stats.InvariantChecks++
 }
 
@@ -126,6 +129,7 @@ func (l *lfMech) establishReturn(fi *funcInstrumenter, t ITarget) {
 	fi.bld.SetBefore(t.Instr)
 	c := fi.bld.Call(l.checkInv, t.Ptr, w.vals[0])
 	c.Tag = "invariant"
+	fi.site(c, "invariant", 0, t.Instr)
 	l.stats.InvariantChecks++
 }
 
@@ -136,5 +140,6 @@ func (l *lfMech) establishPtrToInt(fi *funcInstrumenter, t ITarget) {
 	fi.bld.SetBefore(t.Instr)
 	c := fi.bld.Call(l.checkInv, t.Ptr, w.vals[0])
 	c.Tag = "invariant"
+	fi.site(c, "invariant", 0, t.Instr)
 	l.stats.InvariantChecks++
 }

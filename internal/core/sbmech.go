@@ -197,6 +197,7 @@ func (s *sbMech) placeCheck(fi *funcInstrumenter, t ITarget) {
 	fi.bld.SetBefore(t.Instr)
 	c := fi.bld.Call(s.check, t.Ptr, ir.NewInt(ir.I64, int64(t.Width)), w.vals[0], w.vals[1])
 	c.Tag = "check"
+	fi.site(c, "check", t.Width, t.Instr)
 	s.stats.ChecksPlaced++
 }
 
@@ -206,6 +207,7 @@ func (s *sbMech) establishStore(fi *funcInstrumenter, t ITarget) {
 	fi.bld.SetAfter(t.Instr)
 	c := fi.bld.Call(s.storeMD, t.Instr.Operands[1], w.vals[0], w.vals[1])
 	c.Tag = "invariant"
+	fi.site(c, "metastore", 0, t.Instr)
 	s.stats.MetadataStores++
 }
 

@@ -86,6 +86,19 @@ type funcInstrumenter struct {
 	retWitness map[*ir.Instr]witness
 }
 
+// site registers check/metadata call c as a telemetry site: it gets a stable
+// SiteID and inherits the source location of the instruction it guards, so
+// dynamic per-site counts resolve back to the C source.
+func (fi *funcInstrumenter) site(c *ir.Instr, kind string, width int, anchor *ir.Instr) {
+	if anchor != nil && c.Loc.IsZero() {
+		c.Loc = anchor.Loc
+	}
+	if fi.stats.Sites == nil {
+		return
+	}
+	c.Site = fi.stats.Sites.Add(kind, fi.mech.name(), width, fi.fn.Name, c.Loc)
+}
+
 func newFuncInstrumenter(cfg *Config, mech mechanism, f *ir.Func, stats *Stats) *funcInstrumenter {
 	fi := &funcInstrumenter{
 		cfg:         cfg,

@@ -6,7 +6,9 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -74,6 +77,10 @@ type Result struct {
 	// Wall is the wall-clock duration of the VM run itself (excluding
 	// compilation and instrumentation).
 	Wall time.Duration
+	// SiteProfile is the per-check-site execution profile, indexed by
+	// SiteID (nil unless the runner's site profiling is on). The matching
+	// static site registry is InstrStats.Sites.
+	SiteProfile []vm.SiteCount
 	// Err is non-nil if the run failed (e.g. a reported violation).
 	Err error
 }
@@ -86,6 +93,19 @@ type Runner struct {
 	cache   map[string]*cacheEntry
 	engine  bytecode.EngineKind
 	par     int
+	// siteProfile enables per-check-site counters (vm.Options.SiteProfile)
+	// for subsequent runs; results are cached per setting.
+	siteProfile bool
+	// cost overrides the VM cost model (nil = default); part of the cache
+	// key, since it changes every dynamic statistic.
+	cost *vm.CostModel
+	// trace, when non-nil, receives pipeline/execution spans.
+	trace *telemetry.Trace
+	// progress, when non-nil, receives one atomically-written block of log
+	// lines per completed cell (buffered per cell so concurrent -j workers
+	// never interleave). progMu serializes the flushes.
+	progress io.Writer
+	progMu   sync.Mutex
 }
 
 type cacheEntry struct {
@@ -116,6 +136,40 @@ func (r *Runner) Engine() bytecode.EngineKind {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.engine
+}
+
+// SetSiteProfile toggles per-check-site execution counters for subsequent
+// runs. Profiled and unprofiled results are cached separately.
+func (r *Runner) SetSiteProfile(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.siteProfile = on
+}
+
+// SetCostModel overrides the VM cost model for subsequent runs (nil restores
+// the default). The model is part of the result-cache key.
+func (r *Runner) SetCostModel(cm *vm.CostModel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cost = cm
+}
+
+// SetTrace installs a span recorder for subsequent runs: each uncached cell
+// records its pipeline stages and VM execution on its own track. Cached cells
+// record nothing (they do no work).
+func (r *Runner) SetTrace(t *telemetry.Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = t
+}
+
+// SetProgress installs a writer that receives one block of log lines per
+// completed cell. Blocks are buffered per cell and flushed under a lock, so
+// output from concurrent workers never interleaves.
+func (r *Runner) SetProgress(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.progress = w
 }
 
 // SetParallelism caps concurrent benchmark cells in figure sweeps (default
@@ -159,12 +213,26 @@ func (r *Runner) module(b *spec.Benchmark) (*ir.Module, error) {
 	return ir.CloneModule(m), nil
 }
 
+// costKey fingerprints a cost model for result-cache keys: two runs under
+// different models must never share a cached result.
+func costKey(cm *vm.CostModel) string {
+	if cm == nil {
+		return "default"
+	}
+	return fmt.Sprintf("%+v", *cm)
+}
+
 // Run executes one benchmark under one configuration, caching the result.
+// The cache key spans every axis that changes the observable result: the
+// configuration, the engine, site profiling, and the cost model.
 func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 	r.mu.Lock()
 	engine := r.engine
+	prof := r.siteProfile
+	cost := r.cost
 	r.mu.Unlock()
-	key := b.Name + "|" + configKey(cfg) + "|" + engine.String()
+	key := b.Name + "|" + configKey(cfg) + "|" + engine.String() +
+		fmt.Sprintf("|prof=%t|cost=%s", prof, costKey(cost))
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
@@ -172,11 +240,11 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg, engine, key) })
+	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg, engine, prof, cost, key) })
 	return e.res, e.err
 }
 
-func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, key string) (res *Result, err error) {
+func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof bool, cost *vm.CostModel, key string) (res *Result, err error) {
 	// A panic anywhere in the pipeline, instrumentation or VM must not take
 	// down the whole campaign: it becomes this run's failure.
 	defer func() {
@@ -188,30 +256,66 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 			err = nil
 		}
 	}()
+	r.mu.Lock()
+	tr := r.trace
+	progress := r.progress
+	r.mu.Unlock()
+
+	// Per-cell log buffer: concurrent workers build their lines here and
+	// flush the whole block at once, so -j output never interleaves.
+	var logBuf bytes.Buffer
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(&logBuf, format+"\n", args...)
+		}
+	}
+	defer func() {
+		if progress == nil || logBuf.Len() == 0 {
+			return
+		}
+		r.progMu.Lock()
+		_, _ = progress.Write(logBuf.Bytes())
+		r.progMu.Unlock()
+	}()
+	logf("[%s/%s] start engine=%s", b.Name, cfg.Label, engine)
+
 	m, err := r.module(b)
 	if err != nil {
 		return nil, err
 	}
 	res = &Result{Bench: b.Name, Config: cfg}
 
+	tid := 0
+	if tr.Enabled() {
+		tid = tr.Track(b.Name + "/" + cfg.Label)
+	}
+
 	var hook func(*ir.Module)
 	if cfg.Instrument {
 		hook = func(mod *ir.Module) {
+			sp := tr.Begin("instrument:"+cfg.Core.Mechanism.String(), tid)
 			s, ierr := core.Instrument(mod, cfg.Core)
 			if ierr != nil {
+				sp.End()
 				err = fmt.Errorf("instrumenting %s: %w", b.Name, ierr)
 				return
 			}
+			sp.Arg("checks_placed", s.ChecksPlaced)
+			sp.Arg("checks_eliminated", s.ChecksEliminated)
+			sp.Arg("sites", s.Sites.Len())
+			sp.End()
 			res.InstrStats = s
+			logf("[%s/%s] instrumented: %d checks placed, %d eliminated, %d sites",
+				b.Name, cfg.Label, s.ChecksPlaced, s.ChecksEliminated, s.Sites.Len())
 		}
 	}
-	popts := opt.PipelineOptions{Level: cfg.OptLevel, Stats: &res.PipeStats}
+	popts := opt.PipelineOptions{Level: cfg.OptLevel, Stats: &res.PipeStats, Trace: tr, TraceTID: tid}
 	opt.RunPipeline(m, cfg.EP, hook, popts)
 	if err != nil {
 		return nil, err
 	}
 
-	vopts := vm.Options{}
+	vopts := vm.Options{SiteProfile: prof, Cost: cost}
 	if cfg.Instrument {
 		switch cfg.Core.Mechanism {
 		case core.MechSoftBound:
@@ -227,15 +331,28 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 	if err != nil {
 		return nil, err
 	}
+	sp := tr.Begin("execute:"+engine.String(), tid)
 	start := time.Now()
 	code, rerr := bytecode.RunOn(engine, machine, key)
 	res.Wall = time.Since(start)
+	sp.Arg("cost", machine.Stats.Cost)
+	sp.Arg("checks", machine.Stats.Checks)
+	sp.End()
 	res.Output = machine.Output()
 	res.Stats = machine.Stats
+	if prof {
+		res.SiteProfile = machine.SiteProfile()
+	}
 	if rerr != nil {
 		res.Err = rerr
 	} else if code != 0 {
 		res.Err = fmt.Errorf("%s exited with code %d", b.Name, code)
+	}
+	if res.Err != nil {
+		logf("[%s/%s] FAILED in %.1fms: %v", b.Name, cfg.Label, float64(res.Wall.Microseconds())/1000, res.Err)
+	} else {
+		logf("[%s/%s] ok in %.1fms: cost=%d checks=%d", b.Name, cfg.Label,
+			float64(res.Wall.Microseconds())/1000, res.Stats.Cost, res.Stats.Checks)
 	}
 	return res, nil
 }

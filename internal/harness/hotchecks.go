@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// siteRecords joins a result's dynamic per-site counters with the static
+// site registry the instrumentation built. Every site that executed at least
+// once is included (so the JSON sums reproduce the aggregate statistics
+// exactly); sorting is by cost descending, then ID, for stable hot-first
+// tables.
+func siteRecords(res *Result) []SiteRecord {
+	if res.SiteProfile == nil || res.InstrStats == nil || res.InstrStats.Sites == nil {
+		return nil
+	}
+	table := res.InstrStats.Sites
+	out := []SiteRecord{}
+	for id := 1; id < len(res.SiteProfile); id++ {
+		sc := res.SiteProfile[id]
+		if sc.Execs == 0 {
+			continue
+		}
+		s := table.Get(int32(id))
+		if s == nil {
+			continue
+		}
+		out = append(out, SiteRecord{
+			ID:    s.ID,
+			Kind:  s.Kind,
+			Mech:  s.Mech,
+			Width: s.Width,
+			Func:  s.Func,
+			Loc:   s.Loc.String(),
+			Execs: sc.Execs,
+			Wide:  sc.Wide,
+			Cost:  sc.Cost,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// RenderHotChecks renders the per-site profile of a report as Figure-5-style
+// hot-check tables: for every (benchmark, configuration) cell with sites, the
+// top checks by accumulated cost, attributed to their C source location.
+// top <= 0 means all sites.
+func RenderHotChecks(rep *PerfReport, top int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Hot check sites (engine=%s)\n", rep.Engine)
+	if !rep.SiteProfile {
+		sb.WriteString("site profiling was off; rerun with -siteprofile\n")
+		return sb.String()
+	}
+	any := false
+	for _, rec := range rep.Records {
+		if len(rec.Sites) == 0 {
+			continue
+		}
+		any = true
+		var total uint64
+		for _, s := range rec.Sites {
+			total += s.Cost
+		}
+		fmt.Fprintf(&sb, "\n%s / %s: %d live sites, check cost %d (%.1f%% of total cost %d)\n",
+			rec.Bench, rec.Config, len(rec.Sites), total, pct(total, rec.Cost), rec.Cost)
+		fmt.Fprintf(&sb, "  %4s  %-9s  %5s  %12s  %10s  %6s  %-20s  %s\n",
+			"site", "kind", "width", "execs", "cost", "wide%", "func", "location")
+		n := len(rec.Sites)
+		if top > 0 && top < n {
+			n = top
+		}
+		for _, s := range rec.Sites[:n] {
+			width := "-"
+			if s.Width > 0 {
+				width = fmt.Sprintf("%d", s.Width)
+			}
+			fmt.Fprintf(&sb, "  %4d  %-9s  %5s  %12d  %10d  %5.1f%%  %-20s  %s\n",
+				s.ID, s.Kind, width, s.Execs, s.Cost, pct(s.Wide, s.Execs), s.Func, s.Loc)
+		}
+		if n < len(rec.Sites) {
+			fmt.Fprintf(&sb, "  ... %d more sites (raise -top or use -json)\n", len(rec.Sites)-n)
+		}
+	}
+	if !any {
+		sb.WriteString("no per-site data recorded (no instrumented cells executed)\n")
+	}
+	return sb.String()
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

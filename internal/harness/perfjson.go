@@ -21,13 +21,35 @@ type PerfRecord struct {
 	Stores     uint64  `json:"stores"`
 	WallMS     float64 `json:"wall_ms"`
 	Err        string  `json:"err,omitempty"`
+	// Sites is the per-check-site profile (site profiling runs only): every
+	// site that executed at least once, sorted by cost descending. Summing
+	// Execs of kind "check" reproduces Checks exactly; likewise Wide and
+	// WideChecks.
+	Sites []SiteRecord `json:"sites,omitempty"`
+}
+
+// SiteRecord is one check site's static identity joined with its dynamic
+// counters, ready for hot-check tables.
+type SiteRecord struct {
+	ID    int32  `json:"id"`
+	Kind  string `json:"kind"`
+	Mech  string `json:"mech"`
+	Width int    `json:"width,omitempty"`
+	Func  string `json:"func"`
+	// Loc is the C source location the site resolves to ("file:line:col").
+	Loc   string `json:"loc"`
+	Execs uint64 `json:"execs"`
+	Wide  uint64 `json:"wide,omitempty"`
+	Cost  uint64 `json:"cost"`
 }
 
 // PerfReport is the -json output of mi-bench: every cell the campaign
 // executed, in deterministic order.
 type PerfReport struct {
-	Engine  string       `json:"engine"`
-	Records []PerfRecord `json:"records"`
+	Engine string `json:"engine"`
+	// SiteProfile records whether per-site counters were collected.
+	SiteProfile bool         `json:"site_profile,omitempty"`
+	Records     []PerfRecord `json:"records"`
 }
 
 // PerfReport snapshots the runner's result cache. Cells still executing (or
@@ -35,7 +57,7 @@ type PerfReport struct {
 func (r *Runner) PerfReport() *PerfReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rep := &PerfReport{Engine: r.engine.String(), Records: []PerfRecord{}}
+	rep := &PerfReport{Engine: r.engine.String(), SiteProfile: r.siteProfile, Records: []PerfRecord{}}
 	for key, e := range r.cache {
 		res := e.res
 		if res == nil {
@@ -56,6 +78,7 @@ func (r *Runner) PerfReport() *PerfReport {
 		if res.Err != nil {
 			rec.Err = res.Err.Error()
 		}
+		rec.Sites = siteRecords(res)
 		rep.Records = append(rep.Records, rec)
 	}
 	sort.Slice(rep.Records, func(i, j int) bool {

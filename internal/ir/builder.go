@@ -10,6 +10,10 @@ type Builder struct {
 	// before, when non-nil, makes the builder insert before this
 	// instruction instead of appending to blk.
 	before *Instr
+	// loc is stamped onto every emitted instruction that has no location of
+	// its own; the front end updates it as it walks the AST, so helper
+	// instructions between positioned nodes inherit the enclosing position.
+	loc Loc
 }
 
 // NewBuilder returns a builder for the function, without an insertion point.
@@ -42,6 +46,13 @@ func (bld *Builder) SetAfter(pos *Instr) {
 	}
 }
 
+// SetLoc sets the source location stamped onto subsequently emitted
+// instructions (until the next SetLoc). The zero Loc clears it.
+func (bld *Builder) SetLoc(l Loc) { bld.loc = l }
+
+// Loc returns the current source location.
+func (bld *Builder) Loc() Loc { return bld.loc }
+
 // Block returns the current insertion block.
 func (bld *Builder) Block() *Block { return bld.blk }
 
@@ -53,6 +64,9 @@ func (bld *Builder) emit(in *Instr) *Instr {
 		panic("ir: builder has no insertion point")
 	}
 	in.id = bld.fn.allocID()
+	if in.Loc.IsZero() {
+		in.Loc = bld.loc
+	}
 	if in.Ty != Void && in.Name == "" {
 		// Derive the SSA name from the function-unique id so that
 		// instructions emitted by different builders (e.g. the front end
@@ -168,7 +182,7 @@ func (bld *Builder) GEP(ptr Value, indices ...Value) *Instr {
 // Phi emits an empty phi of the given type; incoming edges are added with
 // AddPhiIncoming. Phis are placed at the start of the insertion block.
 func (bld *Builder) Phi(ty *Type) *Instr {
-	in := &Instr{Op: OpPhi, Ty: ty}
+	in := &Instr{Op: OpPhi, Ty: ty, Loc: bld.loc}
 	in.id = bld.fn.allocID()
 	if in.Name == "" {
 		in.Name = fmt.Sprintf("v%d", in.id)

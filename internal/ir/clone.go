@@ -112,6 +112,7 @@ func cloneBody(src, dst *Func, gmap map[*Global]*Global, fmap map[*Func]*Func) {
 			ni := &Instr{
 				Op: in.Op, Ty: in.Ty, Pred: in.Pred, AllocTy: in.AllocTy,
 				SrcTy: in.SrcTy, Name: in.Name, Tag: in.Tag,
+				Loc: in.Loc, Site: in.Site,
 				id: dst.allocID(),
 			}
 			imap[in] = ni

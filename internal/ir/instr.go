@@ -163,6 +163,15 @@ type Instr struct {
 	// ("check", "witness", "invariant", ...). Empty for regular code. The
 	// tag is informational: optimization passes must not special-case it.
 	Tag string
+	// Loc is the C source location this instruction was lowered from (zero
+	// for synthetic instructions). Instrumentation ops inherit the location
+	// of the instruction they guard, so every check traces back to source.
+	Loc Loc
+	// Site is the check-site identifier assigned by the instrumentation
+	// (telemetry.SiteTable); 0 means "no site". Clones (inlining, unrolling)
+	// keep the id of their original, so dynamic counts attribute to the
+	// static site of origin.
+	Site int32
 
 	// id is a function-unique identifier used for deterministic ordering.
 	id int

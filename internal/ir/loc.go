@@ -1,0 +1,27 @@
+package ir
+
+import "fmt"
+
+// Loc is a source location: the C file/line/column an instruction was
+// lowered from. The zero Loc means "no location" (synthetic instructions,
+// hand-built IR, parsed IR without location trailers).
+type Loc struct {
+	File string
+	Line int32
+	Col  int32
+}
+
+// IsZero reports whether the location is unset.
+func (l Loc) IsZero() bool { return l.File == "" && l.Line == 0 && l.Col == 0 }
+
+// String renders the location as "file:line:col" (or "file:line" when the
+// column is unknown, or "?" for the zero Loc).
+func (l Loc) String() string {
+	if l.IsZero() {
+		return "?"
+	}
+	if l.Col == 0 {
+		return fmt.Sprintf("%s:%d", l.File, l.Line)
+	}
+	return fmt.Sprintf("%s:%d:%d", l.File, l.Line, l.Col)
+}

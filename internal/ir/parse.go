@@ -648,6 +648,12 @@ var predByName = func() map[string]Pred {
 }()
 
 func (fp *funcParser) parseInstr(b *Block, line string) {
+	// The !loc trailer prints after !mi, so it is stripped first.
+	var loc Loc
+	if i := strings.Index(line, "; !loc "); i >= 0 {
+		loc = parseLoc(strings.TrimSpace(line[i+len("; !loc "):]))
+		line = strings.TrimSpace(line[:i])
+	}
 	tag := ""
 	if i := strings.Index(line, "; !mi."); i >= 0 {
 		tag = strings.TrimSpace(line[i+len("; !mi."):])
@@ -672,7 +678,7 @@ func (fp *funcParser) parseInstr(b *Block, line string) {
 		rest = ""
 	}
 
-	in := &Instr{Name: name, Ty: Void, Tag: tag}
+	in := &Instr{Name: name, Ty: Void, Tag: tag, Loc: loc}
 	fp.f.AdoptInstr(in)
 	in.Name = name // AdoptInstr renames; keep the parsed name verbatim
 	b.Append(in)
@@ -916,4 +922,36 @@ func (fp *funcParser) parseInstr(b *Block, line string) {
 	default:
 		pfail("unknown instruction %q in: %s", word, line)
 	}
+}
+
+// parseLoc parses a "!loc" trailer: "file:line:col", "file:line", or "?".
+// Malformed trailers yield the zero Loc rather than failing the parse.
+func parseLoc(s string) Loc {
+	if s == "" || s == "?" {
+		return Loc{}
+	}
+	parts := strings.Split(s, ":")
+	toInt := func(x string) int32 {
+		n, err := strconv.Atoi(x)
+		if err != nil {
+			return 0
+		}
+		return int32(n)
+	}
+	switch {
+	case len(parts) >= 3:
+		n := len(parts)
+		line, col := toInt(parts[n-2]), toInt(parts[n-1])
+		if line == 0 {
+			return Loc{}
+		}
+		return Loc{File: strings.Join(parts[:n-2], ":"), Line: line, Col: col}
+	case len(parts) == 2:
+		line := toInt(parts[1])
+		if line == 0 {
+			return Loc{}
+		}
+		return Loc{File: parts[0], Line: line}
+	}
+	return Loc{}
 }

@@ -233,5 +233,8 @@ func FormatInstr(in *Instr) string {
 	if in.Tag != "" {
 		fmt.Fprintf(&sb, " ; !mi.%s", in.Tag)
 	}
+	if !in.Loc.IsZero() {
+		fmt.Fprintf(&sb, " ; !loc %s", in.Loc)
+	}
 	return sb.String()
 }

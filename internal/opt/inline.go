@@ -194,6 +194,7 @@ func inlineCall(caller *ir.Func, call *ir.Instr) {
 			ni := &ir.Instr{
 				Op: in.Op, Ty: in.Ty, Pred: in.Pred, AllocTy: in.AllocTy,
 				SrcTy: in.SrcTy, Name: in.Name, Tag: in.Tag,
+				Loc: in.Loc, Site: in.Site,
 			}
 			caller.AdoptInstr(ni)
 			imap[in] = ni

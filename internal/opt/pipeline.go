@@ -1,6 +1,9 @@
 package opt
 
-import "repro/internal/ir"
+import (
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
 
 // ExtPoint names a compiler-pipeline extension point at which the
 // instrumentation hook runs (Figure 8 of the paper; the artifact selects
@@ -42,6 +45,13 @@ type PipelineOptions struct {
 	ObfuscatePtrStores bool
 	// Stats, when non-nil, receives pipeline statistics.
 	Stats *PipelineStats
+	// Trace, when non-nil, records one span per pipeline stage (wall time,
+	// instruction and check counts before/after) on track TraceTID. Counting
+	// walks the module only while tracing, so disabled runs pay nothing.
+	Trace *telemetry.Trace
+	// TraceTID is the trace track the spans are recorded on (see
+	// telemetry.Trace.Track).
+	TraceTID int
 }
 
 // PipelineStats reports what the pipeline did.
@@ -73,15 +83,41 @@ type PipelineStats struct {
 // abort kills the tracked memory state), which is what makes early
 // instrumentation slow (Section 5.5).
 func RunPipeline(m *ir.Module, ep ExtPoint, hook func(*ir.Module), o PipelineOptions) {
+	// stage runs one pipeline stage, recording a span with before/after
+	// module shape when tracing is on. extra, when non-nil, may attach
+	// stage-specific arguments before the span is closed.
+	stage := func(name string, f func() func(*telemetry.Span)) {
+		if !o.Trace.Enabled() {
+			f()
+			return
+		}
+		i0, c0 := countInstrsChecks(m)
+		sp := o.Trace.Begin(name, o.TraceTID)
+		extra := f()
+		i1, c1 := countInstrsChecks(m)
+		sp.Arg("instrs_before", i0)
+		sp.Arg("instrs_after", i1)
+		sp.Arg("checks_before", c0)
+		sp.Arg("checks_after", c1)
+		if extra != nil {
+			extra(sp)
+		}
+		sp.End()
+	}
+	plain := func(f func()) func() func(*telemetry.Span) {
+		return func() func(*telemetry.Span) { f(); return nil }
+	}
 	runHook := func(p ExtPoint) {
 		if hook != nil && ep == p {
-			hook(m)
+			stage("hook:"+p.String(), plain(func() { hook(m) }))
 		}
 	}
 
 	if o.Level > 0 {
 		// Function-level early simplification (SROA/EarlyCSE analog).
-		RunSequence(m, SimplifyCFG{}, Mem2Reg{}, ConstFold{}, DCE{})
+		stage("early-simplify", plain(func() {
+			RunSequence(m, SimplifyCFG{}, Mem2Reg{}, ConstFold{}, DCE{})
+		}))
 	}
 
 	runHook(EPModuleOptimizerEarly)
@@ -90,38 +126,61 @@ func RunPipeline(m *ir.Module, ep ExtPoint, hook func(*ir.Module), o PipelineOpt
 		// Module optimizations: the inliner runs first (as in LLVM's
 		// module pass manager), then scalar cleanup over the flattened
 		// code.
-		inl := &Inline{}
-		inl.RunModule(m)
-		RunSequence(m, Mem2Reg{})
-		RunToFixpoint(m, 4, ConstFold{}, CSE{}, LoadElim{}, DCE{}, SimplifyCFG{})
-		RunSequence(m, LICM{}, ConstFold{}, CSE{}, LoadElim{}, DCE{})
-		// Loop unrolling plus the cleanup that merges the unrolled
-		// accesses. An instrumented loop body contains check calls and is
-		// not unrolled (Section 5.5).
-		RunSequence(m, &Unroll{}, SimplifyCFG{})
-		RunToFixpoint(m, 3, ConstFold{}, CSE{}, LoadElim{}, DCE{}, SimplifyCFG{})
-		RunSequence(m, LICM{}, ConstFold{}, CSE{}, DCE{})
+		stage("module-opt", plain(func() {
+			inl := &Inline{}
+			inl.RunModule(m)
+			RunSequence(m, Mem2Reg{})
+			RunToFixpoint(m, 4, ConstFold{}, CSE{}, LoadElim{}, DCE{}, SimplifyCFG{})
+			RunSequence(m, LICM{}, ConstFold{}, CSE{}, LoadElim{}, DCE{})
+			// Loop unrolling plus the cleanup that merges the unrolled
+			// accesses. An instrumented loop body contains check calls and is
+			// not unrolled (Section 5.5).
+			RunSequence(m, &Unroll{}, SimplifyCFG{})
+			RunToFixpoint(m, 3, ConstFold{}, CSE{}, LoadElim{}, DCE{}, SimplifyCFG{})
+			RunSequence(m, LICM{}, ConstFold{}, CSE{}, DCE{})
+		}))
 	}
 
 	runHook(EPScalarOptimizerLate)
 
 	if o.Level > 0 {
-		if o.ObfuscatePtrStores {
-			RunSequence(m, &PtrObfuscate{})
-		}
-		RunToFixpoint(m, 3, ConstFold{}, CSE{}, LoadElim{}, DCE{})
-		RunSequence(m, SimplifyCFG{})
+		stage("late-scalar", plain(func() {
+			if o.ObfuscatePtrStores {
+				RunSequence(m, &PtrObfuscate{})
+			}
+			RunToFixpoint(m, 3, ConstFold{}, CSE{}, LoadElim{}, DCE{})
+			RunSequence(m, SimplifyCFG{})
+		}))
 	}
 
 	runHook(EPVectorizerStart)
 
 	// Link-time cleanup stage (the paper links with LTO enabled).
 	if o.Level > 0 {
-		ccse := &CheckCSE{}
-		RunToFixpoint(m, 3, ConstFold{}, CSE{}, ccse, DCE{})
-		RunSequence(m, SimplifyCFG{})
-		if o.Stats != nil {
-			o.Stats.ChecksRemovedByCompiler += ccse.Removed
+		stage("link-cleanup", func() func(*telemetry.Span) {
+			ccse := &CheckCSE{}
+			RunToFixpoint(m, 3, ConstFold{}, CSE{}, ccse, DCE{})
+			RunSequence(m, SimplifyCFG{})
+			if o.Stats != nil {
+				o.Stats.ChecksRemovedByCompiler += ccse.Removed
+			}
+			return func(sp *telemetry.Span) { sp.Arg("checks_removed_by_compiler", ccse.Removed) }
+		})
+	}
+}
+
+// countInstrsChecks sizes the module for trace spans: total instructions and
+// placed instrumentation checks (Tag "check" runtime calls).
+func countInstrsChecks(m *ir.Module) (instrs, checks int) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				instrs++
+				if in.Op == ir.OpCall && in.Tag == "check" {
+					checks++
+				}
+			}
 		}
 	}
+	return instrs, checks
 }

@@ -256,6 +256,7 @@ func (p *Unroll) expand(f *ir.Func, s *loopShape) {
 			ni := &ir.Instr{
 				Op: in.Op, Ty: in.Ty, Pred: in.Pred, AllocTy: in.AllocTy,
 				SrcTy: in.SrcTy, Name: in.Name, Tag: in.Tag,
+				Loc: in.Loc, Site: in.Site,
 			}
 			f.AdoptInstr(ni)
 			for _, op := range in.Operands {

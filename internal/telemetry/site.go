@@ -1,0 +1,72 @@
+// Package telemetry provides the observability substrate for the
+// reproduction: a registry of static check sites (so dynamic counts can be
+// attributed to the C source line that caused a check), and a Chrome
+// trace-event recorder for the compile/instrument/optimize pipeline.
+//
+// The package sits below core and opt (it depends only on ir), mirroring how
+// instrumentation frameworks expose their per-rule instrumentation points:
+// every check or metadata operation the instrumentation places is one Site,
+// and both execution engines count executions per Site when profiling is
+// enabled.
+package telemetry
+
+import "repro/internal/ir"
+
+// Site is one static check site: a check or metadata operation placed by the
+// instrumentation, with enough context to attribute dynamic cost back to the
+// mechanism, kind and C source location.
+type Site struct {
+	// ID is the stable site identifier (1-based; 0 means "no site").
+	ID int32 `json:"id"`
+	// Kind classifies the operation: "check" (dereference check),
+	// "invariant" (escape/shadow-stack check), or "metastore" (SoftBound
+	// metadata store).
+	Kind string `json:"kind"`
+	// Mech is the mechanism that placed the site ("softbound", "lowfat").
+	Mech string `json:"mech"`
+	// Width is the access width in bytes for dereference checks (0 for
+	// invariant and metadata sites).
+	Width int `json:"width,omitempty"`
+	// Func is the function the site was placed in.
+	Func string `json:"func"`
+	// Loc is the C source location of the instruction the site guards.
+	Loc ir.Loc `json:"-"`
+}
+
+// SiteTable assigns stable identifiers to check sites at instrumentation
+// time. IDs are 1-based indices in placement order, so a module instrumented
+// twice from the same clone gets identical tables.
+type SiteTable struct {
+	sites []Site
+}
+
+// Add registers a new site and returns its ID.
+func (t *SiteTable) Add(kind, mech string, width int, fn string, loc ir.Loc) int32 {
+	id := int32(len(t.sites) + 1)
+	t.sites = append(t.sites, Site{ID: id, Kind: kind, Mech: mech, Width: width, Func: fn, Loc: loc})
+	return id
+}
+
+// Len returns the number of registered sites.
+func (t *SiteTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.sites)
+}
+
+// Get returns the site with the given ID, or nil.
+func (t *SiteTable) Get(id int32) *Site {
+	if t == nil || id < 1 || int(id) > len(t.sites) {
+		return nil
+	}
+	return &t.sites[id-1]
+}
+
+// Sites returns all registered sites in ID order.
+func (t *SiteTable) Sites() []Site {
+	if t == nil {
+		return nil
+	}
+	return t.sites
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestSiteTable(t *testing.T) {
+	var tab SiteTable
+	loc := ir.Loc{File: "a.c", Line: 3, Col: 7}
+	id1 := tab.Add("check", "softbound", 8, "main", loc)
+	id2 := tab.Add("metastore", "softbound", 0, "f", ir.Loc{})
+	if id1 != 1 || id2 != 2 {
+		t.Fatalf("IDs not 1-based sequential: %d, %d", id1, id2)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	s := tab.Get(id1)
+	if s == nil || s.Kind != "check" || s.Width != 8 || s.Loc != loc {
+		t.Fatalf("Get(%d) = %+v", id1, s)
+	}
+	for _, id := range []int32{0, -1, 3} {
+		if tab.Get(id) != nil {
+			t.Errorf("Get(%d) should be nil", id)
+		}
+	}
+}
+
+// A nil table (uninstrumented runs) and a nil trace (tracing off) must both
+// be inert: every caller relies on not having to guard.
+func TestNilReceivers(t *testing.T) {
+	var tab *SiteTable
+	if tab.Len() != 0 || tab.Get(1) != nil || tab.Sites() != nil {
+		t.Error("nil SiteTable is not inert")
+	}
+	var tr *Trace
+	if tr.Enabled() {
+		t.Error("nil Trace reports enabled")
+	}
+	if tid := tr.Track("x"); tid != 0 {
+		t.Errorf("nil Trace allocated track %d", tid)
+	}
+	sp := tr.Begin("span", 1)
+	sp.Arg("k", "v")
+	sp.End()
+	if tr.Events() != nil {
+		t.Error("nil Trace recorded events")
+	}
+}
+
+func TestTraceChromeJSON(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.Track("bench/config")
+	sp := tr.Begin("instrument", tid)
+	sp.Arg("checks_placed", 42)
+	sp.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteChromeJSON(path); err != nil {
+		t.Fatalf("WriteChromeJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("output is not valid trace JSON: %v", err)
+	}
+	if len(got.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want metadata + span", len(got.TraceEvents))
+	}
+	meta, span := got.TraceEvents[0], got.TraceEvents[1]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.TID != tid {
+		t.Errorf("metadata event: %+v", meta)
+	}
+	if span.Ph != "X" || span.Name != "instrument" || span.TID != tid {
+		t.Errorf("span event: %+v", span)
+	}
+	if v, ok := span.Args["checks_placed"].(float64); !ok || v != 42 {
+		t.Errorf("span args: %+v", span.Args)
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one Chrome trace-event record ("X" complete events plus "M"
+// metadata events), loadable in Perfetto / chrome://tracing.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace records pipeline span events. It is safe for concurrent use; a nil
+// *Trace is a valid no-op recorder, so callers never need to guard their
+// instrumentation points.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	start  time.Time
+	tids   int64
+}
+
+// NewTrace returns an empty trace whose timestamps are relative to now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Track allocates a track (Chrome "thread") for one logical flow — e.g. one
+// benchmark/config pipeline run — and names it with a metadata event.
+func (t *Trace) Track(name string) int {
+	if t == nil {
+		return 0
+	}
+	tid := int(atomic.AddInt64(&t.tids, 1))
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+	t.mu.Unlock()
+	return tid
+}
+
+// Span is an in-progress span; End records it as a complete ("X") event.
+type Span struct {
+	t     *Trace
+	name  string
+	tid   int
+	begin time.Time
+	args  map[string]any
+}
+
+// Begin starts a span on the given track. Safe on a nil Trace (returns a nil
+// Span whose methods are no-ops).
+func (t *Trace) Begin(name string, tid int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, begin: time.Now()}
+}
+
+// Arg attaches one argument to the span.
+func (s *Span) Arg(key string, v any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = v
+}
+
+// End records the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, TraceEvent{
+		Name: s.name, Ph: "X",
+		TS:  float64(s.begin.Sub(s.t.start).Nanoseconds()) / 1e3,
+		Dur: float64(end.Sub(s.begin).Nanoseconds()) / 1e3,
+		PID: 1, TID: s.tid, Args: s.args,
+	})
+	s.t.mu.Unlock()
+}
+
+// chromeTrace is the JSON object format of the trace-event specification.
+type chromeTrace struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+}
+
+// Events returns a snapshot of the recorded events.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteChromeJSON writes the trace in Chrome trace-event JSON object format,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Trace) WriteChromeJSON(path string) error {
+	events := t.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	data, err := json.MarshalIndent(chromeTrace{TraceEvents: events}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

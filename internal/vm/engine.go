@@ -18,6 +18,29 @@ func (v *VM) Options() Options { return v.opts }
 // default applied).
 func (v *VM) StepLimit() uint64 { return v.maxSteps }
 
+// SiteProfile returns the per-site counters indexed by SiteID, or nil when
+// Options.SiteProfile is off. Engines sharing the VM write into the same
+// slice, so both engines' profiles are read the same way.
+func (v *VM) SiteProfile() []SiteCount { return v.siteProf }
+
+// bumpSite attributes one execution to the site of call. No-op when profiling
+// is off or the instruction carries no site.
+func (v *VM) bumpSite(call *ir.Instr, wide bool, cost uint64) {
+	if v.siteProf == nil || call == nil {
+		return
+	}
+	id := call.Site
+	if id <= 0 || int(id) >= len(v.siteProf) {
+		return
+	}
+	sc := &v.siteProf[id]
+	sc.Execs++
+	sc.Cost += cost
+	if wide {
+		sc.Wide++
+	}
+}
+
 // External returns the handler registered for an external function, or nil.
 func (v *VM) External(name string) ExtFn { return v.externals[name] }
 

@@ -27,17 +27,19 @@ func registerMIRuntime(v *VM) {
 		b, _ := vm.Trie.Lookup(args[0])
 		return b.Bound, nil
 	})
-	v.RegisterExternal(rt.SBStoreMD, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+	v.RegisterExternal(rt.SBStoreMD, func(vm *VM, call *ir.Instr, args []uint64) (uint64, error) {
 		vm.Stats.MetaStores++
 		vm.Stats.Cost += vm.cost.SBMetaStore
+		vm.bumpSite(call, false, vm.cost.SBMetaStore)
 		vm.Trie.Store(args[0], softbound.Bounds{Base: args[1], Bound: args[2]})
 		return 0, nil
 	})
-	v.RegisterExternal(rt.SBCheck, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+	v.RegisterExternal(rt.SBCheck, func(vm *VM, call *ir.Instr, args []uint64) (uint64, error) {
 		ptr, width, base, bound := args[0], args[1], args[2], args[3]
 		vm.Stats.Checks++
 		vm.Stats.Cost += vm.cost.SBCheck
 		b := softbound.Bounds{Base: base, Bound: bound}
+		vm.bumpSite(call, b.IsWide(), vm.cost.SBCheck)
 		if b.IsWide() {
 			vm.Stats.WideChecks++
 			return 0, nil
@@ -98,11 +100,12 @@ func registerMIRuntime(v *VM) {
 		vm.Stats.Cost += vm.cost.LFBase
 		return lowfat.Base(args[0]), nil
 	})
-	v.RegisterExternal(rt.LFCheck, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+	v.RegisterExternal(rt.LFCheck, func(vm *VM, call *ir.Instr, args []uint64) (uint64, error) {
 		ptr, width, base := args[0], args[1], args[2]
 		vm.Stats.Checks++
 		vm.Stats.Cost += vm.cost.LFCheck
 		ok, wide := lowfat.Check(ptr, width, base)
+		vm.bumpSite(call, wide, vm.cost.LFCheck)
 		if wide {
 			vm.Stats.WideChecks++
 			return 0, nil
@@ -113,10 +116,11 @@ func registerMIRuntime(v *VM) {
 		}
 		return 0, nil
 	})
-	v.RegisterExternal(rt.LFCheckInv, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+	v.RegisterExternal(rt.LFCheckInv, func(vm *VM, call *ir.Instr, args []uint64) (uint64, error) {
 		ptr, base := args[0], args[1]
 		vm.Stats.InvariantChecks++
 		vm.Stats.Cost += vm.cost.LFCheck
+		vm.bumpSite(call, false, vm.cost.LFCheck)
 		ok, wide := lowfat.Check(ptr, 1, base)
 		if wide {
 			return 0, nil

@@ -63,6 +63,11 @@ type Options struct {
 	SBCheckWrappers bool
 	// Cost overrides the default cost model.
 	Cost *CostModel
+	// SiteProfile enables per-check-site execution counters: every executed
+	// check/metadata operation with a nonzero ir.Instr.Site is attributed to
+	// its site (see internal/telemetry). Off by default; when disabled the
+	// engines pay nothing for it.
+	SiteProfile bool
 	// Stdout receives program output; defaults to an internal buffer
 	// readable via Output.
 	Stdout io.Writer
@@ -101,6 +106,19 @@ type Stats struct {
 	// Allocs and Frees count heap allocator calls.
 	Allocs uint64
 	Frees  uint64
+}
+
+// SiteCount is the dynamic profile of one check site (Options.SiteProfile):
+// how often it executed, how often with wide bounds, and the abstract cost it
+// accumulated. The slice returned by VM.SiteProfile is indexed by SiteID.
+type SiteCount struct {
+	// Execs counts executions of the site's operation.
+	Execs uint64 `json:"execs"`
+	// Wide counts executions that observed wide bounds (dereference checks
+	// only; always 0 for invariant and metadata sites).
+	Wide uint64 `json:"wide,omitempty"`
+	// Cost is the abstract cost charged by the site's executions.
+	Cost uint64 `json:"cost"`
 }
 
 // UnsafePercent returns the percentage of executed checks that used wide
@@ -192,6 +210,9 @@ type VM struct {
 	externals map[string]ExtFn
 	outBuf    *bytes.Buffer
 	stdout    io.Writer
+	// siteProf is indexed by ir.Instr.Site; nil unless Options.SiteProfile,
+	// so the disabled case costs one nil check in the runtime handlers.
+	siteProf  []SiteCount
 	sp        uint64 // linear stack pointer (grows down)
 	rng       uint64
 	steps     uint64
@@ -224,6 +245,21 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	}
 	if v.maxSteps == 0 {
 		v.maxSteps = 1 << 34
+	}
+	if opts.SiteProfile {
+		// The VM is created after instrumentation, so the module already
+		// carries its SiteIDs; size the profile to the largest one.
+		var maxSite int32
+		for _, f := range mod.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Site > maxSite {
+						maxSite = in.Site
+					}
+				}
+			}
+		}
+		v.siteProf = make([]SiteCount, maxSite+1)
 	}
 	v.AS.Limit = opts.MemBudget
 	v.LF = lowfat.NewAllocator(v.Std)
