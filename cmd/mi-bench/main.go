@@ -10,6 +10,7 @@
 //	mi-bench -fig12 -fig13   # pipeline extension points
 //	mi-bench -table2         # unsafe dereference percentages
 //	mi-bench -elim           # Section 5.3 check elimination statistics
+//	mi-bench -checkopt       # check-optimization ablation (off/dom/dom+hoist)
 //	mi-bench -faults         # fault-injection detection matrix
 //
 // Cross-cutting flags: -engine=tree|bytecode selects the execution engine
@@ -55,6 +56,10 @@ func main() {
 		elim   = flag.Bool("elim", false, "Section 5.3: check elimination")
 		ablate = flag.Bool("ablation", false, "ablation: Low-Fat escape-check elimination (beyond the paper)")
 
+		checkOpt     = flag.Bool("checkopt", false, "ablation: dynamic check counts at off/dominance/dominance+hoist levels")
+		checkOptJSON = flag.String("checkopt-json", "", "write the -checkopt report to this JSON file")
+		checkOptMD   = flag.String("checkopt-md", "", "write the -checkopt report to this Markdown file")
+
 		faults       = flag.Bool("faults", false, "fault-injection campaign: detection matrix per mechanism")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for fault-site selection")
 		faultPerKind = flag.Int("fault-per-kind", 1, "faults planted per kind per benchmark")
@@ -82,7 +87,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	if !(*all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *table2 || *elim || *ablate || *faults) {
+	if *checkOptJSON != "" || *checkOptMD != "" {
+		*checkOpt = true
+	}
+	if !(*all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *table2 || *elim || *ablate || *checkOpt || *faults) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -183,6 +191,27 @@ func main() {
 				if row.Failed != "" {
 					note("elim/"+mech.String(), row.Bench+": "+row.Failed)
 				}
+			}
+		}
+	}
+	if *checkOpt || *all {
+		rep := r.CheckOptAblation(nil)
+		fmt.Println(harness.RenderCheckOpt(rep))
+		for _, row := range rep.Rows {
+			for _, cell := range []harness.CheckOptCell{row.Off, row.Dom, row.Hoist} {
+				if cell.Err != "" {
+					note("checkopt", row.Bench+"/"+row.Mech+": "+cell.Err)
+				}
+			}
+		}
+		if *checkOptJSON != "" {
+			if err := harness.WriteCheckOptJSON(rep, *checkOptJSON); err != nil {
+				note("checkopt-json", err.Error())
+			}
+		}
+		if *checkOptMD != "" {
+			if err := os.WriteFile(*checkOptMD, []byte(harness.RenderCheckOptMarkdown(rep)), 0o644); err != nil {
+				note("checkopt-md", err.Error())
 			}
 		}
 	}

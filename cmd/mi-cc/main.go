@@ -9,6 +9,7 @@
 //	-mi-config=softbound|lowfat|none   instrumentation mechanism
 //	-mi-mode=full|geninvariants        check placement mode
 //	-mi-opt-dominance                  dominance-based check elimination
+//	-mi-opt-hoist                      loop-aware range-check hoisting
 //	-mi-sb-size-zero-wide-upper        wide bounds for size-zero globals
 //	-mi-sb-inttoptr-wide-bounds        wide bounds for int-to-pointer casts
 //	-mi-lf-transform-common-to-weak-linkage
@@ -36,6 +37,7 @@ func main() {
 		config     = flag.String("mi-config", "none", "softbound, lowfat or none")
 		mode       = flag.String("mi-mode", "full", "full or geninvariants")
 		optDom     = flag.Bool("mi-opt-dominance", false, "dominance-based check elimination")
+		optHoist   = flag.Bool("mi-opt-hoist", false, "loop-aware range-check hoisting")
 		sbSizeZero = flag.Bool("mi-sb-size-zero-wide-upper", true, "wide bounds for size-zero globals")
 		sbIntToPtr = flag.Bool("mi-sb-inttoptr-wide-bounds", true, "wide bounds for inttoptr casts")
 		lfCommon   = flag.Bool("mi-lf-transform-common-to-weak-linkage", true, "place common globals low-fat")
@@ -91,6 +93,7 @@ func main() {
 
 	cfg := core.Config{
 		OptDominance:            *optDom,
+		OptHoist:                *optHoist,
 		SBSizeZeroWideUpper:     *sbSizeZero,
 		SBIntToPtrWideBounds:    *sbIntToPtr,
 		LFTransformCommonToWeak: *lfCommon,
@@ -143,11 +146,11 @@ func main() {
 	}
 	if *stats {
 		s := machine.Stats
-		fmt.Fprintf(os.Stderr, "instrs=%d cost=%d loads=%d stores=%d checks=%d wide=%d (%.2f%%) metaLoads=%d metaStores=%d shadowOps=%d\n",
-			s.Instrs, s.Cost, s.Loads, s.Stores, s.Checks, s.WideChecks, s.UnsafePercent(), s.MetaLoads, s.MetaStores, s.ShadowOps)
+		fmt.Fprintf(os.Stderr, "instrs=%d cost=%d loads=%d stores=%d checks=%d wide=%d (%.2f%%) rangeChecks=%d metaLoads=%d metaStores=%d shadowOps=%d\n",
+			s.Instrs, s.Cost, s.Loads, s.Stores, s.Checks, s.WideChecks, s.UnsafePercent(), s.RangeChecks, s.MetaLoads, s.MetaStores, s.ShadowOps)
 		if istats != nil {
-			fmt.Fprintf(os.Stderr, "instrumented funcs=%d derefTargets=%d checksPlaced=%d eliminated=%d invariants=%d metadataStores=%d\n",
-				istats.Functions, istats.DerefTargets, istats.ChecksPlaced, istats.ChecksEliminated, istats.InvariantChecks, istats.MetadataStores)
+			fmt.Fprintf(os.Stderr, "instrumented funcs=%d derefTargets=%d checksPlaced=%d eliminated=%d hoisted=%d invariants=%d metadataStores=%d\n",
+				istats.Functions, istats.DerefTargets, istats.ChecksPlaced, istats.Opt.ChecksEliminated, istats.Opt.ChecksHoisted, istats.InvariantChecks, istats.MetadataStores)
 		}
 	}
 	os.Exit(int(code))

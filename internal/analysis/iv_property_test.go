@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// ivLoopSpec parameterizes a randomly generated counted-loop candidate.
+// The generator deliberately produces both recognizable and unrecognizable
+// shapes: the property under test is that whenever AnalyzeCountedLoop
+// accepts, brute-force simulation of the actual IR semantics executes
+// exactly the IV values the analysis claims are covered.
+type ivLoopSpec struct {
+	ty           *ir.Type
+	start, bound uint64
+	pred         ir.Pred
+	stepOp       ir.Op // OpAdd or OpSub
+	stepVal      int64 // raw constant operand of the step instruction
+	stepOnLeft   bool  // emit add(step, iv) instead of add(iv, step)
+	swapCmp      bool  // emit icmp pred, bound, iv
+	invertBr     bool  // emit condbr c, exit, body
+	breakEdge    bool  // body conditionally branches to the exit
+	extraBlock   bool  // body is a two-block chain
+}
+
+// effStep is the signed per-iteration increment the generated loop applies.
+func (s ivLoopSpec) effStep() int64 {
+	if s.stepOp == ir.OpSub {
+		return -s.stepVal
+	}
+	return s.stepVal
+}
+
+func randIVSpec(rng *rand.Rand) ivLoopSpec {
+	types := []*ir.Type{ir.I8, ir.I8, ir.I16, ir.I32}
+	preds := []ir.Pred{
+		ir.PredEQ, ir.PredNE,
+		ir.PredSLT, ir.PredSLE, ir.PredSGT, ir.PredSGE,
+		ir.PredULT, ir.PredULE, ir.PredUGT, ir.PredUGE,
+	}
+	s := ivLoopSpec{
+		ty:         types[rng.Intn(len(types))],
+		pred:       preds[rng.Intn(len(preds))],
+		stepVal:    int64(rng.Intn(5)) - 2, // -2..2, including broken 0
+		swapCmp:    rng.Intn(4) == 0,
+		invertBr:   rng.Intn(3) == 0,
+		breakEdge:  rng.Intn(8) == 0,
+		extraBlock: rng.Intn(3) == 0,
+	}
+	if rng.Intn(2) == 0 {
+		s.stepOp = ir.OpAdd
+		s.stepOnLeft = rng.Intn(4) == 0
+	} else {
+		s.stepOp = ir.OpSub
+	}
+	// Bias the bound towards interesting corners (0, extremes) half the
+	// time so the non-strict-predicate wrap guard gets exercised.
+	mask := uint64(1)<<uint(s.ty.Bits) - 1
+	corner := []uint64{0, 1, mask, mask >> 1, (mask >> 1) + 1}
+	if rng.Intn(2) == 0 {
+		s.bound = corner[rng.Intn(len(corner))]
+	} else {
+		s.bound = rng.Uint64() & mask
+	}
+	s.start = rng.Uint64() & mask
+	return s
+}
+
+// buildIVLoop materializes the spec as IR:
+//
+//	entry:  br header
+//	header: iv = phi [start, entry] [next, latch]
+//	        c = icmp pred iv, bound        (operands per swapCmp)
+//	        condbr c, body, exit           (order per invertBr)
+//	body:   [condbr false, latch, exit | br latch]   (per breakEdge/extraBlock)
+//	latch:  next = add/sub ...
+//	        br header
+//	exit:   ret
+func buildIVLoop(s ivLoopSpec) *ir.Func {
+	m := ir.NewModule("iv")
+	f := m.NewFunc("f", ir.FuncOf(ir.Void))
+	entry := f.NewBlock("entry")
+	header := f.NewBlock("header")
+	latch := f.NewBlock("latch")
+	exit := f.NewBlock("exit")
+	bodyFirst := latch
+	if s.extraBlock || s.breakEdge {
+		bodyFirst = f.NewBlock("body")
+	}
+
+	b := ir.NewBuilder(f)
+	b.SetBlock(entry)
+	b.Br(header)
+
+	b.SetBlock(header)
+	iv := b.Phi(s.ty)
+	startC := ir.NewInt(s.ty, int64(s.start))
+	boundC := ir.NewInt(s.ty, int64(s.bound))
+	var cmp *ir.Instr
+	if s.swapCmp {
+		cmp = b.ICmp(s.pred, boundC, iv)
+	} else {
+		cmp = b.ICmp(s.pred, iv, boundC)
+	}
+	if s.invertBr {
+		b.CondBr(cmp, exit, bodyFirst)
+	} else {
+		b.CondBr(cmp, bodyFirst, exit)
+	}
+
+	if bodyFirst != latch {
+		b.SetBlock(bodyFirst)
+		if s.breakEdge {
+			b.CondBr(ir.NewBool(false), latch, exit)
+		} else {
+			b.Br(latch)
+		}
+	}
+
+	b.SetBlock(latch)
+	stepC := ir.NewInt(s.ty, s.stepVal)
+	var next *ir.Instr
+	if s.stepOnLeft && s.stepOp == ir.OpAdd {
+		next = b.Binary(ir.OpAdd, stepC, iv)
+	} else {
+		next = b.Binary(s.stepOp, iv, stepC)
+	}
+	b.Br(header)
+
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	iv.AddPhiIncoming(startC, entry)
+	iv.AddPhiIncoming(next, latch)
+	return f
+}
+
+// simulate brute-forces the generated loop by direct interpretation of its
+// semantics: evaluate the comparison with the generator's raw operand order
+// and branch orientation, record the IV value of every iteration that
+// enters the body, and advance with width truncation. Returns false for
+// terminated when the step cap is exceeded (an infinite loop).
+func simulate(s ivLoopSpec, maxSteps int) (executed []uint64, terminated bool) {
+	bits := s.ty.Bits
+	mask := uint64(1)<<uint(bits) - 1
+	v := s.start & mask
+	for steps := 0; steps <= maxSteps; steps++ {
+		a, b := v, s.bound
+		if s.swapCmp {
+			a, b = b, a
+		}
+		cont := EvalPred(s.pred, a, b, bits)
+		if s.invertBr {
+			cont = !cont
+		}
+		if !cont {
+			return executed, true
+		}
+		executed = append(executed, v)
+		v = (v + uint64(s.effStep())) & mask
+	}
+	return executed, false
+}
+
+// coveredRange lists the IV values the analysis claims execute: start,
+// start+step, ..., bound+LastDelta inclusive (empty when the entry
+// comparison fails). Returns ok=false if the walk does not reach the
+// claimed last value within cap steps.
+func coveredRange(cl *CountedLoop, start, bound uint64, maxSteps int) (vals []uint64, ok bool) {
+	bits := cl.IV.Ty.Bits
+	mask := uint64(1)<<uint(bits) - 1
+	if !EvalPred(cl.Pred, start, bound, bits) {
+		return nil, true
+	}
+	last := (bound + uint64(cl.LastDelta())) & mask
+	v := start & mask
+	for steps := 0; steps <= maxSteps; steps++ {
+		vals = append(vals, v)
+		if v == last {
+			return vals, true
+		}
+		v = (v + uint64(cl.Step)) & mask
+	}
+	return vals, false
+}
+
+// TestCountedLoopCoverageProperty is the soundness contract behind check
+// hoisting: for every accepted loop, the sequence of IV values executed by
+// the real program equals exactly the range the analysis reports. A value
+// executing outside [start, last] would mean a widened range check covers
+// less than the original per-iteration checks (missed detection); a value
+// inside the range never executing would mean it covers more (false
+// positive).
+func TestCountedLoopCoverageProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	accepted := 0
+	for trial := 0; trial < 2000; trial++ {
+		s := randIVSpec(rng)
+		f := buildIVLoop(s)
+		dt := NewDomTree(f)
+		li := FindLoops(f, dt)
+		if len(li.Loops) != 1 {
+			t.Fatalf("trial %d: found %d loops, want 1\n%s", trial, len(li.Loops), ir.FormatFunc(f))
+		}
+		cl, ok := AnalyzeCountedLoop(li.Loops[0])
+
+		// Shapes the analysis must never accept.
+		normPred := s.pred
+		if s.swapCmp {
+			normPred = swappedPred(normPred)
+		}
+		if s.invertBr {
+			normPred = negatedPred(normPred)
+		}
+		switch {
+		case s.breakEdge && ok:
+			t.Fatalf("trial %d: accepted a loop with a second exit\n%s", trial, ir.FormatFunc(f))
+		case (s.effStep() != 1 && s.effStep() != -1) && ok:
+			t.Fatalf("trial %d: accepted step %d\n%s", trial, s.effStep(), ir.FormatFunc(f))
+		case (normPred == ir.PredEQ || normPred == ir.PredNE) && ok:
+			t.Fatalf("trial %d: accepted predicate %v\n%s", trial, normPred, ir.FormatFunc(f))
+		}
+		if !ok {
+			continue
+		}
+		accepted++
+
+		if cl.Step != s.effStep() {
+			t.Fatalf("trial %d: analysis step %d, generator step %d", trial, cl.Step, s.effStep())
+		}
+		startC, sok := cl.Start.(*ir.ConstInt)
+		boundC, bok := cl.Bound.(*ir.ConstInt)
+		if !sok || !bok {
+			t.Fatalf("trial %d: non-constant start/bound from a constant generator", trial)
+		}
+
+		maxSteps := 1<<uint(s.ty.Bits) + 4
+		if s.ty.Bits > 16 {
+			// Wide types would take 2^32 steps to wrap; bound the walk to
+			// what a terminating run of this generator can need.
+			maxSteps = 1 << 17
+		}
+		executed, terminated := simulate(s, maxSteps)
+		if !terminated {
+			if s.ty.Bits > 16 {
+				continue // can't distinguish "long" from "infinite" cheaply
+			}
+			t.Fatalf("trial %d: accepted loop did not terminate\n%s", trial, ir.FormatFunc(f))
+		}
+		covered, cok := coveredRange(cl, startC.Unsigned(), boundC.Unsigned(), maxSteps)
+		if !cok {
+			if s.ty.Bits > 16 {
+				continue
+			}
+			t.Fatalf("trial %d: covered range did not reach its last value\n%s", trial, ir.FormatFunc(f))
+		}
+		if len(executed) != len(covered) {
+			t.Fatalf("trial %d: executed %d iterations, analysis covers %d\nexecuted=%v\ncovered=%v\n%s",
+				trial, len(executed), len(covered), executed, covered, ir.FormatFunc(f))
+		}
+		for i := range executed {
+			if executed[i] != covered[i] {
+				t.Fatalf("trial %d: iteration %d executed iv=%d, analysis covers %d\n%s",
+					trial, i, executed[i], covered[i], ir.FormatFunc(f))
+			}
+		}
+		nonempty := EvalPred(cl.Pred, startC.Unsigned(), boundC.Unsigned(), s.ty.Bits)
+		if nonempty != (len(executed) > 0) {
+			t.Fatalf("trial %d: nonempty predicate says %t but %d iterations executed\n%s",
+				trial, nonempty, len(executed), ir.FormatFunc(f))
+		}
+	}
+	if accepted < 100 {
+		t.Fatalf("only %d/2000 random loops were accepted; the property test is near-vacuous", accepted)
+	}
+}

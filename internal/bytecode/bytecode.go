@@ -149,6 +149,11 @@ const (
 	opLFCheck    // check(ptr=a, width=b, base=c)
 	opLFCheckInv // invariant check(ptr=a, base=b)
 
+	// Hoisted range checks (opt.HoistChecks). The calls are void, so the
+	// dst slot is free to carry the loop's entry condition register.
+	opSBCheckRange // check(lo=a, hi=b, width=x, base=c, bound=d, nonempty=dst)
+	opLFCheckRange // check(lo=a, hi=b, width=x, base=c, nonempty=dst)
+
 	// Fused check + access: the check above plus an immediately following
 	// load/store of the same pointer register, one dispatch. Counts as two
 	// instructions (aux[x] carries the access half's identity and cost).
@@ -170,6 +175,8 @@ const (
 	opSBCheckStoreProf
 	opLFCheckLoadProf
 	opLFCheckStoreProf
+	opSBCheckRangeProf
+	opLFCheckRangeProf
 
 	// Control flow.
 	opBr     // pc = b

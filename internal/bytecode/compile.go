@@ -375,6 +375,10 @@ func profVariant(code opcode) opcode {
 		return opLFCheckLoadProf
 	case opLFCheckStore:
 		return opLFCheckStoreProf
+	case opSBCheckRange:
+		return opSBCheckRangeProf
+	case opLFCheckRange:
+		return opLFCheckRangeProf
 	}
 	return code
 }
@@ -671,6 +675,13 @@ func (c *fnc) emitCall(in *ir.Instr, cost uint64, dst int32) {
 		o.code, o.a, o.b, o.c = opLFCheck, regs[0], regs[1], regs[2]
 	case callee.Name == rt.LFCheckInv && len(regs) == 2:
 		o.code, o.a, o.b = opLFCheckInv, regs[0], regs[1]
+	case callee.Name == rt.SBCheckRange && len(regs) == 6:
+		// Void call, so the dst slot is free for the nonempty register.
+		o.code, o.a, o.b, o.x, o.c, o.d, o.dst = opSBCheckRange,
+			regs[0], regs[1], regs[2], regs[3], regs[4], regs[5]
+	case callee.Name == rt.LFCheckRange && len(regs) == 5:
+		o.code, o.a, o.b, o.x, o.c, o.dst = opLFCheckRange,
+			regs[0], regs[1], regs[2], regs[3], regs[4]
 	default:
 		fused = false
 	}

@@ -23,6 +23,8 @@ func diffConfigs() []harness.RunConfig {
 		harness.BaselineConfig(),
 		harness.PaperConfig(core.MechSoftBound),
 		harness.PaperConfig(core.MechLowFat),
+		harness.HoistConfig(core.MechSoftBound),
+		harness.HoistConfig(core.MechLowFat),
 	}
 }
 
@@ -151,7 +153,7 @@ func TestDifferentialSiteProfile(t *testing.T) {
 					}
 				}
 				cm := vm.DefaultCostModel()
-				var checks, wide, inv, meta uint64
+				var checks, wide, inv, meta, rng, rngWide uint64
 				for id := 1; id < len(tree.sites); id++ {
 					sc := tree.sites[id]
 					s := stats.Sites.Get(int32(id))
@@ -161,6 +163,10 @@ func TestDifferentialSiteProfile(t *testing.T) {
 					if sc.Execs > 0 && s.Loc.IsZero() {
 						t.Errorf("site %d (%s in %s) executed %d times but has no source location",
 							id, s.Kind, s.Func, sc.Execs)
+					}
+					if s.Status != "" && sc.Execs > 0 {
+						t.Errorf("site %d is %s (by %d) but executed %d times",
+							id, s.Status, s.By, sc.Execs)
 					}
 					var unit uint64
 					switch s.Kind {
@@ -177,6 +183,13 @@ func TestDifferentialSiteProfile(t *testing.T) {
 					case "metastore":
 						meta += sc.Execs
 						unit = cm.SBMetaStore
+					case "rangecheck":
+						rng += sc.Execs
+						rngWide += sc.Wide
+						unit = cm.SBCheck
+						if s.Mech == "lowfat" {
+							unit = cm.LFCheck
+						}
 					}
 					if sc.Cost != sc.Execs*unit {
 						t.Errorf("site %d (%s): cost %d != execs %d x unit %d",
@@ -189,6 +202,11 @@ func TestDifferentialSiteProfile(t *testing.T) {
 						"sums:       checks=%d wide=%d invariant=%d\n"+
 						"aggregates: checks=%d wide=%d invariant=%d",
 						checks, wide, inv, st.Checks, st.WideChecks, st.InvariantChecks)
+				}
+				if rng != st.RangeChecks || rngWide != st.WideRangeChecks {
+					t.Errorf("per-site range-check sums diverge from aggregates: "+
+						"sums rng=%d wide=%d, aggregates rng=%d wide=%d",
+						rng, rngWide, st.RangeChecks, st.WideRangeChecks)
 				}
 				// Metadata stores from the memcpy/memmove wrappers (the runtime's
 				// copy_metadata walk) have no static site, so the sited sum is a
@@ -253,6 +271,39 @@ func TestDifferentialFaultMatrix(t *testing.T) {
 		if tr.Outcome != br.Outcome {
 			t.Errorf("variant %d (%s, %v, %v): outcome tree=%v bytecode=%v",
 				i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, tr.Outcome, br.Outcome)
+		}
+	}
+}
+
+// TestDifferentialFaultMatrixHoist replays the fixed-seed fault-matrix slice
+// with check hoisting enabled and requires (1) both engines agree on every
+// outcome and (2) hoisting changes no verdict relative to the per-iteration
+// baseline: a widened range check may fire earlier, but never in a different
+// class (detected stays detected, benign stays benign).
+func TestDifferentialFaultMatrixHoist(t *testing.T) {
+	benches := spec.All()[:2]
+	run := func(kind bytecode.EngineKind, hoist bool) *faultinject.Report {
+		return faultinject.Run(faultinject.Options{Seed: 7, Benches: benches, Engine: kind, Hoist: hoist})
+	}
+	base := run(bytecode.EngineTree, false)
+	tree := run(bytecode.EngineTree, true)
+	bc := run(bytecode.EngineBytecode, true)
+	if len(tree.Results) != len(bc.Results) || len(tree.Results) != len(base.Results) {
+		t.Fatalf("result count: base=%d tree=%d bytecode=%d",
+			len(base.Results), len(tree.Results), len(bc.Results))
+	}
+	for i := range tree.Results {
+		br, tr, cr := base.Results[i], tree.Results[i], bc.Results[i]
+		if tr.Fault.Kind != br.Fault.Kind || tr.Mech != br.Mech {
+			t.Fatalf("variant %d identity mismatch across configurations", i)
+		}
+		if tr.Outcome != cr.Outcome {
+			t.Errorf("variant %d (%s, %v, %v): hoisted outcome tree=%v bytecode=%v",
+				i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, tr.Outcome, cr.Outcome)
+		}
+		if tr.Outcome != br.Outcome {
+			t.Errorf("variant %d (%s, %v, %v): hoisting changed the verdict: base=%v hoist=%v",
+				i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, br.Outcome, tr.Outcome)
 		}
 	}
 }

@@ -609,6 +609,15 @@ func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error)
 					Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))}
 			}
 
+		case opSBCheckRange:
+			if _, err := vm.SBCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst]); err != nil {
+				return 0, err
+			}
+		case opLFCheckRange:
+			if _, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst]); err != nil {
+				return 0, err
+			}
+
 		case opSBCheckLoad, opSBCheckStore:
 			if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
 				return 0, err
@@ -686,6 +695,19 @@ func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error)
 			if !ok && !wide {
 				return 0, &vm.ViolationError{Mechanism: "lowfat", Kind: "invariant", Ptr: ptr,
 					Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))}
+			}
+
+		case opSBCheckRangeProf:
+			wide, err := vm.SBCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst])
+			e.bumpSite(o.imm, wide, cm.SBCheck)
+			if err != nil {
+				return 0, err
+			}
+		case opLFCheckRangeProf:
+			wide, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst])
+			e.bumpSite(o.imm, wide, cm.LFCheck)
+			if err != nil {
+				return 0, err
 			}
 
 		case opSBCheckLoadProf, opSBCheckStoreProf:

@@ -76,6 +76,14 @@ type Config struct {
 	// potential for further check optimizations here"); it is off in all
 	// paper-reproducing configurations and evaluated as an ablation.
 	OptDominanceInvariants bool
+	// OptHoist enables loop-aware check hoisting (opt.HoistChecks): a
+	// per-iteration check whose pointer is affine in a counted loop's
+	// induction variable is replaced by one widened range check in the
+	// preheader. Like OptDominanceInvariants this goes beyond the paper's
+	// Section 5.3 comparison (which stops at dominance) and is evaluated
+	// as an ablation; it preserves verdicts exactly — a hoisted check may
+	// only report the same violation earlier.
+	OptHoist bool
 
 	// SBSizeZeroWideUpper (-mi-sb-size-zero-wide-upper) makes SoftBound
 	// use wide bounds for globals declared without size information;
@@ -122,11 +130,8 @@ type Stats struct {
 	// DerefTargets is the number of dereference check targets discovered
 	// before any elimination.
 	DerefTargets int
-	// ChecksEliminated counts targets removed by the dominance filter.
-	ChecksEliminated int
-	// InvariantsEliminated counts invariant targets removed by the
-	// extended dominance filter (OptDominanceInvariants).
-	InvariantsEliminated int
+	// Opt groups what the check optimizations removed or transformed.
+	Opt OptStats
 	// ChecksPlaced counts dereference checks actually inserted.
 	ChecksPlaced int
 	// InvariantChecks counts Low-Fat escape checks inserted.
@@ -145,11 +150,29 @@ type Stats struct {
 	Sites *telemetry.SiteTable
 }
 
+// OptStats collects the effect of every framework-level check optimization
+// under one consistently named struct (it used to be loose fields on Stats,
+// which drifted as optimizations were added). mi-bench -json serializes it
+// per cell.
+type OptStats struct {
+	// ChecksEliminated counts dereference targets removed by the dominance
+	// filter (OptDominance).
+	ChecksEliminated int `json:"checks_eliminated"`
+	// InvariantsEliminated counts invariant targets removed by the
+	// extended dominance filter (OptDominanceInvariants).
+	InvariantsEliminated int `json:"invariants_eliminated"`
+	// ChecksHoisted counts per-iteration checks replaced by widened
+	// preheader range checks (OptHoist).
+	ChecksHoisted int `json:"checks_hoisted"`
+	// RangeChecksPlaced counts the widened range checks inserted.
+	RangeChecksPlaced int `json:"range_checks_placed"`
+}
+
 // EliminationRate returns the fraction of dereference targets removed by the
 // dominance optimization, in percent.
 func (s *Stats) EliminationRate() float64 {
 	if s.DerefTargets == 0 {
 		return 0
 	}
-	return 100 * float64(s.ChecksEliminated) / float64(s.DerefTargets)
+	return 100 * float64(s.Opt.ChecksEliminated) / float64(s.DerefTargets)
 }

@@ -125,9 +125,9 @@ func TestFilterDominated(t *testing.T) {
 	b.Ret(nil)
 
 	targets := core.DiscoverITargets(f)
-	filtered, removed := core.FilterDominated(f, targets)
-	if removed != 2 {
-		t.Errorf("removed %d checks, want 2", removed)
+	filtered, elims := core.FilterDominated(f, targets)
+	if len(elims) != 2 {
+		t.Errorf("removed %d checks, want 2", len(elims))
 	}
 	var counts int
 	for _, tg := range filtered {
@@ -151,9 +151,9 @@ func TestFilterDominatedWidths(t *testing.T) {
 	b.Load(g32) // width 4 first
 	b.Load(g32) // width 4, dominated -> removed
 	b.Ret(nil)
-	_, removed := core.FilterDominated(f, core.DiscoverITargets(f))
-	if removed != 1 {
-		t.Errorf("removed = %d, want 1", removed)
+	_, elims := core.FilterDominated(f, core.DiscoverITargets(f))
+	if len(elims) != 1 {
+		t.Errorf("removed = %d, want 1", len(elims))
 	}
 
 	// Reversed widths via i64 load after i32 load on *different* SSA
@@ -168,9 +168,9 @@ func TestFilterDominatedWidths(t *testing.T) {
 	b2.Load(n32)
 	b2.Load(g2)
 	b2.Ret(nil)
-	_, removed2 := core.FilterDominated(f2, core.DiscoverITargets(f2))
-	if removed2 != 0 {
-		t.Errorf("removed %d checks across distinct pointers", removed2)
+	_, elims2 := core.FilterDominated(f2, core.DiscoverITargets(f2))
+	if len(elims2) != 0 {
+		t.Errorf("removed %d checks across distinct pointers", len(elims2))
 	}
 }
 
@@ -441,7 +441,7 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.ChecksEliminated == 0 {
+	if stats.Opt.ChecksEliminated == 0 {
 		t.Error("no dominated checks eliminated")
 	}
 	if stats.EliminationRate() <= 0 || stats.EliminationRate() > 100 {
@@ -470,7 +470,7 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.InvariantsEliminated == 0 {
+	if stats.Opt.InvariantsEliminated == 0 {
 		t.Error("no dominated invariant checks eliminated")
 	}
 	if err := ir.VerifyModule(m); err != nil {
@@ -499,7 +499,7 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.InvariantsEliminated != 0 {
+	if stats.Opt.InvariantsEliminated != 0 {
 		t.Error("softbound metadata stores were eliminated (unsound)")
 	}
 	if stats.MetadataStores < 2 {

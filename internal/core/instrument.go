@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/opt"
 	"repro/internal/telemetry"
 )
 
@@ -51,6 +52,15 @@ func Instrument(m *ir.Module, cfg Config) (*Stats, error) {
 		stats.Functions++
 	}
 
+	// Loop-aware check hoisting runs over the fully instrumented module:
+	// it needs the check calls in place to recognize which of them guard
+	// affine accesses in counted loops.
+	if cfg.OptHoist && cfg.Mode == ModeFull {
+		hs := opt.HoistChecks(m, stats.Sites)
+		stats.Opt.ChecksHoisted += hs.Hoisted
+		stats.Opt.RangeChecksPlaced += hs.RangeChecks
+	}
+
 	if err := ir.VerifyModule(m); err != nil {
 		return stats, fmt.Errorf("core: instrumented module is malformed: %w", err)
 	}
@@ -64,10 +74,10 @@ func instrumentFunc(f *ir.Func, cfg *Config, mech mechanism, stats *Stats) error
 			stats.DerefTargets++
 		}
 	}
+	var elims []ElimRecord
 	if cfg.OptDominance {
-		var n int
-		targets, n = FilterDominated(f, targets)
-		stats.ChecksEliminated += n
+		targets, elims = FilterDominated(f, targets)
+		stats.Opt.ChecksEliminated += len(elims)
 	}
 	// The invariant filter only applies to mechanisms whose invariant
 	// establishment is a value-idempotent check (Low-Fat Pointers);
@@ -75,7 +85,7 @@ func instrumentFunc(f *ir.Func, cfg *Config, mech mechanism, stats *Stats) error
 	if cfg.OptDominanceInvariants && cfg.Mechanism == MechLowFat {
 		var n int
 		targets, n = FilterDominatedInvariants(f, targets)
-		stats.InvariantsEliminated += n
+		stats.Opt.InvariantsEliminated += n
 	}
 
 	fi := newFuncInstrumenter(cfg, mech, f, stats)
@@ -94,6 +104,18 @@ func instrumentFunc(f *ir.Func, cfg *Config, mech mechanism, stats *Stats) error
 		for _, t := range targets {
 			if t.Kind == CheckTarget {
 				mech.placeCheck(fi, t)
+			}
+		}
+		// Eliminated targets still get a (never-executed) site so the
+		// telemetry can attribute each elimination to the dominating
+		// check that covers it.
+		if stats.Sites != nil {
+			for _, e := range elims {
+				loc := e.Target.Instr.Loc
+				id := stats.Sites.Add("check", mech.name(), e.Target.Width, f.Name, loc)
+				s := stats.Sites.Get(id)
+				s.Status = "eliminated"
+				s.By = fi.checkSiteOf[e.By]
 			}
 		}
 	}

@@ -119,12 +119,21 @@ func callHasPointers(call *ir.Instr) bool {
 	return false
 }
 
+// ElimRecord attributes one eliminated check target to the surviving check
+// that made it redundant, so telemetry can report which site absorbed it.
+type ElimRecord struct {
+	// Target is the eliminated check target.
+	Target ITarget
+	// By is the anchoring instruction of the surviving dominating check.
+	By *ir.Instr
+}
+
 // FilterDominated implements the dominance-based check elimination of
 // Section 5.3: a CheckTarget is redundant if another CheckTarget on the same
 // pointer with at least the same width dominates it. Non-check targets pass
-// through unchanged. It returns the surviving targets and the number of
-// eliminated checks.
-func FilterDominated(f *ir.Func, targets []ITarget) ([]ITarget, int) {
+// through unchanged. It returns the surviving targets and one record per
+// eliminated check, in target order.
+func FilterDominated(f *ir.Func, targets []ITarget) ([]ITarget, []ElimRecord) {
 	dt := analysis.NewDomTree(f)
 
 	// Group check targets by pointer identity to keep the pairwise
@@ -135,33 +144,56 @@ func FilterDominated(f *ir.Func, targets []ITarget) ([]ITarget, int) {
 			group[t.Ptr] = append(group[t.Ptr], i)
 		}
 	}
-	eliminated := make(map[int]bool)
+	elimBy := make(map[int]int)
 	for _, idxs := range group {
 		for _, i := range idxs {
-			if eliminated[i] {
+			if _, gone := elimBy[i]; gone {
 				continue
 			}
 			for _, j := range idxs {
-				if i == j || eliminated[j] {
+				if i == j {
+					continue
+				}
+				if _, gone := elimBy[j]; gone {
 					continue
 				}
 				ti, tj := targets[i], targets[j]
 				if ti.Width >= tj.Width && dt.InstrDominates(ti.Instr, tj.Instr) {
-					eliminated[j] = true
+					elimBy[j] = i
 				}
 			}
 		}
 	}
-	if len(eliminated) == 0 {
-		return targets, 0
+	if len(elimBy) == 0 {
+		return targets, nil
 	}
+	var elims []ElimRecord
+	for i, t := range targets {
+		d, gone := elimBy[i]
+		if !gone {
+			continue
+		}
+		// The dominator recorded at elimination time may itself have been
+		// eliminated later; dominance and the width ordering are
+		// transitive, so attribute to the surviving end of the chain.
+		for {
+			next, alsoGone := elimBy[d]
+			if !alsoGone {
+				break
+			}
+			d = next
+		}
+		elims = append(elims, ElimRecord{Target: t, By: targets[d].Instr})
+	}
+	// Compact in place only after every By above has been resolved: out
+	// shares the backing array with targets.
 	out := targets[:0]
 	for i, t := range targets {
-		if !eliminated[i] {
+		if _, gone := elimBy[i]; !gone {
 			out = append(out, t)
 		}
 	}
-	return out, len(eliminated)
+	return out, elims
 }
 
 // FilterDominatedInvariants removes InvariantStore, InvariantReturn and

@@ -84,6 +84,10 @@ type funcInstrumenter struct {
 	// retWitness holds pre-materialized witnesses for call results,
 	// populated by the call protocol before witness resolution runs.
 	retWitness map[*ir.Instr]witness
+	// checkSiteOf maps the anchoring access of each placed dereference
+	// check to its site ID, so eliminated targets can attribute the
+	// dominating check that covers them.
+	checkSiteOf map[*ir.Instr]int32
 }
 
 // site registers check/metadata call c as a telemetry site: it gets a stable
@@ -97,6 +101,9 @@ func (fi *funcInstrumenter) site(c *ir.Instr, kind string, width int, anchor *ir
 		return
 	}
 	c.Site = fi.stats.Sites.Add(kind, fi.mech.name(), width, fi.fn.Name, c.Loc)
+	if kind == "check" && anchor != nil {
+		fi.checkSiteOf[anchor] = c.Site
+	}
 }
 
 func newFuncInstrumenter(cfg *Config, mech mechanism, f *ir.Func, stats *Stats) *funcInstrumenter {
@@ -109,6 +116,7 @@ func newFuncInstrumenter(cfg *Config, mech mechanism, f *ir.Func, stats *Stats) 
 		stats:       stats,
 		ptrParamIdx: make(map[*ir.Param]int),
 		retWitness:  make(map[*ir.Instr]witness),
+		checkSiteOf: make(map[*ir.Instr]int32),
 	}
 	idx := 0
 	for _, p := range f.Params {

@@ -171,6 +171,10 @@ type Options struct {
 	// Engine selects the execution engine for coverage and variant runs
 	// (default bytecode.EngineTree).
 	Engine bytecode.EngineKind
+	// Hoist enables loop-aware check hoisting (core.Config.OptHoist) in
+	// every variant build, for differential security runs of the widened
+	// range checks against the per-iteration baseline.
+	Hoist bool
 }
 
 func (o Options) withDefaults() Options {
@@ -351,14 +355,16 @@ func planBench(b *spec.Benchmark, o Options) (*ir.Module, []Fault, error) {
 
 // BuildVariant clones the pristine module, runs the optimization pipeline
 // with a hook that plants the fault and instruments under the mechanism's
-// paper configuration, and returns the executable variant.
-func BuildVariant(pristine *ir.Module, f Fault, mech core.Mech) (*ir.Module, error) {
+// paper configuration (plus check hoisting when hoist is set), and returns
+// the executable variant.
+func BuildVariant(pristine *ir.Module, f Fault, mech core.Mech, hoist bool) (*ir.Module, error) {
 	m := ir.CloneModule(pristine)
 	cfg := core.PaperSoftBound()
 	if mech == core.MechLowFat {
 		cfg = core.PaperLowFat()
 	}
 	cfg.OptDominance = true
+	cfg.OptHoist = hoist
 
 	var hookErr error
 	hook := func(mod *ir.Module) {
@@ -398,7 +404,7 @@ func runVariant(pristine *ir.Module, f Fault, mech core.Mech, o Options) (vr Var
 		}
 	}()
 
-	m, err := BuildVariant(pristine, f, mech)
+	m, err := BuildVariant(pristine, f, mech, o.Hoist)
 	if err != nil {
 		vr.Outcome = OutCrashed
 		vr.Detail = "build: " + err.Error()

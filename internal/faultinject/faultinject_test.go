@@ -137,7 +137,7 @@ func TestVariantModuleDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("compile: %v", err)
 		}
-		variant, err := BuildVariant(m, f, core.MechSoftBound)
+		variant, err := BuildVariant(m, f, core.MechSoftBound, false)
 		if err != nil {
 			t.Fatalf("build variant: %v", err)
 		}

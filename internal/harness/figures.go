@@ -373,7 +373,7 @@ func (r *Runner) EliminationStats(mech core.Mech) ([]ElimRow, error) {
 				row.Failed = err2.Error()
 			default:
 				row.StaticChecks = resOpt.InstrStats.DerefTargets
-				row.Eliminated = resOpt.InstrStats.ChecksEliminated
+				row.Eliminated = resOpt.InstrStats.Opt.ChecksEliminated
 				row.CompilerRemoved = resOpt.PipeStats.ChecksRemovedByCompiler
 				row.RuntimeDelta = ovNoopt - ovOpt
 			}

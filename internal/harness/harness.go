@@ -60,6 +60,15 @@ func PaperConfig(mech core.Mech) RunConfig {
 	}
 }
 
+// HoistConfig is PaperConfig plus loop-aware check hoisting (the
+// induction-variable range-check optimization of opt.HoistChecks).
+func HoistConfig(mech core.Mech) RunConfig {
+	cfg := PaperConfig(mech)
+	cfg.Core.OptHoist = true
+	cfg.Label = mech.String() + "+hoist"
+	return cfg
+}
+
 // Result is the outcome of one benchmark execution.
 type Result struct {
 	Bench  string
@@ -191,9 +200,9 @@ func (r *Runner) parallelism() int {
 
 // configKey identifies a configuration for result caching.
 func configKey(cfg RunConfig) string {
-	return fmt.Sprintf("i=%t|m=%d|mode=%d|dom=%t|szw=%t|i2pw=%t|c2w=%t|ep=%d|O=%d",
+	return fmt.Sprintf("i=%t|m=%d|mode=%d|dom=%t|hoist=%t|szw=%t|i2pw=%t|c2w=%t|ep=%d|O=%d",
 		cfg.Instrument, cfg.Core.Mechanism, cfg.Core.Mode, cfg.Core.OptDominance,
-		cfg.Core.SBSizeZeroWideUpper, cfg.Core.SBIntToPtrWideBounds,
+		cfg.Core.OptHoist, cfg.Core.SBSizeZeroWideUpper, cfg.Core.SBIntToPtrWideBounds,
 		cfg.Core.LFTransformCommonToWeak, cfg.EP, cfg.OptLevel)
 }
 
@@ -301,12 +310,13 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 				return
 			}
 			sp.Arg("checks_placed", s.ChecksPlaced)
-			sp.Arg("checks_eliminated", s.ChecksEliminated)
+			sp.Arg("checks_eliminated", s.Opt.ChecksEliminated)
+			sp.Arg("checks_hoisted", s.Opt.ChecksHoisted)
 			sp.Arg("sites", s.Sites.Len())
 			sp.End()
 			res.InstrStats = s
-			logf("[%s/%s] instrumented: %d checks placed, %d eliminated, %d sites",
-				b.Name, cfg.Label, s.ChecksPlaced, s.ChecksEliminated, s.Sites.Len())
+			logf("[%s/%s] instrumented: %d checks placed, %d eliminated, %d hoisted, %d sites",
+				b.Name, cfg.Label, s.ChecksPlaced, s.Opt.ChecksEliminated, s.Opt.ChecksHoisted, s.Sites.Len())
 		}
 	}
 	popts := opt.PipelineOptions{Level: cfg.OptLevel, Stats: &res.PipeStats, Trace: tr, TraceTID: tid}

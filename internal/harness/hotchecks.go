@@ -4,38 +4,44 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/vm"
 )
 
 // siteRecords joins a result's dynamic per-site counters with the static
 // site registry the instrumentation built. Every site that executed at least
 // once is included (so the JSON sums reproduce the aggregate statistics
-// exactly); sorting is by cost descending, then ID, for stable hot-first
-// tables.
+// exactly), plus every optimized-away site (Status "eliminated"/"hoisted")
+// with zero executions, so the report attributes each saved check to the
+// check or range check that subsumed it. Sorting is by cost descending, then
+// ID, for stable hot-first tables.
 func siteRecords(res *Result) []SiteRecord {
 	if res.SiteProfile == nil || res.InstrStats == nil || res.InstrStats.Sites == nil {
 		return nil
 	}
-	table := res.InstrStats.Sites
 	out := []SiteRecord{}
-	for id := 1; id < len(res.SiteProfile); id++ {
-		sc := res.SiteProfile[id]
-		if sc.Execs == 0 {
-			continue
+	for _, s := range res.InstrStats.Sites.Sites() {
+		// Optimized-away sites can outnumber the profile slice: the VM sizes
+		// it by the largest site ID the module still references.
+		var sc vm.SiteCount
+		if int(s.ID) < len(res.SiteProfile) {
+			sc = res.SiteProfile[s.ID]
 		}
-		s := table.Get(int32(id))
-		if s == nil {
+		if sc.Execs == 0 && s.Status == "" {
 			continue
 		}
 		out = append(out, SiteRecord{
-			ID:    s.ID,
-			Kind:  s.Kind,
-			Mech:  s.Mech,
-			Width: s.Width,
-			Func:  s.Func,
-			Loc:   s.Loc.String(),
-			Execs: sc.Execs,
-			Wide:  sc.Wide,
-			Cost:  sc.Cost,
+			ID:     s.ID,
+			Kind:   s.Kind,
+			Mech:   s.Mech,
+			Width:  s.Width,
+			Func:   s.Func,
+			Loc:    s.Loc.String(),
+			Execs:  sc.Execs,
+			Wide:   sc.Wide,
+			Cost:   sc.Cost,
+			Status: s.Status,
+			By:     s.By,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -65,13 +71,19 @@ func RenderHotChecks(rep *PerfReport, top int) string {
 		}
 		any = true
 		var total uint64
+		live, optimized := 0, 0
 		for _, s := range rec.Sites {
 			total += s.Cost
+			if s.Status == "" {
+				live++
+			} else {
+				optimized++
+			}
 		}
-		fmt.Fprintf(&sb, "\n%s / %s: %d live sites, check cost %d (%.1f%% of total cost %d)\n",
-			rec.Bench, rec.Config, len(rec.Sites), total, pct(total, rec.Cost), rec.Cost)
-		fmt.Fprintf(&sb, "  %4s  %-9s  %5s  %12s  %10s  %6s  %-20s  %s\n",
-			"site", "kind", "width", "execs", "cost", "wide%", "func", "location")
+		fmt.Fprintf(&sb, "\n%s / %s: %d live sites (+%d optimized away), check cost %d (%.1f%% of total cost %d)\n",
+			rec.Bench, rec.Config, live, optimized, total, pct(total, rec.Cost), rec.Cost)
+		fmt.Fprintf(&sb, "  %4s  %-10s  %5s  %12s  %10s  %6s  %-12s  %-20s  %s\n",
+			"site", "kind", "width", "execs", "cost", "wide%", "status", "func", "location")
 		n := len(rec.Sites)
 		if top > 0 && top < n {
 			n = top
@@ -81,8 +93,14 @@ func RenderHotChecks(rep *PerfReport, top int) string {
 			if s.Width > 0 {
 				width = fmt.Sprintf("%d", s.Width)
 			}
-			fmt.Fprintf(&sb, "  %4d  %-9s  %5s  %12d  %10d  %5.1f%%  %-20s  %s\n",
-				s.ID, s.Kind, width, s.Execs, s.Cost, pct(s.Wide, s.Execs), s.Func, s.Loc)
+			status := "-"
+			if s.Status != "" {
+				// "eliminated by 12" / "hoisted by 40": By is the check or
+				// range-check site that now covers this access.
+				status = fmt.Sprintf("%s>%d", s.Status[:4], s.By)
+			}
+			fmt.Fprintf(&sb, "  %4d  %-10s  %5s  %12d  %10d  %5.1f%%  %-12s  %-20s  %s\n",
+				s.ID, s.Kind, width, s.Execs, s.Cost, pct(s.Wide, s.Execs), status, s.Func, s.Loc)
 		}
 		if n < len(rec.Sites) {
 			fmt.Fprintf(&sb, "  ... %d more sites (raise -top or use -json)\n", len(rec.Sites)-n)

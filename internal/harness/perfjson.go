@@ -4,23 +4,32 @@ import (
 	"encoding/json"
 	"os"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // PerfRecord is one executed (benchmark, configuration) cell in the JSON
 // performance report: the dynamic instruction and check counts the paper's
 // overhead figures are built from, plus the wall-clock time of the run.
 type PerfRecord struct {
-	Bench      string  `json:"bench"`
-	Config     string  `json:"config"`
-	Key        string  `json:"key"`
-	Instrs     uint64  `json:"instrs"`
-	Cost       uint64  `json:"cost"`
-	Checks     uint64  `json:"checks"`
-	WideChecks uint64  `json:"wide_checks"`
-	Loads      uint64  `json:"loads"`
-	Stores     uint64  `json:"stores"`
-	WallMS     float64 `json:"wall_ms"`
-	Err        string  `json:"err,omitempty"`
+	Bench      string `json:"bench"`
+	Config     string `json:"config"`
+	Key        string `json:"key"`
+	Instrs     uint64 `json:"instrs"`
+	Cost       uint64 `json:"cost"`
+	Checks     uint64 `json:"checks"`
+	WideChecks uint64 `json:"wide_checks"`
+	// RangeChecks counts executed hoisted range checks (one per loop entry,
+	// each standing in for the per-iteration checks it replaced).
+	RangeChecks     uint64  `json:"range_checks,omitempty"`
+	WideRangeChecks uint64  `json:"wide_range_checks,omitempty"`
+	Loads           uint64  `json:"loads"`
+	Stores          uint64  `json:"stores"`
+	WallMS          float64 `json:"wall_ms"`
+	Err             string  `json:"err,omitempty"`
+	// Opt summarizes what the check optimizations did at instrumentation
+	// time (nil for uninstrumented cells).
+	Opt *core.OptStats `json:"opt,omitempty"`
 	// Sites is the per-check-site profile (site profiling runs only): every
 	// site that executed at least once, sorted by cost descending. Summing
 	// Execs of kind "check" reproduces Checks exactly; likewise Wide and
@@ -41,6 +50,11 @@ type SiteRecord struct {
 	Execs uint64 `json:"execs"`
 	Wide  uint64 `json:"wide,omitempty"`
 	Cost  uint64 `json:"cost"`
+	// Status is "" for live sites, "eliminated" for checks removed by the
+	// dominance filter, "hoisted" for checks replaced by a preheader range
+	// check; By names the site that subsumed this one.
+	Status string `json:"status,omitempty"`
+	By     int32  `json:"by,omitempty"`
 }
 
 // PerfReport is the -json output of mi-bench: every cell the campaign
@@ -64,16 +78,22 @@ func (r *Runner) PerfReport() *PerfReport {
 			continue
 		}
 		rec := PerfRecord{
-			Bench:      res.Bench,
-			Config:     res.Config.Label,
-			Key:        key,
-			Instrs:     res.Stats.Instrs,
-			Cost:       res.Stats.Cost,
-			Checks:     res.Stats.Checks,
-			WideChecks: res.Stats.WideChecks,
-			Loads:      res.Stats.Loads,
-			Stores:     res.Stats.Stores,
-			WallMS:     float64(res.Wall.Microseconds()) / 1000.0,
+			Bench:           res.Bench,
+			Config:          res.Config.Label,
+			Key:             key,
+			Instrs:          res.Stats.Instrs,
+			Cost:            res.Stats.Cost,
+			Checks:          res.Stats.Checks,
+			WideChecks:      res.Stats.WideChecks,
+			RangeChecks:     res.Stats.RangeChecks,
+			WideRangeChecks: res.Stats.WideRangeChecks,
+			Loads:           res.Stats.Loads,
+			Stores:          res.Stats.Stores,
+			WallMS:          float64(res.Wall.Microseconds()) / 1000.0,
+		}
+		if res.InstrStats != nil {
+			o := res.InstrStats.Opt
+			rec.Opt = &o
 		}
 		if res.Err != nil {
 			rec.Err = res.Err.Error()

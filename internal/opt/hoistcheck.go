@@ -1,0 +1,267 @@
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/rt"
+	"repro/internal/telemetry"
+)
+
+// HoistStats reports what HoistChecks changed.
+type HoistStats struct {
+	// Hoisted counts per-iteration checks removed from loop bodies.
+	Hoisted int
+	// RangeChecks counts preheader range checks placed. It can be lower
+	// than Hoisted only in theory (every hoisted check currently gets its
+	// own range check; later cleanup CSE may merge identical ones).
+	RangeChecks int
+}
+
+// HoistChecks replaces per-iteration dereference checks in counted loops
+// with a single widened range check in the loop preheader. For a check
+// guarding an access whose pointer is an affine function of the loop's
+// induction variable, the pointers of the first and last iteration bound
+// the pointers of every iteration, so checking the two endpoints covers the
+// whole loop (both mechanisms check contiguous [base, bound) style regions).
+//
+// Soundness — no false positives — rests on only hoisting checks whose
+// every covered iteration is guaranteed to execute:
+//
+//   - analysis.AnalyzeCountedLoop accepts only loops whose executed IV
+//     values are exactly {start, start+step, ..., bound+LastDelta}, with
+//     the header as the only exit (see its property test);
+//   - the check's block must dominate the latch, so it executes on every
+//     iteration that enters the body;
+//   - the loop must contain no calls besides runtime intrinsics and no
+//     division: a callee that exits or a trap before the violating
+//     iteration would otherwise turn a clean exit into a detection;
+//   - the emitted range check carries the loop's entry condition, so a
+//     zero-trip loop checks nothing.
+//
+// Pointer arithmetic is assumed non-wrapping across the iteration space,
+// the IR-level equivalent of LLVM's inbounds/nsw flags (C makes signed
+// index overflow undefined); the endpoint pointers themselves are
+// rematerialized through the original instruction chain, so they match the
+// real first/last-iteration pointers bit for bit.
+//
+// A widened check may report a violation on loop entry that the original
+// program would have reported some iterations later: the verdict class is
+// identical (same mechanism, same "deref" kind), only earlier.
+func HoistChecks(m *ir.Module, sites *telemetry.SiteTable) HoistStats {
+	var st HoistStats
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 || f.IgnoreInstrumentation {
+			continue
+		}
+		hoistFunc(m, f, sites, &st)
+	}
+	return st
+}
+
+func hoistFunc(m *ir.Module, f *ir.Func, sites *telemetry.SiteTable, st *HoistStats) {
+	dt := analysis.NewDomTree(f)
+	li := analysis.FindLoops(f, dt)
+	for _, loop := range li.Loops {
+		cl, ok := analysis.AnalyzeCountedLoop(loop)
+		if !ok || !loopAbortsOnlyOnChecks(loop) {
+			continue
+		}
+		h := &hoister{m: m, f: f, cl: cl, sites: sites}
+		for _, b := range loop.Body {
+			// A check hoists only if it executes on every iteration that
+			// enters the body: its block must dominate the latch. Header
+			// checks are excluded — the header runs once more than the
+			// body (and once even for zero-trip loops), so they guard
+			// accesses outside the covered range.
+			if b == cl.Loop.Header || !dt.Dominates(b, cl.Latch) {
+				continue
+			}
+			for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+				if h.tryHoist(in) {
+					st.Hoisted++
+					st.RangeChecks++
+				}
+			}
+		}
+	}
+}
+
+// loopAbortsOnlyOnChecks reports whether every early termination the loop
+// can cause comes from an inserted check: no calls to anything but runtime
+// intrinsics (a callee could exit) and no division (a divide trap). Either
+// could stop the program before the iteration a hoisted check reports on.
+func loopAbortsOnlyOnChecks(l *analysis.Loop) bool {
+	for _, b := range l.Body {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCall:
+				callee := in.Callee()
+				if callee == nil || !rt.IsIntrinsic(callee.Name) {
+					return false
+				}
+			case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hoister carries the per-loop state of the transformation.
+type hoister struct {
+	m     *ir.Module
+	f     *ir.Func
+	cl    *analysis.CountedLoop
+	sites *telemetry.SiteTable
+}
+
+// tryHoist hoists one eligible check call, returning whether it did.
+func (h *hoister) tryHoist(in *ir.Instr) bool {
+	if in.Op != ir.OpCall || in.Tag != "check" {
+		return false
+	}
+	callee := in.Callee()
+	if callee == nil {
+		return false
+	}
+	var rangeName string
+	switch callee.Name {
+	case rt.SBCheck:
+		rangeName = rt.SBCheckRange
+	case rt.LFCheck:
+		rangeName = rt.LFCheckRange
+	default:
+		return false
+	}
+	args := in.Args()
+	ptr := args[0]
+	// Width and the witness operands (base, and bound for SoftBound) must
+	// not vary across iterations; the pointer must be affine in the IV —
+	// and actually use it, or hoisting is LICM's job, not ours.
+	for _, a := range args[1:] {
+		if !analysis.LoopInvariant(h.cl.Loop, a) {
+			return false
+		}
+	}
+	usesIV, affine := h.affine(ptr, make(map[ir.Value]bool))
+	if !affine || !usesIV {
+		return false
+	}
+
+	bld := ir.NewBuilder(h.f)
+	bld.SetBefore(h.cl.Preheader.Terminator())
+	bld.SetLoc(in.Loc)
+
+	// The IV value of the last executed iteration, and the loop's entry
+	// condition (false => zero-trip => the range check must pass).
+	ivTy := h.cl.IV.Ty
+	var lastVal ir.Value
+	switch h.cl.LastDelta() {
+	case 0:
+		lastVal = h.cl.Bound
+	case -1:
+		lastVal = bld.Sub(h.cl.Bound, ir.NewInt(ivTy, 1))
+	default:
+		lastVal = bld.Add(h.cl.Bound, ir.NewInt(ivTy, 1))
+	}
+	nonempty := bld.ICmp(h.cl.Pred, h.cl.Start, h.cl.Bound)
+
+	pLo := h.remat(bld, ptr, h.cl.Start, make(map[ir.Value]ir.Value))
+	pHi := h.remat(bld, ptr, lastVal, make(map[ir.Value]ir.Value))
+
+	rangeFn := rt.Declare(h.m, rangeName)
+	var c *ir.Instr
+	if rangeName == rt.SBCheckRange {
+		c = bld.Call(rangeFn, pLo, pHi, args[1], args[2], args[3], nonempty)
+	} else {
+		c = bld.Call(rangeFn, pLo, pHi, args[1], args[2], nonempty)
+	}
+	c.Tag = "check"
+	if h.sites != nil {
+		width := 0
+		if w, ok := args[1].(*ir.ConstInt); ok {
+			width = int(w.Signed())
+		}
+		old := h.sites.Get(in.Site)
+		mech := "softbound"
+		if rangeName == rt.LFCheckRange {
+			mech = "lowfat"
+		}
+		c.Site = h.sites.Add("rangecheck", mech, width, h.f.Name, in.Loc)
+		if old != nil {
+			old.Status = "hoisted"
+			old.By = c.Site
+		}
+	}
+	in.Block.Remove(in)
+	return true
+}
+
+// affine reports whether v is an affine (degree-one) function of the loop's
+// IV, and whether the IV actually occurs in it. visiting breaks cycles
+// through in-loop phis (which are never affine here anyway).
+func (h *hoister) affine(v ir.Value, visiting map[ir.Value]bool) (usesIV, ok bool) {
+	if v == h.cl.IV {
+		return true, true
+	}
+	if analysis.LoopInvariant(h.cl.Loop, v) {
+		return false, true
+	}
+	in, isInstr := v.(*ir.Instr)
+	if !isInstr || visiting[v] {
+		return false, false
+	}
+	visiting[v] = true
+	defer delete(visiting, v)
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub:
+		u0, ok0 := h.affine(in.Operands[0], visiting)
+		u1, ok1 := h.affine(in.Operands[1], visiting)
+		return u0 || u1, ok0 && ok1
+	case ir.OpMul:
+		// Affine times invariant stays affine; IV*IV would not.
+		u0, ok0 := h.affine(in.Operands[0], visiting)
+		u1, ok1 := h.affine(in.Operands[1], visiting)
+		return u0 || u1, ok0 && ok1 && !(u0 && u1)
+	case ir.OpSExt, ir.OpZExt, ir.OpBitcast:
+		return h.affine(in.Operands[0], visiting)
+	case ir.OpGEP:
+		uses := false
+		for _, op := range in.Operands {
+			u, ok := h.affine(op, visiting)
+			if !ok {
+				return false, false
+			}
+			uses = uses || u
+		}
+		return uses, true
+	}
+	return false, false
+}
+
+// remat rebuilds the pointer chain of v in the preheader with the IV
+// replaced by ivVal, cloning exactly the instructions the affine walk
+// accepted. memo keeps shared subexpressions shared.
+func (h *hoister) remat(bld *ir.Builder, v ir.Value, ivVal ir.Value, memo map[ir.Value]ir.Value) ir.Value {
+	if v == h.cl.IV {
+		return ivVal
+	}
+	if analysis.LoopInvariant(h.cl.Loop, v) {
+		return v
+	}
+	if r, ok := memo[v]; ok {
+		return r
+	}
+	in := v.(*ir.Instr)
+	ni := &ir.Instr{
+		Op: in.Op, Ty: in.Ty, Pred: in.Pred, AllocTy: in.AllocTy,
+		SrcTy: in.SrcTy, Name: in.Name, Tag: in.Tag, Loc: in.Loc,
+	}
+	h.f.AdoptInstr(ni)
+	for _, op := range in.Operands {
+		ni.Operands = append(ni.Operands, h.remat(bld, op, ivVal, memo))
+	}
+	h.cl.Preheader.InsertBefore(ni, h.cl.Preheader.Terminator())
+	memo[v] = ni
+	return ni
+}

@@ -1,0 +1,193 @@
+package opt_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// hoistProg is loop-heavy and hoist-friendly: affine accesses in counted
+// loops (upward and downward), no calls inside the loops, invariant bounds.
+const hoistProg = `
+int a[100];
+int b[100];
+
+int main() {
+    long i;
+    long s = 0;
+    for (i = 0; i < 100; i++) {
+        a[i] = (int)i;
+    }
+    for (i = 99; i >= 0; i--) {
+        b[i] = a[i] * 2;
+    }
+    for (i = 0; i < 100; i++) {
+        s += b[i];
+    }
+    printf("%ld\n", s);
+    return 0;
+}`
+
+// instrumentProg compiles src, instruments it with the paper configuration
+// of mech (plus hoisting if requested) at the paper's pipeline extension
+// point, and returns the optimized module with its instrumentation stats.
+func instrumentProg(t *testing.T, src string, mech core.Mech, hoist bool) (*ir.Module, *core.Stats) {
+	t.Helper()
+	m, err := cc.Compile("t", cc.Source{Name: "t.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := core.PaperSoftBound()
+	if mech == core.MechLowFat {
+		cfg = core.PaperLowFat()
+	}
+	cfg.OptDominance = true
+	cfg.OptHoist = hoist
+	var stats *core.Stats
+	opt.RunPipeline(m, opt.EPVectorizerStart, func(mod *ir.Module) {
+		s, ierr := core.Instrument(mod, cfg)
+		if ierr != nil {
+			t.Fatalf("instrument: %v", ierr)
+		}
+		stats = s
+	}, opt.PipelineOptions{Level: 3})
+	verifyAll(t, m)
+	return m, stats
+}
+
+// runInstrumented executes an instrumented module under mech's VM options.
+func runInstrumented(t *testing.T, m *ir.Module, mech core.Mech) (string, vm.Stats, error) {
+	t.Helper()
+	vopts := vm.Options{Mechanism: vm.MechSoftBound}
+	if mech == core.MechLowFat {
+		vopts = vm.Options{Mechanism: vm.MechLowFat,
+			LowFatHeap: true, LowFatStack: true, LowFatGlobals: true}
+	}
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := machine.Run()
+	return machine.Output(), machine.Stats, rerr
+}
+
+var hoistMechs = []core.Mech{core.MechSoftBound, core.MechLowFat}
+
+// TestHoistChecksReducesDynamicChecks verifies the end-to-end effect on both
+// mechanisms: hoisting fires, the program's output is unchanged, and the
+// dynamic per-iteration check count drops while range checks appear.
+func TestHoistChecksReducesDynamicChecks(t *testing.T) {
+	for _, mech := range hoistMechs {
+		t.Run(mech.String(), func(t *testing.T) {
+			mOff, _ := instrumentProg(t, hoistProg, mech, false)
+			outOff, stOff, errOff := runInstrumented(t, mOff, mech)
+			if errOff != nil {
+				t.Fatalf("hoist-off run failed: %v", errOff)
+			}
+			mOn, stats := instrumentProg(t, hoistProg, mech, true)
+			outOn, stOn, errOn := runInstrumented(t, mOn, mech)
+			if errOn != nil {
+				t.Fatalf("hoist-on run failed: %v", errOn)
+			}
+			if outOn != outOff {
+				t.Errorf("hoisting changed output: off=%q on=%q", outOff, outOn)
+			}
+			if stats.Opt.ChecksHoisted == 0 {
+				t.Fatalf("no checks hoisted:\n%s", ir.FormatModule(mOn))
+			}
+			if stats.Opt.RangeChecksPlaced != stats.Opt.ChecksHoisted {
+				t.Errorf("hoisted %d checks but placed %d range checks",
+					stats.Opt.ChecksHoisted, stats.Opt.RangeChecksPlaced)
+			}
+			if stOn.Checks >= stOff.Checks {
+				t.Errorf("dynamic checks did not drop: off=%d on=%d", stOff.Checks, stOn.Checks)
+			}
+			if stOn.RangeChecks == 0 {
+				t.Error("no range checks executed")
+			}
+			if stOn.RangeChecks > stOn.Checks+stOff.Checks {
+				t.Errorf("implausible range-check count %d", stOn.RangeChecks)
+			}
+		})
+	}
+}
+
+// TestHoistZeroTripLoop: the bound comes from main's argc (0 under the VM),
+// so the loop body never runs and the rematerialized endpoint pointers are
+// out of bounds. The range check must pass via its loop-entry condition —
+// a report here would be a false positive on a correct program.
+func TestHoistZeroTripLoop(t *testing.T) {
+	const src = `
+int a[10];
+
+int main(int argc, char **argv) {
+    long i;
+    for (i = 0; i < argc - 1; i++) {
+        a[i] = 1;
+    }
+    printf("%d\n", a[0]);
+    return 0;
+}`
+	for _, mech := range hoistMechs {
+		t.Run(mech.String(), func(t *testing.T) {
+			m, stats := instrumentProg(t, src, mech, true)
+			out, st, err := runInstrumented(t, m, mech)
+			if err != nil {
+				t.Fatalf("zero-trip loop reported a violation (false positive): %v", err)
+			}
+			if out != "0\n" {
+				t.Errorf("output = %q, want %q", out, "0\n")
+			}
+			if stats.Opt.ChecksHoisted == 0 {
+				t.Fatalf("loop was not hoisted; test is vacuous:\n%s", ir.FormatModule(m))
+			}
+			if st.RangeChecks == 0 {
+				t.Error("hoisted range check never executed")
+			}
+		})
+	}
+}
+
+// TestHoistStillDetectsOverflow: a loop running well past the array must
+// still be reported, with the same mechanism and verdict kind as the
+// unhoisted per-iteration check (the widened check may fire earlier). The
+// overrun is 2x the array so it escapes Low-Fat's rounded allocation size,
+// not just the precise SoftBound bounds.
+func TestHoistStillDetectsOverflow(t *testing.T) {
+	const src = `
+int a[100];
+
+int main() {
+    long i;
+    for (i = 0; i < 200; i++) {
+        a[i] = (int)i;
+    }
+    return a[0];
+}`
+	for _, mech := range hoistMechs {
+		t.Run(mech.String(), func(t *testing.T) {
+			verdict := func(hoist bool) *vm.ViolationError {
+				m, stats := instrumentProg(t, src, mech, hoist)
+				if hoist && stats.Opt.ChecksHoisted == 0 {
+					t.Fatalf("overflowing loop was not hoisted; test is vacuous:\n%s", ir.FormatModule(m))
+				}
+				_, _, err := runInstrumented(t, m, mech)
+				var ve *vm.ViolationError
+				if !errors.As(err, &ve) {
+					t.Fatalf("hoist=%t: want a violation, got %v", hoist, err)
+				}
+				return ve
+			}
+			off, on := verdict(false), verdict(true)
+			if on.Mechanism != off.Mechanism || on.Kind != off.Kind {
+				t.Errorf("verdict class changed: off=%s/%s on=%s/%s",
+					off.Mechanism, off.Kind, on.Mechanism, on.Kind)
+			}
+		})
+	}
+}

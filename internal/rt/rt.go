@@ -20,6 +20,12 @@ const (
 	// SBCheck validates an access: ptr >= base && ptr+width <= bound
 	// (Figure 2).
 	SBCheck = "mi_sb_check"
+	// SBCheckRange validates a whole affine access range [lo, hi] at once:
+	// the loop-check hoisting pass replaces a per-iteration SBCheck with a
+	// single preheader call covering every iteration. The trailing i1 is
+	// the loop's entry condition; when false (zero-trip loop) the check
+	// passes unconditionally.
+	SBCheckRange = "mi_sb_check_range"
 	// Shadow-stack operations (Section 3.2): a frame carries the bounds of
 	// pointer arguments and of the returned pointer.
 	SBSSAlloc    = "mi_sb_ss_alloc"
@@ -42,6 +48,9 @@ const (
 	// LFCheckInv is the invariant check applied to pointers escaping via
 	// stores, calls and returns (Table 1, bottom right).
 	LFCheckInv = "mi_lf_check_inv"
+	// LFCheckRange is the hoisted-range counterpart of LFCheck; see
+	// SBCheckRange.
+	LFCheckRange = "mi_lf_check_range"
 )
 
 // VoidPtr is the generic pointer type used in intrinsic signatures.
@@ -60,6 +69,9 @@ func Declare(m *ir.Module, name string) *ir.Func {
 		sig = ir.FuncOf(ir.Void, VoidPtr, VoidPtr, VoidPtr)
 	case SBCheck:
 		sig = ir.FuncOf(ir.Void, VoidPtr, ir.I64, VoidPtr, VoidPtr)
+	case SBCheckRange:
+		// (lo, hi, width, base, bound, nonempty)
+		sig = ir.FuncOf(ir.Void, VoidPtr, VoidPtr, ir.I64, VoidPtr, VoidPtr, ir.I1)
 	case SBSSAlloc:
 		sig = ir.FuncOf(ir.Void, ir.I64)
 	case SBSSSetArg:
@@ -78,6 +90,9 @@ func Declare(m *ir.Module, name string) *ir.Func {
 		sig = ir.FuncOf(ir.Void, VoidPtr, ir.I64, VoidPtr)
 	case LFCheckInv:
 		sig = ir.FuncOf(ir.Void, VoidPtr, VoidPtr)
+	case LFCheckRange:
+		// (lo, hi, width, base, nonempty)
+		sig = ir.FuncOf(ir.Void, VoidPtr, VoidPtr, ir.I64, VoidPtr, ir.I1)
 	default:
 		panic("rt: unknown intrinsic " + name)
 	}
@@ -90,10 +105,10 @@ func Declare(m *ir.Module, name string) *ir.Func {
 // IsIntrinsic reports whether name is one of the runtime intrinsics.
 func IsIntrinsic(name string) bool {
 	switch name {
-	case SBLoadBase, SBLoadBound, SBStoreMD, SBCheck,
+	case SBLoadBase, SBLoadBound, SBStoreMD, SBCheck, SBCheckRange,
 		SBSSAlloc, SBSSSetArg, SBSSArgBase, SBSSArgBound,
 		SBSSSetRet, SBSSRetBase, SBSSRetBound, SBSSPop,
-		LFBase, LFCheck, LFCheckInv:
+		LFBase, LFCheck, LFCheckInv, LFCheckRange:
 		return true
 	}
 	return false

@@ -31,6 +31,15 @@ type Site struct {
 	Func string `json:"func"`
 	// Loc is the C source location of the instruction the site guards.
 	Loc ir.Loc `json:"-"`
+	// Status records what a check optimization did to the site: ""
+	// (live), "eliminated" (removed as dominated by another check) or
+	// "hoisted" (replaced by a preheader range check). Optimized-away
+	// sites stay in the table with zero executions so telemetry can
+	// attribute the effect of each optimization.
+	Status string `json:"status,omitempty"`
+	// By is the site that subsumed this one: the dominating check for
+	// "eliminated", the range-check site for "hoisted" (0 if unknown).
+	By int32 `json:"by,omitempty"`
 }
 
 // SiteTable assigns stable identifiers to check sites at instrumentation

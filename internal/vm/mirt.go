@@ -50,6 +50,11 @@ func registerMIRuntime(v *VM) {
 		}
 		return 0, nil
 	})
+	v.RegisterExternal(rt.SBCheckRange, func(vm *VM, call *ir.Instr, args []uint64) (uint64, error) {
+		wide, err := SBCheckRangeOp(&vm.Stats, vm.cost, args[0], args[1], args[2], args[3], args[4], args[5])
+		vm.bumpSite(call, wide, vm.cost.SBCheck)
+		return 0, err
+	})
 	v.RegisterExternal(rt.SBSSAlloc, func(vm *VM, _ *ir.Instr, args []uint64) (uint64, error) {
 		vm.Stats.ShadowOps++
 		vm.Stats.Cost += vm.cost.SBShadowOp
@@ -135,4 +140,74 @@ func registerMIRuntime(v *VM) {
 		}
 		return 0, nil
 	})
+	v.RegisterExternal(rt.LFCheckRange, func(vm *VM, call *ir.Instr, args []uint64) (uint64, error) {
+		wide, err := LFCheckRangeOp(&vm.Stats, vm.cost, args[0], args[1], args[2], args[3], args[4])
+		vm.bumpSite(call, wide, vm.cost.LFCheck)
+		return 0, err
+	})
+}
+
+// SBCheckRangeOp implements the hoisted SoftBound range check: the access
+// pointers of a counted loop's iterations are linear in its IV, so the two
+// endpoint pointers bound them all, and checking both suffices. nonempty is
+// the loop's entry condition — a zero-trip loop performs no accesses, so
+// its (garbage) endpoints must pass unconditionally. Exported so the
+// bytecode engine's fused opcode shares the exact semantics, stats and
+// violation text with the tree interpreter.
+func SBCheckRangeOp(st *Stats, cm *CostModel, lo, hi, width, base, bound, nonempty uint64) (wide bool, err error) {
+	st.RangeChecks++
+	st.Cost += cm.SBCheck
+	b := softbound.Bounds{Base: base, Bound: bound}
+	if b.IsWide() {
+		st.WideRangeChecks++
+		return true, nil
+	}
+	if nonempty == 0 {
+		return false, nil
+	}
+	if hi < lo { // downward-counting loop: normalize the endpoints
+		lo, hi = hi, lo
+	}
+	bad := uint64(0)
+	switch {
+	case !b.Check(lo, width):
+		bad = lo
+	case !b.Check(hi, width):
+		bad = hi
+	default:
+		return false, nil
+	}
+	return false, &ViolationError{Mechanism: "softbound", Kind: "deref", Ptr: bad,
+		Detail: fmt.Sprintf("range [%#x, %#x] of %d-byte accesses outside bounds [%#x, %#x)", lo, hi, width, base, bound)}
+}
+
+// LFCheckRangeOp is the Low-Fat counterpart of SBCheckRangeOp. Wideness
+// depends only on the witness base, exactly as in lowfat.Check.
+func LFCheckRangeOp(st *Stats, cm *CostModel, lo, hi, width, base, nonempty uint64) (wide bool, err error) {
+	st.RangeChecks++
+	st.Cost += cm.LFCheck
+	size := lowfat.AllocSize(lowfat.RegionIndex(base))
+	if size == ^uint64(0) {
+		st.WideRangeChecks++
+		return true, nil
+	}
+	if nonempty == 0 {
+		return false, nil
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	bad := uint64(0)
+	okLo, _ := lowfat.Check(lo, width, base)
+	okHi, _ := lowfat.Check(hi, width, base)
+	switch {
+	case !okLo:
+		bad = lo
+	case !okHi:
+		bad = hi
+	default:
+		return false, nil
+	}
+	return false, &ViolationError{Mechanism: "lowfat", Kind: "deref", Ptr: bad,
+		Detail: fmt.Sprintf("range [%#x, %#x] of %d-byte accesses outside object at base %#x (size %d)", lo, hi, width, base, size)}
 }

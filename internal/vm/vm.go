@@ -98,6 +98,11 @@ type Stats struct {
 	WideChecks uint64
 	// InvariantChecks counts Low-Fat invariant (escape) checks.
 	InvariantChecks uint64
+	// RangeChecks counts executed hoisted range checks (one per loop
+	// entry, replacing Checks that would have run every iteration);
+	// WideRangeChecks those that ran with wide bounds.
+	RangeChecks     uint64
+	WideRangeChecks uint64
 	// MetaLoads/MetaStores count SoftBound trie operations; ShadowOps the
 	// shadow-stack operations.
 	MetaLoads  uint64
@@ -212,11 +217,11 @@ type VM struct {
 	stdout    io.Writer
 	// siteProf is indexed by ir.Instr.Site; nil unless Options.SiteProfile,
 	// so the disabled case costs one nil check in the runtime handlers.
-	siteProf  []SiteCount
-	sp        uint64 // linear stack pointer (grows down)
-	rng       uint64
-	steps     uint64
-	maxSteps  uint64
+	siteProf []SiteCount
+	sp       uint64 // linear stack pointer (grows down)
+	rng      uint64
+	steps    uint64
+	maxSteps uint64
 	// frames is the active interpreter frame stack, innermost last; it
 	// exists purely to produce IR-level backtraces.
 	frames []*frame
