@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -73,6 +74,9 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
+		forensics  = flag.Bool("forensics", false, "enable violation forensics (allocation tracking, flight recorder, structured reports) in figure/table runs")
+		reportsDir = flag.String("reports", "", "write the violation reports of detected -faults variants as JSON files into this directory (implies -faults)")
+
 		siteProf  = flag.Bool("siteprofile", false, "collect per-check-site execution counters (adds site tables to -json)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the pipeline to this file")
 		hotChecks = flag.Bool("hotchecks", false, "render hot-check tables from the collected site profiles (implies -siteprofile)")
@@ -89,6 +93,9 @@ func main() {
 
 	if *checkOptJSON != "" || *checkOptMD != "" {
 		*checkOpt = true
+	}
+	if *reportsDir != "" {
+		*faults = true
 	}
 	if !(*all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *table2 || *elim || *ablate || *checkOpt || *faults) {
 		flag.Usage()
@@ -133,6 +140,7 @@ func main() {
 		*siteProf = true
 	}
 	r.SetSiteProfile(*siteProf)
+	r.SetForensics(*forensics)
 	var trace *telemetry.Trace
 	if *traceOut != "" {
 		trace = telemetry.NewTrace()
@@ -226,12 +234,28 @@ func main() {
 			Engine:    engine,
 		})
 		fmt.Println(rep.Render())
+		attributed, attributable := 0, 0
+		for _, vr := range rep.Results {
+			if vr.Outcome == faultinject.OutDetected && !vr.Fault.Benign && vr.ExpectedAlloc != 0 {
+				attributable++
+				if vr.Attributed {
+					attributed++
+				}
+			}
+		}
+		fmt.Printf("attribution: %d/%d detected faults named their allocation site in the violation report\n\n",
+			attributed, attributable)
 		for _, f := range rep.Failures {
 			note("faults", f)
 		}
 		for _, vr := range rep.Unexpected() {
 			note("faults", fmt.Sprintf("unexpected outcome: %s under %s: %s (expected %s)",
 				vr.Fault, vr.Mech, vr.Outcome, vr.Expect))
+		}
+		if *reportsDir != "" {
+			if err := writeReports(*reportsDir, rep); err != nil {
+				note("reports", err.Error())
+			}
 		}
 	}
 
@@ -257,4 +281,29 @@ func main() {
 		exit(1)
 	}
 	exit(0)
+}
+
+// writeReports dumps the violation report of every variant that produced one
+// as a JSON file, named deterministically after the fault and mechanism.
+func writeReports(dir string, rep *faultinject.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	written := 0
+	for i, vr := range rep.Results {
+		if vr.Report == nil {
+			continue
+		}
+		data, err := vr.Report.JSON()
+		if err != nil {
+			return fmt.Errorf("report %d: %w", i, err)
+		}
+		name := fmt.Sprintf("fault-%03d-%s-%s-%s.json", i, vr.Fault.Bench, vr.Fault.Kind, vr.Mech)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+		written++
+	}
+	fmt.Printf("wrote %d violation report(s) to %s\n", written, dir)
+	return nil
 }

@@ -17,9 +17,13 @@
 //	-O                                 optimization level (0 or 3)
 //	-emit-ir                           print the final IR instead of running
 //	-stats                             print instrumentation and run stats
+//	-mi-forensics                      on a violation, print a diagnostic
+//	                                   report (allocation site, flight
+//	                                   recorder) to stderr
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +49,7 @@ func main() {
 		optLevel   = flag.Int("O", 3, "optimization level (0 or 3)")
 		emitIR     = flag.Bool("emit-ir", false, "print final IR instead of executing")
 		stats      = flag.Bool("stats", false, "print statistics")
+		forensics  = flag.Bool("mi-forensics", false, "violation forensics: on a violation, print a full diagnostic report to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -134,6 +139,13 @@ func main() {
 		return
 	}
 
+	if *forensics {
+		vopts.Forensics = true
+		if istats != nil {
+			vopts.Sites = istats.Sites
+			vopts.AllocSites = istats.AllocSites
+		}
+	}
 	machine, err := vm.New(m, vopts)
 	if err != nil {
 		fatal(err)
@@ -142,6 +154,10 @@ func main() {
 	fmt.Print(machine.Output())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mi-cc: %v\n", err)
+		var viol *vm.ViolationError
+		if errors.As(err, &viol) && viol.Report != nil {
+			fmt.Fprint(os.Stderr, viol.Report.Render())
+		}
 		os.Exit(1)
 	}
 	if *stats {

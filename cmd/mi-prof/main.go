@@ -11,6 +11,11 @@
 //
 // The input is the -json output of mi-bench; without -siteprofile the report
 // carries no site tables and mi-prof says so.
+//
+// With -report, the input is instead a single violation-report JSON (as
+// written by mi-bench -reports) and mi-prof renders it as text:
+//
+//	mi-prof -report reports/fault-000-....json
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,15 +33,31 @@ func main() {
 		topN   = flag.Int("top", 10, "sites per (benchmark, config) cell (0 = all)")
 		bench  = flag.String("bench", "", "restrict to one benchmark")
 		config = flag.String("config", "", "restrict to one configuration label")
+		report = flag.Bool("report", false, "treat the input as a violation-report JSON and render it as text")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mi-prof [flags] perf.json\n")
+		fmt.Fprintf(os.Stderr, "usage: mi-prof [flags] perf.json\n       mi-prof -report violation.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *report {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-prof: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := telemetry.ParseReport(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-prof: parsing %s: %v\n", flag.Arg(0), err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		return
 	}
 
 	data, err := os.ReadFile(flag.Arg(0))

@@ -103,6 +103,18 @@ func faultMatrix(engine bytecode.EngineKind) int {
 	rep := faultinject.Run(faultinject.Options{Seed: 1, Benches: benches, Engine: engine})
 	fmt.Printf("\nfault-injection matrix (seed %d):\n%s\n", rep.Seed, rep.Render())
 
+	attributed, attributable := 0, 0
+	for _, vr := range rep.Results {
+		if vr.Outcome == faultinject.OutDetected && !vr.Fault.Benign && vr.ExpectedAlloc != 0 {
+			attributable++
+			if vr.Attributed {
+				attributed++
+			}
+		}
+	}
+	fmt.Printf("attribution: %d/%d detected faults named their allocation site in the violation report\n",
+		attributed, attributable)
+
 	failures := len(rep.Failures) + len(rep.Unexpected())
 	sb, lf := core.MechSoftBound, core.MechLowFat
 	if c := rep.Cell(lf, faultinject.GEPPadding); c.Missed == 0 {

@@ -178,6 +178,26 @@ const (
 	opSBCheckRangeProf
 	opLFCheckRangeProf
 
+	// Forensic-recording twins, selected at compile time when
+	// vm.Options.Forensics is on. The check/metadata halves delegate to the
+	// VM's recorded operations (internal/vm forensics.go), so flight-recorder
+	// events, allocation tracking and violation-report synthesis are shared
+	// with the tree interpreter and reports come out byte-identical across
+	// engines. opAllocaRec additionally registers the allocation under the
+	// instruction's AllocSite. As with the profiling twins, the plain
+	// dispatch loop stays entirely untouched when forensics is off.
+	opAllocaRec
+	opSBStoreMDRec
+	opSBCheckRec
+	opLFCheckRec
+	opLFCheckInvRec
+	opSBCheckLoadRec
+	opSBCheckStoreRec
+	opLFCheckLoadRec
+	opLFCheckStoreRec
+	opSBCheckRangeRec
+	opLFCheckRangeRec
+
 	// Control flow.
 	opBr     // pc = b
 	opCondBr // pc = a != 0 ? b : c
@@ -317,6 +337,7 @@ type Program struct {
 	mod    *ir.Module
 	cm     vm.CostModel
 	prof   bool
+	rec    bool
 	fns    []*Fn
 	byFunc map[*ir.Func]*Fn
 	main   *Fn
@@ -345,16 +366,20 @@ func RunOn(kind EngineKind, machine *vm.VM, cacheKey string) (int32, error) {
 		return machine.Run()
 	}
 	prof := machine.Options().SiteProfile
+	rec := machine.Options().Forensics
 	var prog *Program
 	if cacheKey != "" {
-		// Profiled and unprofiled compilations of the same module differ in
-		// their opcodes, so they must not share a cache slot.
+		// Profiled/recorded and plain compilations of the same module differ
+		// in their opcodes, so they must not share a cache slot.
 		if prof {
 			cacheKey += "|siteprofile"
 		}
-		prog = CompileCached(cacheKey, machine.Mod, machine.CostModel(), prof)
+		if rec {
+			cacheKey += "|forensics"
+		}
+		prog = CompileCached(cacheKey, machine.Mod, machine.CostModel(), prof, rec)
 	} else {
-		prog = compileModule(machine.Mod, machine.CostModel(), prof)
+		prog = compileModule(machine.Mod, machine.CostModel(), prof, rec)
 	}
 	eng, err := NewEngine(prog, machine)
 	if err != nil {

@@ -19,6 +19,7 @@ type cacheEntry struct {
 	mod  *ir.Module
 	cm   vm.CostModel
 	prof bool
+	rec  bool
 	prog *Program
 }
 
@@ -33,15 +34,16 @@ var (
 // this many (20 benchmarks x a dozen configs).
 const cacheLimit = 1024
 
-// CompileCached returns the compiled program for (key, mod, cm, prof),
+// CompileCached returns the compiled program for (key, mod, cm, prof, rec),
 // compiling and caching on miss. cm may be nil for the default model; prof
-// selects the site-profiling opcode variants.
-func CompileCached(key string, mod *ir.Module, cm *vm.CostModel, prof bool) *Program {
+// selects the site-profiling opcode variants, rec the forensic-recording
+// ones.
+func CompileCached(key string, mod *ir.Module, cm *vm.CostModel, prof, rec bool) *Program {
 	if cm == nil {
 		cm = vm.DefaultCostModel()
 	}
 	cacheMu.Lock()
-	if e, ok := cache[key]; ok && e.mod == mod && e.cm == *cm && e.prof == prof {
+	if e, ok := cache[key]; ok && e.mod == mod && e.cm == *cm && e.prof == prof && e.rec == rec {
 		hits++
 		cacheMu.Unlock()
 		return e.prog
@@ -49,7 +51,7 @@ func CompileCached(key string, mod *ir.Module, cm *vm.CostModel, prof bool) *Pro
 	misses++
 	cacheMu.Unlock()
 
-	prog := compileModule(mod, cm, prof)
+	prog := compileModule(mod, cm, prof, rec)
 
 	cacheMu.Lock()
 	if len(cache) >= cacheLimit {
@@ -62,7 +64,7 @@ func CompileCached(key string, mod *ir.Module, cm *vm.CostModel, prof bool) *Pro
 			}
 		}
 	}
-	cache[key] = &cacheEntry{mod: mod, cm: *cm, prof: prof, prog: prog}
+	cache[key] = &cacheEntry{mod: mod, cm: *cm, prof: prof, rec: rec, prog: prog}
 	cacheMu.Unlock()
 	return prog
 }

@@ -14,22 +14,25 @@ import (
 // references the module's instruction, global and function objects, so it is
 // only valid for VMs created on this exact module (not a clone).
 func Compile(mod *ir.Module, cm *vm.CostModel) *Program {
-	return compileModule(mod, cm, false)
+	return compileModule(mod, cm, false, false)
 }
 
-// compileModule is Compile plus the site-profiling axis: with prof set, check
-// and metadata intrinsics lower to their profiling twin opcodes (carrying the
-// SiteID in imm); everything else is identical.
-func compileModule(mod *ir.Module, cm *vm.CostModel, prof bool) *Program {
+// compileModule is Compile plus the site-profiling and forensics axes: with
+// prof set, check and metadata intrinsics lower to their profiling twin
+// opcodes (carrying the SiteID in imm); with rec set, they lower to the
+// forensic-recording twins instead (which bump the site profile themselves,
+// so the two axes compose) and allocas lower to opAllocaRec; everything else
+// is identical.
+func compileModule(mod *ir.Module, cm *vm.CostModel, prof, rec bool) *Program {
 	if cm == nil {
 		cm = vm.DefaultCostModel()
 	}
-	p := &Program{mod: mod, cm: *cm, prof: prof, byFunc: make(map[*ir.Func]*Fn)}
+	p := &Program{mod: mod, cm: *cm, prof: prof, rec: rec, byFunc: make(map[*ir.Func]*Fn)}
 	for _, f := range mod.Funcs {
 		if f.IsDecl() {
 			continue
 		}
-		fn := compileFunc(f, cm, len(p.fns), prof)
+		fn := compileFunc(f, cm, len(p.fns), prof, rec)
 		p.fns = append(p.fns, fn)
 		p.byFunc[f] = fn
 	}
@@ -95,6 +98,7 @@ type fnc struct {
 	f         *ir.Func
 	cm        *vm.CostModel
 	prof      bool
+	rec       bool
 	fn        *Fn
 	instrReg  map[*ir.Instr]int32
 	rawReg    map[uint64]int32
@@ -105,11 +109,12 @@ type fnc struct {
 	stubs     map[[2]*ir.Block]int
 }
 
-func compileFunc(f *ir.Func, cm *vm.CostModel, idx int, prof bool) *Fn {
+func compileFunc(f *ir.Func, cm *vm.CostModel, idx int, prof, rec bool) *Fn {
 	c := &fnc{
 		f:         f,
 		cm:        cm,
 		prof:      prof,
+		rec:       rec,
 		fn:        &Fn{idx: idx, ir: f, nparams: len(f.Params)},
 		instrReg:  make(map[*ir.Instr]int32),
 		rawReg:    make(map[uint64]int32),
@@ -348,7 +353,9 @@ func (c *fnc) tryFuse(in, next *ir.Instr) bool {
 	if isLoad && o.dst < 0 {
 		return false
 	}
-	if c.prof {
+	if c.rec {
+		o.code = recVariant(o.code)
+	} else if c.prof {
 		o.code = profVariant(o.code)
 	}
 	c.push(o)
@@ -379,6 +386,38 @@ func profVariant(code opcode) opcode {
 		return opSBCheckRangeProf
 	case opLFCheckRange:
 		return opLFCheckRangeProf
+	}
+	return code
+}
+
+// recVariant maps a check/metadata/alloca opcode to its forensic-recording
+// twin; opcodes without one pass through unchanged. The recording twins bump
+// the site profile themselves (through the VM's nil-safe bumpSiteID), so rec
+// subsumes prof and no combined twins are needed.
+func recVariant(code opcode) opcode {
+	switch code {
+	case opAlloca:
+		return opAllocaRec
+	case opSBStoreMD:
+		return opSBStoreMDRec
+	case opSBCheck:
+		return opSBCheckRec
+	case opLFCheck:
+		return opLFCheckRec
+	case opLFCheckInv:
+		return opLFCheckInvRec
+	case opSBCheckLoad:
+		return opSBCheckLoadRec
+	case opSBCheckStore:
+		return opSBCheckStoreRec
+	case opLFCheckLoad:
+		return opLFCheckLoadRec
+	case opLFCheckStore:
+		return opLFCheckStoreRec
+	case opSBCheckRange:
+		return opSBCheckRangeRec
+	case opLFCheckRange:
+		return opLFCheckRangeRec
 	}
 	return code
 }
@@ -492,7 +531,11 @@ func (c *fnc) emit(in *ir.Instr, b *ir.Block) {
 		if align < 8 {
 			align = 8
 		}
-		c.push(op{code: opAlloca, instr: in, cost: cost, dst: dst, a: count,
+		code := opAlloca
+		if c.rec {
+			code = opAllocaRec
+		}
+		c.push(op{code: code, instr: in, cost: cost, dst: dst, a: count,
 			imm: uint64(in.AllocTy.Size()), x: int32(align)})
 
 	case ir.OpLoad:
@@ -686,7 +729,9 @@ func (c *fnc) emitCall(in *ir.Instr, cost uint64, dst int32) {
 		fused = false
 	}
 	if fused {
-		if c.prof {
+		if c.rec {
+			o.code = recVariant(o.code)
+		} else if c.prof {
 			o.code = profVariant(o.code)
 		}
 		c.push(o)

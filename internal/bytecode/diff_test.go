@@ -13,6 +13,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -36,14 +37,29 @@ func prepare(t *testing.T, b *spec.Benchmark, cfg harness.RunConfig) (*ir.Module
 	if err != nil {
 		t.Fatalf("compile %s: %v", b.Name, err)
 	}
-	m = ir.CloneModule(m)
+	return instrumentModule(t, b.Name, ir.CloneModule(m), cfg)
+}
+
+// prepareSource is prepare for an ad-hoc C program instead of a spec
+// benchmark.
+func prepareSource(t *testing.T, name, code string, cfg harness.RunConfig) (*ir.Module, vm.Options, *core.Stats) {
+	t.Helper()
+	m, err := cc.Compile(name, cc.Source{Name: name + ".c", Code: code})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return instrumentModule(t, name, m, cfg)
+}
+
+func instrumentModule(t *testing.T, name string, m *ir.Module, cfg harness.RunConfig) (*ir.Module, vm.Options, *core.Stats) {
+	t.Helper()
 	var stats *core.Stats
 	var hook func(*ir.Module)
 	if cfg.Instrument {
 		hook = func(mod *ir.Module) {
 			s, ierr := core.Instrument(mod, cfg.Core)
 			if ierr != nil {
-				t.Fatalf("instrument %s: %v", b.Name, ierr)
+				t.Fatalf("instrument %s: %v", name, ierr)
 			}
 			stats = s
 		}
@@ -366,6 +382,130 @@ int main() {
 		if got := rerr.Error(); !contains(got, "memory budget exceeded") {
 			t.Fatalf("%v: want budget error, got %v", kind, rerr)
 		}
+	}
+}
+
+// reportOf extracts the forensic report a violating run must carry.
+func reportOf(t *testing.T, kind bytecode.EngineKind, o runOutcome) *telemetry.ViolationReport {
+	t.Helper()
+	var ve *vm.ViolationError
+	if !errors.As(o.err, &ve) {
+		t.Fatalf("%v: expected a violation, got code=%d err=%v", kind, o.code, o.err)
+	}
+	if ve.Report == nil {
+		t.Fatalf("%v: violation carried no forensic report", kind)
+	}
+	return ve.Report
+}
+
+// TestDifferentialForensicReports runs an out-of-bounds program under every
+// instrumented configuration with forensics enabled and requires both engines
+// to synthesize byte-identical violation reports: same rendered text, same
+// JSON serialization, same flight-recorder tail. The report is derived
+// entirely from VM state the engines already keep in lockstep (addresses,
+// instruction counter, allocator snapshots), so any divergence here means an
+// engine recorded an event the other did not.
+func TestDifferentialForensicReports(t *testing.T) {
+	const oob = `
+int main() {
+  int *a = (int *)malloc(4 * sizeof(int));
+  int i;
+  /* Runs far past the end: SoftBound fires at the first out-of-bounds
+   * element, Low-Fat once the access leaves the region slot. */
+  for (i = 0; i <= 1024; i++) a[i] = i;
+  return a[0];
+}
+`
+	for _, cfg := range diffConfigs()[1:] {
+		t.Run(cfg.Label, func(t *testing.T) {
+			m, vopts, stats := prepareSource(t, "oob", oob, cfg)
+			if stats == nil || stats.AllocSites == nil {
+				t.Fatal("instrumentation produced no allocation-site table")
+			}
+			vopts.Forensics = true
+			vopts.Sites = stats.Sites
+			vopts.AllocSites = stats.AllocSites
+			tree := runUnder(t, bytecode.EngineTree, m, vopts)
+			bc := runUnder(t, bytecode.EngineBytecode, m, vopts)
+			if te, be := describeErr(tree.err), describeErr(bc.err); te != be {
+				t.Fatalf("verdict: tree=%s bytecode=%s", te, be)
+			}
+			tr := reportOf(t, bytecode.EngineTree, tree)
+			br := reportOf(t, bytecode.EngineBytecode, bc)
+			if tr.Render() != br.Render() {
+				t.Errorf("rendered reports differ:\n--- tree ---\n%s--- bytecode ---\n%s",
+					tr.Render(), br.Render())
+			}
+			tj, err := tr.JSON()
+			if err != nil {
+				t.Fatalf("tree report JSON: %v", err)
+			}
+			bj, err := br.JSON()
+			if err != nil {
+				t.Fatalf("bytecode report JSON: %v", err)
+			}
+			if string(tj) != string(bj) {
+				t.Errorf("JSON reports differ:\n--- tree ---\n%s--- bytecode ---\n%s", tj, bj)
+			}
+			if tr.Alloc == nil || tr.Alloc.Site == 0 {
+				t.Errorf("report did not attribute the violation to an allocation site: %+v", tr.Alloc)
+			}
+			if len(tr.Events) == 0 {
+				t.Error("report carried no flight-recorder events")
+			}
+		})
+	}
+}
+
+// TestDifferentialForensicCampaignReports replays the fixed-seed fault-matrix
+// slice (the same one TestDifferentialFaultMatrix runs) and requires that
+// every variant's violation report — synthesized with forensics always on
+// inside the campaign — serializes identically under both engines, and that
+// the attribution verdicts agree.
+func TestDifferentialForensicCampaignReports(t *testing.T) {
+	benches := spec.All()[:2]
+	run := func(kind bytecode.EngineKind) *faultinject.Report {
+		return faultinject.Run(faultinject.Options{Seed: 7, Benches: benches, Engine: kind})
+	}
+	tree := run(bytecode.EngineTree)
+	bc := run(bytecode.EngineBytecode)
+	if len(tree.Results) != len(bc.Results) {
+		t.Fatalf("result count: tree=%d bytecode=%d", len(tree.Results), len(bc.Results))
+	}
+	reports := 0
+	for i := range tree.Results {
+		tr, br := tree.Results[i], bc.Results[i]
+		if (tr.Report == nil) != (br.Report == nil) {
+			t.Errorf("variant %d (%s, %v): report presence tree=%t bytecode=%t",
+				i, tr.Fault, tr.Mech, tr.Report != nil, br.Report != nil)
+			continue
+		}
+		if tr.ExpectedAlloc != br.ExpectedAlloc || tr.ReportedAlloc != br.ReportedAlloc ||
+			tr.Attributed != br.Attributed {
+			t.Errorf("variant %d (%s, %v): attribution tree=(%d->%d %t) bytecode=(%d->%d %t)",
+				i, tr.Fault, tr.Mech,
+				tr.ExpectedAlloc, tr.ReportedAlloc, tr.Attributed,
+				br.ExpectedAlloc, br.ReportedAlloc, br.Attributed)
+		}
+		if tr.Report == nil {
+			continue
+		}
+		reports++
+		tj, err := tr.Report.JSON()
+		if err != nil {
+			t.Fatalf("variant %d tree report JSON: %v", i, err)
+		}
+		bj, err := br.Report.JSON()
+		if err != nil {
+			t.Fatalf("variant %d bytecode report JSON: %v", i, err)
+		}
+		if string(tj) != string(bj) {
+			t.Errorf("variant %d (%s, %v): reports differ:\n--- tree ---\n%s--- bytecode ---\n%s",
+				i, tr.Fault, tr.Mech, tj, bj)
+		}
+	}
+	if reports == 0 {
+		t.Fatal("campaign slice produced no violation reports to compare")
 	}
 }
 

@@ -69,6 +69,9 @@ func NewEngine(p *Program, machine *vm.VM) (*Engine, error) {
 	if p.prof != opts.SiteProfile {
 		return nil, fmt.Errorf("bytecode: program compiled with SiteProfile=%v but VM has SiteProfile=%v", p.prof, opts.SiteProfile)
 	}
+	if p.rec != opts.Forensics {
+		return nil, fmt.Errorf("bytecode: program compiled with Forensics=%v but VM has Forensics=%v", p.rec, opts.Forensics)
+	}
 	e := &Engine{
 		vm:       machine,
 		p:        p,
@@ -752,6 +755,115 @@ func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error)
 				cover[aux.in2] = true
 			}
 			if o.code == opLFCheckLoadProf {
+				x, err := e.load(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, err
+				}
+				st.Loads++
+				regs[o.dst] = x
+			} else {
+				if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+					return 0, err
+				}
+				st.Stores++
+			}
+
+		case opAllocaRec:
+			count := uint64(1)
+			if o.a >= 0 {
+				count = regs[o.a]
+			}
+			size := o.imm * count
+			if size == 0 {
+				size = 1
+			}
+			if e.lfStack {
+				addr, lowFat, err := e.vm.LF.StackAlloc(size)
+				if err != nil {
+					return 0, err
+				}
+				if !lowFat {
+					*fallback = append(*fallback, addr)
+				}
+				e.vm.TrackAlloc(addr, size, o.instr.AllocSite)
+				regs[o.dst] = addr
+			} else {
+				align := uint64(o.x)
+				nsp := (e.vm.StackPointer() - size) &^ (align - 1)
+				if nsp < mem.StackLimit {
+					return 0, e.rte(pc, o.instr, "stack overflow")
+				}
+				e.vm.SetStackPointer(nsp)
+				e.vm.TrackAlloc(nsp, size, o.instr.AllocSite)
+				regs[o.dst] = nsp
+			}
+
+		case opSBStoreMDRec:
+			e.vm.SBStoreMDRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c])
+		case opSBCheckRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, err
+			}
+		case opLFCheckRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, err
+			}
+		case opLFCheckInvRec:
+			if err := e.vm.LFCheckInvRec(int32(o.imm), regs[o.a], regs[o.b]); err != nil {
+				return 0, err
+			}
+
+		case opSBCheckRangeRec:
+			if err := e.vm.SBCheckRangeRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst]); err != nil {
+				return 0, err
+			}
+		case opLFCheckRangeRec:
+			if err := e.vm.LFCheckRangeRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst]); err != nil {
+				return 0, err
+			}
+
+		case opSBCheckLoadRec, opSBCheckStoreRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, err
+			}
+			aux := &fn.aux[o.x]
+			e.steps++
+			if e.steps > e.maxSteps {
+				return 0, e.rte(pc, aux.in2, "step limit exceeded")
+			}
+			st.Instrs++
+			st.Cost += aux.cost2
+			if cover != nil {
+				cover[aux.in2] = true
+			}
+			if o.code == opSBCheckLoadRec {
+				x, err := e.load(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, err
+				}
+				st.Loads++
+				regs[o.dst] = x
+			} else {
+				if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+					return 0, err
+				}
+				st.Stores++
+			}
+		case opLFCheckLoadRec, opLFCheckStoreRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, err
+			}
+			aux := &fn.aux[o.x]
+			e.steps++
+			if e.steps > e.maxSteps {
+				return 0, e.rte(pc, aux.in2, "step limit exceeded")
+			}
+			st.Instrs++
+			st.Cost += aux.cost2
+			if cover != nil {
+				cover[aux.in2] = true
+			}
+			if o.code == opLFCheckLoadRec {
 				x, err := e.load(regs[o.a], o.wbits)
 				if err != nil {
 					return 0, err

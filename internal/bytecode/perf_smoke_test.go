@@ -89,3 +89,56 @@ func TestSiteProfileNeutrality(t *testing.T) {
 		})
 	}
 }
+
+// TestForensicsNeutrality is the forensics analogue of
+// TestSiteProfileNeutrality: enabling -forensics (allocation tracking, flight
+// recorder, report synthesis machinery) must not change any verdict, exit
+// code, output or execution statistic, and must not slow the smoke benchmark
+// by more than 2x. The disabled path compiles to the exact same opcodes as
+// before the feature existed; the enabled path swaps in recorded twins, so
+// this test is what keeps the recorder honest about staying off the hot path.
+func TestForensicsNeutrality(t *testing.T) {
+	b := spec.All()[0]
+	for _, cfg := range diffConfigs() {
+		t.Run(cfg.Label, func(t *testing.T) {
+			m, vopts, stats := prepare(t, b, cfg)
+			timeRun := func(on bool) (runOutcome, time.Duration) {
+				o := vopts
+				o.Forensics = on
+				if on && stats != nil {
+					o.Sites = stats.Sites
+					o.AllocSites = stats.AllocSites
+				}
+				best := time.Duration(0)
+				var out runOutcome
+				for i := 0; i < 3; i++ {
+					start := time.Now()
+					out = runUnder(t, bytecode.EngineBytecode, m, o)
+					if d := time.Since(start); best == 0 || d < best {
+						best = d
+					}
+				}
+				return out, best
+			}
+			plain, plainT := timeRun(false)
+			rec, recT := timeRun(true)
+			if plain.code != rec.code {
+				t.Errorf("exit code changed: off=%d on=%d", plain.code, rec.code)
+			}
+			if plain.output != rec.output {
+				t.Errorf("output changed:\noff: %q\non:  %q", plain.output, rec.output)
+			}
+			if pe, oe := describeErr(plain.err), describeErr(rec.err); pe != oe {
+				t.Errorf("verdict changed: off=%s on=%s", pe, oe)
+			}
+			if plain.stats != rec.stats {
+				t.Errorf("stats changed:\noff: %+v\non:  %+v", plain.stats, rec.stats)
+			}
+			t.Logf("%s: off=%v on=%v (%.2fx)", cfg.Label, plainT, recT,
+				float64(recT)/float64(plainT))
+			if recT > 2*plainT {
+				t.Errorf("-forensics slowed the smoke bench >2x: off=%v on=%v", plainT, recT)
+			}
+		})
+	}
+}

@@ -148,6 +148,11 @@ type Stats struct {
 	// SiteID, mechanism, kind, width and source provenance; the engines
 	// count executions per site when vm.Options.SiteProfile is enabled.
 	Sites *telemetry.SiteTable
+	// AllocSites registers every allocation (alloca, global, malloc-family
+	// call) with a stable ID and source provenance; violation reports
+	// resolve faulting pointers against it when vm.Options.Forensics is
+	// enabled.
+	AllocSites *telemetry.AllocTable
 }
 
 // OptStats collects the effect of every framework-level check optimization

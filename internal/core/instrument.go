@@ -18,7 +18,7 @@ import (
 // pipeline experiments, pass it as the hook of opt.RunPipeline at the
 // desired extension point.
 func Instrument(m *ir.Module, cfg Config) (*Stats, error) {
-	stats := &Stats{Sites: &telemetry.SiteTable{}}
+	stats := &Stats{Sites: &telemetry.SiteTable{}, AllocSites: &telemetry.AllocTable{}}
 	var mech mechanism
 	switch cfg.Mechanism {
 	case MechSoftBound:
@@ -44,6 +44,8 @@ func Instrument(m *ir.Module, cfg Config) (*Stats, error) {
 		}
 	})
 
+	assignAllocSites(m, fns, stats)
+
 	for _, f := range fns {
 		if err := instrumentFunc(f, &cfg, mech, stats); err != nil {
 			return stats, fmt.Errorf("core: instrumenting @%s: %w", f.Name, err)
@@ -65,6 +67,41 @@ func Instrument(m *ir.Module, cfg Config) (*Stats, error) {
 		return stats, fmt.Errorf("core: instrumented module is malformed: %w", err)
 	}
 	return stats, nil
+}
+
+// assignAllocSites walks the module in deterministic order (globals, then
+// each function's blocks and instructions) and registers every allocation —
+// global definitions, allocas, malloc-family calls — in the AllocTable,
+// stamping the producing Global/Instr with the resulting ID. Both engines
+// track runtime allocations under these IDs when forensics is on, which is
+// what lets a violation report name the allocation a faulting pointer
+// belongs to.
+func assignAllocSites(m *ir.Module, fns []*ir.Func, stats *Stats) {
+	if stats.AllocSites == nil {
+		return
+	}
+	for _, g := range m.Globals {
+		if g.AllocSite == 0 {
+			g.AllocSite = stats.AllocSites.Add("global", "", g.Name, ir.Loc{})
+		}
+	}
+	for _, f := range fns {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.AllocSite != 0 {
+					continue
+				}
+				switch in.Op {
+				case ir.OpAlloca:
+					in.AllocSite = stats.AllocSites.Add("alloca", f.Name, "", in.Loc)
+				case ir.OpCall:
+					if callee := in.Callee(); callee != nil && isAllocFn(callee.Name) {
+						in.AllocSite = stats.AllocSites.Add("heap", f.Name, "", in.Loc)
+					}
+				}
+			}
+		}
+	}
 }
 
 func instrumentFunc(f *ir.Func, cfg *Config, mech mechanism, stats *Stats) error {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -216,6 +217,17 @@ type VariantResult struct {
 	Outcome Outcome
 	// Detail carries the violation or error text, if any.
 	Detail string
+	// ExpectedAlloc is the allocation-site ID the instrumenter assigned to
+	// the faulted object (0 when the fault's base is not an allocation).
+	ExpectedAlloc int32
+	// ReportedAlloc is the allocation site the violation report attributed
+	// the faulting pointer to (0 when there was no report or no resolution).
+	ReportedAlloc int32
+	// Attributed reports whether the violation report named the faulted
+	// allocation site (only meaningful for detected faults).
+	Attributed bool
+	// Report is the structured forensic report of the violation, if any.
+	Report *telemetry.ViolationReport
 }
 
 // Report is the campaign's aggregate result.
@@ -288,6 +300,21 @@ func Run(o Options) *Report {
 		}(ji, j)
 	}
 	wg.Wait()
+
+	// Attribution validation: every detected (non-benign) fault whose base
+	// is a registered allocation must carry a report naming that allocation
+	// site. A mismatch is a campaign failure, not just a curiosity — it
+	// means the forensics pointed an investigator at the wrong object.
+	for _, vr := range rep.Results {
+		if vr.Outcome != OutDetected || vr.Fault.Benign || vr.ExpectedAlloc == 0 {
+			continue
+		}
+		if !vr.Attributed {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"attribution: %s under %s: expected allocation site #%d, report named #%d",
+				vr.Fault, vr.Mech, vr.ExpectedAlloc, vr.ReportedAlloc))
+		}
+	}
 	return rep
 }
 
@@ -358,6 +385,16 @@ func planBench(b *spec.Benchmark, o Options) (*ir.Module, []Fault, error) {
 // paper configuration (plus check hoisting when hoist is set), and returns
 // the executable variant.
 func BuildVariant(pristine *ir.Module, f Fault, mech core.Mech, hoist bool) (*ir.Module, error) {
+	m, _, _, err := BuildVariantForensic(pristine, f, mech, hoist)
+	return m, err
+}
+
+// BuildVariantForensic is BuildVariant plus the forensic context the
+// campaign's attribution validation needs: the instrumentation stats (whose
+// Sites/AllocSites tables resolve the IDs in a violation report) and the
+// allocation-site ID assigned to the faulted object (0 when the fault's base
+// is not an allocation the instrumenter registered).
+func BuildVariantForensic(pristine *ir.Module, f Fault, mech core.Mech, hoist bool) (*ir.Module, *core.Stats, int32, error) {
 	m := ir.CloneModule(pristine)
 	cfg := core.PaperSoftBound()
 	if mech == core.MechLowFat {
@@ -367,6 +404,8 @@ func BuildVariant(pristine *ir.Module, f Fault, mech core.Mech, hoist bool) (*ir
 	cfg.OptHoist = hoist
 
 	var hookErr error
+	var istats *core.Stats
+	var expected int32
 	hook := func(mod *ir.Module) {
 		s := findSite(enumerateSites(mod), f.Site)
 		if s == nil {
@@ -374,8 +413,7 @@ func BuildVariant(pristine *ir.Module, f Fault, mech core.Mech, hoist bool) (*ir
 			return
 		}
 		if f.Kind.postInstrument() {
-			if _, err := core.Instrument(mod, cfg); err != nil {
-				hookErr = err
+			if istats, hookErr = core.Instrument(mod, cfg); hookErr != nil {
 				return
 			}
 			hookErr = applyFault(s, f)
@@ -383,14 +421,23 @@ func BuildVariant(pristine *ir.Module, f Fault, mech core.Mech, hoist bool) (*ir
 			if hookErr = applyFault(s, f); hookErr != nil {
 				return
 			}
-			_, hookErr = core.Instrument(mod, cfg)
+			istats, hookErr = core.Instrument(mod, cfg)
+		}
+		// The instrumenter has assigned allocation-site IDs by now (in both
+		// orderings), so the faulted object's base carries the ID the
+		// violation report is expected to name.
+		switch base := s.base.(type) {
+		case *ir.Global:
+			expected = base.AllocSite
+		case *ir.Instr:
+			expected = base.AllocSite
 		}
 	}
 	opt.RunPipeline(m, opt.EPVectorizerStart, hook, opt.PipelineOptions{Level: 3})
 	if hookErr != nil {
-		return nil, hookErr
+		return nil, nil, 0, hookErr
 	}
-	return m, nil
+	return m, istats, expected, nil
 }
 
 // runVariant builds and executes one variant, classifying the result. Any
@@ -404,14 +451,22 @@ func runVariant(pristine *ir.Module, f Fault, mech core.Mech, o Options) (vr Var
 		}
 	}()
 
-	m, err := BuildVariant(pristine, f, mech, o.Hoist)
+	m, istats, expected, err := BuildVariantForensic(pristine, f, mech, o.Hoist)
 	if err != nil {
 		vr.Outcome = OutCrashed
 		vr.Detail = "build: " + err.Error()
 		return
 	}
+	vr.ExpectedAlloc = expected
 
-	vopts := vm.Options{MaxSteps: o.MaxSteps, MemBudget: o.MemBudget}
+	// Forensics is always on in the campaign: every detected fault must
+	// carry a report that names the faulted allocation site (validated by
+	// Run), and Stats/verdicts are bit-identical with forensics on or off.
+	vopts := vm.Options{MaxSteps: o.MaxSteps, MemBudget: o.MemBudget, Forensics: true}
+	if istats != nil {
+		vopts.Sites = istats.Sites
+		vopts.AllocSites = istats.AllocSites
+	}
 	switch mech {
 	case core.MechSoftBound:
 		vopts.Mechanism = vm.MechSoftBound
@@ -441,6 +496,11 @@ func runVariant(pristine *ir.Module, f Fault, mech core.Mech, o Options) (vr Var
 			vr.Outcome = OutDetected
 		}
 		vr.Detail = viol.Error()
+		vr.Report = viol.Report
+		if viol.Report != nil && viol.Report.Alloc != nil {
+			vr.ReportedAlloc = viol.Report.Alloc.Site
+		}
+		vr.Attributed = vr.ReportedAlloc != 0 && vr.ReportedAlloc == vr.ExpectedAlloc
 	case rerr != nil:
 		vr.Outcome = OutCrashed
 		vr.Detail = rerr.Error()

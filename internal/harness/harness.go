@@ -7,6 +7,7 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -90,6 +91,9 @@ type Result struct {
 	// SiteID (nil unless the runner's site profiling is on). The matching
 	// static site registry is InstrStats.Sites.
 	SiteProfile []vm.SiteCount
+	// Report is the structured forensic report of the violation that ended
+	// the run (nil unless forensics is on and the run ended in a violation).
+	Report *telemetry.ViolationReport
 	// Err is non-nil if the run failed (e.g. a reported violation).
 	Err error
 }
@@ -105,6 +109,9 @@ type Runner struct {
 	// siteProfile enables per-check-site counters (vm.Options.SiteProfile)
 	// for subsequent runs; results are cached per setting.
 	siteProfile bool
+	// forensics enables violation forensics (vm.Options.Forensics) for
+	// subsequent runs; results are cached per setting.
+	forensics bool
 	// cost overrides the VM cost model (nil = default); part of the cache
 	// key, since it changes every dynamic statistic.
 	cost *vm.CostModel
@@ -153,6 +160,15 @@ func (r *Runner) SetSiteProfile(on bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.siteProfile = on
+}
+
+// SetForensics toggles violation forensics (allocation-site tracking, the
+// flight recorder, and structured violation reports) for subsequent runs.
+// Forensic and plain results are cached separately.
+func (r *Runner) SetForensics(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.forensics = on
 }
 
 // SetCostModel overrides the VM cost model for subsequent runs (nil restores
@@ -238,10 +254,11 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 	r.mu.Lock()
 	engine := r.engine
 	prof := r.siteProfile
+	forensics := r.forensics
 	cost := r.cost
 	r.mu.Unlock()
 	key := b.Name + "|" + configKey(cfg) + "|" + engine.String() +
-		fmt.Sprintf("|prof=%t|cost=%s", prof, costKey(cost))
+		fmt.Sprintf("|prof=%t|forensics=%t|cost=%s", prof, forensics, costKey(cost))
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
@@ -249,11 +266,11 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg, engine, prof, cost, key) })
+	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg, engine, prof, forensics, cost, key) })
 	return e.res, e.err
 }
 
-func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof bool, cost *vm.CostModel, key string) (res *Result, err error) {
+func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof, forensics bool, cost *vm.CostModel, key string) (res *Result, err error) {
 	// A panic anywhere in the pipeline, instrumentation or VM must not take
 	// down the whole campaign: it becomes this run's failure.
 	defer func() {
@@ -325,7 +342,11 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 		return nil, err
 	}
 
-	vopts := vm.Options{SiteProfile: prof, Cost: cost}
+	vopts := vm.Options{SiteProfile: prof, Forensics: forensics, Cost: cost}
+	if forensics && res.InstrStats != nil {
+		vopts.Sites = res.InstrStats.Sites
+		vopts.AllocSites = res.InstrStats.AllocSites
+	}
 	if cfg.Instrument {
 		switch cfg.Core.Mechanism {
 		case core.MechSoftBound:
@@ -355,6 +376,10 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 	}
 	if rerr != nil {
 		res.Err = rerr
+		var viol *vm.ViolationError
+		if errors.As(rerr, &viol) {
+			res.Report = viol.Report
+		}
 	} else if code != 0 {
 		res.Err = fmt.Errorf("%s exited with code %d", b.Name, code)
 	}

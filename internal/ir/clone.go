@@ -14,6 +14,7 @@ func CloneModule(m *Module) *Module {
 		ng.Linkage = g.Linkage
 		ng.SizeZeroDecl = g.SizeZeroDecl
 		ng.ExternalLib = g.ExternalLib
+		ng.AllocSite = g.AllocSite
 		gmap[g] = ng
 	}
 	// Re-map global-reference initializers to the cloned globals.
@@ -112,7 +113,7 @@ func cloneBody(src, dst *Func, gmap map[*Global]*Global, fmap map[*Func]*Func) {
 			ni := &Instr{
 				Op: in.Op, Ty: in.Ty, Pred: in.Pred, AllocTy: in.AllocTy,
 				SrcTy: in.SrcTy, Name: in.Name, Tag: in.Tag,
-				Loc: in.Loc, Site: in.Site,
+				Loc: in.Loc, Site: in.Site, AllocSite: in.AllocSite,
 				id: dst.allocID(),
 			}
 			imap[in] = ni

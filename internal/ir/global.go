@@ -39,7 +39,11 @@ type Global struct {
 	// place such globals outside the low-fat regions and assume wide
 	// bounds for accesses through them (Section 4.3).
 	ExternalLib bool
-	Parent      *Module
+	// AllocSite is the allocation-site identifier assigned by the
+	// instrumentation (telemetry.AllocTable); 0 means "no site". Violation
+	// reports use it to name the global a faulting pointer belongs to.
+	AllocSite int32
+	Parent    *Module
 }
 
 // Type returns the pointer type of the global value.

@@ -172,6 +172,11 @@ type Instr struct {
 	// keep the id of their original, so dynamic counts attribute to the
 	// static site of origin.
 	Site int32
+	// AllocSite is the allocation-site identifier assigned by the
+	// instrumentation (telemetry.AllocTable) to allocas and malloc-family
+	// calls; 0 means "no site". Like Site, clones keep the id of their
+	// original so violation reports attribute to the static allocation.
+	AllocSite int32
 
 	// id is a function-unique identifier used for deterministic ordering.
 	id int

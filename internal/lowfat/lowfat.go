@@ -256,3 +256,38 @@ func (a *Allocator) Release(m Mark) {
 		a.regions[i].stackNext = m.stackNext[i]
 	}
 }
+
+// RegionState describes one region's allocator state for diagnostics (the
+// region-map snapshot of a violation report).
+type RegionState struct {
+	// Index is the 1-based region index; SlotSize its object size.
+	Index    int
+	SlotSize uint64
+	// Next and StackNext are the heap-side and stack-side bump frontiers.
+	Next      uint64
+	StackNext uint64
+	// FreeSlots is the length of the heap-side free list.
+	FreeSlots int
+}
+
+// Snapshot returns the state of every region that has served at least one
+// allocation (heap or stack side), in region order. The result is
+// deterministic for identical allocation histories, which the differential
+// report-equality tests rely on.
+func (a *Allocator) Snapshot() []RegionState {
+	var out []RegionState
+	for i := uint64(1); i <= NumRegions; i++ {
+		r := &a.regions[i]
+		if r.next == RegionStart(i) && r.stackNext == RegionStart(i+1) && len(r.free) == 0 {
+			continue
+		}
+		out = append(out, RegionState{
+			Index:     int(i),
+			SlotSize:  AllocSize(i),
+			Next:      r.next,
+			StackNext: r.stackNext,
+			FreeSlots: len(r.free),
+		})
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestAllocTable(t *testing.T) {
+	var tab AllocTable
+	loc := ir.Loc{File: "a.c", Line: 3, Col: 7}
+	id1 := tab.Add("alloca", "main", "", loc)
+	id2 := tab.Add("global", "", "buf", ir.Loc{})
+	id3 := tab.Add("heap", "f", "", loc)
+	if id1 != 1 || id2 != 2 || id3 != 3 {
+		t.Fatalf("IDs not 1-based sequential: %d, %d, %d", id1, id2, id3)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tab.Len())
+	}
+	s := tab.Get(id1)
+	if s == nil || s.Kind != "alloca" || s.Func != "main" || s.Loc != loc {
+		t.Fatalf("Get(%d) = %+v", id1, s)
+	}
+	if g := tab.Get(id2); g == nil || g.Sym != "buf" {
+		t.Fatalf("Get(%d) = %+v", id2, g)
+	}
+	for _, id := range []int32{0, -1, 4} {
+		if tab.Get(id) != nil {
+			t.Errorf("Get(%d) should be nil", id)
+		}
+	}
+}
+
+// A nil allocation table and a nil flight recorder must both be inert: the
+// VM's recorded paths call them unconditionally.
+func TestForensicsNilReceivers(t *testing.T) {
+	var tab *AllocTable
+	if tab.Len() != 0 || tab.Get(1) != nil || tab.Sites() != nil {
+		t.Error("nil AllocTable is not inert")
+	}
+	var site *AllocSite
+	if site.Describe() != "unknown" {
+		t.Errorf("nil AllocSite describes as %q", site.Describe())
+	}
+	var f *Flight
+	f.Record(Event{Kind: EvAlloc})
+	if f.Len() != 0 || f.Total() != 0 || f.Events() != nil {
+		t.Error("nil Flight is not inert")
+	}
+}
+
+// TestFlightWraparound drives the ring past its capacity and checks the
+// recorder keeps exactly the newest events in order and counts the evicted
+// ones.
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(4)
+	if f.Len() != 0 || f.Events() != nil {
+		t.Fatalf("fresh recorder not empty: len=%d", f.Len())
+	}
+	for i := 0; i < 3; i++ {
+		f.Record(Event{Instr: uint64(i), Kind: EvCheck, Addr: uint64(0x1000 + i)})
+	}
+	if f.Len() != 3 || f.Total() != 3 {
+		t.Fatalf("before wrap: len=%d total=%d", f.Len(), f.Total())
+	}
+	for i := 3; i < 11; i++ {
+		f.Record(Event{Instr: uint64(i), Kind: EvCheck, Addr: uint64(0x1000 + i)})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("after wrap: len=%d, want capacity 4", f.Len())
+	}
+	if f.Total() != 11 {
+		t.Fatalf("after wrap: total=%d, want 11", f.Total())
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() returned %d events", len(evs))
+	}
+	for i, e := range evs {
+		want := uint64(7 + i) // events 7..10 survive, oldest first
+		if e.Instr != want {
+			t.Errorf("event %d: instr=%d, want %d", i, e.Instr, want)
+		}
+	}
+	if dropped := f.Total() - uint64(f.Len()); dropped != 7 {
+		t.Errorf("dropped=%d, want 7", dropped)
+	}
+}
+
+func TestFlightDefaultSize(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		f := NewFlight(n)
+		for i := 0; i < DefaultFlightSize+3; i++ {
+			f.Record(Event{Instr: uint64(i)})
+		}
+		if f.Len() != DefaultFlightSize {
+			t.Errorf("NewFlight(%d): len=%d, want %d", n, f.Len(), DefaultFlightSize)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Instr: 7, Kind: EvAlloc, Site: 2, Addr: 0x10, Size: 32}, "alloc"},
+		{Event{Instr: 8, Kind: EvFree, Addr: 0x10}, "free"},
+		{Event{Instr: 9, Kind: EvCheck, Site: 3, Addr: 0x14}, "check"},
+		{Event{Instr: 10, Kind: EvMetaStore, Site: 4, Addr: 0x18}, "metastore"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("%+v renders as %q, missing %q", c.e, got, c.want)
+		}
+	}
+	if EvAlloc.String() != "alloc" || EventKind(99).String() != "event(99)" {
+		t.Error("EventKind.String naming broken")
+	}
+}
+
+// TestReportRoundtrip serializes a fully-populated report and checks the
+// parse-back renders identically — the contract behind mi-prof -report.
+func TestReportRoundtrip(t *testing.T) {
+	rep := &ViolationReport{
+		Mechanism: "lowfat",
+		Kind:      "deref",
+		Ptr:       0x800000010,
+		Detail:    "access of 4 bytes outside object at base 0x800000000 (size 16)",
+		Access:    AccessInfo{Site: 5, Kind: "check", Width: 4, Func: "main", Loc: "a.c:9:3", Base: 0x800000000},
+		Alloc: &AllocInfo{
+			Site: 2, Kind: "heap", Func: "main", Loc: "a.c:4:20",
+			Base: 0x800000000, Size: 16, Slot: 16, Distance: 1,
+		},
+		Regions: []RegionState{{Index: 1, SlotSize: 16, Next: 0x800000020, StackNext: 0, FreeSlots: 3}},
+		Events: []Event{
+			{Instr: 3, Kind: EvAlloc, Site: 2, Addr: 0x800000000, Size: 16},
+			{Instr: 9, Kind: EvCheck, Site: 5, Addr: 0x800000000},
+		},
+		EventsDropped: 2,
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("JSON output missing trailing newline")
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatalf("ParseReport: %v", err)
+	}
+	if back.Render() != rep.Render() {
+		t.Errorf("roundtrip changed the rendering:\n--- before ---\n%s--- after ---\n%s",
+			rep.Render(), back.Render())
+	}
+	if _, err := ParseReport([]byte("{broken")); err == nil {
+		t.Error("ParseReport accepted malformed input")
+	}
+}
+
+// TestRenderUnresolved covers the SoftBound stale-metadata shape: no
+// allocation could be attributed, and the report says so rather than
+// inventing one.
+func TestRenderUnresolved(t *testing.T) {
+	rep := &ViolationReport{
+		Mechanism: "softbound",
+		Kind:      "deref",
+		Ptr:       0xdead,
+		Detail:    "access of 8 bytes outside bounds [0x0, 0x0)",
+		Access:    AccessInfo{Site: 1, Kind: "check", Width: 8, Func: "main", Loc: "a.c:3:1"},
+	}
+	out := rep.Render()
+	for _, want := range []string{"allocation: unresolved", "Figure 7", "shadow-stack depth: 0", "flight recorder: no events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unresolved rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The report machinery resolves sites on the violation path, but the tables
+// are also consulted per flight event when rendering: both lookups must be
+// O(1) index operations, not scans. A scan over 100k sites would show up here
+// as microseconds per op instead of sub-nanoseconds.
+func BenchmarkSiteTableGet(b *testing.B) {
+	var tab SiteTable
+	for i := 0; i < 100000; i++ {
+		tab.Add("check", "softbound", 8, fmt.Sprintf("f%d", i), ir.Loc{File: "a.c", Line: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab.Get(int32(i%100000+1)) == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkAllocTableGet(b *testing.B) {
+	var tab AllocTable
+	for i := 0; i < 100000; i++ {
+		tab.Add("heap", fmt.Sprintf("f%d", i), "", ir.Loc{File: "a.c", Line: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab.Get(int32(i%100000+1)) == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}

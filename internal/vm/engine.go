@@ -29,16 +29,7 @@ func (v *VM) bumpSite(call *ir.Instr, wide bool, cost uint64) {
 	if v.siteProf == nil || call == nil {
 		return
 	}
-	id := call.Site
-	if id <= 0 || int(id) >= len(v.siteProf) {
-		return
-	}
-	sc := &v.siteProf[id]
-	sc.Execs++
-	sc.Cost += cost
-	if wide {
-		sc.Wide++
-	}
+	v.bumpSiteID(call.Site, wide, cost)
 }
 
 // External returns the handler registered for an external function, or nil.

@@ -1,0 +1,119 @@
+package vm_test
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the forensics golden files")
+
+// violate compiles and instruments src under the given mechanism, runs it
+// with forensics enabled, and returns the violation report. Everything on
+// this path is deterministic — the VM lays out memory identically run to run
+// — which is what makes golden-file testing of the rendered report possible.
+func violate(t *testing.T, mech core.Mech, src string) *vm.ViolationError {
+	t.Helper()
+	m, err := cc.Compile("g", cc.Source{Name: "g.c", Code: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := core.PaperSoftBound()
+	vopts := vm.Options{Mechanism: vm.MechSoftBound}
+	if mech == core.MechLowFat {
+		cfg = core.PaperLowFat()
+		vopts = vm.Options{Mechanism: vm.MechLowFat, LowFatHeap: true, LowFatStack: true, LowFatGlobals: true}
+	}
+	var stats *core.Stats
+	hook := func(mod *ir.Module) {
+		s, ierr := core.Instrument(mod, cfg)
+		if ierr != nil {
+			t.Fatalf("instrument: %v", ierr)
+		}
+		stats = s
+	}
+	opt.RunPipeline(m, opt.EPVectorizerStart, hook, opt.PipelineOptions{Level: 3})
+	vopts.Forensics = true
+	vopts.Sites = stats.Sites
+	vopts.AllocSites = stats.AllocSites
+	machine, err := vm.New(m, vopts)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	_, rerr := machine.Run()
+	var viol *vm.ViolationError
+	if !errors.As(rerr, &viol) {
+		t.Fatalf("expected a violation, got %v", rerr)
+	}
+	if viol.Report == nil {
+		t.Fatal("violation carried no forensic report")
+	}
+	return viol
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered report diverges from %s (re-run with -update if intended):\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestReportGoldenSoftBound pins the full rendered report for a SoftBound
+// stack-buffer overflow: check-site and allocation-site provenance, bounds,
+// distance past the object end, and the flight-recorder tail.
+func TestReportGoldenSoftBound(t *testing.T) {
+	viol := violate(t, core.MechSoftBound, `
+int main() {
+  int a[4];
+  int i;
+  for (i = 0; i <= 4; i++) a[i] = i; /* writes one past the end */
+  return a[0];
+}
+`)
+	if viol.Report.Alloc == nil || viol.Report.Alloc.Kind != "alloca" {
+		t.Fatalf("expected attribution to a stack allocation, got %+v", viol.Report.Alloc)
+	}
+	checkGolden(t, "report_softbound.golden", viol.Report.Render())
+}
+
+// TestReportGoldenLowFat pins the rendered report for a Low-Fat heap overrun:
+// the faulting pointer is attributed to the malloc site via the region map
+// (no per-pointer metadata exists), and the report includes the allocator's
+// region snapshot.
+func TestReportGoldenLowFat(t *testing.T) {
+	viol := violate(t, core.MechLowFat, `
+int main() {
+  int *a = (int *)malloc(4 * sizeof(int));
+  int i;
+  for (i = 0; i <= 1024; i++) a[i] = i;
+  return a[0];
+}
+`)
+	if viol.Report.Alloc == nil || viol.Report.Alloc.Kind != "heap" {
+		t.Fatalf("expected attribution to a heap allocation, got %+v", viol.Report.Alloc)
+	}
+	if len(viol.Report.Regions) == 0 {
+		t.Fatal("low-fat report carried no region snapshot")
+	}
+	checkGolden(t, "report_lowfat.golden", viol.Report.Render())
+}

@@ -87,8 +87,11 @@ func registerLibc(v *VM) {
 	})
 }
 
-// heapAlloc allocates from the configured heap and tracks the requested size.
-func (v *VM) heapAlloc(size uint64) (uint64, error) {
+// heapAlloc allocates from the configured heap and tracks the requested
+// size. site is the static allocation site of the requesting call (0 when
+// unknown); it feeds the forensics allocation map. Both engines route heap
+// allocation through here, so attribution is engine-neutral by construction.
+func (v *VM) heapAlloc(size uint64, site int32) (uint64, error) {
 	v.Stats.Allocs++
 	v.Stats.Cost += v.cost.MallocBase + size/1024*v.cost.MallocPerKiB
 	var addr uint64
@@ -102,6 +105,9 @@ func (v *VM) heapAlloc(size uint64) (uint64, error) {
 		return 0, err
 	}
 	v.heapSizes[addr] = size
+	if v.allocs != nil {
+		v.TrackAlloc(addr, size, site)
+	}
 	return addr, nil
 }
 
@@ -115,19 +121,31 @@ func (v *VM) heapFree(addr uint64) error {
 		return &RuntimeError{Msg: fmt.Sprintf("invalid free of %#x", addr)}
 	}
 	delete(v.heapSizes, addr)
+	if v.allocs != nil {
+		v.TrackFree(addr)
+	}
 	if v.opts.LowFatHeap {
 		return v.LF.Free(addr)
 	}
 	return v.Std.Free(addr)
 }
 
-func libcMalloc(v *VM, _ *ir.Instr, args []uint64) (uint64, error) {
-	return v.heapAlloc(args[0])
+// allocSiteOf extracts the allocation-site ID of a malloc-family call
+// (nil-tolerant: top-level external invocations pass a nil instruction).
+func allocSiteOf(call *ir.Instr) int32 {
+	if call == nil {
+		return 0
+	}
+	return call.AllocSite
 }
 
-func libcCalloc(v *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+func libcMalloc(v *VM, call *ir.Instr, args []uint64) (uint64, error) {
+	return v.heapAlloc(args[0], allocSiteOf(call))
+}
+
+func libcCalloc(v *VM, call *ir.Instr, args []uint64) (uint64, error) {
 	n := args[0] * args[1]
-	addr, err := v.heapAlloc(n)
+	addr, err := v.heapAlloc(n, allocSiteOf(call))
 	if err != nil {
 		return 0, err
 	}
@@ -135,9 +153,9 @@ func libcCalloc(v *VM, _ *ir.Instr, args []uint64) (uint64, error) {
 	return addr, v.AS.Memset(addr, 0, n)
 }
 
-func libcRealloc(v *VM, _ *ir.Instr, args []uint64) (uint64, error) {
+func libcRealloc(v *VM, call *ir.Instr, args []uint64) (uint64, error) {
 	old, size := args[0], args[1]
-	addr, err := v.heapAlloc(size)
+	addr, err := v.heapAlloc(size, allocSiteOf(call))
 	if err != nil {
 		return 0, err
 	}
@@ -179,8 +197,11 @@ func sbWrapperCheck(v *VM, argIdx int, ptr, width uint64) error {
 		return nil
 	}
 	if !b.Check(ptr, width) {
-		return &ViolationError{Mechanism: "softbound", Kind: "wrapper", Ptr: ptr,
-			Detail: fmt.Sprintf("wrapper access of %d bytes outside [%#x, %#x)", width, b.Base, b.Bound)}
+		detail := fmt.Sprintf("wrapper access of %d bytes outside [%#x, %#x)", width, b.Base, b.Bound)
+		if v.allocs != nil {
+			return v.violation("softbound", "wrapper", ptr, detail, 0, width, b.Base, b.Bound)
+		}
+		return &ViolationError{Mechanism: "softbound", Kind: "wrapper", Ptr: ptr, Detail: detail}
 	}
 	return nil
 }

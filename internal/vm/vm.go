@@ -19,6 +19,7 @@ import (
 	"repro/internal/lowfat"
 	"repro/internal/mem"
 	"repro/internal/softbound"
+	"repro/internal/telemetry"
 )
 
 // Mechanism selects which instrumentation runtime the VM provisions.
@@ -81,6 +82,22 @@ type Options struct {
 	// (coverage tracking for the fault-injection campaign). Sharing the map
 	// across concurrent VMs is the caller's problem.
 	CoverInstrs map[*ir.Instr]bool
+	// Forensics enables violation forensics: allocation tracking keyed by
+	// ir AllocSite IDs, the flight recorder of recent memory events, and a
+	// structured telemetry.ViolationReport attached to every ViolationError.
+	// Off by default; the disabled path is untouched (the tree interpreter
+	// registers separate recorded handlers, the bytecode engine compiles
+	// recorded opcode variants, mirroring SiteProfile).
+	Forensics bool
+	// FlightSize is the flight-recorder ring capacity (0 means
+	// telemetry.DefaultFlightSize). Only meaningful with Forensics.
+	FlightSize int
+	// Sites resolves check-site IDs to source provenance in reports
+	// (optional; reports carry bare IDs without it).
+	Sites *telemetry.SiteTable
+	// AllocSites resolves allocation-site IDs to source provenance in
+	// reports (optional; reports carry bare IDs without it).
+	AllocSites *telemetry.AllocTable
 }
 
 // Stats aggregates dynamic execution statistics.
@@ -145,6 +162,10 @@ type ViolationError struct {
 	Kind      string // "deref", "invariant", "wrapper"
 	Ptr       uint64
 	Detail    string
+	// Report is the structured diagnostic synthesized when forensics is on
+	// (nil otherwise). It does not participate in Error(), so verdict
+	// strings are identical with and without forensics.
+	Report *telemetry.ViolationReport
 }
 
 // Error implements the error interface.
@@ -218,7 +239,13 @@ type VM struct {
 	// siteProf is indexed by ir.Instr.Site; nil unless Options.SiteProfile,
 	// so the disabled case costs one nil check in the runtime handlers.
 	siteProf []SiteCount
-	sp       uint64 // linear stack pointer (grows down)
+	// flight and allocs are the forensics state: nil unless
+	// Options.Forensics. allocs maps live allocation bases to their static
+	// allocation site and size; stack entries are overwritten on frame
+	// reuse rather than popped.
+	flight *telemetry.Flight
+	allocs map[uint64]allocRec
+	sp     uint64 // linear stack pointer (grows down)
 	rng      uint64
 	steps    uint64
 	maxSteps uint64
@@ -266,6 +293,10 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 		}
 		v.siteProf = make([]SiteCount, maxSite+1)
 	}
+	if opts.Forensics {
+		v.flight = telemetry.NewFlight(opts.FlightSize)
+		v.allocs = make(map[uint64]allocRec)
+	}
 	v.AS.Limit = opts.MemBudget
 	v.LF = lowfat.NewAllocator(v.Std)
 	if opts.Mechanism == MechSoftBound {
@@ -280,6 +311,9 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	}
 	registerLibc(v)
 	registerMIRuntime(v)
+	if opts.Forensics {
+		registerForensicsHandlers(v)
+	}
 	if err := v.layoutGlobals(); err != nil {
 		return nil, err
 	}
@@ -343,6 +377,11 @@ func (v *VM) layoutGlobals() error {
 			stdBase += size
 		}
 		v.globals[g] = addr
+		if v.allocs != nil {
+			// Globals are tracked for attribution but not flight-recorded:
+			// layout happens before execution and would only flush the ring.
+			v.allocs[addr] = allocRec{site: g.AllocSite, size: size}
+		}
 	}
 	// Resolve declarations against definitions of the same name, if any.
 	for _, g := range v.Mod.Globals {
