@@ -25,23 +25,38 @@
 // rendered hot-check table, and -progress streams per-cell completion lines
 // to stderr (serialized across -j workers).
 //
+// Robustness flags (long campaigns): -deadline bounds each cell's wall time
+// via a cooperative watchdog (hung cells report as "timeout" instead of
+// hanging the campaign), -retries N retries transient failures with
+// exponential backoff, -journal FILE checkpoints completed cells and
+// -resume FILE replays them so a killed campaign restarts in O(remaining
+// cells), -mem-budget sheds parallelism (then, as last resort, cells) under
+// memory pressure, and -chaos turns the fault injector against the harness
+// itself. SIGINT/SIGTERM cancel in-flight cells cooperatively and flush the
+// journal and partial -json report before exiting.
+//
 // Individual experiment failures never abort the run: affected cells are
 // annotated in place, all failures are summarized at the end, and the exit
-// status is nonzero when anything failed.
+// status is nonzero when anything failed — including any cell whose final
+// status is not ok/retried.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"syscall"
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/harness"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
 
@@ -82,6 +97,15 @@ func main() {
 		hotChecks = flag.Bool("hotchecks", false, "render hot-check tables from the collected site profiles (implies -siteprofile)")
 		topN      = flag.Int("top", 10, "sites per (benchmark, config) cell in the -hotchecks table (0 = all)")
 		progress  = flag.Bool("progress", false, "stream per-cell completion lines to stderr (serialized across -j workers)")
+
+		deadline   = flag.Duration("deadline", 0, "per-cell wall-clock deadline; a spinning cell is interrupted cooperatively and reported as timeout (0 = none)")
+		retries    = flag.Int("retries", 0, "max attempts per cell for transient failures (0 = auto: 1, or 3 under -chaos)")
+		backoff    = flag.Duration("backoff", 0, "base retry backoff, doubled per retry with jitter (0 = default 100ms)")
+		memBudget  = flag.Uint64("mem-budget", 0, "campaign heap budget in bytes: above 80% the scheduler sheds parallelism, cells are shed (skipped) only as last resort (0 = unlimited)")
+		journalOut = flag.String("journal", "", "append completed cells to this checkpoint journal (JSONL)")
+		resumeFrom = flag.String("resume", "", "replay completed cells from this checkpoint journal; implies -journal FILE unless set")
+		chaos      = flag.Bool("chaos", false, "chaos mode: kill cells mid-run, inject scheduling delays, corrupt journal entries (self-test of the supervision layer)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the chaos injection schedule")
 	)
 	flag.Parse()
 
@@ -113,8 +137,13 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	// os.Exit skips defers, so profile teardown rides the exit path.
+	// os.Exit skips defers, so profile and journal teardown ride the exit
+	// path.
+	var journal *resilience.Journal
 	exit := func(code int) {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: journal: %v\n", err)
+		}
 		if *cpuProfile != "" {
 			pprof.StopCPUProfile()
 		}
@@ -149,6 +178,64 @@ func main() {
 	if *progress {
 		r.SetProgress(os.Stderr)
 	}
+
+	attempts := *retries
+	if attempts <= 0 {
+		attempts = 1
+		if *chaos {
+			// Chaos kills cells on their first attempt; retries are how the
+			// campaign converges to zero lost results.
+			attempts = 3
+		}
+	}
+	r.SetResilience(resilience.Policy{
+		Deadline:    *deadline,
+		MaxAttempts: attempts,
+		BackoffBase: *backoff,
+		MemBudget:   *memBudget,
+		Parallel:    *jobs,
+	})
+	if *chaos {
+		r.SetChaos(faultinject.DefaultChaosPlan(*chaosSeed))
+	}
+	if *resumeFrom != "" {
+		if *journalOut == "" {
+			*journalOut = *resumeFrom
+		}
+		st, err := r.Resume(*resumeFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: resume: %v\n", err)
+			exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mi-bench: resume: replaying %d cell(s) from %s (%d corrupt, %d unparsed entries will recompute)\n",
+			st.Entries, *resumeFrom, st.Corrupt, st.Unparsed)
+	}
+	if *journalOut != "" {
+		j, err := resilience.OpenJournal(*journalOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: journal: %v\n", err)
+			exit(2)
+		}
+		journal = j
+		r.SetJournal(j)
+	}
+
+	// SIGINT/SIGTERM cancel in-flight cells cooperatively: supervised cells
+	// observe the interrupt flag within vm.InterruptStride instructions and
+	// surface as skipped, then the main path flushes the journal and the
+	// partial -json report before exiting nonzero. A second signal exits
+	// immediately.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "mi-bench: %v: canceling in-flight cells (journal and partial report flush before exit)\n", s)
+		r.Supervisor().Cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "mi-bench: second signal, exiting now")
+		os.Exit(130)
+	}()
+
 	var failures []string
 	note := func(what string, msg string) {
 		failures = append(failures, what+": "+msg)
@@ -273,11 +360,42 @@ func main() {
 		}
 	}
 
+	// Final cell-status summary: every supervised cell accounted for, every
+	// cell that did not complete cleanly listed, and a nonzero exit if any
+	// cell failed, timed out, was shed or was aborted — even when the
+	// figure-level reporting absorbed it.
+	counts, badCells := r.CellStatuses()
+	if len(counts) > 0 {
+		var keys []string
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(os.Stderr, "mi-bench: cells:")
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, " %s=%d", k, counts[k])
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if journal != nil {
+		fmt.Fprintf(os.Stderr, "mi-bench: journal: %d cell(s) appended to %s\n", journal.Entries(), journal.Path())
+	}
+	if r.Supervisor().Canceled() {
+		note("campaign", "canceled by signal before completion")
+	}
+	if len(badCells) > 0 {
+		fmt.Fprintf(os.Stderr, "mi-bench: %d cell(s) did not complete cleanly:\n", len(badCells))
+		for _, c := range badCells {
+			fmt.Fprintf(os.Stderr, "  %s\n", c)
+		}
+	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "mi-bench: %d failure(s):\n", len(failures))
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
+	}
+	if len(failures) > 0 || len(badCells) > 0 {
 		exit(1)
 	}
 	exit(0)

@@ -16,6 +16,14 @@
 // written by mi-bench -reports) and mi-prof renders it as text:
 //
 //	mi-prof -report reports/fault-000-....json
+//
+// With -diff, two perf reports are compared in canonical form (wall-clock
+// times and backoff delays zeroed, records sorted): exit 0 and no output if
+// every cell's counters match, exit 1 with one line per differing or missing
+// cell otherwise. This is how the resume-after-kill check verifies that a
+// resumed campaign reproduced the uninterrupted campaign's results exactly:
+//
+//	mi-prof -diff full.json resumed.json
 package main
 
 import (
@@ -33,13 +41,23 @@ func main() {
 		topN   = flag.Int("top", 10, "sites per (benchmark, config) cell (0 = all)")
 		bench  = flag.String("bench", "", "restrict to one benchmark")
 		config = flag.String("config", "", "restrict to one configuration label")
-		report = flag.Bool("report", false, "treat the input as a violation-report JSON and render it as text")
+		report   = flag.Bool("report", false, "treat the input as a violation-report JSON and render it as text")
+		diff     = flag.Bool("diff", false, "compare two perf reports in canonical form (wall times zeroed); exit 1 on any difference")
+		noStatus = flag.Bool("ignore-status", false, "with -diff, also ignore cell status and attempt history (compare measurements only: chaos run vs clean run)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mi-prof [flags] perf.json\n       mi-prof -report violation.json\n")
+		fmt.Fprintf(os.Stderr, "usage: mi-prof [flags] perf.json\n       mi-prof -report violation.json\n       mi-prof -diff a.json b.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		diffReports(flag.Arg(0), flag.Arg(1), *noStatus)
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -86,4 +104,57 @@ func main() {
 	}
 
 	fmt.Print(harness.RenderHotChecks(&rep, *topN))
+}
+
+// diffReports compares two perf reports cell by cell in canonical form and
+// exits nonzero on any difference.
+func diffReports(pathA, pathB string, ignoreStatus bool) {
+	load := func(path string) map[string]json.RawMessage {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-prof: %v\n", err)
+			os.Exit(2)
+		}
+		var rep harness.PerfReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "mi-prof: parsing %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		cells := make(map[string]json.RawMessage)
+		for _, rec := range rep.Canonical().Records {
+			if ignoreStatus {
+				rec.Status, rec.Attempts = "", nil
+			}
+			raw, err := json.Marshal(rec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mi-prof: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			cells[rec.Key] = raw
+		}
+		return cells
+	}
+	a, b := load(pathA), load(pathB)
+	differs := 0
+	for key, ra := range a {
+		rb, ok := b[key]
+		switch {
+		case !ok:
+			fmt.Printf("only in %s: %s\n", pathA, key)
+			differs++
+		case string(ra) != string(rb):
+			fmt.Printf("differs: %s\n  %s: %s\n  %s: %s\n", key, pathA, ra, pathB, rb)
+			differs++
+		}
+	}
+	for key := range b {
+		if _, ok := a[key]; !ok {
+			fmt.Printf("only in %s: %s\n", pathB, key)
+			differs++
+		}
+	}
+	if differs > 0 {
+		fmt.Printf("%d differing cell(s)\n", differs)
+		os.Exit(1)
+	}
 }

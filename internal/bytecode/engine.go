@@ -32,6 +32,12 @@ type Engine struct {
 	lfStack  bool
 	steps    uint64
 	maxSteps uint64
+	// intr is the VM's cooperative cancellation flag (nil when unused);
+	// intrCountdown schedules the next poll, mirroring the tree
+	// interpreter so a raised flag stops either engine within the same
+	// bounded number of instructions.
+	intr          *vm.InterruptFlag
+	intrCountdown uint64
 
 	// consts holds each function's constant pool with global/function
 	// relocations resolved against the bound VM.
@@ -79,9 +85,11 @@ func NewEngine(p *Program, machine *vm.VM) (*Engine, error) {
 		st:       &machine.Stats,
 		cover:    opts.CoverInstrs,
 		prof:     machine.SiteProfile(),
-		lfStack:  opts.LowFatStack,
-		maxSteps: machine.StepLimit(),
-		consts:   make([][]uint64, len(p.fns)),
+		lfStack:       opts.LowFatStack,
+		maxSteps:      machine.StepLimit(),
+		intr:          opts.Interrupt,
+		intrCountdown: vm.InterruptStride,
+		consts:        make([][]uint64, len(p.fns)),
 	}
 	for i, fn := range p.fns {
 		cs := make([]uint64, len(fn.consts))
@@ -302,6 +310,13 @@ func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error)
 			e.steps++
 			if e.steps > e.maxSteps {
 				return 0, e.rte(pc, o.instr, "step limit exceeded")
+			}
+			e.intrCountdown--
+			if e.intrCountdown == 0 {
+				e.intrCountdown = vm.InterruptStride
+				if r := e.intr.Raised(); r != vm.IntrNone {
+					return 0, &vm.InterruptError{Reason: r, Steps: e.steps}
+				}
 			}
 			st.Instrs++
 			st.Cost += o.cost

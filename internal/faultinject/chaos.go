@@ -1,0 +1,145 @@
+// Chaos mode: the fault-injection campaign turned against the harness
+// itself. Where the rest of this package plants memory-safety faults in the
+// *instrumented program* to certify the mechanisms' detection matrix, the
+// chaos plan plants operational faults in the *campaign execution* — cells
+// killed mid-run, scheduling delays, corrupted checkpoint-journal entries —
+// to certify that the supervision layer (internal/resilience) loses no
+// results and mislabels no cell. Decisions are a pure function of
+// (seed, cell key, attempt), so a chaos campaign is exactly reproducible.
+package faultinject
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// ChaosPlan configures the operational-fault injections of `mi-bench
+// -chaos`. Probabilities are per cell; the zero value injects nothing.
+type ChaosPlan struct {
+	// Seed drives every decision; the same seed over the same cell keys
+	// yields the identical injection schedule.
+	Seed int64 `json:"seed"`
+	// KillProb is the probability that a cell's first attempt is killed
+	// mid-run (cooperative vm.IntrChaos interrupt after KillAfter).
+	// Kills hit only attempt 0, so a supervisor with retries always
+	// converges to the real result — chaos must never lose a cell.
+	KillProb float64 `json:"kill_prob"`
+	// MaxKillAfter bounds the delay before the kill fires (default 2ms:
+	// long enough for the cell to be genuinely mid-run, short enough that
+	// most cells are still running).
+	MaxKillAfter time.Duration `json:"max_kill_after"`
+	// DelayProb is the probability of a scheduling delay before an
+	// attempt; MaxDelay bounds it (default 2ms).
+	DelayProb float64       `json:"delay_prob"`
+	MaxDelay  time.Duration `json:"max_delay"`
+	// CorruptProb is the probability that a cell's checkpoint-journal
+	// entry is written with flipped payload bytes. The journal's content
+	// hash must detect it at resume and recompute the cell.
+	CorruptProb float64 `json:"corrupt_prob"`
+}
+
+// DefaultChaosPlan is the `mi-bench -chaos` configuration: every injection
+// class on, aggressively enough that a standard campaign exercises all of
+// them.
+func DefaultChaosPlan(seed int64) ChaosPlan {
+	return ChaosPlan{
+		Seed:         seed,
+		KillProb:     0.3,
+		MaxKillAfter: 2 * time.Millisecond,
+		DelayProb:    0.3,
+		MaxDelay:     2 * time.Millisecond,
+		CorruptProb:  0.25,
+	}
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p ChaosPlan) Enabled() bool {
+	return p.KillProb > 0 || p.DelayProb > 0 || p.CorruptProb > 0
+}
+
+// ChaosAction is the plan's verdict for one cell attempt.
+type ChaosAction struct {
+	// Kill, when true, schedules a cooperative chaos kill KillAfter into
+	// the attempt.
+	Kill      bool
+	KillAfter time.Duration
+	// Delay is a scheduling delay to sleep before the attempt (0 = none).
+	Delay time.Duration
+	// CorruptJournal, when true, mangles this cell's journal payload.
+	CorruptJournal bool
+}
+
+// rng returns the deterministic per-(key, attempt) stream. Mixing the key
+// hash into the seed makes decisions independent of campaign order and of
+// which other cells run.
+func (p ChaosPlan) rng(key string, attempt int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64()) ^ int64(uint64(attempt)*0x9e3779b97f4a7c15)))
+}
+
+// Decide returns the injections for one attempt at a cell. Kills and
+// delays target only attempt 0: retries run clean, so every chaos-killed
+// cell still completes with its true result.
+func (p ChaosPlan) Decide(key string, attempt int) ChaosAction {
+	var a ChaosAction
+	if !p.Enabled() {
+		return a
+	}
+	rng := p.rng(key, attempt)
+	// Draw in a fixed order so adding one injection class never reshuffles
+	// the others' schedule.
+	kill := rng.Float64() < p.KillProb
+	delay := rng.Float64() < p.DelayProb
+	corrupt := rng.Float64() < p.CorruptProb
+	if attempt > 0 {
+		return a
+	}
+	if kill {
+		max := p.MaxKillAfter
+		if max <= 0 {
+			max = 2 * time.Millisecond
+		}
+		a.Kill = true
+		a.KillAfter = time.Duration(rng.Int63n(int64(max))) + 1
+	}
+	if delay {
+		max := p.MaxDelay
+		if max <= 0 {
+			max = 2 * time.Millisecond
+		}
+		a.Delay = time.Duration(rng.Int63n(int64(max))) + 1
+	}
+	a.CorruptJournal = corrupt
+	return a
+}
+
+// CorruptPayload deterministically mangles a journal payload for a cell
+// whose Decide verdict set CorruptJournal. Exported so the harness can
+// install it as the journal's corruptor. The mangling mimics silent data
+// corruption rather than a torn write: it rewrites digits inside numbers,
+// so the payload still parses as JSON but its bytes no longer match the
+// recorded content hash — exactly the case only hashing can catch. (A digit
+// is only touched when it follows another digit, so no "0123"-style
+// invalid number literals can arise.) Payloads without such a digit are
+// returned unchanged.
+func (p ChaosPlan) CorruptPayload(key string, payload []byte) []byte {
+	var spots []int
+	for i := 1; i < len(payload); i++ {
+		if payload[i] >= '0' && payload[i] <= '9' && payload[i-1] >= '0' && payload[i-1] <= '9' {
+			spots = append(spots, i)
+		}
+	}
+	if len(spots) == 0 {
+		return payload
+	}
+	rng := p.rng(key, 1<<20) // distinct stream from attempt decisions
+	out := append([]byte(nil), payload...)
+	flips := 1 + rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		at := spots[rng.Intn(len(spots))]
+		out[at] = '0' + byte((int(out[at]-'0')+1+rng.Intn(9))%10)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestChaosDecideDeterministic(t *testing.T) {
+	p := DefaultChaosPlan(42)
+	keys := []string{"a|baseline", "a|softbound", "b|lowfat", "long|key|with|axes"}
+	for _, key := range keys {
+		for attempt := 0; attempt < 3; attempt++ {
+			x := p.Decide(key, attempt)
+			y := p.Decide(key, attempt)
+			if x != y {
+				t.Errorf("%s attempt %d: nondeterministic: %+v vs %+v", key, attempt, x, y)
+			}
+		}
+	}
+	// Different seeds must produce different schedules somewhere.
+	q := DefaultChaosPlan(43)
+	same := 0
+	for _, key := range keys {
+		if p.Decide(key, 0) == q.Decide(key, 0) {
+			same++
+		}
+	}
+	if same == len(keys) {
+		t.Error("seed does not influence the schedule")
+	}
+}
+
+func TestChaosKillsOnlyFirstAttempt(t *testing.T) {
+	p := ChaosPlan{Seed: 1, KillProb: 1, DelayProb: 1, CorruptProb: 1,
+		MaxKillAfter: time.Millisecond, MaxDelay: time.Millisecond}
+	a0 := p.Decide("cell", 0)
+	if !a0.Kill || a0.Delay <= 0 || !a0.CorruptJournal {
+		t.Fatalf("probability-1 plan injected nothing on attempt 0: %+v", a0)
+	}
+	if a0.KillAfter <= 0 || a0.KillAfter > time.Millisecond+1 {
+		t.Fatalf("KillAfter %v outside (0, MaxKillAfter]", a0.KillAfter)
+	}
+	for attempt := 1; attempt < 4; attempt++ {
+		a := p.Decide("cell", attempt)
+		if a.Kill || a.Delay > 0 {
+			t.Fatalf("attempt %d injected %+v; retries must run clean so chaos never loses a cell", attempt, a)
+		}
+	}
+}
+
+func TestChaosZeroPlanInjectsNothing(t *testing.T) {
+	var p ChaosPlan
+	if p.Enabled() {
+		t.Fatal("zero plan enabled")
+	}
+	if a := p.Decide("cell", 0); a != (ChaosAction{}) {
+		t.Fatalf("zero plan injected %+v", a)
+	}
+}
+
+func TestCorruptPayloadStaysJSONButChangesBytes(t *testing.T) {
+	p := DefaultChaosPlan(7)
+	payload := []byte(`{"rec":{"cost":13479824,"checks":1051898},"output":"ok 42\n"}`)
+	out := p.CorruptPayload("cell", payload)
+	if string(out) == string(payload) {
+		t.Fatal("payload with multi-digit numbers not corrupted")
+	}
+	if !json.Valid(out) {
+		t.Fatalf("corrupted payload is not valid JSON: %s", out)
+	}
+	// Deterministic: the same key corrupts the same way.
+	again := p.CorruptPayload("cell", payload)
+	if string(out) != string(again) {
+		t.Fatal("corruption is nondeterministic")
+	}
+	// The original buffer must not be mutated.
+	if string(payload) != `{"rec":{"cost":13479824,"checks":1051898},"output":"ok 42\n"}` {
+		t.Fatal("CorruptPayload mutated its input")
+	}
+}
+
+func TestCorruptPayloadNoDigitsNoChange(t *testing.T) {
+	p := DefaultChaosPlan(7)
+	payload := []byte(`{"name":"x"}`)
+	if out := p.CorruptPayload("cell", payload); string(out) != string(payload) {
+		t.Fatalf("payload without digit runs changed: %s", out)
+	}
+}

@@ -85,7 +85,6 @@ func (r *Runner) CheckOptAblation(benches []*spec.Benchmark) *CheckOptReport {
 	rep := &CheckOptReport{Engine: r.Engine().String()}
 	rep.Rows = make([]CheckOptRow, len(benches)*len(mechs))
 
-	sem := make(chan struct{}, r.parallelism())
 	var wg sync.WaitGroup
 	for bi, b := range benches {
 		for mi, mech := range mechs {
@@ -97,8 +96,6 @@ func (r *Runner) CheckOptAblation(benches []*spec.Benchmark) *CheckOptReport {
 				wg.Add(1)
 				go func(b *spec.Benchmark, cfg RunConfig, cell *CheckOptCell) {
 					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
 					res, err := r.Run(b, cfg)
 					if err != nil {
 						cell.Err = err.Error()

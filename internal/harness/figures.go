@@ -91,18 +91,18 @@ func (r *Runner) overheadMatrix(configs []RunConfig) (*Figure, error) {
 			jobs = append(jobs, job{bi, ci})
 		}
 	}
+	// Concurrency is bounded by the runner's supervisor (its admission gate
+	// replaces the per-figure worker pools): goroutines blocked on a cell
+	// another worker is already computing hold no admission slot.
 	var (
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	sem := make(chan struct{}, r.parallelism())
 	for _, j := range jobs {
 		j := j
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			ov, _, err := r.Overhead(benches[j.bi], configs[j.ci])
 			mu.Lock()
 			defer mu.Unlock()
@@ -238,14 +238,11 @@ func (r *Runner) Table2() ([]Table2Row, error) {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	sem := make(chan struct{}, r.parallelism())
 	for i, b := range benches {
 		i, b := i, b
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			row := Table2Row{Bench: b.Name}
 			m, err := b.Compile()
 			if err == nil {
@@ -349,14 +346,11 @@ func (r *Runner) EliminationStats(mech core.Mech) ([]ElimRow, error) {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	sem := make(chan struct{}, r.parallelism())
 	for i, b := range benches {
 		i, b := i, b
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			optCfg := PaperConfig(mech)
 			nooptCfg := PaperConfig(mech)
 			nooptCfg.Label = "noopt"

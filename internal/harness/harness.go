@@ -16,8 +16,10 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/opt"
+	"repro/internal/resilience"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
@@ -96,6 +98,19 @@ type Result struct {
 	Report *telemetry.ViolationReport
 	// Err is non-nil if the run failed (e.g. a reported violation).
 	Err error
+	// Status classifies how the supervised cell ended (ok, retried,
+	// timeout, oom, panic, failed, skipped).
+	Status resilience.CellStatus
+	// Attempts is the cell's per-attempt history (one entry per attempt,
+	// including the successful one).
+	Attempts []resilience.Attempt
+	// Resumed marks results replayed from a checkpoint journal rather than
+	// executed in this process.
+	Resumed bool
+	// rec, when non-nil, is the journaled PerfRecord this result was
+	// resumed from; PerfReport emits it verbatim, so a resumed campaign's
+	// report is byte-identical to the uninterrupted one.
+	rec *PerfRecord
 }
 
 // Runner caches compiled benchmark modules and execution results, so that
@@ -122,6 +137,17 @@ type Runner struct {
 	// never interleave). progMu serializes the flushes.
 	progress io.Writer
 	progMu   sync.Mutex
+	// pol configures cell supervision (deadline, retries, memory budget);
+	// sup is built lazily from it on first admission. Configure before
+	// running cells.
+	pol resilience.Policy
+	sup *resilience.Supervisor
+	// journal, when non-nil, receives every completed cell (checkpointing);
+	// resumed replays journaled cells instead of executing them.
+	journal *resilience.Journal
+	resumed map[string]*CellRecord
+	// chaos injects operational faults into cell execution (chaos mode).
+	chaos faultinject.ChaosPlan
 }
 
 type cacheEntry struct {
@@ -198,20 +224,15 @@ func (r *Runner) SetProgress(w io.Writer) {
 }
 
 // SetParallelism caps concurrent benchmark cells in figure sweeps (default
-// 8; values below 1 reset to the default).
+// 8; values below 1 reset to the default). Configure before running cells:
+// it rebuilds the admission gate.
 func (r *Runner) SetParallelism(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.par = n
-}
-
-func (r *Runner) parallelism() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.par > 0 {
-		return r.par
+	if r.pol.Parallel <= 0 {
+		r.sup = nil
 	}
-	return 8
 }
 
 // configKey identifies a configuration for result caching.
@@ -266,11 +287,20 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = r.runUncached(b, cfg, engine, prof, forensics, cost, key) })
+	e.once.Do(func() { e.res, e.err = r.supervise(b, cfg, engine, prof, forensics, cost, key) })
 	return e.res, e.err
 }
 
-func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof, forensics bool, cost *vm.CostModel, key string) (res *Result, err error) {
+// panicError marks a recovered worker panic so the supervisor can classify
+// it as StatusPanic and retry it.
+type panicError struct{ msg string }
+
+func (e *panicError) Error() string { return e.msg }
+
+// runAttempt executes one supervised attempt at a cell: a fresh module
+// clone through the pipeline, instrumentation and VM, with the attempt's
+// interrupt flag wired into the engines' step-count poll.
+func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof, forensics bool, cost *vm.CostModel, key string, flag *vm.InterruptFlag, attempt int) (res *Result, err error) {
 	// A panic anywhere in the pipeline, instrumentation or VM must not take
 	// down the whole campaign: it becomes this run's failure.
 	defer func() {
@@ -278,7 +308,7 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 			if res == nil {
 				res = &Result{Bench: b.Name, Config: cfg}
 			}
-			res.Err = fmt.Errorf("%s under %s panicked: %v", b.Name, cfg.Label, p)
+			res.Err = &panicError{fmt.Sprintf("%s under %s panicked: %v", b.Name, cfg.Label, p)}
 			err = nil
 		}
 	}()
@@ -303,7 +333,11 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 		_, _ = progress.Write(logBuf.Bytes())
 		r.progMu.Unlock()
 	}()
-	logf("[%s/%s] start engine=%s", b.Name, cfg.Label, engine)
+	if attempt > 0 {
+		logf("[%s/%s] start engine=%s attempt=%d", b.Name, cfg.Label, engine, attempt+1)
+	} else {
+		logf("[%s/%s] start engine=%s", b.Name, cfg.Label, engine)
+	}
 
 	m, err := r.module(b)
 	if err != nil {
@@ -342,7 +376,7 @@ func (r *Runner) runUncached(b *spec.Benchmark, cfg RunConfig, engine bytecode.E
 		return nil, err
 	}
 
-	vopts := vm.Options{SiteProfile: prof, Forensics: forensics, Cost: cost}
+	vopts := vm.Options{SiteProfile: prof, Forensics: forensics, Cost: cost, Interrupt: flag}
 	if forensics && res.InstrStats != nil {
 		vopts.Sites = res.InstrStats.Sites
 		vopts.AllocSites = res.InstrStats.AllocSites

@@ -2,10 +2,14 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/resilience"
+	"repro/internal/vm"
 )
 
 // PerfRecord is one executed (benchmark, configuration) cell in the JSON
@@ -27,6 +31,12 @@ type PerfRecord struct {
 	Stores          uint64  `json:"stores"`
 	WallMS          float64 `json:"wall_ms"`
 	Err             string  `json:"err,omitempty"`
+	// Status is the supervised cell status ("ok", "retried", "timeout",
+	// "oom", "panic", "failed", "skipped").
+	Status string `json:"status"`
+	// Attempts is the cell's per-attempt history: one entry per attempt,
+	// the successful one included, with the backoff slept between retries.
+	Attempts []resilience.Attempt `json:"attempts,omitempty"`
 	// Opt summarizes what the check optimizations did at instrumentation
 	// time (nil for uninstrumented cells).
 	Opt *core.OptStats `json:"opt,omitempty"`
@@ -66,6 +76,40 @@ type PerfReport struct {
 	Records     []PerfRecord `json:"records"`
 }
 
+// perfRecord builds the report record for one cell. A resumed cell replays
+// its journaled record verbatim, so a resumed campaign's report is
+// byte-identical to the uninterrupted one.
+func perfRecord(key string, res *Result) PerfRecord {
+	if res.rec != nil {
+		return *res.rec
+	}
+	rec := PerfRecord{
+		Bench:           res.Bench,
+		Config:          res.Config.Label,
+		Key:             key,
+		Instrs:          res.Stats.Instrs,
+		Cost:            res.Stats.Cost,
+		Checks:          res.Stats.Checks,
+		WideChecks:      res.Stats.WideChecks,
+		RangeChecks:     res.Stats.RangeChecks,
+		WideRangeChecks: res.Stats.WideRangeChecks,
+		Loads:           res.Stats.Loads,
+		Stores:          res.Stats.Stores,
+		WallMS:          float64(res.Wall.Microseconds()) / 1000.0,
+		Status:          res.Status.String(),
+		Attempts:        res.Attempts,
+	}
+	if res.InstrStats != nil {
+		o := res.InstrStats.Opt
+		rec.Opt = &o
+	}
+	if res.Err != nil {
+		rec.Err = res.Err.Error()
+	}
+	rec.Sites = siteRecords(res)
+	return rec
+}
+
 // PerfReport snapshots the runner's result cache. Cells still executing (or
 // never started) are absent; failed cells carry their error string.
 func (r *Runner) PerfReport() *PerfReport {
@@ -77,29 +121,7 @@ func (r *Runner) PerfReport() *PerfReport {
 		if res == nil {
 			continue
 		}
-		rec := PerfRecord{
-			Bench:           res.Bench,
-			Config:          res.Config.Label,
-			Key:             key,
-			Instrs:          res.Stats.Instrs,
-			Cost:            res.Stats.Cost,
-			Checks:          res.Stats.Checks,
-			WideChecks:      res.Stats.WideChecks,
-			RangeChecks:     res.Stats.RangeChecks,
-			WideRangeChecks: res.Stats.WideRangeChecks,
-			Loads:           res.Stats.Loads,
-			Stores:          res.Stats.Stores,
-			WallMS:          float64(res.Wall.Microseconds()) / 1000.0,
-		}
-		if res.InstrStats != nil {
-			o := res.InstrStats.Opt
-			rec.Opt = &o
-		}
-		if res.Err != nil {
-			rec.Err = res.Err.Error()
-		}
-		rec.Sites = siteRecords(res)
-		rep.Records = append(rep.Records, rec)
+		rep.Records = append(rep.Records, perfRecord(key, res))
 	}
 	sort.Slice(rep.Records, func(i, j int) bool {
 		a, b := rep.Records[i], rep.Records[j]
@@ -121,4 +143,88 @@ func (r *Runner) WritePerfJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Canonical returns a copy of the report with every physically
+// non-reproducible field (wall-clock times, backoff delays) zeroed. Two
+// campaigns over the same cells — e.g. one uninterrupted, one killed and
+// resumed — must produce byte-identical canonical reports.
+func (p *PerfReport) Canonical() *PerfReport {
+	out := *p
+	out.Records = append([]PerfRecord(nil), p.Records...)
+	for i := range out.Records {
+		out.Records[i].WallMS = 0
+		if len(out.Records[i].Attempts) > 0 {
+			atts := append([]resilience.Attempt(nil), out.Records[i].Attempts...)
+			for k := range atts {
+				atts[k].WallMS, atts[k].BackoffMS = 0, 0
+			}
+			out.Records[i].Attempts = atts
+		}
+	}
+	return &out
+}
+
+// InstrSummary is the JSON-safe subset of core.Stats a journaled cell
+// carries: the scalar counters the figures consume. The site registries are
+// process-local and are not journaled — their derived SiteRecords already
+// live in the PerfRecord.
+type InstrSummary struct {
+	Functions       int           `json:"functions"`
+	DerefTargets    int           `json:"deref_targets"`
+	Opt             core.OptStats `json:"opt"`
+	ChecksPlaced    int           `json:"checks_placed"`
+	InvariantChecks int           `json:"invariant_checks"`
+	MetadataStores  int           `json:"metadata_stores"`
+	ShadowFrames    int           `json:"shadow_frames"`
+	WitnessPhis     int           `json:"witness_phis"`
+	WitnessSelects  int           `json:"witness_selects"`
+}
+
+// CellRecord is the checkpoint journal's payload for one completed cell: the
+// exact PerfRecord the report would emit, plus everything the figures read
+// off a live Result (the output for the baseline cross-check, the full VM
+// stats, the instrumentation counters, the pipeline stats).
+type CellRecord struct {
+	Rec    PerfRecord        `json:"rec"`
+	Output string            `json:"output"`
+	Stats  vm.Stats          `json:"stats"`
+	Instr  *InstrSummary     `json:"instr,omitempty"`
+	Pipe   opt.PipelineStats `json:"pipe"`
+}
+
+// cellRecord builds the journal payload for a completed cell.
+func cellRecord(key string, res *Result) *CellRecord {
+	c := &CellRecord{
+		Rec:    perfRecord(key, res),
+		Output: res.Output,
+		Stats:  res.Stats,
+		Pipe:   res.PipeStats,
+	}
+	if s := res.InstrStats; s != nil {
+		c.Instr = &InstrSummary{
+			Functions:       s.Functions,
+			DerefTargets:    s.DerefTargets,
+			Opt:             s.Opt,
+			ChecksPlaced:    s.ChecksPlaced,
+			InvariantChecks: s.InvariantChecks,
+			MetadataStores:  s.MetadataStores,
+			ShadowFrames:    s.ShadowFrames,
+			WitnessPhis:     s.WitnessPhis,
+			WitnessSelects:  s.WitnessSelects,
+		}
+	}
+	return c
+}
+
+// decodeCell parses a journaled payload back into a CellRecord; a payload
+// without a record key is from an incompatible writer.
+func decodeCell(raw json.RawMessage, c *CellRecord) error {
+	if err := json.Unmarshal(raw, c); err != nil {
+		return err
+	}
+	if c.Rec.Key == "" {
+		return fmt.Errorf("journal cell has no record key")
+	}
+	return nil
 }

@@ -1,0 +1,176 @@
+package resilience
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The checkpoint journal is an append-only JSONL file: one entry per
+// completed campaign cell, keyed by the harness's content-addressed result
+// cache key and guarded by a SHA-256 of the payload bytes, so a torn write
+// (campaign killed mid-append) or corrupted entry (bit rot, chaos mode) is
+// detected at load and the cell is recomputed instead of replayed wrong.
+// The last valid entry per key wins, so re-journaling a recomputed cell
+// after resume simply supersedes the earlier one.
+//
+// Entry layout (journal format v1):
+//
+//	{"v":1,"key":"<cache key>","sha256":"<hex of payload>","cell":{...}}
+
+// journalVersion is bumped on incompatible entry-layout changes; loading
+// skips entries from other versions (they recompute).
+const journalVersion = 1
+
+type journalEntry struct {
+	V      int             `json:"v"`
+	Key    string          `json:"key"`
+	SHA256 string          `json:"sha256"`
+	Cell   json.RawMessage `json:"cell"`
+}
+
+// Journal streams completed cell payloads to disk. Safe for concurrent
+// appends; every entry is written (and flushed to the OS) before Append
+// returns, so the journal is as complete as the campaign was at any kill
+// point, modulo one possibly-torn final line that Load discards.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	n    int
+	// corrupt, when non-nil, may mangle payload bytes before they hit the
+	// disk — the chaos mode's journal-corruption injection. The recorded
+	// hash is computed over the true payload first, so corruption is
+	// always detectable at load.
+	corrupt func(key string, payload []byte) []byte
+}
+
+// OpenJournal opens (creating or appending to) the journal at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Entries returns how many entries this process appended.
+func (j *Journal) Entries() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// SetCorruptor installs a payload-mangling hook (chaos mode). Nil disables.
+func (j *Journal) SetCorruptor(fn func(key string, payload []byte) []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.corrupt = fn
+}
+
+// Append journals one completed cell. payload must marshal to JSON; the
+// entry's hash covers the exact marshaled bytes. A nil journal ignores the
+// call, so callers need no journaling conditionals.
+func (j *Journal) Append(key string, payload any) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("journal: marshaling cell %q: %w", key, err)
+	}
+	sum := sha256.Sum256(raw)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.corrupt != nil {
+		raw = j.corrupt(key, raw)
+	}
+	line, err := json.Marshal(journalEntry{
+		V: journalVersion, Key: key, SHA256: hex.EncodeToString(sum[:]), Cell: raw,
+	})
+	if err != nil {
+		return fmt.Errorf("journal: framing cell %q: %w", key, err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: appending cell %q: %w", key, err)
+	}
+	j.n++
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// LoadStats reports what LoadJournal found: replayable entries, entries
+// whose recorded hash did not match their payload (corruption — those keys
+// recompute), and lines that were not parseable at all (torn final write).
+type LoadStats struct {
+	Entries  int
+	Corrupt  int
+	Unparsed int
+}
+
+// LoadJournal reads every valid entry of the journal at path, last valid
+// entry per key winning. Corrupted and torn entries are counted and
+// skipped — detection is the content hash's job, recomputation the
+// caller's. A missing file is not an error: it loads as empty (resuming a
+// campaign that never checkpointed just runs everything).
+func LoadJournal(path string) (map[string]json.RawMessage, LoadStats, error) {
+	var st LoadStats
+	out := make(map[string]json.RawMessage)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, st, nil
+		}
+		return nil, st, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" || e.V != journalVersion {
+			st.Unparsed++
+			continue
+		}
+		sum := sha256.Sum256(e.Cell)
+		if hex.EncodeToString(sum[:]) != e.SHA256 {
+			st.Corrupt++
+			continue
+		}
+		out[e.Key] = append(json.RawMessage(nil), e.Cell...)
+		st.Entries++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, st, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	return out, st, nil
+}

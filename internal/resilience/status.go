@@ -1,0 +1,158 @@
+// Package resilience is the supervision layer for long instrumentation
+// campaigns: it wraps every campaign cell in a cooperative deadline
+// watchdog (built on the engines' step-count interrupt path), retries
+// transient failures with exponential backoff and jitter, streams completed
+// results to an append-only checkpoint journal so a killed campaign resumes
+// in O(remaining cells), and degrades gracefully under a memory budget —
+// shedding parallelism before it sheds cells, and marking shed cells
+// skipped rather than dropping them silently.
+//
+// The package deliberately knows nothing about benchmarks, figures or fault
+// plans: it supervises opaque cells identified by the caller's cache key.
+// internal/harness wires it to the campaign runner; internal/faultinject
+// supplies the chaos plans that are turned against the harness itself.
+package resilience
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// CellStatus classifies how a campaign cell ended. Every executed cell
+// carries exactly one status; a hung, shed or killed cell is never silently
+// dropped — it surfaces as timeout, skipped or panic/retried instead.
+type CellStatus int
+
+const (
+	// StatusOK: the cell completed on its first attempt.
+	StatusOK CellStatus = iota
+	// StatusRetried: the cell completed after at least one failed attempt
+	// (the attempt history records what the failures were).
+	StatusRetried
+	// StatusTimeout: the cell was stopped by the watchdog — wall-clock
+	// deadline via the interrupt flag, or the VM step budget.
+	StatusTimeout
+	// StatusOOM: the cell exceeded its memory budget (mem.BudgetError).
+	StatusOOM
+	// StatusPanic: the cell's pipeline, instrumentation or engine panicked,
+	// or a chaos-mode injection killed it, and retries (if any) were
+	// exhausted.
+	StatusPanic
+	// StatusFailed: the cell completed with a deterministic failure — a
+	// violation verdict, a nonzero exit, a compile error.
+	StatusFailed
+	// StatusSkipped: the cell never ran to completion because the campaign
+	// was canceled or the memory-pressure gate shed it as a last resort.
+	StatusSkipped
+)
+
+// String names the status (the `status` field of journal entries and
+// PerfReport records).
+func (s CellStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRetried:
+		return "retried"
+	case StatusTimeout:
+		return "timeout"
+	case StatusOOM:
+		return "oom"
+	case StatusPanic:
+		return "panic"
+	case StatusFailed:
+		return "failed"
+	case StatusSkipped:
+		return "skipped"
+	}
+	return "unknown"
+}
+
+// ParseStatus is the inverse of String (journal replay). Unknown strings
+// parse as StatusFailed so a tampered journal can never smuggle in an "ok".
+func ParseStatus(s string) CellStatus {
+	for _, st := range []CellStatus{StatusOK, StatusRetried, StatusTimeout,
+		StatusOOM, StatusPanic, StatusFailed, StatusSkipped} {
+		if st.String() == s {
+			return st
+		}
+	}
+	return StatusFailed
+}
+
+// Completed reports whether the status stands for a finished computation
+// whose result is trustworthy enough to journal and replay: ok, retried,
+// and the deterministic failures (a violation verdict reproduces exactly,
+// and so does a step-budget timeout — the VM is deterministic). Transient
+// outcomes (panic, oom) and shed cells are not journaled, so a resumed
+// campaign recomputes them instead of replaying a possibly-environmental
+// failure.
+func (s CellStatus) Completed() bool {
+	switch s {
+	case StatusOK, StatusRetried, StatusFailed, StatusTimeout:
+		return true
+	}
+	return false
+}
+
+// Bad reports whether the status must fail the campaign's exit code: every
+// status except a clean or retried completion.
+func (s CellStatus) Bad() bool {
+	return s != StatusOK && s != StatusRetried
+}
+
+// Classify maps a cell execution error to its status. Panics are not
+// errors — the caller that recovered one reports StatusPanic directly.
+func Classify(err error) CellStatus {
+	if err == nil {
+		return StatusOK
+	}
+	var intr *vm.InterruptError
+	if errors.As(err, &intr) {
+		switch intr.Reason {
+		case vm.IntrDeadline:
+			return StatusTimeout
+		case vm.IntrCanceled:
+			return StatusSkipped
+		case vm.IntrChaos:
+			// A chaos kill is the supervised twin of a worker panic:
+			// transient by construction, retried the same way.
+			return StatusPanic
+		}
+	}
+	var budget *mem.BudgetError
+	if errors.As(err, &budget) {
+		return StatusOOM
+	}
+	var rte *vm.RuntimeError
+	if errors.As(err, &rte) && strings.Contains(rte.Msg, "step limit exceeded") {
+		return StatusTimeout
+	}
+	return StatusFailed
+}
+
+// Attempt is one entry of a cell's per-attempt history, recorded in the
+// PerfReport and the checkpoint journal so retried cells are auditable.
+type Attempt struct {
+	// Status is the attempt's CellStatus string ("panic", "timeout", ...).
+	Status string `json:"status"`
+	// Detail carries the attempt's error text, if any.
+	Detail string `json:"detail,omitempty"`
+	// WallMS is the attempt's wall-clock duration.
+	WallMS float64 `json:"wall_ms"`
+	// BackoffMS is the backoff slept after this attempt before the next
+	// one (0 on the final attempt).
+	BackoffMS float64 `json:"backoff_ms,omitempty"`
+}
+
+// Transient reports whether a failed attempt with this status is worth
+// retrying: panics (including chaos kills) may be environmental, and an OOM
+// under host memory pressure can succeed once the gate has shed
+// parallelism. Timeouts and deterministic failures reproduce exactly on the
+// deterministic VM, so retrying them only burns wall clock.
+func (s CellStatus) Transient() bool {
+	return s == StatusPanic || s == StatusOOM
+}

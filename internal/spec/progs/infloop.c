@@ -1,0 +1,25 @@
+/* Watchdog fixture: spins forever mutating a small buffer, so every
+ * instruction is real work the optimizer cannot delete. Not part of the
+ * campaign benchmark list — it exists to prove that the supervision layer's
+ * cooperative interrupt stops a hung cell within a bounded number of
+ * instructions on both engines. */
+
+#include <stdio.h>
+
+#define N 16
+
+int buf[N];
+
+int main(void) {
+    int i = 0;
+    int spin = 1;
+    while (spin) {
+        buf[i % N] = buf[(i + 1) % N] + i;
+        i = i + 1;
+        if (i < 0) {
+            spin = 0;
+        }
+    }
+    printf("unreachable %d\n", buf[0]);
+    return 0;
+}

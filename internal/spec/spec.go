@@ -101,6 +101,11 @@ func ByName(name string) *Benchmark {
 	return nil
 }
 
+// InfLoop is a non-terminating fixture for the supervision layer's watchdog
+// tests: it spins forever, so only a step budget or a raised interrupt flag
+// ends it. Deliberately not in the campaign benchmark list (All/ByName).
+var InfLoop = &Benchmark{Name: "infloop", Suite: "fixture", Files: []string{"infloop.c"}}
+
 var benchmarks = []*Benchmark{
 	{Name: "164gzip", Suite: "cpu2000", Files: []string{"gzip_main.c", "gzip_tables.c"}},
 	{Name: "177mesa", Suite: "cpu2000", Files: []string{"mesa.c"},

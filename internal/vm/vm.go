@@ -74,6 +74,12 @@ type Options struct {
 	Stdout io.Writer
 	// MaxSteps aborts runaway programs (0 means the default of 2^34).
 	MaxSteps uint64
+	// Interrupt, when non-nil, is polled on the step-count path (every
+	// interruptStride instructions): a raised flag stops the run with an
+	// InterruptError. Supervisors use it for wall-clock deadlines,
+	// campaign cancellation, and chaos-mode kills. Nil costs one counter
+	// decrement and branch per dispatch.
+	Interrupt *InterruptFlag
 	// MemBudget, when nonzero, caps the bytes of address space the program
 	// may materialize; exceeding it fails the run with a mem.BudgetError
 	// instead of exhausting the host.
@@ -249,6 +255,10 @@ type VM struct {
 	rng      uint64
 	steps    uint64
 	maxSteps uint64
+	// intrCountdown schedules the next InterruptFlag poll: it counts down
+	// once per executed instruction and triggers a poll at zero, so a
+	// raised flag is observed within interruptStride instructions.
+	intrCountdown uint64
 	// frames is the active interpreter frame stack, innermost last; it
 	// exists purely to produce IR-level backtraces.
 	frames []*frame
@@ -278,6 +288,7 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	if v.maxSteps == 0 {
 		v.maxSteps = 1 << 34
 	}
+	v.intrCountdown = InterruptStride
 	if opts.SiteProfile {
 		// The VM is created after instrumentation, so the module already
 		// carries its SiteIDs; size the profile to the largest one.
