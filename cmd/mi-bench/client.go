@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// clientOptions configures mi-bench's -server mode: the campaign is
+// submitted to a running mi-serve instead of executing locally, results
+// stream back as cells land, and the merged report is rendered (and written
+// to -json) exactly as a local run would have produced it.
+type clientOptions struct {
+	URL      string // mi-serve base URL
+	Record   string // traffic-log path (-record)
+	Engine   string
+	Fig9     bool     // -fig9: the standard baseline/softbound/lowfat matrix
+	Configs  []string // explicit config names (-configs)
+	Benches  []string // benchmark subset (-benches, empty = all)
+	SiteProf bool
+	JSONOut  string
+	Progress bool
+}
+
+// runClient executes one campaign against a remote server and returns the
+// process exit code.
+func runClient(opts clientOptions) int {
+	configs := opts.Configs
+	if opts.Fig9 {
+		configs = []string{"baseline", "softbound", "lowfat"}
+	}
+	if len(configs) == 0 {
+		fmt.Fprintf(os.Stderr, "mi-bench: -server needs a campaign: -fig9 or -configs (known: %s)\n",
+			strings.Join(harness.ConfigNames(), ","))
+		return 2
+	}
+	hasBaseline := false
+	for _, c := range configs {
+		if c == "baseline" {
+			hasBaseline = true
+		}
+	}
+	if !hasBaseline {
+		// Overheads are normalized to the -O3 baseline; a matrix without it
+		// could not be rendered (and would not match a local figure run).
+		configs = append([]string{"baseline"}, configs...)
+	}
+
+	req := server.CampaignRequest{
+		Benches:     opts.Benches,
+		Configs:     configs,
+		Engine:      opts.Engine,
+		SiteProfile: opts.SiteProf,
+	}
+	cl := &server.Client{BaseURL: opts.URL}
+	if opts.Record != "" {
+		rec, err := server.NewRecorder(opts.Record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: record: %v\n", err)
+			return 2
+		}
+		defer rec.Close()
+		cl.Recorder = rec
+	}
+
+	onCell := func(ev server.Event) {
+		if !opts.Progress {
+			return
+		}
+		switch {
+		case ev.Err != "":
+			fmt.Fprintf(os.Stderr, "[%s] FAILED: %s\n", ev.Key, ev.Err)
+		case ev.Rec != nil:
+			from := "computed"
+			if ev.Cached {
+				from = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "[%s/%s] %s (%s): cost=%d checks=%d\n",
+				ev.Rec.Bench, ev.Rec.Config, ev.Rec.Status, from, ev.Rec.Cost, ev.Rec.Checks)
+		}
+	}
+	rep, err := cl.Submit(req, onCell)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-bench: server campaign: %v\n", err)
+		return 1
+	}
+
+	title := fmt.Sprintf("Server campaign via %s (engine=%s)", opts.URL, rep.Report.Engine)
+	if opts.Fig9 {
+		title = "Figure 9 (served): Execution Time Comparison (normalized to -O3 baseline)"
+	}
+	fig := harness.FigureFromReport(rep.Report, title, configs)
+	fmt.Println(fig.Render())
+	fmt.Fprintf(os.Stderr, "mi-bench: server: %d cell(s): %d computed, %d served from cache, %d failed\n",
+		rep.Cells, rep.Computed, rep.Served, rep.Failed)
+
+	if opts.JSONOut != "" {
+		if err := rep.Report.WriteFile(opts.JSONOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: json: %v\n", err)
+			return 1
+		}
+	}
+	if rep.Failed > 0 || len(fig.Failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// splitList parses a comma-separated flag value ("" = nil).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -39,6 +39,13 @@
 // annotated in place, all failures are summarized at the end, and the exit
 // status is nonzero when anything failed — including any cell whose final
 // status is not ok/retried.
+//
+// Server mode: -server URL submits the campaign to a running mi-serve
+// instead of executing locally (-fig9 for the standard matrix, or -configs
+// name,name,... with optional -benches), streams per-cell results, and
+// renders the merged report exactly as a local run would. -record FILE
+// appends each submitted request to a traffic log replayable with
+// mi-serve -replay.
 package main
 
 import (
@@ -58,6 +65,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
+	"repro/internal/version"
 )
 
 func main() {
@@ -106,13 +114,38 @@ func main() {
 		resumeFrom = flag.String("resume", "", "replay completed cells from this checkpoint journal; implies -journal FILE unless set")
 		chaos      = flag.Bool("chaos", false, "chaos mode: kill cells mid-run, inject scheduling delays, corrupt journal entries (self-test of the supervision layer)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the chaos injection schedule")
+
+		serverURL  = flag.String("server", "", "submit the campaign to a running mi-serve at this base URL instead of executing locally")
+		record     = flag.String("record", "", "append submitted -server requests to this traffic log (JSONL, replayable with mi-serve -replay)")
+		configList = flag.String("configs", "", "server mode: comma-separated named configs for the campaign matrix (see mi-serve; -fig9 is shorthand for baseline,softbound,lowfat)")
+		benchList  = flag.String("benches", "", "server mode: comma-separated benchmark subset (empty = all)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("mi-bench %s\n", version.String())
+		return
+	}
 
 	engine, err := bytecode.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mi-bench: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *serverURL != "" {
+		os.Exit(runClient(clientOptions{
+			URL:      *serverURL,
+			Record:   *record,
+			Engine:   engine.String(),
+			Fig9:     *fig9,
+			Configs:  splitList(*configList),
+			Benches:  splitList(*benchList),
+			SiteProf: *siteProf,
+			JSONOut:  *jsonOut,
+			Progress: *progress,
+		}))
 	}
 
 	if *checkOptJSON != "" || *checkOptMD != "" {

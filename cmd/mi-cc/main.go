@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/opt"
+	"repro/internal/version"
 	"repro/internal/vm"
 )
 
@@ -50,8 +51,14 @@ func main() {
 		emitIR     = flag.Bool("emit-ir", false, "print final IR instead of executing")
 		stats      = flag.Bool("stats", false, "print statistics")
 		forensics  = flag.Bool("mi-forensics", false, "violation forensics: on a violation, print a full diagnostic report to stderr")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("mi-cc %s\n", version.String())
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "mi-cc: no input files")
 		os.Exit(2)

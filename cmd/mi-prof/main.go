@@ -24,6 +24,12 @@
 // resumed campaign reproduced the uninterrupted campaign's results exactly:
 //
 //	mi-prof -diff full.json resumed.json
+//
+// With -overheads, the input perf report (e.g. one saved by
+// mi-bench -server ... -json) is re-rendered as the normalized overhead
+// figure — the server-side analogue of running the figure locally:
+//
+//	mi-prof -overheads served.json
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/telemetry"
+	"repro/internal/version"
 )
 
 func main() {
@@ -41,15 +48,22 @@ func main() {
 		topN   = flag.Int("top", 10, "sites per (benchmark, config) cell (0 = all)")
 		bench  = flag.String("bench", "", "restrict to one benchmark")
 		config = flag.String("config", "", "restrict to one configuration label")
-		report   = flag.Bool("report", false, "treat the input as a violation-report JSON and render it as text")
-		diff     = flag.Bool("diff", false, "compare two perf reports in canonical form (wall times zeroed); exit 1 on any difference")
-		noStatus = flag.Bool("ignore-status", false, "with -diff, also ignore cell status and attempt history (compare measurements only: chaos run vs clean run)")
+		report    = flag.Bool("report", false, "treat the input as a violation-report JSON and render it as text")
+		diff      = flag.Bool("diff", false, "compare two perf reports in canonical form (wall times zeroed); exit 1 on any difference")
+		noStatus  = flag.Bool("ignore-status", false, "with -diff, also ignore cell status and attempt history (compare measurements only: chaos run vs clean run)")
+		overheads = flag.Bool("overheads", false, "render the perf report as a normalized overhead figure (for reports saved from mi-bench -server campaigns)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mi-prof [flags] perf.json\n       mi-prof -report violation.json\n       mi-prof -diff a.json b.json\n")
+		fmt.Fprintf(os.Stderr, "usage: mi-prof [flags] perf.json\n       mi-prof -report violation.json\n       mi-prof -overheads perf.json\n       mi-prof -diff a.json b.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("mi-prof %s\n", version.String())
+		return
+	}
 	if *diff {
 		if flag.NArg() != 2 {
 			flag.Usage()
@@ -87,6 +101,19 @@ func main() {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		fmt.Fprintf(os.Stderr, "mi-prof: parsing %s: %v\n", flag.Arg(0), err)
 		os.Exit(1)
+	}
+
+	if *overheads {
+		title := fmt.Sprintf("Overheads from %s (engine=%s)", flag.Arg(0), rep.Engine)
+		fig := harness.FigureFromReport(&rep, title, nil)
+		fmt.Println(fig.Render())
+		if len(fig.Failures) > 0 {
+			for _, f := range fig.Failures {
+				fmt.Fprintf(os.Stderr, "mi-prof: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *bench != "" || *config != "" {

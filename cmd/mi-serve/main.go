@@ -1,0 +1,192 @@
+// Command mi-serve runs the campaign server: a long-running HTTP/JSON
+// service that accepts campaign requests (benchmark set x config matrix x
+// engine), deduplicates identical cells across concurrent requests via the
+// content-addressed result cache, executes them on a worker pool, and
+// streams per-cell results as they land followed by a merged PerfReport.
+//
+// Usage:
+//
+//	mi-serve -addr :8077                      # serve
+//	mi-serve -addr :8077 -journal cells.jsonl # checkpoint completed cells
+//	mi-serve -warm cells.jsonl                # warm the cache from a journal
+//	mi-serve -replay traffic.jsonl -replay-clients 4
+//
+// Endpoints:
+//
+//	POST /campaign  {"benches":[...],"configs":["baseline","softbound"],"engine":"bytecode"}
+//	                streams NDJSON cell events (SSE with Accept: text/event-stream),
+//	                final event carries the merged PerfReport
+//	GET  /healthz   200 ok / 503 draining
+//	GET  /statsz    cache hit rate, queue depth, per-status cell counts,
+//	                worker utilization
+//
+// Submit campaigns with mi-bench -server URL (which can also -record the
+// traffic), and render saved server reports with mi-prof.
+//
+// On SIGINT/SIGTERM the server drains gracefully: new campaigns are rejected
+// with 503 (so load balancers fail over), in-flight requests run to
+// completion, then the journal is flushed and the process exits. A second
+// signal cancels in-flight cells cooperatively and exits immediately.
+//
+// With -replay, mi-serve instead re-serves a recorded traffic log (written
+// by mi-bench -record) against a fresh in-process server for load testing,
+// then prints throughput, cache and latency statistics.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8077", "listen address")
+		workers  = flag.Int("workers", 0, "cell worker-pool width (0 = GOMAXPROCS)")
+		queueCap = flag.Int("queue-cap", 0, "scheduler queue bound; a full queue backpressures requests (0 = workers*64)")
+		journal  = flag.String("journal", "", "checkpoint completed cells to this journal (JSONL, shared format with mi-bench -journal)")
+		warm     = flag.String("warm", "", "warm the result cache from this checkpoint journal at startup")
+		deadline = flag.Duration("deadline", 0, "per-cell wall-clock deadline (0 = none)")
+		retries  = flag.Int("retries", 0, "max attempts per cell for transient failures (0 = 1)")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
+
+		replay        = flag.String("replay", "", "replay mode: re-serve this recorded traffic log against a fresh in-process server, print load-test stats and exit")
+		replayClients = flag.Int("replay-clients", 1, "concurrent replay clients (each replays the full log)")
+		replayRounds  = flag.Int("replay-rounds", 1, "times each client replays the log (rounds beyond the first measure cache-hit throughput)")
+		replayTiming  = flag.Bool("replay-timing", false, "honor the recorded inter-arrival gaps instead of replaying as fast as possible")
+		replayJSON    = flag.String("replay-json", "", "write the replay stats to this JSON file")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Printf("mi-serve %s\n", version.String())
+		return
+	}
+
+	cfg := server.Config{
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		JournalPath: *journal,
+		WarmPath:    *warm,
+		Policy:      resilience.Policy{Deadline: *deadline, MaxAttempts: *retries},
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(cfg, *replay, *replayClients, *replayRounds, *replayTiming, *replayJSON, *quiet))
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-serve: %v\n", err)
+		os.Exit(2)
+	}
+	if *warm != "" {
+		fmt.Fprintf(os.Stderr, "mi-serve: warmed %d cell(s) from %s\n", s.Warmed(), *warm)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// First signal: drain — reject new campaigns (503, /healthz unhealthy),
+	// let in-flight requests finish, flush the journal. Second signal:
+	// cancel in-flight cells cooperatively and exit now.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "mi-serve: %v: draining (in-flight requests finish; new campaigns get 503)\n", sig)
+		s.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		go func() {
+			<-sigs
+			fmt.Fprintln(os.Stderr, "mi-serve: second signal, canceling in-flight cells")
+			s.Runner().Supervisor().Cancel()
+			cancel()
+		}()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mi-serve: shutdown: %v\n", err)
+		}
+		close(shutdownDone)
+	}()
+
+	fmt.Fprintf(os.Stderr, "mi-serve: listening on %s (workers=%d)\n", *addr, s.Snapshot().Scheduler.Workers)
+	err = hs.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "mi-serve: %v\n", err)
+		_ = s.Close()
+		os.Exit(1)
+	}
+	// ListenAndServe returns the moment Shutdown *begins*; in-flight
+	// requests are still streaming. Wait for Shutdown to finish before
+	// stopping the scheduler, or their remaining cells would be rejected.
+	<-shutdownDone
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mi-serve: close: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mi-serve: drained cleanly")
+}
+
+// runReplay loads a traffic log and re-serves it for load testing.
+func runReplay(cfg server.Config, path string, clients, rounds int, timing bool, jsonOut string, quiet bool) int {
+	log, err := server.LoadTraffic(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-serve: replay: %v\n", err)
+		return 2
+	}
+	if len(log) == 0 {
+		fmt.Fprintf(os.Stderr, "mi-serve: replay: %s holds no requests\n", path)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "mi-serve: replaying %d request(s) x %d client(s) x %d round(s)\n",
+		len(log), clients, rounds)
+	opts := server.ReplayOptions{
+		Log:     log,
+		Server:  cfg,
+		Clients: clients,
+		Rounds:  rounds,
+		Timing:  timing,
+	}
+	if !quiet {
+		opts.Progress = os.Stderr
+	}
+	// The replay server's own per-cell log lines would drown the load
+	// generator's; keep the server quiet and report per-request.
+	opts.Server.Log = nil
+	st, err := server.RunReplay(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mi-serve: replay: %v\n", err)
+		return 1
+	}
+	fmt.Print(st.Render())
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-serve: replay-json: %v\n", err)
+			return 1
+		}
+	}
+	if st.Failed > 0 {
+		return 1
+	}
+	return 0
+}

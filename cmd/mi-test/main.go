@@ -21,12 +21,18 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/functest"
 	"repro/internal/spec"
+	"repro/internal/version"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print every case")
 	engineName := flag.String("engine", "bytecode", "execution engine: tree (reference interpreter) or bytecode")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("mi-test %s\n", version.String())
+		return
+	}
 
 	engine, err := bytecode.ParseEngine(*engineName)
 	if err != nil {

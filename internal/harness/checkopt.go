@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -152,10 +153,20 @@ func RenderCheckOpt(rep *CheckOptReport) string {
 			domR = append(domR, 1-row.DomPct/100)
 			hoistR = append(hoistR, 1-row.HoistPct/100)
 		}
-		fmt.Fprintf(&sb, "  geomean reduction: dom %.1f%%, hoist (over dom) %.1f%%\n",
-			100*(1-GeoMean(domR)), 100*(1-GeoMean(hoistR)))
+		fmt.Fprintf(&sb, "  geomean reduction: dom %s, hoist (over dom) %s\n",
+			geoReductionPct(domR), geoReductionPct(hoistR))
 	}
 	return sb.String()
+}
+
+// geoReductionPct renders 100*(1-GeoMean(ratios)) as a percentage, or "n/a"
+// when every row failed and the geomean is undefined (NaN).
+func geoReductionPct(ratios []float64) string {
+	gm := GeoMean(ratios)
+	if math.IsNaN(gm) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*(1-gm))
 }
 
 func firstErr(row CheckOptRow) string {
@@ -206,8 +217,8 @@ func RenderCheckOptMarkdown(rep *CheckOptReport) string {
 			domR = append(domR, 1-row.DomPct/100)
 			hoistR = append(hoistR, 1-row.HoistPct/100)
 		}
-		fmt.Fprintf(&sb, "| **geomean reduction** | | | | | **%.1f%%** | **%.1f%%** | |\n",
-			100*(1-GeoMean(domR)), 100*(1-GeoMean(hoistR)))
+		fmt.Fprintf(&sb, "| **geomean reduction** | | | | | **%s** | **%s** | |\n",
+			geoReductionPct(domR), geoReductionPct(hoistR))
 	}
 	return sb.String()
 }

@@ -120,6 +120,83 @@ func (r *Runner) overheadMatrix(configs []RunConfig) (*Figure, error) {
 	return fig, nil
 }
 
+// FigureFromReport reconstructs an overhead figure from a merged PerfReport
+// — e.g. one returned by mi-serve — without re-executing anything: the
+// overhead of a config on a bench is cost(config)/cost(baseline), the same
+// normalization the live figures use. configs selects and orders the series
+// (empty = every non-baseline config in the report, sorted). Cells missing
+// from the report, failed cells, and benches without a clean baseline render
+// as failures.
+func FigureFromReport(rep *PerfReport, title string, configs []string) *Figure {
+	type cellv struct {
+		cost uint64
+		err  string
+	}
+	cells := make(map[string]map[string]cellv) // bench -> config -> cell
+	benchSet := make(map[string]bool)
+	cfgSet := make(map[string]bool)
+	for _, rec := range rep.Records {
+		if cells[rec.Bench] == nil {
+			cells[rec.Bench] = make(map[string]cellv)
+		}
+		cells[rec.Bench][rec.Config] = cellv{cost: rec.Cost, err: rec.Err}
+		benchSet[rec.Bench] = true
+		if rec.Config != "baseline" {
+			cfgSet[rec.Config] = true
+		}
+	}
+	if len(configs) == 0 {
+		for c := range cfgSet {
+			configs = append(configs, c)
+		}
+		sort.Strings(configs)
+	}
+	fig := &Figure{Title: title}
+	for b := range benchSet {
+		fig.Benchmarks = append(fig.Benchmarks, b)
+	}
+	sort.Strings(fig.Benchmarks)
+	for _, c := range configs {
+		if c == "baseline" {
+			continue
+		}
+		fig.Series = append(fig.Series, Series{Label: c, Values: make([]float64, len(fig.Benchmarks))})
+	}
+	fail := func(bench, cfg, cause string) {
+		fig.Failures = append(fig.Failures, fmt.Sprintf("%s/%s: %s", bench, cfg, cause))
+	}
+	for bi, bench := range fig.Benchmarks {
+		base, ok := cells[bench]["baseline"]
+		baseBad := ""
+		switch {
+		case !ok:
+			baseBad = "baseline cell missing from report"
+		case base.err != "":
+			baseBad = "baseline failed: " + base.err
+		case base.cost == 0:
+			baseBad = "baseline has zero cost; overhead undefined"
+		}
+		for si, s := range fig.Series {
+			cell, ok := cells[bench][s.Label]
+			switch {
+			case baseBad != "":
+				fig.Series[si].Values[bi] = math.NaN()
+				fail(bench, s.Label, baseBad)
+			case !ok:
+				fig.Series[si].Values[bi] = math.NaN()
+				fail(bench, s.Label, "cell missing from report")
+			case cell.err != "":
+				fig.Series[si].Values[bi] = math.NaN()
+				fail(bench, s.Label, cell.err)
+			default:
+				fig.Series[si].Values[bi] = float64(cell.cost) / float64(base.cost)
+			}
+		}
+	}
+	sort.Strings(fig.Failures)
+	return fig
+}
+
 // Figure9 reproduces the headline runtime comparison: SoftBound vs Low-Fat
 // Pointers, both fully optimized, instrumented at VectorizerStart,
 // normalized to -O3 (paper: geomeans 1.74x and 1.77x).

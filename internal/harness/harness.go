@@ -148,6 +148,10 @@ type Runner struct {
 	resumed map[string]*CellRecord
 	// chaos injects operational faults into cell execution (chaos mode).
 	chaos faultinject.ChaosPlan
+	// hits/misses count result-cache outcomes: a miss executed the cell, a
+	// hit was served an already-computed (or concurrently in-flight) result.
+	// mi-serve's /statsz hit rate is built from these.
+	hits, misses uint64
 }
 
 type cacheEntry struct {
@@ -268,18 +272,30 @@ func costKey(cm *vm.CostModel) string {
 	return fmt.Sprintf("%+v", *cm)
 }
 
-// Run executes one benchmark under one configuration, caching the result.
-// The cache key spans every axis that changes the observable result: the
-// configuration, the engine, site profiling, and the cost model.
-func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
+// Axes snapshots the runner's default execution axes (as configured by
+// SetEngine, SetSiteProfile, SetForensics and SetCostModel).
+func (r *Runner) Axes() RunAxes {
 	r.mu.Lock()
-	engine := r.engine
-	prof := r.siteProfile
-	forensics := r.forensics
-	cost := r.cost
-	r.mu.Unlock()
-	key := b.Name + "|" + configKey(cfg) + "|" + engine.String() +
-		fmt.Sprintf("|prof=%t|forensics=%t|cost=%s", prof, forensics, costKey(cost))
+	defer r.mu.Unlock()
+	return RunAxes{Engine: r.engine, SiteProfile: r.siteProfile, Forensics: r.forensics, Cost: r.cost}
+}
+
+// Run executes one benchmark under one configuration and the runner's
+// default axes, caching the result.
+func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
+	res, _, err := r.RunCell(b, cfg, r.Axes())
+	return res, err
+}
+
+// RunCell executes one cell under explicit axes, caching the result under
+// its CacheKey and reporting whether it was served from cache. The cache is
+// singleflight: concurrent calls with the same key compute the cell exactly
+// once (the others count as hits and receive the same result). Explicit axes
+// make RunCell safe for callers that need different engines concurrently —
+// the campaign server passes each request's axes rather than mutating
+// runner state.
+func (r *Runner) RunCell(b *spec.Benchmark, cfg RunConfig, ax RunAxes) (*Result, bool, error) {
+	key := ax.Key(b.Name, cfg).String()
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
@@ -287,8 +303,28 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = r.supervise(b, cfg, engine, prof, forensics, cost, key) })
-	return e.res, e.err
+	executed := false
+	e.once.Do(func() {
+		executed = true
+		e.res, e.err = r.supervise(b, cfg, ax.Engine, ax.SiteProfile, ax.Forensics, ax.Cost, key)
+	})
+	r.mu.Lock()
+	if executed {
+		r.misses++
+	} else {
+		r.hits++
+	}
+	r.mu.Unlock()
+	return e.res, !executed, e.err
+}
+
+// CacheStats reports result-cache outcomes since the runner was created:
+// misses executed their cell, hits were served a cached (or concurrently
+// in-flight) result.
+func (r *Runner) CacheStats() (hits, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
 }
 
 // panicError marks a recovered worker panic so the supervisor can classify
@@ -458,6 +494,11 @@ func (r *Runner) Overhead(b *spec.Benchmark, cfg RunConfig) (float64, *Result, e
 // GeoMean returns the geometric mean of the values (the paper reports mean
 // slowdowns as geometric means over the benchmarks). NaN values — failed
 // cells in a partial figure — are skipped rather than poisoning the mean.
+// With no usable values at all the mean is undefined and GeoMean returns
+// NaN; callers must render that as missing (Figure.Render prints "fail",
+// RenderCheckOpt "n/a") instead of a fabricated number. Returning 0 here —
+// the old behaviour — read as "zero overhead", the most misleading possible
+// value for an all-failed figure.
 func GeoMean(vals []float64) float64 {
 	sum, n := 0.0, 0
 	for _, v := range vals {
@@ -468,7 +509,7 @@ func GeoMean(vals []float64) float64 {
 		n++
 	}
 	if n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return math.Exp(sum / float64(n))
 }

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// TestCacheKeyStability pins the CacheKey string form field by field. The
+// key is the shared content address of a cell across the CLI's in-process
+// cache, the checkpoint journal on disk, and the campaign server's dedup
+// map: silently changing its format would orphan every existing journal
+// (cells recompute instead of replaying) and break server/CLI report
+// equality. Any intentional format change must update these goldens AND bump
+// the journal version.
+func TestCacheKeyStability(t *testing.T) {
+	base := CacheKey{
+		Bench:  "164gzip",
+		Config: BaselineConfig(),
+		Engine: bytecode.EngineBytecode,
+	}
+	cases := []struct {
+		name string
+		key  CacheKey
+		want string
+	}{
+		{
+			"baseline",
+			base,
+			"164gzip|i=false|m=0|mode=0|dom=false|hoist=false|szw=false|i2pw=false|c2w=false|ep=0|O=3|bytecode|prof=false|forensics=false|cost=default",
+		},
+		{
+			"softbound paper config",
+			CacheKey{Bench: "179art", Config: PaperConfig(core.MechSoftBound), Engine: bytecode.EngineBytecode},
+			"179art|i=true|m=0|mode=0|dom=true|hoist=false|szw=true|i2pw=true|c2w=false|ep=2|O=3|bytecode|prof=false|forensics=false|cost=default",
+		},
+		{
+			"lowfat with hoisting on the tree engine",
+			CacheKey{Bench: "179art", Config: HoistConfig(core.MechLowFat), Engine: bytecode.EngineTree},
+			"179art|i=true|m=1|mode=0|dom=true|hoist=true|szw=false|i2pw=false|c2w=true|ep=2|O=3|tree|prof=false|forensics=false|cost=default",
+		},
+		{
+			"site profiling and forensics are distinct axes",
+			CacheKey{Bench: "164gzip", Config: BaselineConfig(), Engine: bytecode.EngineBytecode, SiteProfile: true, Forensics: true},
+			"164gzip|i=false|m=0|mode=0|dom=false|hoist=false|szw=false|i2pw=false|c2w=false|ep=0|O=3|bytecode|prof=true|forensics=true|cost=default",
+		},
+	}
+	for _, c := range cases {
+		if got := c.key.String(); got != c.want {
+			t.Errorf("%s:\n got  %s\n want %s", c.name, got, c.want)
+		}
+	}
+
+	// A custom cost model must change the key (its fields are part of the
+	// content address), and the Label must NOT (it is display-only: two
+	// labels naming the same configuration share one cell).
+	cm := *vm.DefaultCostModel()
+	cm.SBCheck *= 10
+	withCost := base
+	withCost.Cost = &cm
+	if withCost.String() == base.String() {
+		t.Error("cost model override did not change the key")
+	}
+	relabeled := base
+	relabeled.Config.Label = "renamed"
+	if relabeled.String() != base.String() {
+		t.Error("Label leaked into the key: identical configs under different labels would stop sharing cells")
+	}
+
+	// Every config field the instrumentation reads must be represented:
+	// flipping each one must produce a distinct key.
+	mutations := []func(*RunConfig){
+		func(c *RunConfig) { c.Instrument = !c.Instrument },
+		func(c *RunConfig) { c.Core.Mechanism = core.MechLowFat },
+		func(c *RunConfig) { c.Core.Mode = core.ModeGenInvariants },
+		func(c *RunConfig) { c.Core.OptDominance = !c.Core.OptDominance },
+		func(c *RunConfig) { c.Core.OptHoist = !c.Core.OptHoist },
+		func(c *RunConfig) { c.Core.SBSizeZeroWideUpper = !c.Core.SBSizeZeroWideUpper },
+		func(c *RunConfig) { c.Core.SBIntToPtrWideBounds = !c.Core.SBIntToPtrWideBounds },
+		func(c *RunConfig) { c.Core.LFTransformCommonToWeak = !c.Core.LFTransformCommonToWeak },
+		func(c *RunConfig) { c.EP = opt.EPScalarOptimizerLate },
+		func(c *RunConfig) { c.OptLevel = 0 },
+	}
+	seen := map[string]bool{base.String(): true}
+	for i, mut := range mutations {
+		k := base
+		k.Config = BaselineConfig()
+		mut(&k.Config)
+		s := k.String()
+		if seen[s] {
+			t.Errorf("mutation %d did not produce a distinct key: %s", i, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestConfigByName pins the name -> configuration mapping the server and the
+// mi-bench client both resolve: agreeing on these is what makes a
+// server-merged report byte-identical to a local run.
+func TestConfigByName(t *testing.T) {
+	for _, name := range ConfigNames() {
+		cfg, err := ConfigByName(name)
+		if err != nil {
+			t.Fatalf("ConfigByName(%q): %v", name, err)
+		}
+		if name != "baseline" && !cfg.Instrument {
+			t.Errorf("%q resolved to an uninstrumented config", name)
+		}
+	}
+	sb, _ := ConfigByName("softbound")
+	if want := PaperConfig(core.MechSoftBound); sb != want {
+		t.Errorf("softbound resolved to %+v, want %+v", sb, want)
+	}
+	hoist, _ := ConfigByName("lowfat+hoist")
+	if !hoist.Core.OptHoist || hoist.Core.Mechanism != core.MechLowFat {
+		t.Errorf("lowfat+hoist resolved wrong: %+v", hoist)
+	}
+	if _, err := ConfigByName("nonsense"); err == nil {
+		t.Error("unknown config name did not error")
+	}
+	if _, err := ConfigByName("nonsense"); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Error("unknown-config error should list the known names")
+	}
+}

@@ -123,8 +123,14 @@ func (r *Runner) PerfReport() *PerfReport {
 		}
 		rep.Records = append(rep.Records, perfRecord(key, res))
 	}
-	sort.Slice(rep.Records, func(i, j int) bool {
-		a, b := rep.Records[i], rep.Records[j]
+	sortRecords(rep.Records)
+	return rep
+}
+
+// sortRecords puts report records in their deterministic order.
+func sortRecords(recs []PerfRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
 		if a.Bench != b.Bench {
 			return a.Bench < b.Bench
 		}
@@ -133,16 +139,54 @@ func (r *Runner) PerfReport() *PerfReport {
 		}
 		return a.Key < b.Key
 	})
+}
+
+// RecordOf builds the report record for one completed cell; mi-serve streams
+// one per cell as it lands.
+func RecordOf(key string, res *Result) PerfRecord {
+	return perfRecord(key, res)
+}
+
+// ReportForKeys builds a PerfReport covering exactly the given cache keys —
+// the per-request merged report of a campaign server, where one shared cache
+// serves many requests and a whole-cache snapshot would leak other requests'
+// cells. Keys not in the cache (or still executing) are absent from the
+// report. Ordering and field contents match PerfReport exactly, so a
+// server-merged report diffs clean against a local mi-bench run over the
+// same cells.
+func (r *Runner) ReportForKeys(engine string, siteProfile bool, keys []string) *PerfReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &PerfReport{Engine: engine, SiteProfile: siteProfile, Records: []PerfRecord{}}
+	seen := make(map[string]bool, len(keys))
+	for _, key := range keys {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		e := r.cache[key]
+		if e == nil || e.res == nil {
+			continue
+		}
+		rep.Records = append(rep.Records, perfRecord(key, e.res))
+	}
+	sortRecords(rep.Records)
 	return rep
 }
 
-// WritePerfJSON writes the report to path as indented JSON.
-func (r *Runner) WritePerfJSON(path string) error {
-	data, err := json.MarshalIndent(r.PerfReport(), "", "  ")
+// WriteFile writes the report to path as indented JSON, in the exact format
+// mi-bench -json emits (mi-prof reads either).
+func (p *PerfReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WritePerfJSON writes the report to path as indented JSON.
+func (r *Runner) WritePerfJSON(path string) error {
+	return r.PerfReport().WriteFile(path)
 }
 
 // Canonical returns a copy of the report with every physically

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -28,6 +29,7 @@ func TestFigureRender(t *testing.T) {
 }
 
 func TestGeoMean(t *testing.T) {
+	nan := math.NaN()
 	cases := []struct {
 		vals []float64
 		want float64
@@ -35,13 +37,45 @@ func TestGeoMean(t *testing.T) {
 		{[]float64{2, 8}, 4},
 		{[]float64{1, 1, 1}, 1},
 		{[]float64{3}, 3},
-		{nil, 0},
+		// Failed cells (NaN) are skipped, not averaged in.
+		{[]float64{2, nan, 8}, 4},
+		// No usable values: the mean is undefined, never a fabricated
+		// number (0 would read as "zero overhead").
+		{nil, nan},
+		{[]float64{}, nan},
+		{[]float64{nan}, nan},
+		{[]float64{nan, nan}, nan},
 	}
 	for _, c := range cases {
 		got := GeoMean(c.vals)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("GeoMean(%v) = %f, want NaN", c.vals, got)
+			}
+			continue
+		}
 		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
 			t.Errorf("GeoMean(%v) = %f, want %f", c.vals, got, c.want)
 		}
+	}
+}
+
+// TestGeoMeanCallersSkipNaN pins the caller contract: an all-failed figure
+// renders its geomean as "fail", and an all-failed ablation table renders
+// "n/a" — neither fabricates a number from the undefined mean.
+func TestGeoMeanCallersSkipNaN(t *testing.T) {
+	nan := math.NaN()
+	fig := &Figure{
+		Title:      "t",
+		Benchmarks: []string{"a", "b"},
+		Series:     []Series{{Label: "s", Values: []float64{nan, nan}}},
+	}
+	out := fig.Render()
+	if !strings.Contains(out, "geomean") || !strings.Contains(out, "fail") {
+		t.Errorf("all-failed figure should render geomean as fail:\n%s", out)
+	}
+	if got := geoReductionPct(nil); got != "n/a" {
+		t.Errorf("geoReductionPct(nil) = %q, want n/a", got)
 	}
 }
 

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Traffic log: an append-only JSONL file of campaign requests with their
+// inter-arrival offsets, recorded by mi-bench -record and re-served by
+// mi-serve -replay for load testing. The log stores requests, not results —
+// replaying against a cold server recomputes, against a warmed one measures
+// pure cache-service throughput.
+
+// TrafficEntry is one recorded request.
+type TrafficEntry struct {
+	// AtMS is the request's offset from the start of recording, in
+	// milliseconds (replay can honor it with ReplayOptions.Timing).
+	AtMS int64 `json:"at_ms"`
+	// Req is the campaign request as submitted.
+	Req CampaignRequest `json:"req"`
+}
+
+// Recorder appends submitted requests to a traffic log.
+type Recorder struct {
+	mu    sync.Mutex
+	f     *os.File
+	start time.Time
+	n     int
+}
+
+// NewRecorder opens (creating or appending to) the traffic log at path.
+func NewRecorder(path string) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{f: f, start: time.Now()}, nil
+}
+
+// Record appends one request, stamped with its offset from the recorder's
+// start.
+func (r *Recorder) Record(req CampaignRequest) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	line, err := json.Marshal(TrafficEntry{AtMS: time.Since(r.start).Milliseconds(), Req: req})
+	if err != nil {
+		return err
+	}
+	if _, err := r.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	r.n++
+	return nil
+}
+
+// Entries reports how many requests this recorder appended.
+func (r *Recorder) Entries() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Close closes the log file.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}
+
+// LoadTraffic reads a traffic log. Unparseable lines (a torn final write)
+// are skipped, consistent with the checkpoint journal's loader.
+func LoadTraffic(path string) ([]TrafficEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []TrafficEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e TrafficEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic log: reading %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// ReplayOptions configures a replay load test.
+type ReplayOptions struct {
+	// Log is the recorded traffic to re-serve.
+	Log []TrafficEntry
+	// Server configures the in-process server under load (Workers is the
+	// scaling axis).
+	Server Config
+	// Clients is the number of concurrent load-generating clients; each
+	// replays the full log Rounds times (defaults 1 and 1). Overlapping
+	// clients submit identical requests concurrently — the dedup path under
+	// test.
+	Clients int
+	// Rounds repeats the log per client; rounds beyond the first measure
+	// cache-hit service throughput.
+	Rounds int
+	// Timing honors the recorded inter-arrival offsets instead of
+	// submitting as fast as possible.
+	Timing bool
+	// Progress, when non-nil, receives one line per completed request.
+	Progress io.Writer
+}
+
+// ReplayStats summarizes a replay run.
+type ReplayStats struct {
+	Requests int           `json:"requests"`
+	Failed   int           `json:"failed"`
+	Cells    int           `json:"cells"`
+	Computed uint64        `json:"computed"`
+	Hits     uint64        `json:"cache_hits"`
+	HitRate  float64       `json:"hit_rate"`
+	Wall     time.Duration `json:"-"`
+	WallS    float64       `json:"wall_s"`
+	// CellsPerSec is delivered cells (cached included) per second;
+	// ComputedPerSec counts only executed cells — the worker-scaling
+	// figure of merit.
+	CellsPerSec    float64 `json:"cells_per_sec"`
+	ComputedPerSec float64 `json:"computed_per_sec"`
+	// LatencyP50/P95 are per-request wall times in milliseconds.
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+}
+
+// RunReplay starts a fresh in-process server, fires the recorded traffic at
+// it over real HTTP, and reports throughput. The server listens on a
+// loopback ephemeral port, so replay exercises the full serving stack —
+// request decoding, scheduling, dedup, streaming — not just the runner.
+func RunReplay(opts ReplayOptions) (*ReplayStats, error) {
+	if len(opts.Log) == 0 {
+		return nil, fmt.Errorf("replay: empty traffic log")
+	}
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+
+	srv, err := New(opts.Server)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		_ = hs.Close()
+		_ = srv.Close()
+	}()
+
+	stats := &ReplayStats{}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := &Client{BaseURL: base}
+			for round := 0; round < rounds; round++ {
+				roundStart := time.Now()
+				for i, e := range opts.Log {
+					if opts.Timing {
+						if gap := time.Duration(e.AtMS)*time.Millisecond - time.Since(roundStart); gap > 0 {
+							time.Sleep(gap)
+						}
+					}
+					reqStart := time.Now()
+					rep, err := cl.Submit(e.Req, nil)
+					lat := time.Since(reqStart)
+					mu.Lock()
+					stats.Requests++
+					latencies = append(latencies, float64(lat.Microseconds())/1000.0)
+					if err != nil {
+						stats.Failed++
+					} else {
+						stats.Cells += rep.Cells
+					}
+					mu.Unlock()
+					if opts.Progress != nil {
+						if err != nil {
+							fmt.Fprintf(opts.Progress, "replay: client %d round %d req %d: FAILED: %v\n", ci, round, i, err)
+						} else {
+							fmt.Fprintf(opts.Progress, "replay: client %d round %d req %d: %d cells (%d computed, %d cached) in %v\n",
+								ci, round, i, rep.Cells, rep.Computed, rep.Served, lat.Round(time.Millisecond))
+						}
+					}
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	stats.WallS = stats.Wall.Seconds()
+
+	hits, misses := srv.Runner().CacheStats()
+	stats.Hits, stats.Computed = hits, misses
+	if total := hits + misses; total > 0 {
+		stats.HitRate = float64(hits) / float64(total)
+	}
+	if s := stats.Wall.Seconds(); s > 0 {
+		stats.CellsPerSec = float64(stats.Cells) / s
+		stats.ComputedPerSec = float64(stats.Computed) / s
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		stats.LatencyP50MS = latencies[n/2]
+		stats.LatencyP95MS = latencies[n*95/100]
+	}
+	return stats, nil
+}
+
+// Render formats the replay stats as a human-readable block.
+func (st *ReplayStats) Render() string {
+	return fmt.Sprintf(
+		"replay: %d request(s), %d failed\n"+
+			"cells delivered: %d (%.1f/s) | computed: %d (%.1f/s) | cache hits: %d (hit rate %.1f%%)\n"+
+			"wall: %v | request latency p50 %.1fms p95 %.1fms\n",
+		st.Requests, st.Failed,
+		st.Cells, st.CellsPerSec, st.Computed, st.ComputedPerSec, st.Hits, 100*st.HitRate,
+		st.Wall.Round(time.Millisecond), st.LatencyP50MS, st.LatencyP95MS)
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestRecordLoadRoundtrip pins the traffic-log format: recorded requests
+// load back intact, and a torn trailing line is skipped (consistent with the
+// checkpoint journal's loader) instead of failing the whole log.
+func TestRecordLoadRoundtrip(t *testing.T) {
+	path := t.TempDir() + "/traffic.jsonl"
+	rec, err := NewRecorder(path)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	reqs := []CampaignRequest{
+		{Benches: []string{"164gzip"}, Configs: []string{"baseline", "softbound"}},
+		{Configs: []string{"lowfat"}, Engine: "tree", SiteProfile: true},
+	}
+	for _, r := range reqs {
+		if err := rec.Record(r); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if rec.Entries() != len(reqs) {
+		t.Fatalf("Entries() = %d, want %d", rec.Entries(), len(reqs))
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A torn final write (half a JSON line) must not poison the log.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"at_ms":12,"req":{"conf`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	log, err := LoadTraffic(path)
+	if err != nil {
+		t.Fatalf("LoadTraffic: %v", err)
+	}
+	if len(log) != len(reqs) {
+		t.Fatalf("loaded %d entries, want %d (torn line skipped)", len(log), len(reqs))
+	}
+	if got := log[0].Req; got.Benches[0] != "164gzip" || len(got.Configs) != 2 {
+		t.Errorf("entry 0 = %+v, want %+v", got, reqs[0])
+	}
+	if got := log[1].Req; got.Engine != "tree" || !got.SiteProfile {
+		t.Errorf("entry 1 = %+v, want %+v", got, reqs[1])
+	}
+}
+
+// TestReplay drives a recorded log through a fresh in-process server with
+// overlapping clients and repeated rounds: every request must succeed, each
+// distinct cell must compute exactly once (rounds beyond the first measure
+// cache-hit throughput), and the stats must account for every delivery.
+func TestReplay(t *testing.T) {
+	log := []TrafficEntry{
+		{Req: CampaignRequest{Benches: []string{"164gzip"}, Configs: []string{"baseline", "softbound"}}},
+		{AtMS: 1, Req: CampaignRequest{Benches: []string{"179art"}, Configs: []string{"baseline", "lowfat"}}},
+	}
+	const distinctCells = 4
+	st, err := RunReplay(ReplayOptions{
+		Log:     log,
+		Server:  Config{Workers: 2},
+		Clients: 2,
+		Rounds:  2,
+	})
+	if err != nil {
+		t.Fatalf("RunReplay: %v", err)
+	}
+	wantReqs := len(log) * 2 * 2
+	if st.Requests != wantReqs || st.Failed != 0 {
+		t.Fatalf("requests=%d failed=%d, want %d/0", st.Requests, st.Failed, wantReqs)
+	}
+	if st.Computed != distinctCells {
+		t.Errorf("computed %d cells, want exactly %d (cross-round dedup)", st.Computed, distinctCells)
+	}
+	if wantCells := wantReqs * 2; st.Cells != wantCells {
+		t.Errorf("delivered %d cells, want %d", st.Cells, wantCells)
+	}
+	if st.Hits == 0 || st.HitRate <= 0 {
+		t.Errorf("hits=%d rate=%.2f, want cache hits from repeated rounds", st.Hits, st.HitRate)
+	}
+	if st.CellsPerSec <= 0 || st.WallS <= 0 || st.LatencyP95MS <= 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	if st.Render() == "" {
+		t.Error("empty Render")
+	}
+}
+
+// TestReplayThroughputScaling is the load-test acceptance gate: on a
+// distinct-cell-heavy log, computed-cell throughput must scale with the
+// worker pool. Meaningless on a single-CPU host, so it skips there; the
+// threshold is deliberately lenient (well under linear) and the comparison
+// retried once to keep CI off the flake list.
+func TestReplayThroughputScaling(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skipf("GOMAXPROCS=%d: no parallelism to measure", procs)
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	wide := procs
+	if wide > 4 {
+		wide = 4
+	}
+	// Enough distinct cells to keep `wide` workers busy: 6 benches x 3
+	// configs = 18 cells in one request.
+	log := []TrafficEntry{{Req: CampaignRequest{
+		Benches: []string{"164gzip", "179art", "181mcf", "183equake", "186crafty", "197parser"},
+		Configs: []string{"baseline", "softbound", "lowfat"},
+	}}}
+	run := func(workers int) float64 {
+		st, err := RunReplay(ReplayOptions{Log: log, Server: Config{Workers: workers}})
+		if err != nil {
+			t.Fatalf("RunReplay(workers=%d): %v", workers, err)
+		}
+		if st.Failed != 0 {
+			t.Fatalf("RunReplay(workers=%d): %d failed requests", workers, st.Failed)
+		}
+		return st.ComputedPerSec
+	}
+	const wantSpeedup = 1.25
+	for attempt := 0; ; attempt++ {
+		narrow, broad := run(1), run(wide)
+		if broad >= wantSpeedup*narrow {
+			return
+		}
+		if attempt == 1 {
+			t.Fatalf("computed-cell throughput did not scale: %d workers %.1f/s vs 1 worker %.1f/s (want >= %.2fx)",
+				wide, broad, narrow, wantSpeedup)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/harness"
+	"repro/internal/spec"
+)
+
+// The scheduler is the server's batching layer: every campaign request is
+// expanded into cells, and cells are submitted here. Identical cells from
+// overlapping requests — the common case for a fleet of users re-running the
+// standard matrix — coalesce onto one in-flight task (request batching), and
+// the worker pool drains the shared queue, so N requests for the same
+// campaign cost one campaign. Below the scheduler, the harness runner's
+// singleflight result cache guarantees the same property per key even for
+// cells that raced past the in-flight map, and serves completed cells in
+// O(1) forever after.
+
+// cell is one schedulable unit: a benchmark under a configuration and a set
+// of execution axes, content-addressed by its harness.CacheKey.
+type cell struct {
+	bench *spec.Benchmark
+	cfg   harness.RunConfig
+	axes  harness.RunAxes
+	key   string
+}
+
+// task is the scheduled execution of one cell. Multiple requests may hold
+// the same task; done is closed exactly once, after res/cached/err are set.
+type task struct {
+	cell cell
+	done chan struct{}
+	res  *harness.Result
+	// cached reports that the runner served the cell from its result cache
+	// without executing it (warm-up replays count as computed: they run
+	// through supervision, just instantly).
+	cached bool
+	err    error
+}
+
+// Scheduler owns the worker pool and the in-flight dedup map.
+type Scheduler struct {
+	runner  *harness.Runner
+	queue   chan *task
+	workers int
+
+	mu       sync.Mutex
+	inflight map[string]*task
+
+	// sendMu is held shared across queue sends and exclusively by Stop, so
+	// the queue is never closed while a Submit is mid-send. closed is read
+	// under sendMu (either mode).
+	sendMu sync.RWMutex
+	closed bool
+
+	busy      atomic.Int64
+	queued    atomic.Int64
+	scheduled atomic.Uint64
+	coalesced atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// SchedStats is the scheduler's /statsz contribution.
+type SchedStats struct {
+	// Workers is the pool size; Busy how many are executing a cell right
+	// now; Utilization is Busy/Workers.
+	Workers     int     `json:"workers"`
+	Busy        int     `json:"busy"`
+	Utilization float64 `json:"utilization"`
+	// QueueDepth is the number of submitted tasks not yet picked up.
+	QueueDepth int `json:"queue_depth"`
+	// Scheduled counts tasks enqueued; Coalesced counts submissions that
+	// attached to an already in-flight task instead of enqueueing a new one
+	// (request batching at work).
+	Scheduled uint64 `json:"scheduled"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// NewScheduler starts a worker pool of the given width over the shared
+// runner. queueCap bounds the submission queue; a full queue applies
+// backpressure to submitting requests rather than growing without bound.
+func NewScheduler(r *harness.Runner, workers, queueCap int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < workers {
+		queueCap = workers * 64
+	}
+	s := &Scheduler{
+		runner:   r,
+		queue:    make(chan *task, queueCap),
+		workers:  workers,
+		inflight: make(map[string]*task),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.queued.Add(-1)
+		s.busy.Add(1)
+		t.res, t.cached, t.err = s.runner.RunCell(t.cell.bench, t.cell.cfg, t.cell.axes)
+		s.busy.Add(-1)
+		s.mu.Lock()
+		delete(s.inflight, t.cell.key)
+		s.mu.Unlock()
+		close(t.done)
+	}
+}
+
+// Submit schedules one cell, coalescing onto an identical in-flight task if
+// one exists. The returned task's done channel closes when the cell has a
+// result. Submit blocks only when the queue is full (backpressure).
+func (s *Scheduler) Submit(c cell) (*task, error) {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed {
+		return nil, fmt.Errorf("scheduler stopped")
+	}
+	s.mu.Lock()
+	if t, ok := s.inflight[c.key]; ok {
+		s.coalesced.Add(1)
+		s.mu.Unlock()
+		return t, nil
+	}
+	t := &task{cell: c, done: make(chan struct{})}
+	s.inflight[c.key] = t
+	s.mu.Unlock()
+	s.scheduled.Add(1)
+	s.queued.Add(1)
+	s.queue <- t
+	return t, nil
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedStats {
+	busy := int(s.busy.Load())
+	return SchedStats{
+		Workers:     s.workers,
+		Busy:        busy,
+		Utilization: float64(busy) / float64(s.workers),
+		QueueDepth:  int(s.queued.Load()),
+		Scheduled:   s.scheduled.Load(),
+		Coalesced:   s.coalesced.Load(),
+	}
+}
+
+// Stop rejects further submissions, drains the queue and waits for the
+// workers to finish their in-flight cells. Idempotent.
+func (s *Scheduler) Stop() {
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.sendMu.Unlock()
+	s.wg.Wait()
+}

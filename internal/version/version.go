@@ -1,0 +1,49 @@
+// Package version reports the build identity of the CLIs: the module
+// version and the VCS revision stamped by the Go toolchain at build time.
+// Every binary answers -version with it, so a report or journal can be tied
+// back to the exact build that produced it.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the build identity: module version, VCS revision (short),
+// a "+dirty" marker for builds from a modified tree, and the toolchain.
+// Binaries built without VCS metadata (go run, test binaries) degrade to
+// whatever the build info carries.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (no build info)"
+	}
+	ver := bi.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	out := ver
+	// Go 1.24+ stamps a pseudo-version that already embeds the short
+	// revision (and "+dirty"); only append the revision when it adds
+	// information.
+	if rev != "" && !strings.Contains(ver, rev) {
+		out = fmt.Sprintf("%s %s%s", ver, rev, modified)
+	}
+	return fmt.Sprintf("%s (%s, %s/%s)", out, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
