@@ -22,8 +22,12 @@
 // (included in -json, rendered by -hotchecks or the mi-prof command),
 // -trace FILE writes a Chrome trace-event JSON of the compile/instrument/
 // optimize/execute pipeline (load it at ui.perfetto.dev), -top N bounds the
-// rendered hot-check table, and -progress streams per-cell completion lines
-// to stderr (serialized across -j workers).
+// rendered hot-check table, and -progress streams structured per-cell logs
+// to stderr (-log-level/-log-format tune them; -heartbeat periodically
+// names the oldest still-running cell so a stuck campaign identifies its
+// stuck cell). -metrics attaches a campaign metrics registry: the snapshot
+// prints after the figures and embeds in the -json report, where
+// mi-prof -metrics renders it.
 //
 // Robustness flags (long campaigns): -deadline bounds each cell's wall time
 // via a cooperative watchdog (hung cells report as "timeout" instead of
@@ -58,11 +62,13 @@ import (
 	"runtime/pprof"
 	"sort"
 	"syscall"
+	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/version"
@@ -104,7 +110,11 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the pipeline to this file")
 		hotChecks = flag.Bool("hotchecks", false, "render hot-check tables from the collected site profiles (implies -siteprofile)")
 		topN      = flag.Int("top", 10, "sites per (benchmark, config) cell in the -hotchecks table (0 = all)")
-		progress  = flag.Bool("progress", false, "stream per-cell completion lines to stderr (serialized across -j workers)")
+		progress  = flag.Bool("progress", false, "stream structured per-cell records to stderr (see -log-level/-log-format)")
+		logLevel  = flag.String("log-level", "info", "-progress log level: debug, info, warn, error (debug adds cell-start and instrumentation records)")
+		logFormat = flag.String("log-format", "text", "-progress log format: text or json")
+		heartbeat = flag.Duration("heartbeat", 10*time.Second, "with -progress, emit a still-running record for the oldest in-flight cell at this interval (0 = off)")
+		metrics   = flag.Bool("metrics", false, "collect campaign metrics (counters, latency histograms); snapshotted into -json and rendered at exit")
 
 		deadline   = flag.Duration("deadline", 0, "per-cell wall-clock deadline; a spinning cell is interrupted cooperatively and reported as timeout (0 = none)")
 		retries    = flag.Int("retries", 0, "max attempts per cell for transient failures (0 = auto: 1, or 3 under -chaos)")
@@ -173,7 +183,9 @@ func main() {
 	// os.Exit skips defers, so profile and journal teardown ride the exit
 	// path.
 	var journal *resilience.Journal
+	stopHeartbeat := func() {}
 	exit := func(code int) {
+		stopHeartbeat()
 		if err := journal.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "mi-bench: journal: %v\n", err)
 		}
@@ -208,8 +220,21 @@ func main() {
 		trace = telemetry.NewTrace()
 		r.SetTrace(trace)
 	}
+	// One trace ID per campaign: every structured log record and trace span
+	// of this run carries it.
+	r.SetTraceID(obs.NewTraceID())
 	if *progress {
-		r.SetProgress(os.Stderr)
+		lg, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-bench: %v\n", err)
+			exit(2)
+		}
+		r.SetLogger(lg)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		r.SetMetrics(reg)
 	}
 
 	attempts := *retries
@@ -268,6 +293,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mi-bench: second signal, exiting now")
 		os.Exit(130)
 	}()
+
+	// Progress heartbeat: while cells run, report the oldest in-flight one at
+	// a fixed interval, so a long campaign is visibly alive — not hung.
+	if *progress && *heartbeat > 0 {
+		start := time.Now()
+		stopHeartbeat = r.Supervisor().Heartbeat(*heartbeat, func(c resilience.ActiveCell) {
+			if lg := r.Logger(); lg != nil {
+				lg.Info("still running",
+					"key", c.Key,
+					"attempt", c.Attempt+1,
+					"elapsed", time.Since(c.Started).Round(time.Millisecond).String(),
+					"campaign_elapsed", time.Since(start).Round(time.Second).String())
+			}
+		})
+	}
 
 	var failures []string
 	note := func(what string, msg string) {
@@ -412,6 +452,11 @@ func main() {
 	}
 	if journal != nil {
 		fmt.Fprintf(os.Stderr, "mi-bench: journal: %d cell(s) appended to %s\n", journal.Entries(), journal.Path())
+	}
+	if reg != nil {
+		if snap := reg.Snapshot(); snap != nil {
+			fmt.Println(snap.Render())
+		}
 	}
 	if r.Supervisor().Canceled() {
 		note("campaign", "canceled by signal before completion")

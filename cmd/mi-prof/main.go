@@ -52,6 +52,7 @@ func main() {
 		diff      = flag.Bool("diff", false, "compare two perf reports in canonical form (wall times zeroed); exit 1 on any difference")
 		noStatus  = flag.Bool("ignore-status", false, "with -diff, also ignore cell status and attempt history (compare measurements only: chaos run vs clean run)")
 		overheads = flag.Bool("overheads", false, "render the perf report as a normalized overhead figure (for reports saved from mi-bench -server campaigns)")
+		metrics   = flag.Bool("metrics", false, "render the campaign metrics snapshot embedded in the perf report (mi-bench -metrics -json)")
 
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -101,6 +102,15 @@ func main() {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		fmt.Fprintf(os.Stderr, "mi-prof: parsing %s: %v\n", flag.Arg(0), err)
 		os.Exit(1)
+	}
+
+	if *metrics {
+		if rep.Metrics == nil {
+			fmt.Fprintf(os.Stderr, "mi-prof: %s carries no metrics snapshot (rerun mi-bench with -metrics)\n", flag.Arg(0))
+			os.Exit(1)
+		}
+		fmt.Print(rep.Metrics.Render())
+		return
 	}
 
 	if *overheads {

@@ -18,10 +18,19 @@
 //	                final event carries the merged PerfReport
 //	GET  /healthz   200 ok / 503 draining
 //	GET  /statsz    cache hit rate, queue depth, per-status cell counts,
-//	                worker utilization
+//	                worker utilization, build version, uptime
+//	GET  /metricsz  Prometheus text exposition of the campaign metrics
+//	                (cells, latencies, cache, queue, retries, watchdog)
 //
 // Submit campaigns with mi-bench -server URL (which can also -record the
 // traffic), and render saved server reports with mi-prof.
+//
+// Per-cell and per-request structured logs go to stderr (-log-level,
+// -log-format json|text, -quiet to suppress); every record carries the
+// request's trace ID, which the campaign response's final report event
+// echoes back. With -trace FILE the server writes a Chrome trace-event
+// JSON at shutdown covering every request, queue wait and cell execution,
+// viewable at ui.perfetto.dev.
 //
 // On SIGINT/SIGTERM the server drains gracefully: new campaigns are rejected
 // with 503 (so load balancers fail over), in-flight requests run to
@@ -45,21 +54,26 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/version"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8077", "listen address")
-		workers  = flag.Int("workers", 0, "cell worker-pool width (0 = GOMAXPROCS)")
-		queueCap = flag.Int("queue-cap", 0, "scheduler queue bound; a full queue backpressures requests (0 = workers*64)")
-		journal  = flag.String("journal", "", "checkpoint completed cells to this journal (JSONL, shared format with mi-bench -journal)")
-		warm     = flag.String("warm", "", "warm the result cache from this checkpoint journal at startup")
-		deadline = flag.Duration("deadline", 0, "per-cell wall-clock deadline (0 = none)")
-		retries  = flag.Int("retries", 0, "max attempts per cell for transient failures (0 = 1)")
-		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
+		addr      = flag.String("addr", ":8077", "listen address")
+		workers   = flag.Int("workers", 0, "cell worker-pool width (0 = GOMAXPROCS)")
+		queueCap  = flag.Int("queue-cap", 0, "scheduler queue bound; a full queue backpressures requests (0 = workers*64)")
+		journal   = flag.String("journal", "", "checkpoint completed cells to this journal (JSONL, shared format with mi-bench -journal)")
+		warm      = flag.String("warm", "", "warm the result cache from this checkpoint journal at startup")
+		deadline  = flag.Duration("deadline", 0, "per-cell wall-clock deadline (0 = none)")
+		retries   = flag.Int("retries", 0, "max attempts per cell for transient failures (0 = 1)")
+		quiet     = flag.Bool("quiet", false, "suppress structured per-cell/per-request logs on stderr")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of every request/queue/pipeline/execution span to this file at shutdown")
 
 		replay        = flag.String("replay", "", "replay mode: re-serve this recorded traffic log against a fresh in-process server, print load-test stats and exit")
 		replayClients = flag.Int("replay-clients", 1, "concurrent replay clients (each replays the full log)")
@@ -83,7 +97,17 @@ func main() {
 		Policy:      resilience.Policy{Deadline: *deadline, MaxAttempts: *retries},
 	}
 	if !*quiet {
-		cfg.Log = os.Stderr
+		lg, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mi-serve: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Logger = lg
+	}
+	var trace *telemetry.Trace
+	if *traceOut != "" {
+		trace = telemetry.NewTrace()
+		cfg.Trace = trace
 	}
 
 	if *replay != "" {
@@ -140,6 +164,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mi-serve: close: %v\n", err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeJSON(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mi-serve: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mi-serve: trace written to %s\n", *traceOut)
+	}
 	fmt.Fprintln(os.Stderr, "mi-serve: drained cleanly")
 }
 
@@ -168,7 +199,7 @@ func runReplay(cfg server.Config, path string, clients, rounds int, timing bool,
 	}
 	// The replay server's own per-cell log lines would drown the load
 	// generator's; keep the server quiet and report per-request.
-	opts.Server.Log = nil
+	opts.Server.Logger = nil
 	st, err := server.RunReplay(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mi-serve: replay: %v\n", err)

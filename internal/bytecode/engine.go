@@ -315,6 +315,7 @@ func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error)
 			if e.intrCountdown == 0 {
 				e.intrCountdown = vm.InterruptStride
 				if r := e.intr.Raised(); r != vm.IntrNone {
+					e.intr.MarkObserved()
 					return 0, &vm.InterruptError{Reason: r, Steps: e.steps}
 				}
 			}

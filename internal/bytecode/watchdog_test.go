@@ -98,24 +98,31 @@ func TestWatchdogNeutrality(t *testing.T) {
 		} {
 			t.Run(kind.String()+"/"+cfg.Label, func(t *testing.T) {
 				m, vopts, _ := prepare(t, b, cfg)
-				timeRun := func(withFlag bool) (runOutcome, time.Duration) {
+				timeOnce := func(withFlag bool) (runOutcome, time.Duration) {
 					o := vopts
 					if withFlag {
 						o.Interrupt = &vm.InterruptFlag{}
 					}
-					best := time.Duration(0)
-					var out runOutcome
-					for i := 0; i < 5; i++ {
-						start := time.Now()
-						out = runUnder(t, kind, m, o)
-						if d := time.Since(start); best == 0 || d < best {
-							best = d
-						}
-					}
-					return out, best
+					start := time.Now()
+					out := runUnder(t, kind, m, o)
+					return out, time.Since(start)
 				}
-				off, offT := timeRun(false)
-				on, onT := timeRun(true)
+				// Interleave the off/on trials and take each side's minimum:
+				// concurrent test binaries ramp load mid-test, and
+				// back-to-back blocks would bill that ramp to one side only.
+				var off, on runOutcome
+				var offT, onT time.Duration
+				for i := 0; i < 5; i++ {
+					var d time.Duration
+					off, d = timeOnce(false)
+					if offT == 0 || d < offT {
+						offT = d
+					}
+					on, d = timeOnce(true)
+					if onT == 0 || d < onT {
+						onT = d
+					}
+				}
 				if off.code != on.code {
 					t.Errorf("exit code changed: off=%d on=%d", off.code, on.code)
 				}

@@ -6,10 +6,9 @@
 package harness
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/resilience"
 	"repro/internal/spec"
@@ -132,11 +132,16 @@ type Runner struct {
 	cost *vm.CostModel
 	// trace, when non-nil, receives pipeline/execution spans.
 	trace *telemetry.Trace
-	// progress, when non-nil, receives one atomically-written block of log
-	// lines per completed cell (buffered per cell so concurrent -j workers
-	// never interleave). progMu serializes the flushes.
-	progress io.Writer
-	progMu   sync.Mutex
+	// log, when non-nil, receives structured per-cell records (start,
+	// instrument, completion, retry, shed, resume) with bench/config/engine/
+	// trace_id attributes on every record.
+	log *slog.Logger
+	// metrics, when non-nil, receives campaign counters, gauges and latency
+	// histograms; PerfReport snapshots it.
+	metrics *obs.Registry
+	// traceID labels this campaign's log records and spans. mi-bench mints
+	// one per campaign; the server overrides it per request via RunCtx.
+	traceID string
 	// pol configures cell supervision (deadline, retries, memory budget);
 	// sup is built lazily from it on first admission. Configure before
 	// running cells.
@@ -218,13 +223,58 @@ func (r *Runner) SetTrace(t *telemetry.Trace) {
 	r.trace = t
 }
 
-// SetProgress installs a writer that receives one block of log lines per
-// completed cell. Blocks are buffered per cell and flushed under a lock, so
-// output from concurrent workers never interleaves.
-func (r *Runner) SetProgress(w io.Writer) {
+// Trace returns the installed span recorder (nil if none; a nil Trace is a
+// valid no-op recorder).
+func (r *Runner) Trace() *telemetry.Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.progress = w
+	return r.trace
+}
+
+// Logger returns the installed structured logger (nil if none).
+func (r *Runner) Logger() *slog.Logger {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log
+}
+
+// SetLogger installs a structured logger for per-cell records (nil
+// disables). Every record carries bench, config, engine and trace_id
+// attributes; slog handlers serialize records, so concurrent -j workers
+// never interleave within one record.
+func (r *Runner) SetLogger(lg *slog.Logger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = lg
+}
+
+// SetMetrics installs a metrics registry for campaign counters and latency
+// histograms (nil disables — the default path records nothing). The registry
+// is also wired into the journal and supervisor, whenever each exists.
+func (r *Runner) SetMetrics(reg *obs.Registry) {
+	r.mu.Lock()
+	r.metrics = reg
+	j, sup := r.journal, r.sup
+	r.mu.Unlock()
+	j.SetMetrics(reg)
+	if sup != nil {
+		sup.SetMetrics(reg)
+	}
+}
+
+// Metrics returns the installed registry (nil if none).
+func (r *Runner) Metrics() *obs.Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics
+}
+
+// SetTraceID sets the campaign-wide trace ID attached to log records and
+// spans when the caller does not pass a per-request one (RunCtx).
+func (r *Runner) SetTraceID(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traceID = id
 }
 
 // SetParallelism caps concurrent benchmark cells in figure sweeps (default
@@ -287,26 +337,43 @@ func (r *Runner) Run(b *spec.Benchmark, cfg RunConfig) (*Result, error) {
 	return res, err
 }
 
-// RunCell executes one cell under explicit axes, caching the result under
+// RunCtx carries per-request observability context into a cell run: the
+// trace ID stamped on log records and spans, and the telemetry track the
+// cell's spans should land on (0 = allocate a fresh track per cell). The
+// zero value falls back to the runner's campaign-wide trace ID.
+type RunCtx struct {
+	TraceID string
+	TID     int
+}
+
+// RunCell executes one cell under explicit axes with no per-request context;
+// see RunCellCtx.
+func (r *Runner) RunCell(b *spec.Benchmark, cfg RunConfig, ax RunAxes) (*Result, bool, error) {
+	return r.RunCellCtx(b, cfg, ax, RunCtx{})
+}
+
+// RunCellCtx executes one cell under explicit axes, caching the result under
 // its CacheKey and reporting whether it was served from cache. The cache is
 // singleflight: concurrent calls with the same key compute the cell exactly
 // once (the others count as hits and receive the same result). Explicit axes
-// make RunCell safe for callers that need different engines concurrently —
+// make RunCellCtx safe for callers that need different engines concurrently —
 // the campaign server passes each request's axes rather than mutating
 // runner state.
-func (r *Runner) RunCell(b *spec.Benchmark, cfg RunConfig, ax RunAxes) (*Result, bool, error) {
+func (r *Runner) RunCellCtx(b *spec.Benchmark, cfg RunConfig, ax RunAxes, rc RunCtx) (*Result, bool, error) {
 	key := ax.Key(b.Name, cfg).String()
 	r.mu.Lock()
+	reg := r.metrics
 	e, ok := r.cache[key]
 	if !ok {
 		e = &cacheEntry{}
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
+	reg.Counter("mi_cache_lookups_total", "Result-cache lookups (hits + misses).").Inc()
 	executed := false
 	e.once.Do(func() {
 		executed = true
-		e.res, e.err = r.supervise(b, cfg, ax.Engine, ax.SiteProfile, ax.Forensics, ax.Cost, key)
+		e.res, e.err = r.supervise(b, cfg, ax.Engine, ax.SiteProfile, ax.Forensics, ax.Cost, key, rc)
 	})
 	r.mu.Lock()
 	if executed {
@@ -315,6 +382,11 @@ func (r *Runner) RunCell(b *spec.Benchmark, cfg RunConfig, ax RunAxes) (*Result,
 		r.hits++
 	}
 	r.mu.Unlock()
+	if executed {
+		reg.Counter("mi_cache_misses_total", "Result-cache misses (the lookup executed its cell).").Inc()
+	} else {
+		reg.Counter("mi_cache_hits_total", "Result-cache hits (served an already-computed or in-flight result).").Inc()
+	}
 	return e.res, !executed, e.err
 }
 
@@ -336,7 +408,7 @@ func (e *panicError) Error() string { return e.msg }
 // runAttempt executes one supervised attempt at a cell: a fresh module
 // clone through the pipeline, instrumentation and VM, with the attempt's
 // interrupt flag wired into the engines' step-count poll.
-func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof, forensics bool, cost *vm.CostModel, key string, flag *vm.InterruptFlag, attempt int) (res *Result, err error) {
+func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof, forensics bool, cost *vm.CostModel, key string, flag *vm.InterruptFlag, attempt int, rc RunCtx) (res *Result, err error) {
 	// A panic anywhere in the pipeline, instrumentation or VM must not take
 	// down the whole campaign: it becomes this run's failure.
 	defer func() {
@@ -350,29 +422,11 @@ func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.En
 	}()
 	r.mu.Lock()
 	tr := r.trace
-	progress := r.progress
 	r.mu.Unlock()
+	lg := r.cellLogger(b.Name, cfg.Label, engine, rc)
 
-	// Per-cell log buffer: concurrent workers build their lines here and
-	// flush the whole block at once, so -j output never interleaves.
-	var logBuf bytes.Buffer
-	logf := func(format string, args ...any) {
-		if progress != nil {
-			fmt.Fprintf(&logBuf, format+"\n", args...)
-		}
-	}
-	defer func() {
-		if progress == nil || logBuf.Len() == 0 {
-			return
-		}
-		r.progMu.Lock()
-		_, _ = progress.Write(logBuf.Bytes())
-		r.progMu.Unlock()
-	}()
-	if attempt > 0 {
-		logf("[%s/%s] start engine=%s attempt=%d", b.Name, cfg.Label, engine, attempt+1)
-	} else {
-		logf("[%s/%s] start engine=%s", b.Name, cfg.Label, engine)
+	if lg != nil {
+		lg.Debug("cell start", "attempt", attempt+1)
 	}
 
 	m, err := r.module(b)
@@ -381,8 +435,10 @@ func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.En
 	}
 	res = &Result{Bench: b.Name, Config: cfg}
 
-	tid := 0
-	if tr.Enabled() {
+	// The server hands each cell the track it already opened (with the queue
+	// wait on it); local runs open one track per cell.
+	tid := rc.TID
+	if tid == 0 && tr.Enabled() {
 		tid = tr.Track(b.Name + "/" + cfg.Label)
 	}
 
@@ -402,8 +458,13 @@ func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.En
 			sp.Arg("sites", s.Sites.Len())
 			sp.End()
 			res.InstrStats = s
-			logf("[%s/%s] instrumented: %d checks placed, %d eliminated, %d hoisted, %d sites",
-				b.Name, cfg.Label, s.ChecksPlaced, s.Opt.ChecksEliminated, s.Opt.ChecksHoisted, s.Sites.Len())
+			if lg != nil {
+				lg.Debug("cell instrumented",
+					"checks_placed", s.ChecksPlaced,
+					"checks_eliminated", s.Opt.ChecksEliminated,
+					"checks_hoisted", s.Opt.ChecksHoisted,
+					"sites", s.Sites.Len())
+			}
 		}
 	}
 	popts := opt.PipelineOptions{Level: cfg.OptLevel, Stats: &res.PipeStats, Trace: tr, TraceTID: tid}
@@ -433,6 +494,12 @@ func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.En
 		return nil, err
 	}
 	sp := tr.Begin("execute:"+engine.String(), tid)
+	if id := r.effectiveTraceID(rc); id != "" {
+		sp.Arg("trace_id", id)
+	}
+	if attempt > 0 {
+		sp.Arg("attempt", attempt+1)
+	}
 	start := time.Now()
 	code, rerr := bytecode.RunOn(engine, machine, key)
 	res.Wall = time.Since(start)
@@ -453,13 +520,39 @@ func (r *Runner) runAttempt(b *spec.Benchmark, cfg RunConfig, engine bytecode.En
 	} else if code != 0 {
 		res.Err = fmt.Errorf("%s exited with code %d", b.Name, code)
 	}
-	if res.Err != nil {
-		logf("[%s/%s] FAILED in %.1fms: %v", b.Name, cfg.Label, float64(res.Wall.Microseconds())/1000, res.Err)
-	} else {
-		logf("[%s/%s] ok in %.1fms: cost=%d checks=%d", b.Name, cfg.Label,
-			float64(res.Wall.Microseconds())/1000, res.Stats.Cost, res.Stats.Checks)
+	if lg != nil {
+		wallMS := float64(res.Wall.Microseconds()) / 1000
+		if res.Err != nil {
+			lg.Warn("cell failed", "wall_ms", wallMS, "err", res.Err.Error())
+		} else {
+			lg.Info("cell ok", "wall_ms", wallMS, "cost", res.Stats.Cost, "checks", res.Stats.Checks)
+		}
 	}
 	return res, nil
+}
+
+// cellLogger returns the structured logger with the cell's common attributes
+// attached, or nil when logging is off.
+func (r *Runner) cellLogger(bench, config string, engine bytecode.EngineKind, rc RunCtx) *slog.Logger {
+	r.mu.Lock()
+	lg := r.log
+	r.mu.Unlock()
+	if lg == nil {
+		return nil
+	}
+	return lg.With("bench", bench, "config", config, "engine", engine.String(),
+		"trace_id", r.effectiveTraceID(rc))
+}
+
+// effectiveTraceID resolves the trace ID for a cell run: the per-request one
+// if set, else the campaign-wide one.
+func (r *Runner) effectiveTraceID(rc RunCtx) string {
+	if rc.TraceID != "" {
+		return rc.TraceID
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
 }
 
 // Overhead runs baseline and cfg and returns cost(cfg)/cost(baseline),

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/resilience"
 	"repro/internal/vm"
@@ -74,6 +75,11 @@ type PerfReport struct {
 	// SiteProfile records whether per-site counters were collected.
 	SiteProfile bool         `json:"site_profile,omitempty"`
 	Records     []PerfRecord `json:"records"`
+	// Metrics is the campaign's metrics snapshot (only present when the
+	// runner had a registry installed; mi-prof -metrics renders it). Absent
+	// from per-request server reports and zeroed by Canonical, so served and
+	// local reports still diff byte-identical.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // perfRecord builds the report record for one cell. A resumed cell replays
@@ -116,6 +122,7 @@ func (r *Runner) PerfReport() *PerfReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := &PerfReport{Engine: r.engine.String(), SiteProfile: r.siteProfile, Records: []PerfRecord{}}
+	rep.Metrics = r.metrics.Snapshot()
 	for key, e := range r.cache {
 		res := e.res
 		if res == nil {
@@ -195,6 +202,7 @@ func (r *Runner) WritePerfJSON(path string) error {
 // resumed — must produce byte-identical canonical reports.
 func (p *PerfReport) Canonical() *PerfReport {
 	out := *p
+	out.Metrics = nil
 	out.Records = append([]PerfRecord(nil), p.Records...)
 	for i := range out.Records {
 		out.Records[i].WallMS = 0

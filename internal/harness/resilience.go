@@ -9,6 +9,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/spec"
 	"repro/internal/vm"
@@ -36,6 +37,7 @@ func (r *Runner) Supervisor() *resilience.Supervisor {
 			pol.Parallel = r.par
 		}
 		r.sup = resilience.NewSupervisor(pol)
+		r.sup.SetMetrics(r.metrics)
 	}
 	return r.sup
 }
@@ -46,6 +48,7 @@ func (r *Runner) SetJournal(j *resilience.Journal) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.journal = j
+	j.SetMetrics(r.metrics)
 	r.wireChaosLocked()
 }
 
@@ -107,7 +110,11 @@ func (r *Runner) Resume(path string) (resilience.LoadStats, error) {
 	}
 	r.mu.Lock()
 	r.resumed = cells
+	reg := r.metrics
 	r.mu.Unlock()
+	reg.Counter("mi_journal_replayed_total", "Journaled cells armed for replay at resume.").Add(uint64(st.Entries))
+	reg.Counter("mi_journal_corrupt_total", "Journal entries rejected by the content hash at resume.").Add(uint64(st.Corrupt))
+	reg.Counter("mi_journal_unparsed_total", "Journal lines that did not parse at resume (torn writes, incompatible writers).").Add(uint64(st.Unparsed))
 	return st, nil
 }
 
@@ -155,42 +162,59 @@ func classifyCell(err error) resilience.CellStatus {
 	return resilience.Classify(err)
 }
 
-// logCell writes one supervision log line (retry, skip, resume) directly to
-// the progress writer, under the same lock as the per-cell blocks.
-func (r *Runner) logCell(format string, args ...any) {
-	r.mu.Lock()
-	w := r.progress
-	r.mu.Unlock()
-	if w == nil {
-		return
+// mechLabel is the cell's mechanism metric label: the instrumentation
+// mechanism, or "none" for uninstrumented (baseline) cells.
+func mechLabel(cfg RunConfig) string {
+	if !cfg.Instrument {
+		return "none"
 	}
-	r.progMu.Lock()
-	fmt.Fprintf(w, format+"\n", args...)
-	r.progMu.Unlock()
+	return cfg.Core.Mechanism.String()
+}
+
+// observeCell records one completed cell into the metrics registry: the
+// engine×mechanism×status cell count and the execute/total latency
+// histograms whose per-status counts must reconcile with the cell count.
+func observeCell(reg *obs.Registry, engine bytecode.EngineKind, cfg RunConfig, status resilience.CellStatus, execute, total time.Duration) {
+	eng := obs.L("engine", engine.String())
+	mech := obs.L("mechanism", mechLabel(cfg))
+	st := obs.L("status", status.String())
+	reg.Counter("mi_cells_total", "Supervised cells completed, by engine, mechanism and final status.", eng, mech, st).Inc()
+	reg.Histogram("mi_cell_execute_seconds", "VM execution wall time of the cell's final attempt.", obs.DefBuckets, eng, mech, st).Observe(execute.Seconds())
+	reg.Histogram("mi_cell_total_seconds", "Cell wall time from supervision entry to completion (queueing on the admission gate, attempts, backoffs).", obs.DefBuckets, eng, mech, st).Observe(total.Seconds())
 }
 
 // supervise runs one cell under the supervision policy: admission (and
 // shedding) by the supervisor, chaos injections, the per-attempt watchdog
 // flag, retry with backoff on transient failures, and checkpoint journaling
 // of the completed result.
-func (r *Runner) supervise(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof, forensics bool, cost *vm.CostModel, key string) (*Result, error) {
+func (r *Runner) supervise(b *spec.Benchmark, cfg RunConfig, engine bytecode.EngineKind, prof, forensics bool, cost *vm.CostModel, key string, rc RunCtx) (*Result, error) {
 	r.mu.Lock()
 	rec := r.resumed[key]
 	chaos := r.chaos
 	journal := r.journal
+	reg := r.metrics
 	r.mu.Unlock()
+	lg := r.cellLogger(b.Name, cfg.Label, engine, rc)
 	if rec != nil {
 		res := resumeResult(b, cfg, rec)
-		r.logCell("[%s/%s] resumed from journal (status %s)", b.Name, cfg.Label, res.Status)
+		reg.Counter("mi_cells_resumed_total", "Cells replayed from the checkpoint journal instead of executing.").Inc()
+		if lg != nil {
+			lg.Info("cell resumed from journal", "status", res.Status.String())
+		}
 		return res, nil
 	}
+	entered := time.Now()
 	sup := r.Supervisor()
 	maxAttempts := sup.MaxAttempts()
 	var attempts []resilience.Attempt
 	for attempt := 0; ; attempt++ {
-		cell := sup.Begin(key)
+		cell := sup.Begin(key, attempt)
 		if cell.Shed {
-			r.logCell("[%s/%s] SKIPPED: %s", b.Name, cfg.Label, cell.ShedCause)
+			reg.Counter("mi_cell_sheds_total", "Cells shed (skipped) by the supervisor, by cause.", obs.L("cause", cell.ShedCause)).Inc()
+			observeCell(reg, engine, cfg, resilience.StatusSkipped, 0, time.Since(entered))
+			if lg != nil {
+				lg.Warn("cell shed", "cause", cell.ShedCause)
+			}
 			return &Result{
 				Bench: b.Name, Config: cfg,
 				Status:   resilience.StatusSkipped,
@@ -208,7 +232,7 @@ func (r *Runner) supervise(b *spec.Benchmark, cfg RunConfig, engine bytecode.Eng
 			kill = time.AfterFunc(act.KillAfter, func() { flag.Interrupt(vm.IntrChaos) })
 		}
 		start := time.Now()
-		res, err := r.runAttempt(b, cfg, engine, prof, forensics, cost, key, cell.Flag, attempt)
+		res, err := r.runAttempt(b, cfg, engine, prof, forensics, cost, key, cell.Flag, attempt, rc)
 		if kill != nil {
 			kill.Stop()
 		}
@@ -217,6 +241,10 @@ func (r *Runner) supervise(b *spec.Benchmark, cfg RunConfig, engine bytecode.Eng
 			// Infrastructure failure (the benchmark does not compile):
 			// deterministic, nothing to retry or journal.
 			return nil, err
+		}
+		var intr *vm.InterruptError
+		if res.Err != nil && errors.As(res.Err, &intr) {
+			reg.Counter("mi_watchdog_interrupts_total", "Engine aborts on a raised interrupt flag, by reason.", obs.L("reason", vm.ReasonString(intr.Reason))).Inc()
 		}
 		status := classifyCell(res.Err)
 		att := resilience.Attempt{Status: status.String(), WallMS: msSince(start)}
@@ -227,8 +255,11 @@ func (r *Runner) supervise(b *spec.Benchmark, cfg RunConfig, engine bytecode.Eng
 			back := sup.Backoff(attempt)
 			att.BackoffMS = float64(back.Microseconds()) / 1000.0
 			attempts = append(attempts, att)
-			r.logCell("[%s/%s] attempt %d %s: %v; retrying in %v",
-				b.Name, cfg.Label, attempt+1, status, res.Err, back.Round(time.Millisecond))
+			reg.Counter("mi_retries_total", "Cell attempts retried after a transient failure, by the failed attempt's status.", obs.L("status", status.String())).Inc()
+			if lg != nil {
+				lg.Warn("cell retrying", "attempt", attempt+1, "status", status.String(),
+					"err", res.Err.Error(), "backoff_ms", att.BackoffMS)
+			}
 			time.Sleep(back)
 			continue
 		}
@@ -238,9 +269,12 @@ func (r *Runner) supervise(b *spec.Benchmark, cfg RunConfig, engine bytecode.Eng
 		}
 		res.Status = status
 		res.Attempts = attempts
+		observeCell(reg, engine, cfg, status, res.Wall, time.Since(entered))
 		if journal != nil && status.Completed() {
 			if jerr := journal.Append(key, cellRecord(key, res)); jerr != nil {
-				r.logCell("[%s/%s] journal append failed: %v", b.Name, cfg.Label, jerr)
+				if lg != nil {
+					lg.Error("journal append failed", "err", jerr.Error())
+				}
 			}
 		}
 		return res, nil

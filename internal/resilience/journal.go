@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // The checkpoint journal is an append-only JSONL file: one entry per
@@ -47,6 +49,10 @@ type Journal struct {
 	// hash is computed over the true payload first, so corruption is
 	// always detectable at load.
 	corrupt func(key string, payload []byte) []byte
+	// mAppends/mAppendErrs, when non-nil, count appends into the metrics
+	// registry (SetMetrics).
+	mAppends    *obs.Counter
+	mAppendErrs *obs.Counter
 }
 
 // OpenJournal opens (creating or appending to) the journal at path.
@@ -76,6 +82,21 @@ func (j *Journal) Entries() int {
 	return j.n
 }
 
+// SetMetrics mirrors journal appends into the registry's
+// mi_journal_appends_total / mi_journal_append_errors_total counters. A nil
+// journal or registry is a no-op.
+func (j *Journal) SetMetrics(reg *obs.Registry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.mAppends = reg.Counter("mi_journal_appends_total",
+		"Checkpoint journal entries appended.")
+	j.mAppendErrs = reg.Counter("mi_journal_append_errors_total",
+		"Checkpoint journal append failures.")
+}
+
 // SetCorruptor installs a payload-mangling hook (chaos mode). Nil disables.
 func (j *Journal) SetCorruptor(fn func(key string, payload []byte) []byte) {
 	j.mu.Lock()
@@ -92,6 +113,9 @@ func (j *Journal) Append(key string, payload any) error {
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
+		j.mu.Lock()
+		j.mAppendErrs.Inc()
+		j.mu.Unlock()
 		return fmt.Errorf("journal: marshaling cell %q: %w", key, err)
 	}
 	sum := sha256.Sum256(raw)
@@ -104,13 +128,16 @@ func (j *Journal) Append(key string, payload any) error {
 		V: journalVersion, Key: key, SHA256: hex.EncodeToString(sum[:]), Cell: raw,
 	})
 	if err != nil {
+		j.mAppendErrs.Inc()
 		return fmt.Errorf("journal: framing cell %q: %w", key, err)
 	}
 	line = append(line, '\n')
 	if _, err := j.f.Write(line); err != nil {
+		j.mAppendErrs.Inc()
 		return fmt.Errorf("journal: appending cell %q: %w", key, err)
 	}
 	j.n++
+	j.mAppends.Inc()
 	return nil
 }
 

@@ -124,7 +124,7 @@ func TestSupervisorAdmissionWidth(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := s.Begin("cell")
+			c := s.Begin("cell", 0)
 			defer c.End()
 			if c.Shed {
 				t.Error("cell shed with no budget and no cancel")
@@ -159,7 +159,7 @@ func TestSupervisorMemoryGateShedsParallelismFirst(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := s.Begin("cell")
+			c := s.Begin("cell", 0)
 			defer c.End()
 			if c.Shed {
 				t.Errorf("cell shed under pressure below the hard budget: %s", c.ShedCause)
@@ -190,7 +190,7 @@ func TestSupervisorMemoryGateShedsCellAsLastResort(t *testing.T) {
 	// Over the full budget and the stub ignores the forced GC, so even a
 	// solo cell cannot fit: the gate must shed rather than hang.
 	s.heapUsed = func() uint64 { return 2000 }
-	c := s.Begin("cell")
+	c := s.Begin("cell", 0)
 	defer c.End()
 	if !c.Shed {
 		t.Fatal("cell admitted with heap at 2x the budget")
@@ -205,14 +205,14 @@ func TestSupervisorMemoryGateShedsCellAsLastResort(t *testing.T) {
 
 func TestSupervisorCancel(t *testing.T) {
 	s := NewSupervisor(Policy{Parallel: 1})
-	running := s.Begin("running")
+	running := s.Begin("running", 0)
 	if running.Shed {
 		t.Fatal("first cell shed")
 	}
 	// A second cell is parked in the admission queue; Cancel must release
 	// and shed it rather than leaving it blocked forever.
 	done := make(chan *CellCtx)
-	go func() { done <- s.Begin("queued") }()
+	go func() { done <- s.Begin("queued", 0) }()
 	time.Sleep(5 * time.Millisecond)
 	s.Cancel()
 	s.Cancel() // idempotent
@@ -227,14 +227,14 @@ func TestSupervisorCancel(t *testing.T) {
 		t.Fatal("Canceled() = false after Cancel")
 	}
 	running.End()
-	if late := s.Begin("late"); !late.Shed {
+	if late := s.Begin("late", 0); !late.Shed {
 		t.Fatal("cell admitted after cancel")
 	}
 }
 
 func TestSupervisorDeadlineArmsWatchdog(t *testing.T) {
 	s := NewSupervisor(Policy{Parallel: 1, Deadline: 5 * time.Millisecond})
-	c := s.Begin("cell")
+	c := s.Begin("cell", 0)
 	defer c.End()
 	deadline := time.After(2 * time.Second)
 	for c.Flag.Raised() != vm.IntrDeadline {

@@ -3,9 +3,11 @@ package resilience
 import (
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -67,7 +69,7 @@ type Supervisor struct {
 
 	mu       sync.Mutex
 	rng      *rand.Rand
-	active   map[*vm.InterruptFlag]struct{}
+	active   map[*vm.InterruptFlag]*ActiveCell
 	inflight int
 	waiters  []chan struct{}
 	canceled bool
@@ -77,6 +79,23 @@ type Supervisor struct {
 	heapUsed func() uint64
 	// sheds counts cells shed by the memory gate (diagnostics).
 	sheds int
+	// watchdogFires counts deadline watchdog expirations (the timer firing,
+	// whether or not the engine was still running to observe it).
+	watchdogFires int
+	// mWatchdog, when non-nil, mirrors watchdogFires into the metrics
+	// registry (SetMetrics).
+	mWatchdog *obs.Counter
+}
+
+// ActiveCell is one admitted, currently-executing cell attempt — the
+// heartbeat's unit of reporting.
+type ActiveCell struct {
+	// Key is the cell's content-addressed cache key.
+	Key string
+	// Attempt is the 0-based attempt index.
+	Attempt int
+	// Started is when the attempt was admitted.
+	Started time.Time
 }
 
 // NewSupervisor builds a supervisor for the policy.
@@ -89,7 +108,7 @@ func NewSupervisor(pol Policy) *Supervisor {
 	return &Supervisor{
 		pol:      pol,
 		rng:      rand.New(rand.NewSource(seed)),
-		active:   make(map[*vm.InterruptFlag]struct{}),
+		active:   make(map[*vm.InterruptFlag]*ActiveCell),
 		heapUsed: liveHeapBytes,
 	}
 }
@@ -179,12 +198,73 @@ type CellCtx struct {
 	done  bool
 }
 
+// SetMetrics mirrors watchdog fires into the registry's
+// mi_watchdog_fires_total counter. Call before the campaign starts; a nil
+// registry is a no-op.
+func (s *Supervisor) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mWatchdog = reg.Counter("mi_watchdog_fires_total",
+		"Deadline watchdog timer expirations (raised flags, observed or not).")
+}
+
+// WatchdogFires returns how many deadline watchdogs expired.
+func (s *Supervisor) WatchdogFires() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watchdogFires
+}
+
+// Active returns a snapshot of the currently-admitted cell attempts, oldest
+// first — what the progress heartbeat reports.
+func (s *Supervisor) Active() []ActiveCell {
+	s.mu.Lock()
+	cells := make([]ActiveCell, 0, len(s.active))
+	for _, c := range s.active {
+		cells = append(cells, *c)
+	}
+	s.mu.Unlock()
+	sort.Slice(cells, func(i, j int) bool {
+		if !cells[i].Started.Equal(cells[j].Started) {
+			return cells[i].Started.Before(cells[j].Started)
+		}
+		return cells[i].Key < cells[j].Key
+	})
+	return cells
+}
+
+// Heartbeat emits the oldest active cell to emit every interval until the
+// returned stop function is called. Intervals with no active cells emit
+// nothing; stop is idempotent and safe from any goroutine.
+func (s *Supervisor) Heartbeat(every time.Duration, emit func(ActiveCell)) (stop func()) {
+	if every <= 0 || emit == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if cells := s.Active(); len(cells) > 0 {
+					emit(cells[0])
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // Begin admits one cell attempt: it blocks while the campaign is over the
 // parallelism width or the degradation threshold of the memory budget,
 // sheds the cell if the campaign is canceled or even a solo run cannot fit
 // the budget, then registers the attempt's interrupt flag and arms the
 // deadline watchdog. Callers must End() the returned context.
-func (s *Supervisor) Begin(key string) *CellCtx {
+func (s *Supervisor) Begin(key string, attempt int) *CellCtx {
 	c := &CellCtx{Flag: &vm.InterruptFlag{}, sup: s}
 	for {
 		s.mu.Lock()
@@ -223,7 +303,7 @@ func (s *Supervisor) Begin(key string) *CellCtx {
 				continue
 			}
 			s.inflight++
-			s.active[c.Flag] = struct{}{}
+			s.active[c.Flag] = &ActiveCell{Key: key, Attempt: attempt, Started: time.Now()}
 			s.mu.Unlock()
 			break
 		}
@@ -234,7 +314,14 @@ func (s *Supervisor) Begin(key string) *CellCtx {
 	}
 	if d := s.pol.Deadline; d > 0 {
 		flag := c.Flag
-		c.timer = time.AfterFunc(d, func() { flag.Interrupt(vm.IntrDeadline) })
+		c.timer = time.AfterFunc(d, func() {
+			flag.Interrupt(vm.IntrDeadline)
+			s.mu.Lock()
+			s.watchdogFires++
+			m := s.mWatchdog
+			s.mu.Unlock()
+			m.Inc()
+		})
 	}
 	return c
 }

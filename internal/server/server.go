@@ -13,13 +13,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/version"
 )
 
 // Config configures a campaign server.
@@ -38,17 +42,22 @@ type Config struct {
 	// Policy supervises cells (deadline, retries, memory budget); its
 	// Parallel field is overridden by Workers.
 	Policy resilience.Policy
-	// Log, when non-nil, receives per-cell progress lines.
-	Log io.Writer
+	// Logger, when non-nil, receives structured per-cell and per-request
+	// records; every record carries the request's trace_id.
+	Logger *slog.Logger
+	// Trace, when non-nil, records request/queue/pipeline/execution spans
+	// (mi-serve -trace writes it out at shutdown).
+	Trace *telemetry.Trace
 }
 
 // Server is the campaign service: an HTTP handler plus the shared runner,
-// scheduler, and journal behind it.
+// scheduler, journal and metrics registry behind it.
 type Server struct {
 	cfg     Config
 	runner  *harness.Runner
 	sched   *Scheduler
 	journal *resilience.Journal
+	reg     *obs.Registry
 	warmed  int
 	start   time.Time
 
@@ -60,7 +69,8 @@ type Server struct {
 
 // New builds a server: one shared harness runner (content-addressed result
 // cache, supervision policy), warmed from the checkpoint journal if
-// configured, and a running worker pool.
+// configured, and a running worker pool. The server always owns a metrics
+// registry — /metricsz is first-class, not opt-in.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -70,10 +80,11 @@ func New(cfg Config) (*Server, error) {
 	pol := cfg.Policy
 	pol.Parallel = cfg.Workers
 	r.SetResilience(pol)
-	if cfg.Log != nil {
-		r.SetProgress(cfg.Log)
-	}
-	s := &Server{cfg: cfg, runner: r, start: time.Now()}
+	reg := obs.NewRegistry()
+	r.SetMetrics(reg)
+	r.SetLogger(cfg.Logger)
+	r.SetTrace(cfg.Trace)
+	s := &Server{cfg: cfg, runner: r, reg: reg, start: time.Now()}
 	if cfg.WarmPath != "" {
 		st, err := warmUp(r, cfg.WarmPath)
 		if err != nil {
@@ -92,6 +103,9 @@ func New(cfg Config) (*Server, error) {
 	s.sched = NewScheduler(r, cfg.Workers, cfg.QueueCap)
 	return s, nil
 }
+
+// Metrics returns the server's metrics registry (for tests and embedding).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Runner exposes the shared harness runner (the signal handler cancels its
 // supervisor on forced shutdown).
@@ -120,11 +134,13 @@ func (s *Server) Close() error {
 //	POST /campaign  submit a campaign; streams NDJSON (or SSE) cell events
 //	GET  /healthz   liveness + drain state
 //	GET  /statsz    cache hit rate, queue depth, statuses, utilization
+//	GET  /metricsz  Prometheus text exposition of the metrics registry
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/campaign", s.handleCampaign)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	return mux
 }
 
@@ -144,13 +160,20 @@ type Event struct {
 	Served   int                 `json:"served_cached,omitempty"`
 	Failed   int                 `json:"failed,omitempty"`
 	Report   *harness.PerfReport `json:"report,omitempty"`
+	// TraceID is the request's trace ID (report event only): the key that
+	// joins this response to the server's structured logs and trace spans.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Stats is the /statsz document.
 type Stats struct {
-	UptimeS  float64 `json:"uptime_s"`
-	Draining bool    `json:"draining"`
-	Requests struct {
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// WarmedCells is how many journaled cells were armed for replay at
+	// startup — replay gates normalize throughput against it.
+	WarmedCells int  `json:"warmed_cells"`
+	Draining    bool `json:"draining"`
+	Requests    struct {
 		Total    uint64 `json:"total"`
 		Active   int64  `json:"active"`
 		Rejected uint64 `json:"rejected"`
@@ -166,7 +189,9 @@ type Stats struct {
 // Snapshot assembles the current /statsz document.
 func (s *Server) Snapshot() Stats {
 	var st Stats
-	st.UptimeS = time.Since(s.start).Seconds()
+	st.Version = version.String()
+	st.UptimeSeconds = time.Since(s.start).Seconds()
+	st.WarmedCells = s.warmed
 	st.Draining = s.draining.Load()
 	st.Requests.Total = s.reqTotal.Load()
 	st.Requests.Active = s.reqActive.Load()
@@ -195,6 +220,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(s.Snapshot())
 }
 
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
 // httpError writes a one-line JSON error.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -212,30 +242,58 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.reqRejected.Add(1)
+		s.reg.Counter("mi_requests_total", "Campaign requests, by outcome.", obs.L("outcome", "rejected")).Inc()
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new campaigns")
 		return
 	}
+	traceID := obs.NewTraceID()
+	lg := s.cfg.Logger
+	if lg != nil {
+		lg = lg.With("trace_id", traceID)
+	}
+	outcome := "ok"
+	defer func() {
+		s.reg.Counter("mi_requests_total", "Campaign requests, by outcome.", obs.L("outcome", outcome)).Inc()
+	}()
 	var req CampaignRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody)).Decode(&req); err != nil {
+		outcome = "bad_request"
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	cells, axes, err := expand(req)
 	if err != nil {
+		outcome = "bad_request"
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.reqTotal.Add(1)
 	s.reqActive.Add(1)
-	defer s.reqActive.Add(-1)
+	s.reg.Gauge("mi_requests_active", "Campaign requests currently streaming.").Inc()
+	defer func() {
+		s.reqActive.Add(-1)
+		s.reg.Gauge("mi_requests_active", "Campaign requests currently streaming.").Dec()
+	}()
+	reqTID := s.cfg.Trace.Track("req:" + traceID)
+	reqSpan := s.cfg.Trace.Begin("http:/campaign", reqTID)
+	reqSpan.Arg("trace_id", traceID)
+	reqSpan.Arg("cells", len(cells))
+	defer reqSpan.End()
+	if lg != nil {
+		lg.Info("campaign accepted", "cells", len(cells), "engine", axes.Engine.String())
+	}
 
 	// Submit every cell before streaming anything: overlapping requests
 	// coalesce in the scheduler, and the pool starts on the whole set at
-	// once instead of discovering it cell by cell.
+	// once instead of discovering it cell by cell. Release gives our
+	// references back on every exit path: an abandoned request cancels the
+	// queued cells only it was waiting for.
 	tasks := make([]*task, len(cells))
+	defer func() { s.sched.Release(tasks) }()
 	for i, c := range cells {
-		t, err := s.sched.Submit(c)
+		t, _, err := s.sched.Submit(c, traceID)
 		if err != nil {
+			outcome = "rejected"
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -291,7 +349,15 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		select {
 		case i = <-doneCh:
 		case <-ctx.Done():
-			return // client gone; cells keep computing into the shared cache
+			// Client gone. The deferred Release cancels queued cells only this
+			// request was waiting for; cells already running (or shared with
+			// other requests) finish into the shared cache.
+			outcome = "aborted"
+			if lg != nil {
+				lg.Warn("campaign aborted: client disconnected mid-stream",
+					"delivered", computed+served, "cells", len(tasks))
+			}
+			return
 		}
 		t := tasks[i]
 		ev := Event{Type: "cell", Key: t.cell.key, Cached: t.cached}
@@ -314,11 +380,18 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			computed++
 		}
 		if err := emit(ev); err != nil {
+			outcome = "aborted"
+			if lg != nil {
+				lg.Warn("campaign aborted: write failed mid-stream", "err", err.Error())
+			}
 			return
 		}
 	}
 
 	report := s.runner.ReportForKeys(axes.Engine.String(), axes.SiteProfile, keysOf(cells))
+	if lg != nil {
+		lg.Info("campaign complete", "cells", len(cells), "computed", computed, "served_cached", served, "failed", failed)
+	}
 	_ = emit(Event{
 		Type:     "report",
 		Cells:    len(cells),
@@ -326,5 +399,6 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		Served:   served,
 		Failed:   failed,
 		Report:   report,
+		TraceID:  traceID,
 	})
 }

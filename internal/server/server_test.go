@@ -333,9 +333,12 @@ func TestSchedulerStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tk, err := s.Submit(cells[0])
+	tk, coalesced, err := s.Submit(cells[0], "t-test")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
+	}
+	if coalesced {
+		t.Fatal("first Submit reported coalesced")
 	}
 	<-tk.done
 	if tk.err != nil {
@@ -343,7 +346,7 @@ func TestSchedulerStop(t *testing.T) {
 	}
 	s.Stop()
 	s.Stop() // idempotent
-	if _, err := s.Submit(cells[0]); err == nil {
+	if _, _, err := s.Submit(cells[0], "t-test"); err == nil {
 		t.Fatal("Submit after Stop succeeded, want error")
 	}
 }

@@ -99,6 +99,28 @@ func (s *Span) End() {
 	s.t.mu.Unlock()
 }
 
+// Event records a complete span with explicit timing — for callers measuring
+// an interval that began before they could call Begin (queue wait, which
+// starts at Submit time in one goroutine and is observed at pickup in
+// another). Safe on a nil Trace.
+func (t *Trace) Event(name string, tid int, begin time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ts := float64(begin.Sub(t.start).Nanoseconds()) / 1e3
+	if ts < 0 {
+		ts = 0
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Ph: "X",
+		TS:  ts,
+		Dur: float64(d.Nanoseconds()) / 1e3,
+		PID: 1, TID: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
 // chromeTrace is the JSON object format of the trace-event specification.
 type chromeTrace struct {
 	TraceEvents []TraceEvent `json:"traceEvents"`

@@ -42,6 +42,11 @@ func interruptReasonName(r uint32) string {
 // use.
 type InterruptFlag struct {
 	reason atomic.Uint32
+	// observed records that an engine actually aborted on the raised flag
+	// (as opposed to the cell finishing before its poll noticed). The
+	// distinction feeds the watchdog delivery metrics: a deadline that fires
+	// after the cell's last instruction is raised but never observed.
+	observed atomic.Uint32
 }
 
 // Interrupt raises the flag with the given reason. The first reason to land
@@ -59,6 +64,21 @@ func (f *InterruptFlag) Raised() uint32 {
 		return IntrNone
 	}
 	return f.reason.Load()
+}
+
+// MarkObserved is called by an engine at the moment it aborts execution on
+// the raised flag; it is on the abort path only, never the poll path, so the
+// hot loop stays untouched.
+func (f *InterruptFlag) MarkObserved() {
+	if f == nil {
+		return
+	}
+	f.observed.Store(1)
+}
+
+// Observed reports whether an engine aborted on this flag.
+func (f *InterruptFlag) Observed() bool {
+	return f != nil && f.observed.Load() != 0
 }
 
 // interruptStride is how many executed instructions may pass between flag
