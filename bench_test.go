@@ -351,6 +351,12 @@ func BenchmarkEngineCampaignBytecode(b *testing.B) {
 	runEngineCells(b, bytecode.EngineBytecode, cells)
 }
 
+func BenchmarkEngineCampaignCompiler(b *testing.B) {
+	cells := prepareEngineCells(b, spec.All())
+	b.ResetTimer()
+	runEngineCells(b, bytecode.EngineCompiler, cells)
+}
+
 // BenchmarkEngineSmoke* are the single-benchmark variants CI runs.
 func BenchmarkEngineSmokeTree(b *testing.B) {
 	cells := prepareEngineCells(b, []*spec.Benchmark{spec.All()[0]})
@@ -362,6 +368,12 @@ func BenchmarkEngineSmokeBytecode(b *testing.B) {
 	cells := prepareEngineCells(b, []*spec.Benchmark{spec.All()[0]})
 	b.ResetTimer()
 	runEngineCells(b, bytecode.EngineBytecode, cells)
+}
+
+func BenchmarkEngineSmokeCompiler(b *testing.B) {
+	cells := prepareEngineCells(b, []*spec.Benchmark{spec.All()[0]})
+	b.ResetTimer()
+	runEngineCells(b, bytecode.EngineCompiler, cells)
 }
 
 // ----- Toolchain microbenchmarks -----

@@ -24,13 +24,17 @@ package bytecode
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
 )
 
 // EngineKind selects the execution engine for code paths (harness,
-// fault-injection campaign, functional suite) that support both.
+// fault-injection campaign, functional suite, campaign server) that support
+// more than one.
 type EngineKind int
 
 // Engine kinds.
@@ -39,25 +43,42 @@ const (
 	EngineTree EngineKind = iota
 	// EngineBytecode is the compiled register-bytecode engine.
 	EngineBytecode
+	// EngineCompiler is the optimizing tier on top of the bytecode engine:
+	// the same lowering plus a per-function quickening pass that rewrites
+	// generic opcodes to specialized variants, fuses straight-line opcode
+	// runs into superinstructions with batched accounting, and trace-fuses
+	// counted loops into mega-ops (see quicken.go).
+	EngineCompiler
 )
 
 // String names the engine.
 func (k EngineKind) String() string {
-	if k == EngineBytecode {
+	switch k {
+	case EngineBytecode:
 		return "bytecode"
+	case EngineCompiler:
+		return "compiler"
 	}
 	return "tree"
 }
 
-// ParseEngine parses an -engine flag value.
+// EngineNames lists the valid -engine flag values in parse order. All CLIs
+// and the campaign server share this set through ParseEngine, so an unknown
+// name is rejected everywhere with the same message.
+func EngineNames() []string { return []string{"tree", "bytecode", "compiler"} }
+
+// ParseEngine parses an -engine flag value, rejecting unknown names with a
+// message that lists the valid set.
 func ParseEngine(s string) (EngineKind, error) {
 	switch s {
 	case "tree":
 		return EngineTree, nil
 	case "bytecode":
 		return EngineBytecode, nil
+	case "compiler":
+		return EngineCompiler, nil
 	}
-	return EngineTree, fmt.Errorf("unknown engine %q (want tree or bytecode)", s)
+	return EngineTree, fmt.Errorf("unknown engine %q (valid engines: %s)", s, strings.Join(EngineNames(), ", "))
 }
 
 // opcode enumerates the bytecode operations. Opcodes below opPhiCopy
@@ -65,7 +86,7 @@ func ParseEngine(s string) (EngineKind, error) {
 // instruction-count / cost / coverage preamble; opPhiCopy and opErrRaw are
 // synthetic (edge copies, deferred compile diagnostics) and do their own
 // accounting.
-type opcode uint8
+type opcode uint16
 
 const (
 	// Integer arithmetic: dst = (a OP b) & imm.
@@ -218,6 +239,58 @@ const (
 	// opErrRaw raises errs[x] without instruction accounting (fell-through
 	// block, phi without incoming).
 	opErrRaw
+
+	// --- quickened opcodes below this point ---
+	//
+	// Specialized variants produced by the compiler tier's quickening pass
+	// (quicken.go). They only ever appear inside a quickened overlay's
+	// superinstruction groups, executed by the group runner (quickrun.go);
+	// the generic dispatch loop never sees them. Each is semantically
+	// identical to its generic origin with type/width/shape baked in.
+
+	// Width-specialized loads/stores (suffix is the access width in bits):
+	// the page-cache fast path is inlined with a constant width, the
+	// address-space slow path keeps exact fault semantics.
+	opQLoad8  // dst = mem[a], 1 byte
+	opQLoad16 // dst = mem[a], 2 bytes
+	opQLoad32 // dst = mem[a], 4 bytes
+	opQLoad64 // dst = mem[a], 8 bytes
+	opQStore8
+	opQStore16
+	opQStore32
+	opQStore64
+
+	// Shape-specialized GEPs.
+	opQGEPC  // dst = a + imm (single constant offset)
+	opQGEPRC // dst = a + sext(b, wbits)*imm + x (scaled index + constant)
+
+	// Superinstruction micro-fusions: a shape-specialized GEP immediately
+	// feeding a width-specialized access of its result. The GEP result is
+	// still written (to register c) in case it has further uses.
+	opQLoadIdx8 // c = a + sext(b,wbits)*imm + x; dst = mem[c]
+	opQLoadIdx16
+	opQLoadIdx32
+	opQLoadIdx64
+	opQStoreIdx8 // c = a + sext(b,wbits)*imm + x; mem[c] = regs[dst]
+	opQStoreIdx16
+	opQStoreIdx32
+	opQStoreIdx64
+	opQLoadOff8 // c = a + imm; dst = mem[c]
+	opQLoadOff16
+	opQLoadOff32
+	opQLoadOff64
+	opQStoreOff8 // c = a + imm; mem[c] = regs[dst]
+	opQStoreOff16
+	opQStoreOff32
+	opQStoreOff64
+
+	// opTExit is a mid-trace conditional branch. While the branch stays on
+	// trace, execution falls through to the next slot; when it leaves, the
+	// trace's pre-committed suffix statics (instructions, cost, steps) are
+	// rolled back and the fused executor exits at the off-trace target.
+	// a = condition register, b = off-trace pc, x = 1 when the on-trace
+	// direction is the true edge.
+	opTExit
 )
 
 // opUncountedStart splits counted from synthetic opcodes for the dispatch
@@ -329,19 +402,41 @@ type Fn struct {
 	extCalls []extCall
 	aux      []fusedAux
 	errs     []errInfo
+
+	// Compiler-tier quickening state. loops carries the counted-loop pc
+	// geometry recorded at compile time (compiler tier only); quick holds
+	// the lazily built quickened overlay, published atomically so a Program
+	// shared across concurrent Engines quickens each function exactly once.
+	loops    []loopMeta
+	quick    atomic.Pointer[quickFn]
+	quickGen sync.Mutex
 }
 
-// Program is a compiled module. It is immutable after Compile and may be
-// shared by any number of Engines (each Engine binds its own per-VM state).
+// Program is a compiled module. The bytecode itself is immutable after
+// Compile and may be shared by any number of Engines (each Engine binds its
+// own per-VM state); under the compiler tier each Fn additionally carries a
+// race-safe, build-once quickened overlay (see Fn.quick).
 type Program struct {
 	mod    *ir.Module
 	cm     vm.CostModel
 	prof   bool
 	rec    bool
+	tier   EngineKind
 	fns    []*Fn
 	byFunc map[*ir.Func]*Fn
 	main   *Fn
+
+	// Native-tier state (compiler tier only): the build-once outcome of
+	// lowering this program to a Go plugin (native.go). Published atomically
+	// so concurrent Engines sharing the program build it exactly once; a nil
+	// natState.prog records a failed build so it is not retried.
+	nat   atomic.Pointer[natState]
+	natMu sync.Mutex
 }
+
+// Tier reports the engine tier the program was compiled for (EngineBytecode
+// or EngineCompiler).
+func (p *Program) Tier() EngineKind { return p.tier }
 
 // Module returns the module the program was compiled from. Bytecode
 // references the module's instruction and global objects, so an Engine may
@@ -358,11 +453,11 @@ func (p *Program) NumOps() int {
 }
 
 // RunOn executes the VM's module under the selected engine. Under
-// EngineTree it is machine.Run(). Under EngineBytecode the module is
-// compiled (through the compiled-module cache when cacheKey is non-empty)
-// and executed by a fresh Engine bound to the VM.
+// EngineTree it is machine.Run(). Under EngineBytecode and EngineCompiler
+// the module is compiled for that tier (through the compiled-module cache
+// when cacheKey is non-empty) and executed by a fresh Engine bound to the VM.
 func RunOn(kind EngineKind, machine *vm.VM, cacheKey string) (int32, error) {
-	if kind != EngineBytecode {
+	if kind != EngineBytecode && kind != EngineCompiler {
 		return machine.Run()
 	}
 	prof := machine.Options().SiteProfile
@@ -370,16 +465,22 @@ func RunOn(kind EngineKind, machine *vm.VM, cacheKey string) (int32, error) {
 	var prog *Program
 	if cacheKey != "" {
 		// Profiled/recorded and plain compilations of the same module differ
-		// in their opcodes, so they must not share a cache slot.
+		// in their opcodes, so they must not share a cache slot; the compiler
+		// tier carries quickening state on its Fns, so it must not share a
+		// slot with the bytecode tier either (a quickened program must never
+		// be served to a run keyed for the plain tier, and vice versa).
 		if prof {
 			cacheKey += "|siteprofile"
 		}
 		if rec {
 			cacheKey += "|forensics"
 		}
-		prog = CompileCached(cacheKey, machine.Mod, machine.CostModel(), prof, rec)
+		if kind == EngineCompiler {
+			cacheKey += "|tier=compiler"
+		}
+		prog = CompileCached(cacheKey, machine.Mod, machine.CostModel(), prof, rec, kind)
 	} else {
-		prog = compileModule(machine.Mod, machine.CostModel(), prof, rec)
+		prog = compileTier(machine.Mod, machine.CostModel(), prof, rec, kind)
 	}
 	eng, err := NewEngine(prog, machine)
 	if err != nil {

@@ -10,16 +10,24 @@ import (
 // The compiled-module cache. Campaign code runs the same (benchmark, config)
 // module many times — once per figure that includes the cell, plus the fault
 // campaign's coverage pass — and compilation is pure, so programs are cached
-// under a caller-chosen key. A hit requires the same module *instance* and
-// cost model: the key alone is a claim, the identity check is the proof
-// (harness clones modules per config, and a re-instrumented clone under a
-// reused key must not resurrect stale bytecode).
+// under a caller-chosen key. A hit requires the same module *instance*, cost
+// model and engine tier: the key alone is a claim, the identity check is the
+// proof (harness clones modules per config, and a re-instrumented clone
+// under a reused key must not resurrect stale bytecode).
+//
+// Concurrent lookups of the same key are singleflighted: the first caller
+// compiles while later callers block on the entry's once and share the
+// resulting program, so a replay-load server hitting one campaign from many
+// goroutines compiles each module exactly once.
 
 type cacheEntry struct {
 	mod  *ir.Module
 	cm   vm.CostModel
 	prof bool
 	rec  bool
+	tier EngineKind
+
+	once sync.Once
 	prog *Program
 }
 
@@ -34,42 +42,52 @@ var (
 // this many (20 benchmarks x a dozen configs).
 const cacheLimit = 1024
 
-// CompileCached returns the compiled program for (key, mod, cm, prof, rec),
-// compiling and caching on miss. cm may be nil for the default model; prof
-// selects the site-profiling opcode variants, rec the forensic-recording
-// ones.
-func CompileCached(key string, mod *ir.Module, cm *vm.CostModel, prof, rec bool) *Program {
+// CompileCached returns the compiled program for (key, mod, cm, prof, rec,
+// tier), compiling and caching on miss. cm may be nil for the default model;
+// prof selects the site-profiling opcode variants, rec the forensic-recording
+// ones, and tier the execution engine the program is compiled for (the
+// compiler tier records trace-fusable loop geometry and quickens lazily; any
+// other tier normalizes to plain bytecode).
+func CompileCached(key string, mod *ir.Module, cm *vm.CostModel, prof, rec bool, tier EngineKind) *Program {
 	if cm == nil {
 		cm = vm.DefaultCostModel()
 	}
-	cacheMu.Lock()
-	if e, ok := cache[key]; ok && e.mod == mod && e.cm == *cm && e.prof == prof && e.rec == rec {
-		hits++
-		cacheMu.Unlock()
-		return e.prog
+	if tier != EngineCompiler {
+		tier = EngineBytecode
 	}
-	misses++
-	cacheMu.Unlock()
-
-	prog := compileModule(mod, cm, prof, rec)
-
 	cacheMu.Lock()
-	if len(cache) >= cacheLimit {
-		// Arbitrary eviction; the cache is a campaign-scoped working set and
-		// overflowing it only costs recompiles.
-		for k := range cache {
-			delete(cache, k)
-			if len(cache) < cacheLimit {
-				break
+	e, ok := cache[key]
+	if ok && !(e.mod == mod && e.cm == *cm && e.prof == prof && e.rec == rec && e.tier == tier) {
+		// Same key, different inputs: replace the entry (stale clone reuse).
+		ok = false
+	}
+	if !ok {
+		misses++
+		if len(cache) >= cacheLimit {
+			// Arbitrary eviction; the cache is a campaign-scoped working set
+			// and overflowing it only costs recompiles.
+			for k := range cache {
+				delete(cache, k)
+				if len(cache) < cacheLimit {
+					break
+				}
 			}
 		}
+		e = &cacheEntry{mod: mod, cm: *cm, prof: prof, rec: rec, tier: tier}
+		cache[key] = e
+	} else {
+		hits++
 	}
-	cache[key] = &cacheEntry{mod: mod, cm: *cm, prof: prof, rec: rec, prog: prog}
 	cacheMu.Unlock()
-	return prog
+
+	e.once.Do(func() {
+		e.prog = compileTier(mod, cm, prof, rec, tier)
+	})
+	return e.prog
 }
 
-// CacheStats reports cumulative hit/miss counts (tests, diagnostics).
+// CacheStats reports cumulative hit/miss counts (tests, diagnostics). A
+// caller that joined an in-flight compile counts as a hit.
 func CacheStats() (h, m uint64) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()

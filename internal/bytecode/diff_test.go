@@ -17,6 +17,12 @@ import (
 	"repro/internal/vm"
 )
 
+// diffEngines are the engines the differential tests sweep against the tree
+// reference: the plain bytecode tier and the optimizing compiler tier.
+func diffEngines() []bytecode.EngineKind {
+	return []bytecode.EngineKind{bytecode.EngineBytecode, bytecode.EngineCompiler}
+}
+
 // diffConfigs are the execution configurations the differential test sweeps:
 // the -O3 baseline and both instrumented paper configurations.
 func diffConfigs() []harness.RunConfig {
@@ -118,26 +124,28 @@ func describeErr(err error) string {
 }
 
 // TestDifferentialSpec runs every spec benchmark under baseline, SoftBound
-// and Low-Fat configurations on both engines and requires identical exit
-// codes, outputs, error verdicts and full execution statistics.
+// and Low-Fat configurations on all three engines and requires identical
+// exit codes, outputs, error verdicts and full execution statistics.
 func TestDifferentialSpec(t *testing.T) {
 	for _, b := range spec.All() {
 		for _, cfg := range diffConfigs() {
 			t.Run(b.Name+"/"+cfg.Label, func(t *testing.T) {
 				m, vopts, _ := prepare(t, b, cfg)
 				tree := runUnder(t, bytecode.EngineTree, m, vopts)
-				bc := runUnder(t, bytecode.EngineBytecode, m, vopts)
-				if tree.code != bc.code {
-					t.Errorf("exit code: tree=%d bytecode=%d", tree.code, bc.code)
-				}
-				if tree.output != bc.output {
-					t.Errorf("output differs:\ntree:     %q\nbytecode: %q", tree.output, bc.output)
-				}
-				if te, be := describeErr(tree.err), describeErr(bc.err); te != be {
-					t.Errorf("verdict: tree=%s bytecode=%s", te, be)
-				}
-				if tree.stats != bc.stats {
-					t.Errorf("stats differ:\ntree:     %+v\nbytecode: %+v", tree.stats, bc.stats)
+				for _, kind := range diffEngines() {
+					bc := runUnder(t, kind, m, vopts)
+					if tree.code != bc.code {
+						t.Errorf("exit code: tree=%d %v=%d", tree.code, kind, bc.code)
+					}
+					if tree.output != bc.output {
+						t.Errorf("output differs:\ntree: %q\n%v: %q", tree.output, kind, bc.output)
+					}
+					if te, be := describeErr(tree.err), describeErr(bc.err); te != be {
+						t.Errorf("verdict: tree=%s %v=%s", te, kind, be)
+					}
+					if tree.stats != bc.stats {
+						t.Errorf("stats differ:\ntree: %+v\n%v: %+v", tree.stats, kind, bc.stats)
+					}
 				}
 			})
 		}
@@ -159,13 +167,15 @@ func TestDifferentialSiteProfile(t *testing.T) {
 				}
 				vopts.SiteProfile = true
 				tree := runUnder(t, bytecode.EngineTree, m, vopts)
-				bc := runUnder(t, bytecode.EngineBytecode, m, vopts)
-				if len(tree.sites) != len(bc.sites) {
-					t.Fatalf("profile length: tree=%d bytecode=%d", len(tree.sites), len(bc.sites))
-				}
-				for id := range tree.sites {
-					if tree.sites[id] != bc.sites[id] {
-						t.Errorf("site %d: tree=%+v bytecode=%+v", id, tree.sites[id], bc.sites[id])
+				for _, kind := range diffEngines() {
+					bc := runUnder(t, kind, m, vopts)
+					if len(tree.sites) != len(bc.sites) {
+						t.Fatalf("profile length: tree=%d %v=%d", len(tree.sites), kind, len(bc.sites))
+					}
+					for id := range tree.sites {
+						if tree.sites[id] != bc.sites[id] {
+							t.Errorf("site %d: tree=%+v %v=%+v", id, tree.sites[id], kind, bc.sites[id])
+						}
 					}
 				}
 				cm := vm.DefaultCostModel()
@@ -255,13 +265,15 @@ func TestDifferentialCoverage(t *testing.T) {
 		return o.CoverInstrs
 	}
 	tree := coverOf(bytecode.EngineTree)
-	bc := coverOf(bytecode.EngineBytecode)
-	if len(tree) != len(bc) {
-		t.Fatalf("coverage size: tree=%d bytecode=%d", len(tree), len(bc))
-	}
-	for in := range tree {
-		if !bc[in] {
-			t.Errorf("instruction covered by tree only: %s", ir.FormatInstr(in))
+	for _, kind := range diffEngines() {
+		bc := coverOf(kind)
+		if len(tree) != len(bc) {
+			t.Fatalf("coverage size: tree=%d %v=%d", len(tree), kind, len(bc))
+		}
+		for in := range tree {
+			if !bc[in] {
+				t.Errorf("instruction covered by tree only, missed by %v: %s", kind, ir.FormatInstr(in))
+			}
 		}
 	}
 }
@@ -274,19 +286,21 @@ func TestDifferentialFaultMatrix(t *testing.T) {
 		return faultinject.Run(faultinject.Options{Seed: 7, Benches: benches, Engine: kind})
 	}
 	tree := run(bytecode.EngineTree)
-	bc := run(bytecode.EngineBytecode)
-	if len(tree.Results) != len(bc.Results) {
-		t.Fatalf("result count: tree=%d bytecode=%d", len(tree.Results), len(bc.Results))
-	}
-	for i := range tree.Results {
-		tr, br := tree.Results[i], bc.Results[i]
-		if tr.Fault.Kind != br.Fault.Kind || tr.Mech != br.Mech {
-			t.Fatalf("variant %d identity mismatch: tree=%v/%v bytecode=%v/%v",
-				i, tr.Fault.Kind, tr.Mech, br.Fault.Kind, br.Mech)
+	for _, kind := range diffEngines() {
+		bc := run(kind)
+		if len(tree.Results) != len(bc.Results) {
+			t.Fatalf("result count: tree=%d %v=%d", len(tree.Results), kind, len(bc.Results))
 		}
-		if tr.Outcome != br.Outcome {
-			t.Errorf("variant %d (%s, %v, %v): outcome tree=%v bytecode=%v",
-				i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, tr.Outcome, br.Outcome)
+		for i := range tree.Results {
+			tr, br := tree.Results[i], bc.Results[i]
+			if tr.Fault.Kind != br.Fault.Kind || tr.Mech != br.Mech {
+				t.Fatalf("variant %d identity mismatch: tree=%v/%v %v=%v/%v",
+					i, tr.Fault.Kind, tr.Mech, kind, br.Fault.Kind, br.Mech)
+			}
+			if tr.Outcome != br.Outcome {
+				t.Errorf("variant %d (%s, %v, %v): outcome tree=%v %v=%v",
+					i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, tr.Outcome, kind, br.Outcome)
+			}
 		}
 	}
 }
@@ -303,23 +317,30 @@ func TestDifferentialFaultMatrixHoist(t *testing.T) {
 	}
 	base := run(bytecode.EngineTree, false)
 	tree := run(bytecode.EngineTree, true)
-	bc := run(bytecode.EngineBytecode, true)
-	if len(tree.Results) != len(bc.Results) || len(tree.Results) != len(base.Results) {
-		t.Fatalf("result count: base=%d tree=%d bytecode=%d",
-			len(base.Results), len(tree.Results), len(bc.Results))
+	if len(tree.Results) != len(base.Results) {
+		t.Fatalf("result count: base=%d tree=%d", len(base.Results), len(tree.Results))
 	}
 	for i := range tree.Results {
-		br, tr, cr := base.Results[i], tree.Results[i], bc.Results[i]
+		br, tr := base.Results[i], tree.Results[i]
 		if tr.Fault.Kind != br.Fault.Kind || tr.Mech != br.Mech {
 			t.Fatalf("variant %d identity mismatch across configurations", i)
-		}
-		if tr.Outcome != cr.Outcome {
-			t.Errorf("variant %d (%s, %v, %v): hoisted outcome tree=%v bytecode=%v",
-				i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, tr.Outcome, cr.Outcome)
 		}
 		if tr.Outcome != br.Outcome {
 			t.Errorf("variant %d (%s, %v, %v): hoisting changed the verdict: base=%v hoist=%v",
 				i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, br.Outcome, tr.Outcome)
+		}
+	}
+	for _, kind := range diffEngines() {
+		bc := run(kind, true)
+		if len(tree.Results) != len(bc.Results) {
+			t.Fatalf("result count: tree=%d %v=%d", len(tree.Results), kind, len(bc.Results))
+		}
+		for i := range tree.Results {
+			tr, cr := tree.Results[i], bc.Results[i]
+			if tr.Outcome != cr.Outcome {
+				t.Errorf("variant %d (%s, %v, %v): hoisted outcome tree=%v %v=%v",
+					i, tr.Fault.Bench, tr.Fault.Kind, tr.Mech, tr.Outcome, kind, cr.Outcome)
+			}
 		}
 	}
 }
@@ -337,7 +358,7 @@ int main() {
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	for _, kind := range []bytecode.EngineKind{bytecode.EngineTree, bytecode.EngineBytecode} {
+	for _, kind := range []bytecode.EngineKind{bytecode.EngineTree, bytecode.EngineBytecode, bytecode.EngineCompiler} {
 		machine, err := vm.New(m, vm.Options{MaxSteps: 10000})
 		if err != nil {
 			t.Fatalf("vm.New: %v", err)
@@ -370,7 +391,7 @@ int main() {
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	for _, kind := range []bytecode.EngineKind{bytecode.EngineTree, bytecode.EngineBytecode} {
+	for _, kind := range []bytecode.EngineKind{bytecode.EngineTree, bytecode.EngineBytecode, bytecode.EngineCompiler} {
 		machine, err := vm.New(m, vm.Options{MemBudget: 64 << 20})
 		if err != nil {
 			t.Fatalf("vm.New: %v", err)
@@ -426,32 +447,34 @@ int main() {
 			vopts.Sites = stats.Sites
 			vopts.AllocSites = stats.AllocSites
 			tree := runUnder(t, bytecode.EngineTree, m, vopts)
-			bc := runUnder(t, bytecode.EngineBytecode, m, vopts)
-			if te, be := describeErr(tree.err), describeErr(bc.err); te != be {
-				t.Fatalf("verdict: tree=%s bytecode=%s", te, be)
-			}
 			tr := reportOf(t, bytecode.EngineTree, tree)
-			br := reportOf(t, bytecode.EngineBytecode, bc)
-			if tr.Render() != br.Render() {
-				t.Errorf("rendered reports differ:\n--- tree ---\n%s--- bytecode ---\n%s",
-					tr.Render(), br.Render())
-			}
 			tj, err := tr.JSON()
 			if err != nil {
 				t.Fatalf("tree report JSON: %v", err)
-			}
-			bj, err := br.JSON()
-			if err != nil {
-				t.Fatalf("bytecode report JSON: %v", err)
-			}
-			if string(tj) != string(bj) {
-				t.Errorf("JSON reports differ:\n--- tree ---\n%s--- bytecode ---\n%s", tj, bj)
 			}
 			if tr.Alloc == nil || tr.Alloc.Site == 0 {
 				t.Errorf("report did not attribute the violation to an allocation site: %+v", tr.Alloc)
 			}
 			if len(tr.Events) == 0 {
 				t.Error("report carried no flight-recorder events")
+			}
+			for _, kind := range diffEngines() {
+				bc := runUnder(t, kind, m, vopts)
+				if te, be := describeErr(tree.err), describeErr(bc.err); te != be {
+					t.Fatalf("verdict: tree=%s %v=%s", te, kind, be)
+				}
+				br := reportOf(t, kind, bc)
+				if tr.Render() != br.Render() {
+					t.Errorf("rendered reports differ:\n--- tree ---\n%s--- %v ---\n%s",
+						tr.Render(), kind, br.Render())
+				}
+				bj, err := br.JSON()
+				if err != nil {
+					t.Fatalf("%v report JSON: %v", kind, err)
+				}
+				if string(tj) != string(bj) {
+					t.Errorf("JSON reports differ:\n--- tree ---\n%s--- %v ---\n%s", tj, kind, bj)
+				}
 			}
 		})
 	}
@@ -468,44 +491,46 @@ func TestDifferentialForensicCampaignReports(t *testing.T) {
 		return faultinject.Run(faultinject.Options{Seed: 7, Benches: benches, Engine: kind})
 	}
 	tree := run(bytecode.EngineTree)
-	bc := run(bytecode.EngineBytecode)
-	if len(tree.Results) != len(bc.Results) {
-		t.Fatalf("result count: tree=%d bytecode=%d", len(tree.Results), len(bc.Results))
-	}
-	reports := 0
-	for i := range tree.Results {
-		tr, br := tree.Results[i], bc.Results[i]
-		if (tr.Report == nil) != (br.Report == nil) {
-			t.Errorf("variant %d (%s, %v): report presence tree=%t bytecode=%t",
-				i, tr.Fault, tr.Mech, tr.Report != nil, br.Report != nil)
-			continue
+	for _, kind := range diffEngines() {
+		bc := run(kind)
+		if len(tree.Results) != len(bc.Results) {
+			t.Fatalf("result count: tree=%d %v=%d", len(tree.Results), kind, len(bc.Results))
 		}
-		if tr.ExpectedAlloc != br.ExpectedAlloc || tr.ReportedAlloc != br.ReportedAlloc ||
-			tr.Attributed != br.Attributed {
-			t.Errorf("variant %d (%s, %v): attribution tree=(%d->%d %t) bytecode=(%d->%d %t)",
-				i, tr.Fault, tr.Mech,
-				tr.ExpectedAlloc, tr.ReportedAlloc, tr.Attributed,
-				br.ExpectedAlloc, br.ReportedAlloc, br.Attributed)
+		reports := 0
+		for i := range tree.Results {
+			tr, br := tree.Results[i], bc.Results[i]
+			if (tr.Report == nil) != (br.Report == nil) {
+				t.Errorf("variant %d (%s, %v): report presence tree=%t %v=%t",
+					i, tr.Fault, tr.Mech, tr.Report != nil, kind, br.Report != nil)
+				continue
+			}
+			if tr.ExpectedAlloc != br.ExpectedAlloc || tr.ReportedAlloc != br.ReportedAlloc ||
+				tr.Attributed != br.Attributed {
+				t.Errorf("variant %d (%s, %v): attribution tree=(%d->%d %t) %v=(%d->%d %t)",
+					i, tr.Fault, tr.Mech,
+					tr.ExpectedAlloc, tr.ReportedAlloc, tr.Attributed, kind,
+					br.ExpectedAlloc, br.ReportedAlloc, br.Attributed)
+			}
+			if tr.Report == nil {
+				continue
+			}
+			reports++
+			tj, err := tr.Report.JSON()
+			if err != nil {
+				t.Fatalf("variant %d tree report JSON: %v", i, err)
+			}
+			bj, err := br.Report.JSON()
+			if err != nil {
+				t.Fatalf("variant %d %v report JSON: %v", i, kind, err)
+			}
+			if string(tj) != string(bj) {
+				t.Errorf("variant %d (%s, %v): reports differ:\n--- tree ---\n%s--- %v ---\n%s",
+					i, tr.Fault, tr.Mech, tj, kind, bj)
+			}
 		}
-		if tr.Report == nil {
-			continue
+		if reports == 0 {
+			t.Fatal("campaign slice produced no violation reports to compare")
 		}
-		reports++
-		tj, err := tr.Report.JSON()
-		if err != nil {
-			t.Fatalf("variant %d tree report JSON: %v", i, err)
-		}
-		bj, err := br.Report.JSON()
-		if err != nil {
-			t.Fatalf("variant %d bytecode report JSON: %v", i, err)
-		}
-		if string(tj) != string(bj) {
-			t.Errorf("variant %d (%s, %v): reports differ:\n--- tree ---\n%s--- bytecode ---\n%s",
-				i, tr.Fault, tr.Mech, tj, bj)
-		}
-	}
-	if reports == 0 {
-		t.Fatal("campaign slice produced no violation reports to compare")
 	}
 }
 

@@ -29,6 +29,14 @@ type Engine struct {
 	// with the tree interpreter so both engines' profiles read identically.
 	prof []vm.SiteCount
 
+	// opt enables the compiler tier's quickened overlays (superinstructions
+	// and trace-fused loops). Coverage runs disable it: the fused paths skip
+	// per-op coverage marking, so they fall back to exact generic dispatch.
+	opt bool
+	// fb points at the running frame's low-fat fallback allocation list
+	// (saved/restored across calls); fused alloca ops append through it.
+	fb *[]uint64
+
 	lfStack  bool
 	steps    uint64
 	maxSteps uint64
@@ -52,6 +60,21 @@ type Engine struct {
 	// number plus one so the zero value never matches.
 	pageID uint64
 	page   *[mem.PageSize]byte
+
+	// Direct-mapped multi-way page cache for the compiler tier's quickened
+	// memory ops (qpWays slots, indexed by low page-number bits). Programs
+	// alternating between a few arrays on different pages thrash a
+	// one-entry cache into the address-space map lookup; a few ways absorb
+	// that. IDs are page number plus one so zero never matches.
+	qpageID [qpWays]uint64
+	qpages  [qpWays]*[mem.PageSize]byte
+
+	// nat is the native-tier binding (compiler tier, plain runs only): the
+	// program's loaded plugin plus this engine's environment. natFn tracks
+	// the function currently executing natively, giving the environment's
+	// error and gate closures their op context across nested calls.
+	nat   *natBind
+	natFn *Fn
 }
 
 // engFrame tracks the executing function and its last call/raise site for
@@ -79,12 +102,13 @@ func NewEngine(p *Program, machine *vm.VM) (*Engine, error) {
 		return nil, fmt.Errorf("bytecode: program compiled with Forensics=%v but VM has Forensics=%v", p.rec, opts.Forensics)
 	}
 	e := &Engine{
-		vm:       machine,
-		p:        p,
-		cm:       machine.CostModel(),
-		st:       &machine.Stats,
-		cover:    opts.CoverInstrs,
-		prof:     machine.SiteProfile(),
+		vm:            machine,
+		p:             p,
+		cm:            machine.CostModel(),
+		st:            &machine.Stats,
+		cover:         opts.CoverInstrs,
+		opt:           p.tier == EngineCompiler && opts.CoverInstrs == nil,
+		prof:          machine.SiteProfile(),
 		lfStack:       opts.LowFatStack,
 		maxSteps:      machine.StepLimit(),
 		intr:          opts.Interrupt,
@@ -104,6 +128,15 @@ func NewEngine(p *Program, machine *vm.VM) (*Engine, error) {
 			}
 		}
 		e.consts[i] = cs
+	}
+	// Bind the native tier when the program supports it (compiler tier,
+	// no site profiling, no forensics, no coverage). A nil result — build
+	// failure, disabled platform — silently leaves the fused interpreter
+	// as the fastest tier; semantics never depend on the binding.
+	if e.opt && !p.prof && !p.rec {
+		if np := p.native(); np != nil {
+			e.nat = &natBind{prog: np, env: e.newNatEnv()}
+		}
 	}
 	return e, nil
 }
@@ -195,8 +228,15 @@ func (e *Engine) call(fn *Fn, args []uint64) (uint64, error) {
 		lfMark = e.vm.LF.Checkpoint()
 	}
 	e.frames = append(e.frames, engFrame{fn: fn})
+	var q *quickFn
+	if e.opt {
+		q = fn.quicken()
+	}
 	var fallback []uint64
-	ret, err := e.exec(fn, args, &fallback)
+	savedFB := e.fb
+	e.fb = &fallback
+	ret, err := e.exec(fn, q, args, &fallback)
+	e.fb = savedFB
 	e.frames = e.frames[:len(e.frames)-1]
 	e.vm.SetStackPointer(savedSP)
 	if e.lfStack {
@@ -293,7 +333,14 @@ func b2u(b bool) uint64 {
 // exec is the dispatch loop. The preamble above the switch is the exact
 // accounting sequence of the reference interpreter's instruction loop:
 // step++, step-limit check, Stats.Instrs++, Stats.Cost, coverage mark.
-func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error) {
+//
+// q, when non-nil, is the function's quickened overlay (compiler tier): at
+// superinstruction and fused-loop entry points, execution switches to the
+// batched fast paths in quickrun.go whenever the entry condition shows the
+// next interrupt poll and the step limit are unreachable inside the fused
+// region; otherwise this loop runs the same ops one at a time with exact
+// per-op accounting.
+func (e *Engine) exec(fn *Fn, q *quickFn, args []uint64, fallback *[]uint64) (uint64, error) {
 	regs := e.getRegs(fn.nregs)
 	defer func() { e.free = append(e.free, regs) }()
 	copy(regs[:fn.nparams], args)
@@ -304,7 +351,51 @@ func (e *Engine) exec(fn *Fn, args []uint64, fallback *[]uint64) (uint64, error)
 	cover := e.cover
 	ops := fn.ops
 	pc := 0
+	// natSkip forces at least one non-native dispatch after a native
+	// bail-out, so a bail at pc (step limit near, interrupt pending) cannot
+	// immediately re-enter native code at the same pc and livelock.
+	natSkip := false
 	for {
+		if e.nat != nil && !natSkip {
+			if nf := &e.nat.prog.fns[fn.idx]; nf.code != nil {
+				if bb := nf.at[pc]; bb >= 0 {
+					npc, ret, done, err := e.execNative(fn, nf, bb, regs)
+					if err != nil {
+						return 0, err
+					}
+					if done {
+						return ret, nil
+					}
+					pc = npc
+					natSkip = true
+					continue
+				}
+			}
+		}
+		natSkip = false
+		if q != nil {
+			if v := q.at[pc]; v != atNone {
+				entry := false
+				if v >= 0 {
+					s := &q.segs[v]
+					entry = e.intrCountdown > s.steps && e.steps+s.steps <= e.maxSteps
+				} else {
+					lp := &q.loops[loopIdx(v)]
+					entry = e.intrCountdown > lp.iterSteps && e.steps+lp.iterSteps <= e.maxSteps
+				}
+				if entry {
+					npc, ret, done, err := e.runFused(fn, q, v, regs)
+					if err != nil {
+						return 0, err
+					}
+					if done {
+						return ret, nil
+					}
+					pc = npc
+					continue
+				}
+			}
+		}
 		o := &ops[pc]
 		if o.code < opUncountedStart {
 			e.steps++

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bytecode
+
+// raceEnabled mirrors the host binary's -race flag so native plugin builds
+// match it: a race-enabled host can only load race-enabled plugins.
+const raceEnabled = false

@@ -1,0 +1,834 @@
+package bytecode
+
+import "sync/atomic"
+
+// The compiler tier's quickening pass.
+//
+// The bytecode engine already resolved operands and jump targets at compile
+// time; what remains per executed op is the dispatch preamble (step count,
+// step-limit check, interrupt countdown, instruction count, cost, coverage)
+// and the switch dispatch itself. The compiler tier eliminates most of that
+// per-op work with a per-function overlay built on the function's first
+// execution:
+//
+//   - quickening: generic opcodes are rewritten to specialized variants with
+//     type/width/shape baked in (a 64-bit load no longer switches on width,
+//     a one-index GEP becomes a single fused multiply-add, a no-op
+//     truncation becomes a move);
+//
+//   - superinstructions: maximal straight-line opcode runs become segments
+//     executed back-to-back with no inter-op dispatch preamble. A segment's
+//     step/instruction/cost accounting is batched: steps and the interrupt
+//     countdown commit once per segment, instructions and cost once per
+//     accounting group. Groups end only at ops that record flight-recorder
+//     events (which stamp the live instruction counter); ops that merely
+//     fault may sit mid-group because a fault terminates the run and
+//     ViolationError/RuntimeError carry no statistics snapshot — the cold
+//     fault path rolls back the pre-committed accounting of the unexecuted
+//     group suffix, so vm.Stats reads exactly what the reference
+//     interpreter would have accumulated at every observable stop point;
+//
+//   - trace-fused counted loops: loops recognized by
+//     analysis.AnalyzeCountedLoop (the same recognition the check-hoisting
+//     pass builds on, handed across the IR→bytecode boundary as pc geometry
+//     by the compiler) whose body is a single straight-line block run as one
+//     mega-op: per iteration one bounded-steps check, the header groups, an
+//     inlined exit test, the body groups and an inlined phi copy — no outer
+//     dispatch at all.
+//
+// Exactness of the fast path is guaranteed by entry conditions, not by
+// per-op checks: a segment (or loop iteration) only runs fused when the
+// interrupt countdown strictly exceeds its step total and the step limit
+// cannot be reached inside it. Otherwise the generic dispatch loop executes
+// the same ops one at a time with the exact per-op preamble, so interrupt
+// polls still occur exactly every vm.InterruptStride steps and step-limit
+// faults are raised at exactly the op (and with exactly the statistics) the
+// reference interpreter would report. The overlay is built once per
+// function under a mutex and published atomically, so Programs shared
+// through the compiled-module cache quicken safely under concurrency.
+
+// loopMeta is the compile-time pc geometry of a trace-fusable counted loop
+// candidate: header block start and terminator, plus the latch block when it
+// is separate (-1 for single-block loops where header == latch).
+type loopMeta struct {
+	hdrPC     int32
+	hdrTerm   int32
+	latchPC   int32
+	latchTerm int32
+}
+
+// Segment terminator kinds.
+const (
+	termFall uint8 = iota // continue at t via the generic loop (call, error op)
+	termJump              // unconditional branch to t
+	termCond              // branch to t if regs[a] != 0, else to f
+	termRet               // return regs[a] (or 0 when a < 0)
+	termPhi               // parallel copy phis[x], then jump to t
+)
+
+type qterm struct {
+	t, f int32
+	a    int32
+	x    int32
+	kind uint8
+}
+
+// qgroup is one accounting group of a superinstruction: its static
+// instruction count and cost commit in one add each before the ops run.
+// Ops may fault mid-group; rbInstrs[i]/rbCost[i] hold the static accounting
+// of the ops after index i, which the fault path subtracts so statistics
+// land exactly where the reference interpreter leaves them (the faulting
+// op's own preamble stays committed, matching the reference's
+// preamble-before-body order).
+type qgroup struct {
+	instrs   uint64
+	cost     uint64
+	ops      []op
+	rbInstrs []uint64
+	rbCost   []uint64
+	rbSteps  []uint64
+}
+
+// qseg is one superinstruction: a straight-line run of groups plus a
+// terminator. steps is the run's total counted-step contribution including
+// the terminator; tailInstrs/tailCost are the terminator's instruction
+// accounting, committed after the groups (matching reference order).
+type qseg struct {
+	steps      uint64
+	tailInstrs uint64
+	tailCost   uint64
+	tailSteps  uint64
+	groups     []qgroup
+	term       qterm
+	// fast: exactly one group with no trailing flight-recorder op, so the
+	// fused executor commits group + tail statics in one batch and runs the
+	// ops inline. Multi-group (recording) segments take the exact
+	// group-at-a-time path.
+	fast bool
+}
+
+// qloop is a trace-fused counted loop.
+type qloop struct {
+	hdrPC   int32 // bail target: the generic loop resumes here
+	exitPC  int32
+	condReg int32
+	// contOnTrue: the loop continues when regs[condReg] != 0.
+	contOnTrue bool
+	// phiDirect: back-edge phi sources and destinations are disjoint, so
+	// the parallel copy degenerates to sequential moves.
+	phiDirect bool
+
+	hdrSteps      uint64 // header ops + condbr
+	hdrTailInstrs uint64 // condbr
+	hdrTailCost   uint64
+	hdrGroups     []qgroup
+
+	bodySteps      uint64 // latch ops + br (0 for single-block loops)
+	bodyTailInstrs uint64 // br + phi-copy instruction accounting
+	bodyTailCost   uint64
+	bodyGroups     []qgroup
+
+	iterSteps uint64 // hdrSteps + bodySteps: one full iteration
+	phi       phiPlan
+
+	// Fast-iteration precomputation: when header and body are at most one
+	// recording-free group each, the fused executor commits a whole
+	// iteration's static accounting up front and rolls back the unexecuted
+	// remainder on loop exit (exitRb*) or on a fault (per-op rb arrays plus
+	// the phase's xrb constant). fast is false otherwise and the loop runs
+	// through the exact group-at-a-time path.
+	fast           bool
+	hdrOps         []op
+	hdrRbI, hdrRbC []uint64
+	hdrRbS         []uint64
+	bodyOps        []op
+	bodyRbI        []uint64
+	bodyRbC        []uint64
+	bodyRbS        []uint64
+	iterInstrs     uint64 // hdr + hdrTail + body + bodyTail statics
+	iterCost       uint64
+	exitRbInstrs   uint64 // body + bodyTail: never run when the header test exits
+	exitRbCost     uint64
+	hdrXrbI        uint64 // hdrTail + body + bodyTail: beyond a faulting header op
+	hdrXrbC        uint64
+	bodyXrbI       uint64 // bodyTail: beyond a faulting body op
+	bodyXrbC       uint64
+}
+
+// at-slot encoding: >= 0 is a segment index, atNone is empty, <= -2 is a
+// fused loop encoded as -(index+2).
+const atNone = int32(-1)
+
+func atLoop(idx int) int32 { return -int32(idx) - 2 }
+func loopIdx(v int32) int  { return int(-v) - 2 }
+
+// quickFn is the quickened overlay of one function: per-pc dispatch hints
+// plus the superinstruction and fused-loop tables they index.
+type quickFn struct {
+	at    []int32
+	segs  []qseg
+	loops []qloop
+}
+
+// Quickening/fusion counters (process-wide, exported to the observability
+// plane through QuickenStats).
+var (
+	qcFns       atomic.Uint64
+	qcRewritten atomic.Uint64
+	qcSuperops  atomic.Uint64
+	qcLoops     atomic.Uint64
+)
+
+// QuickenStats reports cumulative compiler-tier counters: functions
+// quickened, generic opcodes rewritten to specialized variants,
+// superinstructions formed (trace segments plus fused adjacent pairs —
+// each removes at least one dispatch per execution), and counted loops
+// trace-fused.
+func QuickenStats() (fns, rewritten, superops, loops uint64) {
+	return qcFns.Load(), qcRewritten.Load(), qcSuperops.Load(), qcLoops.Load()
+}
+
+// quicken returns the function's quickened overlay, building it on first
+// use. Build is guarded by a mutex and published atomically: a Program
+// shared by concurrent Engines quickens each function exactly once, and
+// readers either see the complete overlay or none.
+func (fn *Fn) quicken() *quickFn {
+	if q := fn.quick.Load(); q != nil {
+		return q
+	}
+	fn.quickGen.Lock()
+	defer fn.quickGen.Unlock()
+	if q := fn.quick.Load(); q != nil {
+		return q
+	}
+	q := buildQuick(fn)
+	fn.quick.Store(q)
+	return q
+}
+
+// groupBreaker reports ops that cannot run inside a superinstruction at
+// all: calls (unbounded nested execution), deferred compile errors, and the
+// control ops the segment builder turns into terminators.
+func groupBreaker(code opcode) bool {
+	switch code {
+	case opCallInt, opCallExt, opErrInstr, opErrRaw, opBr, opCondBr, opRet, opPhiCopy:
+		return true
+	}
+	return false
+}
+
+// groupEnder reports ops that must close their accounting group: only the
+// flight-recorder variants, which stamp the live instruction counter into
+// recorded events and therefore must not see accounting pre-committed for
+// ops beyond them. Merely-faulting ops (loads, stores, checks, divides,
+// allocas) sit mid-group — their cold fault path rolls the unexecuted
+// suffix back instead.
+func groupEnder(code opcode) bool {
+	switch code {
+	case opAllocaRec,
+		opSBStoreMDRec, opSBCheckRec, opLFCheckRec, opLFCheckInvRec,
+		opSBCheckRangeRec, opLFCheckRangeRec,
+		opSBCheckLoadRec, opSBCheckStoreRec, opLFCheckLoadRec, opLFCheckStoreRec:
+		return true
+	}
+	return false
+}
+
+// fusedAccess reports the fused check+access opcodes, which account as two
+// instructions and two steps.
+func fusedAccess(code opcode) bool {
+	switch code {
+	case opSBCheckLoad, opSBCheckStore, opLFCheckLoad, opLFCheckStore,
+		opSBCheckLoadProf, opSBCheckStoreProf, opLFCheckLoadProf, opLFCheckStoreProf,
+		opSBCheckLoadRec, opSBCheckStoreRec, opLFCheckLoadRec, opLFCheckStoreRec:
+		return true
+	}
+	return false
+}
+
+// quickenOp rewrites one generic op to its specialized variant where the
+// shape allows, reporting whether it changed. Semantics are identical by
+// construction; only dispatch-time work moves to build time.
+func quickenOp(fn *Fn, o *op) bool {
+	switch o.code {
+	case opTrunc:
+		if o.imm == ^uint64(0) {
+			o.code = opMove
+			return true
+		}
+	case opLoad:
+		switch o.wbits {
+		case 1:
+			o.code = opQLoad8
+		case 2:
+			o.code = opQLoad16
+		case 4:
+			o.code = opQLoad32
+		case 8:
+			o.code = opQLoad64
+		default:
+			return false
+		}
+		return true
+	case opStore:
+		switch o.wbits {
+		case 1:
+			o.code = opQStore8
+		case 2:
+			o.code = opQStore16
+		case 4:
+			o.code = opQStore32
+		case 8:
+			o.code = opQStore64
+		default:
+			return false
+		}
+		return true
+	case opGEP:
+		pl := &fn.geps[o.x]
+		switch len(pl.steps) {
+		case 0:
+			o.code = opMove
+			return true
+		case 1:
+			s := &pl.steps[0]
+			if s.reg < 0 {
+				o.code, o.imm, o.x = opQGEPC, uint64(s.off), 0
+			} else {
+				o.code, o.b, o.wbits, o.imm, o.x = opQGEPRC, s.reg, s.sh, uint64(s.scale), 0
+			}
+			return true
+		case 2:
+			var rs, cs *gepStep
+			s0, s1 := &pl.steps[0], &pl.steps[1]
+			switch {
+			case s0.reg >= 0 && s1.reg < 0:
+				rs, cs = s0, s1
+			case s0.reg < 0 && s1.reg >= 0:
+				rs, cs = s1, s0
+			default:
+				return false
+			}
+			if cs.off != int64(int32(cs.off)) {
+				return false
+			}
+			o.code, o.b, o.wbits, o.imm, o.x = opQGEPRC, rs.reg, rs.sh, uint64(rs.scale), int32(cs.off)
+			return true
+		}
+	}
+	return false
+}
+
+// microFuse merges an address computation with the access it feeds: a
+// specialized GEP whose result is immediately dereferenced becomes a single
+// indexed load/store superinstruction. The GEP result register is still
+// written (the fused op's c field), so later uses are unaffected.
+func microFuse(prev, cur *op) (op, bool) {
+	var f op
+	switch prev.code {
+	case opQGEPRC:
+		switch cur.code {
+		case opQLoad8, opQLoad16, opQLoad32, opQLoad64:
+			if cur.a != prev.dst {
+				return f, false
+			}
+			f = op{code: opQLoadIdx8 + (cur.code - opQLoad8), instr: cur.instr,
+				dst: cur.dst, a: prev.a, b: prev.b, c: prev.dst,
+				imm: prev.imm, x: prev.x, wbits: prev.wbits}
+			return f, true
+		case opQStore8, opQStore16, opQStore32, opQStore64:
+			if cur.b != prev.dst {
+				return f, false
+			}
+			f = op{code: opQStoreIdx8 + (cur.code - opQStore8), instr: cur.instr,
+				dst: cur.a, a: prev.a, b: prev.b, c: prev.dst,
+				imm: prev.imm, x: prev.x, wbits: prev.wbits}
+			return f, true
+		}
+	case opQGEPC:
+		switch cur.code {
+		case opQLoad8, opQLoad16, opQLoad32, opQLoad64:
+			if cur.a != prev.dst {
+				return f, false
+			}
+			f = op{code: opQLoadOff8 + (cur.code - opQLoad8), instr: cur.instr,
+				dst: cur.dst, a: prev.a, c: prev.dst, imm: prev.imm}
+			return f, true
+		case opQStore8, opQStore16, opQStore32, opQStore64:
+			if cur.b != prev.dst {
+				return f, false
+			}
+			f = op{code: opQStoreOff8 + (cur.code - opQStore8), instr: cur.instr,
+				dst: cur.a, a: prev.a, c: prev.dst, imm: prev.imm}
+			return f, true
+		}
+	}
+	return f, false
+}
+
+// groupBuilder accumulates superinstruction slots with per-slot static
+// accounting (instrs, cost, steps) so the cold paths can roll back exactly
+// the unexecuted suffix: faults subtract rbInstrs/rbCost, and mid-trace
+// exits (opTExit) additionally subtract rbSteps from the step budget they
+// continue running against.
+type groupBuilder struct {
+	groups              []qgroup
+	cur                 qgroup
+	slotI, slotC, slotS []uint64
+	// pend*: statics of mid-trace unconditional jumps, folded into the
+	// next slot. The jump runs exactly when the preceding slot completed,
+	// which is the rollback boundary of the slot that follows it.
+	pendI, pendC, pendS uint64
+	steps               uint64
+}
+
+func (b *groupBuilder) flush() {
+	if len(b.cur.ops) == 0 && b.cur.instrs == 0 {
+		return
+	}
+	// rbInstrs[i]/rbCost[i]/rbSteps[i] hold the static accounting of slots
+	// after i: the amount a fault or trace exit at slot i must subtract,
+	// since those ops never ran. The slot's own accounting stays committed
+	// (the reference runs the preamble before the op body).
+	n := len(b.cur.ops)
+	b.cur.rbInstrs = make([]uint64, n)
+	b.cur.rbCost = make([]uint64, n)
+	b.cur.rbSteps = make([]uint64, n)
+	var si, sc, ss uint64
+	for i := n - 1; i >= 0; i-- {
+		b.cur.rbInstrs[i], b.cur.rbCost[i], b.cur.rbSteps[i] = si, sc, ss
+		si += b.slotI[i]
+		sc += b.slotC[i]
+		ss += b.slotS[i]
+	}
+	b.groups = append(b.groups, b.cur)
+	b.cur = qgroup{}
+	b.slotI, b.slotC, b.slotS = nil, nil, nil
+}
+
+// slot appends one dispatch slot with explicit statics, absorbing any
+// pending jump statics.
+func (b *groupBuilder) slot(o op, instrs, cost, steps uint64) {
+	instrs += b.pendI
+	cost += b.pendC
+	steps += b.pendS
+	b.pendI, b.pendC, b.pendS = 0, 0, 0
+	b.steps += steps
+	b.cur.instrs += instrs
+	b.cur.cost += cost
+	b.cur.ops = append(b.cur.ops, o)
+	b.slotI = append(b.slotI, instrs)
+	b.slotC = append(b.slotC, cost)
+	b.slotS = append(b.slotS, steps)
+}
+
+// pend records the statics of a mid-trace unconditional jump for the next
+// slot to absorb.
+func (b *groupBuilder) pend(instrs, cost, steps uint64) {
+	b.pendI += instrs
+	b.pendC += cost
+	b.pendS += steps
+}
+
+// addRange compiles the straight-line op range [start, end): quickening,
+// micro-fusion, and per-slot accounting. The caller guarantees the range
+// holds no group breakers.
+func (b *groupBuilder) addRange(fn *Fn, start, end int) {
+	for pc := start; pc < end; pc++ {
+		o := fn.ops[pc]
+		var steps uint64 = 1
+		if fusedAccess(o.code) {
+			// Both halves are covered by the step total, but only the
+			// check half's instruction/cost accounting is static: the
+			// access half commits inside the op, after the check's event or
+			// fault point, exactly where the reference interpreter adds it.
+			steps = 2
+		}
+		if quickenOp(fn, &o) {
+			qcRewritten.Add(1)
+		}
+		if n := len(b.cur.ops); n > 0 {
+			if f, fok := microFuse(&b.cur.ops[n-1], &o); fok {
+				// The fused slot's address half cannot fault, so a fault in
+				// the slot is a fault in the access half: everything folded
+				// into the slot (including pending jump statics, which sit
+				// between the halves) stays committed, as the reference
+				// would have it.
+				b.cur.ops[n-1] = f
+				b.cur.instrs += 1 + b.pendI
+				b.cur.cost += o.cost + b.pendC
+				b.steps += steps + b.pendS
+				b.slotI[n-1] += 1 + b.pendI
+				b.slotC[n-1] += o.cost + b.pendC
+				b.slotS[n-1] += steps + b.pendS
+				b.pendI, b.pendC, b.pendS = 0, 0, 0
+				qcRewritten.Add(1)
+				continue
+			}
+		}
+		b.slot(o, 1, o.cost, steps)
+		if groupEnder(o.code) {
+			b.flush()
+		}
+	}
+}
+
+// buildGroups compiles the straight-line op range [start, end) into
+// accounting groups, returning the range's counted-step total. ok is false
+// when the range contains an op that cannot run inside a superinstruction.
+func buildGroups(fn *Fn, start, end int) (groups []qgroup, steps uint64, ok bool) {
+	for pc := start; pc < end; pc++ {
+		if groupBreaker(fn.ops[pc].code) {
+			return nil, 0, false
+		}
+	}
+	var b groupBuilder
+	b.addRange(fn, start, end)
+	b.flush()
+	return b.groups, b.steps, true
+}
+
+// isBackStub reports whether pc holds the parallel-copy stub of a loop back
+// edge into hdr.
+func isBackStub(fn *Fn, pc, hdr int32) bool {
+	if pc < 0 || int(pc) >= len(fn.ops) {
+		return false
+	}
+	o := &fn.ops[pc]
+	return o.code == opPhiCopy && o.b == hdr
+}
+
+func disjointRegs(a, b []int32) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildLoop verifies a counted-loop candidate against the flat ops and
+// compiles it into a mega-op. It rejects (leaving the loop to plain
+// superinstructions) whenever any op-level requirement fails.
+func buildLoop(fn *Fn, m loopMeta) (*qloop, bool) {
+	ops := fn.ops
+	ct := &ops[m.hdrTerm]
+	if ct.code != opCondBr {
+		return nil, false
+	}
+	hg, hsteps, ok := buildGroups(fn, int(m.hdrPC), int(m.hdrTerm))
+	if !ok {
+		return nil, false
+	}
+	lp := &qloop{hdrPC: m.hdrPC, condReg: ct.a}
+	lp.hdrGroups = hg
+	lp.hdrSteps = hsteps + 1 // + condbr
+	lp.hdrTailInstrs = 1
+	lp.hdrTailCost = ct.cost
+
+	// Identify the continue edge: for a two-block loop the condbr must
+	// target the latch directly (no phi stub in between); for a
+	// single-block loop it must target the back-edge phi stub.
+	continues := func(t int32) bool {
+		if m.latchPC >= 0 {
+			return t == m.latchPC
+		}
+		return isBackStub(fn, t, m.hdrPC)
+	}
+	var contPC int32
+	switch {
+	case continues(ct.b) && !continues(ct.c):
+		lp.contOnTrue, contPC, lp.exitPC = true, ct.b, ct.c
+	case continues(ct.c) && !continues(ct.b):
+		lp.contOnTrue, contPC, lp.exitPC = false, ct.c, ct.b
+	default:
+		return nil, false
+	}
+
+	stubPC := contPC
+	if m.latchPC >= 0 {
+		bt := &ops[m.latchTerm]
+		if bt.code != opBr {
+			return nil, false
+		}
+		bg, bsteps, ok := buildGroups(fn, int(m.latchPC), int(m.latchTerm))
+		if !ok {
+			return nil, false
+		}
+		lp.bodyGroups = bg
+		lp.bodySteps = bsteps + 1 // + br
+		lp.bodyTailInstrs = 1
+		lp.bodyTailCost = bt.cost
+		stubPC = bt.b
+	}
+	if !isBackStub(fn, stubPC, m.hdrPC) {
+		return nil, false
+	}
+	pl := &fn.phis[ops[stubPC].x]
+	lp.phi = phiPlan{srcs: pl.srcs, dsts: pl.dsts}
+	lp.bodyTailInstrs += uint64(len(pl.dsts))
+	lp.phiDirect = disjointRegs(pl.srcs, pl.dsts)
+	lp.iterSteps = lp.hdrSteps + lp.bodySteps
+
+	lp.fast = groupsFast(lp.hdrGroups) && groupsFast(lp.bodyGroups)
+	if lp.fast {
+		var hi, hc, bi, bc uint64
+		if len(lp.hdrGroups) == 1 {
+			g := &lp.hdrGroups[0]
+			lp.hdrOps, lp.hdrRbI, lp.hdrRbC, lp.hdrRbS = g.ops, g.rbInstrs, g.rbCost, g.rbSteps
+			hi, hc = g.instrs, g.cost
+		}
+		if len(lp.bodyGroups) == 1 {
+			g := &lp.bodyGroups[0]
+			lp.bodyOps, lp.bodyRbI, lp.bodyRbC, lp.bodyRbS = g.ops, g.rbInstrs, g.rbCost, g.rbSteps
+			bi, bc = g.instrs, g.cost
+		}
+		lp.iterInstrs = hi + lp.hdrTailInstrs + bi + lp.bodyTailInstrs
+		lp.iterCost = hc + lp.hdrTailCost + bc + lp.bodyTailCost
+		lp.exitRbInstrs = bi + lp.bodyTailInstrs
+		lp.exitRbCost = bc + lp.bodyTailCost
+		lp.hdrXrbI = lp.hdrTailInstrs + lp.exitRbInstrs
+		lp.hdrXrbC = lp.hdrTailCost + lp.exitRbCost
+		lp.bodyXrbI = lp.bodyTailInstrs
+		lp.bodyXrbC = lp.bodyTailCost
+		fusePairsIn(lp.hdrOps)
+		fusePairsIn(lp.bodyOps)
+	}
+	return lp, true
+}
+
+// groupsFast reports whether a group list qualifies for batched-commit
+// execution: at most one group, and that group must not end in a
+// flight-recorder op (an ender), which would observe the live instruction
+// counter before the batch's tail statics were earned.
+func groupsFast(gs []qgroup) bool {
+	switch len(gs) {
+	case 0:
+		return true
+	case 1:
+		ops := gs[0].ops
+		return len(ops) == 0 || !groupEnder(ops[len(ops)-1].code)
+	}
+	return false
+}
+
+// Trace-formation caps: a superblock trace stops extending once it spans
+// this many blocks or dispatch slots. The caps bound both build cost and
+// the all-or-nothing step pre-commitment a trace entry requires.
+const (
+	maxTraceBlocks = 12
+	maxTraceOps    = 96
+)
+
+// scanRun returns the end of the straight-line op run starting at pc: the
+// pc of the first group breaker (terminator, call, deferred error), or the
+// end of the op array.
+func scanRun(fn *Fn, pc int32) int32 {
+	for int(pc) < len(fn.ops) && !groupBreaker(fn.ops[pc].code) {
+		pc++
+	}
+	return pc
+}
+
+// rangeHasEnder reports whether [start, end) holds a flight-recorder op.
+// Traces never extend across those: their mid-run reads of the live
+// instruction counter must not observe another block's pre-committed
+// statics.
+func rangeHasEnder(fn *Fn, start, end int32) bool {
+	for pc := start; pc < end; pc++ {
+		if groupEnder(fn.ops[pc].code) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildTrace builds the superinstruction starting at start: the block's
+// straight-line run, extended across unconditional jumps, phi-copy stubs,
+// and conditional branches into a superblock trace while the target block
+// keeps the trace a single recording-free group. Mid-trace jumps fold into
+// the next slot's statics (no dispatch at all); mid-trace conditional
+// branches become opTExit slots that fall through while the branch stays
+// on trace and roll back the unexecuted suffix when it leaves. ok is false
+// when the block yields no executable segment.
+func buildTrace(fn *Fn, q *quickFn, start int32) (qseg, bool) {
+	var b groupBuilder
+	var seg qseg
+	visited := map[int32]bool{start: true}
+	cur := start
+	blocks := 0
+	// canExtend reports whether the trace may continue into block t:
+	// unvisited (no cycles — backward control flow re-enters through the
+	// overlay at the target's own unit), not a fused loop's header (the
+	// mega-op owns it), and a run that keeps the trace one fast group.
+	canExtend := func(t int32) bool {
+		if int(t) >= len(fn.ops) || visited[t] || q.at[t] <= atLoop(0) {
+			return false
+		}
+		end := scanRun(fn, t)
+		return int(end) < len(fn.ops) && !rangeHasEnder(fn, t, end)
+	}
+	for {
+		runEnd := scanRun(fn, cur)
+		if int(runEnd) >= len(fn.ops) {
+			// A run falling off the end of the op array cannot execute
+			// (every block ends in a terminator); don't build a segment.
+			return seg, false
+		}
+		b.addRange(fn, int(cur), int(runEnd))
+		blocks++
+		to := &fn.ops[runEnd]
+		extendable := blocks < maxTraceBlocks && len(b.groups) == 0 &&
+			len(b.cur.ops) < maxTraceOps
+		switch to.code {
+		case opBr:
+			if extendable && canExtend(to.b) {
+				b.pend(1, to.cost, 1)
+				visited[to.b] = true
+				cur = to.b
+				continue
+			}
+			seg.term = qterm{kind: termJump, t: to.b}
+		case opPhiCopy:
+			if extendable && canExtend(to.b) {
+				b.slot(op{code: opPhiCopy, x: to.x},
+					uint64(len(fn.phis[to.x].dsts)), 0, 0)
+				visited[to.b] = true
+				cur = to.b
+				continue
+			}
+			seg.term = qterm{kind: termPhi, x: to.x, t: to.b}
+		case opCondBr:
+			t, f := to.b, to.c
+			var on, off int32 = -1, -1
+			onTrue := int32(0)
+			if extendable {
+				canT, canF := canExtend(t), canExtend(f)
+				switch {
+				case canT && canF:
+					// Prefer the layout successor: the block laid out
+					// right after the branch is the likelier hot path.
+					if f == runEnd+1 {
+						on, off = f, t
+					} else {
+						on, off, onTrue = t, f, 1
+					}
+				case canT:
+					on, off, onTrue = t, f, 1
+				case canF:
+					on, off = f, t
+				}
+			}
+			if on >= 0 {
+				b.slot(op{code: opTExit, a: to.a, b: off, x: onTrue},
+					1, to.cost, 1)
+				visited[on] = true
+				cur = on
+				continue
+			}
+			seg.term = qterm{kind: termCond, a: to.a, t: t, f: f}
+		case opRet:
+			seg.term = qterm{kind: termRet, a: to.a}
+		default: // call or deferred error: hand back to the generic loop
+			seg.term = qterm{kind: termFall, t: runEnd}
+		}
+		break
+	}
+	b.flush()
+	seg.groups = b.groups
+	seg.steps = b.steps
+	switch seg.term.kind {
+	case termJump, termCond, termRet:
+		to := &fn.ops[scanRun(fn, cur)]
+		seg.steps++
+		seg.tailSteps = 1
+		seg.tailInstrs = 1
+		seg.tailCost = to.cost
+	case termPhi:
+		seg.tailInstrs = uint64(len(fn.phis[seg.term.x].dsts))
+	}
+	// Trailing jump statics with no slot to attach to (an empty final
+	// block) commit and roll back with the tail.
+	seg.tailInstrs += b.pendI
+	seg.tailCost += b.pendC
+	seg.tailSteps += b.pendS
+	seg.steps += b.pendS
+	if len(seg.groups) == 0 && seg.term.kind == termFall {
+		return seg, false
+	}
+	seg.fast = len(seg.groups) == 1 && groupsFast(seg.groups)
+	if seg.fast {
+		fusePairsIn(seg.groups[0].ops)
+	}
+	return seg, true
+}
+
+// fusePairsIn rewrites adjacent opcode pairs in a fast group's dispatch
+// stream into single fused superinstructions, greedily left-to-right.
+// Only the first slot's code changes; the second slot stays in place, so
+// per-slot rollback statics and fault attribution are untouched — the
+// fused case executes both halves and indexes the rollback arrays with
+// the half's own slot. Fused streams are only ever run by the batched
+// fast path; runGroup never sees a fused code.
+func fusePairsIn(ops []op) {
+	for i := 0; i+1 < len(ops); i++ {
+		if f, ok := fusePairs[pairKey(ops[i].code, ops[i+1].code)]; ok {
+			ops[i].code = f
+			qcSuperops.Add(1)
+			i++
+		}
+	}
+}
+
+// buildQuick builds a function's quickened overlay: fused loops first (they
+// claim their header pc), then superinstruction traces over every remaining
+// straight-line run.
+func buildQuick(fn *Fn) *quickFn {
+	q := &quickFn{at: make([]int32, len(fn.ops))}
+	for i := range q.at {
+		q.at[i] = atNone
+	}
+	for _, m := range fn.loops {
+		if lp, ok := buildLoop(fn, m); ok {
+			q.loops = append(q.loops, *lp)
+			q.at[m.hdrPC] = atLoop(len(q.loops) - 1)
+			qcLoops.Add(1)
+		}
+	}
+	pc := 0
+	for pc < len(fn.ops) {
+		if q.at[pc] != atNone {
+			// A fused loop owns this pc; its interior still gets traces
+			// below (useful for slow-path re-entries), starting after the
+			// header op.
+			pc++
+			continue
+		}
+		start := pc
+		for pc < len(fn.ops) && !groupBreaker(fn.ops[pc].code) {
+			pc++
+		}
+		if pc < len(fn.ops) {
+			switch fn.ops[pc].code {
+			case opBr, opCondBr, opRet, opPhiCopy:
+				pc++
+			default:
+				if pc == start {
+					pc++
+					continue
+				}
+			}
+		}
+		seg, ok := buildTrace(fn, q, int32(start))
+		if !ok {
+			continue
+		}
+		q.segs = append(q.segs, seg)
+		q.at[start] = int32(len(q.segs) - 1)
+		qcSuperops.Add(1)
+	}
+	qcFns.Add(1)
+	return q
+}

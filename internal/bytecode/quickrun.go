@@ -1,0 +1,3501 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lowfat"
+	"repro/internal/mem"
+	"repro/internal/softbound"
+	"repro/internal/vm"
+)
+
+// Fused execution: superinstruction segments and trace-fused counted loops.
+// The generic dispatch loop (exec) enters these fast paths only when the
+// interrupt countdown strictly exceeds the fused step total and the step
+// limit cannot be crossed inside it, so interrupt polls and step-limit
+// faults always happen on the generic path at exactly the reference
+// interpreter's op. Statistics commit in group-sized batches whose
+// boundaries sit only at flight-recorder ops; a mid-group fault rolls the
+// pre-committed accounting of the unexecuted suffix back (groupFault),
+// keeping vm.Stats bit-identical to the reference at every observable stop
+// point.
+
+// qpWays is the associativity of the compiler tier's direct-mapped page
+// cache (a power of two). The generic engine keeps a one-entry cache, which
+// programs alternating between arrays on different pages thrash straight
+// into the address-space map lookup; the quickened memory ops use these
+// slots instead, indexed by low page-number bits.
+const qpWays = 1024
+
+// qpageFor returns the in-page byte window for a w-byte access at addr when
+// the access hits the quickened page cache, sits above the null guard and
+// does not straddle the page end; nil sends the caller to the exact slow
+// path.
+func (e *Engine) qpageFor(addr, w uint64) []byte {
+	off := addr & (mem.PageSize - 1)
+	pn := addr >> mem.PageBits
+	sl := pn & (qpWays - 1)
+	if e.qpageID[sl] == pn+1 && addr >= mem.NullGuardSize && off <= mem.PageSize-w {
+		return e.qpages[sl][off:]
+	}
+	return nil
+}
+
+// qload is the quickened slow path: Engine.load's exact semantics (same
+// guard checks, same materialization and faults), filling the multi-way
+// cache slot on success so the next access to this page stays fast.
+func (e *Engine) qload(addr uint64, width uint8) (uint64, error) {
+	w := uint64(width)
+	off := addr & (mem.PageSize - 1)
+	if addr >= mem.NullGuardSize && off+w <= mem.PageSize && addr+w > addr {
+		pg, err := e.vm.AS.Page(addr)
+		if err != nil {
+			return 0, err
+		}
+		pn := addr >> mem.PageBits
+		e.qpages[pn&(qpWays-1)], e.qpageID[pn&(qpWays-1)] = pg, pn+1
+		d := pg[off:]
+		switch width {
+		case 8:
+			return binary.LittleEndian.Uint64(d), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(d)), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(d)), nil
+		case 1:
+			return uint64(d[0]), nil
+		}
+	}
+	return e.vm.AS.Load(addr, int(width))
+}
+
+// qstore is the store counterpart of qload.
+func (e *Engine) qstore(addr uint64, width uint8, val uint64) error {
+	w := uint64(width)
+	off := addr & (mem.PageSize - 1)
+	if addr >= mem.NullGuardSize && off+w <= mem.PageSize && addr+w > addr {
+		pg, err := e.vm.AS.Page(addr)
+		if err != nil {
+			return err
+		}
+		pn := addr >> mem.PageBits
+		e.qpages[pn&(qpWays-1)], e.qpageID[pn&(qpWays-1)] = pg, pn+1
+		d := pg[off:]
+		switch width {
+		case 8:
+			binary.LittleEndian.PutUint64(d, val)
+		case 4:
+			binary.LittleEndian.PutUint32(d, uint32(val))
+		case 2:
+			binary.LittleEndian.PutUint16(d, uint16(val))
+		case 1:
+			d[0] = byte(val)
+		}
+		return nil
+	}
+	return e.vm.AS.Store(addr, int(width), val)
+}
+
+// fusedFault unwinds statics pre-committed beyond a faulting op in the
+// fused executor: the per-op suffix within the current op array plus the
+// phase's fixed remainder (segment tail, or loop tails and the unreached
+// body). The faulting op's own preamble accounting stays committed,
+// matching the reference's preamble-before-body order.
+func (e *Engine) fusedFault(ri, rc uint64, err error) error {
+	e.st.Instrs -= ri
+	e.st.Cost -= rc
+	return err
+}
+
+// runFused execution phases: what follows when the current op array ends.
+const (
+	afterSeg uint8 = iota
+	afterHdr
+	afterBody
+)
+
+// runFused executes a chain of fused units — superinstruction segments and
+// trace-fused counted loops — starting at at-slot v, whose entry condition
+// the caller verified. It follows branch targets into further fused units
+// while their entry conditions hold, so straight-line regions, branchy
+// inner loops and counted loops all run without returning to the generic
+// dispatch loop. One op array at a time executes under the inline switch at
+// run:, with the phase's static accounting batch-committed beforehand and
+// rolled back on the cold fault/exit paths. It returns the next generic pc
+// or the function's return value (done=true).
+func (e *Engine) runFused(fn *Fn, q *quickFn, v int32, regs []uint64) (int, uint64, bool, error) {
+	st := e.st
+	cm := e.cm
+	var (
+		s    *qseg
+		lp   *qloop
+		ops  []op
+		rbI  []uint64
+		rbC  []uint64
+		rbS  []uint64
+		xrbI uint64
+		xrbC uint64
+		xrbS uint64
+
+		after uint8
+		pc    int32
+		nv    int32
+		i     int
+		o     *op
+	)
+
+unit: // v is a fused unit whose entry condition holds
+	if v >= 0 {
+		s = &q.segs[v]
+		e.steps += s.steps
+		e.intrCountdown -= s.steps
+		if s.fast {
+			g := &s.groups[0]
+			st.Instrs += g.instrs + s.tailInstrs
+			st.Cost += g.cost + s.tailCost
+			ops, rbI, rbC, rbS = g.ops, g.rbInstrs, g.rbCost, g.rbSteps
+			xrbI, xrbC, xrbS = s.tailInstrs, s.tailCost, s.tailSteps
+			after = afterSeg
+			goto run
+		}
+		// Recording segments: exact group-at-a-time execution, tail after.
+		for gi := range s.groups {
+			if err := e.runGroup(fn, &s.groups[gi], regs); err != nil {
+				return 0, 0, false, err
+			}
+		}
+		st.Instrs += s.tailInstrs
+		st.Cost += s.tailCost
+		goto segTerm
+	}
+	lp = &q.loops[loopIdx(v)]
+	if !lp.fast {
+		// Recording loops: the exact per-iteration path.
+		npc, err := e.runLoop(fn, lp, regs)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		pc = int32(npc)
+		goto advance
+	}
+
+iter: // one fast loop iteration: commit the whole iteration, then run
+	e.steps += lp.iterSteps
+	e.intrCountdown -= lp.iterSteps
+	st.Instrs += lp.iterInstrs
+	st.Cost += lp.iterCost
+	ops, rbI, rbC, rbS = lp.hdrOps, lp.hdrRbI, lp.hdrRbC, lp.hdrRbS
+	xrbI, xrbC, xrbS = lp.hdrXrbI, lp.hdrXrbC, 0
+	after = afterHdr
+
+run:
+	for i = 0; i < len(ops); i++ {
+		o = &ops[i]
+		switch o.code {
+		case opAdd:
+			regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+		case opSub:
+			regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+		case opMul:
+			regs[o.dst] = (regs[o.a] * regs[o.b]) & o.imm
+		case opSDiv, opSRem:
+			a := sext(regs[o.a], o.wbits)
+			b := sext(regs[o.b], o.wbits)
+			if b == 0 {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, e.rte(0, o.instr, "integer division by zero"))
+			}
+			var r int64
+			if o.code == opSDiv {
+				r = a / b
+			} else {
+				r = a % b
+			}
+			regs[o.dst] = uint64(r) & o.imm
+		case opUDiv, opURem:
+			a := regs[o.a] & o.imm
+			b := regs[o.b] & o.imm
+			if b == 0 {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, e.rte(0, o.instr, "integer division by zero"))
+			}
+			if o.code == opUDiv {
+				regs[o.dst] = (a / b) & o.imm
+			} else {
+				regs[o.dst] = (a % b) & o.imm
+			}
+		case opAnd:
+			regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+		case opOr:
+			regs[o.dst] = (regs[o.a] | regs[o.b]) & o.imm
+		case opXor:
+			regs[o.dst] = (regs[o.a] ^ regs[o.b]) & o.imm
+		case opShl:
+			sh := regs[o.b] & uint64(o.x)
+			regs[o.dst] = (regs[o.a] << sh) & o.imm
+		case opLShr:
+			sh := regs[o.b] & uint64(o.x)
+			regs[o.dst] = (regs[o.a] & o.imm) >> sh
+		case opAShr:
+			sh := regs[o.b] & uint64(o.x)
+			regs[o.dst] = uint64(sext(regs[o.a], o.wbits)>>sh) & o.imm
+
+		case opFAdd:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])+ffrom(o.wbits, regs[o.b]))
+		case opFSub:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])-ffrom(o.wbits, regs[o.b]))
+		case opFMul:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])*ffrom(o.wbits, regs[o.b]))
+		case opFDiv:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])/ffrom(o.wbits, regs[o.b]))
+
+		case opEQ:
+			regs[o.dst] = b2u(regs[o.a]&o.imm == regs[o.b]&o.imm)
+		case opNE:
+			regs[o.dst] = b2u(regs[o.a]&o.imm != regs[o.b]&o.imm)
+		case opSLT:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) < sext(regs[o.b], o.wbits))
+		case opSLE:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) <= sext(regs[o.b], o.wbits))
+		case opSGT:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) > sext(regs[o.b], o.wbits))
+		case opSGE:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) >= sext(regs[o.b], o.wbits))
+		case opULT:
+			regs[o.dst] = b2u(regs[o.a]&o.imm < regs[o.b]&o.imm)
+		case opULE:
+			regs[o.dst] = b2u(regs[o.a]&o.imm <= regs[o.b]&o.imm)
+		case opUGT:
+			regs[o.dst] = b2u(regs[o.a]&o.imm > regs[o.b]&o.imm)
+		case opUGE:
+			regs[o.dst] = b2u(regs[o.a]&o.imm >= regs[o.b]&o.imm)
+
+		case opFOEQ:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) == ffrom(o.wbits, regs[o.b]))
+		case opFONE:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) != ffrom(o.wbits, regs[o.b]))
+		case opFOLT:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) < ffrom(o.wbits, regs[o.b]))
+		case opFOLE:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) <= ffrom(o.wbits, regs[o.b]))
+		case opFOGT:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) > ffrom(o.wbits, regs[o.b]))
+		case opFOGE:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) >= ffrom(o.wbits, regs[o.b]))
+
+		case opTrunc:
+			regs[o.dst] = regs[o.a] & o.imm
+		case opSExt:
+			regs[o.dst] = uint64(sext(regs[o.a], o.wbits)) & o.imm
+		case opFPCvt:
+			regs[o.dst] = fbits(o.imm, ffrom(o.wbits, regs[o.a]))
+		case opFPToSI:
+			regs[o.dst] = uint64(int64(ffrom(o.wbits, regs[o.a]))) & o.imm
+		case opSIToFP:
+			regs[o.dst] = fbits(o.imm, float64(sext(regs[o.a], o.wbits)))
+		case opMove:
+			regs[o.dst] = regs[o.a]
+
+		// Quickened address computations. opQGEPRC folds one scaled register
+		// index plus a constant offset; opQGEPC is a pure constant offset.
+		case opQGEPC:
+			regs[o.dst] = regs[o.a] + o.imm
+		case opQGEPRC:
+			regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+		case opGEP:
+			pl := &fn.geps[o.x]
+			addr := regs[o.a]
+			for i := range pl.steps {
+				s := &pl.steps[i]
+				if s.reg < 0 {
+					addr += uint64(s.off)
+				} else {
+					addr += uint64(sext(regs[s.reg], s.sh) * s.scale)
+				}
+			}
+			regs[o.dst] = addr
+		case opGEPDyn:
+			pl := &fn.gepDyns[o.x]
+			addr := regs[o.a]
+			ty := pl.srcTy
+			for i := range pl.idx {
+				idx := sext(regs[pl.idx[i].reg], pl.idx[i].sh)
+				if i == 0 {
+					addr += uint64(idx * int64(ty.Size()))
+					continue
+				}
+				switch ty.Kind {
+				case ir.ArrayKind:
+					ty = ty.Elem
+					addr += uint64(idx * int64(ty.Size()))
+				case ir.StructKind:
+					addr += uint64(ty.FieldOffset(int(idx)))
+					ty = ty.Fields[idx]
+				}
+			}
+			regs[o.dst] = addr
+
+		case opSelect:
+			if regs[o.a] != 0 {
+				regs[o.dst] = regs[o.b]
+			} else {
+				regs[o.dst] = regs[o.c]
+			}
+
+		// Quickened loads/stores: the page-hit fast path of Engine.load is
+		// inlined per width; misses and page-straddling accesses fall back
+		// to the generic helpers with their exact fault semantics.
+		case opLoad: // non-power-of-two width: generic path
+			x, err := e.qload(regs[o.a], o.wbits)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opStore:
+			if err := e.qstore(regs[o.b], o.wbits, regs[o.a]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+
+		// Micro-fused address+access: one op computes base + scaled index +
+		// offset (still written to the GEP's register, c, for later uses)
+		// and performs the access.
+		case opAlloca, opAllocaRec:
+			count := uint64(1)
+			if o.a >= 0 {
+				count = regs[o.a]
+			}
+			size := o.imm * count
+			if size == 0 {
+				size = 1
+			}
+			if e.lfStack {
+				addr, lowFat, err := e.vm.LF.StackAlloc(size)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				if !lowFat {
+					*e.fb = append(*e.fb, addr)
+				}
+				if o.code == opAllocaRec {
+					e.vm.TrackAlloc(addr, size, o.instr.AllocSite)
+				}
+				regs[o.dst] = addr
+			} else {
+				align := uint64(o.x)
+				nsp := (e.vm.StackPointer() - size) &^ (align - 1)
+				if nsp < mem.StackLimit {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, e.rte(0, o.instr, "stack overflow"))
+				}
+				e.vm.SetStackPointer(nsp)
+				if o.code == opAllocaRec {
+					e.vm.TrackAlloc(nsp, size, o.instr.AllocSite)
+				}
+				regs[o.dst] = nsp
+			}
+
+		case opSBLoadBase:
+			st.MetaLoads++
+			st.Cost += cm.SBMetaLoad
+			b, _ := e.vm.Trie.Lookup(regs[o.a])
+			if o.dst >= 0 {
+				regs[o.dst] = b.Base
+			}
+		case opSBLoadBound:
+			st.MetaLoads++
+			st.Cost += cm.SBMetaLoad
+			b, _ := e.vm.Trie.Lookup(regs[o.a])
+			if o.dst >= 0 {
+				regs[o.dst] = b.Bound
+			}
+		case opSBStoreMD:
+			st.MetaStores++
+			st.Cost += cm.SBMetaStore
+			e.vm.Trie.Store(regs[o.a], softbound.Bounds{Base: regs[o.b], Bound: regs[o.c]})
+		case opSBStoreMDProf:
+			st.MetaStores++
+			st.Cost += cm.SBMetaStore
+			e.bumpSite(o.imm, false, cm.SBMetaStore)
+			e.vm.Trie.Store(regs[o.a], softbound.Bounds{Base: regs[o.b], Bound: regs[o.c]})
+		case opLFBase:
+			st.Cost += cm.LFBase
+			if o.dst >= 0 {
+				regs[o.dst] = lowfat.Base(regs[o.a])
+			}
+
+		case opSBCheck:
+			if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheck:
+			if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckInv:
+			ptr, base := regs[o.a], regs[o.b]
+			st.InvariantChecks++
+			st.Cost += cm.LFCheck
+			ok, wide := lowfat.Check(ptr, 1, base)
+			if !ok && !wide {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, &vm.ViolationError{Mechanism: "lowfat", Kind: "invariant", Ptr: ptr,
+					Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))})
+			}
+		case opSBCheckProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckInvProf:
+			ptr, base := regs[o.a], regs[o.b]
+			st.InvariantChecks++
+			st.Cost += cm.LFCheck
+			e.bumpSite(o.imm, false, cm.LFCheck)
+			ok, wide := lowfat.Check(ptr, 1, base)
+			if !ok && !wide {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, &vm.ViolationError{Mechanism: "lowfat", Kind: "invariant", Ptr: ptr,
+					Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))})
+			}
+
+		case opSBCheckRange:
+			if _, err := vm.SBCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckRange:
+			if _, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opSBCheckRangeProf:
+			wide, err := vm.SBCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst])
+			e.bumpSite(o.imm, wide, cm.SBCheck)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckRangeProf:
+			wide, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst])
+			e.bumpSite(o.imm, wide, cm.LFCheck)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+
+		// Fused check+access: the access half's step/instruction/cost
+		// accounting is part of the group's static commit, so only the
+		// check, the access, and the Loads/Stores counters remain.
+		case opSBCheckLoad:
+			if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.qload(regs[o.a], o.wbits)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opSBCheckStore:
+			if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opLFCheckLoad:
+			if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.qload(regs[o.a], o.wbits)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opLFCheckStore:
+			if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opSBCheckLoadProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.qload(regs[o.a], o.wbits)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opSBCheckStoreProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opLFCheckLoadProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.qload(regs[o.a], o.wbits)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opLFCheckStoreProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+
+		case opSBStoreMDRec:
+			e.vm.SBStoreMDRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c])
+		case opSBCheckRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckInvRec:
+			if err := e.vm.LFCheckInvRec(int32(o.imm), regs[o.a], regs[o.b]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opSBCheckRangeRec:
+			if err := e.vm.SBCheckRangeRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opLFCheckRangeRec:
+			if err := e.vm.LFCheckRangeRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+		case opSBCheckLoadRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.qload(regs[o.a], o.wbits)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opSBCheckStoreRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opLFCheckLoadRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.qload(regs[o.a], o.wbits)
+			if err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opLFCheckStoreRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+
+		case opSBSSAlloc:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.AllocateFrame(int(regs[o.a]))
+		case opSBSSSetArg:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.SetArg(int(regs[o.a]), softbound.Bounds{Base: regs[o.b], Bound: regs[o.c]})
+		case opSBSSArgBase:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Arg(int(regs[o.a])).Base
+			} else {
+				_ = e.vm.Shadow.Arg(int(regs[o.a]))
+			}
+		case opSBSSArgBound:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Arg(int(regs[o.a])).Bound
+			} else {
+				_ = e.vm.Shadow.Arg(int(regs[o.a]))
+			}
+		case opSBSSSetRet:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.SetRet(softbound.Bounds{Base: regs[o.a], Bound: regs[o.b]})
+		case opSBSSRetBase:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Ret().Base
+			}
+		case opSBSSRetBound:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Ret().Bound
+			}
+		case opSBSSPop:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.PopFrame()
+
+		// Quickened loads/stores, one case per width: the multi-way page
+		// cache hit is fully inlined; misses and page-straddling accesses
+		// take the exact slow path (which also fills the cache).
+		case opQLoad8:
+			addr := regs[o.a]
+			if d := e.qpageFor(addr, 1); d != nil {
+				regs[o.dst] = uint64(d[0])
+			} else {
+				x, err := e.qload(addr, 1)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoad16:
+			addr := regs[o.a]
+			if d := e.qpageFor(addr, 2); d != nil {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint16(d))
+			} else {
+				x, err := e.qload(addr, 2)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoad32:
+			addr := regs[o.a]
+			if d := e.qpageFor(addr, 4); d != nil {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+			} else {
+				x, err := e.qload(addr, 4)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoad64:
+			addr := regs[o.a]
+			if d := e.qpageFor(addr, 8); d != nil {
+				regs[o.dst] = binary.LittleEndian.Uint64(d)
+			} else {
+				x, err := e.qload(addr, 8)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQStore8:
+			addr := regs[o.b]
+			if d := e.qpageFor(addr, 1); d != nil {
+				d[0] = byte(regs[o.a])
+			} else if err := e.qstore(addr, 1, regs[o.a]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStore16:
+			addr := regs[o.b]
+			if d := e.qpageFor(addr, 2); d != nil {
+				binary.LittleEndian.PutUint16(d, uint16(regs[o.a]))
+			} else if err := e.qstore(addr, 2, regs[o.a]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStore32:
+			addr := regs[o.b]
+			if d := e.qpageFor(addr, 4); d != nil {
+				binary.LittleEndian.PutUint32(d, uint32(regs[o.a]))
+			} else if err := e.qstore(addr, 4, regs[o.a]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStore64:
+			addr := regs[o.b]
+			if d := e.qpageFor(addr, 8); d != nil {
+				binary.LittleEndian.PutUint64(d, regs[o.a])
+			} else if err := e.qstore(addr, 8, regs[o.a]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+
+		// Micro-fused address+access, one case per width. The address still
+		// lands in the GEP result register (c) for later uses.
+		case opQLoadIdx8:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 1); d != nil {
+				regs[o.dst] = uint64(d[0])
+			} else {
+				x, err := e.qload(addr, 1)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoadIdx16:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 2); d != nil {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint16(d))
+			} else {
+				x, err := e.qload(addr, 2)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoadIdx32:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 4); d != nil {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+			} else {
+				x, err := e.qload(addr, 4)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoadIdx64:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 8); d != nil {
+				regs[o.dst] = binary.LittleEndian.Uint64(d)
+			} else {
+				x, err := e.qload(addr, 8)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQStoreIdx8:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 1); d != nil {
+				d[0] = byte(regs[o.dst])
+			} else if err := e.qstore(addr, 1, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStoreIdx16:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 2); d != nil {
+				binary.LittleEndian.PutUint16(d, uint16(regs[o.dst]))
+			} else if err := e.qstore(addr, 2, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStoreIdx32:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 4); d != nil {
+				binary.LittleEndian.PutUint32(d, uint32(regs[o.dst]))
+			} else if err := e.qstore(addr, 4, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStoreIdx64:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 8); d != nil {
+				binary.LittleEndian.PutUint64(d, regs[o.dst])
+			} else if err := e.qstore(addr, 8, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQLoadOff8:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 1); d != nil {
+				regs[o.dst] = uint64(d[0])
+			} else {
+				x, err := e.qload(addr, 1)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoadOff16:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 2); d != nil {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint16(d))
+			} else {
+				x, err := e.qload(addr, 2)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoadOff32:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 4); d != nil {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+			} else {
+				x, err := e.qload(addr, 4)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoadOff64:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 8); d != nil {
+				regs[o.dst] = binary.LittleEndian.Uint64(d)
+			} else {
+				x, err := e.qload(addr, 8)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQStoreOff8:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 1); d != nil {
+				d[0] = byte(regs[o.dst])
+			} else if err := e.qstore(addr, 1, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStoreOff16:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 2); d != nil {
+				binary.LittleEndian.PutUint16(d, uint16(regs[o.dst]))
+			} else if err := e.qstore(addr, 2, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStoreOff32:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 4); d != nil {
+				binary.LittleEndian.PutUint32(d, uint32(regs[o.dst]))
+			} else if err := e.qstore(addr, 4, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+		case opQStoreOff64:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			if d := e.qpageFor(addr, 8); d != nil {
+				binary.LittleEndian.PutUint64(d, regs[o.dst])
+			} else if err := e.qstore(addr, 8, regs[o.dst]); err != nil {
+				return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+			}
+			st.Stores++
+
+		case opPhiCopy:
+			// In-stream phi-copy stub of a trace: the parallel copy runs
+			// here, mid-trace; its instruction accounting is static.
+			{
+				pl := &fn.phis[o.x]
+				buf := e.phibuf[:0]
+				for _, r := range pl.srcs {
+					buf = append(buf, regs[r])
+				}
+				e.phibuf = buf
+				for j, d := range pl.dsts {
+					regs[d] = buf[j]
+				}
+			}
+		case opTExit:
+			if (regs[o.a] != 0) != (o.x != 0) {
+				// The branch leaves the trace: the pre-committed suffix
+				// (everything after this slot, plus the tail) never runs.
+				st.Instrs -= rbI[i] + xrbI
+				st.Cost -= rbC[i] + xrbC
+				rs := rbS[i] + xrbS
+				e.steps -= rs
+				e.intrCountdown += rs
+				pc = o.b
+				goto advance
+			}
+		// BEGIN GENERATED PAIR CASES
+		case opF_SLT_TExit: // SLT ; TExit
+			{
+				regs[o.dst] = b2u(sext(regs[o.a], o.wbits) < sext(regs[o.b], o.wbits))
+			}
+			{
+				o2 := &ops[i+1]
+				if (regs[o2.a] != 0) != (o2.x != 0) {
+					st.Instrs -= rbI[i+1] + xrbI
+					st.Cost -= rbC[i+1] + xrbC
+					rs := rbS[i+1] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o2.b
+					goto advance
+				}
+			}
+			i++
+		case opF_Add_SExt: // Add ; SExt
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = uint64(sext(regs[o2.a], o2.wbits)) & o2.imm
+			}
+			i++
+		case opF_QGEPRC_SBCheckLoad: // QGEPRC ; SBCheckLoad
+			{
+				regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			}
+			{
+				o2 := &ops[i+1]
+				if err := e.sbCheck(st, cm, regs[o2.a], regs[o2.b], regs[o2.c], regs[o2.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o2.x].cost2
+				x, err := e.qload(regs[o2.a], o2.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Loads++
+				regs[o2.dst] = x
+			}
+			i++
+		case opF_QGEPRC_LFCheckLoad: // QGEPRC ; LFCheckLoad
+			{
+				regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			}
+			{
+				o2 := &ops[i+1]
+				if err := lfCheck(st, cm, regs[o2.a], regs[o2.b], regs[o2.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o2.x].cost2
+				x, err := e.qload(regs[o2.a], o2.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Loads++
+				regs[o2.dst] = x
+			}
+			i++
+		case opF_PhiCopy_SLT: // PhiCopy ; SLT
+			{
+				{
+					pl := &fn.phis[o.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(sext(regs[o2.a], o2.wbits) < sext(regs[o2.b], o2.wbits))
+			}
+			i++
+		case opF_Add_PhiCopy: // Add ; PhiCopy
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				{
+					pl := &fn.phis[o2.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			i++
+		case opF_TExit_PhiCopy: // TExit ; PhiCopy
+			{
+				if (regs[o.a] != 0) != (o.x != 0) {
+					st.Instrs -= rbI[i] + xrbI
+					st.Cost -= rbC[i] + xrbC
+					rs := rbS[i] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o.b
+					goto advance
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				{
+					pl := &fn.phis[o2.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			i++
+		case opF_NE_TExit: // NE ; TExit
+			{
+				regs[o.dst] = b2u(regs[o.a]&o.imm != regs[o.b]&o.imm)
+			}
+			{
+				o2 := &ops[i+1]
+				if (regs[o2.a] != 0) != (o2.x != 0) {
+					st.Instrs -= rbI[i+1] + xrbI
+					st.Cost -= rbC[i+1] + xrbC
+					rs := rbS[i+1] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o2.b
+					goto advance
+				}
+			}
+			i++
+		case opF_PhiCopy_Add: // PhiCopy ; Add
+			{
+				{
+					pl := &fn.phis[o.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_TExit_SExt: // TExit ; SExt
+			{
+				if (regs[o.a] != 0) != (o.x != 0) {
+					st.Instrs -= rbI[i] + xrbI
+					st.Cost -= rbC[i] + xrbC
+					rs := rbS[i] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o.b
+					goto advance
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = uint64(sext(regs[o2.a], o2.wbits)) & o2.imm
+			}
+			i++
+		case opF_SGT_TExit: // SGT ; TExit
+			{
+				regs[o.dst] = b2u(sext(regs[o.a], o.wbits) > sext(regs[o.b], o.wbits))
+			}
+			{
+				o2 := &ops[i+1]
+				if (regs[o2.a] != 0) != (o2.x != 0) {
+					st.Instrs -= rbI[i+1] + xrbI
+					st.Cost -= rbC[i+1] + xrbC
+					rs := rbS[i+1] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o2.b
+					goto advance
+				}
+			}
+			i++
+		case opF_TExit_Sub: // TExit ; Sub
+			{
+				if (regs[o.a] != 0) != (o.x != 0) {
+					st.Instrs -= rbI[i] + xrbI
+					st.Cost -= rbC[i] + xrbC
+					rs := rbS[i] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o.b
+					goto advance
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] - regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_TExit_Add: // TExit ; Add
+			{
+				if (regs[o.a] != 0) != (o.x != 0) {
+					st.Instrs -= rbI[i] + xrbI
+					st.Cost -= rbC[i] + xrbC
+					rs := rbS[i] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o.b
+					goto advance
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_QLoad32_QLoad32: // QLoad32 ; QLoad32
+			{
+				addr := regs[o.a]
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+					}
+					regs[o.dst] = x
+				}
+				st.Loads++
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a]
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o2.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_FSub_FMul: // FSub ; FMul
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])-ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])*ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_And_Add: // And ; Add
+			{
+				regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_Trunc_NE: // Trunc ; NE
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(regs[o2.a]&o2.imm != regs[o2.b]&o2.imm)
+			}
+			i++
+		case opF_LFCheckLoad_Trunc: // LFCheckLoad ; Trunc
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] & o2.imm
+			}
+			i++
+		case opF_SBCheckLoad_Trunc: // SBCheckLoad ; Trunc
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] & o2.imm
+			}
+			i++
+		case opF_Sub_PhiCopy: // Sub ; PhiCopy
+			{
+				regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				{
+					pl := &fn.phis[o2.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			i++
+		case opF_QLoadIdx8_Trunc: // QLoadIdx8 ; Trunc
+			{
+				addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+				regs[o.c] = addr
+				if d := e.qpageFor(addr, 1); d != nil {
+					regs[o.dst] = uint64(d[0])
+				} else {
+					x, err := e.qload(addr, 1)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+					}
+					regs[o.dst] = x
+				}
+				st.Loads++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] & o2.imm
+			}
+			i++
+		case opF_FMul_FSub: // FMul ; FSub
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])*ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])-ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_SExt_QLoadIdx8: // SExt ; QLoadIdx8
+			{
+				regs[o.dst] = uint64(sext(regs[o.a], o.wbits)) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+				regs[o2.c] = addr
+				if d := e.qpageFor(addr, 1); d != nil {
+					regs[o2.dst] = uint64(d[0])
+				} else {
+					x, err := e.qload(addr, 1)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_Trunc_Add: // Trunc ; Add
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_SLE_TExit: // SLE ; TExit
+			{
+				regs[o.dst] = b2u(sext(regs[o.a], o.wbits) <= sext(regs[o.b], o.wbits))
+			}
+			{
+				o2 := &ops[i+1]
+				if (regs[o2.a] != 0) != (o2.x != 0) {
+					st.Instrs -= rbI[i+1] + xrbI
+					st.Cost -= rbC[i+1] + xrbC
+					rs := rbS[i+1] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o2.b
+					goto advance
+				}
+			}
+			i++
+		case opF_PhiCopy_SLE: // PhiCopy ; SLE
+			{
+				{
+					pl := &fn.phis[o.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(sext(regs[o2.a], o2.wbits) <= sext(regs[o2.b], o2.wbits))
+			}
+			i++
+		case opF_QGEPC_SBCheckLoad: // QGEPC ; SBCheckLoad
+			{
+				regs[o.dst] = regs[o.a] + o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				if err := e.sbCheck(st, cm, regs[o2.a], regs[o2.b], regs[o2.c], regs[o2.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o2.x].cost2
+				x, err := e.qload(regs[o2.a], o2.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Loads++
+				regs[o2.dst] = x
+			}
+			i++
+		case opF_QGEPC_LFCheckLoad: // QGEPC ; LFCheckLoad
+			{
+				regs[o.dst] = regs[o.a] + o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				if err := lfCheck(st, cm, regs[o2.a], regs[o2.b], regs[o2.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o2.x].cost2
+				x, err := e.qload(regs[o2.a], o2.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Loads++
+				regs[o2.dst] = x
+			}
+			i++
+		case opF_And_SExt: // And ; SExt
+			{
+				regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = uint64(sext(regs[o2.a], o2.wbits)) & o2.imm
+			}
+			i++
+		case opF_Add_And: // Add ; And
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] & regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_FSub_FSub: // FSub ; FSub
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])-ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])-ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_TExit_And: // TExit ; And
+			{
+				if (regs[o.a] != 0) != (o.x != 0) {
+					st.Instrs -= rbI[i] + xrbI
+					st.Cost -= rbC[i] + xrbC
+					rs := rbS[i] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o.b
+					goto advance
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] & regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_LShr_And: // LShr ; And
+			{
+				sh := regs[o.b] & uint64(o.x)
+				regs[o.dst] = (regs[o.a] & o.imm) >> sh
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] & regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_Add_Add: // Add ; Add
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_And_QGEPRC: // And ; QGEPRC
+			{
+				regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_SBCheckLoad_Add: // SBCheckLoad ; Add
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_LFCheckLoad_Add: // LFCheckLoad ; Add
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_FMul_FAdd: // FMul ; FAdd
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])*ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])+ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_QGEPRC_SBCheckStore: // QGEPRC ; SBCheckStore
+			{
+				regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			}
+			{
+				o2 := &ops[i+1]
+				if err := e.sbCheck(st, cm, regs[o2.a], regs[o2.b], regs[o2.c], regs[o2.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o2.x].cost2
+				if err := e.qstore(regs[o2.a], o2.wbits, regs[o2.dst]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Stores++
+			}
+			i++
+		case opF_QGEPRC_LFCheckStore: // QGEPRC ; LFCheckStore
+			{
+				regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			}
+			{
+				o2 := &ops[i+1]
+				if err := lfCheck(st, cm, regs[o2.a], regs[o2.b], regs[o2.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o2.x].cost2
+				if err := e.qstore(regs[o2.a], o2.wbits, regs[o2.dst]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Stores++
+			}
+			i++
+		case opF_Sub_SLT: // Sub ; SLT
+			{
+				regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(sext(regs[o2.a], o2.wbits) < sext(regs[o2.b], o2.wbits))
+			}
+			i++
+		case opF_PhiCopy_SGT: // PhiCopy ; SGT
+			{
+				{
+					pl := &fn.phis[o.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(sext(regs[o2.a], o2.wbits) > sext(regs[o2.b], o2.wbits))
+			}
+			i++
+		case opF_SBCheckStore_Add: // SBCheckStore ; Add
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Stores++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_LFCheckStore_Add: // LFCheckStore ; Add
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				if err := e.qstore(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Stores++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_QGEPRC_QGEPC: // QGEPRC ; QGEPC
+			{
+				regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + o2.imm
+			}
+			i++
+		case opF_Add_AShr: // Add ; AShr
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				sh := regs[o2.b] & uint64(o2.x)
+				regs[o2.dst] = uint64(sext(regs[o2.a], o2.wbits)>>sh) & o2.imm
+			}
+			i++
+		case opF_Add_LShr: // Add ; LShr
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				sh := regs[o2.b] & uint64(o2.x)
+				regs[o2.dst] = (regs[o2.a] & o2.imm) >> sh
+			}
+			i++
+		case opF_SExt_QLoadIdx32: // SExt ; QLoadIdx32
+			{
+				regs[o.dst] = uint64(sext(regs[o.a], o.wbits)) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+				regs[o2.c] = addr
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o2.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_Sub_And: // Sub ; And
+			{
+				regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] & regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_SGE_TExit: // SGE ; TExit
+			{
+				regs[o.dst] = b2u(sext(regs[o.a], o.wbits) >= sext(regs[o.b], o.wbits))
+			}
+			{
+				o2 := &ops[i+1]
+				if (regs[o2.a] != 0) != (o2.x != 0) {
+					st.Instrs -= rbI[i+1] + xrbI
+					st.Cost -= rbC[i+1] + xrbC
+					rs := rbS[i+1] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o2.b
+					goto advance
+				}
+			}
+			i++
+		case opF_Mul_Add: // Mul ; Add
+			{
+				regs[o.dst] = (regs[o.a] * regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_LFCheckLoad_Sub: // LFCheckLoad ; Sub
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] - regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_SBCheckLoad_Sub: // SBCheckLoad ; Sub
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] - regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_FSub_FPCvt: // FSub ; FPCvt
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])-ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(o2.imm, ffrom(o2.wbits, regs[o2.a]))
+			}
+			i++
+		case opF_Sub_SGT: // Sub ; SGT
+			{
+				regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(sext(regs[o2.a], o2.wbits) > sext(regs[o2.b], o2.wbits))
+			}
+			i++
+		case opF_FAdd_FPCvt: // FAdd ; FPCvt
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])+ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(o2.imm, ffrom(o2.wbits, regs[o2.a]))
+			}
+			i++
+		case opF_SExt_Add: // SExt ; Add
+			{
+				regs[o.dst] = uint64(sext(regs[o.a], o.wbits)) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_QLoad32_FSub: // QLoad32 ; FSub
+			{
+				addr := regs[o.a]
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+					}
+					regs[o.dst] = x
+				}
+				st.Loads++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])-ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_FPCvt_FOGE: // FPCvt ; FOGE
+			{
+				regs[o.dst] = fbits(o.imm, ffrom(o.wbits, regs[o.a]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(ffrom(o2.wbits, regs[o2.a]) >= ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_FOGE_Trunc: // FOGE ; Trunc
+			{
+				regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) >= ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] & o2.imm
+			}
+			i++
+		case opF_Add_SLT: // Add ; SLT
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(sext(regs[o2.a], o2.wbits) < sext(regs[o2.b], o2.wbits))
+			}
+			i++
+		case opF_Trunc_QGEPRC: // Trunc ; QGEPRC
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_SExt_QStoreIdx32: // SExt ; QStoreIdx32
+			{
+				regs[o.dst] = uint64(sext(regs[o.a], o.wbits)) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+				regs[o2.c] = addr
+				if d := e.qpageFor(addr, 4); d != nil {
+					binary.LittleEndian.PutUint32(d, uint32(regs[o2.dst]))
+				} else if err := e.qstore(addr, 4, regs[o2.dst]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Stores++
+			}
+			i++
+		case opF_SBLoadBase_SBLoadBound: // SBLoadBase ; SBLoadBound
+			{
+				st.MetaLoads++
+				st.Cost += cm.SBMetaLoad
+				b, _ := e.vm.Trie.Lookup(regs[o.a])
+				if o.dst >= 0 {
+					regs[o.dst] = b.Base
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				st.MetaLoads++
+				st.Cost += cm.SBMetaLoad
+				b, _ := e.vm.Trie.Lookup(regs[o2.a])
+				if o2.dst >= 0 {
+					regs[o2.dst] = b.Bound
+				}
+			}
+			i++
+		case opF_PhiCopy_SGE: // PhiCopy ; SGE
+			{
+				{
+					pl := &fn.phis[o.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(sext(regs[o2.a], o2.wbits) >= sext(regs[o2.b], o2.wbits))
+			}
+			i++
+		case opF_QLoadIdx32_Add: // QLoadIdx32 ; Add
+			{
+				addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+				regs[o.c] = addr
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+					}
+					regs[o.dst] = x
+				}
+				st.Loads++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_Add_QGEPC: // Add ; QGEPC
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + o2.imm
+			}
+			i++
+		case opF_Add_QStore64: // Add ; QStore64
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.b]
+				if d := e.qpageFor(addr, 8); d != nil {
+					binary.LittleEndian.PutUint64(d, regs[o2.a])
+				} else if err := e.qstore(addr, 8, regs[o2.a]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Stores++
+				// lands in the GEP result register (c) for later uses.
+			}
+			i++
+		case opF_SExt_QLoadIdx64: // SExt ; QLoadIdx64
+			{
+				regs[o.dst] = uint64(sext(regs[o.a], o.wbits)) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+				regs[o2.c] = addr
+				if d := e.qpageFor(addr, 8); d != nil {
+					regs[o2.dst] = binary.LittleEndian.Uint64(d)
+				} else {
+					x, err := e.qload(addr, 8)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_QStoreIdx32_Add: // QStoreIdx32 ; Add
+			{
+				addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+				regs[o.c] = addr
+				if d := e.qpageFor(addr, 4); d != nil {
+					binary.LittleEndian.PutUint32(d, uint32(regs[o.dst]))
+				} else if err := e.qstore(addr, 4, regs[o.dst]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Stores++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_TExit_QLoad32: // TExit ; QLoad32
+			{
+				if (regs[o.a] != 0) != (o.x != 0) {
+					st.Instrs -= rbI[i] + xrbI
+					st.Cost -= rbC[i] + xrbC
+					rs := rbS[i] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o.b
+					goto advance
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a]
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o2.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_FAdd_Add: // FAdd ; Add
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])+ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_Trunc_Sub: // Trunc ; Sub
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] - regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_And_QLoadIdx32: // And ; QLoadIdx32
+			{
+				regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+				regs[o2.c] = addr
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o2.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_EQ_TExit: // EQ ; TExit
+			{
+				regs[o.dst] = b2u(regs[o.a]&o.imm == regs[o.b]&o.imm)
+			}
+			{
+				o2 := &ops[i+1]
+				if (regs[o2.a] != 0) != (o2.x != 0) {
+					st.Instrs -= rbI[i+1] + xrbI
+					st.Cost -= rbC[i+1] + xrbC
+					rs := rbS[i+1] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o2.b
+					goto advance
+				}
+			}
+			i++
+		case opF_Xor_And: // Xor ; And
+			{
+				regs[o.dst] = (regs[o.a] ^ regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] & regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_Trunc_SExt: // Trunc ; SExt
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = uint64(sext(regs[o2.a], o2.wbits)) & o2.imm
+			}
+			i++
+		case opF_SBCheckLoad_SBLoadBase: // SBCheckLoad ; SBLoadBase
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				st.MetaLoads++
+				st.Cost += cm.SBMetaLoad
+				b, _ := e.vm.Trie.Lookup(regs[o2.a])
+				if o2.dst >= 0 {
+					regs[o2.dst] = b.Base
+				}
+			}
+			i++
+		case opF_FPCvt_FMul: // FPCvt ; FMul
+			{
+				regs[o.dst] = fbits(o.imm, ffrom(o.wbits, regs[o.a]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])*ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_SBCheckLoad_QGEPC: // SBCheckLoad ; QGEPC
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + o2.imm
+			}
+			i++
+		case opF_LFCheckLoad_QGEPC: // LFCheckLoad ; QGEPC
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + o2.imm
+			}
+			i++
+		case opF_FPCvt_FAdd: // FPCvt ; FAdd
+			{
+				regs[o.dst] = fbits(o.imm, ffrom(o.wbits, regs[o.a]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])+ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_LFCheckLoad_LFBase: // LFCheckLoad ; LFBase
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				st.Cost += cm.LFBase
+				if o2.dst >= 0 {
+					regs[o2.dst] = lowfat.Base(regs[o2.a])
+				}
+			}
+			i++
+		case opF_FMul_FPCvt: // FMul ; FPCvt
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])*ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(o2.imm, ffrom(o2.wbits, regs[o2.a]))
+			}
+			i++
+		case opF_PhiCopy_QGEPRC: // PhiCopy ; QGEPRC
+			{
+				{
+					pl := &fn.phis[o.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_TExit_Mul: // TExit ; Mul
+			{
+				if (regs[o.a] != 0) != (o.x != 0) {
+					st.Instrs -= rbI[i] + xrbI
+					st.Cost -= rbC[i] + xrbC
+					rs := rbS[i] + xrbS
+					e.steps -= rs
+					e.intrCountdown += rs
+					pc = o.b
+					goto advance
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] * regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_QLoadIdx32_Sub: // QLoadIdx32 ; Sub
+			{
+				addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+				regs[o.c] = addr
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+					}
+					regs[o.dst] = x
+				}
+				st.Loads++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] - regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_QLoad32_SExt: // QLoad32 ; SExt
+			{
+				addr := regs[o.a]
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+					}
+					regs[o.dst] = x
+				}
+				st.Loads++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = uint64(sext(regs[o2.a], o2.wbits)) & o2.imm
+			}
+			i++
+		case opF_QStore32_Add: // QStore32 ; Add
+			{
+				addr := regs[o.b]
+				if d := e.qpageFor(addr, 4); d != nil {
+					binary.LittleEndian.PutUint32(d, uint32(regs[o.a]))
+				} else if err := e.qstore(addr, 4, regs[o.a]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Stores++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_Add_QStore32: // Add ; QStore32
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.b]
+				if d := e.qpageFor(addr, 4); d != nil {
+					binary.LittleEndian.PutUint32(d, uint32(regs[o2.a]))
+				} else if err := e.qstore(addr, 4, regs[o2.a]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+				}
+				st.Stores++
+			}
+			i++
+		case opF_SBCheckLoad_FMul: // SBCheckLoad ; FMul
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])*ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_LFCheckLoad_FMul: // LFCheckLoad ; FMul
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])*ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_QGEPC_QGEPC: // QGEPC ; QGEPC
+			{
+				regs[o.dst] = regs[o.a] + o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + o2.imm
+			}
+			i++
+		case opF_QStore64_QLoad32: // QStore64 ; QLoad32
+			{
+				addr := regs[o.b]
+				if d := e.qpageFor(addr, 8); d != nil {
+					binary.LittleEndian.PutUint64(d, regs[o.a])
+				} else if err := e.qstore(addr, 8, regs[o.a]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Stores++
+				// lands in the GEP result register (c) for later uses.
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a]
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o2.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_Trunc_Xor: // Trunc ; Xor
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] ^ regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_Trunc_EQ: // Trunc ; EQ
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(regs[o2.a]&o2.imm == regs[o2.b]&o2.imm)
+			}
+			i++
+		case opF_Shl_Add: // Shl ; Add
+			{
+				sh := regs[o.b] & uint64(o.x)
+				regs[o.dst] = (regs[o.a] << sh) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] + regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_LFBase_QGEPC: // LFBase ; QGEPC
+			{
+				st.Cost += cm.LFBase
+				if o.dst >= 0 {
+					regs[o.dst] = lowfat.Base(regs[o.a])
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + o2.imm
+			}
+			i++
+		case opF_Sub_SExt: // Sub ; SExt
+			{
+				regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = uint64(sext(regs[o2.a], o2.wbits)) & o2.imm
+			}
+			i++
+		case opF_And_Trunc: // And ; Trunc
+			{
+				regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] & o2.imm
+			}
+			i++
+		case opF_SBLoadBound_QGEPC: // SBLoadBound ; QGEPC
+			{
+				st.MetaLoads++
+				st.Cost += cm.SBMetaLoad
+				b, _ := e.vm.Trie.Lookup(regs[o.a])
+				if o.dst >= 0 {
+					regs[o.dst] = b.Bound
+				}
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + o2.imm
+			}
+			i++
+		case opF_And_NE: // And ; NE
+			{
+				regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = b2u(regs[o2.a]&o2.imm != regs[o2.b]&o2.imm)
+			}
+			i++
+		case opF_And_And: // And ; And
+			{
+				regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = (regs[o2.a] & regs[o2.b]) & o2.imm
+			}
+			i++
+		case opF_SBCheckLoad_QGEPRC: // SBCheckLoad ; QGEPRC
+			{
+				if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_LFCheckLoad_QGEPRC: // LFCheckLoad ; QGEPRC
+			{
+				if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Instrs++
+				st.Cost += fn.aux[o.x].cost2
+				x, err := e.qload(regs[o.a], o.wbits)
+				if err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Loads++
+				regs[o.dst] = x
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_Add_QGEPRC: // Add ; QGEPRC
+			{
+				regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_FAdd_FMul: // FAdd ; FMul
+			{
+				regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])+ffrom(o.wbits, regs[o.b]))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(uint64(o2.wbits), ffrom(o2.wbits, regs[o2.a])*ffrom(o2.wbits, regs[o2.b]))
+			}
+			i++
+		case opF_SIToFP_FPCvt: // SIToFP ; FPCvt
+			{
+				regs[o.dst] = fbits(o.imm, float64(sext(regs[o.a], o.wbits)))
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = fbits(o2.imm, ffrom(o2.wbits, regs[o2.a]))
+			}
+			i++
+		case opF_Sub_QGEPRC: // Sub ; QGEPRC
+			{
+				regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_QLoadOff64_QLoadOff64: // QLoadOff64 ; QLoadOff64
+			{
+				addr := regs[o.a] + o.imm
+				regs[o.c] = addr
+				if d := e.qpageFor(addr, 8); d != nil {
+					regs[o.dst] = binary.LittleEndian.Uint64(d)
+				} else {
+					x, err := e.qload(addr, 8)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+					}
+					regs[o.dst] = x
+				}
+				st.Loads++
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a] + o2.imm
+				regs[o2.c] = addr
+				if d := e.qpageFor(addr, 8); d != nil {
+					regs[o2.dst] = binary.LittleEndian.Uint64(d)
+				} else {
+					x, err := e.qload(addr, 8)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		case opF_QStore32_QGEPRC: // QStore32 ; QGEPRC
+			{
+				addr := regs[o.b]
+				if d := e.qpageFor(addr, 4); d != nil {
+					binary.LittleEndian.PutUint32(d, uint32(regs[o.a]))
+				} else if err := e.qstore(addr, 4, regs[o.a]); err != nil {
+					return 0, 0, false, e.fusedFault(rbI[i]+xrbI, rbC[i]+xrbC, err)
+				}
+				st.Stores++
+			}
+			{
+				o2 := &ops[i+1]
+				regs[o2.dst] = regs[o2.a] + uint64(sext(regs[o2.b], o2.wbits)*int64(o2.imm)) + uint64(int64(o2.x))
+			}
+			i++
+		case opF_Trunc_PhiCopy: // Trunc ; PhiCopy
+			{
+				regs[o.dst] = regs[o.a] & o.imm
+			}
+			{
+				o2 := &ops[i+1]
+				{
+					pl := &fn.phis[o2.x]
+					buf := e.phibuf[:0]
+					for _, r := range pl.srcs {
+						buf = append(buf, regs[r])
+					}
+					e.phibuf = buf
+					for j, d := range pl.dsts {
+						regs[d] = buf[j]
+					}
+				}
+			}
+			i++
+		case opF_QGEPRC_QLoad32: // QGEPRC ; QLoad32
+			{
+				regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			}
+			{
+				o2 := &ops[i+1]
+				addr := regs[o2.a]
+				if d := e.qpageFor(addr, 4); d != nil {
+					regs[o2.dst] = uint64(binary.LittleEndian.Uint32(d))
+				} else {
+					x, err := e.qload(addr, 4)
+					if err != nil {
+						return 0, 0, false, e.fusedFault(rbI[i+1]+xrbI, rbC[i+1]+xrbC, err)
+					}
+					regs[o2.dst] = x
+				}
+				st.Loads++
+			}
+			i++
+		// END GENERATED PAIR CASES
+		default:
+			panic(fmt.Sprintf("bytecode: opcode %d escaped quickening classification", o.code))
+		}
+	}
+	switch after {
+	case afterSeg:
+		goto segTerm
+	case afterHdr:
+		goto hdrDone
+	}
+	goto bodyDone
+
+segTerm:
+	switch s.term.kind {
+	case termCond:
+		if regs[s.term.a] != 0 {
+			pc = s.term.t
+		} else {
+			pc = s.term.f
+		}
+	case termRet:
+		if s.term.a >= 0 {
+			return 0, regs[s.term.a], true, nil
+		}
+		return 0, 0, true, nil
+	case termPhi:
+		pl := &fn.phis[s.term.x]
+		buf := e.phibuf[:0]
+		for _, r := range pl.srcs {
+			buf = append(buf, regs[r])
+		}
+		e.phibuf = buf
+		for j, d := range pl.dsts {
+			regs[d] = buf[j]
+		}
+		pc = s.term.t
+	case termFall:
+		return int(s.term.t), 0, false, nil
+	default: // termJump
+		pc = s.term.t
+	}
+	goto advance
+
+hdrDone:
+	if (regs[lp.condReg] != 0) != lp.contOnTrue {
+		// Loop exit at the header test: this iteration's body statics never
+		// run; roll them back.
+		e.steps -= lp.bodySteps
+		e.intrCountdown += lp.bodySteps
+		st.Instrs -= lp.exitRbInstrs
+		st.Cost -= lp.exitRbCost
+		pc = lp.exitPC
+		goto advance
+	}
+	ops, rbI, rbC, rbS = lp.bodyOps, lp.bodyRbI, lp.bodyRbC, lp.bodyRbS
+	xrbI, xrbC, xrbS = lp.bodyXrbI, lp.bodyXrbC, 0
+	after = afterBody
+	goto run
+
+bodyDone:
+	if lp.phiDirect {
+		for j, d := range lp.phi.dsts {
+			regs[d] = regs[lp.phi.srcs[j]]
+		}
+	} else {
+		buf := e.phibuf[:0]
+		for _, r := range lp.phi.srcs {
+			buf = append(buf, regs[r])
+		}
+		e.phibuf = buf
+		for j, d := range lp.phi.dsts {
+			regs[d] = buf[j]
+		}
+	}
+	if e.intrCountdown > lp.iterSteps && e.steps+lp.iterSteps <= e.maxSteps {
+		goto iter
+	}
+	pc = lp.hdrPC
+	goto advance
+
+advance:
+	nv = q.at[pc]
+	if nv >= 0 {
+		if ns := &q.segs[nv]; e.intrCountdown > ns.steps && e.steps+ns.steps <= e.maxSteps {
+			v = nv
+			goto unit
+		}
+	} else if nv != atNone {
+		if nl := &q.loops[loopIdx(nv)]; e.intrCountdown > nl.iterSteps && e.steps+nl.iterSteps <= e.maxSteps {
+			v = nv
+			goto unit
+		}
+	}
+	return int(pc), 0, false, nil
+}
+
+// runLoop executes a trace-fused counted loop. The caller guaranteed the
+// entry condition for the first iteration; every subsequent iteration
+// re-checks it and bails back to the header pc when it no longer holds, so
+// the generic loop takes over with exact per-op accounting (and, once the
+// countdown resets at the next poll, re-enters the fast path).
+func (e *Engine) runLoop(fn *Fn, lp *qloop, regs []uint64) (int, error) {
+	st := e.st
+	for {
+		e.steps += lp.hdrSteps
+		e.intrCountdown -= lp.hdrSteps
+		for gi := range lp.hdrGroups {
+			if err := e.runGroup(fn, &lp.hdrGroups[gi], regs); err != nil {
+				return 0, err
+			}
+		}
+		st.Instrs += lp.hdrTailInstrs
+		st.Cost += lp.hdrTailCost
+		if (regs[lp.condReg] != 0) != lp.contOnTrue {
+			return int(lp.exitPC), nil
+		}
+		e.steps += lp.bodySteps
+		e.intrCountdown -= lp.bodySteps
+		for gi := range lp.bodyGroups {
+			if err := e.runGroup(fn, &lp.bodyGroups[gi], regs); err != nil {
+				return 0, err
+			}
+		}
+		st.Instrs += lp.bodyTailInstrs
+		st.Cost += lp.bodyTailCost
+		if lp.phiDirect {
+			for i, d := range lp.phi.dsts {
+				regs[d] = regs[lp.phi.srcs[i]]
+			}
+		} else {
+			buf := e.phibuf[:0]
+			for _, r := range lp.phi.srcs {
+				buf = append(buf, regs[r])
+			}
+			e.phibuf = buf
+			for i, d := range lp.phi.dsts {
+				regs[d] = buf[i]
+			}
+		}
+		if e.intrCountdown <= lp.iterSteps || e.steps+lp.iterSteps > e.maxSteps {
+			return int(lp.hdrPC), nil
+		}
+	}
+}
+
+// groupFault unwinds the static accounting pre-committed for the ops after
+// slot i, none of which will run: the fault terminates the whole run, and
+// ViolationError/RuntimeError carry no statistics snapshot, so vm.Stats is
+// next observed after propagation — where it must read exactly what the
+// reference interpreter accumulated up to and including the faulting op's
+// preamble (which stays committed).
+func (e *Engine) groupFault(g *qgroup, i int, err error) error {
+	e.st.Instrs -= g.rbInstrs[i]
+	e.st.Cost -= g.rbCost[i]
+	return err
+}
+
+// runGroup executes one accounting group: commit the group's static
+// instruction count and cost, then run its ops with no per-op preamble. Ops
+// that fault mid-group divert to groupFault, which rolls back the committed
+// accounting of the ops that never ran.
+func (e *Engine) runGroup(fn *Fn, g *qgroup, regs []uint64) error {
+	st := e.st
+	cm := e.cm
+	st.Instrs += g.instrs
+	st.Cost += g.cost
+	for i := range g.ops {
+		o := &g.ops[i]
+		switch o.code {
+		case opAdd:
+			regs[o.dst] = (regs[o.a] + regs[o.b]) & o.imm
+		case opSub:
+			regs[o.dst] = (regs[o.a] - regs[o.b]) & o.imm
+		case opMul:
+			regs[o.dst] = (regs[o.a] * regs[o.b]) & o.imm
+		case opSDiv, opSRem:
+			a := sext(regs[o.a], o.wbits)
+			b := sext(regs[o.b], o.wbits)
+			if b == 0 {
+				return e.groupFault(g, i, e.rte(0, o.instr, "integer division by zero"))
+			}
+			var r int64
+			if o.code == opSDiv {
+				r = a / b
+			} else {
+				r = a % b
+			}
+			regs[o.dst] = uint64(r) & o.imm
+		case opUDiv, opURem:
+			a := regs[o.a] & o.imm
+			b := regs[o.b] & o.imm
+			if b == 0 {
+				return e.groupFault(g, i, e.rte(0, o.instr, "integer division by zero"))
+			}
+			if o.code == opUDiv {
+				regs[o.dst] = (a / b) & o.imm
+			} else {
+				regs[o.dst] = (a % b) & o.imm
+			}
+		case opAnd:
+			regs[o.dst] = (regs[o.a] & regs[o.b]) & o.imm
+		case opOr:
+			regs[o.dst] = (regs[o.a] | regs[o.b]) & o.imm
+		case opXor:
+			regs[o.dst] = (regs[o.a] ^ regs[o.b]) & o.imm
+		case opShl:
+			sh := regs[o.b] & uint64(o.x)
+			regs[o.dst] = (regs[o.a] << sh) & o.imm
+		case opLShr:
+			sh := regs[o.b] & uint64(o.x)
+			regs[o.dst] = (regs[o.a] & o.imm) >> sh
+		case opAShr:
+			sh := regs[o.b] & uint64(o.x)
+			regs[o.dst] = uint64(sext(regs[o.a], o.wbits)>>sh) & o.imm
+
+		case opFAdd:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])+ffrom(o.wbits, regs[o.b]))
+		case opFSub:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])-ffrom(o.wbits, regs[o.b]))
+		case opFMul:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])*ffrom(o.wbits, regs[o.b]))
+		case opFDiv:
+			regs[o.dst] = fbits(uint64(o.wbits), ffrom(o.wbits, regs[o.a])/ffrom(o.wbits, regs[o.b]))
+
+		case opEQ:
+			regs[o.dst] = b2u(regs[o.a]&o.imm == regs[o.b]&o.imm)
+		case opNE:
+			regs[o.dst] = b2u(regs[o.a]&o.imm != regs[o.b]&o.imm)
+		case opSLT:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) < sext(regs[o.b], o.wbits))
+		case opSLE:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) <= sext(regs[o.b], o.wbits))
+		case opSGT:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) > sext(regs[o.b], o.wbits))
+		case opSGE:
+			regs[o.dst] = b2u(sext(regs[o.a], o.wbits) >= sext(regs[o.b], o.wbits))
+		case opULT:
+			regs[o.dst] = b2u(regs[o.a]&o.imm < regs[o.b]&o.imm)
+		case opULE:
+			regs[o.dst] = b2u(regs[o.a]&o.imm <= regs[o.b]&o.imm)
+		case opUGT:
+			regs[o.dst] = b2u(regs[o.a]&o.imm > regs[o.b]&o.imm)
+		case opUGE:
+			regs[o.dst] = b2u(regs[o.a]&o.imm >= regs[o.b]&o.imm)
+
+		case opFOEQ:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) == ffrom(o.wbits, regs[o.b]))
+		case opFONE:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) != ffrom(o.wbits, regs[o.b]))
+		case opFOLT:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) < ffrom(o.wbits, regs[o.b]))
+		case opFOLE:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) <= ffrom(o.wbits, regs[o.b]))
+		case opFOGT:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) > ffrom(o.wbits, regs[o.b]))
+		case opFOGE:
+			regs[o.dst] = b2u(ffrom(o.wbits, regs[o.a]) >= ffrom(o.wbits, regs[o.b]))
+
+		case opTrunc:
+			regs[o.dst] = regs[o.a] & o.imm
+		case opSExt:
+			regs[o.dst] = uint64(sext(regs[o.a], o.wbits)) & o.imm
+		case opFPCvt:
+			regs[o.dst] = fbits(o.imm, ffrom(o.wbits, regs[o.a]))
+		case opFPToSI:
+			regs[o.dst] = uint64(int64(ffrom(o.wbits, regs[o.a]))) & o.imm
+		case opSIToFP:
+			regs[o.dst] = fbits(o.imm, float64(sext(regs[o.a], o.wbits)))
+		case opMove:
+			regs[o.dst] = regs[o.a]
+
+		// Quickened address computations. opQGEPRC folds one scaled register
+		// index plus a constant offset; opQGEPC is a pure constant offset.
+		case opQGEPC:
+			regs[o.dst] = regs[o.a] + o.imm
+		case opQGEPRC:
+			regs[o.dst] = regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+		case opGEP:
+			pl := &fn.geps[o.x]
+			addr := regs[o.a]
+			for i := range pl.steps {
+				s := &pl.steps[i]
+				if s.reg < 0 {
+					addr += uint64(s.off)
+				} else {
+					addr += uint64(sext(regs[s.reg], s.sh) * s.scale)
+				}
+			}
+			regs[o.dst] = addr
+		case opGEPDyn:
+			pl := &fn.gepDyns[o.x]
+			addr := regs[o.a]
+			ty := pl.srcTy
+			for i := range pl.idx {
+				idx := sext(regs[pl.idx[i].reg], pl.idx[i].sh)
+				if i == 0 {
+					addr += uint64(idx * int64(ty.Size()))
+					continue
+				}
+				switch ty.Kind {
+				case ir.ArrayKind:
+					ty = ty.Elem
+					addr += uint64(idx * int64(ty.Size()))
+				case ir.StructKind:
+					addr += uint64(ty.FieldOffset(int(idx)))
+					ty = ty.Fields[idx]
+				}
+			}
+			regs[o.dst] = addr
+
+		case opSelect:
+			if regs[o.a] != 0 {
+				regs[o.dst] = regs[o.b]
+			} else {
+				regs[o.dst] = regs[o.c]
+			}
+
+		// Quickened loads/stores: the page-hit fast path of Engine.load is
+		// inlined per width; misses and page-straddling accesses fall back
+		// to the generic helpers with their exact fault semantics.
+		case opQLoad8:
+			addr := regs[o.a]
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize {
+				regs[o.dst] = uint64(e.page[addr&(mem.PageSize-1)])
+			} else {
+				x, err := e.load(addr, 1)
+				if err != nil {
+					return e.groupFault(g, i, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoad16:
+			addr := regs[o.a]
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-2 {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint16(e.page[off:]))
+			} else {
+				x, err := e.load(addr, 2)
+				if err != nil {
+					return e.groupFault(g, i, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoad32:
+			addr := regs[o.a]
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-4 {
+				regs[o.dst] = uint64(binary.LittleEndian.Uint32(e.page[off:]))
+			} else {
+				x, err := e.load(addr, 4)
+				if err != nil {
+					return e.groupFault(g, i, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQLoad64:
+			addr := regs[o.a]
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-8 {
+				regs[o.dst] = binary.LittleEndian.Uint64(e.page[off:])
+			} else {
+				x, err := e.load(addr, 8)
+				if err != nil {
+					return e.groupFault(g, i, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQStore8:
+			addr := regs[o.b]
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize {
+				e.page[addr&(mem.PageSize-1)] = byte(regs[o.a])
+			} else if err := e.store(addr, 1, regs[o.a]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opQStore16:
+			addr := regs[o.b]
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-2 {
+				binary.LittleEndian.PutUint16(e.page[off:], uint16(regs[o.a]))
+			} else if err := e.store(addr, 2, regs[o.a]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opQStore32:
+			addr := regs[o.b]
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-4 {
+				binary.LittleEndian.PutUint32(e.page[off:], uint32(regs[o.a]))
+			} else if err := e.store(addr, 4, regs[o.a]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opQStore64:
+			addr := regs[o.b]
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-8 {
+				binary.LittleEndian.PutUint64(e.page[off:], regs[o.a])
+			} else if err := e.store(addr, 8, regs[o.a]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opLoad: // non-power-of-two width: generic path
+			x, err := e.load(regs[o.a], o.wbits)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opStore:
+			if err := e.store(regs[o.b], o.wbits, regs[o.a]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+
+		// Micro-fused address+access: one op computes base + scaled index +
+		// offset (still written to the GEP's register, c, for later uses)
+		// and performs the access.
+		case opQLoadIdx8, opQLoadIdx16, opQLoadIdx32, opQLoadIdx64:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			w := uint8(1) << (o.code - opQLoadIdx8)
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-uint64(w) {
+				d := e.page[off:]
+				switch o.code {
+				case opQLoadIdx8:
+					regs[o.dst] = uint64(d[0])
+				case opQLoadIdx16:
+					regs[o.dst] = uint64(binary.LittleEndian.Uint16(d))
+				case opQLoadIdx32:
+					regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+				default:
+					regs[o.dst] = binary.LittleEndian.Uint64(d)
+				}
+			} else {
+				x, err := e.load(addr, w)
+				if err != nil {
+					return e.groupFault(g, i, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQStoreIdx8, opQStoreIdx16, opQStoreIdx32, opQStoreIdx64:
+			addr := regs[o.a] + uint64(sext(regs[o.b], o.wbits)*int64(o.imm)) + uint64(int64(o.x))
+			regs[o.c] = addr
+			w := uint8(1) << (o.code - opQStoreIdx8)
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-uint64(w) {
+				d := e.page[off:]
+				switch o.code {
+				case opQStoreIdx8:
+					d[0] = byte(regs[o.dst])
+				case opQStoreIdx16:
+					binary.LittleEndian.PutUint16(d, uint16(regs[o.dst]))
+				case opQStoreIdx32:
+					binary.LittleEndian.PutUint32(d, uint32(regs[o.dst]))
+				default:
+					binary.LittleEndian.PutUint64(d, regs[o.dst])
+				}
+			} else if err := e.store(addr, w, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opQLoadOff8, opQLoadOff16, opQLoadOff32, opQLoadOff64:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			w := uint8(1) << (o.code - opQLoadOff8)
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-uint64(w) {
+				d := e.page[off:]
+				switch o.code {
+				case opQLoadOff8:
+					regs[o.dst] = uint64(d[0])
+				case opQLoadOff16:
+					regs[o.dst] = uint64(binary.LittleEndian.Uint16(d))
+				case opQLoadOff32:
+					regs[o.dst] = uint64(binary.LittleEndian.Uint32(d))
+				default:
+					regs[o.dst] = binary.LittleEndian.Uint64(d)
+				}
+			} else {
+				x, err := e.load(addr, w)
+				if err != nil {
+					return e.groupFault(g, i, err)
+				}
+				regs[o.dst] = x
+			}
+			st.Loads++
+		case opQStoreOff8, opQStoreOff16, opQStoreOff32, opQStoreOff64:
+			addr := regs[o.a] + o.imm
+			regs[o.c] = addr
+			w := uint8(1) << (o.code - opQStoreOff8)
+			off := addr & (mem.PageSize - 1)
+			if addr>>mem.PageBits+1 == e.pageID && addr >= mem.NullGuardSize && off <= mem.PageSize-uint64(w) {
+				d := e.page[off:]
+				switch o.code {
+				case opQStoreOff8:
+					d[0] = byte(regs[o.dst])
+				case opQStoreOff16:
+					binary.LittleEndian.PutUint16(d, uint16(regs[o.dst]))
+				case opQStoreOff32:
+					binary.LittleEndian.PutUint32(d, uint32(regs[o.dst]))
+				default:
+					binary.LittleEndian.PutUint64(d, regs[o.dst])
+				}
+			} else if err := e.store(addr, w, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+
+		case opAlloca, opAllocaRec:
+			count := uint64(1)
+			if o.a >= 0 {
+				count = regs[o.a]
+			}
+			size := o.imm * count
+			if size == 0 {
+				size = 1
+			}
+			if e.lfStack {
+				addr, lowFat, err := e.vm.LF.StackAlloc(size)
+				if err != nil {
+					return e.groupFault(g, i, err)
+				}
+				if !lowFat {
+					*e.fb = append(*e.fb, addr)
+				}
+				if o.code == opAllocaRec {
+					e.vm.TrackAlloc(addr, size, o.instr.AllocSite)
+				}
+				regs[o.dst] = addr
+			} else {
+				align := uint64(o.x)
+				nsp := (e.vm.StackPointer() - size) &^ (align - 1)
+				if nsp < mem.StackLimit {
+					return e.groupFault(g, i, e.rte(0, o.instr, "stack overflow"))
+				}
+				e.vm.SetStackPointer(nsp)
+				if o.code == opAllocaRec {
+					e.vm.TrackAlloc(nsp, size, o.instr.AllocSite)
+				}
+				regs[o.dst] = nsp
+			}
+
+		case opSBLoadBase:
+			st.MetaLoads++
+			st.Cost += cm.SBMetaLoad
+			b, _ := e.vm.Trie.Lookup(regs[o.a])
+			if o.dst >= 0 {
+				regs[o.dst] = b.Base
+			}
+		case opSBLoadBound:
+			st.MetaLoads++
+			st.Cost += cm.SBMetaLoad
+			b, _ := e.vm.Trie.Lookup(regs[o.a])
+			if o.dst >= 0 {
+				regs[o.dst] = b.Bound
+			}
+		case opSBStoreMD:
+			st.MetaStores++
+			st.Cost += cm.SBMetaStore
+			e.vm.Trie.Store(regs[o.a], softbound.Bounds{Base: regs[o.b], Bound: regs[o.c]})
+		case opSBStoreMDProf:
+			st.MetaStores++
+			st.Cost += cm.SBMetaStore
+			e.bumpSite(o.imm, false, cm.SBMetaStore)
+			e.vm.Trie.Store(regs[o.a], softbound.Bounds{Base: regs[o.b], Bound: regs[o.c]})
+		case opLFBase:
+			st.Cost += cm.LFBase
+			if o.dst >= 0 {
+				regs[o.dst] = lowfat.Base(regs[o.a])
+			}
+
+		case opSBCheck:
+			if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheck:
+			if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckInv:
+			ptr, base := regs[o.a], regs[o.b]
+			st.InvariantChecks++
+			st.Cost += cm.LFCheck
+			ok, wide := lowfat.Check(ptr, 1, base)
+			if !ok && !wide {
+				return e.groupFault(g, i, &vm.ViolationError{Mechanism: "lowfat", Kind: "invariant", Ptr: ptr,
+					Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))})
+			}
+		case opSBCheckProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckInvProf:
+			ptr, base := regs[o.a], regs[o.b]
+			st.InvariantChecks++
+			st.Cost += cm.LFCheck
+			e.bumpSite(o.imm, false, cm.LFCheck)
+			ok, wide := lowfat.Check(ptr, 1, base)
+			if !ok && !wide {
+				return e.groupFault(g, i, &vm.ViolationError{Mechanism: "lowfat", Kind: "invariant", Ptr: ptr,
+					Detail: fmt.Sprintf("escaping pointer is outside its object at base %#x (size %d)", base, lowfat.AllocSize(lowfat.RegionIndex(base)))})
+			}
+
+		case opSBCheckRange:
+			if _, err := vm.SBCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckRange:
+			if _, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opSBCheckRangeProf:
+			wide, err := vm.SBCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst])
+			e.bumpSite(o.imm, wide, cm.SBCheck)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckRangeProf:
+			wide, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst])
+			e.bumpSite(o.imm, wide, cm.LFCheck)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+
+		// Fused check+access: the access half's step/instruction/cost
+		// accounting is part of the group's static commit, so only the
+		// check, the access, and the Loads/Stores counters remain.
+		case opSBCheckLoad:
+			if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.load(regs[o.a], o.wbits)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opSBCheckStore:
+			if err := e.sbCheck(st, cm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opLFCheckLoad:
+			if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.load(regs[o.a], o.wbits)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opLFCheckStore:
+			if err := lfCheck(st, cm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opSBCheckLoadProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.load(regs[o.a], o.wbits)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opSBCheckStoreProf:
+			if err := e.sbCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opLFCheckLoadProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.load(regs[o.a], o.wbits)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opLFCheckStoreProf:
+			if err := e.lfCheckProf(st, cm, o.imm, regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+
+		case opSBStoreMDRec:
+			e.vm.SBStoreMDRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c])
+		case opSBCheckRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckInvRec:
+			if err := e.vm.LFCheckInvRec(int32(o.imm), regs[o.a], regs[o.b]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opSBCheckRangeRec:
+			if err := e.vm.SBCheckRangeRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opLFCheckRangeRec:
+			if err := e.vm.LFCheckRangeRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+		case opSBCheckLoadRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.load(regs[o.a], o.wbits)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opSBCheckStoreRec:
+			if err := e.vm.SBCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c], regs[o.d]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+		case opLFCheckLoadRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			x, err := e.load(regs[o.a], o.wbits)
+			if err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Loads++
+			regs[o.dst] = x
+		case opLFCheckStoreRec:
+			if err := e.vm.LFCheckRec(int32(o.imm), regs[o.a], regs[o.b], regs[o.c]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Instrs++
+			st.Cost += fn.aux[o.x].cost2
+			if err := e.store(regs[o.a], o.wbits, regs[o.dst]); err != nil {
+				return e.groupFault(g, i, err)
+			}
+			st.Stores++
+
+		case opSBSSAlloc:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.AllocateFrame(int(regs[o.a]))
+		case opSBSSSetArg:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.SetArg(int(regs[o.a]), softbound.Bounds{Base: regs[o.b], Bound: regs[o.c]})
+		case opSBSSArgBase:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Arg(int(regs[o.a])).Base
+			} else {
+				_ = e.vm.Shadow.Arg(int(regs[o.a]))
+			}
+		case opSBSSArgBound:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Arg(int(regs[o.a])).Bound
+			} else {
+				_ = e.vm.Shadow.Arg(int(regs[o.a]))
+			}
+		case opSBSSSetRet:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.SetRet(softbound.Bounds{Base: regs[o.a], Bound: regs[o.b]})
+		case opSBSSRetBase:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Ret().Base
+			}
+		case opSBSSRetBound:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			if o.dst >= 0 {
+				regs[o.dst] = e.vm.Shadow.Ret().Bound
+			}
+		case opSBSSPop:
+			st.ShadowOps++
+			st.Cost += cm.SBShadowOp
+			e.vm.Shadow.PopFrame()
+
+		default:
+			panic(fmt.Sprintf("bytecode: opcode %d escaped quickening classification", o.code))
+		}
+	}
+	return nil
+}

@@ -122,6 +122,7 @@ func (r *Runner) PerfReport() *PerfReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := &PerfReport{Engine: r.engine.String(), SiteProfile: r.siteProfile, Records: []PerfRecord{}}
+	PublishEngineTierMetrics(r.metrics)
 	rep.Metrics = r.metrics.Snapshot()
 	for key, e := range r.cache {
 		res := e.res

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/obs"
+)
+
+// PublishEngineTierMetrics refreshes the compiler-tier gauges from the
+// bytecode package's cumulative counters. The tier counters are process-wide
+// (quickening overlays and native plugins are shared across runners), so
+// they export as gauges set to the current totals rather than per-runner
+// counters. Called whenever a snapshot of the registry is about to be taken:
+// by Runner.PerfReport and by the server's /metricsz handler. A nil registry
+// is a no-op, preserving obs-off neutrality.
+func PublishEngineTierMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fns, rewritten, superops, loops := bytecode.QuickenStats()
+	reg.Gauge("mi_engine_quickened_fns",
+		"Functions quickened by the compiler tier (process-wide total).").Set(int64(fns))
+	reg.Gauge("mi_engine_quickened_ops",
+		"Generic opcodes rewritten in place to specialized variants (process-wide total).").Set(int64(rewritten))
+	reg.Gauge("mi_engine_superops",
+		"Superinstructions formed: superblock trace segments plus fused adjacent pairs (process-wide total).").Set(int64(superops))
+	reg.Gauge("mi_engine_fused_loops",
+		"Counted loops trace-fused into mega-ops (process-wide total).").Set(int64(loops))
+
+	ns := bytecode.NativeStats()
+	reg.Gauge("mi_native_builds",
+		"Native plugins built by the compiler tier (process-wide total).").Set(int64(ns.Builds))
+	reg.Gauge("mi_native_cache_hits",
+		"Native plugins served from the content-addressed build cache (process-wide total).").Set(int64(ns.CacheHits))
+	reg.Gauge("mi_native_failures",
+		"Native-tier generation/build/load failures that fell back to the fused interpreter (process-wide total).").Set(int64(ns.Failures))
+}

@@ -61,9 +61,9 @@ func HoistChecks(m *ir.Module, sites *telemetry.SiteTable) HoistStats {
 func hoistFunc(m *ir.Module, f *ir.Func, sites *telemetry.SiteTable, st *HoistStats) {
 	dt := analysis.NewDomTree(f)
 	li := analysis.FindLoops(f, dt)
-	for _, loop := range li.Loops {
-		cl, ok := analysis.AnalyzeCountedLoop(loop)
-		if !ok || !loopAbortsOnlyOnChecks(loop) {
+	for _, cl := range analysis.CountedLoopsOf(li) {
+		loop := cl.Loop
+		if !loopAbortsOnlyOnChecks(loop) {
 			continue
 		}
 		h := &hoister{m: m, f: f, cl: cl, sites: sites}

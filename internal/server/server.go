@@ -222,6 +222,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	harness.PublishEngineTierMetrics(s.reg)
 	s.reg.WritePrometheus(w)
 }
 
