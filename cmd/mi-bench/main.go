@@ -302,6 +302,7 @@ func main() {
 			if lg := r.Logger(); lg != nil {
 				lg.Info("still running",
 					"key", c.Key,
+					"tier", c.Tier,
 					"attempt", c.Attempt+1,
 					"elapsed", time.Since(c.Started).Round(time.Millisecond).String(),
 					"campaign_elapsed", time.Since(start).Round(time.Second).String())
@@ -428,6 +429,7 @@ func main() {
 		}
 	}
 	if *traceOut != "" {
+		harness.PublishNativeBuildSpans(trace)
 		if err := trace.WriteChromeJSON(*traceOut); err != nil {
 			note("trace", err.Error())
 		}
@@ -454,6 +456,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mi-bench: journal: %d cell(s) appended to %s\n", journal.Entries(), journal.Path())
 	}
 	if reg != nil {
+		harness.PublishEngineTierMetrics(reg)
 		if snap := reg.Snapshot(); snap != nil {
 			fmt.Println(snap.Render())
 		}

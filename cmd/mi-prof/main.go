@@ -30,6 +30,14 @@
 // figure — the server-side analogue of running the figure locally:
 //
 //	mi-prof -overheads served.json
+//
+// With -tiers, the execution-tier attribution a compiler-engine campaign
+// embeds in its report is rendered: per function, how many instructions
+// retired in quickened superinstructions, trace-fused loops, and generated
+// native code, plus the native tier's build ledger and fallback reasons:
+//
+//	mi-bench -fig9 -engine=compiler -json perf.json
+//	mi-prof -tiers perf.json
 package main
 
 import (
@@ -53,6 +61,7 @@ func main() {
 		noStatus  = flag.Bool("ignore-status", false, "with -diff, also ignore cell status and attempt history (compare measurements only: chaos run vs clean run)")
 		overheads = flag.Bool("overheads", false, "render the perf report as a normalized overhead figure (for reports saved from mi-bench -server campaigns)")
 		metrics   = flag.Bool("metrics", false, "render the campaign metrics snapshot embedded in the perf report (mi-bench -metrics -json)")
+		tiers     = flag.Bool("tiers", false, "render the execution-tier attribution table embedded in the perf report (mi-bench -engine=compiler -json)")
 
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -110,6 +119,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Metrics.Render())
+		return
+	}
+
+	if *tiers {
+		if rep.Tiers == nil {
+			fmt.Fprintf(os.Stderr, "mi-prof: %s carries no tier attribution (rerun mi-bench with -engine=compiler)\n", flag.Arg(0))
+			os.Exit(1)
+		}
+		fmt.Print(rep.Tiers.Render())
 		return
 	}
 

@@ -54,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/server"
@@ -165,6 +166,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *traceOut != "" {
+		harness.PublishNativeBuildSpans(trace)
 		if err := trace.WriteChromeJSON(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mi-serve: trace: %v\n", err)
 			os.Exit(1)

@@ -245,6 +245,42 @@ func TestDifferentialSiteProfile(t *testing.T) {
 	}
 }
 
+// TestProfiledNativeEngages pins the guarantee behind the site-profile sweep
+// above: a site-profiled compiler-tier run actually retires instructions in
+// native code (the lowering policy no longer disqualifies SiteProfile), so
+// the bit-identical profiles cover the native tier rather than holding
+// vacuously on the fused interpreter.
+func TestProfiledNativeEngages(t *testing.T) {
+	if !bytecode.NativeAvailable() {
+		t.Skip("native tier disabled on this platform")
+	}
+	b := spec.All()[0]
+	m, vopts, _ := prepare(t, b, harness.PaperConfig(core.MechSoftBound))
+	vopts.SiteProfile = true
+	before, _ := bytecode.TierStats()
+	entries := func(rows []bytecode.TierFnStats) (n, native uint64) {
+		for _, r := range rows {
+			n += r.NativeEntries
+			native += r.NativeInstrs
+		}
+		return
+	}
+	e0, n0 := entries(before)
+	failures0 := bytecode.NativeStats().Failures
+	runUnder(t, bytecode.EngineCompiler, m, vopts)
+	after, _ := bytecode.TierStats()
+	e1, n1 := entries(after)
+	if bytecode.NativeStats().Failures > failures0 {
+		t.Skipf("native build unavailable in this environment (failures %d -> %d)",
+			failures0, bytecode.NativeStats().Failures)
+	}
+	if e1 == e0 || n1 == n0 {
+		t.Fatalf("profiled compiler run retired no native code: entries %d -> %d, native instrs %d -> %d",
+			e0, e1, n0, n1)
+	}
+	t.Logf("profiled native execution: %d entries, %d native instrs", e1-e0, n1-n0)
+}
+
 // TestDifferentialCoverage checks that the engines agree on which
 // instructions executed (the fault campaign's site-selection input).
 func TestDifferentialCoverage(t *testing.T) {

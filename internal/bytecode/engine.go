@@ -69,12 +69,25 @@ type Engine struct {
 	qpageID [qpWays]uint64
 	qpages  [qpWays]*[mem.PageSize]byte
 
-	// nat is the native-tier binding (compiler tier, plain runs only): the
-	// program's loaded plugin plus this engine's environment. natFn tracks
-	// the function currently executing natively, giving the environment's
-	// error and gate closures their op context across nested calls.
+	// nat is the native-tier binding (compiler tier; plain and site-profiled
+	// runs): the program's loaded plugin plus this engine's environment.
+	// natFn tracks the function currently executing natively, giving the
+	// environment's error and gate closures their op context across nested
+	// calls.
 	nat   *natBind
 	natFn *Fn
+
+	// tierFns, when non-nil (compiler tier), accumulates per-function tier
+	// attribution: instructions retired inside fused regions (split by entry
+	// unit kind) and native code, plus native entry/bail/gate counts. Merged
+	// into the process-wide table at the end of Run (tier.go).
+	tierFns []tierCount
+	// natGateInstrs accumulates the st.Instrs retired inside the current
+	// native frame's gate calls (the gated op itself plus everything nested
+	// calls execute); execNative subtracts it so the native bucket counts
+	// only instructions the generated code retired. Saved/restored across
+	// nested native frames like natFn.
+	natGateInstrs uint64
 }
 
 // engFrame tracks the executing function and its last call/raise site for
@@ -129,11 +142,14 @@ func NewEngine(p *Program, machine *vm.VM) (*Engine, error) {
 		}
 		e.consts[i] = cs
 	}
-	// Bind the native tier when the program supports it (compiler tier,
-	// no site profiling, no forensics, no coverage). A nil result — build
-	// failure, disabled platform — silently leaves the fused interpreter
-	// as the fastest tier; semantics never depend on the binding.
-	if e.opt && !p.prof && !p.rec {
+	// Bind the native tier when the program supports it (compiler tier, no
+	// coverage; site-profiled programs lower with baked site commits, only
+	// forensics stays interpreter-only — native() counts the fallback
+	// reason). A nil result — build failure, disabled platform, policy —
+	// silently leaves the fused interpreter as the fastest tier; semantics
+	// never depend on the binding.
+	if e.opt {
+		e.tierFns = make([]tierCount, len(p.fns))
 		if np := p.native(); np != nil {
 			e.nat = &natBind{prog: np, env: e.newNatEnv()}
 		}
@@ -145,6 +161,10 @@ func NewEngine(p *Program, machine *vm.VM) (*Engine, error) {
 // return value (or the exit() argument), execution errors return code -1.
 func (e *Engine) Run() (code int32, err error) {
 	defer e.recoverPanic(&err)
+	if e.tierFns != nil {
+		start := e.st.Instrs
+		defer func() { e.tierMerge(e.st.Instrs - start) }()
+	}
 	if e.p.main == nil {
 		return 0, &vm.RuntimeError{Msg: "no main function"}
 	}
@@ -384,7 +404,18 @@ func (e *Engine) exec(fn *Fn, q *quickFn, args []uint64, fallback *[]uint64) (ui
 					entry = e.intrCountdown > lp.iterSteps && e.steps+lp.iterSteps <= e.maxSteps
 				}
 				if entry {
+					i0 := st.Instrs
 					npc, ret, done, err := e.runFused(fn, q, v, regs)
+					if e.tierFns != nil {
+						// Fused regions never contain calls (groupBreaker),
+						// so the delta is purely this function's retirement;
+						// chains are attributed to their entry unit's kind.
+						if v >= 0 {
+							e.tierFns[fn.idx].quick += st.Instrs - i0
+						} else {
+							e.tierFns[fn.idx].fused += st.Instrs - i0
+						}
+					}
 					if err != nil {
 						return 0, err
 					}

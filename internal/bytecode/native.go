@@ -11,6 +11,8 @@ import (
 	"plugin"
 	"runtime"
 	"sync"
+	"time"
+	"unsafe"
 
 	"repro/internal/ir"
 	"repro/internal/lowfat"
@@ -67,6 +69,20 @@ type NativeTierStats struct {
 	// Failures counts programs that fell back to the interpreter because
 	// generation, compilation or loading failed.
 	Failures uint64
+	// BuildNS is the cumulative wall time spent in `go build` for plugins.
+	BuildNS uint64
+
+	// Fallback reasons, one count per Program that could not bind native
+	// code. FallbackBuildError: the plugin compilation failed (or had failed
+	// before for the same source). FallbackPluginLoad: the built artifact
+	// could not be opened or its symbol had the wrong shape (a corrupt or
+	// stale cache entry). FallbackDisabled: MI_NATIVE=0 or an unsupported
+	// platform. FallbackPolicy: the program's configuration keeps it on the
+	// interpreter by policy (forensics recording).
+	FallbackBuildError uint64
+	FallbackPluginLoad uint64
+	FallbackDisabled   uint64
+	FallbackPolicy     uint64
 }
 
 var natStatsMu sync.Mutex
@@ -85,16 +101,66 @@ func natCount(f func(*NativeTierStats)) {
 	natStatsMu.Unlock()
 }
 
+// NativeBuildEvent is one timestamped native-tier build-pipeline event, kept
+// for trace rendering: "build" (a plugin compilation, with its wall
+// duration), "promote" (a program bound native code, instantaneous), or
+// "fallback:<reason>" (a program degraded to the fused interpreter).
+type NativeBuildEvent struct {
+	Hash   string
+	Kind   string
+	Start  time.Time
+	Dur    time.Duration
+	Detail string
+}
+
+// natEventCap bounds the in-process build log; campaigns build at most a few
+// plugins per distinct program, so the cap only guards pathological churn.
+const natEventCap = 256
+
+var natEvents []NativeBuildEvent
+
+// NativeBuildLog returns a copy of the recorded build events, oldest first.
+func NativeBuildLog() []NativeBuildEvent {
+	natStatsMu.Lock()
+	defer natStatsMu.Unlock()
+	out := make([]NativeBuildEvent, len(natEvents))
+	copy(out, natEvents)
+	return out
+}
+
+func natEvent(ev NativeBuildEvent) {
+	natStatsMu.Lock()
+	if len(natEvents) < natEventCap {
+		natEvents = append(natEvents, ev)
+	}
+	natStatsMu.Unlock()
+}
+
 // natDisabled gates the tier off: MI_NATIVE=0 in the environment, or a
 // platform without plugin support.
 var natDisabled = os.Getenv("MI_NATIVE") == "0" ||
 	!(runtime.GOOS == "linux" || runtime.GOOS == "darwin" || runtime.GOOS == "freebsd")
 
+// NativeAvailable reports whether the native tier is enabled for this
+// process (it can still degrade per program on build or load failures).
+func NativeAvailable() bool { return !natDisabled }
+
+// Native fallback reason labels, shared with the telemetry/obs layers.
+const (
+	NativeFallbackBuildError = "build_error"
+	NativeFallbackPluginLoad = "plugin_load"
+	NativeFallbackDisabled   = "MI_NATIVE=0"
+	NativeFallbackPolicy     = "policy"
+)
+
 // native returns the program's loaded native code, building it on first use.
 // It returns nil when the native tier is unavailable for this program; the
-// result (including failure) is cached on the Program.
+// result (including failure, with its fallback reason counted exactly once)
+// is cached on the Program. Site-profiled programs lower like plain ones —
+// the generator bakes their site commits — only forensics recording stays on
+// the interpreter by policy.
 func (p *Program) native() *natProg {
-	if natDisabled || p.prof || p.rec || p.tier != EngineCompiler {
+	if p.tier != EngineCompiler {
 		return nil
 	}
 	if s := p.nat.Load(); s != nil {
@@ -105,7 +171,17 @@ func (p *Program) native() *natProg {
 	if s := p.nat.Load(); s != nil {
 		return s.prog
 	}
-	np := buildNative(p)
+	var np *natProg
+	switch {
+	case natDisabled:
+		natCount(func(s *NativeTierStats) { s.FallbackDisabled++ })
+		natEvent(NativeBuildEvent{Kind: "fallback:" + NativeFallbackDisabled, Start: time.Now()})
+	case p.rec:
+		natCount(func(s *NativeTierStats) { s.FallbackPolicy++ })
+		natEvent(NativeBuildEvent{Kind: "fallback:" + NativeFallbackPolicy, Start: time.Now()})
+	default:
+		np = buildNative(p)
+	}
 	p.nat.Store(&natState{prog: np})
 	return np
 }
@@ -115,25 +191,33 @@ func buildNative(p *Program) *natProg {
 	src, metas := natGenerate(p)
 	sum := sha256.Sum256([]byte(src))
 	hash := hex.EncodeToString(sum[:])
+	fallback := func(reason string, detail string) *natProg {
+		natCount(func(s *NativeTierStats) {
+			s.Failures++
+			if reason == NativeFallbackPluginLoad {
+				s.FallbackPluginLoad++
+			} else {
+				s.FallbackBuildError++
+			}
+		})
+		natEvent(NativeBuildEvent{Hash: hash, Kind: "fallback:" + reason, Start: time.Now(), Detail: detail})
+		return nil
+	}
 	soPath, err := natEnsurePlugin(hash, src)
 	if err != nil {
-		natCount(func(s *NativeTierStats) { s.Failures++ })
-		return nil
+		return fallback(NativeFallbackBuildError, err.Error())
 	}
 	pl, err := plugin.Open(soPath)
 	if err != nil {
-		natCount(func(s *NativeTierStats) { s.Failures++ })
-		return nil
+		return fallback(NativeFallbackPluginLoad, err.Error())
 	}
 	sym, err := pl.Lookup("Fns")
 	if err != nil {
-		natCount(func(s *NativeTierStats) { s.Failures++ })
-		return nil
+		return fallback(NativeFallbackPluginLoad, err.Error())
 	}
 	fns, ok := sym.(*[]natFunc)
 	if !ok || len(*fns) != len(p.fns) {
-		natCount(func(s *NativeTierStats) { s.Failures++ })
-		return nil
+		return fallback(NativeFallbackPluginLoad, "plugin symbol has the wrong shape")
 	}
 	np := &natProg{fns: make([]natFn, len(p.fns))}
 	for i := range p.fns {
@@ -141,6 +225,7 @@ func buildNative(p *Program) *natProg {
 			np.fns[i] = natFn{code: (*fns)[i], at: metas[i].at}
 		}
 	}
+	natEvent(NativeBuildEvent{Hash: hash, Kind: "promote", Start: time.Now()})
 	return np
 }
 
@@ -217,9 +302,14 @@ func natBuildPlugin(hash, src string) (string, error) {
 	cmd := exec.Command(goTool, args...)
 	cmd.Dir = work
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=1", "GOFLAGS=", "GOWORK=off", "GO111MODULE=on", "GOPROXY=off")
-	if msg, err := cmd.CombinedOutput(); err != nil {
+	start := time.Now()
+	msg, err := cmd.CombinedOutput()
+	dur := time.Since(start)
+	natCount(func(s *NativeTierStats) { s.BuildNS += uint64(dur) })
+	if err != nil {
 		return "", fmt.Errorf("bytecode: native build: %v: %s", err, msg)
 	}
+	natEvent(NativeBuildEvent{Hash: hash, Kind: "build", Start: start, Dur: dur})
 	// Atomic publish: a concurrent process building the same hash renames an
 	// identical artifact over ours, which is fine.
 	if err := os.Rename(out, soPath); err != nil {
@@ -232,8 +322,23 @@ func natBuildPlugin(hash, src string) (string, error) {
 // newNatEnv builds the per-engine environment: the counter block, the page
 // cache, and the host closures the generated code calls for slow paths,
 // faults and gated ops.
+// natSiteWordsCheck pins the vm.SiteCount layout the flat Sites view relies
+// on: three uint64 words per site (Execs, Wide, Cost), no padding. Either
+// array length goes negative — a compile error — if the struct changes size.
+var (
+	_ [unsafe.Sizeof(vm.SiteCount{}) - natSiteWords*8]byte
+	_ [natSiteWords*8 - unsafe.Sizeof(vm.SiteCount{})]byte
+)
+
 func (e *Engine) newNatEnv() *natEnv {
 	ev := &natEnv{}
+	if len(e.prof) > 0 {
+		// Zero-copy flat view of the shared per-site profile: generated code
+		// for profiled programs commits site counters directly into the same
+		// memory the interpreter tiers bump, so profiles stay bit-identical
+		// no matter which tier retired each check.
+		ev.Sites = unsafe.Slice((*uint64)(unsafe.Pointer(&e.prof[0])), len(e.prof)*natSiteWords)
+	}
 	ev.Poll = func() uint64 { return uint64(e.intr.Raised()) }
 	ev.PageFor = func(addr uint64) (*[mem.PageSize]byte, error) { return e.vm.AS.Page(addr) }
 	ev.SlowLoad = func(addr, w uint64) (uint64, error) { return e.vm.AS.Load(addr, int(w)) }
@@ -260,7 +365,12 @@ func (e *Engine) newNatEnv() *natEnv {
 	ev.Rte = func(pc uint64) error { return e.natRte(int(pc)) }
 	ev.Gate = func(pc uint64, regs []uint64) error {
 		e.natFlush(ev)
+		g0 := e.st.Instrs
 		err := e.gateOp(e.natFn, int(pc), regs)
+		if e.tierFns != nil {
+			e.natGateInstrs += e.st.Instrs - g0
+			e.tierFns[e.natFn.idx].gates++
+		}
 		e.natLoad(ev)
 		return err
 	}
@@ -325,16 +435,31 @@ func (e *Engine) natRte(pc int) error {
 // (done=true) or the pc to resume interpretation at after a bail-out.
 func (e *Engine) execNative(fn *Fn, nf *natFn, entry int32, regs []uint64) (npc int, ret uint64, done bool, err error) {
 	ev := e.nat.env
-	savedFn := e.natFn
+	savedFn, savedGate := e.natFn, e.natGateInstrs
 	e.natFn = fn
+	e.natGateInstrs = 0
+	i0 := e.st.Instrs
 	e.natLoad(ev)
 	r, err := nf.code(uint64(entry), regs, ev)
 	e.natFlush(ev)
+	bailed := err == nil && ev.Cnt[cntBail] != 0
+	if e.tierFns != nil {
+		tc := &e.tierFns[fn.idx]
+		// Gate intervals cover the gated op plus everything nested calls
+		// retired (those attribute to their own functions); subtracting
+		// them leaves only instructions the generated code retired.
+		tc.native += e.st.Instrs - i0 - e.natGateInstrs
+		tc.entries++
+		if bailed {
+			tc.bails++
+		}
+	}
 	e.natFn = savedFn
+	e.natGateInstrs = savedGate
 	if err != nil {
 		return 0, 0, false, err
 	}
-	if ev.Cnt[cntBail] != 0 {
+	if bailed {
 		ev.Cnt[cntBail] = 0
 		return int(ev.Cnt[cntBailPC]), 0, false, nil
 	}
@@ -498,6 +623,19 @@ func (e *Engine) gateOp(fn *Fn, pc int, regs []uint64) error {
 		}
 	case opLFCheckRange:
 		if _, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst]); err != nil {
+			return err
+		}
+
+	case opSBCheckRangeProf:
+		wide, err := vm.SBCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.d], regs[o.dst])
+		e.bumpSite(o.imm, wide, cm.SBCheck)
+		if err != nil {
+			return err
+		}
+	case opLFCheckRangeProf:
+		wide, err := vm.LFCheckRangeOp(st, cm, regs[o.a], regs[o.b], regs[o.x], regs[o.c], regs[o.dst])
+		e.bumpSite(o.imm, wide, cm.LFCheck)
+		if err != nil {
 			return err
 		}
 

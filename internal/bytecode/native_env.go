@@ -37,6 +37,15 @@ type natEnv = struct {
 	// concurrent engines on the same plugin never share translations.
 	PageID [512]uint64
 	Pages  [512]*[65536]byte
+	// Sites is a flat view of the VM's per-site profile (vm.SiteCount laid
+	// out as three uint64 words per site: Execs, Wide, Cost), so generated
+	// code for profiled programs can batch site-counter commits with plain
+	// adds at compile-time-constant indices. The host points it at the
+	// engine's shared profile slice; it is nil (and never referenced by the
+	// generated code) for unprofiled programs. Site IDs are validated
+	// against the module at VM construction, so generated indices are
+	// always in bounds.
+	Sites []uint64
 
 	// Poll returns the interrupt flag's raised reason (0 when clear).
 	Poll func() uint64
@@ -99,4 +108,13 @@ const (
 const (
 	natPageWays      = 512
 	natBatchMaxSteps = 256
+)
+
+// Word offsets of the vm.SiteCount fields inside the flat natEnv.Sites view
+// (natSiteWords words per site).
+const (
+	natSiteExecs = 0
+	natSiteWide  = 1
+	natSiteCost  = 2
+	natSiteWords = 3
 )

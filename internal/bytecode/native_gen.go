@@ -45,6 +45,7 @@ const natEnvDecl = `type env = struct {
 	Cnt    [16]uint64
 	PageID [512]uint64
 	Pages  [512]*[65536]byte
+	Sites  []uint64
 
 	Poll       func() uint64
 	PageFor    func(uint64) (*[65536]byte, error)
@@ -71,9 +72,20 @@ type natFnMeta struct {
 // batch of ops): the vm.Stats deltas plus the counted-step total (st) and the
 // interrupt-countdown decrement total (po). The two differ for fused
 // check+access ops, whose second phase counts a step and an instruction but
-// does not touch the countdown.
+// does not touch the countdown. For profiled programs, sites carries the
+// per-site Execs/Cost contributions of the batch (wide counts are dynamic
+// and bump inline); they commit and roll back with the same suffix
+// discipline as the Cnt words, matching the interpreter's bump-before-check
+// order — a fault at a profiling op keeps that op's own site commit.
 type natContrib struct {
 	in, co, st, po, ld, sr, ck, iv, ml, ms uint64
+	sites                                  []natSiteContrib
+}
+
+// natSiteContrib is one site's static contribution: ex executions charging
+// co abstract cost in total.
+type natSiteContrib struct {
+	id, ex, co uint64
 }
 
 func (c *natContrib) add(d natContrib) {
@@ -87,6 +99,41 @@ func (c *natContrib) add(d natContrib) {
 	c.iv += d.iv
 	c.ml += d.ml
 	c.ms += d.ms
+	c.sites = append(c.sites[:len(c.sites):len(c.sites)], d.sites...)
+}
+
+// addSite records one profiled execution of site id charging unit cost.
+// Site 0 means "no site" and is skipped, mirroring Engine.bumpSite.
+func (c *natContrib) addSite(id, unit uint64) {
+	if id != 0 {
+		c.sites = append(c.sites, natSiteContrib{id: id, ex: 1, co: unit})
+	}
+}
+
+// natSiteTotals merges a contribution's site list by id, ordered by id, so
+// the rendered commits and rollbacks are deterministic.
+func natSiteTotals(sites []natSiteContrib) []natSiteContrib {
+	if len(sites) == 0 {
+		return nil
+	}
+	byID := map[uint64]*natSiteContrib{}
+	var ids []uint64
+	for _, s := range sites {
+		if t, ok := byID[s.id]; ok {
+			t.ex += s.ex
+			t.co += s.co
+			continue
+		}
+		cp := s
+		byID[s.id] = &cp
+		ids = append(ids, s.id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]natSiteContrib, len(ids))
+	for i, id := range ids {
+		out[i] = *byID[id]
+	}
+	return out
 }
 
 // Op classes for block construction.
@@ -108,12 +155,15 @@ func natClass(code opcode) int {
 		opLoad, opStore, opGEP, opSelect,
 		opSBLoadBase, opSBLoadBound, opSBStoreMD, opSBCheck,
 		opLFBase, opLFCheck, opLFCheckInv,
-		opSBCheckLoad, opSBCheckStore, opLFCheckLoad, opLFCheckStore:
+		opSBCheckLoad, opSBCheckStore, opLFCheckLoad, opLFCheckStore,
+		opSBStoreMDProf, opSBCheckProf, opLFCheckProf, opLFCheckInvProf,
+		opSBCheckLoadProf, opSBCheckStoreProf, opLFCheckLoadProf, opLFCheckStoreProf:
 		return natInline
 	case opAlloca, opAllocaRec, opGEPDyn, opCallInt, opCallExt,
 		opSBSSAlloc, opSBSSSetArg, opSBSSArgBase, opSBSSArgBound,
 		opSBSSSetRet, opSBSSRetBase, opSBSSRetBound, opSBSSPop,
-		opSBCheckRange, opLFCheckRange:
+		opSBCheckRange, opLFCheckRange,
+		opSBCheckRangeProf, opLFCheckRangeProf:
 		return natGate
 	case opBr, opCondBr, opRet, opErrInstr, opPhiCopy, opErrRaw:
 		return natTerm
@@ -159,9 +209,9 @@ func natGateIO(fn *Fn, o *op) (reads, writes []int32, ok bool) {
 	case opSBSSRetBase, opSBSSRetBound:
 		addDst()
 	case opSBSSPop:
-	case opSBCheckRange:
+	case opSBCheckRange, opSBCheckRangeProf:
 		reads = append(reads, o.a, o.b, o.x, o.c, o.d, o.dst)
-	case opLFCheckRange:
+	case opLFCheckRange, opLFCheckRangeProf:
 		reads = append(reads, o.a, o.b, o.x, o.c, o.dst)
 	default:
 		return nil, nil, false
@@ -204,6 +254,35 @@ func natContribOf(fn *Fn, cm *vm.CostModel, o *op) natContrib {
 	case opLFCheckStore:
 		c.in, c.st, c.ck, c.sr = 2, 2, 1, 1
 		c.co += cm.LFCheck + fn.aux[o.x].cost2
+
+	case opSBStoreMDProf:
+		c.ms, c.co = 1, c.co+cm.SBMetaStore
+		c.addSite(o.imm, cm.SBMetaStore)
+	case opSBCheckProf:
+		c.ck, c.co = 1, c.co+cm.SBCheck
+		c.addSite(o.imm, cm.SBCheck)
+	case opLFCheckProf:
+		c.ck, c.co = 1, c.co+cm.LFCheck
+		c.addSite(o.imm, cm.LFCheck)
+	case opLFCheckInvProf:
+		c.iv, c.co = 1, c.co+cm.LFCheck
+		c.addSite(o.imm, cm.LFCheck)
+	case opSBCheckLoadProf:
+		c.in, c.st, c.ck, c.ld = 2, 2, 1, 1
+		c.co += cm.SBCheck + fn.aux[o.x].cost2
+		c.addSite(o.imm, cm.SBCheck)
+	case opSBCheckStoreProf:
+		c.in, c.st, c.ck, c.sr = 2, 2, 1, 1
+		c.co += cm.SBCheck + fn.aux[o.x].cost2
+		c.addSite(o.imm, cm.SBCheck)
+	case opLFCheckLoadProf:
+		c.in, c.st, c.ck, c.ld = 2, 2, 1, 1
+		c.co += cm.LFCheck + fn.aux[o.x].cost2
+		c.addSite(o.imm, cm.LFCheck)
+	case opLFCheckStoreProf:
+		c.in, c.st, c.ck, c.sr = 2, 2, 1, 1
+		c.co += cm.LFCheck + fn.aux[o.x].cost2
+		c.addSite(o.imm, cm.LFCheck)
 	}
 	return c
 }
@@ -253,6 +332,12 @@ func natRB(c natContrib) string {
 	sub(cntInv, c.iv)
 	sub(cntMetaLoads, c.ml)
 	sub(cntMetaStores, c.ms)
+	for _, s := range natSiteTotals(c.sites) {
+		fmt.Fprintf(&b, "ev.Sites[%d] -= %d\n", s.id*natSiteWords+natSiteExecs, s.ex)
+		if s.co != 0 {
+			fmt.Fprintf(&b, "ev.Sites[%d] -= %d\n", s.id*natSiteWords+natSiteCost, s.co)
+		}
+	}
 	return b.String()
 }
 
@@ -347,6 +432,12 @@ func (g *natFnGen) emitBatch(units []int) {
 	addC(cntInv, tot.iv)
 	addC(cntMetaLoads, tot.ml)
 	addC(cntMetaStores, tot.ms)
+	for _, s := range natSiteTotals(tot.sites) {
+		g.pf("ev.Sites[%d] += %d\n", s.id*natSiteWords+natSiteExecs, s.ex)
+		if s.co != 0 {
+			g.pf("ev.Sites[%d] += %d\n", s.id*natSiteWords+natSiteCost, s.co)
+		}
+	}
 
 	// suffix[j] is the batch accounting after unit j — the part a fault at
 	// unit j must roll back (before adding the unit's own unearned part).
@@ -416,21 +507,35 @@ func (g *natFnGen) emitAccess(isLoad bool, addr string, width uint8, val string,
 	g.pf("}\n}\n")
 }
 
+// natWide renders the wide-bounds elision bumps: vm.Stats.WideChecks, plus
+// the profiled site's Wide word when the check carries a site. Wide counts
+// are data-dependent, so they commit inline rather than in the batch statics.
+func natWide(site uint64) string {
+	s := fmt.Sprintf("ev.Cnt[%d]++\n", cntWide)
+	if site != 0 {
+		s += fmt.Sprintf("ev.Sites[%d]++\n", site*natSiteWords+natSiteWide)
+	}
+	return s
+}
+
 // emitSBCheck renders the SoftBound bounds check (Figure 2): wide-bounds
 // elision bumps WideChecks, a violation rolls back rb and fails through the
-// host error constructor. Checks/cost are already in the batch statics.
-func (g *natFnGen) emitSBCheck(ptr, wd, base, bound, rb string) {
-	g.pf("if %s == 0 && %s == 0x%x {\nev.Cnt[%d]++\n} else if !(%s >= %s && %s+%s <= %s && %s+%s >= %s) {\n%sreturn 0, ev.SBFail(%s, %s, %s, %s)\n}\n",
-		base, bound, ^uint64(0), cntWide, ptr, base, ptr, wd, bound, ptr, wd, ptr, rb, ptr, wd, base, bound)
+// host error constructor. Checks/cost (and the site's Execs/Cost for
+// profiled checks) are already in the batch statics; the interpreter bumps
+// the site before raising a violation, so rb never includes the check's own
+// site contribution.
+func (g *natFnGen) emitSBCheck(ptr, wd, base, bound, rb string, site uint64) {
+	g.pf("if %s == 0 && %s == 0x%x {\n%s} else if !(%s >= %s && %s+%s <= %s && %s+%s >= %s) {\n%sreturn 0, ev.SBFail(%s, %s, %s, %s)\n}\n",
+		base, bound, ^uint64(0), natWide(site), ptr, base, ptr, wd, bound, ptr, wd, ptr, rb, ptr, wd, base, bound)
 }
 
 // emitLFCheck renders the Low-Fat check (Figure 5): region decode, size
 // table as a shift, unsigned offset comparison.
-func (g *natFnGen) emitLFCheck(ptr, wd, base, rb string) {
+func (g *natFnGen) emitLFCheck(ptr, wd, base, rb string, site uint64) {
 	t := g.tmp
 	g.tmp++
-	g.pf("{\nri%d := %s >> 35\nif ri%d < 1 || ri%d > 27 {\nev.Cnt[%d]++\n} else {\nsz%d := uint64(16) << (ri%d - 1)\nw%d := %s\nif w%d == 0 {\nw%d = 1\n}\nif %s-%s > sz%d-w%d {\n%sreturn 0, ev.LFFail(0, %s, %s, %s)\n}\n}\n}\n",
-		t, base, t, t, cntWide, t, t, t, wd, t, t, ptr, base, t, t, rb, ptr, wd, base)
+	g.pf("{\nri%d := %s >> 35\nif ri%d < 1 || ri%d > 27 {\n%s} else {\nsz%d := uint64(16) << (ri%d - 1)\nw%d := %s\nif w%d == 0 {\nw%d = 1\n}\nif %s-%s > sz%d-w%d {\n%sreturn 0, ev.LFFail(0, %s, %s, %s)\n}\n}\n}\n",
+		t, base, t, t, natWide(site), t, t, t, wd, t, t, ptr, base, t, t, rb, ptr, wd, base)
 }
 
 func (g *natFnGen) emitOp(pc int, suf natContrib) {
@@ -573,10 +678,12 @@ func (g *natFnGen) emitOp(pc int, suf natContrib) {
 			g.tmp++
 			g.pf("{\n_, b%d := ev.TrieLookup(%s)\n%s = b%d\n}\n", t, g.r(o.a), g.w(o.dst), t)
 		}
-	case opSBStoreMD:
+	case opSBStoreMD, opSBStoreMDProf:
 		g.pf("ev.TrieStore(%s, %s, %s)\n", g.r(o.a), g.r(o.b), g.r(o.c))
 	case opSBCheck:
-		g.emitSBCheck(g.r(o.a), g.r(o.b), g.r(o.c), g.r(o.d), rbS)
+		g.emitSBCheck(g.r(o.a), g.r(o.b), g.r(o.c), g.r(o.d), rbS, 0)
+	case opSBCheckProf:
+		g.emitSBCheck(g.r(o.a), g.r(o.b), g.r(o.c), g.r(o.d), rbS, o.imm)
 
 	case opLFBase:
 		if o.dst >= 0 {
@@ -586,38 +693,56 @@ func (g *natFnGen) emitOp(pc int, suf natContrib) {
 				t, g.r(o.a), t, t, g.w(o.dst), g.w(o.dst), g.r(o.a), t)
 		}
 	case opLFCheck:
-		g.emitLFCheck(g.r(o.a), g.r(o.b), g.r(o.c), rbS)
-	case opLFCheckInv:
+		g.emitLFCheck(g.r(o.a), g.r(o.b), g.r(o.c), rbS, 0)
+	case opLFCheckProf:
+		g.emitLFCheck(g.r(o.a), g.r(o.b), g.r(o.c), rbS, o.imm)
+	case opLFCheckInv, opLFCheckInvProf:
 		t := g.tmp
 		g.tmp++
 		g.pf("{\nri%d := %s >> 35\nif ri%d >= 1 && ri%d <= 27 {\nsz%d := uint64(16) << (ri%d - 1)\nif %s-%s > sz%d-1 {\n%sreturn 0, ev.LFFail(1, %s, 0, %s)\n}\n}\n}\n",
 			t, g.r(o.b), t, t, t, t, g.r(o.a), g.r(o.b), t, rbS, g.r(o.a), g.r(o.b))
 
-	case opSBCheckLoad:
+	case opSBCheckLoad, opSBCheckLoadProf:
+		site := uint64(0)
+		if o.code == opSBCheckLoadProf {
+			site = o.imm
+		}
 		sufC := suf
 		sufC.in, sufC.co, sufC.ld = sufC.in+1, sufC.co+fn.aux[o.x].cost2, sufC.ld+1
-		g.emitSBCheck(g.r(o.a), g.r(o.b), g.r(o.c), g.r(o.d), natRB(sufC))
+		g.emitSBCheck(g.r(o.a), g.r(o.b), g.r(o.c), g.r(o.d), natRB(sufC), site)
 		sufL := suf
 		sufL.ld++
 		g.emitAccess(true, g.r(o.a), o.wbits, g.w(o.dst), natRB(sufL))
-	case opSBCheckStore:
+	case opSBCheckStore, opSBCheckStoreProf:
+		site := uint64(0)
+		if o.code == opSBCheckStoreProf {
+			site = o.imm
+		}
 		sufC := suf
 		sufC.in, sufC.co, sufC.sr = sufC.in+1, sufC.co+fn.aux[o.x].cost2, sufC.sr+1
-		g.emitSBCheck(g.r(o.a), g.r(o.b), g.r(o.c), g.r(o.d), natRB(sufC))
+		g.emitSBCheck(g.r(o.a), g.r(o.b), g.r(o.c), g.r(o.d), natRB(sufC), site)
 		sufS := suf
 		sufS.sr++
 		g.emitAccess(false, g.r(o.a), o.wbits, g.r(o.dst), natRB(sufS))
-	case opLFCheckLoad:
+	case opLFCheckLoad, opLFCheckLoadProf:
+		site := uint64(0)
+		if o.code == opLFCheckLoadProf {
+			site = o.imm
+		}
 		sufC := suf
 		sufC.in, sufC.co, sufC.ld = sufC.in+1, sufC.co+fn.aux[o.x].cost2, sufC.ld+1
-		g.emitLFCheck(g.r(o.a), g.r(o.b), g.r(o.c), natRB(sufC))
+		g.emitLFCheck(g.r(o.a), g.r(o.b), g.r(o.c), natRB(sufC), site)
 		sufL := suf
 		sufL.ld++
 		g.emitAccess(true, g.r(o.a), o.wbits, g.w(o.dst), natRB(sufL))
-	case opLFCheckStore:
+	case opLFCheckStore, opLFCheckStoreProf:
+		site := uint64(0)
+		if o.code == opLFCheckStoreProf {
+			site = o.imm
+		}
 		sufC := suf
 		sufC.in, sufC.co, sufC.sr = sufC.in+1, sufC.co+fn.aux[o.x].cost2, sufC.sr+1
-		g.emitLFCheck(g.r(o.a), g.r(o.b), g.r(o.c), natRB(sufC))
+		g.emitLFCheck(g.r(o.a), g.r(o.b), g.r(o.c), natRB(sufC), site)
 		sufS := suf
 		sufS.sr++
 		g.emitAccess(false, g.r(o.a), o.wbits, g.r(o.dst), natRB(sufS))

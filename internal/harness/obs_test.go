@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/spec"
@@ -154,5 +155,77 @@ func TestObsOffNeutral(t *testing.T) {
 	}
 	if string(a) != string(bts) {
 		t.Errorf("canonical reports differ with observability on:\noff: %s\non:  %s", a, bts)
+	}
+}
+
+// TestPerfReportTiers pins the tier-attribution block of the perf report: a
+// compiler-engine campaign embeds a TierTable whose buckets reconcile with
+// its total, the labeled tier gauges agree with the table, Canonical strips
+// the block (its counters are process-wide and cumulative, so resumed
+// campaigns would diff), and the render names at least one function.
+func TestPerfReportTiers(t *testing.T) {
+	r := NewRunner()
+	r.SetEngine(bytecode.EngineCompiler)
+	reg := obs.NewRegistry()
+	r.SetMetrics(reg)
+	b := benchNamed(t, "164gzip")
+	for _, cfg := range []RunConfig{BaselineConfig(), PaperConfig(core.MechSoftBound)} {
+		if _, err := r.Run(b, cfg); err != nil {
+			t.Fatalf("%s: %v", cfg.Label, err)
+		}
+	}
+
+	rep := r.PerfReport()
+	if rep.Tiers == nil {
+		t.Fatal("compiler-engine report carries no tier table")
+	}
+	if rep.Tiers.TotalInstrs == 0 {
+		t.Fatal("tier table has zero total instructions")
+	}
+	quick, fused, native := rep.Tiers.TieredInstrs()
+	if got := quick + fused + native + rep.Tiers.InterpretedInstrs; got != rep.Tiers.TotalInstrs {
+		t.Errorf("tier buckets sum to %d, total is %d (every instruction must land in exactly one tier)",
+			got, rep.Tiers.TotalInstrs)
+	}
+	snap := rep.Metrics
+	if snap == nil {
+		t.Fatal("report carries no metrics snapshot")
+	}
+	for tier, want := range map[string]uint64{
+		"quickened": quick, "fused": fused, "native": native, "interpreted": rep.Tiers.InterpretedInstrs,
+	} {
+		p := snap.Find("mi_tier_instrs", map[string]string{"tier": tier})
+		if p == nil {
+			t.Errorf("snapshot has no mi_tier_instrs{tier=%q}", tier)
+			continue
+		}
+		if uint64(p.Value) != want {
+			t.Errorf("mi_tier_instrs{tier=%q} = %v, tier table says %d", tier, p.Value, want)
+		}
+	}
+
+	if c := rep.Canonical(); c.Tiers != nil {
+		t.Error("Canonical must strip the tier table")
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"tiers"`)) {
+		t.Error("report JSON carries no tiers block")
+	}
+	var back PerfReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tiers == nil || back.Tiers.TotalInstrs != rep.Tiers.TotalInstrs {
+		t.Error("tier table does not round-trip through JSON")
+	}
+	out := rep.Tiers.Render()
+	if !strings.Contains(out, "Execution tier attribution") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+	if len(rep.Tiers.Rows) > 0 && !strings.Contains(out, rep.Tiers.Rows[0].Func) {
+		t.Errorf("render names no function:\n%s", out)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -80,6 +81,11 @@ type PerfReport struct {
 	// from per-request server reports and zeroed by Canonical, so served and
 	// local reports still diff byte-identical.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Tiers is the compiler tier's execution-tier attribution (mi-prof
+	// -tiers renders it). The counters are process-wide and cumulative —
+	// a resumed campaign re-executes fewer cells than the uninterrupted one
+	// — so Canonical strips it just like Metrics.
+	Tiers *telemetry.TierTable `json:"tiers,omitempty"`
 }
 
 // perfRecord builds the report record for one cell. A resumed cell replays
@@ -124,6 +130,7 @@ func (r *Runner) PerfReport() *PerfReport {
 	rep := &PerfReport{Engine: r.engine.String(), SiteProfile: r.siteProfile, Records: []PerfRecord{}}
 	PublishEngineTierMetrics(r.metrics)
 	rep.Metrics = r.metrics.Snapshot()
+	rep.Tiers = TierTableNow()
 	for key, e := range r.cache {
 		res := e.res
 		if res == nil {
@@ -204,6 +211,7 @@ func (r *Runner) WritePerfJSON(path string) error {
 func (p *PerfReport) Canonical() *PerfReport {
 	out := *p
 	out.Metrics = nil
+	out.Tiers = nil
 	out.Records = append([]PerfRecord(nil), p.Records...)
 	for i := range out.Records {
 		out.Records[i].WallMS = 0

@@ -208,7 +208,7 @@ func (r *Runner) supervise(b *spec.Benchmark, cfg RunConfig, engine bytecode.Eng
 	maxAttempts := sup.MaxAttempts()
 	var attempts []resilience.Attempt
 	for attempt := 0; ; attempt++ {
-		cell := sup.Begin(key, attempt)
+		cell := sup.BeginTier(key, attempt, engine.String())
 		if cell.Shed {
 			reg.Counter("mi_cell_sheds_total", "Cells shed (skipped) by the supervisor, by cause.", obs.L("cause", cell.ShedCause)).Inc()
 			observeCell(reg, engine, cfg, resilience.StatusSkipped, 0, time.Since(entered))

@@ -9,19 +9,20 @@ import (
 	"repro/internal/obs"
 )
 
-// TestActiveAndHeartbeat exercises the progress-heartbeat plumbing: Begin
-// registers the attempt as active, the heartbeat emits the oldest active
-// cell at its cadence, and stop halts emissions idempotently.
+// TestActiveAndHeartbeat exercises the progress-heartbeat plumbing: BeginTier
+// registers the attempt as active with its execution tier, the heartbeat
+// emits the oldest active cell at its cadence, and stop halts emissions
+// idempotently.
 func TestActiveAndHeartbeat(t *testing.T) {
 	s := NewSupervisor(Policy{Parallel: 2})
-	c := s.Begin("cell-a", 1)
+	c := s.BeginTier("cell-a", 1, "compiler")
 	if c.Shed {
 		t.Fatal("cell shed with an empty supervisor")
 	}
 
 	act := s.Active()
-	if len(act) != 1 || act[0].Key != "cell-a" || act[0].Attempt != 1 {
-		t.Fatalf("Active() = %+v, want one cell-a attempt 1", act)
+	if len(act) != 1 || act[0].Key != "cell-a" || act[0].Attempt != 1 || act[0].Tier != "compiler" {
+		t.Fatalf("Active() = %+v, want one cell-a attempt 1 on tier compiler", act)
 	}
 	if act[0].Started.IsZero() {
 		t.Error("active cell has no start time")
@@ -54,8 +55,8 @@ func TestActiveAndHeartbeat(t *testing.T) {
 	first := got[0]
 	n := len(got)
 	mu.Unlock()
-	if first.Key != "cell-a" || first.Attempt != 1 {
-		t.Errorf("heartbeat emitted %+v, want cell-a attempt 1", first)
+	if first.Key != "cell-a" || first.Attempt != 1 || first.Tier != "compiler" {
+		t.Errorf("heartbeat emitted %+v, want cell-a attempt 1 on tier compiler", first)
 	}
 	time.Sleep(20 * time.Millisecond)
 	mu.Lock()

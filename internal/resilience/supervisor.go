@@ -96,6 +96,9 @@ type ActiveCell struct {
 	Attempt int
 	// Started is when the attempt was admitted.
 	Started time.Time
+	// Tier names the execution engine running the cell ("tree", "bytecode",
+	// "compiler"); empty when the caller used Begin.
+	Tier string
 }
 
 // NewSupervisor builds a supervisor for the policy.
@@ -265,6 +268,13 @@ func (s *Supervisor) Heartbeat(every time.Duration, emit func(ActiveCell)) (stop
 // the budget, then registers the attempt's interrupt flag and arms the
 // deadline watchdog. Callers must End() the returned context.
 func (s *Supervisor) Begin(key string, attempt int) *CellCtx {
+	return s.BeginTier(key, attempt, "")
+}
+
+// BeginTier is Begin with the execution tier that will run the cell, so the
+// heartbeat can name it (the harness passes its engine; plain Begin leaves
+// it empty).
+func (s *Supervisor) BeginTier(key string, attempt int, tier string) *CellCtx {
 	c := &CellCtx{Flag: &vm.InterruptFlag{}, sup: s}
 	for {
 		s.mu.Lock()
@@ -303,7 +313,7 @@ func (s *Supervisor) Begin(key string, attempt int) *CellCtx {
 				continue
 			}
 			s.inflight++
-			s.active[c.Flag] = &ActiveCell{Key: key, Attempt: attempt, Started: time.Now()}
+			s.active[c.Flag] = &ActiveCell{Key: key, Attempt: attempt, Started: time.Now(), Tier: tier}
 			s.mu.Unlock()
 			break
 		}

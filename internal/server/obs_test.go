@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bytecode"
 	"repro/internal/obs"
 )
 
@@ -221,6 +222,69 @@ func TestClientDisconnectMidStream(t *testing.T) {
 	}
 	if ev.Computed < 1 {
 		t.Errorf("resubmit computed %d cells, want >= 1 (the canceled ones recompute)", ev.Computed)
+	}
+}
+
+// TestMetricszTierInvariants is the compiler-tier reconciliation gate: after
+// a compiler-engine campaign, /metricsz must expose the tier-attribution
+// gauges and they must reconcile — quickened + fused + native + interpreted
+// instructions sum exactly to the total retired by compiler-tier engines, the
+// native tier actually engaged (entries and native instructions nonzero when
+// the platform supports it), and no fallback reason fired on the happy path.
+func TestMetricszTierInvariants(t *testing.T) {
+	_, cl := startTestServer(t, Config{Workers: 2})
+	req := testRequest("compiler")
+	cells, _, err := expand(req)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	ev, err := cl.Submit(req, nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if ev.Failed != 0 || ev.Cells != len(cells) {
+		t.Fatalf("cells=%d failed=%d, want cells=%d failed=0", ev.Cells, ev.Failed, len(cells))
+	}
+
+	text := scrapeMetrics(t, cl.BaseURL)
+	for _, want := range []string{
+		"# TYPE mi_tier_instrs gauge",
+		"# TYPE mi_tier_total_instrs gauge",
+		"# TYPE mi_native_fallbacks gauge",
+		"# TYPE mi_native_build_ms gauge",
+		`mi_tier_instrs{tier="quickened"}`,
+		`mi_tier_instrs{tier="fused"}`,
+		`mi_tier_instrs{tier="native"}`,
+		`mi_tier_instrs{tier="interpreted"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metricsz missing %q", want)
+		}
+	}
+
+	total := promSum(t, text, "mi_tier_total_instrs")
+	if total <= 0 {
+		t.Fatal("mi_tier_total_instrs = 0 after a compiler-engine campaign")
+	}
+	if sum := promSum(t, text, "mi_tier_instrs"); sum != total {
+		t.Errorf("sum(mi_tier_instrs) = %v, mi_tier_total_instrs = %v (every instruction must land in exactly one tier)", sum, total)
+	}
+	if !bytecode.NativeAvailable() {
+		t.Log("native tier disabled on this platform; skipping native-engagement assertions")
+		return
+	}
+	if fails := promSum(t, text, "mi_native_failures"); fails > 0 {
+		t.Logf("native builds failed in this environment (%v); skipping native-engagement assertions", fails)
+		return
+	}
+	if entries := promSum(t, text, "mi_native_entries"); entries <= 0 {
+		t.Error("mi_native_entries = 0: the native tier never engaged on a happy-path compiler campaign")
+	}
+	if native := promSum(t, text, `mi_tier_instrs{tier="native"}`); native <= 0 {
+		t.Error("mi_tier_instrs{tier=\"native\"} = 0: native code retired no instructions")
+	}
+	if fb := promSum(t, text, "mi_native_fallbacks"); fb != 0 {
+		t.Errorf("mi_native_fallbacks sum = %v, want 0 on the happy path:\n%s", fb, text)
 	}
 }
 
